@@ -1,0 +1,97 @@
+//! Ablations — the design-choice studies DESIGN.md calls out:
+//!
+//! - A1/A3: conservative vs. liberal analysis across dispatch policies
+//!   (work-reassignment handling);
+//! - A2: accuracy vs. overhead misestimation;
+//! - simulator and end-to-end pipeline throughput scaling with trip count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa::prelude::*;
+use ppa_bench::Fixture;
+
+fn ablations(c: &mut Criterion) {
+    println!("\n=== Ablation A2: overhead misestimation (loop 17) ===");
+    for p in ppa::experiments::ablation_overhead_sweep(17, &[0.5, 0.9, 1.0, 1.1, 1.5]) {
+        println!("factor {:>4.2} -> approx/actual {:.3}", p.factor, p.approx_ratio);
+    }
+    println!("\n=== Ablation A1/A3: conservative vs liberal (loop 3) ===");
+    for row in ppa::experiments::ablation_schedule(3) {
+        println!(
+            "{:?}: conservative {:.3}, liberal {:.3}",
+            row.policy, row.conservative_ratio, row.liberal_ratio
+        );
+    }
+
+    // Liberal vs conservative analysis cost.
+    let f = Fixture::doacross(3, &InstrumentationPlan::full_with_sync());
+    c.bench_function("ablation_conservative_analysis", |b| {
+        b.iter(|| event_based(&f.measured, &f.config.overheads).expect("feasible").total_time())
+    });
+    c.bench_function("ablation_liberal_analysis", |b| {
+        b.iter(|| {
+            liberal_reschedule(
+                &f.measured,
+                &f.config.overheads,
+                f.config.processors,
+                SchedulePolicy::SelfScheduled,
+                0.0,
+            )
+            .expect("structured")
+            .total
+        })
+    });
+
+    // Event-based resolver scaling with trace size.
+    let mut group = c.benchmark_group("resolver_scaling");
+    for trip in [512u64, 2048, 8192] {
+        let mut b = ProgramBuilder::new("resolve-scale");
+        let v = b.sync_var();
+        let program = b
+            .doacross(1, trip, |body| {
+                body.compute("h1", 400)
+                    .compute("h2", 300)
+                    .await_var(v, -1)
+                    .compute("cs", 50)
+                    .advance(v)
+                    .compute("t", 200)
+            })
+            .build()
+            .unwrap();
+        let cfg = ppa::experiments::experiment_config();
+        let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
+            .expect("valid");
+        let events = measured.trace.len() as u64;
+        group.throughput(criterion::Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::from_parameter(events), &measured.trace, |bch, t| {
+            bch.iter(|| event_based(t, &cfg.overheads).expect("feasible").total_time())
+        });
+    }
+    group.finish();
+
+    // Simulator throughput scaling with trip count.
+    let mut group = c.benchmark_group("simulator_scaling");
+    for trip in [256u64, 1024, 4096] {
+        let mut b = ProgramBuilder::new("scale");
+        let v = b.sync_var();
+        let program = b
+            .doacross(1, trip, |body| {
+                body.compute("head", 600).await_var(v, -1).compute("cs", 60).advance(v)
+            })
+            .build()
+            .unwrap();
+        let cfg = ppa::experiments::experiment_config();
+        group.throughput(criterion::Throughput::Elements(trip));
+        group.bench_with_input(BenchmarkId::from_parameter(trip), &trip, |bch, _| {
+            bch.iter(|| {
+                run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
+                    .expect("valid")
+                    .trace
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 1 — sequential loop execution: regenerates the measured/actual
+//! and approximated/actual bars, and times time-based analysis on each
+//! kernel's full-instrumentation trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa::prelude::*;
+use ppa_bench::Fixture;
+
+fn fig1(c: &mut Criterion) {
+    // Regenerate the figure once, printed into the bench log.
+    println!("\n=== Figure 1 (reproduced) ===");
+    for row in ppa::experiments::fig1() {
+        println!(
+            "loop {:<2} measured/actual {:>6.2} (paper {:>6})  approx/actual {:>5.3}",
+            row.kernel,
+            row.measured_ratio,
+            row.paper_measured.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            row.approx_ratio
+        );
+    }
+
+    let mut group = c.benchmark_group("fig1_time_based_analysis");
+    for kernel in [1u8, 19, 22] {
+        let f = Fixture::sequential(kernel);
+        group.throughput(criterion::Throughput::Elements(f.measured.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(&f.label), &f, |b, f| {
+            b.iter(|| time_based(&f.measured, &f.config.overheads).total_time())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

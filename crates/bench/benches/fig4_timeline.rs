@@ -1,0 +1,24 @@
+//! Figure 4 — the per-processor waiting timeline of loop 17: regenerates
+//! the Gantt rows and times timeline construction + rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppa::metrics::{build_timeline, render_timeline};
+use ppa::prelude::*;
+use ppa_bench::Fixture;
+
+fn fig4(c: &mut Criterion) {
+    let analysis = ppa::experiments::loop17_analysis();
+    println!("\n=== Figure 4 (reproduced) ===");
+    println!("{}", render_timeline(&analysis.timeline, 72));
+
+    let f = Fixture::doacross(17, &InstrumentationPlan::full_with_sync());
+    let result = event_based(&f.measured, &f.config.overheads).expect("feasible");
+    c.bench_function("fig4_build_timeline", |b| {
+        b.iter(|| build_timeline(&result, f.config.processors))
+    });
+    let timeline = build_timeline(&result, f.config.processors);
+    c.bench_function("fig4_render_timeline", |b| b.iter(|| render_timeline(&timeline, 96)));
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5 — parallelism over time in loop 17: regenerates the profile
+//! (and its loop-window average, the paper's 7.5) and times profile
+//! construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppa::metrics::{build_timeline, parallelism_profile, render_parallelism};
+use ppa::prelude::*;
+use ppa_bench::Fixture;
+
+fn fig5(c: &mut Criterion) {
+    let analysis = ppa::experiments::loop17_analysis();
+    println!("\n=== Figure 5 (reproduced) ===");
+    println!(
+        "average parallelism over the loop: {:.1} (paper: 7.5)",
+        analysis.avg_parallelism
+    );
+    println!("{}", render_parallelism(&analysis.profile, 72, 8));
+
+    let f = Fixture::doacross(17, &InstrumentationPlan::full_with_sync());
+    let result = event_based(&f.measured, &f.config.overheads).expect("feasible");
+    let timeline = build_timeline(&result, f.config.processors);
+    c.bench_function("fig5_parallelism_profile", |b| {
+        b.iter(|| parallelism_profile(&timeline))
+    });
+    let profile = parallelism_profile(&timeline);
+    c.bench_function("fig5_average", |b| {
+        b.iter(|| profile.average(ppa::trace::Time::ZERO, ppa::trace::Time::from_micros(3_000)))
+    });
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

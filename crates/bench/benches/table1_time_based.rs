@@ -1,0 +1,33 @@
+//! Table 1 — time-based analysis of the DOACROSS loops: regenerates the
+//! ratio rows and times the full simulate+analyze pipeline per loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa::prelude::*;
+use ppa_bench::Fixture;
+
+fn table1(c: &mut Criterion) {
+    println!("\n=== Table 1 (reproduced) ===");
+    for row in ppa::experiments::table1() {
+        println!(
+            "{}: measured/actual {:.2} (paper {:.2})  approx/actual {:.2} (paper {:.2})",
+            row.label,
+            row.measured_over_actual,
+            row.paper_measured.unwrap_or(f64::NAN),
+            row.approx_over_actual,
+            row.paper_approx.unwrap_or(f64::NAN),
+        );
+    }
+
+    let mut group = c.benchmark_group("table1_time_based_analysis");
+    for kernel in [3u8, 4, 17] {
+        let f = Fixture::doacross(kernel, &InstrumentationPlan::full_statements());
+        group.throughput(criterion::Throughput::Elements(f.measured.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(&f.label), &f, |b, f| {
+            b.iter(|| time_based(&f.measured, &f.config.overheads).total_time())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 2 — event-based analysis of the DOACROSS loops: regenerates the
+//! ratio rows and times the event-based resolver (the paper's central
+//! algorithm) per loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa::prelude::*;
+use ppa_bench::Fixture;
+
+fn table2(c: &mut Criterion) {
+    println!("\n=== Table 2 (reproduced) ===");
+    for row in ppa::experiments::table2() {
+        println!(
+            "{}: measured/actual {:.2} (paper {:.2})  approx/actual {:.2} (paper {:.2})",
+            row.label,
+            row.measured_over_actual,
+            row.paper_measured.unwrap_or(f64::NAN),
+            row.approx_over_actual,
+            row.paper_approx.unwrap_or(f64::NAN),
+        );
+    }
+
+    let mut group = c.benchmark_group("table2_event_based_analysis");
+    for kernel in [3u8, 4, 17] {
+        let f = Fixture::doacross(kernel, &InstrumentationPlan::full_with_sync());
+        group.throughput(criterion::Throughput::Elements(f.measured.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(&f.label), &f, |b, f| {
+            b.iter(|| {
+                event_based(&f.measured, &f.config.overheads)
+                    .expect("feasible trace")
+                    .total_time()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 3 — per-processor waiting extraction from the approximated
+//! execution of loop 17: regenerates the percentages and times the
+//! waiting-table construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppa::metrics::waiting_table;
+use ppa::prelude::*;
+use ppa_bench::Fixture;
+
+fn table3(c: &mut Criterion) {
+    let analysis = ppa::experiments::loop17_analysis();
+    println!("\n=== Table 3 (reproduced) ===");
+    print!("waiting %: ");
+    for row in &analysis.waiting.rows {
+        print!(" {:>6.2}", row.sync_pct);
+    }
+    println!("\n(paper:      4.05   8.09   4.05   2.70   4.05   5.40   2.70   4.05)");
+
+    let f = Fixture::doacross(17, &InstrumentationPlan::full_with_sync());
+    let result = event_based(&f.measured, &f.config.overheads).expect("feasible");
+    c.bench_function("table3_waiting_table", |b| {
+        b.iter(|| waiting_table(&result, f.config.processors))
+    });
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

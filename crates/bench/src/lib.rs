@@ -1,0 +1,68 @@
+//! # ppa-bench — shared benchmark fixtures
+//!
+//! The Criterion benches (one per paper table/figure, see `benches/`) all
+//! need the same prepared inputs: simulated actual and measured runs of
+//! the experiment workloads. Building them here keeps each bench focused
+//! on what it times and prints.
+
+use ppa::experiments::{experiment_config, sequential_config};
+use ppa::prelude::*;
+
+/// A prepared workload: program, configuration, actual run, and a measured
+/// run under the given plan.
+pub struct Fixture {
+    /// Workload label.
+    pub label: String,
+    /// Simulator configuration used for both runs.
+    pub config: SimConfig,
+    /// Ground-truth total execution time.
+    pub actual_total: Span,
+    /// The measured trace to analyze.
+    pub measured: Trace,
+}
+
+impl Fixture {
+    /// Prepares a DOACROSS kernel (3, 4, or 17) under a plan.
+    pub fn doacross(kernel: u8, plan: &InstrumentationPlan) -> Fixture {
+        let config = experiment_config();
+        let program = ppa::lfk::doacross_graph(kernel).expect("doacross kernel");
+        let actual = run_actual(&program, &config).expect("valid program");
+        let measured = run_measured(&program, plan, &config).expect("valid program");
+        Fixture {
+            label: format!("lfk{kernel:02}"),
+            config,
+            actual_total: actual.trace.total_time(),
+            measured: measured.trace,
+        }
+    }
+
+    /// Prepares a sequential Figure-1 kernel under full statement tracing.
+    pub fn sequential(kernel: u8) -> Fixture {
+        let config = sequential_config();
+        let program = ppa::lfk::sequential_graph(kernel).expect("fig1 kernel");
+        let actual = run_actual(&program, &config).expect("valid program");
+        let measured = run_measured(&program, &InstrumentationPlan::full_statements(), &config)
+            .expect("valid program");
+        Fixture {
+            label: format!("lfk{kernel:02}"),
+            config,
+            actual_total: actual.trace.total_time(),
+            measured: measured.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_prepare() {
+        let f = Fixture::doacross(3, &InstrumentationPlan::full_with_sync());
+        assert!(f.measured.len() > 1000);
+        assert!(!f.actual_total.is_zero());
+        let s = Fixture::sequential(1);
+        assert_eq!(s.config.processors, 1);
+        assert!(s.measured.len() > 500);
+    }
+}

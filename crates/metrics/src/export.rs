@@ -1,0 +1,123 @@
+//! CSV export of analysis products, for external plotting.
+
+use crate::parallelism::ParallelismProfile;
+use crate::ratio::RatioRow;
+use crate::timeline::Timeline;
+use crate::waiting::WaitingTable;
+use std::io::{self, BufWriter, Write};
+
+/// Writes ratio rows: `label,measured_over_actual,approx_over_actual,paper_measured,paper_approx`.
+pub fn write_ratios_csv<W: Write>(rows: &[RatioRow], writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "label,measured_over_actual,approx_over_actual,paper_measured,paper_approx")?;
+    for r in rows {
+        writeln!(
+            w,
+            "{},{:.6},{:.6},{},{}",
+            r.label,
+            r.measured_over_actual,
+            r.approx_over_actual,
+            r.paper_measured.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            r.paper_approx.map(|v| format!("{v:.2}")).unwrap_or_default(),
+        )?;
+    }
+    w.flush()
+}
+
+/// Writes the waiting table: `proc,sync_wait_ns,barrier_wait_ns,sync_pct`.
+pub fn write_waiting_csv<W: Write>(table: &WaitingTable, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "proc,sync_wait_ns,barrier_wait_ns,sync_pct")?;
+    for r in &table.rows {
+        writeln!(w, "{},{},{},{:.4}", r.proc, r.sync_wait_ns, r.barrier_wait_ns, r.sync_pct)?;
+    }
+    w.flush()
+}
+
+/// Writes timeline intervals: `proc,start_ns,end_ns,state`.
+pub fn write_timeline_csv<W: Write>(timeline: &Timeline, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "proc,start_ns,end_ns,state")?;
+    for (p, row) in timeline.rows.iter().enumerate() {
+        for iv in row {
+            writeln!(
+                w,
+                "{},{},{},{:?}",
+                p,
+                iv.start.as_nanos(),
+                iv.end.as_nanos(),
+                iv.state
+            )?;
+        }
+    }
+    w.flush()
+}
+
+/// Writes the parallelism step function: `time_ns,parallelism`.
+pub fn write_parallelism_csv<W: Write>(
+    profile: &ParallelismProfile,
+    writer: W,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "time_ns,parallelism")?;
+    for &(t, c) in &profile.steps {
+        writeln!(w, "{},{}", t.as_nanos(), c)?;
+    }
+    writeln!(w, "{},0", profile.end.as_nanos())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{Interval, ProcState};
+    use ppa_trace::{Span, Time};
+
+    #[test]
+    fn ratios_csv() {
+        let rows = vec![RatioRow::from_times(
+            "lfk03",
+            Span::from_nanos(100),
+            Span::from_nanos(456),
+            Span::from_nanos(96),
+        )
+        .with_paper(Some(4.56), Some(0.96))];
+        let mut buf = Vec::new();
+        write_ratios_csv(&rows, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("label,"));
+        assert!(text.contains("lfk03,4.56"));
+        assert!(text.contains("0.96"));
+    }
+
+    #[test]
+    fn timeline_csv() {
+        let tl = Timeline {
+            rows: vec![vec![Interval {
+                start: Time::ZERO,
+                end: Time::from_nanos(5),
+                state: ProcState::Active,
+            }]],
+            start: Time::ZERO,
+            end: Time::from_nanos(5),
+        };
+        let mut buf = Vec::new();
+        write_timeline_csv(&tl, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("0,0,5,Active"));
+    }
+
+    #[test]
+    fn parallelism_csv() {
+        let p = ParallelismProfile {
+            steps: vec![(Time::ZERO, 1), (Time::from_nanos(10), 3)],
+            end: Time::from_nanos(20),
+        };
+        let mut buf = Vec::new();
+        write_parallelism_csv(&p, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("0,1"));
+        assert!(text.contains("10,3"));
+        assert!(text.contains("20,0"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Event-order perturbation.
+//!
+//! Instrumentation perturbs "execution time and, possibly, event order"
+//! (§2). This module quantifies the order side: align two traces by
+//! (processor, kind) occurrence and count the pairs of matched events
+//! whose relative total order differs — Kendall-style discordant pairs,
+//! counted exactly in `O(n log n)` with a merge-sort inversion count.
+
+use ppa_trace::{Event, ProcessorId, Trace};
+use std::collections::HashMap;
+
+/// Order-perturbation summary between two traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderPerturbation {
+    /// Matched events.
+    pub matched: usize,
+    /// Discordant pairs: matched event pairs ordered differently in the
+    /// two traces.
+    pub inversions: u64,
+    /// `inversions / C(matched, 2)` — 0.0 for identical order, 1.0 for
+    /// full reversal.
+    pub inversion_rate: f64,
+    /// Discordant pairs involving events on *different* processors (the
+    /// dependence-relevant reorderings; same-processor order can never
+    /// change in a well-formed trace).
+    pub cross_processor_inversions: u64,
+}
+
+/// Counts inversions in `a`, returning the permutation's discordant-pair
+/// count (merge sort).
+fn count_inversions(a: &mut [usize]) -> u64 {
+    let n = a.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut buf = vec![0usize; n];
+    fn sort(a: &mut [usize], buf: &mut [usize]) -> u64 {
+        let n = a.len();
+        if n < 2 {
+            return 0;
+        }
+        let mid = n / 2;
+        let mut inv = sort(&mut a[..mid], buf) + sort(&mut a[mid..], buf);
+        // Merge.
+        let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+        while i < mid && j < n {
+            if a[i] <= a[j] {
+                buf[k] = a[i];
+                i += 1;
+            } else {
+                buf[k] = a[j];
+                inv += (mid - i) as u64;
+                j += 1;
+            }
+            k += 1;
+        }
+        buf[k..k + (mid - i)].copy_from_slice(&a[i..mid]);
+        let tail_start = k + (mid - i);
+        buf[tail_start..n].copy_from_slice(&a[j..n]);
+        a.copy_from_slice(&buf[..n]);
+        inv
+    }
+    sort(a, &mut buf)
+}
+
+/// Measures order perturbation from `reference` (e.g. the actual trace)
+/// to `perturbed` (e.g. the measured trace).
+pub fn order_perturbation(reference: &Trace, perturbed: &Trace) -> OrderPerturbation {
+    // Position of each reference event, bucketed by alignment key.
+    let mut ref_positions: HashMap<(ProcessorId, ppa_trace::EventKind), Vec<usize>> =
+        HashMap::new();
+    for (pos, e) in reference.iter().enumerate() {
+        ref_positions.entry(key(e)).or_default().push(pos);
+    }
+    let mut cursor: HashMap<(ProcessorId, ppa_trace::EventKind), usize> = HashMap::new();
+
+    // For the perturbed trace in order, collect each matched event's
+    // reference position (plus its processor for the cross-proc count).
+    let mut seq: Vec<usize> = Vec::new();
+    let mut procs: Vec<ProcessorId> = Vec::new();
+    for e in perturbed.iter() {
+        let k = key(e);
+        let idx = cursor.entry(k).or_insert(0);
+        if let Some(pos) = ref_positions.get(&k).and_then(|v| v.get(*idx)) {
+            *idx += 1;
+            seq.push(*pos);
+            procs.push(e.proc);
+        }
+    }
+
+    let matched = seq.len();
+    let inversions = count_inversions(&mut seq.clone());
+
+    // Cross-processor discordant pairs: total minus the same-processor
+    // ones. Same-processor subsequences are order-preserved in well-formed
+    // traces, so their inversion count is zero — but count defensively.
+    let mut same_proc = 0u64;
+    let mut by_proc: HashMap<ProcessorId, Vec<usize>> = HashMap::new();
+    for (p, s) in procs.iter().zip(&seq) {
+        by_proc.entry(*p).or_default().push(*s);
+    }
+    for (_, mut positions) in by_proc {
+        same_proc += count_inversions(&mut positions);
+    }
+
+    let pairs = matched as u64 * matched.saturating_sub(1) as u64 / 2;
+    OrderPerturbation {
+        matched,
+        inversions,
+        inversion_rate: if pairs == 0 { 0.0 } else { inversions as f64 / pairs as f64 },
+        cross_processor_inversions: inversions - same_proc,
+    }
+}
+
+fn key(e: &Event) -> (ProcessorId, ppa_trace::EventKind) {
+    (e.proc, e.kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_trace::TraceBuilder;
+
+    #[test]
+    fn identical_traces_have_zero_inversions() {
+        let t = TraceBuilder::measured()
+            .on(0).at(10).stmt(0).at(20).stmt(1)
+            .on(1).at(15).stmt(2)
+            .build();
+        let r = order_perturbation(&t, &t);
+        assert_eq!(r.matched, 3);
+        assert_eq!(r.inversions, 0);
+        assert_eq!(r.inversion_rate, 0.0);
+    }
+
+    #[test]
+    fn cross_processor_swap_is_one_inversion() {
+        // Reference: P0 stmt at 10, P1 stmt at 20. Perturbed: P1 first.
+        let reference = TraceBuilder::measured()
+            .on(0).at(10).stmt(0)
+            .on(1).at(20).stmt(1)
+            .build();
+        let perturbed = TraceBuilder::measured()
+            .on(1).at(5).stmt(1)
+            .on(0).at(10).stmt(0)
+            .build();
+        let r = order_perturbation(&reference, &perturbed);
+        assert_eq!(r.matched, 2);
+        assert_eq!(r.inversions, 1);
+        assert_eq!(r.cross_processor_inversions, 1);
+        assert_eq!(r.inversion_rate, 1.0);
+    }
+
+    #[test]
+    fn full_reversal_rate_is_one() {
+        // Four events on four processors, fully reversed.
+        let mut fwd = TraceBuilder::measured();
+        let mut rev = TraceBuilder::measured();
+        for i in 0..4u16 {
+            fwd = fwd.on(i).at(10 * (i as u64 + 1)).stmt(i as u32);
+            rev = rev.on(i).at(10 * (4 - i as u64)).stmt(i as u32);
+        }
+        let r = order_perturbation(&fwd.build(), &rev.build());
+        assert_eq!(r.matched, 4);
+        assert_eq!(r.inversions, 6); // C(4,2)
+        assert_eq!(r.inversion_rate, 1.0);
+    }
+
+    #[test]
+    fn inversion_counter_matches_brute_force() {
+        let cases: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![1],
+            vec![1, 2, 3],
+            vec![3, 2, 1],
+            vec![2, 1, 4, 3],
+            vec![5, 1, 4, 2, 3],
+        ];
+        for case in cases {
+            let brute = {
+                let mut c = 0u64;
+                for i in 0..case.len() {
+                    for j in i + 1..case.len() {
+                        if case[i] > case[j] {
+                            c += 1;
+                        }
+                    }
+                }
+                c
+            };
+            let mut arr = case.clone();
+            assert_eq!(count_inversions(&mut arr), brute, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn unmatched_events_are_ignored() {
+        let reference = TraceBuilder::measured().on(0).at(10).stmt(0).build();
+        let perturbed = TraceBuilder::measured()
+            .on(0).at(10).stmt(0).at(20).stmt(9)
+            .build();
+        let r = order_perturbation(&reference, &perturbed);
+        assert_eq!(r.matched, 1);
+        assert_eq!(r.inversions, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Parallelism over time (the paper's Figure 5).
+//!
+//! The parallelism profile counts processors in the `Active` state at each
+//! instant of the approximated execution, as a step function. The paper
+//! reports the average level of parallelism of loop 17, excluding the
+//! sequential portions, as 7.5.
+
+use crate::timeline::{ProcState, Timeline};
+use ppa_trace::{Span, Time};
+use serde::{Deserialize, Serialize};
+
+/// A step function: the active-processor count between consecutive
+/// breakpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelismProfile {
+    /// `(start, count)` steps, time-ordered; each step holds until the
+    /// next one (or `end`).
+    pub steps: Vec<(Time, usize)>,
+    /// End of the profile.
+    pub end: Time,
+}
+
+impl ParallelismProfile {
+    /// The active-processor count at an instant.
+    pub fn at(&self, t: Time) -> usize {
+        let mut count = 0;
+        for &(start, c) in &self.steps {
+            if start > t {
+                break;
+            }
+            count = c;
+        }
+        count
+    }
+
+    /// Time-weighted average parallelism over `[from, to)`.
+    pub fn average(&self, from: Time, to: Time) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let mut acc: f64 = 0.0;
+        for (i, &(start, count)) in self.steps.iter().enumerate() {
+            let next = self.steps.get(i + 1).map(|&(s, _)| s).unwrap_or(self.end);
+            let lo = start.max(from);
+            let hi = next.min(to);
+            if hi > lo {
+                acc += count as f64 * (hi - lo).as_nanos() as f64;
+            }
+        }
+        acc / (to - from).as_nanos() as f64
+    }
+
+    /// The peak parallelism.
+    pub fn peak(&self) -> usize {
+        self.steps.iter().map(|&(_, c)| c).max().unwrap_or(0)
+    }
+
+    /// Total span during which at least `k` processors were active.
+    pub fn span_at_least(&self, k: usize) -> Span {
+        let mut acc = Span::ZERO;
+        for (i, &(start, count)) in self.steps.iter().enumerate() {
+            let next = self.steps.get(i + 1).map(|&(s, _)| s).unwrap_or(self.end);
+            if count >= k && next > start {
+                acc += next - start;
+            }
+        }
+        acc
+    }
+}
+
+/// Builds the parallelism profile from a timeline.
+pub fn parallelism_profile(timeline: &Timeline) -> ParallelismProfile {
+    // Sweep over active-interval boundaries.
+    let mut deltas: Vec<(Time, i64)> = Vec::new();
+    for row in &timeline.rows {
+        for iv in row {
+            if iv.state == ProcState::Active && iv.end > iv.start {
+                deltas.push((iv.start, 1));
+                deltas.push((iv.end, -1));
+            }
+        }
+    }
+    deltas.sort();
+    let mut steps = Vec::new();
+    let mut count: i64 = 0;
+    let mut i = 0;
+    while i < deltas.len() {
+        let t = deltas[i].0;
+        while i < deltas.len() && deltas[i].0 == t {
+            count += deltas[i].1;
+            i += 1;
+        }
+        steps.push((t, count.max(0) as usize));
+    }
+    if steps.first().map(|&(t, _)| t > timeline.start).unwrap_or(true) {
+        steps.insert(0, (timeline.start, 0));
+    }
+    ParallelismProfile { steps, end: timeline.end }
+}
+
+/// Renders the profile as an ASCII step chart (rows = parallelism levels
+/// descending, columns = time buckets).
+pub fn render_parallelism(profile: &ParallelismProfile, width: usize, max_level: usize) -> String {
+    let width = width.max(10);
+    let start = profile.steps.first().map(|&(t, _)| t).unwrap_or(Time::ZERO);
+    let total = profile.end.saturating_since(start).as_nanos().max(1);
+    // Sample the bucket midpoints.
+    let samples: Vec<usize> = (0..width)
+        .map(|c| {
+            let t = Time::from_nanos(
+                start.as_nanos() + (total as u128 * (2 * c as u128 + 1) / (2 * width as u128)) as u64,
+            );
+            profile.at(t)
+        })
+        .collect();
+    let peak = max_level.max(1);
+    let mut out = String::new();
+    for level in (1..=peak).rev() {
+        let row: String = samples.iter().map(|&s| if s >= level { '█' } else { ' ' }).collect();
+        out.push_str(&format!("{level:>2} |{row}|\n"));
+    }
+    out.push_str(&format!(
+        "    0{}{:>9.1}us\n",
+        " ".repeat(width.saturating_sub(12)),
+        profile.end.saturating_since(start).as_micros_f64()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Interval;
+
+    fn two_proc_timeline() -> Timeline {
+        // P0 active 0..100; P1 active 50..100, then both idle to 150.
+        let t = |n: u64| Time::from_nanos(n);
+        Timeline {
+            rows: vec![
+                vec![
+                    Interval { start: t(0), end: t(100), state: ProcState::Active },
+                    Interval { start: t(100), end: t(150), state: ProcState::Idle },
+                ],
+                vec![
+                    Interval { start: t(0), end: t(50), state: ProcState::Idle },
+                    Interval { start: t(50), end: t(100), state: ProcState::Active },
+                    Interval { start: t(100), end: t(150), state: ProcState::Idle },
+                ],
+            ],
+            start: t(0),
+            end: t(150),
+        }
+    }
+
+    #[test]
+    fn step_function_counts() {
+        let p = parallelism_profile(&two_proc_timeline());
+        assert_eq!(p.at(Time::from_nanos(10)), 1);
+        assert_eq!(p.at(Time::from_nanos(60)), 2);
+        assert_eq!(p.at(Time::from_nanos(120)), 0);
+        assert_eq!(p.peak(), 2);
+    }
+
+    #[test]
+    fn averages() {
+        let p = parallelism_profile(&two_proc_timeline());
+        // Over [0,100): (1*50 + 2*50)/100 = 1.5.
+        let avg = p.average(Time::ZERO, Time::from_nanos(100));
+        assert!((avg - 1.5).abs() < 1e-9, "avg {avg}");
+        // Over everything: 150/150 = 1.0.
+        let avg_all = p.average(Time::ZERO, Time::from_nanos(150));
+        assert!((avg_all - 1.0).abs() < 1e-9);
+        assert_eq!(p.average(Time::from_nanos(5), Time::from_nanos(5)), 0.0);
+    }
+
+    #[test]
+    fn span_at_least_levels() {
+        let p = parallelism_profile(&two_proc_timeline());
+        assert_eq!(p.span_at_least(1), Span::from_nanos(100));
+        assert_eq!(p.span_at_least(2), Span::from_nanos(50));
+        assert_eq!(p.span_at_least(3), Span::ZERO);
+    }
+
+    #[test]
+    fn render_has_levels_and_axis() {
+        let p = parallelism_profile(&two_proc_timeline());
+        let s = render_parallelism(&p, 30, 2);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with(" 2 |"));
+        assert!(lines[1].starts_with(" 1 |"));
+        assert!(lines[1].matches('█').count() >= lines[0].matches('█').count());
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = Timeline { rows: vec![], start: Time::ZERO, end: Time::ZERO };
+        let p = parallelism_profile(&tl);
+        assert_eq!(p.peak(), 0);
+        assert_eq!(p.at(Time::ZERO), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Per-processor execution timelines (the paper's Figure 4).
+//!
+//! A timeline slices each processor's approximated execution into
+//! `Active`, `Waiting` (blocked in an await or at a barrier), and `Idle`
+//! (no events — the processor is not participating, e.g. during serial
+//! sections) intervals. The sequential portions before and after a
+//! parallel loop show as processor zero active, as in the paper's figure.
+
+use ppa_core::EventBasedResult;
+use ppa_trace::{ProcessorId, Span, Time};
+use serde::{Deserialize, Serialize};
+
+/// A processor's state over one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcState {
+    /// Executing work (including synchronization processing).
+    Active,
+    /// Blocked in an await or at a barrier.
+    Waiting,
+    /// Not participating.
+    Idle,
+}
+
+/// One maximal interval of constant state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Interval start.
+    pub start: Time,
+    /// Interval end (exclusive).
+    pub end: Time,
+    /// The processor's state throughout.
+    pub state: ProcState,
+}
+
+impl Interval {
+    /// The interval's length.
+    pub fn span(&self) -> Span {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Per-processor interval rows over a common time range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Row per processor (index = processor id).
+    pub rows: Vec<Vec<Interval>>,
+    /// Earliest time.
+    pub start: Time,
+    /// Latest time.
+    pub end: Time,
+}
+
+impl Timeline {
+    /// Total `Waiting` span on one processor.
+    pub fn waiting(&self, proc: usize) -> Span {
+        self.rows
+            .get(proc)
+            .map(|row| {
+                row.iter().filter(|iv| iv.state == ProcState::Waiting).map(|iv| iv.span()).sum()
+            })
+            .unwrap_or(Span::ZERO)
+    }
+
+    /// Total `Active` span on one processor.
+    pub fn active(&self, proc: usize) -> Span {
+        self.rows
+            .get(proc)
+            .map(|row| {
+                row.iter().filter(|iv| iv.state == ProcState::Active).map(|iv| iv.span()).sum()
+            })
+            .unwrap_or(Span::ZERO)
+    }
+}
+
+/// Builds the timeline of an approximated execution.
+pub fn build_timeline(result: &EventBasedResult, processors: usize) -> Timeline {
+    let start = result.trace.start_time().unwrap_or(Time::ZERO);
+    let end = result.trace.end_time().unwrap_or(Time::ZERO);
+
+    let mut rows = Vec::with_capacity(processors);
+    for p in 0..processors {
+        let pid = ProcessorId(p as u16);
+        // Present span: first to last event of this processor.
+        let mut first: Option<Time> = None;
+        let mut last: Option<Time> = None;
+        for e in result.trace.iter().filter(|e| e.proc == pid) {
+            if first.is_none() {
+                first = Some(e.time);
+            }
+            last = Some(e.time);
+        }
+
+        // Waiting windows: awaits (blocked until the advance) + barriers.
+        let mut waits: Vec<(Time, Time)> = Vec::new();
+        for a in result.awaits.iter().filter(|a| a.proc == pid && a.waited()) {
+            waits.push((a.begin, a.begin + a.wait));
+        }
+        for b in result.barriers.iter().filter(|b| b.proc == pid && !b.wait.is_zero()) {
+            waits.push((b.enter, b.enter + b.wait));
+        }
+        waits.sort();
+
+        let mut row = Vec::new();
+        match (first, last) {
+            (Some(f), Some(l)) => {
+                if f > start {
+                    row.push(Interval { start, end: f, state: ProcState::Idle });
+                }
+                let mut cursor = f;
+                for (wb, we) in waits {
+                    let wb = wb.max(cursor);
+                    let we = we.min(l);
+                    if we <= wb {
+                        continue;
+                    }
+                    if wb > cursor {
+                        row.push(Interval { start: cursor, end: wb, state: ProcState::Active });
+                    }
+                    row.push(Interval { start: wb, end: we, state: ProcState::Waiting });
+                    cursor = we;
+                }
+                if l > cursor {
+                    row.push(Interval { start: cursor, end: l, state: ProcState::Active });
+                }
+                if end > l {
+                    row.push(Interval { start: l, end, state: ProcState::Idle });
+                }
+            }
+            _ => {
+                if end > start {
+                    row.push(Interval { start, end, state: ProcState::Idle });
+                }
+            }
+        }
+        rows.push(row);
+    }
+    Timeline { rows, start, end }
+}
+
+/// Extracts the loop windows of a trace from its loop begin/end markers:
+/// `(loop id, begin time, end time)` per executed loop, in order. Useful
+/// for windowing other metrics (per-loop parallelism averages, per-loop
+/// ratios) to one construct.
+pub fn loop_windows(trace: &ppa_trace::Trace) -> Vec<(ppa_trace::LoopId, Time, Time)> {
+    use ppa_trace::EventKind;
+    let mut open: std::collections::BTreeMap<ppa_trace::LoopId, Time> = Default::default();
+    let mut out = Vec::new();
+    for e in trace.iter() {
+        match e.kind {
+            EventKind::LoopBegin { loop_id } => {
+                open.insert(loop_id, e.time);
+            }
+            EventKind::LoopEnd { loop_id } => {
+                if let Some(begin) = open.remove(&loop_id) {
+                    out.push((loop_id, begin, e.time));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Renders the timeline as an ASCII Gantt chart of the given width:
+/// `#` active, `.` waiting, space idle.
+pub fn render_timeline(timeline: &Timeline, width: usize) -> String {
+    let width = width.max(10);
+    let total = timeline.end.saturating_since(timeline.start).as_nanos().max(1);
+    let mut out = String::new();
+    for (p, row) in timeline.rows.iter().enumerate() {
+        let mut line = vec![' '; width];
+        for iv in row {
+            let a = ((iv.start.saturating_since(timeline.start).as_nanos() as u128
+                * width as u128)
+                / total as u128) as usize;
+            let b = ((iv.end.saturating_since(timeline.start).as_nanos() as u128
+                * width as u128)
+                / total as u128) as usize;
+            let ch = match iv.state {
+                ProcState::Active => '#',
+                ProcState::Waiting => '.',
+                ProcState::Idle => ' ',
+            };
+            for cell in line.iter_mut().take(b.min(width)).skip(a) {
+                *cell = ch;
+            }
+        }
+        out.push_str(&format!("P{p:<2} |{}|\n", line.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "     0{}{}\n",
+        " ".repeat(width.saturating_sub(12)),
+        format_args!("{:>10.1}us", timeline.end.saturating_since(timeline.start).as_micros_f64())
+    ));
+    out.push_str("     ('#' active, '.' waiting, ' ' idle)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_core::event_based;
+    use ppa_trace::{OverheadSpec, TraceBuilder};
+
+    fn sample() -> EventBasedResult {
+        // P0 active 0..400 (serial + advance); P1 idle until 100, waits
+        // 100..200, active 200..300, idle after.
+        let t = TraceBuilder::measured()
+            .on(0).at(0).program_begin().at(200).advance(0, 0).at(400).program_end()
+            .on(1).at(100).await_begin(0, 0).at(200).await_end(0, 0).at(300).stmt(0)
+            .build();
+        event_based(&t, &OverheadSpec::ZERO).unwrap()
+    }
+
+    #[test]
+    fn states_partition_the_range() {
+        let tl = build_timeline(&sample(), 2);
+        assert_eq!(tl.start, Time::ZERO);
+        assert_eq!(tl.end, Time::from_nanos(400));
+        for row in &tl.rows {
+            // Contiguity: each interval begins where the previous ended.
+            for w in row.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            assert_eq!(row.first().unwrap().start, tl.start);
+            assert_eq!(row.last().unwrap().end, tl.end);
+        }
+    }
+
+    #[test]
+    fn waiting_and_active_accounting() {
+        let tl = build_timeline(&sample(), 2);
+        assert_eq!(tl.waiting(0), Span::ZERO);
+        assert_eq!(tl.waiting(1), Span::from_nanos(100));
+        assert_eq!(tl.active(0), Span::from_nanos(400));
+        assert_eq!(tl.active(1), Span::from_nanos(100));
+    }
+
+    #[test]
+    fn render_shape() {
+        let tl = build_timeline(&sample(), 2);
+        let s = render_timeline(&tl, 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("P0 "));
+        assert!(lines[1].starts_with("P1 "));
+        assert!(lines[0].contains('#'));
+        assert!(lines[1].contains('.'));
+    }
+
+    #[test]
+    fn loop_windows_pair_markers() {
+        let t = ppa_trace::TraceBuilder::measured()
+            .on(0).at(0).program_begin()
+            .at(10).loop_begin(0).at(50).loop_end(0)
+            .at(60).loop_begin(1).at(90).loop_end(1)
+            .at(100).program_end()
+            .build();
+        let w = loop_windows(&t);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0], (ppa_trace::LoopId(0), Time::from_nanos(10), Time::from_nanos(50)));
+        assert_eq!(w[1], (ppa_trace::LoopId(1), Time::from_nanos(60), Time::from_nanos(90)));
+        // Unclosed loops are skipped.
+        let t2 = ppa_trace::TraceBuilder::measured().on(0).at(5).loop_begin(3).build();
+        assert!(loop_windows(&t2).is_empty());
+    }
+
+    #[test]
+    fn missing_processor_row_is_idle() {
+        let tl = build_timeline(&sample(), 3);
+        assert_eq!(tl.rows[2].len(), 1);
+        assert_eq!(tl.rows[2][0].state, ProcState::Idle);
+        assert_eq!(tl.waiting(7), Span::ZERO); // out of range is zero
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-processor waiting statistics (the paper's Table 3).
+//!
+//! "Event-based analysis can also generate statistics about loop execution
+//! such as the amount of waiting on each processor" (§5.3). Waiting here
+//! is approximated DOACROSS synchronization waiting, expressed as a
+//! percentage of total execution time, computed entirely from the
+//! approximated execution.
+
+use ppa_core::EventBasedResult;
+use ppa_trace::{ProcessorId, Span};
+use serde::{Deserialize, Serialize};
+
+/// One processor's waiting summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcWaiting {
+    /// The processor.
+    pub proc: u16,
+    /// Approximated synchronization waiting.
+    pub sync_wait_ns: u64,
+    /// Approximated barrier waiting.
+    pub barrier_wait_ns: u64,
+    /// Synchronization waiting as a percentage of total execution time.
+    pub sync_pct: f64,
+}
+
+/// Waiting summary across processors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaitingTable {
+    /// Total execution time the percentages refer to.
+    pub total_ns: u64,
+    /// Per-processor rows, ascending by processor id.
+    pub rows: Vec<ProcWaiting>,
+}
+
+impl WaitingTable {
+    /// Aggregate DOACROSS waiting across all processors.
+    pub fn total_sync_wait(&self) -> Span {
+        Span::from_nanos(self.rows.iter().map(|r| r.sync_wait_ns).sum())
+    }
+
+    /// The mean waiting percentage.
+    pub fn mean_pct(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.sync_pct).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Builds the Table-3 style waiting table from an event-based analysis
+/// result, for the given number of processors.
+pub fn waiting_table(result: &EventBasedResult, processors: usize) -> WaitingTable {
+    let total = result.total_time();
+    let rows = (0..processors)
+        .map(|p| {
+            let pid = ProcessorId(p as u16);
+            let sync = result.sync_wait(pid);
+            let barrier = result.barrier_wait(pid);
+            ProcWaiting {
+                proc: p as u16,
+                sync_wait_ns: sync.as_nanos(),
+                barrier_wait_ns: barrier.as_nanos(),
+                sync_pct: if total.is_zero() { 0.0 } else { 100.0 * sync.ratio(total) },
+            }
+        })
+        .collect();
+    WaitingTable { total_ns: total.as_nanos(), rows }
+}
+
+/// Formats the table like the paper's Table 3 (one percentage column per
+/// processor).
+pub fn format_waiting_table(title: &str, table: &WaitingTable) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str("processor:");
+    for r in &table.rows {
+        out.push_str(&format!(" {:>8}", r.proc));
+    }
+    out.push_str("\nwaiting %:");
+    for r in &table.rows {
+        out.push_str(&format!(" {:>7.2}%", r.sync_pct));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_core::event_based;
+    use ppa_trace::{OverheadSpec, TraceBuilder};
+
+    /// Two processors; P1 waits 100ns of a 400ns run = 25%.
+    fn sample_result() -> EventBasedResult {
+        let t = TraceBuilder::measured()
+            .on(0).at(0).program_begin().at(200).advance(0, 0).at(400).program_end()
+            .on(1).at(100).await_begin(0, 0).at(200).await_end(0, 0)
+            .build();
+        event_based(&t, &OverheadSpec::ZERO).unwrap()
+    }
+
+    #[test]
+    fn percentages_computed_against_total() {
+        let table = waiting_table(&sample_result(), 2);
+        assert_eq!(table.total_ns, 400);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0].sync_wait_ns, 0);
+        assert_eq!(table.rows[1].sync_wait_ns, 100);
+        assert!((table.rows[1].sync_pct - 25.0).abs() < 1e-9);
+        assert!((table.mean_pct() - 12.5).abs() < 1e-9);
+        assert_eq!(table.total_sync_wait(), Span::from_nanos(100));
+    }
+
+    #[test]
+    fn formatting_matches_shape() {
+        let table = waiting_table(&sample_result(), 2);
+        let s = format_waiting_table("Table 3", &table);
+        assert!(s.contains("processor:"));
+        assert!(s.contains("waiting %:"));
+        assert!(s.contains("25.00%"));
+    }
+
+    #[test]
+    fn empty_result_is_zeroes() {
+        let t = TraceBuilder::measured().build();
+        let r = event_based(&t, &OverheadSpec::ZERO).unwrap();
+        let table = waiting_table(&r, 4);
+        assert_eq!(table.total_ns, 0);
+        assert!(table.rows.iter().all(|r| r.sync_pct == 0.0));
+        assert_eq!(table.mean_pct(), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Overhead calibration.
+//!
+//! Perturbation analysis needs "measures of in vitro trace instrumentation
+//! costs in an execution environment" (§2). On the native backend those
+//! costs are real: this module measures the per-event recording cost (with
+//! the configured padding) and the synchronization processing costs of
+//! `ppa-sync`'s primitives, producing the [`OverheadSpec`] the analysis
+//! will subtract.
+
+use crate::clock::TraceClock;
+use crate::tracer::ThreadTracer;
+use ppa_sync::AdvanceAwait;
+use ppa_trace::{EventKind, OverheadSpec, ProcessorId, Span, StatementId};
+
+/// Measures the average cost of recording one event with the given
+/// padding.
+pub fn measure_record_cost(clock: &TraceClock, padding: Span) -> Span {
+    const N: u64 = 2_000;
+    let mut tracer = ThreadTracer::new(*clock, ProcessorId(0), padding, true);
+    let begin = clock.now();
+    for i in 0..N {
+        tracer.record(EventKind::Statement { stmt: StatementId(i as u32) });
+    }
+    let end = clock.now();
+    (end - begin) / N
+}
+
+/// Measures the no-wait path of an `await` (tag already advanced).
+pub fn measure_await_nowait(clock: &TraceClock) -> Span {
+    const N: u64 = 2_000;
+    let aa = AdvanceAwait::new();
+    for t in 0..N as i64 {
+        aa.advance(t);
+    }
+    let begin = clock.now();
+    for t in 0..N as i64 {
+        std::hint::black_box(aa.await_tag(t));
+    }
+    let end = clock.now();
+    (end - begin) / N
+}
+
+/// Measures the `advance` operation cost.
+pub fn measure_advance_op(clock: &TraceClock) -> Span {
+    const N: u64 = 2_000;
+    let aa = AdvanceAwait::new();
+    let begin = clock.now();
+    for t in 0..N as i64 {
+        aa.advance(t);
+    }
+    let end = clock.now();
+    (end - begin) / N
+}
+
+/// Calibrates a full [`OverheadSpec`] for the native backend with the
+/// given tracer padding.
+///
+/// `s_wait` (resume latency after a waited-on advance) cannot be measured
+/// without cross-thread timing games; it is approximated as the no-wait
+/// cost plus one clock read, which is the right order of magnitude for the
+/// spin-path wakeup of [`AdvanceAwait`].
+pub fn calibrate(clock: &TraceClock, padding: Span) -> OverheadSpec {
+    let record = measure_record_cost(clock, padding);
+    let s_nowait = measure_await_nowait(clock);
+    let advance_op = measure_advance_op(clock);
+    let s_wait = s_nowait + crate::clock::clock_read_cost(clock);
+    OverheadSpec {
+        statement_event: record,
+        marker_event: record,
+        advance_instr: record,
+        await_begin_instr: record,
+        await_end_instr: record,
+        barrier_instr: record,
+        s_nowait,
+        s_wait,
+        advance_op,
+        barrier_release: s_wait,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_cost_tracks_padding() {
+        let clock = TraceClock::start();
+        let bare = measure_record_cost(&clock, Span::ZERO);
+        let padded = measure_record_cost(&clock, Span::from_micros(2));
+        assert!(padded > bare);
+        assert!(padded >= Span::from_micros(2));
+        assert!(padded < Span::from_micros(50), "padded cost unreasonable: {padded}");
+    }
+
+    #[test]
+    fn sync_costs_are_sub_microsecond_scale() {
+        let clock = TraceClock::start();
+        let nowait = measure_await_nowait(&clock);
+        let adv = measure_advance_op(&clock);
+        assert!(nowait < Span::from_micros(20), "await nowait: {nowait}");
+        assert!(adv < Span::from_micros(20), "advance: {adv}");
+    }
+
+    #[test]
+    fn calibrate_produces_consistent_spec() {
+        let clock = TraceClock::start();
+        let spec = calibrate(&clock, Span::from_micros(1));
+        assert!(spec.statement_event >= Span::from_micros(1));
+        assert_eq!(spec.statement_event, spec.advance_instr);
+        assert!(spec.s_wait >= spec.s_nowait);
+    }
+}

@@ -1,0 +1,87 @@
+//! The trace clock: monotonic nanoseconds from a shared origin.
+
+use ppa_trace::{Span, Time};
+use std::time::Instant;
+
+/// A shareable monotonic clock; all threads of one execution stamp events
+/// against the same origin.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceClock {
+    origin: Instant,
+}
+
+impl TraceClock {
+    /// Starts a clock at "now".
+    pub fn start() -> Self {
+        TraceClock { origin: Instant::now() }
+    }
+
+    /// Nanoseconds since the origin.
+    #[inline]
+    pub fn now(&self) -> Time {
+        Time::from_nanos(self.origin.elapsed().as_nanos() as u64)
+    }
+
+    /// Busy-waits until `deadline`, returning the time actually reached.
+    /// Used to give synthetic statements a controlled duration.
+    #[inline]
+    pub fn spin_until(&self, deadline: Time) -> Time {
+        loop {
+            let t = self.now();
+            if t >= deadline {
+                return t;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    /// Busy-waits for `span` from now.
+    #[inline]
+    pub fn spin_for(&self, span: Span) -> Time {
+        self.spin_until(self.now() + span)
+    }
+}
+
+/// Measures the cost of one clock read (averaged over many).
+pub fn clock_read_cost(clock: &TraceClock) -> Span {
+    const N: u32 = 10_000;
+    let begin = clock.now();
+    for _ in 0..N {
+        std::hint::black_box(clock.now());
+    }
+    let end = clock.now();
+    (end - begin) / N as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = TraceClock::start();
+        let mut prev = c.now();
+        for _ in 0..1_000 {
+            let t = c.now();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn spin_for_reaches_the_deadline() {
+        let c = TraceClock::start();
+        let begin = c.now();
+        let reached = c.spin_for(Span::from_micros(50));
+        assert!(reached - begin >= Span::from_micros(50));
+        // And not wildly more (loose: scheduling noise).
+        assert!(reached - begin < Span::from_millis(50));
+    }
+
+    #[test]
+    fn read_cost_is_small() {
+        let c = TraceClock::start();
+        let cost = clock_read_cost(&c);
+        assert!(cost < Span::from_micros(5), "clock read too slow: {cost}");
+    }
+}

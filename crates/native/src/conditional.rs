@@ -1,0 +1,163 @@
+//! Livermore loop 17 as a *real* DOACROSS computation.
+//!
+//! Loop 17's recurrence carries two state variables (`xnm`, `e6`) across
+//! iterations — the "large critical section" of the paper's case study.
+//! Here the sweep is distributed over threads with the critical section
+//! ordered by an advance/await chain; because the state updates happen in
+//! exactly the sequential order, the parallel result is bit-identical to
+//! the sequential kernel, which the tests assert.
+//!
+//! The independent phase (the gather of `vlr[i]`, `vlin[i]`, `z[i]` and
+//! the branch-condition evaluation that depends only on them) runs
+//! outside the critical section, mirroring Figure 3's structure.
+
+use ppa_sync::{AdvanceAwait, SenseBarrier, SpinLock};
+use std::sync::Arc;
+
+/// The carried state of the loop-17 recurrence.
+#[derive(Debug, Clone, Copy)]
+struct State {
+    xnm: f64,
+    e6: f64,
+}
+
+/// Sequential reference with externally supplied arrays; returns
+/// `(vxne, vxnd)` checksums exactly as `ppa_lfk::kernels::k17` computes
+/// them (the kernel's data layout, reproduced here so the parallel
+/// version can share inputs).
+pub fn k17_sequential(vlr: &[f64], vlin: &[f64], z: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = vlr.len();
+    let scale = 5.0 / 3.0;
+    let mut state = State { xnm: 1.0 / 3.0, e6: 1.03 / 3.07 };
+    let mut vxne = vec![0.0; n];
+    let mut vxnd = vec![0.0; n];
+    for i in (0..n).rev() {
+        let e3 = state.xnm * vlr[i] + state.e6;
+        let e2 = vlin[i] * e3;
+        let vx = if z[i] > 0.5 { e3 - e2 / scale } else { e2 + z[i] * e3 };
+        vxne[i] = vx.abs();
+        vxnd[i] = e3 + e2;
+        state.xnm = 0.9 * vx.abs().min(1.0) + 0.1 * state.xnm;
+        state.e6 = 0.5 * (state.e6 + e3.min(1.0));
+    }
+    (vxne, vxnd)
+}
+
+/// The same sweep on `threads` threads as a distance-1 DOACROSS over the
+/// backward iteration order (tag `t` = position in sweep order).
+///
+/// # Panics
+/// Panics if `threads` is zero or the slices have different lengths.
+pub fn doacross_k17(
+    vlr: &[f64],
+    vlin: &[f64],
+    z: &[f64],
+    threads: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(threads > 0, "need at least one thread");
+    assert!(
+        vlr.len() == vlin.len() && vlin.len() == z.len(),
+        "operand lengths differ"
+    );
+    let n = vlr.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+
+    let scale = 5.0 / 3.0;
+    let sync = Arc::new(AdvanceAwait::new());
+    let barrier = Arc::new(SenseBarrier::new(threads));
+    let state = Arc::new(SpinLock::new(State { xnm: 1.0 / 3.0, e6: 1.03 / 3.07 }));
+    let vxne = Arc::new(SpinLock::new(vec![0.0; n]));
+    let vxnd = Arc::new(SpinLock::new(vec![0.0; n]));
+
+    std::thread::scope(|scope| {
+        for p in 0..threads {
+            let sync = Arc::clone(&sync);
+            let barrier = Arc::clone(&barrier);
+            let state = Arc::clone(&state);
+            let vxne = Arc::clone(&vxne);
+            let vxnd = Arc::clone(&vxnd);
+            scope.spawn(move || {
+                let mut t = p; // sweep position: i = n - 1 - t
+                while t < n {
+                    let i = n - 1 - t;
+                    // Independent phase: operands and branch direction.
+                    let (vl, vi, zi) = (vlr[i], vlin[i], z[i]);
+                    let take_then = zi > 0.5;
+
+                    sync.await_tag(t as i64 - 1);
+                    // Critical section: the carried recurrence.
+                    {
+                        let mut st = state.lock();
+                        let e3 = st.xnm * vl + st.e6;
+                        let e2 = vi * e3;
+                        let vx = if take_then { e3 - e2 / scale } else { e2 + zi * e3 };
+                        vxne.lock()[i] = vx.abs();
+                        vxnd.lock()[i] = e3 + e2;
+                        st.xnm = 0.9 * vx.abs().min(1.0) + 0.1 * st.xnm;
+                        st.e6 = 0.5 * (st.e6 + e3.min(1.0));
+                    }
+                    sync.advance(t as i64);
+                    t += threads;
+                }
+                barrier.wait();
+            });
+        }
+    });
+
+    let a = vxne.lock().clone();
+    let b = vxnd.lock().clone();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_lfk::data::fill;
+
+    #[test]
+    fn sequential_form_matches_the_kernel() {
+        let n = 128;
+        let vlr = fill(n, 1701, 1.0);
+        let vlin = fill(n, 1702, 1.0);
+        let z = fill(n, 1703, 1.0);
+        let (vxne, vxnd) = k17_sequential(&vlr, &vlin, &z);
+        let expected = ppa_lfk::kernels::k17(n);
+        let ours = ppa_lfk::data::checksum(vxne) + ppa_lfk::data::checksum(vxnd);
+        assert_eq!(ours.to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn parallel_recurrence_is_bit_identical() {
+        let _guard = crate::TEST_SERIAL.lock().unwrap();
+        let n = 512;
+        let vlr = fill(n, 1701, 1.0);
+        let vlin = fill(n, 1702, 1.0);
+        let z = fill(n, 1703, 1.0);
+        let (se, sd) = k17_sequential(&vlr, &vlin, &z);
+        for threads in [1, 2, 4] {
+            let (pe, pd) = doacross_k17(&vlr, &vlin, &z, threads);
+            assert!(
+                se.iter().zip(&pe).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "vxne mismatch at {threads} threads"
+            );
+            assert!(
+                sd.iter().zip(&pd).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "vxnd mismatch at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (a, b) = doacross_k17(&[], &[], &[], 2);
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        doacross_k17(&[1.0], &[1.0, 2.0], &[1.0], 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Livermore loop 3 as a *real* DOACROSS computation.
+//!
+//! The accumulation `q += z[k] * x[k]` is ordered across threads by an
+//! advance/await chain exactly as the Alliant compiler ordered it; because
+//! the floating-point additions happen in the same order as the
+//! sequential loop, the parallel result is **bit-identical** to the
+//! sequential one — which the tests assert. This is the workload the
+//! native pipeline demo measures.
+
+use ppa_sync::{AdvanceAwait, SenseBarrier, SpinLock};
+use std::sync::Arc;
+
+/// Computes the inner product of `z` and `x` on `threads` threads as a
+/// distance-1 DOACROSS with a critical-section accumulation.
+///
+/// # Panics
+/// Panics if `threads` is zero or the slices have different lengths.
+pub fn doacross_inner_product(z: &[f64], x: &[f64], threads: usize) -> f64 {
+    assert!(threads > 0, "need at least one thread");
+    assert_eq!(z.len(), x.len(), "operand lengths differ");
+    let n = z.len();
+    if n == 0 {
+        return 0.0;
+    }
+
+    let sync = Arc::new(AdvanceAwait::new());
+    let barrier = Arc::new(SenseBarrier::new(threads));
+    let q = Arc::new(SpinLock::new(0.0f64));
+
+    std::thread::scope(|scope| {
+        for p in 0..threads {
+            let sync = Arc::clone(&sync);
+            let barrier = Arc::clone(&barrier);
+            let q = Arc::clone(&q);
+            scope.spawn(move || {
+                let mut i = p;
+                while i < n {
+                    let term = z[i] * x[i]; // independent phase
+                    sync.await_tag(i as i64 - 1); // wait for iteration i-1
+                    *q.lock() += term; // ordered critical section
+                    sync.advance(i as i64);
+                    i += threads;
+                }
+                barrier.wait();
+            });
+        }
+    });
+
+    let result = *q.lock();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_lfk::data::fill;
+    use ppa_lfk::kernels::k03_with;
+
+    #[test]
+    fn parallel_equals_sequential_bit_for_bit() {
+        let _guard = crate::TEST_SERIAL.lock().unwrap();
+        let n = 2_000;
+        let z = fill(n, 301, 1.0);
+        let x = fill(n, 302, 1.0);
+        let sequential = k03_with(&z, &x);
+        for threads in [1, 2, 4, 8] {
+            let parallel = doacross_inner_product(&z, &x, threads);
+            assert_eq!(
+                parallel.to_bits(),
+                sequential.to_bits(),
+                "threads={threads}: {parallel} != {sequential}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(doacross_inner_product(&[], &[], 4), 0.0);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(doacross_inner_product(&[3.0], &[2.0], 3), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        doacross_inner_product(&[1.0], &[1.0, 2.0], 2);
+    }
+}

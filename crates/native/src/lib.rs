@@ -1,0 +1,42 @@
+//! # ppa-native — real-thread traced execution
+//!
+//! The nondeterministic counterpart to `ppa-sim`: the same statement-graph
+//! programs executed on OS threads with `ppa-sync`'s advance/await,
+//! software tracing against a shared monotonic clock, and *calibrated*
+//! (measured, not configured) instrumentation overheads — the regime the
+//! paper's authors actually worked in, where "actual" time is itself a
+//! measurement.
+//!
+//! - [`TraceClock`] / [`ThreadTracer`] — per-thread event capture;
+//! - [`calibrate`] — in-vitro measurement of recording and
+//!   synchronization costs (§2's "measures of trace instrumentation
+//!   costs");
+//! - [`execute_program`] — run any `ppa-program` workload on threads;
+//! - [`doacross_inner_product`] — Livermore loop 3 as a *real* ordered
+//!   DOACROSS reduction, bit-identical to the sequential kernel;
+//! - [`native_pipeline_demo`] — the end-to-end measure→analyze→compare
+//!   demonstration.
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod clock;
+mod conditional;
+mod executor;
+mod inner_product;
+mod pipeline;
+mod tracer;
+
+pub use calibrate::{calibrate, measure_advance_op, measure_await_nowait, measure_record_cost};
+pub use clock::{clock_read_cost, TraceClock};
+pub use conditional::{doacross_k17, k17_sequential};
+pub use executor::{execute_program, NativeConfig, NativeError, NativeRun};
+pub use inner_product::doacross_inner_product;
+pub use pipeline::native_pipeline_demo;
+pub use tracer::{merge_tracers, ThreadTracer};
+
+/// Timing-sensitive tests spawn many spinning threads; running them
+/// concurrently oversubscribes the host and makes wall-clock assertions
+/// flaky, so they serialize on this lock.
+#[cfg(test)]
+pub(crate) static TEST_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());

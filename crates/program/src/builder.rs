@@ -1,0 +1,231 @@
+//! Fluent program construction.
+//!
+//! Ids (statements, loops, barriers, sync variables) are assigned
+//! automatically in encounter order; the builder validates the finished
+//! program.
+
+use crate::loops::{Loop, LoopKind};
+use crate::program::{Program, Segment};
+use crate::statement::Statement;
+use crate::validate::{validate, ProgramError};
+use ppa_trace::{BarrierId, LoopId, StatementId, SyncVarId};
+
+/// Builds a [`Program`] segment by segment.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    segments: Vec<Segment>,
+    next_stmt: u32,
+    next_loop: u32,
+    next_barrier: u32,
+    next_var: u32,
+}
+
+/// Builds one loop body inside [`ProgramBuilder::doacross`] and friends.
+#[derive(Debug)]
+pub struct BodyBuilder<'a> {
+    owner: &'a mut ProgramBuilder,
+    body: Vec<Statement>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            segments: Vec::new(),
+            next_stmt: 0,
+            next_loop: 0,
+            next_barrier: 0,
+            next_var: 0,
+        }
+    }
+
+    fn fresh_stmt(&mut self) -> StatementId {
+        let id = StatementId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    /// Allocates a fresh synchronization variable for use inside loop
+    /// bodies built later.
+    pub fn sync_var(&mut self) -> SyncVarId {
+        let id = SyncVarId(self.next_var);
+        self.next_var += 1;
+        id
+    }
+
+    /// Adds a serial segment of compute statements given as
+    /// `(label, cost)` pairs.
+    pub fn serial<L: Into<String>>(mut self, stmts: impl IntoIterator<Item = (L, u64)>) -> Self {
+        let stmts = stmts
+            .into_iter()
+            .map(|(label, cost)| {
+                let id = self.fresh_stmt();
+                Statement::compute(id, label, cost)
+            })
+            .collect();
+        self.segments.push(Segment::Serial(stmts));
+        self
+    }
+
+    fn push_loop(
+        mut self,
+        kind: LoopKind,
+        trip_count: u64,
+        f: impl FnOnce(BodyBuilder<'_>) -> BodyBuilder<'_>,
+    ) -> Self {
+        let body = {
+            let bb = BodyBuilder { owner: &mut self, body: Vec::new() };
+            f(bb).body
+        };
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        let barrier = BarrierId(self.next_barrier);
+        self.next_barrier += 1;
+        self.segments.push(Segment::Loop(Loop { id, kind, trip_count, body, barrier }));
+        self
+    }
+
+    /// Adds a sequential loop.
+    pub fn sequential_loop(
+        self,
+        trip_count: u64,
+        f: impl FnOnce(BodyBuilder<'_>) -> BodyBuilder<'_>,
+    ) -> Self {
+        self.push_loop(LoopKind::Sequential, trip_count, f)
+    }
+
+    /// Adds a vector loop with the given speedup (per mille).
+    pub fn vector_loop(
+        self,
+        trip_count: u64,
+        speedup_permille: u32,
+        f: impl FnOnce(BodyBuilder<'_>) -> BodyBuilder<'_>,
+    ) -> Self {
+        self.push_loop(LoopKind::Vector { speedup_permille }, trip_count, f)
+    }
+
+    /// Adds a DOALL loop.
+    pub fn doall(
+        self,
+        trip_count: u64,
+        f: impl FnOnce(BodyBuilder<'_>) -> BodyBuilder<'_>,
+    ) -> Self {
+        self.push_loop(LoopKind::Doall, trip_count, f)
+    }
+
+    /// Adds a DOACROSS loop with dependence distance `distance`.
+    pub fn doacross(
+        self,
+        distance: u64,
+        trip_count: u64,
+        f: impl FnOnce(BodyBuilder<'_>) -> BodyBuilder<'_>,
+    ) -> Self {
+        self.push_loop(LoopKind::Doacross { distance }, trip_count, f)
+    }
+
+    /// Finishes and validates the program.
+    pub fn build(self) -> Result<Program, ProgramError> {
+        let program = Program { name: self.name, segments: self.segments };
+        validate(&program)?;
+        Ok(program)
+    }
+}
+
+impl BodyBuilder<'_> {
+    /// Appends a compute statement.
+    pub fn compute(mut self, label: impl Into<String>, cost: u64) -> Self {
+        let id = self.owner.fresh_stmt();
+        self.body.push(Statement::compute(id, label, cost));
+        self
+    }
+
+    /// Appends a compute statement invisible to source-level statement
+    /// instrumentation (e.g. an update fused with compiler-inserted
+    /// synchronization at the assembly level).
+    pub fn compute_unobservable(mut self, label: impl Into<String>, cost: u64) -> Self {
+        let id = self.owner.fresh_stmt();
+        self.body.push(Statement::compute_unobservable(id, label, cost));
+        self
+    }
+
+    /// Appends an `await(var, i + offset)` statement (`offset < 0`).
+    pub fn await_var(mut self, var: SyncVarId, offset: i64) -> Self {
+        let id = self.owner.fresh_stmt();
+        self.body.push(Statement::await_on(id, format!("await({var},{offset})"), var, offset));
+        self
+    }
+
+    /// Appends an `advance(var, i)` statement.
+    pub fn advance(mut self, var: SyncVarId) -> Self {
+        let id = self.owner.fresh_stmt();
+        self.body.push(Statement::advance(id, format!("advance({var})"), var));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::StatementKind;
+
+    #[test]
+    fn builds_the_canonical_doacross_shape() {
+        let mut b = ProgramBuilder::new("canon");
+        let v = b.sync_var();
+        let p = b
+            .serial([("init", 100u64)])
+            .doacross(1, 8, |body| {
+                body.compute("head", 50)
+                    .await_var(v, -1)
+                    .compute("cs", 20)
+                    .advance(v)
+                    .compute("tail", 30)
+            })
+            .serial([("fini", 40u64)])
+            .build()
+            .unwrap();
+
+        assert_eq!(p.segments.len(), 3);
+        assert_eq!(p.loops().count(), 1);
+        let l = p.loops().next().unwrap();
+        assert_eq!(l.kind, LoopKind::Doacross { distance: 1 });
+        assert_eq!(l.trip_count, 8);
+        assert_eq!(l.body.len(), 5);
+        // Ids are dense and unique.
+        let ids: Vec<u32> = p.statements().map(|s| s.id.0).collect();
+        assert_eq!(ids, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_validates() {
+        let mut b = ProgramBuilder::new("bad");
+        let v = b.sync_var();
+        // An await on a variable that is never advanced.
+        let err = b.doacross(1, 4, |body| body.await_var(v, -1)).build().unwrap_err();
+        assert!(matches!(err, ProgramError::AwaitWithoutAdvance { .. }));
+    }
+
+    #[test]
+    fn sync_vars_are_distinct() {
+        let mut b = ProgramBuilder::new("vars");
+        let v1 = b.sync_var();
+        let v2 = b.sync_var();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn body_builder_labels_sync_statements() {
+        let mut b = ProgramBuilder::new("labels");
+        let v = b.sync_var();
+        let p = b
+            .doacross(2, 4, |body| body.await_var(v, -2).compute("x", 1).advance(v))
+            .build()
+            .unwrap();
+        let l = p.loops().next().unwrap();
+        assert!(matches!(l.body[0].kind, StatementKind::Await { offset: -2, .. }));
+        assert!(l.body[0].label.starts_with("await("));
+        assert!(l.body[2].label.starts_with("advance("));
+    }
+}

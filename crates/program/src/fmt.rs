@@ -1,0 +1,113 @@
+//! Program pretty-printing: Figure-3-style structure dumps.
+//!
+//! Renders a program's statement graph the way the paper's Figure 3 draws
+//! the Livermore loops: numbered statements, loop headers with their
+//! classification and dependence distance, synchronization operations
+//! called out, and unobservable (fused) statements marked.
+
+use crate::loops::LoopKind;
+use crate::program::{Program, Segment};
+use crate::statement::{Statement, StatementKind};
+use std::fmt::Write;
+
+fn statement_line(out: &mut String, s: &Statement, indent: &str) {
+    let desc = match s.kind {
+        StatementKind::Compute { cost } => {
+            format!("{}  [{} ns{}]", s.label, cost, if s.observable { "" } else { ", fused" })
+        }
+        StatementKind::Advance { var } => format!("advance({var}, i)"),
+        StatementKind::Await { var, offset } => format!("await({var}, i{offset})"),
+    };
+    let marker = match s.kind {
+        StatementKind::Advance { .. } | StatementKind::Await { .. } => "◆",
+        StatementKind::Compute { .. } if !s.observable => "░",
+        _ => "•",
+    };
+    let _ = writeln!(out, "{indent}{marker} {}  {desc}", s.id);
+}
+
+/// Renders the program structure as indented text.
+pub fn format_program(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {:?}", program.name);
+    for seg in &program.segments {
+        match seg {
+            Segment::Serial(stmts) => {
+                let _ = writeln!(out, "  serial:");
+                for s in stmts {
+                    statement_line(&mut out, s, "    ");
+                }
+            }
+            Segment::Loop(l) => {
+                let kind = match l.kind {
+                    LoopKind::Sequential => "do (sequential)".to_string(),
+                    LoopKind::Vector { speedup_permille } => {
+                        format!("do (vector, {:.1}x)", speedup_permille as f64 / 1000.0)
+                    }
+                    LoopKind::Doall => "doall".to_string(),
+                    LoopKind::Doacross { distance } => {
+                        format!("doacross (distance {distance})")
+                    }
+                };
+                let _ = writeln!(out, "  {} {} for i in 0..{}:", l.id, kind, l.trip_count);
+                for s in &l.body {
+                    statement_line(&mut out, s, "    ");
+                }
+                if l.kind.is_concurrent() {
+                    let _ = writeln!(out, "    ▬ barrier {}", l.barrier);
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  ({} dynamic statements, serial cost {} units)",
+        program.dynamic_statement_count(),
+        program.serial_cost()
+    );
+    out.push_str("  legend: • statement  ░ fused (unobservable)  ◆ synchronization  ▬ barrier\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn renders_the_figure3_shape() {
+        let mut b = ProgramBuilder::new("lfk03-like");
+        let v = b.sync_var();
+        let p = b
+            .serial([("q = 0", 100u64)])
+            .doacross(1, 8, |body| {
+                body.compute("t = z[k]*x[k]", 650)
+                    .await_var(v, -1)
+                    .compute_unobservable("q = q + t", 566)
+                    .advance(v)
+            })
+            .build()
+            .unwrap();
+        let s = format_program(&p);
+        assert!(s.contains("program \"lfk03-like\""));
+        assert!(s.contains("serial:"));
+        assert!(s.contains("doacross (distance 1)"));
+        assert!(s.contains("await(A0, i-1)"));
+        assert!(s.contains("advance(A0, i)"));
+        assert!(s.contains("fused"));
+        assert!(s.contains("barrier B0"));
+        assert!(s.contains("legend"));
+    }
+
+    #[test]
+    fn renders_vector_and_doall() {
+        let p = ProgramBuilder::new("mixed")
+            .vector_loop(4, 4000, |b| b.compute("x", 10))
+            .doall(4, |b| b.compute("y", 10))
+            .build()
+            .unwrap();
+        let s = format_program(&p);
+        assert!(s.contains("vector, 4.0x"));
+        assert!(s.contains("doall"));
+    }
+}

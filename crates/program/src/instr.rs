@@ -1,0 +1,149 @@
+//! Instrumentation plans.
+//!
+//! An instrumentation of `P = S1..Sn` chooses which points `Ij` are
+//! non-null (§2). The plan distinguishes the classes of events the paper's
+//! two experiments used: Table 1's runs traced every statement but did
+//! *not* treat synchronization operations specially; Table 2's runs added
+//! advance/awaitB/awaitE instrumentation (the sync operations were
+//! compiler-inserted and had to be instrumented at the assembly level,
+//! §5.1 fn. 5).
+
+use ppa_trace::StatementId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which event classes an instrumented run records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrumentationPlan {
+    /// Record statement events. If `selected` is `Some`, only those
+    /// statements; otherwise every compute statement.
+    pub statements: bool,
+    /// Restrict statement tracing to this set.
+    pub selected: Option<BTreeSet<StatementId>>,
+    /// Record `advance` / `awaitB` / `awaitE` synchronization events.
+    pub sync_ops: bool,
+    /// Record program-boundary and loop begin/end markers.
+    pub markers: bool,
+    /// Record per-iteration begin/end markers. Off in the paper-style
+    /// plans: a marker pair per iteration would dominate the per-statement
+    /// overhead the experiments calibrate, and the analyses identify
+    /// iterations through the synchronization tags instead (paper §5.1
+    /// fn. 6).
+    pub iteration_markers: bool,
+    /// Record barrier enter/exit events.
+    pub barriers: bool,
+}
+
+impl InstrumentationPlan {
+    /// No instrumentation at all: the run produces the *actual* trace (the
+    /// simulator still emits events so the ground truth is observable, but
+    /// charges no overhead for them).
+    pub fn none() -> Self {
+        InstrumentationPlan {
+            statements: false,
+            selected: None,
+            sync_ops: false,
+            markers: false,
+            iteration_markers: false,
+            barriers: false,
+        }
+    }
+
+    /// Full statement-level instrumentation *without* special treatment of
+    /// synchronization operations — the Table 1 configuration.
+    pub fn full_statements() -> Self {
+        InstrumentationPlan {
+            statements: true,
+            selected: None,
+            sync_ops: false,
+            markers: true,
+            iteration_markers: false,
+            barriers: false,
+        }
+    }
+
+    /// Full statement-level instrumentation *plus* synchronization-event
+    /// instrumentation — the Table 2 configuration ("it was necessary to
+    /// instrument loops 3, 4, and 17 more heavily in order to capture
+    /// synchronization execution", §5.2).
+    pub fn full_with_sync() -> Self {
+        InstrumentationPlan {
+            statements: true,
+            selected: None,
+            sync_ops: true,
+            markers: true,
+            iteration_markers: false,
+            barriers: true,
+        }
+    }
+
+    /// Statement tracing restricted to a chosen set (partial
+    /// instrumentation), with sync events on.
+    pub fn selective(stmts: impl IntoIterator<Item = StatementId>) -> Self {
+        InstrumentationPlan {
+            statements: true,
+            selected: Some(stmts.into_iter().collect()),
+            sync_ops: true,
+            markers: true,
+            iteration_markers: false,
+            barriers: true,
+        }
+    }
+
+    /// True if the given statement's execution should emit a statement
+    /// event.
+    pub fn traces_statement(&self, id: StatementId) -> bool {
+        self.statements
+            && self
+                .selected
+                .as_ref()
+                .map(|set| set.contains(&id))
+                .unwrap_or(true)
+    }
+
+    /// True if the plan records anything at all.
+    pub fn is_active(&self) -> bool {
+        self.statements
+            || self.sync_ops
+            || self.markers
+            || self.iteration_markers
+            || self.barriers
+    }
+}
+
+impl Default for InstrumentationPlan {
+    fn default() -> Self {
+        InstrumentationPlan::full_with_sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(!InstrumentationPlan::none().is_active());
+        let full = InstrumentationPlan::full_statements();
+        assert!(full.is_active());
+        assert!(full.traces_statement(StatementId(9)));
+        assert!(!full.sync_ops);
+        let sync = InstrumentationPlan::full_with_sync();
+        assert!(sync.sync_ops && sync.barriers);
+    }
+
+    #[test]
+    fn selective_plan_filters() {
+        let plan = InstrumentationPlan::selective([StatementId(1), StatementId(3)]);
+        assert!(plan.traces_statement(StatementId(1)));
+        assert!(!plan.traces_statement(StatementId(2)));
+        assert!(plan.sync_ops);
+    }
+
+    #[test]
+    fn statements_flag_gates_selection() {
+        let mut plan = InstrumentationPlan::selective([StatementId(1)]);
+        plan.statements = false;
+        assert!(!plan.traces_statement(StatementId(1)));
+    }
+}

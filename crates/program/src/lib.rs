@@ -1,0 +1,109 @@
+//! # ppa-program — the statement-graph program model
+//!
+//! Programs in this reproduction are explicit statement sequences, the
+//! paper's `P = S1..Sn` (§2): each statement has an abstract cycle cost,
+//! loops are classified Sequential / Vector / DOALL / DOACROSS (the Alliant
+//! FX/Fortran classification), and DOACROSS bodies contain explicit
+//! `advance`/`await` statements with constant-distance tags — the
+//! structures Figure 3 of the paper shows for Livermore loops 3, 4, and 17.
+//!
+//! The same [`Program`] value drives both execution backends: the
+//! deterministic discrete-event simulator (`ppa-sim`) and the real-thread
+//! executor (`ppa-native`). [`InstrumentationPlan`] selects which event
+//! classes a run records, mirroring the paper's two experimental
+//! configurations (statement-only vs. statement+synchronization
+//! instrumentation).
+
+#![warn(missing_docs)]
+
+mod builder;
+mod fmt;
+mod instr;
+mod loops;
+mod program;
+mod statement;
+pub mod synth;
+mod validate;
+
+pub use builder::{BodyBuilder, ProgramBuilder};
+pub use fmt::format_program;
+pub use instr::InstrumentationPlan;
+pub use loops::{Loop, LoopKind};
+pub use program::{Program, Segment};
+pub use statement::{Statement, StatementKind};
+pub use validate::{validate, ProgramError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a random but structurally valid DOACROSS program.
+    fn arb_program() -> impl Strategy<Value = Program> {
+        (
+            1u64..4,   // distance
+            1u64..32,  // trip count
+            1u64..200, // head cost
+            0u64..100, // cs cost
+            0u64..200, // tail cost
+            0usize..4, // serial statements before
+        )
+            .prop_map(|(d, n, head, cs, tail, serial_n)| {
+                let mut b = ProgramBuilder::new("arb");
+                let v = b.sync_var();
+                let mut b = b.serial((0..serial_n).map(|i| (format!("s{i}"), 10u64)));
+                b = b.doacross(d, n, |body| {
+                    body.compute("head", head)
+                        .await_var(v, -(d as i64))
+                        .compute("cs", cs)
+                        .advance(v)
+                        .compute("tail", tail)
+                });
+                b.build().expect("builder output is valid by construction")
+            })
+    }
+
+    proptest! {
+        /// Builder output always validates.
+        #[test]
+        fn builder_output_validates(p in arb_program()) {
+            prop_assert!(validate(&p).is_ok());
+        }
+
+        /// Cost accounting is consistent: serial cost equals the sum over
+        /// dynamic statement executions.
+        #[test]
+        fn serial_cost_matches_manual_sum(p in arb_program()) {
+            let mut manual = 0u64;
+            for seg in &p.segments {
+                match seg {
+                    Segment::Serial(stmts) => {
+                        manual += stmts.iter().map(Statement::cost).sum::<u64>();
+                    }
+                    Segment::Loop(l) => {
+                        manual += l.trip_count * l.body.iter().map(Statement::cost).sum::<u64>();
+                    }
+                }
+            }
+            prop_assert_eq!(p.serial_cost(), manual);
+        }
+
+        /// The pre-await + critical-section costs never exceed the full
+        /// iteration cost.
+        #[test]
+        fn cost_partition_sums(p in arb_program()) {
+            for l in p.loops() {
+                let partitioned = l.pre_await_cost() + l.critical_cost();
+                prop_assert!(partitioned <= l.iteration_cost());
+            }
+        }
+
+        /// Serde round-trip over the whole program structure.
+        #[test]
+        fn program_serde_round_trip(p in arb_program()) {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: Program = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(p, back);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Whole-program structure.
+//!
+//! The experiment workloads have the shape the paper's Figure 4 displays:
+//! a serial prologue, one (or more) parallel loop, and a serial epilogue.
+//! [`Program`] generalizes that to any sequence of serial segments and
+//! loops.
+
+use crate::loops::Loop;
+use crate::statement::Statement;
+use serde::{Deserialize, Serialize};
+
+/// One top-level program segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Segment {
+    /// Straight-line serial statements (run on processor 0).
+    Serial(Vec<Statement>),
+    /// A loop construct.
+    Loop(Loop),
+}
+
+/// A complete program: named, segmented, analyzable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (e.g. `"lfk03"`).
+    pub name: String,
+    /// Segments in execution order.
+    pub segments: Vec<Segment>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), segments: Vec::new() }
+    }
+
+    /// All statements, in segment order (loop bodies once each).
+    pub fn statements(&self) -> impl Iterator<Item = &Statement> + '_ {
+        self.segments.iter().flat_map(|seg| match seg {
+            Segment::Serial(stmts) => stmts.iter(),
+            Segment::Loop(l) => l.body.iter(),
+        })
+    }
+
+    /// The loops, in order.
+    pub fn loops(&self) -> impl Iterator<Item = &Loop> + '_ {
+        self.segments.iter().filter_map(|seg| match seg {
+            Segment::Loop(l) => Some(l),
+            Segment::Serial(_) => None,
+        })
+    }
+
+    /// Total statement *executions* in one run (loop bodies multiplied by
+    /// trip count) — the number of potential statement events.
+    pub fn dynamic_statement_count(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|seg| match seg {
+                Segment::Serial(stmts) => stmts.len() as u64,
+                Segment::Loop(l) => l.body.len() as u64 * l.trip_count,
+            })
+            .sum()
+    }
+
+    /// Total serial compute cost in cycles if run on one processor.
+    pub fn serial_cost(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|seg| match seg {
+                Segment::Serial(stmts) => stmts.iter().map(Statement::cost).sum::<u64>(),
+                Segment::Loop(l) => l.iteration_cost() * l.trip_count,
+            })
+            .sum()
+    }
+
+    /// True if any loop is concurrent.
+    pub fn has_concurrency(&self) -> bool {
+        self.loops().any(|l| l.kind.is_concurrent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::LoopKind;
+    use ppa_trace::{BarrierId, LoopId, StatementId};
+
+    fn two_segment_program() -> Program {
+        Program {
+            name: "p".into(),
+            segments: vec![
+                Segment::Serial(vec![Statement::compute(StatementId(0), "init", 10)]),
+                Segment::Loop(Loop {
+                    id: LoopId(0),
+                    kind: LoopKind::Doall,
+                    trip_count: 5,
+                    body: vec![
+                        Statement::compute(StatementId(1), "a", 20),
+                        Statement::compute(StatementId(2), "b", 30),
+                    ],
+                    barrier: BarrierId(0),
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn counting() {
+        let p = two_segment_program();
+        assert_eq!(p.statements().count(), 3);
+        assert_eq!(p.loops().count(), 1);
+        assert_eq!(p.dynamic_statement_count(), 1 + 2 * 5);
+        assert_eq!(p.serial_cost(), 10 + 50 * 5);
+        assert!(p.has_concurrency());
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new("empty");
+        assert_eq!(p.dynamic_statement_count(), 0);
+        assert_eq!(p.serial_cost(), 0);
+        assert!(!p.has_concurrency());
+    }
+}

@@ -1,0 +1,153 @@
+//! Statements — the unit of instrumentation.
+//!
+//! The paper's formal model (§2) treats a program as a statement sequence
+//! `S1..Sn` with instrumentation points between them; an event is the
+//! execution of a statement. Statements here carry an abstract *cost* in
+//! processor cycles plus, for synchronization statements, the advance/await
+//! operation they perform. Inside a loop of iteration `i`, sync statements
+//! name tag `i + offset` (so `await` with offset `-d` expresses a
+//! constant-distance-`d` DOACROSS dependence, Wolfe's notion referenced in
+//! §4.3).
+
+use ppa_trace::{StatementId, SyncVarId};
+use serde::{Deserialize, Serialize};
+
+/// What a statement does.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatementKind {
+    /// Pure computation taking `cost` processor cycles.
+    Compute {
+        /// Execution cost in cycles.
+        cost: u64,
+    },
+    /// `advance(var, i + offset)` where `i` is the enclosing loop
+    /// iteration. Offset must be zero — an iteration advances its own tag.
+    Advance {
+        /// The synchronization variable.
+        var: SyncVarId,
+    },
+    /// `await(var, i + offset)`; `offset` is negative (`-d` for a
+    /// distance-`d` dependence).
+    Await {
+        /// The synchronization variable.
+        var: SyncVarId,
+        /// Tag offset relative to the current iteration (negative).
+        offset: i64,
+    },
+}
+
+impl StatementKind {
+    /// True for advance/await statements.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, StatementKind::Advance { .. } | StatementKind::Await { .. })
+    }
+
+    /// The synchronization variable, if any.
+    pub fn sync_var(&self) -> Option<SyncVarId> {
+        match self {
+            StatementKind::Advance { var } | StatementKind::Await { var, .. } => Some(*var),
+            StatementKind::Compute { .. } => None,
+        }
+    }
+}
+
+/// One program statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Statement {
+    /// Unique id; events reference statements by it.
+    pub id: StatementId,
+    /// Human-readable label (source line, kernel name...).
+    pub label: String,
+    /// What the statement does.
+    pub kind: StatementKind,
+    /// Whether source-level statement instrumentation can observe this
+    /// statement. On the Alliant, the synchronized shared-variable update
+    /// of Livermore loops 3/4 is fused with compiler-inserted advance/await
+    /// at the assembly level (paper §5.1 fn. 5), so source-level tracing
+    /// adds no code inside that critical section — modeled by
+    /// `observable: false`. Unobservable statements never emit statement
+    /// events and are never charged statement-instrumentation overhead.
+    pub observable: bool,
+}
+
+impl Statement {
+    /// Creates a compute statement.
+    pub fn compute(id: StatementId, label: impl Into<String>, cost: u64) -> Self {
+        Statement {
+            id,
+            label: label.into(),
+            kind: StatementKind::Compute { cost },
+            observable: true,
+        }
+    }
+
+    /// Creates a compute statement invisible to source-level statement
+    /// instrumentation (see the `observable` field).
+    pub fn compute_unobservable(id: StatementId, label: impl Into<String>, cost: u64) -> Self {
+        Statement {
+            id,
+            label: label.into(),
+            kind: StatementKind::Compute { cost },
+            observable: false,
+        }
+    }
+
+    /// Creates an `advance` statement.
+    pub fn advance(id: StatementId, label: impl Into<String>, var: SyncVarId) -> Self {
+        Statement { id, label: label.into(), kind: StatementKind::Advance { var }, observable: true }
+    }
+
+    /// Creates an `await` statement with a (negative) iteration offset.
+    pub fn await_on(
+        id: StatementId,
+        label: impl Into<String>,
+        var: SyncVarId,
+        offset: i64,
+    ) -> Self {
+        Statement {
+            id,
+            label: label.into(),
+            kind: StatementKind::Await { var, offset },
+            observable: true,
+        }
+    }
+
+    /// The computation cost in cycles (zero for sync statements, whose cost
+    /// is modeled by the synchronization overheads instead).
+    pub fn cost(&self) -> u64 {
+        match self.kind {
+            StatementKind::Compute { cost } => cost,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let c = Statement::compute(StatementId(0), "x = y + z", 40);
+        assert_eq!(c.cost(), 40);
+        assert!(!c.kind.is_sync());
+        assert_eq!(c.kind.sync_var(), None);
+
+        let a = Statement::advance(StatementId(1), "advance", SyncVarId(2));
+        assert!(a.kind.is_sync());
+        assert_eq!(a.kind.sync_var(), Some(SyncVarId(2)));
+        assert_eq!(a.cost(), 0);
+
+        let u = Statement::compute_unobservable(StatementId(3), "fused update", 8);
+        assert!(!u.observable);
+        assert!(c.observable);
+
+        let w = Statement::await_on(StatementId(2), "await", SyncVarId(2), -1);
+        assert!(w.kind.is_sync());
+        assert_eq!(w.cost(), 0);
+        match w.kind {
+            StatementKind::Await { offset, .. } => assert_eq!(offset, -1),
+            _ => unreachable!(),
+        }
+    }
+}

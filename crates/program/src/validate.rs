@@ -1,0 +1,271 @@
+//! Program well-formedness checks.
+//!
+//! The simulator and the native executor both assume these invariants;
+//! validating up front turns malformed workloads into typed errors instead
+//! of deadlocks or nonsense traces.
+
+use crate::loops::{Loop, LoopKind};
+use crate::program::{Program, Segment};
+use crate::statement::StatementKind;
+use ppa_trace::{LoopId, StatementId, SyncVarId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Program validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are named after the id types they hold
+pub enum ProgramError {
+    /// Two statements share an id.
+    DuplicateStatementId(StatementId),
+    /// Two loops share an id.
+    DuplicateLoopId(LoopId),
+    /// A sync statement appears outside a DOACROSS loop.
+    SyncOutsideDoacross(StatementId),
+    /// An `await` has a non-negative offset (it would await itself or a
+    /// future iteration — guaranteed deadlock).
+    NonNegativeAwaitOffset { stmt: StatementId, offset: i64 },
+    /// A loop body advances the same variable twice in one iteration
+    /// (duplicate tags at run time).
+    DoubleAdvance { loop_id: LoopId, var: SyncVarId },
+    /// A variable is awaited in a loop that never advances it and no other
+    /// segment does either — every non-pre-advanced await would deadlock.
+    AwaitWithoutAdvance { loop_id: LoopId, var: SyncVarId },
+    /// An `await` follows the `advance` of the same variable in the body.
+    /// With self-referential tags this deadlocks once the pipeline drains:
+    /// iteration `i` would hold its advance hostage to a wait that only a
+    /// *later* statement of an *earlier* iteration satisfies.
+    AwaitAfterAdvance { loop_id: LoopId, var: SyncVarId },
+    /// A loop with zero iterations.
+    EmptyLoop(LoopId),
+    /// A DOACROSS loop with distance zero (iteration depends on itself).
+    ZeroDistance(LoopId),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::DuplicateStatementId(id) => write!(f, "duplicate statement id {id}"),
+            ProgramError::DuplicateLoopId(id) => write!(f, "duplicate loop id {id}"),
+            ProgramError::SyncOutsideDoacross(id) => {
+                write!(f, "sync statement {id} outside a DOACROSS loop")
+            }
+            ProgramError::NonNegativeAwaitOffset { stmt, offset } => {
+                write!(f, "await {stmt} has non-negative offset {offset}")
+            }
+            ProgramError::DoubleAdvance { loop_id, var } => {
+                write!(f, "{loop_id} advances {var} twice per iteration")
+            }
+            ProgramError::AwaitWithoutAdvance { loop_id, var } => {
+                write!(f, "{loop_id} awaits {var} which is never advanced")
+            }
+            ProgramError::AwaitAfterAdvance { loop_id, var } => {
+                write!(f, "{loop_id} awaits {var} after advancing it")
+            }
+            ProgramError::EmptyLoop(id) => write!(f, "{id} has zero iterations"),
+            ProgramError::ZeroDistance(id) => write!(f, "{id} is DOACROSS with distance 0"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Validates a program; returns it untouched on success.
+pub fn validate(program: &Program) -> Result<(), ProgramError> {
+    let mut stmt_ids = BTreeSet::new();
+    let mut loop_ids = BTreeSet::new();
+
+    for seg in &program.segments {
+        match seg {
+            Segment::Serial(stmts) => {
+                for s in stmts {
+                    if !stmt_ids.insert(s.id) {
+                        return Err(ProgramError::DuplicateStatementId(s.id));
+                    }
+                    if s.kind.is_sync() {
+                        return Err(ProgramError::SyncOutsideDoacross(s.id));
+                    }
+                }
+            }
+            Segment::Loop(l) => {
+                if !loop_ids.insert(l.id) {
+                    return Err(ProgramError::DuplicateLoopId(l.id));
+                }
+                for s in &l.body {
+                    if !stmt_ids.insert(s.id) {
+                        return Err(ProgramError::DuplicateStatementId(s.id));
+                    }
+                }
+                validate_loop(l)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_loop(l: &Loop) -> Result<(), ProgramError> {
+    if l.trip_count == 0 {
+        return Err(ProgramError::EmptyLoop(l.id));
+    }
+    if l.kind == (LoopKind::Doacross { distance: 0 }) {
+        return Err(ProgramError::ZeroDistance(l.id));
+    }
+
+    let is_doacross = matches!(l.kind, LoopKind::Doacross { .. });
+    let mut advanced: BTreeSet<SyncVarId> = BTreeSet::new();
+    let mut awaited: BTreeSet<SyncVarId> = BTreeSet::new();
+
+    for s in &l.body {
+        match s.kind {
+            StatementKind::Advance { var } => {
+                if !is_doacross {
+                    return Err(ProgramError::SyncOutsideDoacross(s.id));
+                }
+                if !advanced.insert(var) {
+                    return Err(ProgramError::DoubleAdvance { loop_id: l.id, var });
+                }
+            }
+            StatementKind::Await { var, offset } => {
+                if !is_doacross {
+                    return Err(ProgramError::SyncOutsideDoacross(s.id));
+                }
+                if offset >= 0 {
+                    return Err(ProgramError::NonNegativeAwaitOffset { stmt: s.id, offset });
+                }
+                if advanced.contains(&var) {
+                    return Err(ProgramError::AwaitAfterAdvance { loop_id: l.id, var });
+                }
+                awaited.insert(var);
+            }
+            StatementKind::Compute { .. } => {}
+        }
+    }
+
+    for var in awaited {
+        if !advanced.contains(&var) {
+            return Err(ProgramError::AwaitWithoutAdvance { loop_id: l.id, var });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::Statement;
+    use ppa_trace::BarrierId;
+
+    fn doacross(body: Vec<Statement>) -> Program {
+        Program {
+            name: "t".into(),
+            segments: vec![Segment::Loop(Loop {
+                id: LoopId(0),
+                kind: LoopKind::Doacross { distance: 1 },
+                trip_count: 4,
+                body,
+                barrier: BarrierId(0),
+            })],
+        }
+    }
+
+    #[test]
+    fn valid_doacross_passes() {
+        let p = doacross(vec![
+            Statement::compute(StatementId(0), "a", 10),
+            Statement::await_on(StatementId(1), "w", SyncVarId(0), -1),
+            Statement::compute(StatementId(2), "cs", 5),
+            Statement::advance(StatementId(3), "adv", SyncVarId(0)),
+        ]);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn duplicate_statement_id_rejected() {
+        let p = doacross(vec![
+            Statement::compute(StatementId(0), "a", 10),
+            Statement::compute(StatementId(0), "b", 10),
+        ]);
+        assert_eq!(validate(&p), Err(ProgramError::DuplicateStatementId(StatementId(0))));
+    }
+
+    #[test]
+    fn sync_in_serial_rejected() {
+        let p = Program {
+            name: "t".into(),
+            segments: vec![Segment::Serial(vec![Statement::advance(
+                StatementId(0),
+                "adv",
+                SyncVarId(0),
+            )])],
+        };
+        assert_eq!(validate(&p), Err(ProgramError::SyncOutsideDoacross(StatementId(0))));
+    }
+
+    #[test]
+    fn sync_in_doall_rejected() {
+        let mut p = doacross(vec![Statement::advance(StatementId(0), "adv", SyncVarId(0))]);
+        if let Segment::Loop(l) = &mut p.segments[0] {
+            l.kind = LoopKind::Doall;
+        }
+        assert_eq!(validate(&p), Err(ProgramError::SyncOutsideDoacross(StatementId(0))));
+    }
+
+    #[test]
+    fn non_negative_offset_rejected() {
+        let p = doacross(vec![
+            Statement::await_on(StatementId(0), "w", SyncVarId(0), 0),
+            Statement::advance(StatementId(1), "adv", SyncVarId(0)),
+        ]);
+        assert_eq!(
+            validate(&p),
+            Err(ProgramError::NonNegativeAwaitOffset { stmt: StatementId(0), offset: 0 })
+        );
+    }
+
+    #[test]
+    fn double_advance_rejected() {
+        let p = doacross(vec![
+            Statement::advance(StatementId(0), "a1", SyncVarId(0)),
+            Statement::advance(StatementId(1), "a2", SyncVarId(0)),
+        ]);
+        assert_eq!(
+            validate(&p),
+            Err(ProgramError::DoubleAdvance { loop_id: LoopId(0), var: SyncVarId(0) })
+        );
+    }
+
+    #[test]
+    fn await_without_advance_rejected() {
+        let p = doacross(vec![Statement::await_on(StatementId(0), "w", SyncVarId(7), -1)]);
+        assert_eq!(
+            validate(&p),
+            Err(ProgramError::AwaitWithoutAdvance { loop_id: LoopId(0), var: SyncVarId(7) })
+        );
+    }
+
+    #[test]
+    fn await_after_advance_rejected() {
+        let p = doacross(vec![
+            Statement::advance(StatementId(0), "adv", SyncVarId(0)),
+            Statement::await_on(StatementId(1), "w", SyncVarId(0), -1),
+        ]);
+        assert_eq!(
+            validate(&p),
+            Err(ProgramError::AwaitAfterAdvance { loop_id: LoopId(0), var: SyncVarId(0) })
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_distance_loops_rejected() {
+        let mut p = doacross(vec![Statement::compute(StatementId(0), "a", 1)]);
+        if let Segment::Loop(l) = &mut p.segments[0] {
+            l.trip_count = 0;
+        }
+        assert_eq!(validate(&p), Err(ProgramError::EmptyLoop(LoopId(0))));
+
+        let mut p = doacross(vec![Statement::compute(StatementId(0), "a", 1)]);
+        if let Segment::Loop(l) = &mut p.segments[0] {
+            l.kind = LoopKind::Doacross { distance: 0 };
+        }
+        assert_eq!(validate(&p), Err(ProgramError::ZeroDistance(LoopId(0))));
+    }
+}

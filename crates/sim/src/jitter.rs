@@ -1,0 +1,108 @@
+//! Deterministic, schedule-independent statement-cost jitter.
+//!
+//! Costs are perturbed by a pure function of `(seed, loop, iteration,
+//! statement)` so that the *same* statement execution costs the same
+//! regardless of instrumentation, processor assignment, or processing
+//! order — the jitter belongs to the workload, not to the measurement.
+//! The mixer is SplitMix64 (Steele et al.), whose avalanche behaviour is
+//! more than sufficient for cost perturbation.
+
+use crate::config::JitterConfig;
+use ppa_trace::{LoopId, StatementId};
+
+/// SplitMix64 finalizer: a single well-mixed 64-bit output per input.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws the jittered cost for one statement execution.
+///
+/// The scale factor is uniform over
+/// `[1 - amplitude, 1 + amplitude]` (amplitude in per mille), applied in
+/// integer arithmetic; the result is at least 1 cycle when the nominal
+/// cost is nonzero.
+pub fn jittered_cost(
+    config: Option<JitterConfig>,
+    loop_id: LoopId,
+    iter: u64,
+    stmt: StatementId,
+    nominal: u64,
+) -> u64 {
+    let Some(cfg) = config else { return nominal };
+    if nominal == 0 || cfg.amplitude_permille == 0 {
+        return nominal;
+    }
+    let key = splitmix64(
+        cfg.seed
+            ^ splitmix64((loop_id.0 as u64) << 32 | stmt.0 as u64)
+            ^ splitmix64(iter).rotate_left(17),
+    );
+    let amp = cfg.amplitude_permille as u64;
+    // Uniform offset in [0, 2*amp], shifted to [-amp, +amp] per mille.
+    let offset = key % (2 * amp + 1);
+    let permille = 1000 + offset as i64 - amp as i64;
+    let scaled = (nominal as i128 * permille as i128 / 1000) as u64;
+    scaled.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: JitterConfig = JitterConfig { seed: 7, amplitude_permille: 200 };
+
+    #[test]
+    fn no_config_is_identity() {
+        assert_eq!(jittered_cost(None, LoopId(0), 3, StatementId(1), 100), 100);
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let cfg = JitterConfig { seed: 7, amplitude_permille: 0 };
+        assert_eq!(jittered_cost(Some(cfg), LoopId(0), 3, StatementId(1), 100), 100);
+    }
+
+    #[test]
+    fn deterministic_per_key() {
+        let a = jittered_cost(Some(CFG), LoopId(1), 5, StatementId(2), 1_000);
+        let b = jittered_cost(Some(CFG), LoopId(1), 5, StatementId(2), 1_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounded_by_amplitude() {
+        for iter in 0..500 {
+            let c = jittered_cost(Some(CFG), LoopId(0), iter, StatementId(0), 1_000);
+            assert!((800..=1200).contains(&c), "cost {c} outside +/-20%");
+        }
+    }
+
+    #[test]
+    fn varies_across_iterations() {
+        let costs: std::collections::BTreeSet<u64> = (0..100)
+            .map(|i| jittered_cost(Some(CFG), LoopId(0), i, StatementId(0), 10_000))
+            .collect();
+        assert!(costs.len() > 20, "jitter should spread, got {} distinct values", costs.len());
+    }
+
+    #[test]
+    fn nonzero_nominal_never_drops_to_zero() {
+        for i in 0..200 {
+            assert!(jittered_cost(Some(CFG), LoopId(0), i, StatementId(0), 1) >= 1);
+        }
+    }
+
+    #[test]
+    fn roughly_centered() {
+        let n = 2_000u64;
+        let sum: u64 = (0..n)
+            .map(|i| jittered_cost(Some(CFG), LoopId(2), i, StatementId(3), 1_000))
+            .sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 20.0, "mean {mean} drifted from nominal");
+    }
+}

@@ -1,0 +1,298 @@
+//! The `advance`/`await` synchronization variable.
+//!
+//! This is the Alliant FX/80's concurrency-control primitive recreated in
+//! software, with the paper's generalized semantics (§4.2.1):
+//!
+//! ```text
+//! advance(A, i): mark in A that i was advanced
+//! await(A, i):   if (i has not been advanced in A) wait until it has
+//! ```
+//!
+//! Each tag is advanced at most once, so each `advance`/`await` pair acts
+//! as a unique binary semaphore. Negative tags are *pre-advanced* by
+//! convention (a DOACROSS iteration `i < d` has no predecessor iteration).
+//!
+//! The implementation keeps a *high-water mark* `hwm` — all tags `<= hwm`
+//! are advanced — plus a sparse set for out-of-order advances, which is
+//! drained into the mark as it becomes contiguous. DOACROSS loops advance
+//! nearly in order, so the sparse set stays tiny and the common `await`
+//! fast path is one atomic load. Waiters spin briefly, then park on a
+//! mutex/condvar pair.
+
+use core::sync::atomic::{AtomicI64, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeSet;
+
+/// How an `await` completed — the distinction the paper's `s_nowait` /
+/// `s_wait` overheads model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The tag was already advanced at entry.
+    AlreadyAdvanced,
+    /// The caller blocked (spun and/or parked) before the tag was advanced.
+    Waited,
+}
+
+impl WaitOutcome {
+    /// True if the await had to wait.
+    pub fn waited(self) -> bool {
+        matches!(self, WaitOutcome::Waited)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Sparse {
+    /// Advanced tags above the high-water mark.
+    tags: BTreeSet<i64>,
+}
+
+/// An advance/await synchronization variable (the paper's `A`).
+///
+/// # Examples
+///
+/// ```
+/// use ppa_sync::AdvanceAwait;
+/// use std::sync::Arc;
+///
+/// let a = Arc::new(AdvanceAwait::new());
+/// let waiter = {
+///     let a = Arc::clone(&a);
+///     std::thread::spawn(move || a.await_tag(0))
+/// };
+/// a.advance(0);
+/// waiter.join().unwrap();
+/// assert!(a.is_advanced(0));
+/// ```
+#[derive(Debug)]
+pub struct AdvanceAwait {
+    /// All tags `<= hwm` are advanced. Starts at −1: every negative tag is
+    /// pre-advanced, tag 0 is not.
+    hwm: AtomicI64,
+    sparse: Mutex<Sparse>,
+    wakeup: Condvar,
+}
+
+impl Default for AdvanceAwait {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdvanceAwait {
+    /// Iterations of the await spin loop before parking. DOACROSS waits
+    /// are typically a few statement lengths (microseconds), while a
+    /// park/unpark round trip costs tens of microseconds — so spin long
+    /// enough to absorb common waits before sleeping. The spin yields
+    /// periodically so an advancer sharing the core (oversubscribed or
+    /// single-CPU hosts) can make progress.
+    const SPIN_LIMIT: u32 = 8_000;
+
+    /// Creates a variable with no tag advanced (all negative tags are
+    /// pre-advanced by convention).
+    pub fn new() -> Self {
+        AdvanceAwait {
+            hwm: AtomicI64::new(-1),
+            sparse: Mutex::new(Sparse::default()),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Marks `tag` advanced and wakes any waiters.
+    ///
+    /// # Panics
+    /// Panics if `tag` is negative (reserved pre-advanced range) or already
+    /// advanced — each advance/await pair operates on a unique semaphore,
+    /// so a double advance is a program bug.
+    pub fn advance(&self, tag: i64) {
+        assert!(tag >= 0, "advance on reserved pre-advanced tag {tag}");
+        let mut sparse = self.sparse.lock();
+        let hwm = self.hwm.load(Ordering::Relaxed);
+        assert!(
+            tag > hwm && !sparse.tags.contains(&tag),
+            "tag {tag} advanced twice"
+        );
+        if tag == hwm + 1 {
+            // Extend the mark through any now-contiguous sparse tags.
+            let mut new_hwm = tag;
+            while sparse.tags.remove(&(new_hwm + 1)) {
+                new_hwm += 1;
+            }
+            self.hwm.store(new_hwm, Ordering::Release);
+        } else {
+            sparse.tags.insert(tag);
+        }
+        drop(sparse);
+        self.wakeup.notify_all();
+    }
+
+    /// True if `tag` has been advanced (negative tags always are).
+    pub fn is_advanced(&self, tag: i64) -> bool {
+        if tag <= self.hwm.load(Ordering::Acquire) {
+            return true;
+        }
+        if tag < 0 {
+            return true;
+        }
+        self.sparse.lock().tags.contains(&tag)
+    }
+
+    /// Blocks until `tag` is advanced; returns whether it had to wait.
+    pub fn await_tag(&self, tag: i64) -> WaitOutcome {
+        if self.is_advanced(tag) {
+            return WaitOutcome::AlreadyAdvanced;
+        }
+        // Spin phase: DOACROSS waits are usually a few statement lengths.
+        for spins in 0..Self::SPIN_LIMIT {
+            if spins % 256 == 255 {
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+            if self.is_advanced(tag) {
+                return WaitOutcome::Waited;
+            }
+        }
+        // Park phase.
+        let mut sparse = self.sparse.lock();
+        loop {
+            if tag <= self.hwm.load(Ordering::Acquire) || sparse.tags.contains(&tag) {
+                return WaitOutcome::Waited;
+            }
+            self.wakeup.wait(&mut sparse);
+        }
+    }
+
+    /// The current high-water mark (every tag at or below it is advanced).
+    pub fn high_water_mark(&self) -> i64 {
+        self.hwm.load(Ordering::Acquire)
+    }
+
+    /// Number of out-of-order advanced tags currently above the mark.
+    pub fn sparse_len(&self) -> usize {
+        self.sparse.lock().tags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn negative_tags_are_pre_advanced() {
+        let a = AdvanceAwait::new();
+        assert!(a.is_advanced(-1));
+        assert!(a.is_advanced(-100));
+        assert!(!a.is_advanced(0));
+        assert_eq!(a.await_tag(-5), WaitOutcome::AlreadyAdvanced);
+    }
+
+    #[test]
+    fn in_order_advances_extend_the_mark() {
+        let a = AdvanceAwait::new();
+        a.advance(0);
+        a.advance(1);
+        a.advance(2);
+        assert_eq!(a.high_water_mark(), 2);
+        assert_eq!(a.sparse_len(), 0);
+        assert!(a.is_advanced(2));
+        assert!(!a.is_advanced(3));
+    }
+
+    #[test]
+    fn out_of_order_advances_drain_when_contiguous() {
+        let a = AdvanceAwait::new();
+        a.advance(2);
+        a.advance(1);
+        assert_eq!(a.high_water_mark(), -1);
+        assert_eq!(a.sparse_len(), 2);
+        a.advance(0); // 0,1,2 now contiguous
+        assert_eq!(a.high_water_mark(), 2);
+        assert_eq!(a.sparse_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advanced twice")]
+    fn double_advance_panics() {
+        let a = AdvanceAwait::new();
+        a.advance(0);
+        a.advance(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn negative_advance_panics() {
+        AdvanceAwait::new().advance(-1);
+    }
+
+    #[test]
+    fn await_already_advanced_does_not_wait() {
+        let a = AdvanceAwait::new();
+        a.advance(0);
+        assert_eq!(a.await_tag(0), WaitOutcome::AlreadyAdvanced);
+    }
+
+    #[test]
+    fn await_blocks_until_advanced() {
+        let a = Arc::new(AdvanceAwait::new());
+        let waiter = {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || a.await_tag(3))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        a.advance(0);
+        a.advance(1);
+        a.advance(2);
+        a.advance(3);
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Waited);
+    }
+
+    #[test]
+    fn doacross_chain_of_threads() {
+        // Each of 8 workers handles iterations i, i+8, ... of a distance-1
+        // DOACROSS: await(i-1); update; advance(i). The shared counter must
+        // observe iterations strictly in order.
+        const P: usize = 8;
+        const N: i64 = 400;
+        let a = Arc::new(AdvanceAwait::new());
+        let order = Arc::new(Mutex::new(Vec::<i64>::new()));
+        let workers: Vec<_> = (0..P)
+            .map(|p| {
+                let a = Arc::clone(&a);
+                let order = Arc::clone(&order);
+                std::thread::spawn(move || {
+                    let mut i = p as i64;
+                    while i < N {
+                        a.await_tag(i - 1);
+                        order.lock().push(i);
+                        a.advance(i);
+                        i += P as i64;
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let order = order.lock();
+        assert_eq!(order.len(), N as usize);
+        assert!(order.windows(2).all(|w| w[0] + 1 == w[1]), "iterations ran out of order");
+    }
+
+    #[test]
+    fn many_waiters_on_one_tag() {
+        let a = Arc::new(AdvanceAwait::new());
+        let waiters: Vec<_> = (0..16)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || a.await_tag(0))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        a.advance(0);
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), WaitOutcome::Waited);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! A sense-reversing centralized barrier.
+//!
+//! DOACROSS loop ends on the Alliant synchronize all computational elements
+//! before the serial code after the loop resumes; the native executor uses
+//! this barrier for the same purpose. Sense reversal lets the barrier be
+//! reused across episodes without a second synchronization: each episode
+//! flips the global sense, and threads wait for the flip.
+
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use parking_lot::{Condvar, Mutex};
+
+/// Outcome of a barrier wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierRole {
+    /// This thread arrived last and released the others.
+    Leader,
+    /// This thread waited for the leader.
+    Follower,
+}
+
+impl BarrierRole {
+    /// True for the releasing (last-arriving) thread.
+    pub fn is_leader(self) -> bool {
+        matches!(self, BarrierRole::Leader)
+    }
+}
+
+/// A reusable sense-reversing barrier for a fixed number of participants.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    participants: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+    // Park support for oversubscribed hosts: waiters fall back to a
+    // condvar keyed on the sense flip after a bounded spin.
+    park: Mutex<()>,
+    wakeup: Condvar,
+}
+
+impl SenseBarrier {
+    /// Spin iterations before parking (see `AdvanceAwait::SPIN_LIMIT` for
+    /// the rationale).
+    const SPIN_LIMIT: u32 = 8_000;
+
+    /// Creates a barrier for `participants` threads.
+    ///
+    /// # Panics
+    /// Panics if `participants` is zero.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0, "a barrier needs at least one participant");
+        SenseBarrier {
+            participants,
+            remaining: AtomicUsize::new(participants),
+            sense: AtomicBool::new(false),
+            park: Mutex::new(()),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// The configured participant count.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Waits until all participants arrive; returns this thread's role.
+    pub fn wait(&self) -> BarrierRole {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arriver: reset the count and flip the sense.
+            self.remaining.store(self.participants, Ordering::Relaxed);
+            let _guard = self.park.lock();
+            self.sense.store(my_sense, Ordering::Release);
+            drop(_guard);
+            self.wakeup.notify_all();
+            return BarrierRole::Leader;
+        }
+        let mut spins = 0u32;
+        while self.sense.load(Ordering::Acquire) != my_sense {
+            spins += 1;
+            if spins < Self::SPIN_LIMIT {
+                if spins % 256 == 255 {
+                    std::thread::yield_now();
+                } else {
+                    core::hint::spin_loop();
+                }
+            } else {
+                let mut guard = self.park.lock();
+                if self.sense.load(Ordering::Acquire) != my_sense {
+                    self.wakeup.wait(&mut guard);
+                }
+            }
+        }
+        BarrierRole::Follower
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_participants_rejected() {
+        let _ = SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn single_participant_is_always_leader() {
+        let b = SenseBarrier::new(1);
+        assert_eq!(b.wait(), BarrierRole::Leader);
+        assert_eq!(b.wait(), BarrierRole::Leader);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        const P: usize = 8;
+        const EPISODES: usize = 50;
+        let b = Arc::new(SenseBarrier::new(P));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..P)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let leaders = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    for _ in 0..EPISODES {
+                        if b.wait().is_leader() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), EPISODES as u64);
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // Phase counter: every thread increments in phase 1, then after the
+        // barrier each must observe the full phase-1 total.
+        const P: usize = 6;
+        let b = Arc::new(SenseBarrier::new(P));
+        let count = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..P)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let count = Arc::clone(&count);
+                std::thread::spawn(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                    assert_eq!(count.load(Ordering::SeqCst), P as u64);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

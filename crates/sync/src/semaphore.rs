@@ -1,0 +1,102 @@
+//! A counting semaphore.
+//!
+//! The paper observes that advance/await "is a special case of the general
+//! semaphore"; the native substrate provides the general primitive too, so
+//! workloads beyond DOACROSS loops (and the event-based barrier/semaphore
+//! perturbation models discussed in [18]) have something to run on.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore with blocking and non-blocking acquire.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    /// Creates a semaphore holding `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore { permits: Mutex::new(permits), available: Condvar::new() }
+    }
+
+    /// Acquires one permit, blocking while none are available.
+    pub fn acquire(&self) {
+        let mut permits = self.permits.lock();
+        while *permits == 0 {
+            self.available.wait(&mut permits);
+        }
+        *permits -= 1;
+    }
+
+    /// Attempts to acquire one permit without blocking.
+    pub fn try_acquire(&self) -> bool {
+        let mut permits = self.permits.lock();
+        if *permits > 0 {
+            *permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases one permit, waking one waiter if any.
+    pub fn release(&self) {
+        let mut permits = self.permits.lock();
+        *permits += 1;
+        drop(permits);
+        self.available.notify_one();
+    }
+
+    /// The number of currently available permits.
+    pub fn available_permits(&self) -> usize {
+        *self.permits.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn try_acquire_counts_down() {
+        let s = Semaphore::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+        assert_eq!(s.available_permits(), 0);
+    }
+
+    #[test]
+    fn bounds_concurrency() {
+        const LIMIT: usize = 3;
+        let s = Arc::new(Semaphore::new(LIMIT));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..12)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let inside = Arc::clone(&inside);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        s.acquire();
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        s.release();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= LIMIT);
+        assert_eq!(s.available_permits(), LIMIT);
+    }
+}

@@ -1,0 +1,187 @@
+//! Bounded trace buffers.
+//!
+//! The paper's instrumentation streamed events into a fixed trace memory;
+//! real tracers have always had to pick a policy for the moment that
+//! memory fills. [`BoundedBuffer`] models the three classic choices, and
+//! its drop accounting lets experiments quantify what buffer exhaustion
+//! does to perturbation analysis (a truncated trace loses sync pairings
+//! and fails validation — loudly, which is the correct behaviour).
+
+use crate::event::Event;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What to do when a bounded buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// Discard the incoming event (the trace keeps its oldest prefix).
+    DropNewest,
+    /// Discard the oldest buffered event (the trace keeps a sliding
+    /// window of the most recent events).
+    DropOldest,
+}
+
+/// A fixed-capacity event buffer with drop accounting.
+#[derive(Debug, Clone)]
+pub struct BoundedBuffer {
+    capacity: usize,
+    policy: OverflowPolicy,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl BoundedBuffer {
+    /// Creates a buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        assert!(capacity > 0, "a trace buffer needs capacity");
+        BoundedBuffer {
+            capacity,
+            policy,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, applying the overflow policy when full. Returns
+    /// whether the event was stored.
+    pub fn record(&mut self, event: Event) -> bool {
+        if self.events.len() < self.capacity {
+            self.events.push_back(event);
+            return true;
+        }
+        self.dropped += 1;
+        match self.policy {
+            OverflowPolicy::DropNewest => false,
+            OverflowPolicy::DropOldest => {
+                self.events.pop_front();
+                self.events.push_back(event);
+                true
+            }
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drains the buffer into an event vector (oldest first).
+    pub fn into_events(self) -> Vec<Event> {
+        self.events.into()
+    }
+}
+
+/// Applies a bounded buffer retroactively to a complete trace, as if each
+/// processor had recorded through its own buffer of `capacity` events.
+/// Returns the surviving events (ready for [`crate::Trace::from_events`])
+/// and the total drop count — the cheap way to study buffer-size effects
+/// without re-running an execution.
+pub fn apply_buffers(
+    trace: &crate::Trace,
+    capacity: usize,
+    policy: OverflowPolicy,
+) -> (Vec<Event>, u64) {
+    let mut buffers: std::collections::BTreeMap<crate::ProcessorId, BoundedBuffer> =
+        Default::default();
+    for e in trace.iter() {
+        buffers
+            .entry(e.proc)
+            .or_insert_with(|| BoundedBuffer::new(capacity, policy))
+            .record(*e);
+    }
+    let mut dropped = 0;
+    let mut events = Vec::new();
+    for (_, b) in buffers {
+        dropped += b.dropped();
+        events.extend(b.into_events());
+    }
+    (events, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, ProcessorId, StatementId, Time, Trace, TraceKind};
+
+    fn ev(ns: u64, seq: u64) -> Event {
+        Event::new(
+            Time::from_nanos(ns),
+            ProcessorId(0),
+            seq,
+            EventKind::Statement { stmt: StatementId(seq as u32) },
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedBuffer::new(0, OverflowPolicy::DropNewest);
+    }
+
+    #[test]
+    fn drop_newest_keeps_the_prefix() {
+        let mut b = BoundedBuffer::new(2, OverflowPolicy::DropNewest);
+        assert!(b.record(ev(1, 0)));
+        assert!(b.record(ev(2, 1)));
+        assert!(!b.record(ev(3, 2)));
+        assert_eq!(b.dropped(), 1);
+        let kept: Vec<u64> = b.into_events().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_suffix() {
+        let mut b = BoundedBuffer::new(2, OverflowPolicy::DropOldest);
+        b.record(ev(1, 0));
+        b.record(ev(2, 1));
+        assert!(b.record(ev(3, 2)));
+        assert_eq!(b.dropped(), 1);
+        let kept: Vec<u64> = b.into_events().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![1, 2]);
+    }
+
+    #[test]
+    fn apply_buffers_is_per_processor() {
+        let events = vec![
+            Event::new(Time::from_nanos(1), ProcessorId(0), 0, EventKind::ProgramBegin),
+            Event::new(Time::from_nanos(2), ProcessorId(1), 1, EventKind::ProgramBegin),
+            Event::new(Time::from_nanos(3), ProcessorId(0), 2, EventKind::ProgramEnd),
+            Event::new(Time::from_nanos(4), ProcessorId(1), 3, EventKind::ProgramEnd),
+        ];
+        let trace = Trace::from_events(TraceKind::Measured, events);
+        // Capacity 1 per processor: each keeps its first event only.
+        let (kept, dropped) = apply_buffers(&trace, 1, OverflowPolicy::DropNewest);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(dropped, 2);
+        assert!(kept.iter().all(|e| matches!(e.kind, EventKind::ProgramBegin)));
+    }
+
+    #[test]
+    fn generous_capacity_drops_nothing() {
+        let trace = Trace::from_events(
+            TraceKind::Measured,
+            (0..10).map(|i| ev(i, i)).collect(),
+        );
+        let (kept, dropped) = apply_buffers(&trace, 100, OverflowPolicy::DropOldest);
+        assert_eq!(kept.len(), 10);
+        assert_eq!(dropped, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Fluent trace construction, used heavily in tests and examples.
+//!
+//! The builder tracks one clock per processor; `at`/`after` position the
+//! clock, each recording call emits an event at the current clock and
+//! assigns a global emission sequence number.
+
+use crate::event::{Event, EventKind};
+use crate::ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
+use crate::time::{Span, Time};
+use crate::trace::{Trace, TraceKind};
+use std::collections::BTreeMap;
+
+/// Fluent builder for hand-written traces.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    kind: TraceKind,
+    clocks: BTreeMap<ProcessorId, Time>,
+    current: ProcessorId,
+    seq: u64,
+    events: Vec<Event>,
+}
+
+impl TraceBuilder {
+    /// Starts a builder producing a trace of the given provenance.
+    pub fn new(kind: TraceKind) -> Self {
+        TraceBuilder { kind, ..Default::default() }
+    }
+
+    /// Starts a builder for a measured trace (the common test case).
+    pub fn measured() -> Self {
+        Self::new(TraceKind::Measured)
+    }
+
+    /// Switches the builder's cursor to `proc` (clock state is kept per
+    /// processor).
+    pub fn on(mut self, proc: u16) -> Self {
+        self.current = ProcessorId(proc);
+        self
+    }
+
+    /// Sets the current processor's clock to an absolute time (ns).
+    pub fn at(mut self, ns: u64) -> Self {
+        self.clocks.insert(self.current, Time::from_nanos(ns));
+        self
+    }
+
+    /// Advances the current processor's clock by `ns` nanoseconds.
+    pub fn after(mut self, ns: u64) -> Self {
+        let clock = self.clocks.entry(self.current).or_insert(Time::ZERO);
+        *clock += Span::from_nanos(ns);
+        self
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        let time = *self.clocks.entry(self.current).or_insert(Time::ZERO);
+        let event = Event::new(time, self.current, self.seq, kind);
+        self.seq += 1;
+        self.events.push(event);
+    }
+
+    /// Records a statement event at the current clock.
+    pub fn stmt(mut self, id: u32) -> Self {
+        self.emit(EventKind::Statement { stmt: StatementId(id) });
+        self
+    }
+
+    /// Records an `advance` event.
+    pub fn advance(mut self, var: u32, tag: i64) -> Self {
+        self.emit(EventKind::Advance { var: SyncVarId(var), tag: SyncTag(tag) });
+        self
+    }
+
+    /// Records an `awaitB` event.
+    pub fn await_begin(mut self, var: u32, tag: i64) -> Self {
+        self.emit(EventKind::AwaitBegin { var: SyncVarId(var), tag: SyncTag(tag) });
+        self
+    }
+
+    /// Records an `awaitE` event.
+    pub fn await_end(mut self, var: u32, tag: i64) -> Self {
+        self.emit(EventKind::AwaitEnd { var: SyncVarId(var), tag: SyncTag(tag) });
+        self
+    }
+
+    /// Records a barrier-enter event.
+    pub fn barrier_enter(mut self, id: u32) -> Self {
+        self.emit(EventKind::BarrierEnter { barrier: BarrierId(id) });
+        self
+    }
+
+    /// Records a barrier-exit event.
+    pub fn barrier_exit(mut self, id: u32) -> Self {
+        self.emit(EventKind::BarrierExit { barrier: BarrierId(id) });
+        self
+    }
+
+    /// Records a program-begin marker.
+    pub fn program_begin(mut self) -> Self {
+        self.emit(EventKind::ProgramBegin);
+        self
+    }
+
+    /// Records a program-end marker.
+    pub fn program_end(mut self) -> Self {
+        self.emit(EventKind::ProgramEnd);
+        self
+    }
+
+    /// Records a loop-begin marker.
+    pub fn loop_begin(mut self, id: u32) -> Self {
+        self.emit(EventKind::LoopBegin { loop_id: LoopId(id) });
+        self
+    }
+
+    /// Records a loop-end marker.
+    pub fn loop_end(mut self, id: u32) -> Self {
+        self.emit(EventKind::LoopEnd { loop_id: LoopId(id) });
+        self
+    }
+
+    /// Records an iteration-begin marker.
+    pub fn iter_begin(mut self, loop_id: u32, iter: u64) -> Self {
+        self.emit(EventKind::IterationBegin { loop_id: LoopId(loop_id), iter });
+        self
+    }
+
+    /// Records an iteration-end marker.
+    pub fn iter_end(mut self, loop_id: u32, iter: u64) -> Self {
+        self.emit(EventKind::IterationEnd { loop_id: LoopId(loop_id), iter });
+        self
+    }
+
+    /// Finishes the trace (events are sorted into total order).
+    pub fn build(self) -> Trace {
+        Trace::from_events(self.kind, self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::pair_sync_events;
+
+    #[test]
+    fn builder_produces_ordered_trace() {
+        let t = TraceBuilder::measured()
+            .on(0).at(0).stmt(1).after(100).advance(0, 0)
+            .on(1).at(50).await_begin(0, 0).after(80).await_end(0, 0)
+            .build();
+        assert!(t.is_totally_ordered());
+        assert_eq!(t.len(), 4);
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.awaits.len(), 1);
+    }
+
+    #[test]
+    fn per_processor_clocks_are_independent() {
+        let t = TraceBuilder::measured()
+            .on(0).at(10).stmt(0)
+            .on(1).at(5).stmt(1)
+            .on(0).after(1).stmt(2)
+            .build();
+        let times: Vec<u64> = t.iter().map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, vec![5, 10, 11]);
+    }
+
+    #[test]
+    fn markers_and_barriers() {
+        let t = TraceBuilder::new(TraceKind::Actual)
+            .on(0).at(0).program_begin().loop_begin(0)
+            .iter_begin(0, 0).after(10).iter_end(0, 0)
+            .after(1).barrier_enter(0).after(1).barrier_exit(0)
+            .after(1).loop_end(0).program_end()
+            .build();
+        assert_eq!(t.len(), 8);
+        assert!(pair_sync_events(&t).is_ok());
+    }
+}

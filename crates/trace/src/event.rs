@@ -1,0 +1,250 @@
+//! Trace events.
+//!
+//! An event marks the *completion* of one observable action on one
+//! processor, stamped with the time at which the recording instrumentation
+//! fired. Synchronization actions follow the paper's instrumentation scheme
+//! (§4.2.2): an `advance` is recorded after the advance operation completes;
+//! an `await` produces **two** events, `awaitB` at entry and `awaitE` after
+//! the awaited advance has occurred.
+
+use crate::ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
+use crate::time::Time;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// What an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant fields are named after the id types they hold
+pub enum EventKind {
+    /// Start of the traced program region on the emitting processor.
+    ProgramBegin,
+    /// End of the traced program region on the emitting processor.
+    ProgramEnd,
+    /// Entry into a loop construct (emitted once, by the dispatching
+    /// processor).
+    LoopBegin { loop_id: LoopId },
+    /// Exit from a loop construct, after its terminating barrier.
+    LoopEnd { loop_id: LoopId },
+    /// Start of one loop iteration on the executing processor.
+    IterationBegin { loop_id: LoopId, iter: u64 },
+    /// End of one loop iteration on the executing processor.
+    IterationEnd { loop_id: LoopId, iter: u64 },
+    /// Execution of one (instrumented) program statement.
+    Statement { stmt: StatementId },
+    /// `advance(A, i)` completed: tag `i` is now marked in `A`.
+    Advance { var: SyncVarId, tag: SyncTag },
+    /// `await(A, i)` began (the paper's `awaitB`).
+    AwaitBegin { var: SyncVarId, tag: SyncTag },
+    /// `await(A, i)` completed (the paper's `awaitE`): tag `i` had been
+    /// advanced, possibly after a wait.
+    AwaitEnd { var: SyncVarId, tag: SyncTag },
+    /// Arrival at a barrier.
+    BarrierEnter { barrier: BarrierId },
+    /// Release from a barrier (all participants arrived).
+    BarrierExit { barrier: BarrierId },
+}
+
+impl EventKind {
+    /// True for the three advance/await synchronization kinds.
+    #[inline]
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Advance { .. } | EventKind::AwaitBegin { .. } | EventKind::AwaitEnd { .. }
+        )
+    }
+
+    /// True for barrier kinds.
+    #[inline]
+    pub fn is_barrier(&self) -> bool {
+        matches!(self, EventKind::BarrierEnter { .. } | EventKind::BarrierExit { .. })
+    }
+
+    /// True for structural markers (program/loop/iteration boundaries).
+    #[inline]
+    pub fn is_marker(&self) -> bool {
+        matches!(
+            self,
+            EventKind::ProgramBegin
+                | EventKind::ProgramEnd
+                | EventKind::LoopBegin { .. }
+                | EventKind::LoopEnd { .. }
+                | EventKind::IterationBegin { .. }
+                | EventKind::IterationEnd { .. }
+        )
+    }
+
+    /// The synchronization variable this event touches, if any.
+    #[inline]
+    pub fn sync_var(&self) -> Option<SyncVarId> {
+        match self {
+            EventKind::Advance { var, .. }
+            | EventKind::AwaitBegin { var, .. }
+            | EventKind::AwaitEnd { var, .. } => Some(*var),
+            _ => None,
+        }
+    }
+
+    /// The synchronization tag this event carries, if any.
+    #[inline]
+    pub fn sync_tag(&self) -> Option<SyncTag> {
+        match self {
+            EventKind::Advance { tag, .. }
+            | EventKind::AwaitBegin { tag, .. }
+            | EventKind::AwaitEnd { tag, .. } => Some(*tag),
+            _ => None,
+        }
+    }
+
+    /// A short mnemonic for table/debug output.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            EventKind::ProgramBegin => "progB",
+            EventKind::ProgramEnd => "progE",
+            EventKind::LoopBegin { .. } => "loopB",
+            EventKind::LoopEnd { .. } => "loopE",
+            EventKind::IterationBegin { .. } => "iterB",
+            EventKind::IterationEnd { .. } => "iterE",
+            EventKind::Statement { .. } => "stmt",
+            EventKind::Advance { .. } => "advance",
+            EventKind::AwaitBegin { .. } => "awaitB",
+            EventKind::AwaitEnd { .. } => "awaitE",
+            EventKind::BarrierEnter { .. } => "barEnter",
+            EventKind::BarrierExit { .. } => "barExit",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::ProgramBegin | EventKind::ProgramEnd => write!(f, "{}", self.mnemonic()),
+            EventKind::LoopBegin { loop_id } | EventKind::LoopEnd { loop_id } => {
+                write!(f, "{}({loop_id})", self.mnemonic())
+            }
+            EventKind::IterationBegin { loop_id, iter }
+            | EventKind::IterationEnd { loop_id, iter } => {
+                write!(f, "{}({loop_id},i{iter})", self.mnemonic())
+            }
+            EventKind::Statement { stmt } => write!(f, "stmt({stmt})"),
+            EventKind::Advance { var, tag }
+            | EventKind::AwaitBegin { var, tag }
+            | EventKind::AwaitEnd { var, tag } => {
+                write!(f, "{}({var},{tag})", self.mnemonic())
+            }
+            EventKind::BarrierEnter { barrier } | EventKind::BarrierExit { barrier } => {
+                write!(f, "{}({barrier})", self.mnemonic())
+            }
+        }
+    }
+}
+
+/// One trace event.
+///
+/// `seq` is a global emission sequence number assigned by the producer. It
+/// provides a stable total-order tie-break for events with equal timestamps
+/// and makes analysis deterministic; it carries no semantic meaning beyond
+/// that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Timestamp (measured or approximated, depending on which trace this
+    /// event belongs to).
+    pub time: Time,
+    /// The processor that emitted the event.
+    pub proc: ProcessorId,
+    /// Producer-assigned global sequence number (total-order tie-break).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event; `seq` is usually assigned by [`crate::Trace`]
+    /// builders.
+    pub fn new(time: Time, proc: ProcessorId, seq: u64, kind: EventKind) -> Self {
+        Event { time, proc, seq, kind }
+    }
+
+    /// The total-order key used throughout the analyses: time, then
+    /// emission sequence, then processor. Emission sequence before
+    /// processor matters for same-time ties: a producer emits causally
+    /// later events with larger `seq` (e.g. barrier exits after all
+    /// enters), and the total order must respect that regardless of which
+    /// processors are involved.
+    #[inline]
+    pub fn order_key(&self) -> (Time, u64, ProcessorId) {
+        (self.time, self.seq, self.proc)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {} {}]", self.time, self.proc, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let adv = EventKind::Advance { var: SyncVarId(0), tag: SyncTag(3) };
+        let awb = EventKind::AwaitBegin { var: SyncVarId(0), tag: SyncTag(3) };
+        let awe = EventKind::AwaitEnd { var: SyncVarId(0), tag: SyncTag(3) };
+        let stmt = EventKind::Statement { stmt: StatementId(1) };
+        let bar = EventKind::BarrierEnter { barrier: BarrierId(0) };
+
+        assert!(adv.is_sync() && awb.is_sync() && awe.is_sync());
+        assert!(!stmt.is_sync() && !bar.is_sync());
+        assert!(bar.is_barrier());
+        assert!(EventKind::ProgramBegin.is_marker());
+        assert!(EventKind::IterationEnd { loop_id: LoopId(0), iter: 2 }.is_marker());
+        assert!(!stmt.is_marker());
+    }
+
+    #[test]
+    fn sync_accessors() {
+        let adv = EventKind::Advance { var: SyncVarId(7), tag: SyncTag(-1) };
+        assert_eq!(adv.sync_var(), Some(SyncVarId(7)));
+        assert_eq!(adv.sync_tag(), Some(SyncTag(-1)));
+        assert_eq!(EventKind::ProgramEnd.sync_var(), None);
+        assert_eq!(EventKind::ProgramEnd.sync_tag(), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = Event::new(
+            Time::from_micros(2),
+            ProcessorId(1),
+            9,
+            EventKind::AwaitEnd { var: SyncVarId(0), tag: SyncTag(4) },
+        );
+        assert_eq!(e.to_string(), "[2.000us P1 awaitE(A0,#4)]");
+    }
+
+    #[test]
+    fn order_key_breaks_ties_deterministically() {
+        let t = Time::from_nanos(5);
+        let a = Event::new(t, ProcessorId(0), 1, EventKind::ProgramBegin);
+        let b = Event::new(t, ProcessorId(1), 0, EventKind::ProgramBegin);
+        // Equal time: lower emission sequence wins, even on a higher
+        // processor id.
+        assert!(b.order_key() < a.order_key());
+        let c = Event::new(t, ProcessorId(0), 2, EventKind::ProgramEnd);
+        assert!(a.order_key() < c.order_key());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Event::new(
+            Time::from_nanos(123),
+            ProcessorId(3),
+            42,
+            EventKind::Advance { var: SyncVarId(1), tag: SyncTag(10) },
+        );
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,140 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! The paper's formal model instruments a program `P = S1..Sn` at points
+//! `I1..In`; an event records the execution of a statement, so a trace is a
+//! time-ordered sequence of `{t(e), eid}` pairs. The identifiers here name
+//! statements, processors, loops, synchronization variables, and barriers
+//! unambiguously across program model, simulator, native executor, and
+//! analysis.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident($inner:ty), $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A (virtual) processor / thread of execution. On the Alliant FX/80
+    /// these are the computational elements CE0..CE7.
+    ProcessorId(u16),
+    "P"
+);
+
+id_newtype!(
+    /// A source statement; one trace event is emitted per execution of an
+    /// instrumented statement.
+    StatementId(u32),
+    "S"
+);
+
+id_newtype!(
+    /// A loop construct in the program model.
+    LoopId(u32),
+    "L"
+);
+
+id_newtype!(
+    /// An advance/await synchronization variable (the paper's `A`).
+    SyncVarId(u32),
+    "A"
+);
+
+id_newtype!(
+    /// A barrier; DOACROSS loop ends synchronize through one.
+    BarrierId(u32),
+    "B"
+);
+
+/// The unique value identifying one advance/await pair (the paper's `i`).
+///
+/// For constant-distance DOACROSS dependencies the tag is the loop
+/// iteration index; `await(A, i - d)` in iteration `i < d` names a tag that
+/// no iteration ever advances. Such tags are *pre-advanced*: the await is
+/// satisfied immediately. Tags are therefore signed.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SyncTag(pub i64);
+
+impl SyncTag {
+    /// Tags below zero are never produced by an `advance`; an `await` on one
+    /// is satisfied without synchronization. This encodes the DOACROSS
+    /// convention that iteration `i` with `i - d < 0` has no predecessor.
+    #[inline]
+    pub const fn is_pre_advanced(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl From<i64> for SyncTag {
+    #[inline]
+    fn from(v: i64) -> Self {
+        SyncTag(v)
+    }
+}
+
+impl fmt::Display for SyncTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcessorId(3).to_string(), "P3");
+        assert_eq!(StatementId(12).to_string(), "S12");
+        assert_eq!(LoopId(4).to_string(), "L4");
+        assert_eq!(SyncVarId(0).to_string(), "A0");
+        assert_eq!(BarrierId(1).to_string(), "B1");
+        assert_eq!(SyncTag(-2).to_string(), "#-2");
+    }
+
+    #[test]
+    fn pre_advanced_convention() {
+        assert!(SyncTag(-1).is_pre_advanced());
+        assert!(!SyncTag(0).is_pre_advanced());
+        assert!(!SyncTag(7).is_pre_advanced());
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ProcessorId(1) < ProcessorId(2));
+        assert_eq!(StatementId(5).index(), 5);
+        assert_eq!(ProcessorId::from(9u16), ProcessorId(9));
+    }
+}

@@ -1,0 +1,192 @@
+//! Trace serialization: JSON-lines and CSV.
+//!
+//! JSONL is the lossless interchange format (one event per line, plus a
+//! header line carrying the trace kind); CSV is a flat export for plotting
+//! tools. Writers accept any `io::Write` and buffer internally.
+
+use crate::event::Event;
+use crate::trace::{Trace, TraceKind};
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    format: String,
+    kind: TraceKind,
+    events: usize,
+}
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed JSON or CSV content.
+    Parse { line: usize, message: String },
+    /// The header line is missing or names an unknown format.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::BadHeader(msg) => write!(f, "bad trace header: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a trace as JSONL: a header line, then one event per line.
+pub fn write_jsonl<W: Write>(trace: &Trace, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    let header = Header {
+        format: "ppa-trace-v1".to_string(),
+        kind: trace.kind(),
+        events: trace.len(),
+    };
+    serde_json::to_writer(&mut w, &header)
+        .map_err(|e| IoError::Parse { line: 0, message: e.to_string() })?;
+    w.write_all(b"\n")?;
+    for e in trace.iter() {
+        serde_json::to_writer(&mut w, e)
+            .map_err(|err| IoError::Parse { line: 0, message: err.to_string() })?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a JSONL trace written by [`write_jsonl`].
+pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, IoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| IoError::BadHeader("empty input".to_string()))??;
+    let header: Header = serde_json::from_str(&header_line)
+        .map_err(|e| IoError::BadHeader(e.to_string()))?;
+    if header.format != "ppa-trace-v1" {
+        return Err(IoError::BadHeader(format!("unknown format {:?}", header.format)));
+    }
+
+    let mut events = Vec::with_capacity(header.events);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: Event = serde_json::from_str(&line)
+            .map_err(|e| IoError::Parse { line: i + 2, message: e.to_string() })?;
+        events.push(event);
+    }
+    Ok(Trace::from_events(header.kind, events))
+}
+
+/// Writes a flat CSV export: `time_ns,proc,seq,kind,detail`.
+pub fn write_csv<W: Write>(trace: &Trace, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "time_ns,proc,seq,kind,detail")?;
+    for e in trace.iter() {
+        writeln!(
+            w,
+            "{},{},{},{},\"{}\"",
+            e.time.as_nanos(),
+            e.proc.0,
+            e.seq,
+            e.kind.mnemonic(),
+            e.kind
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::ids::{ProcessorId, StatementId, SyncTag, SyncVarId};
+    use crate::time::Time;
+
+    fn sample_trace() -> Trace {
+        Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                Event::new(
+                    Time::from_nanos(5),
+                    ProcessorId(0),
+                    0,
+                    EventKind::Statement { stmt: StatementId(3) },
+                ),
+                Event::new(
+                    Time::from_nanos(9),
+                    ProcessorId(1),
+                    1,
+                    EventKind::Advance { var: SyncVarId(0), tag: SyncTag(2) },
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.kind(), TraceKind::Measured);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(read_jsonl(&b""[..]), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_format() {
+        let input = br#"{"format":"other","kind":"Measured","events":0}"#;
+        assert!(matches!(read_jsonl(&input[..]), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_garbage_event_line() {
+        let mut buf = Vec::new();
+        write_jsonl(&Trace::new(TraceKind::Actual), &mut buf).unwrap();
+        buf.extend_from_slice(b"{not json}\n");
+        match read_jsonl(buf.as_slice()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample_trace(), &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut buf = Vec::new();
+        write_csv(&sample_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "time_ns,proc,seq,kind,detail");
+        assert!(lines[1].starts_with("5,0,0,stmt,"));
+        assert!(lines[2].contains("advance"));
+    }
+}

@@ -1,0 +1,180 @@
+//! # ppa-trace — event and trace model for perturbation analysis
+//!
+//! Foundation crate of the *Event-Based Performance Perturbation* (Malony,
+//! PPoPP '91) reproduction. It defines the vocabulary every other crate
+//! speaks:
+//!
+//! - [`Time`]/[`Span`] — nanosecond timestamps and durations, with
+//!   [`ClockRate`] to map simulator cycles to wall time;
+//! - [`Event`]/[`EventKind`] — statement executions, advance/await
+//!   synchronization events (`advance`, `awaitB`, `awaitE`), barrier
+//!   enter/exit, and structural markers;
+//! - [`Trace`] — a totally ordered event sequence with
+//!   [`TraceKind`] provenance (*actual*, *measured*, or *approximated*);
+//! - [`OverheadSpec`] — the measured instrumentation and synchronization
+//!   costs that perturbation analysis takes as input;
+//! - [`pair_sync_events`] — validation and advance/await/barrier pairing,
+//!   the precondition for event-based analysis;
+//! - JSONL/CSV trace I/O and a fluent [`TraceBuilder`] for tests.
+//!
+//! The central idea of the paper, restated in this crate's types: an
+//! instrumented run yields a [`TraceKind::Measured`] trace whose times (and
+//! possibly event order) are perturbed; perturbation analysis maps it to a
+//! [`TraceKind::Approximated`] trace that should resemble the
+//! [`TraceKind::Actual`] one.
+
+#![warn(missing_docs)]
+
+mod buffer;
+mod builder;
+mod event;
+mod ids;
+mod io;
+mod overhead;
+mod time;
+mod trace;
+mod validate;
+
+pub use buffer::{apply_buffers, BoundedBuffer, OverflowPolicy};
+pub use builder::TraceBuilder;
+pub use event::{Event, EventKind};
+pub use ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
+pub use io::{read_jsonl, write_csv, write_jsonl, IoError};
+pub use overhead::OverheadSpec;
+pub use time::{ClockRate, Span, Time};
+pub use trace::{merge_streams, Trace, TraceKind};
+pub use validate::{pair_sync_events, pair_sync_events_strict, AwaitPair, BarrierEpisode, SyncIndex, TraceError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_kind() -> impl Strategy<Value = EventKind> {
+        prop_oneof![
+            (0u32..8).prop_map(|s| EventKind::Statement { stmt: StatementId(s) }),
+            Just(EventKind::ProgramBegin),
+            (0u32..4, 0u64..16)
+                .prop_map(|(l, i)| EventKind::IterationBegin { loop_id: LoopId(l), iter: i }),
+        ]
+    }
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        (0u64..10_000, 0u16..8, 0u64..1_000, arb_kind()).prop_map(|(t, p, s, k)| {
+            Event::new(Time::from_nanos(t), ProcessorId(p), s, k)
+        })
+    }
+
+    proptest! {
+        /// `Trace::from_events` always yields a total order and never loses
+        /// or duplicates events.
+        #[test]
+        fn from_events_is_an_ordered_permutation(events in proptest::collection::vec(arb_event(), 0..200)) {
+            let trace = Trace::from_events(TraceKind::Measured, events.clone());
+            prop_assert!(trace.is_totally_ordered());
+            prop_assert_eq!(trace.len(), events.len());
+
+            let mut expected = events;
+            expected.sort_by_key(Event::order_key);
+            prop_assert_eq!(trace.events(), expected.as_slice());
+        }
+
+        /// Merging per-processor streams equals sorting the concatenation.
+        #[test]
+        fn merge_equals_global_sort(events in proptest::collection::vec(arb_event(), 0..200)) {
+            // Split events into per-processor streams, each sorted.
+            let mut streams: std::collections::BTreeMap<ProcessorId, Vec<Event>> = Default::default();
+            for e in &events {
+                streams.entry(e.proc).or_default().push(*e);
+            }
+            let streams: Vec<Vec<Event>> = streams
+                .into_values()
+                .map(|mut v| { v.sort_by_key(Event::order_key); v })
+                .collect();
+
+            let merged = merge_streams(TraceKind::Measured, streams);
+            let direct = Trace::from_events(TraceKind::Measured, events);
+            prop_assert_eq!(merged.events(), direct.events());
+        }
+
+        /// JSONL round-trips arbitrary traces losslessly.
+        #[test]
+        fn jsonl_round_trips(events in proptest::collection::vec(arb_event(), 0..64)) {
+            let trace = Trace::from_events(TraceKind::Approximated, events);
+            let mut buf = Vec::new();
+            write_jsonl(&trace, &mut buf).unwrap();
+            let back = read_jsonl(buf.as_slice()).unwrap();
+            prop_assert_eq!(trace, back);
+        }
+
+        /// Rebasing preserves all pairwise gaps.
+        #[test]
+        fn rebase_preserves_gaps(events in proptest::collection::vec(arb_event(), 1..100)) {
+            let trace = Trace::from_events(TraceKind::Actual, events);
+            let total_before = trace.total_time();
+            let rebased = trace.rebase_to_zero();
+            prop_assert_eq!(rebased.start_time(), Some(Time::ZERO));
+            prop_assert_eq!(rebased.total_time(), total_before);
+        }
+
+        /// Windowing laws: a window and its complement partition the
+        /// trace, and windowing is idempotent.
+        #[test]
+        fn window_partitions_the_trace(
+            events in proptest::collection::vec(arb_event(), 0..150),
+            cut in 0u64..10_000,
+        ) {
+            let trace = Trace::from_events(TraceKind::Measured, events);
+            let cut = Time::from_nanos(cut);
+            let lo = trace.window(Time::ZERO, cut);
+            let hi = trace.window(cut, Time::MAX);
+            prop_assert_eq!(lo.len() + hi.len(), trace.len());
+            prop_assert!(lo.iter().all(|e| e.time < cut));
+            prop_assert!(hi.iter().all(|e| e.time >= cut));
+            // Idempotence.
+            let again = lo.window(Time::ZERO, cut);
+            prop_assert_eq!(lo.events(), again.events());
+        }
+
+        /// Per-processor filters partition the trace.
+        #[test]
+        fn proc_filters_partition(events in proptest::collection::vec(arb_event(), 0..150)) {
+            let trace = Trace::from_events(TraceKind::Actual, events);
+            let total: usize = trace
+                .processors()
+                .into_iter()
+                .map(|p| trace.filter_proc(p).len())
+                .sum();
+            prop_assert_eq!(total, trace.len());
+        }
+
+        /// Bounded buffers never exceed capacity and account every drop.
+        #[test]
+        fn buffers_account_everything(
+            events in proptest::collection::vec(arb_event(), 0..200),
+            capacity in 1usize..64,
+        ) {
+            let trace = Trace::from_events(TraceKind::Measured, events);
+            for policy in [OverflowPolicy::DropNewest, OverflowPolicy::DropOldest] {
+                let (kept, dropped) = apply_buffers(&trace, capacity, policy);
+                prop_assert_eq!(kept.len() as u64 + dropped, trace.len() as u64);
+                // No processor keeps more than the capacity.
+                let mut per_proc: std::collections::BTreeMap<ProcessorId, usize> =
+                    Default::default();
+                for e in &kept {
+                    *per_proc.entry(e.proc).or_default() += 1;
+                }
+                prop_assert!(per_proc.values().all(|&n| n <= capacity));
+            }
+        }
+
+        /// Time arithmetic: (t + s) - s == t and (t + s) - t == s.
+        #[test]
+        fn time_span_inverse(t in 0u64..u32::MAX as u64, s in 0u64..u32::MAX as u64) {
+            let time = Time::from_nanos(t);
+            let span = Span::from_nanos(s);
+            prop_assert_eq!((time + span) - span, time);
+            prop_assert_eq!((time + span) - time, span);
+        }
+    }
+}

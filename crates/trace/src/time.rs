@@ -1,0 +1,440 @@
+//! Time representation for traces.
+//!
+//! All trace timestamps are absolute nanosecond counts ([`Time`]) from an
+//! arbitrary per-execution origin; durations are [`Span`]s. The paper's
+//! Alliant FX/80 measurements are microsecond-scale, so nanoseconds give
+//! three decimal digits of headroom below the coarsest quantity the models
+//! manipulate, while `u64` nanoseconds still cover ~584 years of execution.
+//!
+//! The simulator internally counts processor cycles; [`ClockRate`] converts
+//! between cycles and wall-clock [`Span`]s.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An absolute timestamp, in nanoseconds since the execution origin.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(u64);
+
+/// A non-negative duration, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Span(u64);
+
+impl Time {
+    /// The execution origin.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable timestamp.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a timestamp from a nanosecond count.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Creates a timestamp from a microsecond count.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// The nanosecond count since the origin.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The timestamp expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Elapsed span since `earlier`; zero if `earlier` is later than `self`.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Span {
+        Span(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Signed difference `self - other` in nanoseconds.
+    #[inline]
+    pub fn signed_delta(self, other: Time) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// Checked subtraction of a span; `None` on underflow.
+    #[inline]
+    pub fn checked_sub_span(self, span: Span) -> Option<Time> {
+        self.0.checked_sub(span.0).map(Time)
+    }
+
+    /// Subtracts a span, clamping at the origin.
+    #[inline]
+    pub fn saturating_sub_span(self, span: Span) -> Time {
+        Time(self.0.saturating_sub(span.0))
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Span {
+    /// The zero-length span.
+    pub const ZERO: Span = Span(0);
+    /// The maximum representable span.
+    pub const MAX: Span = Span(u64::MAX);
+
+    /// Creates a span from a nanosecond count.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Span(ns)
+    }
+
+    /// Creates a span from a microsecond count.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Span(us * 1_000)
+    }
+
+    /// Creates a span from a millisecond count.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Span(ms * 1_000_000)
+    }
+
+    /// The span length in nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The span expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of spans.
+    #[inline]
+    pub fn saturating_sub(self, other: Span) -> Span {
+        Span(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, other: Span) -> Option<Span> {
+        self.0.checked_add(other.0).map(Span)
+    }
+
+    /// The ratio `self / other` as a float; `NaN` if `other` is zero.
+    #[inline]
+    pub fn ratio(self, other: Span) -> f64 {
+        self.0 as f64 / other.0 as f64
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: Span) -> Span {
+        Span(self.0.max(other.0))
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Span) -> Span {
+        Span(self.0.min(other.0))
+    }
+
+    /// Scales the span by a float factor, rounding to the nearest nanosecond.
+    ///
+    /// Negative factors clamp to zero — spans are non-negative by
+    /// construction.
+    #[inline]
+    pub fn scale_f64(self, factor: f64) -> Span {
+        if factor <= 0.0 {
+            return Span::ZERO;
+        }
+        Span((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<Span> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Span) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Span> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Span) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Span> for Time {
+    type Output = Time;
+    /// Panics on underflow; use [`Time::saturating_sub_span`] or
+    /// [`Time::checked_sub_span`] when underflow is a legal outcome.
+    #[inline]
+    fn sub(self, rhs: Span) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Span;
+    /// Panics if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Time) -> Span {
+        Span(self.0 - rhs.0)
+    }
+}
+
+impl Add for Span {
+    type Output = Span;
+    #[inline]
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Span {
+    #[inline]
+    fn add_assign(&mut self, rhs: Span) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Span {
+    type Output = Span;
+    /// Panics on underflow; use [`Span::saturating_sub`] when underflow is a
+    /// legal outcome.
+    #[inline]
+    fn sub(self, rhs: Span) -> Span {
+        Span(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Span {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Span) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Span {
+    type Output = Span;
+    #[inline]
+    fn mul(self, rhs: u64) -> Span {
+        Span(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Span {
+    type Output = Span;
+    #[inline]
+    fn div(self, rhs: u64) -> Span {
+        Span(self.0 / rhs)
+    }
+}
+
+impl Sum for Span {
+    fn sum<I: Iterator<Item = Span>>(iter: I) -> Span {
+        iter.fold(Span::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// A processor clock rate used to convert simulator cycle counts to wall
+/// time.
+///
+/// The Alliant FX/80 computational elements ran at roughly 5.9 MHz (170 ns
+/// cycle); [`ClockRate::ALLIANT_FX80`] approximates that, and is the default
+/// everywhere in the simulator so that reproduced execution times land in
+/// the paper's microsecond regime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockRate {
+    ns_per_cycle: f64,
+}
+
+impl ClockRate {
+    /// ~5.9 MHz computational element clock of the Alliant FX/80 (170 ns).
+    pub const ALLIANT_FX80: ClockRate = ClockRate { ns_per_cycle: 170.0 };
+
+    /// A convenient 1 GHz rate (1 cycle == 1 ns) for tests.
+    pub const GHZ_1: ClockRate = ClockRate { ns_per_cycle: 1.0 };
+
+    /// Creates a clock rate from a cycle period in nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `ns_per_cycle` is not strictly positive and finite.
+    pub fn from_ns_per_cycle(ns_per_cycle: f64) -> Self {
+        assert!(
+            ns_per_cycle.is_finite() && ns_per_cycle > 0.0,
+            "cycle period must be positive and finite, got {ns_per_cycle}"
+        );
+        ClockRate { ns_per_cycle }
+    }
+
+    /// Creates a clock rate from a frequency in Hz.
+    pub fn from_hz(hz: f64) -> Self {
+        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive");
+        ClockRate { ns_per_cycle: 1e9 / hz }
+    }
+
+    /// The cycle period in nanoseconds.
+    #[inline]
+    pub fn ns_per_cycle(self) -> f64 {
+        self.ns_per_cycle
+    }
+
+    /// Converts a cycle count to a wall-clock span (nearest nanosecond).
+    #[inline]
+    pub fn cycles(self, cycles: u64) -> Span {
+        Span::from_nanos((cycles as f64 * self.ns_per_cycle).round() as u64)
+    }
+
+    /// Converts a wall-clock span back to (fractional) cycles.
+    #[inline]
+    pub fn to_cycles(self, span: Span) -> f64 {
+        span.as_nanos() as f64 / self.ns_per_cycle
+    }
+}
+
+impl Default for ClockRate {
+    fn default() -> Self {
+        ClockRate::ALLIANT_FX80
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::from_micros(3) + Span::from_nanos(250);
+        assert_eq!(t.as_nanos(), 3_250);
+        assert_eq!(t - Time::from_nanos(250), Span::from_micros(3));
+        assert_eq!(t - Span::from_nanos(3_250), Time::ZERO);
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        let early = Time::from_nanos(5);
+        let late = Time::from_nanos(9);
+        assert_eq!(early.saturating_since(late), Span::ZERO);
+        assert_eq!(late.saturating_since(early), Span::from_nanos(4));
+        assert_eq!(early.saturating_sub_span(Span::from_nanos(100)), Time::ZERO);
+        assert_eq!(Span::from_nanos(3).saturating_sub(Span::from_nanos(7)), Span::ZERO);
+    }
+
+    #[test]
+    fn signed_delta_is_signed() {
+        let a = Time::from_nanos(10);
+        let b = Time::from_nanos(25);
+        assert_eq!(a.signed_delta(b), -15);
+        assert_eq!(b.signed_delta(a), 15);
+    }
+
+    #[test]
+    fn span_sum_and_scale() {
+        let total: Span = [1u64, 2, 3, 4].iter().map(|&n| Span::from_nanos(n)).sum();
+        assert_eq!(total, Span::from_nanos(10));
+        assert_eq!(total.scale_f64(2.5), Span::from_nanos(25));
+        assert_eq!(total.scale_f64(-1.0), Span::ZERO);
+        assert_eq!(total * 3, Span::from_nanos(30));
+        assert_eq!(total / 2, Span::from_nanos(5));
+    }
+
+    #[test]
+    fn ratio_of_spans() {
+        let num = Span::from_nanos(456);
+        let den = Span::from_nanos(100);
+        assert!((num.ratio(den) - 4.56).abs() < 1e-12);
+        assert!(num.ratio(Span::ZERO).is_infinite() || num.ratio(Span::ZERO).is_nan());
+    }
+
+    #[test]
+    fn clock_rate_conversions() {
+        let r = ClockRate::from_hz(1e9);
+        assert_eq!(r.cycles(1_000), Span::from_micros(1));
+        assert!((r.to_cycles(Span::from_micros(1)) - 1_000.0).abs() < 1e-9);
+
+        let fx80 = ClockRate::ALLIANT_FX80;
+        assert_eq!(fx80.cycles(10), Span::from_nanos(1_700));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn clock_rate_rejects_zero() {
+        let _ = ClockRate::from_ns_per_cycle(0.0);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(Span::from_nanos(12).to_string(), "12ns");
+        assert_eq!(Span::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Span::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Span::from_millis(12_000).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = Time::from_nanos(1);
+        let b = Time::from_nanos(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Span::from_nanos(1).max(Span::from_nanos(2)), Span::from_nanos(2));
+        assert_eq!(Span::from_nanos(1).min(Span::from_nanos(2)), Span::from_nanos(1));
+    }
+}

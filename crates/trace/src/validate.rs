@@ -1,0 +1,562 @@
+//! Trace validation and synchronization-event pairing.
+//!
+//! Event-based perturbation analysis is only sound on traces whose
+//! synchronization events can be paired unambiguously (§4.2.2: events must
+//! carry "a unique value identifying the pair"). [`pair_sync_events`]
+//! builds that pairing and, en route, rejects malformed traces with typed
+//! errors — missing advances, duplicate tags, unmatched awaits, ill-formed
+//! barrier episodes, or a broken total order.
+
+use crate::event::{Event, EventKind};
+use crate::ids::{BarrierId, ProcessorId, SyncTag, SyncVarId};
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are named after the id types they hold
+pub enum TraceError {
+    /// The event array is not sorted by `(time, proc, seq)`.
+    NotTotallyOrdered { position: usize },
+    /// Two `advance` events carry the same `(var, tag)`.
+    DuplicateAdvance { var: SyncVarId, tag: SyncTag },
+    /// An `advance` carries a pre-advanced (negative) tag, which no
+    /// operation may produce.
+    NegativeAdvanceTag { var: SyncVarId, tag: SyncTag },
+    /// An `awaitE` appeared with no preceding `awaitB` for the same
+    /// `(var, tag)` on the same processor.
+    UnmatchedAwaitEnd { proc: ProcessorId, var: SyncVarId, tag: SyncTag },
+    /// An `awaitB` was never completed by an `awaitE` on its processor.
+    UnmatchedAwaitBegin { proc: ProcessorId, var: SyncVarId, tag: SyncTag },
+    /// Two `awaitB` events nested on one processor (an await began while
+    /// another was still pending).
+    NestedAwait { proc: ProcessorId, var: SyncVarId, tag: SyncTag },
+    /// An `awaitE` on a non-pre-advanced tag has no `advance` partner
+    /// anywhere in the trace.
+    MissingAdvance { var: SyncVarId, tag: SyncTag },
+    /// An `awaitE` was recorded before its partner `advance` in the total
+    /// order — causally impossible.
+    AwaitBeforeAdvance { var: SyncVarId, tag: SyncTag },
+    /// A barrier episode has a different number of enters and exits.
+    BarrierArityMismatch { barrier: BarrierId, enters: usize, exits: usize },
+    /// A barrier exit was recorded before every participant entered.
+    BarrierExitBeforeLastEnter { barrier: BarrierId },
+    /// A processor exited a barrier it never entered (or exited twice).
+    BarrierProtocol { barrier: BarrierId, proc: ProcessorId },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NotTotallyOrdered { position } => {
+                write!(f, "trace is not totally ordered at event index {position}")
+            }
+            TraceError::DuplicateAdvance { var, tag } => {
+                write!(f, "duplicate advance on {var} {tag}")
+            }
+            TraceError::NegativeAdvanceTag { var, tag } => {
+                write!(f, "advance on {var} carries reserved pre-advanced tag {tag}")
+            }
+            TraceError::UnmatchedAwaitEnd { proc, var, tag } => {
+                write!(f, "awaitE on {proc} for {var} {tag} without matching awaitB")
+            }
+            TraceError::UnmatchedAwaitBegin { proc, var, tag } => {
+                write!(f, "awaitB on {proc} for {var} {tag} never completed")
+            }
+            TraceError::NestedAwait { proc, var, tag } => {
+                write!(f, "nested awaitB on {proc} for {var} {tag}")
+            }
+            TraceError::MissingAdvance { var, tag } => {
+                write!(f, "awaitE for {var} {tag} has no advance partner in the trace")
+            }
+            TraceError::AwaitBeforeAdvance { var, tag } => {
+                write!(f, "awaitE for {var} {tag} precedes its advance in the total order")
+            }
+            TraceError::BarrierArityMismatch { barrier, enters, exits } => {
+                write!(f, "{barrier}: {enters} enters but {exits} exits")
+            }
+            TraceError::BarrierExitBeforeLastEnter { barrier } => {
+                write!(f, "{barrier}: an exit precedes the last enter")
+            }
+            TraceError::BarrierProtocol { barrier, proc } => {
+                write!(f, "{barrier}: {proc} violated the enter/exit protocol")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One paired await: the `awaitB`/`awaitE` event indices on a processor and
+/// the index of the partner `advance` (absent for pre-advanced tags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AwaitPair {
+    /// Processor that executed the await.
+    pub proc: ProcessorId,
+    /// Index of the `awaitB` event in the trace.
+    pub begin: usize,
+    /// Index of the `awaitE` event in the trace.
+    pub end: usize,
+    /// Index of the partner `advance` event, if the tag required one.
+    pub advance: Option<usize>,
+}
+
+/// One barrier episode: all enter/exit event indices for a barrier id.
+///
+/// A trace may contain several episodes of the same [`BarrierId`] (a loop
+/// executed repeatedly); episodes are split greedily: an episode closes when
+/// the number of exits equals the number of enters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierEpisode {
+    /// The barrier id.
+    pub barrier: BarrierId,
+    /// Enter event indices, in total order.
+    pub enters: Vec<usize>,
+    /// Exit event indices, in total order.
+    pub exits: Vec<usize>,
+}
+
+/// The synchronization structure of a validated trace.
+#[derive(Debug, Clone, Default)]
+pub struct SyncIndex {
+    /// `(var, tag)` → index of the advance event.
+    pub advances: BTreeMap<(SyncVarId, SyncTag), usize>,
+    /// All await pairs, ordered by `awaitB` position.
+    pub awaits: Vec<AwaitPair>,
+    /// All barrier episodes, ordered by first enter.
+    pub barriers: Vec<BarrierEpisode>,
+}
+
+impl SyncIndex {
+    /// Looks up the await pair whose `awaitE` is at trace index `end`.
+    pub fn await_by_end(&self, end: usize) -> Option<&AwaitPair> {
+        self.awaits.iter().find(|p| p.end == end)
+    }
+}
+
+/// Validates a trace's synchronization structure and returns the pairing.
+///
+/// Checks, in order: total-order invariant; advance tag legality and
+/// uniqueness; awaitB/awaitE pairing per processor (no nesting, no orphan
+/// ends, no dangling begins); existence of each await's partner advance;
+/// barrier episode well-formedness.
+///
+/// This function does **not** require the partner advance *event* to
+/// precede the `awaitE` event in the total order: in a measured trace the
+/// waiter resumes when the advance *operation* completes, while the
+/// advance event is only recorded after the advance instrumentation (α)
+/// runs, so a measured `awaitE` may legitimately carry an earlier
+/// timestamp than its advance event — one of the event reorderings
+/// perturbation analysis exists to repair. Use [`pair_sync_events_strict`]
+/// for traces where that skew cannot occur (actual and approximated
+/// traces).
+pub fn pair_sync_events(trace: &Trace) -> Result<SyncIndex, TraceError> {
+    pair_sync_events_impl(trace, false)
+}
+
+/// Like [`pair_sync_events`], but additionally requires every `awaitE` to
+/// follow its partner `advance` event in the total order — the causality
+/// condition instrumentation-free (actual) and approximated traces must
+/// satisfy.
+pub fn pair_sync_events_strict(trace: &Trace) -> Result<SyncIndex, TraceError> {
+    pair_sync_events_impl(trace, true)
+}
+
+fn pair_sync_events_impl(trace: &Trace, strict: bool) -> Result<SyncIndex, TraceError> {
+    let events = trace.events();
+    if let Some(pos) = first_order_violation(events) {
+        return Err(TraceError::NotTotallyOrdered { position: pos });
+    }
+
+    let mut index = SyncIndex::default();
+    // Per-processor pending awaitB, to pair with the next awaitE.
+    let mut pending: BTreeMap<ProcessorId, (SyncVarId, SyncTag, usize)> = BTreeMap::new();
+
+    for (i, e) in events.iter().enumerate() {
+        match e.kind {
+            EventKind::Advance { var, tag } => {
+                if tag.is_pre_advanced() {
+                    return Err(TraceError::NegativeAdvanceTag { var, tag });
+                }
+                if index.advances.insert((var, tag), i).is_some() {
+                    return Err(TraceError::DuplicateAdvance { var, tag });
+                }
+            }
+            EventKind::AwaitBegin { var, tag } => {
+                if pending.contains_key(&e.proc) {
+                    return Err(TraceError::NestedAwait { proc: e.proc, var, tag });
+                }
+                pending.insert(e.proc, (var, tag, i));
+            }
+            EventKind::AwaitEnd { var, tag } => match pending.remove(&e.proc) {
+                Some((bvar, btag, begin)) if bvar == var && btag == tag => {
+                    index.awaits.push(AwaitPair { proc: e.proc, begin, end: i, advance: None });
+                }
+                _ => return Err(TraceError::UnmatchedAwaitEnd { proc: e.proc, var, tag }),
+            },
+            _ => {}
+        }
+    }
+
+    if let Some((&proc, &(var, tag, _))) = pending.iter().next() {
+        return Err(TraceError::UnmatchedAwaitBegin { proc, var, tag });
+    }
+
+    // Resolve each await's advance partner and check causality.
+    for pair in &mut index.awaits {
+        let (var, tag) = match events[pair.end].kind {
+            EventKind::AwaitEnd { var, tag } => (var, tag),
+            _ => unreachable!("await pair indexes an awaitE"),
+        };
+        if tag.is_pre_advanced() {
+            continue;
+        }
+        let adv = *index
+            .advances
+            .get(&(var, tag))
+            .ok_or(TraceError::MissingAdvance { var, tag })?;
+        if strict && events[adv].order_key() > events[pair.end].order_key() {
+            return Err(TraceError::AwaitBeforeAdvance { var, tag });
+        }
+        pair.advance = Some(adv);
+    }
+
+    index.barriers = collect_barriers(events)?;
+    Ok(index)
+}
+
+fn first_order_violation(events: &[Event]) -> Option<usize> {
+    events
+        .windows(2)
+        .position(|w| w[0].order_key() > w[1].order_key())
+        .map(|p| p + 1)
+}
+
+fn collect_barriers(events: &[Event]) -> Result<Vec<BarrierEpisode>, TraceError> {
+    // Open episode per barrier id: (enters, exits, procs-entered, procs-exited)
+    struct Open {
+        enters: Vec<usize>,
+        exits: Vec<usize>,
+        entered: Vec<ProcessorId>,
+        exited: Vec<ProcessorId>,
+    }
+    let mut open: BTreeMap<BarrierId, Open> = BTreeMap::new();
+    let mut done: Vec<BarrierEpisode> = Vec::new();
+
+    for (i, e) in events.iter().enumerate() {
+        match e.kind {
+            EventKind::BarrierEnter { barrier } => {
+                let ep = open.entry(barrier).or_insert_with(|| Open {
+                    enters: Vec::new(),
+                    exits: Vec::new(),
+                    entered: Vec::new(),
+                    exited: Vec::new(),
+                });
+                // A processor re-entering before the episode closed would
+                // mean two overlapping episodes of the same barrier.
+                if ep.entered.contains(&e.proc) {
+                    return Err(TraceError::BarrierProtocol { barrier, proc: e.proc });
+                }
+                ep.enters.push(i);
+                ep.entered.push(e.proc);
+            }
+            EventKind::BarrierExit { barrier } => {
+                let ep = match open.get_mut(&barrier) {
+                    Some(ep) => ep,
+                    None => return Err(TraceError::BarrierProtocol { barrier, proc: e.proc }),
+                };
+                if !ep.entered.contains(&e.proc) || ep.exited.contains(&e.proc) {
+                    return Err(TraceError::BarrierProtocol { barrier, proc: e.proc });
+                }
+                // No exit may precede the last enter of the episode. Exits
+                // are only legal once every participant has entered; since
+                // participants are implicit, we check against enters seen so
+                // far when the episode closes (below) — here we record.
+                ep.exits.push(i);
+                ep.exited.push(e.proc);
+                if ep.exits.len() == ep.enters.len() {
+                    let ep = open.remove(&barrier).expect("episode is open");
+                    // Every exit must order after the last enter.
+                    let last_enter = *ep.enters.last().expect("episode has enters");
+                    let first_exit = *ep.exits.first().expect("episode has exits");
+                    if events[first_exit].order_key() < events[last_enter].order_key() {
+                        return Err(TraceError::BarrierExitBeforeLastEnter { barrier });
+                    }
+                    done.push(BarrierEpisode { barrier, enters: ep.enters, exits: ep.exits });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if let Some((&barrier, ep)) = open.iter().next() {
+        return Err(TraceError::BarrierArityMismatch {
+            barrier,
+            enters: ep.enters.len(),
+            exits: ep.exits.len(),
+        });
+    }
+
+    done.sort_by_key(|ep| ep.enters[0]);
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+    use crate::trace::TraceKind;
+
+    fn e(ns: u64, proc: u16, seq: u64, kind: EventKind) -> Event {
+        Event::new(Time::from_nanos(ns), ProcessorId(proc), seq, kind)
+    }
+
+    fn adv(var: u32, tag: i64) -> EventKind {
+        EventKind::Advance { var: SyncVarId(var), tag: SyncTag(tag) }
+    }
+    fn awb(var: u32, tag: i64) -> EventKind {
+        EventKind::AwaitBegin { var: SyncVarId(var), tag: SyncTag(tag) }
+    }
+    fn awe(var: u32, tag: i64) -> EventKind {
+        EventKind::AwaitEnd { var: SyncVarId(var), tag: SyncTag(tag) }
+    }
+
+    #[test]
+    fn pairs_simple_advance_await() {
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(10, 0, 0, adv(0, 0)),
+                e(20, 1, 1, awb(0, 0)),
+                e(25, 1, 2, awe(0, 0)),
+            ],
+        );
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.awaits.len(), 1);
+        let p = idx.awaits[0];
+        assert_eq!(p.proc, ProcessorId(1));
+        assert_eq!((p.begin, p.end), (1, 2));
+        assert_eq!(p.advance, Some(0));
+    }
+
+    #[test]
+    fn pre_advanced_tag_needs_no_advance() {
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![e(1, 0, 0, awb(0, -1)), e(2, 0, 1, awe(0, -1))],
+        );
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.awaits[0].advance, None);
+    }
+
+    #[test]
+    fn detects_missing_advance() {
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![e(1, 0, 0, awb(0, 5)), e(2, 0, 1, awe(0, 5))],
+        );
+        assert_eq!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::MissingAdvance { var: SyncVarId(0), tag: SyncTag(5) }
+        );
+    }
+
+    #[test]
+    fn strict_mode_detects_await_before_advance() {
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(1, 1, 0, awb(0, 0)),
+                e(2, 1, 1, awe(0, 0)),
+                e(3, 0, 2, adv(0, 0)),
+            ],
+        );
+        assert_eq!(
+            pair_sync_events_strict(&t).unwrap_err(),
+            TraceError::AwaitBeforeAdvance { var: SyncVarId(0), tag: SyncTag(0) }
+        );
+        // The lenient pairing accepts the same trace: in a measured trace
+        // the advance *event* may trail the advance *operation* by α.
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.awaits[0].advance, Some(2));
+    }
+
+    #[test]
+    fn detects_duplicate_advance() {
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![e(1, 0, 0, adv(0, 3)), e(2, 1, 1, adv(0, 3))],
+        );
+        assert_eq!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::DuplicateAdvance { var: SyncVarId(0), tag: SyncTag(3) }
+        );
+    }
+
+    #[test]
+    fn rejects_negative_advance_tag() {
+        let t = Trace::from_events(TraceKind::Measured, vec![e(1, 0, 0, adv(0, -2))]);
+        assert_eq!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::NegativeAdvanceTag { var: SyncVarId(0), tag: SyncTag(-2) }
+        );
+    }
+
+    #[test]
+    fn detects_unmatched_await_end() {
+        let t = Trace::from_events(TraceKind::Measured, vec![e(1, 0, 0, awe(0, 0))]);
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::UnmatchedAwaitEnd { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_dangling_await_begin() {
+        let t = Trace::from_events(TraceKind::Measured, vec![e(1, 0, 0, awb(0, 0))]);
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::UnmatchedAwaitBegin { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_nested_await() {
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![e(1, 0, 0, awb(0, 0)), e(2, 0, 1, awb(0, 1))],
+        );
+        assert!(matches!(pair_sync_events(&t).unwrap_err(), TraceError::NestedAwait { .. }));
+    }
+
+    #[test]
+    fn mismatched_await_pair_is_unmatched_end() {
+        // awaitB on tag 0 followed by awaitE on tag 1: the end does not
+        // match the pending begin.
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![e(1, 0, 0, awb(0, 0)), e(2, 0, 1, awe(0, 1))],
+        );
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::UnmatchedAwaitEnd { .. }
+        ));
+    }
+
+    #[test]
+    fn barrier_episode_collects() {
+        let b = BarrierId(0);
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(1, 0, 0, EventKind::BarrierEnter { barrier: b }),
+                e(2, 1, 1, EventKind::BarrierEnter { barrier: b }),
+                e(3, 0, 2, EventKind::BarrierExit { barrier: b }),
+                e(3, 1, 3, EventKind::BarrierExit { barrier: b }),
+            ],
+        );
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.barriers.len(), 1);
+        assert_eq!(idx.barriers[0].enters, vec![0, 1]);
+        assert_eq!(idx.barriers[0].exits, vec![2, 3]);
+    }
+
+    #[test]
+    fn barrier_exit_before_last_enter_rejected() {
+        // P0 exits while P2 has yet to enter the same episode: infeasible.
+        let b = BarrierId(0);
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(1, 0, 0, EventKind::BarrierEnter { barrier: b }),
+                e(2, 1, 1, EventKind::BarrierEnter { barrier: b }),
+                e(3, 0, 2, EventKind::BarrierExit { barrier: b }),
+                e(4, 2, 3, EventKind::BarrierEnter { barrier: b }),
+                e(5, 1, 4, EventKind::BarrierExit { barrier: b }),
+                e(6, 2, 5, EventKind::BarrierExit { barrier: b }),
+            ],
+        );
+        assert_eq!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::BarrierExitBeforeLastEnter { barrier: b }
+        );
+    }
+
+    #[test]
+    fn disjoint_single_proc_episodes_are_two_episodes() {
+        // A processor entering and exiting alone closes an episode; a later
+        // solo enter/exit is a second episode, not an error (participant
+        // sets are implicit in the trace).
+        let b = BarrierId(0);
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(1, 0, 0, EventKind::BarrierEnter { barrier: b }),
+                e(2, 0, 1, EventKind::BarrierExit { barrier: b }),
+                e(3, 1, 2, EventKind::BarrierEnter { barrier: b }),
+                e(4, 1, 3, EventKind::BarrierExit { barrier: b }),
+            ],
+        );
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.barriers.len(), 2);
+    }
+
+    #[test]
+    fn barrier_arity_mismatch_rejected() {
+        let b = BarrierId(1);
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(1, 0, 0, EventKind::BarrierEnter { barrier: b }),
+                e(2, 1, 1, EventKind::BarrierEnter { barrier: b }),
+                e(3, 0, 2, EventKind::BarrierExit { barrier: b }),
+            ],
+        );
+        assert_eq!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::BarrierArityMismatch { barrier: b, enters: 2, exits: 1 }
+        );
+    }
+
+    #[test]
+    fn barrier_exit_without_enter_rejected() {
+        let b = BarrierId(0);
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![e(1, 0, 0, EventKind::BarrierExit { barrier: b })],
+        );
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::BarrierProtocol { .. }
+        ));
+    }
+
+    #[test]
+    fn two_sequential_episodes_of_same_barrier() {
+        let b = BarrierId(0);
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(1, 0, 0, EventKind::BarrierEnter { barrier: b }),
+                e(2, 1, 1, EventKind::BarrierEnter { barrier: b }),
+                e(3, 0, 2, EventKind::BarrierExit { barrier: b }),
+                e(3, 1, 3, EventKind::BarrierExit { barrier: b }),
+                e(5, 0, 4, EventKind::BarrierEnter { barrier: b }),
+                e(6, 1, 5, EventKind::BarrierEnter { barrier: b }),
+                e(7, 0, 6, EventKind::BarrierExit { barrier: b }),
+                e(7, 1, 7, EventKind::BarrierExit { barrier: b }),
+            ],
+        );
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.barriers.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let idx = pair_sync_events(&Trace::new(TraceKind::Actual)).unwrap();
+        assert!(idx.awaits.is_empty());
+        assert!(idx.advances.is_empty());
+        assert!(idx.barriers.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! The full loop-17 analysis pipeline (Tables 2–3, Figures 4–5 of the
+//! paper) in one program, showing how the pieces compose:
+//!
+//! ```text
+//! cargo run --release --example doacross_pipeline
+//! ```
+//!
+//! simulate actual → simulate measured → event-based analysis →
+//! waiting table → timeline → parallelism profile, with each product
+//! compared against the simulator's ground truth.
+
+use ppa::experiments::experiment_config;
+use ppa::metrics::{
+    build_timeline, format_waiting_table, parallelism_profile, render_parallelism,
+    render_timeline, waiting_table,
+};
+use ppa::prelude::*;
+
+fn main() {
+    let cfg = experiment_config();
+    let program = ppa::lfk::doacross_graph(17).expect("loop 17 exists");
+
+    let actual = run_actual(&program, &cfg).expect("simulation succeeds");
+    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
+        .expect("simulation succeeds");
+    let analysis = event_based(&measured.trace, &cfg.overheads).expect("trace is feasible");
+
+    println!("Livermore loop 17, implicit conditional computation");
+    println!("----------------------------------------------------");
+    println!("actual:       {}", actual.trace.total_time());
+    println!(
+        "measured:     {}  ({:.2}x)",
+        measured.trace.total_time(),
+        measured.trace.total_time().ratio(actual.trace.total_time())
+    );
+    println!(
+        "approximated: {}  ({:+.2}% error)",
+        analysis.total_time(),
+        (analysis.total_time().ratio(actual.trace.total_time()) - 1.0) * 100.0
+    );
+
+    // Table 3: per-processor waiting of the approximated execution.
+    let table = waiting_table(&analysis, cfg.processors);
+    println!("\n{}", format_waiting_table("per-processor DOACROSS waiting", &table));
+
+    // Ground truth comparison the paper could not make.
+    let truth = &actual.stats.loops[0];
+    let total = actual.trace.total_time();
+    print!("ground truth: ");
+    for ps in &truth.per_proc {
+        print!(" {:>7.2}%", 100.0 * ps.sync_wait.ratio(total));
+    }
+    println!();
+
+    // Figure 4: waiting timeline.
+    let timeline = build_timeline(&analysis, cfg.processors);
+    println!("\napproximated waiting behavior ('#' active, '.' waiting):");
+    println!("{}", render_timeline(&timeline, 80));
+
+    // Figure 5: parallelism profile.
+    let profile = parallelism_profile(&timeline);
+    let window = (
+        analysis
+            .trace
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::LoopBegin { .. }))
+            .map(|e| e.time)
+            .unwrap_or(Time::ZERO),
+        analysis
+            .trace
+            .events()
+            .iter()
+            .rev()
+            .find(|e| matches!(e.kind, EventKind::LoopEnd { .. }))
+            .map(|e| e.time)
+            .unwrap_or(Time::ZERO),
+    );
+    println!(
+        "parallelism over time (avg over loop: {:.1}, peak {}):",
+        profile.average(window.0, window.1),
+        profile.peak()
+    );
+    println!("{}", render_parallelism(&profile, 80, cfg.processors));
+}

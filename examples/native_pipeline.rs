@@ -1,0 +1,44 @@
+//! The native (real-thread) pipeline: calibrate, measure, analyze —
+//! on actual OS threads with real clocks, where the "actual" time is
+//! itself a noisy measurement.
+//!
+//! ```text
+//! cargo run --release --example native_pipeline
+//! ```
+//!
+//! Also demonstrates the *real* Livermore loop 3: an inner product whose
+//! accumulation is ordered across threads by an advance/await chain, and
+//! whose result is bit-identical to the sequential kernel.
+
+use ppa::lfk::data::fill;
+use ppa::lfk::kernels::k03_with;
+use ppa::native::{doacross_inner_product, native_pipeline_demo};
+
+fn main() {
+    println!("== native measure -> analyze -> compare ==\n");
+    match native_pipeline_demo() {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!("== ordered DOACROSS reduction across thread counts ==\n");
+    let n = 100_000;
+    let z = fill(n, 301, 1.0);
+    let x = fill(n, 302, 1.0);
+    let reference = k03_with(&z, &x);
+    println!("sequential inner product: {reference:.12}");
+    for threads in [1, 2, 4, 8] {
+        let start = std::time::Instant::now();
+        let value = doacross_inner_product(&z, &x, threads);
+        let elapsed = start.elapsed();
+        let identical = value.to_bits() == reference.to_bits();
+        println!(
+            "{threads} thread(s): {value:.12}  [{}] in {elapsed:?}",
+            if identical { "bit-identical" } else { "MISMATCH" }
+        );
+        assert!(identical, "DOACROSS ordering must reproduce sequential addition order");
+    }
+}

@@ -1,0 +1,80 @@
+//! Estimating instrumentation overheads from calibration runs.
+//!
+//! ```text
+//! cargo run --release --example overhead_estimation
+//! ```
+//!
+//! Perturbation analysis takes measured overheads as input; the paper
+//! determined them in vitro (§2). This example closes the loop entirely
+//! inside the toolkit: run a calibration workload twice (uninstrumented
+//! and instrumented), *estimate* the per-event-kind overheads from the
+//! trace pair, then analyze an unrelated workload with the estimated spec
+//! and show the approximation is as good as with the true one.
+
+use ppa::analysis::{estimate_overheads, event_based};
+use ppa::experiments::experiment_config;
+use ppa::prelude::*;
+
+fn calibration_program() -> Program {
+    let mut b = ProgramBuilder::new("calibration");
+    let v = b.sync_var();
+    b.doacross(1, 256, |body| {
+        body.compute("head", 40_000)
+            .await_var(v, -1)
+            .compute_unobservable("cs", 60)
+            .advance(v)
+    })
+    .build()
+    .expect("valid")
+}
+
+fn main() {
+    let cfg = experiment_config();
+
+    // 1. Calibrate: trace pair of a wait-free workload.
+    let cal = calibration_program();
+    let cal_actual = run_actual(&cal, &cfg).expect("valid");
+    let cal_measured =
+        run_measured(&cal, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
+    let estimate = estimate_overheads(&cal_actual.trace, &cal_measured.trace, &cfg.overheads);
+
+    println!("estimated overheads from {} calibration events:", cal_measured.trace.len());
+    for k in &estimate.kinds {
+        println!(
+            "  {:<9} {:>10}   ({} samples, spread {} .. {})",
+            k.kind, k.median.to_string(), k.samples, k.min, k.max
+        );
+    }
+
+    // 2. Apply to a different workload: Livermore loop 17.
+    let target = ppa::lfk::doacross_graph(17).expect("loop 17");
+    let actual = run_actual(&target, &cfg).expect("valid");
+    let measured =
+        run_measured(&target, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
+
+    let with_true = event_based(&measured.trace, &cfg.overheads).expect("feasible");
+    let with_estimated = event_based(&measured.trace, &estimate.spec).expect("feasible");
+
+    let actual_total = actual.trace.total_time();
+    println!("\nloop 17 totals:");
+    println!("  actual:                    {actual_total}");
+    println!(
+        "  measured:                  {} ({:.2}x)",
+        measured.trace.total_time(),
+        measured.trace.total_time().ratio(actual_total)
+    );
+    println!(
+        "  approx (true overheads):   {} ({:+.2}%)",
+        with_true.total_time(),
+        (with_true.total_time().ratio(actual_total) - 1.0) * 100.0
+    );
+    println!(
+        "  approx (estimated):        {} ({:+.2}%)",
+        with_estimated.total_time(),
+        (with_estimated.total_time().ratio(actual_total) - 1.0) * 100.0
+    );
+
+    let err = (with_estimated.total_time().ratio(actual_total) - 1.0).abs();
+    assert!(err < 0.05, "estimated-spec analysis drifted: {err}");
+    println!("\nestimated-spec analysis is within {:.2}% of actual.", err * 100.0);
+}

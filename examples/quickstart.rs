@@ -1,0 +1,79 @@
+//! Quickstart: measure a DOACROSS loop, then recover its actual
+//! performance from the perturbed trace.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow below is the paper in miniature:
+//! 1. describe a parallel loop with a cross-iteration dependence;
+//! 2. simulate it *without* instrumentation (the unknowable-in-practice
+//!    ground truth the simulator gives us for free);
+//! 3. simulate it *with* full tracing — the measured run is several times
+//!    slower and its waiting pattern is distorted;
+//! 4. apply event-based perturbation analysis to the measured trace and
+//!    compare all three.
+
+use ppa::experiments::experiment_config;
+use ppa::prelude::*;
+
+fn main() {
+    // 1. A DOACROSS loop: 800ns of independent work per iteration, then a
+    //    60ns critical-section update ordered by advance/await (iteration
+    //    i waits for iteration i-1).
+    let mut builder = ProgramBuilder::new("quickstart");
+    let v = builder.sync_var();
+    let program = builder
+        .serial([("setup", 2_000u64)])
+        .doacross(1, 256, |body| {
+            body.compute("independent work", 800)
+                .await_var(v, -1)
+                .compute("shared update", 60)
+                .advance(v)
+                .compute("store", 200)
+        })
+        .serial([("teardown", 2_000u64)])
+        .build()
+        .expect("program is well-formed");
+
+    let cfg = experiment_config();
+
+    // 2. Ground truth.
+    let actual = run_actual(&program, &cfg).expect("simulation succeeds");
+    println!("actual total time:       {}", actual.trace.total_time());
+
+    // 3. Measured run under full statement + synchronization tracing.
+    let plan = InstrumentationPlan::full_with_sync();
+    let measured = run_measured(&program, &plan, &cfg).expect("simulation succeeds");
+    let slowdown = measured.trace.total_time().ratio(actual.trace.total_time());
+    println!(
+        "measured total time:     {}   ({slowdown:.2}x slowdown, {} events)",
+        measured.trace.total_time(),
+        measured.trace.len()
+    );
+
+    // 4. Event-based perturbation analysis.
+    let approx = event_based(&measured.trace, &cfg.overheads).expect("trace is feasible");
+    let accuracy = approx.total_time().ratio(actual.trace.total_time());
+    println!(
+        "approximated total time: {}   ({:+.2}% error vs actual)",
+        approx.total_time(),
+        (accuracy - 1.0) * 100.0
+    );
+
+    // Compare with the naive model that ignores dependencies.
+    let naive = time_based(&measured.trace, &cfg.overheads);
+    let naive_ratio = naive.total_time().ratio(actual.trace.total_time());
+    println!(
+        "time-based (naive):      {}   ({:+.2}% error vs actual)",
+        naive.total_time(),
+        (naive_ratio - 1.0) * 100.0
+    );
+
+    // Waiting structure of the approximated execution.
+    println!("\napproximated per-processor waiting:");
+    for p in 0..cfg.processors {
+        let w = approx.sync_wait(ProcessorId(p as u16));
+        println!("  P{p}: {w}");
+    }
+}

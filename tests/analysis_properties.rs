@@ -1,0 +1,150 @@
+//! Cross-cutting analysis properties on the experiment workloads —
+//! relationships between the analysis products that must hold regardless
+//! of calibration.
+
+use ppa::analysis::{compare_traces, estimate_overheads, event_based, time_based};
+use ppa::experiments as exp;
+use ppa::metrics::{census, census_delta, loop_windows, order_perturbation, wait_histogram};
+use ppa::prelude::*;
+
+fn run_pair(kernel: u8, plan: &InstrumentationPlan) -> (Trace, Trace, SimConfig) {
+    let cfg = exp::experiment_config();
+    let program = ppa::lfk::doacross_graph(kernel).expect("doacross kernel");
+    let actual = run_actual(&program, &cfg).expect("valid");
+    let measured = run_measured(&program, plan, &cfg).expect("valid");
+    (actual.trace, measured.trace, cfg)
+}
+
+/// The approximated trace's loop window equals the actual trace's loop
+/// window (analysis recovers structure, not just totals).
+#[test]
+fn loop_windows_are_recovered() {
+    for kernel in [3u8, 4, 17] {
+        let (actual, measured, cfg) = run_pair(kernel, &InstrumentationPlan::full_with_sync());
+        let approx = event_based(&measured, &cfg.overheads).unwrap();
+
+        let wa = loop_windows(&actual);
+        let wx = loop_windows(&approx.trace);
+        assert_eq!(wa.len(), 1, "one concurrent loop per workload");
+        assert_eq!(wx.len(), 1);
+        assert_eq!(wa[0].0, wx[0].0, "loop id");
+        // Window lengths match closely (self-scheduled + jitter leaves a
+        // small residual; static dispatch would be exact).
+        let la = (wa[0].2 - wa[0].1).as_nanos() as f64;
+        let lx = (wx[0].2 - wx[0].1).as_nanos() as f64;
+        assert!(
+            (lx / la - 1.0).abs() < 0.05,
+            "kernel {kernel}: loop window {lx} vs actual {la}"
+        );
+    }
+}
+
+/// Census deltas across plans quantify the volume axis: full_with_sync
+/// adds exactly the sync/barrier kinds and multiplies events accordingly.
+#[test]
+fn census_delta_across_plans() {
+    let (_, stmts_only, _) = run_pair(3, &InstrumentationPlan::full_statements());
+    let (_, with_sync, _) = run_pair(3, &InstrumentationPlan::full_with_sync());
+    let a = census(&stmts_only);
+    let b = census(&with_sync);
+    let d = census_delta(&a, &b);
+    assert!(d.volume_ratio > 1.5, "sync instrumentation should add volume: {}", d.volume_ratio);
+    for kind in ["advance", "awaitB", "awaitE", "barEnter", "barExit"] {
+        assert!(
+            d.added_kinds.iter().any(|k| k == kind),
+            "missing added kind {kind}: {:?}",
+            d.added_kinds
+        );
+    }
+    assert!(d.removed_kinds.is_empty());
+}
+
+/// Time-based analysis preserves event order within threads but cannot
+/// repair cross-processor order; event-based repairs it fully.
+#[test]
+fn order_repair_is_exclusive_to_event_based() {
+    let (actual, measured, cfg) = run_pair(17, &InstrumentationPlan::full_with_sync());
+
+    let raw = order_perturbation(&actual, &measured);
+    assert!(raw.inversions > 0);
+
+    let tb = time_based(&measured, &cfg.overheads);
+    let tb_order = order_perturbation(&actual, &tb.trace);
+
+    let eb = event_based(&measured, &cfg.overheads).unwrap();
+    let eb_order = order_perturbation(&actual, &eb.trace);
+
+    assert_eq!(eb_order.inversions, 0, "event-based repairs all reordering");
+    assert!(
+        eb_order.inversions <= tb_order.inversions,
+        "event-based must not be worse than time-based"
+    );
+}
+
+/// The waiting histogram's total equals the summed per-processor waits.
+#[test]
+fn histogram_mass_matches_waiting_totals() {
+    let (_, measured, cfg) = run_pair(3, &InstrumentationPlan::full_with_sync());
+    let approx = event_based(&measured, &cfg.overheads).unwrap();
+    let h = wait_histogram(&approx);
+    let total_from_rows: Span =
+        (0..cfg.processors).map(|p| approx.sync_wait(ProcessorId(p as u16))).sum();
+    assert_eq!(h.total, total_from_rows);
+    assert_eq!(h.count as usize, approx.awaits.iter().filter(|a| a.waited()).count());
+}
+
+/// Overhead estimation from one kernel's pair transfers to another kernel
+/// (the constants are machine properties, not workload properties).
+#[test]
+fn estimated_overheads_transfer_across_workloads() {
+    let (actual3, measured3, cfg) = run_pair(3, &InstrumentationPlan::full_with_sync());
+    let est = estimate_overheads(&actual3, &measured3, &cfg.overheads);
+
+    let (actual17, measured17, _) = run_pair(17, &InstrumentationPlan::full_with_sync());
+    let approx = event_based(&measured17, &est.spec).unwrap();
+    let ratio = approx.total_time().ratio(actual17.total_time());
+    assert!(
+        (ratio - 1.0).abs() < 0.05,
+        "estimated spec from loop 3 should analyze loop 17: {ratio}"
+    );
+}
+
+/// Windowing composes with accuracy comparison: restricting both traces
+/// to the loop window still shows the event-based exactness.
+#[test]
+fn windowed_comparison_is_consistent() {
+    let cfg = exp::experiment_config().with_schedule(SchedulePolicy::StaticCyclic);
+    let program = ppa::lfk::doacross_graph(4).unwrap();
+    let actual = run_actual(&program, &cfg).unwrap().trace;
+    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
+        .unwrap()
+        .trace;
+    let approx = event_based(&measured, &cfg.overheads).unwrap().trace;
+
+    let w = loop_windows(&actual)[0];
+    let a_win = actual.window(w.1, w.2 + Span::from_nanos(1));
+    let x_win = approx.window(w.1, w.2 + Span::from_nanos(1));
+    let report = compare_traces(&a_win, &x_win, Span::ZERO);
+    assert!(report.matched > 1_000);
+    assert_eq!(report.max_abs_error, Span::ZERO);
+}
+
+/// The experiment drivers expose consistent data: table2's approximated
+/// ratio for loop 17 equals the loop17_analysis result's ratio.
+#[test]
+fn drivers_are_mutually_consistent() {
+    let t2 = exp::table2();
+    let l17_row = t2.iter().find(|r| r.label == "lfk17").unwrap();
+    let a = exp::loop17_analysis();
+
+    let cfg = exp::experiment_config();
+    let program = ppa::lfk::doacross_graph(17).unwrap();
+    let actual = run_actual(&program, &cfg).unwrap().trace.total_time();
+    let from_analysis = a.result.total_time().ratio(actual);
+    assert!(
+        (from_analysis - l17_row.approx_over_actual).abs() < 1e-9,
+        "table2 ({}) and loop17_analysis ({}) disagree",
+        l17_row.approx_over_actual,
+        from_analysis
+    );
+}

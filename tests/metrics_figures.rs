@@ -1,0 +1,124 @@
+//! Rendering-path integration tests: every figure/table formatter must
+//! produce structurally sane output on real experiment data (row counts,
+//! legends, axes — the things a golden-file test would freeze, asserted
+//! structurally instead so calibration changes don't break them).
+
+use ppa::experiments as exp;
+use ppa::metrics::{
+    census, format_census, format_decomposition, format_ratio_table, format_waiting_table,
+    render_bars, render_histogram, render_parallelism, render_timeline, wait_histogram,
+    decompose_slowdown,
+};
+use ppa::prelude::*;
+
+#[test]
+fn ratio_table_renders_three_rows_with_paper_columns() {
+    let rows = exp::table2();
+    let s = format_ratio_table("Table 2", &rows);
+    let lines: Vec<&str> = s.lines().collect();
+    assert_eq!(lines.len(), 1 + 1 + 3, "title + header + three loops");
+    for label in ["lfk03", "lfk04", "lfk17"] {
+        assert!(s.contains(label), "missing {label}");
+    }
+    // Paper values appear.
+    assert!(s.contains("4.56"));
+    assert!(s.contains("0.96"));
+}
+
+#[test]
+fn waiting_table_has_eight_processor_columns() {
+    let a = exp::loop17_analysis();
+    let s = format_waiting_table("Table 3", &a.waiting);
+    let header = s.lines().find(|l| l.starts_with("processor:")).expect("header row");
+    assert_eq!(header.split_whitespace().count(), 1 + 8);
+    let values = s.lines().find(|l| l.starts_with("waiting %:")).expect("values row");
+    assert_eq!(values.matches('%').count(), 9); // 8 values + the label's %
+}
+
+#[test]
+fn timeline_renders_one_row_per_processor_with_legend() {
+    let a = exp::loop17_analysis();
+    let s = render_timeline(&a.timeline, 80);
+    let proc_rows = s.lines().filter(|l| l.starts_with('P')).count();
+    assert_eq!(proc_rows, 8);
+    assert!(s.contains("legend") || s.contains("active"), "legend missing:\n{s}");
+    // Every processor has at least one active cell.
+    for line in s.lines().filter(|l| l.starts_with('P')) {
+        assert!(line.contains('#'), "row without activity: {line}");
+    }
+}
+
+#[test]
+fn parallelism_chart_has_descending_levels() {
+    let a = exp::loop17_analysis();
+    let s = render_parallelism(&a.profile, 80, 8);
+    let level_rows: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+    assert_eq!(level_rows.len(), 8);
+    // Level rows are monotone: a column filled at level k is filled at
+    // k-1 (the step function is a proper profile).
+    for pair in level_rows.windows(2) {
+        let hi: Vec<char> = pair[0].chars().collect();
+        let lo: Vec<char> = pair[1].chars().collect();
+        for (a, b) in hi.iter().zip(&lo) {
+            if *a == '█' {
+                assert_eq!(*b, '█', "profile not monotone:\n{}\n{}", pair[0], pair[1]);
+            }
+        }
+    }
+}
+
+#[test]
+fn bars_scale_within_width() {
+    let rows = exp::fig1();
+    let groups: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            (format!("loop {}", r.kernel), vec![
+                ("measured".to_string(), r.measured_ratio),
+                ("approx".to_string(), r.approx_ratio),
+            ])
+        })
+        .collect();
+    let s = render_bars("Fig 1", &groups, 40);
+    for line in s.lines().filter(|l| l.contains('|')) {
+        assert!(line.matches('█').count() <= 40, "bar overflow: {line}");
+    }
+    assert_eq!(s.lines().filter(|l| l.contains('|')).count(), rows.len() * 2);
+}
+
+#[test]
+fn census_and_decomposition_render_on_real_traces() {
+    let cfg = exp::experiment_config();
+    let program = ppa::lfk::doacross_graph(3).unwrap();
+    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).unwrap();
+    let analysis = event_based(&measured.trace, &cfg.overheads).unwrap();
+
+    let c = census(&measured.trace);
+    assert_eq!(c.events, measured.trace.len());
+    let cs = format_census("census", &c);
+    assert!(cs.contains("by kind:") && cs.contains("advance"));
+
+    let d = decompose_slowdown(&measured.trace, &analysis, &cfg.overheads);
+    assert!(d.slowdown() > 1.0);
+    let ds = format_decomposition("d", &d);
+    assert!(ds.contains("induced waiting"));
+
+    let h = wait_histogram(&analysis);
+    assert!(h.count > 0, "loop 3 approximation should contain waits");
+    let hs = render_histogram("waits", &h, 30);
+    assert!(hs.contains("waits"));
+}
+
+#[test]
+fn csv_outputs_parse_back_as_csv() {
+    let rows = exp::table1();
+    let mut buf = Vec::new();
+    ppa::metrics::write_ratios_csv(&rows, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().unwrap();
+    let columns = header.split(',').count();
+    for line in lines {
+        assert_eq!(line.split(',').count(), columns, "ragged CSV row: {line}");
+    }
+}

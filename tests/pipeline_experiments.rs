@@ -1,0 +1,194 @@
+//! End-to-end experiment assertions: every table and figure of the paper
+//! must reproduce with the right *shape* — who wins, in which direction
+//! the failures point, and roughly by what factor.
+
+use ppa::experiments as exp;
+use ppa::prelude::*;
+
+/// Figure 1: sequential full instrumentation slows loops 3.9–16.9x, yet
+/// time-based analysis recovers totals essentially exactly; the reproduced
+/// slowdowns track the paper's bars.
+#[test]
+fn fig1_shape() {
+    let rows = exp::fig1();
+    assert_eq!(rows.len(), 10, "ten kernels carry Figure 1 bars");
+
+    for r in &rows {
+        let paper = r.paper_measured.expect("all fig1 rows have paper values");
+        assert!(
+            (r.measured_ratio - paper).abs() / paper < 0.15,
+            "kernel {}: measured {:.2} drifted from paper {:.2}",
+            r.kernel,
+            r.measured_ratio,
+            paper
+        );
+        assert!(
+            (r.approx_ratio - 1.0).abs() < 0.01,
+            "kernel {}: sequential time-based approximation should be exact, got {:.3}",
+            r.kernel,
+            r.approx_ratio
+        );
+    }
+
+    // The paper's extreme case: loop 19 exceeds a 16x slowdown.
+    let l19 = rows.iter().find(|r| r.kernel == 19).expect("loop 19 present");
+    assert!(l19.measured_ratio > 15.0, "loop 19 slowdown {:.2}", l19.measured_ratio);
+
+    // Relative ordering of intrusion matches the paper: 19 > 6 > 2 > 1 >
+    // 8 > 7 > 13 > 16 > 20 > 22.
+    let ratio = |k: u8| rows.iter().find(|r| r.kernel == k).unwrap().measured_ratio;
+    let order = [19u8, 6, 2, 1, 8, 7, 13, 16, 20, 22];
+    for pair in order.windows(2) {
+        assert!(
+            ratio(pair[0]) > ratio(pair[1]),
+            "expected loop {} ({:.2}) more intrusive than loop {} ({:.2})",
+            pair[0],
+            ratio(pair[0]),
+            pair[1],
+            ratio(pair[1])
+        );
+    }
+}
+
+/// Table 1: time-based analysis under-approximates loops 3/4 and
+/// over-approximates loop 17, near the paper's magnitudes.
+#[test]
+fn table1_shape() {
+    let rows = exp::table1();
+    assert_eq!(rows.len(), 3);
+    let by_label = |l: &str| rows.iter().find(|r| r.label == l).unwrap();
+
+    let l3 = by_label("lfk03");
+    let l4 = by_label("lfk04");
+    let l17 = by_label("lfk17");
+
+    // Directions.
+    assert!(l3.approx_over_actual < 0.7, "loop 3 approx {:.2}", l3.approx_over_actual);
+    assert!(l4.approx_over_actual < 0.8, "loop 4 approx {:.2}", l4.approx_over_actual);
+    assert!(l17.approx_over_actual > 3.0, "loop 17 approx {:.2}", l17.approx_over_actual);
+    for r in &rows {
+        assert!(r.same_direction_as_paper(), "{} errs in the wrong direction", r.label);
+    }
+
+    // Magnitudes within a factor-band of the paper.
+    assert!((l3.measured_over_actual - 2.48).abs() < 0.5, "{:.2}", l3.measured_over_actual);
+    assert!((l4.measured_over_actual - 2.64).abs() < 0.5, "{:.2}", l4.measured_over_actual);
+    assert!((l17.measured_over_actual - 9.97).abs() < 3.0, "{:.2}", l17.measured_over_actual);
+}
+
+/// Table 2: with synchronization instrumentation the intrusion grows but
+/// event-based analysis lands within a few percent everywhere.
+#[test]
+fn table2_shape() {
+    let t1 = exp::table1();
+    let t2 = exp::table2();
+    for (r1, r2) in t1.iter().zip(&t2) {
+        assert!(
+            r2.measured_over_actual > r1.measured_over_actual,
+            "{}: sync instrumentation should slow the run further ({:.2} vs {:.2})",
+            r2.label,
+            r2.measured_over_actual,
+            r1.measured_over_actual
+        );
+        assert!(
+            r2.approx_error_pct().abs() < 8.0,
+            "{}: event-based error {:.1}% exceeds the paper's band",
+            r2.label,
+            r2.approx_error_pct()
+        );
+        assert!(
+            r2.approx_error_pct().abs() < (r1.approx_over_actual - 1.0).abs() * 100.0,
+            "{}: event-based must beat time-based",
+            r2.label
+        );
+    }
+}
+
+/// Table 3 and Figures 4–5: the approximated execution's waiting
+/// percentages sit in the paper's few-percent band, match the simulator's
+/// ground truth closely, and the loop runs at high average parallelism.
+#[test]
+fn loop17_products_shape() {
+    let a = exp::loop17_analysis();
+
+    // Table 3 band (paper: 2.70–8.09 %).
+    for row in &a.waiting.rows {
+        assert!(
+            row.sync_pct < 15.0,
+            "P{} waits {:.2}%, far outside the paper's regime",
+            row.proc,
+            row.sync_pct
+        );
+    }
+    let mean = a.waiting.mean_pct();
+    assert!(mean > 0.2 && mean < 10.0, "mean waiting {mean:.2}% out of band");
+
+    // Approximated waiting tracks ground truth per processor.
+    for (row, truth) in a.waiting.rows.iter().zip(&a.ground_truth_pct) {
+        assert!(
+            (row.sync_pct - truth).abs() < 1.5,
+            "P{}: approximated {:.2}% vs ground truth {:.2}%",
+            row.proc,
+            row.sync_pct,
+            truth
+        );
+    }
+
+    // Figure 5: average parallelism near the paper's 7.5 (of 8).
+    assert!(
+        a.avg_parallelism > 6.0 && a.avg_parallelism <= 8.0,
+        "avg parallelism {:.2}",
+        a.avg_parallelism
+    );
+
+    // Figure 4: the serial portions show as only processor 0 active.
+    let pre_loop = a.loop_window.0;
+    if pre_loop > Time::ZERO {
+        let mid_serial = Time::from_nanos(pre_loop.as_nanos() / 2);
+        assert_eq!(a.profile.at(mid_serial), 1, "serial prologue should be one processor");
+    }
+}
+
+/// The ablations behave sensibly: accuracy degrades away from the true
+/// overhead spec, and liberal analysis is competitive with conservative
+/// under every dispatch policy.
+#[test]
+fn ablations_shape() {
+    let sweep = exp::ablation_overhead_sweep(17, &[0.5, 1.0, 2.0]);
+    let err = |f: f64| {
+        sweep
+            .iter()
+            .find(|p| (p.factor - f).abs() < 1e-9)
+            .map(|p| (p.approx_ratio - 1.0).abs())
+            .unwrap()
+    };
+    assert!(err(1.0) < err(0.5), "true spec must beat half-scale");
+    assert!(err(1.0) < err(2.0), "true spec must beat double-scale");
+
+    for row in exp::ablation_schedule(3) {
+        assert!(
+            (row.conservative_ratio - 1.0).abs() < 0.1,
+            "{:?}: conservative {:.3}",
+            row.policy,
+            row.conservative_ratio
+        );
+        assert!(
+            (row.liberal_ratio - 1.0).abs() < 0.15,
+            "{:?}: liberal {:.3}",
+            row.policy,
+            row.liberal_ratio
+        );
+    }
+}
+
+/// Determinism: the whole experiment suite produces identical numbers on
+/// repeated runs.
+#[test]
+fn experiments_are_deterministic() {
+    assert_eq!(exp::table1(), exp::table1());
+    assert_eq!(exp::table2(), exp::table2());
+    let a = exp::loop17_analysis();
+    let b = exp::loop17_analysis();
+    assert_eq!(a.waiting, b.waiting);
+    assert_eq!(a.result.trace, b.result.trace);
+}
