@@ -12,7 +12,10 @@ use ppa_bench::Fixture;
 fn ablations(c: &mut Criterion) {
     println!("\n=== Ablation A2: overhead misestimation (loop 17) ===");
     for p in ppa::experiments::ablation_overhead_sweep(17, &[0.5, 0.9, 1.0, 1.1, 1.5]) {
-        println!("factor {:>4.2} -> approx/actual {:.3}", p.factor, p.approx_ratio);
+        println!(
+            "factor {:>4.2} -> approx/actual {:.3}",
+            p.factor, p.approx_ratio
+        );
     }
     println!("\n=== Ablation A1/A3: conservative vs liberal (loop 3) ===");
     for row in ppa::experiments::ablation_schedule(3) {
@@ -25,7 +28,11 @@ fn ablations(c: &mut Criterion) {
     // Liberal vs conservative analysis cost.
     let f = Fixture::doacross(3, &InstrumentationPlan::full_with_sync());
     c.bench_function("ablation_conservative_analysis", |b| {
-        b.iter(|| event_based(&f.measured, &f.config.overheads).expect("feasible").total_time())
+        b.iter(|| {
+            event_based(&f.measured, &f.config.overheads)
+                .expect("feasible")
+                .total_time()
+        })
     });
     c.bench_function("ablation_liberal_analysis", |b| {
         b.iter(|| {
@@ -58,13 +65,21 @@ fn ablations(c: &mut Criterion) {
             .build()
             .unwrap();
         let cfg = ppa::experiments::experiment_config();
-        let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-            .expect("valid");
+        let measured =
+            run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
         let events = measured.trace.len() as u64;
         group.throughput(criterion::Throughput::Elements(events));
-        group.bench_with_input(BenchmarkId::from_parameter(events), &measured.trace, |bch, t| {
-            bch.iter(|| event_based(t, &cfg.overheads).expect("feasible").total_time())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(events),
+            &measured.trace,
+            |bch, t| {
+                bch.iter(|| {
+                    event_based(t, &cfg.overheads)
+                        .expect("feasible")
+                        .total_time()
+                })
+            },
+        );
     }
     group.finish();
 
@@ -75,7 +90,10 @@ fn ablations(c: &mut Criterion) {
         let v = b.sync_var();
         let program = b
             .doacross(1, trip, |body| {
-                body.compute("head", 600).await_var(v, -1).compute("cs", 60).advance(v)
+                body.compute("head", 600)
+                    .await_var(v, -1)
+                    .compute("cs", 60)
+                    .advance(v)
             })
             .build()
             .unwrap();

@@ -14,7 +14,9 @@ fn fig1(c: &mut Criterion) {
             "loop {:<2} measured/actual {:>6.2} (paper {:>6})  approx/actual {:>5.3}",
             row.kernel,
             row.measured_ratio,
-            row.paper_measured.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            row.paper_measured
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_default(),
             row.approx_ratio
         );
     }

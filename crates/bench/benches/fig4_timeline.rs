@@ -17,7 +17,9 @@ fn fig4(c: &mut Criterion) {
         b.iter(|| build_timeline(&result, f.config.processors))
     });
     let timeline = build_timeline(&result, f.config.processors);
-    c.bench_function("fig4_render_timeline", |b| b.iter(|| render_timeline(&timeline, 96)));
+    c.bench_function("fig4_render_timeline", |b| {
+        b.iter(|| render_timeline(&timeline, 96))
+    });
 }
 
 criterion_group!(benches, fig4);

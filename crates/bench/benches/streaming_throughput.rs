@@ -1,0 +1,126 @@
+//! Streaming engine throughput: events/sec of the incremental analyzer
+//! and the sharded runner against the batch reference, on an
+//! 8-processor synthetic DOACROSS trace, plus the resident-state saving
+//! of the streaming formulation.
+//!
+//! The trace is sized (~590k events) so the batch reference's
+//! `O(trace length)` working set — edge lists, indegrees, the full-trace
+//! worklist — no longer fits in cache, which is exactly the regime the
+//! bounded-memory streaming engine is for.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppa::prelude::*;
+use std::time::Instant;
+
+/// An 8-processor synthetic workload large enough to time meaningfully.
+fn fixture() -> (Trace, OverheadSpec) {
+    let cfg = ppa::experiments::experiment_config();
+    let mut b = ProgramBuilder::new("stream-throughput");
+    let v = b.sync_var();
+    let program = b
+        .doacross(1, 65536, |body| {
+            body.compute("head", 500)
+                .compute("mid", 300)
+                .compute("tail", 200)
+                .await_var(v, -1)
+                .compute("cs", 60)
+                .advance(v)
+        })
+        .build()
+        .expect("valid workload");
+    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
+        .expect("valid program");
+    (measured.trace, cfg.overheads)
+}
+
+/// Best-of-5 wall time of one run, in seconds.
+fn best_of_5<R>(mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f()); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The incremental-consumer path: push events, drain outputs as they
+/// become final (e.g. into a JSONL writer), never materialize the result.
+fn drive_stream(trace: &Trace, oh: &OverheadSpec) -> (usize, StreamStats) {
+    let mut analyzer = EventBasedAnalyzer::new(oh);
+    let mut outputs = 0usize;
+    for e in trace.iter() {
+        analyzer.push(*e).expect("ordered trace");
+        while analyzer.next_output().is_some() {
+            outputs += 1;
+        }
+    }
+    let tail = analyzer.finish().expect("feasible trace");
+    (outputs + tail.outputs.len(), tail.stats)
+}
+
+fn streaming_throughput(c: &mut Criterion) {
+    let (trace, oh) = fixture();
+    let n = trace.len();
+
+    // Headline comparison: events/sec and resident state.
+    let t_batch = best_of_5(|| event_based_reference(&trace, &oh).expect("feasible"));
+    let t_stream = best_of_5(|| drive_stream(&trace, &oh));
+    let t_wrap = best_of_5(|| event_based(&trace, &oh).expect("feasible"));
+    let t_sharded = best_of_5(|| event_based_sharded(&trace, &oh, 4).expect("feasible"));
+    let (_, stats) = drive_stream(&trace, &oh);
+    let eps = |secs: f64| n as f64 / secs;
+    println!("\n=== streaming engine vs batch reference ({n} events, 8 processors) ===");
+    println!("batch reference      : {:>12.0} events/sec", eps(t_batch));
+    println!(
+        "streaming (consume)  : {:>12.0} events/sec ({:.2}x batch)",
+        eps(t_stream),
+        t_batch / t_stream
+    );
+    println!(
+        "streaming (to result): {:>12.0} events/sec ({:.2}x batch)",
+        eps(t_wrap),
+        t_batch / t_wrap
+    );
+    println!(
+        "sharded (4 workers)  : {:>12.0} events/sec ({:.2}x batch)",
+        eps(t_sharded),
+        t_batch / t_sharded
+    );
+    println!(
+        "peak resident state  : {} of {} events ({:.3}%; parked {}, buffered {})",
+        stats.peak_resident,
+        n,
+        100.0 * stats.peak_resident as f64 / n as f64,
+        stats.peak_parked,
+        stats.peak_buffered,
+    );
+
+    let mut group = c.benchmark_group("streaming_throughput");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("batch_reference", |b| {
+        b.iter(|| {
+            event_based_reference(&trace, &oh)
+                .expect("feasible")
+                .total_time()
+        })
+    });
+    group.bench_function("streaming_consume", |b| {
+        b.iter(|| drive_stream(&trace, &oh))
+    });
+    group.bench_function("streaming_to_result", |b| {
+        b.iter(|| event_based(&trace, &oh).expect("feasible").total_time())
+    });
+    group.bench_function("sharded_4", |b| {
+        b.iter(|| {
+            event_based_sharded(&trace, &oh, 4)
+                .expect("feasible")
+                .total_time()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, streaming_throughput);
+criterion_main!(benches);

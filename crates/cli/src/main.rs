@@ -14,8 +14,14 @@
 //! ppa ablation overhead    # A2: accuracy vs overhead misestimation
 //! ppa ablation schedule    # A1/A3: conservative vs liberal per policy
 //! ppa native               # native real-thread pipeline on loop 3
+//! ppa analyze t.jsonl      # event-based analysis of a measured JSONL trace
 //! ppa --csv DIR <cmd>      # additionally write CSV files into DIR
 //! ```
+//!
+//! `analyze` reads a measured trace from a JSONL file and recovers the
+//! approximated (perturbation-corrected) trace. With `--stream` it uses
+//! the bounded-memory incremental engine end to end: chunked reader →
+//! [`ppa::analysis::EventBasedAnalyzer`] → chunked writer.
 
 use ppa::experiments as exp;
 use ppa::metrics::{
@@ -95,10 +101,15 @@ fn main() -> ExitCode {
             };
             show(id);
         }
+        "analyze" => return analyze(&args[1..]),
         "help" | "--help" | "-h" => {
             println!(
                 "subcommands: all fig1 table1 table2 table3 fig4 fig5 ablation native \
-                 intrusion accuracy"
+                 intrusion accuracy analyze"
+            );
+            println!(
+                "analyze: ppa analyze <measured.jsonl> [--stream] [--out approx.jsonl] \
+                 [--overheads spec.json]"
             );
         }
         other => {
@@ -133,7 +144,9 @@ fn fig1(csv: Option<&Path>) {
                 format!(
                     "loop {:<2} (paper measured: {})",
                     r.kernel,
-                    r.paper_measured.map(|v| format!("{v:.2}")).unwrap_or_default()
+                    r.paper_measured
+                        .map(|v| format!("{v:.2}"))
+                        .unwrap_or_default()
                 ),
                 vec![
                     ("measured".to_string(), r.measured_ratio),
@@ -163,7 +176,10 @@ fn table1(csv: Option<&Path>) {
     let rows = exp::table1();
     println!(
         "{}",
-        format_ratio_table("Table 1: loop execution time ratios, TIME-based analysis", &rows)
+        format_ratio_table(
+            "Table 1: loop execution time ratios, TIME-based analysis",
+            &rows
+        )
     );
     if let Some(f) = csv_file(csv, "table1.csv") {
         let _ = write_ratios_csv(&rows, f);
@@ -175,7 +191,10 @@ fn table2(csv: Option<&Path>) {
     let rows = exp::table2();
     println!(
         "{}",
-        format_ratio_table("Table 2: loop execution time ratios, EVENT-based analysis", &rows)
+        format_ratio_table(
+            "Table 2: loop execution time ratios, EVENT-based analysis",
+            &rows
+        )
     );
     if let Some(f) = csv_file(csv, "table2.csv") {
         let _ = write_ratios_csv(&rows, f);
@@ -274,14 +293,19 @@ fn show(id: u8) {
 fn buffers() {
     println!("==============================================================");
     println!("Extension: finite trace memory (per-processor bounded buffers)");
-    println!("{:<10} {:>9} {:>12} {:>12}", "capacity", "dropped", "analyzable", "approx/act");
+    println!(
+        "{:<10} {:>9} {:>12} {:>12}",
+        "capacity", "dropped", "analyzable", "approx/act"
+    );
     for r in exp::buffer_study(3, &[32, 128, 512, 2048, 8192]) {
         println!(
             "{:<10} {:>9} {:>12} {:>12}",
             r.capacity,
             r.dropped,
             r.analyzable,
-            r.approx_ratio.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into())
+            r.approx_ratio
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into())
         );
     }
 }
@@ -343,8 +367,8 @@ fn decompose() {
     let cfg = exp::experiment_config();
     for kernel in [3u8, 4, 17] {
         let program = ppa::lfk::doacross_graph(kernel).expect("doacross kernel");
-        let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-            .expect("valid");
+        let measured =
+            run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
         let analysis = event_based(&measured.trace, &cfg.overheads).expect("feasible");
         let d = decompose_slowdown(&measured.trace, &analysis, &cfg.overheads);
         println!("{}", format_decomposition(&format!("loop {kernel}:"), &d));
@@ -369,8 +393,8 @@ fn estimate() {
         .build()
         .expect("valid calibration workload");
     let actual = run_actual(&program, &cfg).expect("valid");
-    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-        .expect("valid");
+    let measured =
+        run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
     let est = estimate_overheads(&actual.trace, &measured.trace, &cfg.overheads);
     println!(
         "{:<10} {:>8} {:>12} {:>12} {:>12} {:>12}",
@@ -447,4 +471,138 @@ fn native() {
         Ok(report) => println!("{report}"),
         Err(e) => println!("native pipeline unavailable: {e}"),
     }
+}
+
+// --- analyze: event-based analysis of an on-disk JSONL trace ------------
+
+fn analyze(args: &[String]) -> ExitCode {
+    match run_analyze(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Output accounting shared by the streaming loop and the tail flush.
+struct AnalyzeSink<W: std::io::Write> {
+    writer: Option<ppa::trace::TraceStreamWriter<W>>,
+    events: usize,
+    awaits: usize,
+    barriers: usize,
+    last_time: ppa::trace::Time,
+}
+
+impl<W: std::io::Write> AnalyzeSink<W> {
+    fn take(&mut self, o: ppa::analysis::StreamOutput) -> Result<(), ppa::trace::IoError> {
+        use ppa::analysis::StreamOutput;
+        match o {
+            StreamOutput::Event(e) => {
+                self.events += 1;
+                self.last_time = self.last_time.max(e.time);
+                if let Some(w) = &mut self.writer {
+                    w.write_event(&e)?;
+                }
+            }
+            StreamOutput::Await { .. } => self.awaits += 1,
+            StreamOutput::Barrier { .. } => self.barriers += 1,
+        }
+        Ok(())
+    }
+}
+
+fn run_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use ppa::analysis::{event_based, EventBasedAnalyzer};
+    use ppa::trace::{
+        read_jsonl, write_jsonl, OverheadSpec, TraceKind, TraceStreamReader, TraceStreamWriter,
+    };
+    use std::io::{BufReader, BufWriter};
+
+    let mut input: Option<&str> = None;
+    let mut out_path: Option<&str> = None;
+    let mut overheads_path: Option<&str> = None;
+    let mut stream = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stream" => stream = true,
+            "--out" => out_path = Some(it.next().ok_or("--out needs a file argument")?),
+            "--overheads" => {
+                overheads_path = Some(it.next().ok_or("--overheads needs a file argument")?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}").into()),
+            path if input.is_none() => input = Some(path),
+            extra => return Err(format!("unexpected argument {extra:?}").into()),
+        }
+    }
+    let input = input.ok_or(
+        "usage: ppa analyze <measured.jsonl> [--stream] [--out approx.jsonl] \
+         [--overheads spec.json]",
+    )?;
+    let overheads: OverheadSpec = match overheads_path {
+        Some(p) => serde_json::from_str(&std::fs::read_to_string(p)?)?,
+        None => OverheadSpec::alliant_default(),
+    };
+
+    if stream {
+        // Bounded-memory pipeline: chunked reader -> analyzer -> writer.
+        let reader = TraceStreamReader::new(BufReader::new(File::open(input)?))?;
+        let expected = reader.expected_events();
+        let writer = match out_path {
+            Some(p) => Some(TraceStreamWriter::new(
+                BufWriter::new(File::create(p)?),
+                TraceKind::Approximated,
+                expected,
+            )?),
+            None => None,
+        };
+        let mut analyzer = EventBasedAnalyzer::new(&overheads);
+        let mut sink = AnalyzeSink {
+            writer,
+            events: 0,
+            awaits: 0,
+            barriers: 0,
+            last_time: ppa::trace::Time::ZERO,
+        };
+        for event in reader {
+            analyzer.push(event?)?;
+            while let Some(o) = analyzer.next_output() {
+                sink.take(o)?;
+            }
+        }
+        let tail = analyzer.finish()?;
+        for o in tail.outputs {
+            sink.take(o)?;
+        }
+        if let Some(w) = sink.writer.take() {
+            w.finish()?;
+        }
+        println!(
+            "analyzed {} measured events (streaming): {} approximated events, \
+             {} awaits, {} barrier passages",
+            expected, sink.events, sink.awaits, sink.barriers
+        );
+        println!("final approximated time: {}", sink.last_time);
+        println!(
+            "peak resident state: {} events (parked {}, buffered {})",
+            tail.stats.peak_resident, tail.stats.peak_parked, tail.stats.peak_buffered
+        );
+    } else {
+        let measured = read_jsonl(BufReader::new(File::open(input)?))?;
+        let result = event_based(&measured, &overheads)?;
+        if let Some(p) = out_path {
+            write_jsonl(&result.trace, BufWriter::new(File::create(p)?))?;
+        }
+        println!(
+            "analyzed {} measured events: {} approximated events, {} awaits, \
+             {} barrier passages",
+            measured.len(),
+            result.trace.len(),
+            result.awaits.len(),
+            result.barriers.len()
+        );
+        println!("approximated total time: {}", result.trace.total_time());
+    }
+    Ok(())
 }

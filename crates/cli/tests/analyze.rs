@@ -1,0 +1,65 @@
+//! End-to-end test of `ppa analyze`: the streaming pipeline and the batch
+//! pipeline must produce byte-identical approximated JSONL.
+
+use ppa::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn measured_jsonl(dir: &std::path::Path) -> PathBuf {
+    let cfg = ppa::experiments::experiment_config();
+    let mut b = ProgramBuilder::new("analyze-e2e");
+    let v = b.sync_var();
+    let program = b
+        .doacross(1, 64, |body| {
+            body.compute("head", 400)
+                .await_var(v, -1)
+                .compute("cs", 50)
+                .advance(v)
+        })
+        .build()
+        .expect("valid workload");
+    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
+        .expect("valid program");
+    let path = dir.join("measured.jsonl");
+    let file = fs::File::create(&path).expect("create measured.jsonl");
+    ppa::trace::write_jsonl(&measured.trace, file).expect("write measured.jsonl");
+    path
+}
+
+#[test]
+fn analyze_stream_matches_batch() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let out_stream = dir.join("approx_stream.jsonl");
+    let out_batch = dir.join("approx_batch.jsonl");
+
+    let bin = env!("CARGO_BIN_EXE_ppa");
+    let status = Command::new(bin)
+        .args(["analyze", input.to_str().unwrap(), "--stream", "--out"])
+        .arg(&out_stream)
+        .status()
+        .expect("run ppa analyze --stream");
+    assert!(status.success());
+    let status = Command::new(bin)
+        .args(["analyze", input.to_str().unwrap(), "--out"])
+        .arg(&out_batch)
+        .status()
+        .expect("run ppa analyze");
+    assert!(status.success());
+
+    let streamed = fs::read(&out_stream).expect("read streaming output");
+    let batch = fs::read(&out_batch).expect("read batch output");
+    assert!(!streamed.is_empty());
+    assert_eq!(streamed, batch);
+}
+
+#[test]
+fn analyze_rejects_missing_input() {
+    let bin = env!("CARGO_BIN_EXE_ppa");
+    let status = Command::new(bin)
+        .args(["analyze", "/nonexistent/trace.jsonl"])
+        .status()
+        .expect("run ppa analyze");
+    assert!(!status.success());
+}

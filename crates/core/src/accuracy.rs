@@ -101,13 +101,21 @@ pub fn compare_traces(actual: &Trace, approximated: &Trace, tolerance: Span) -> 
             Span::from_nanos((sum_abs / matched as u128) as u64)
         },
         max_abs_error: Span::from_nanos(max_abs),
-        rms_error_ns: if matched == 0 { 0.0 } else { (sum_sq / matched as f64).sqrt() },
+        rms_error_ns: if matched == 0 {
+            0.0
+        } else {
+            (sum_sq / matched as f64).sqrt()
+        },
         mean_signed_error_ns: if matched == 0 {
             0.0
         } else {
             sum_signed as f64 / matched as f64
         },
-        within_tolerance: if matched == 0 { 0.0 } else { within as f64 / matched as f64 },
+        within_tolerance: if matched == 0 {
+            0.0
+        } else {
+            within as f64 / matched as f64
+        },
     }
 }
 

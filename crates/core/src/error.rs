@@ -30,10 +30,16 @@ impl fmt::Display for AnalysisError {
         match self {
             AnalysisError::Trace(e) => write!(f, "invalid trace: {e}"),
             AnalysisError::CyclicDependencies { unresolved } => {
-                write!(f, "event dependencies are cyclic ({unresolved} events unresolved)")
+                write!(
+                    f,
+                    "event dependencies are cyclic ({unresolved} events unresolved)"
+                )
             }
             AnalysisError::NoSyncEvents => {
-                write!(f, "event-based analysis requires synchronization events in the trace")
+                write!(
+                    f,
+                    "event-based analysis requires synchronization events in the trace"
+                )
             }
             AnalysisError::UnrecognizedStructure { detail } => {
                 write!(f, "trace does not match the program structure: {detail}")
@@ -58,7 +64,9 @@ mod tests {
     fn display_formats() {
         let e = AnalysisError::CyclicDependencies { unresolved: 3 };
         assert!(e.to_string().contains("3 events"));
-        assert!(AnalysisError::NoSyncEvents.to_string().contains("synchronization"));
+        assert!(AnalysisError::NoSyncEvents
+            .to_string()
+            .contains("synchronization"));
     }
 
     #[test]

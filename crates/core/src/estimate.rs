@@ -82,7 +82,10 @@ pub fn estimate_overheads(
         if let Some(&(prev_m, prev_a)) = prev.get(&e.proc) {
             let delta_m = e.time.signed_delta(prev_m);
             let delta_a = actual_event.time.signed_delta(prev_a);
-            diffs.entry(kind_slot(&e.kind)).or_default().push(delta_m - delta_a);
+            diffs
+                .entry(kind_slot(&e.kind))
+                .or_default()
+                .push(delta_m - delta_a);
         }
         prev.insert(e.proc, (e.time, actual_event.time));
     }
@@ -166,7 +169,10 @@ mod tests {
         assert_eq!(est.spec.statement_event, cfg.overheads.statement_event);
         let stmt = est.kinds.iter().find(|k| k.kind == "stmt").unwrap();
         assert!(stmt.samples > 100);
-        assert_eq!(stmt.min, stmt.max, "sequential calibration has no waiting noise");
+        assert_eq!(
+            stmt.min, stmt.max,
+            "sequential calibration has no waiting noise"
+        );
     }
 
     #[test]

@@ -29,12 +29,13 @@
 //! and is reported as an error.
 
 use crate::error::AnalysisError;
+use crate::streaming::{EventBasedAnalyzer, StreamOutput};
 use ppa_trace::{
-    pair_sync_events, BarrierId, Event, EventKind, OverheadSpec, ProcessorId, Span, SyncTag,
-    SyncVarId, Time, Trace, TraceKind,
+    pair_sync_events, BarrierId, Event, EventKind, OverheadSpec, ProcessorId, Span, SyncIndex,
+    SyncTag, SyncVarId, Time, Trace, TraceKind,
 };
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One await, in approximated time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +82,7 @@ pub struct BarrierOutcome {
 pub struct EventBasedResult {
     /// The approximated trace.
     pub trace: Trace,
-    /// Every await, in approximated time (ordered by `awaitB` position in
+    /// Every await, in approximated time (ordered by `awaitE` position in
     /// the measured trace).
     pub awaits: Vec<AwaitOutcome>,
     /// Every processor×barrier-episode passage, in approximated time.
@@ -96,68 +97,44 @@ impl EventBasedResult {
 
     /// Total approximated synchronization waiting on one processor.
     pub fn sync_wait(&self, proc: ProcessorId) -> Span {
-        self.awaits.iter().filter(|a| a.proc == proc).map(|a| a.wait).sum()
+        self.awaits
+            .iter()
+            .filter(|a| a.proc == proc)
+            .map(|a| a.wait)
+            .sum()
     }
 
     /// Total approximated barrier waiting on one processor.
     pub fn barrier_wait(&self, proc: ProcessorId) -> Span {
-        self.barriers.iter().filter(|b| b.proc == proc).map(|b| b.wait).sum()
+        self.barriers
+            .iter()
+            .filter(|b| b.proc == proc)
+            .map(|b| b.wait)
+            .sum()
     }
 }
 
 /// How each event's approximate time is anchored.
 #[derive(Debug, Clone, Copy)]
-enum Basis {
+pub(crate) enum Basis {
     /// The globally first event: `ta = tm − overhead`.
     Origin,
     /// Anchored to another event (same-thread predecessor or fork point).
     Event(usize),
 }
 
-/// Applies event-based perturbation analysis to a measured trace.
-///
-/// # Examples
-///
-/// ```
-/// use ppa_program::{InstrumentationPlan, ProgramBuilder};
-/// use ppa_sim::{run_actual, run_measured, SimConfig};
-/// use ppa_core::event_based;
-///
-/// // A DOACROSS loop with a critical section.
-/// let mut b = ProgramBuilder::new("demo");
-/// let v = b.sync_var();
-/// let program = b
-///     .doacross(1, 32, |body| {
-///         body.compute("head", 500).await_var(v, -1).compute("cs", 60).advance(v)
-///     })
-///     .build()
-///     .unwrap();
-///
-/// let cfg = SimConfig { clock: ppa_trace::ClockRate::GHZ_1, ..SimConfig::alliant_fx80() };
-/// let actual = run_actual(&program, &cfg).unwrap();
-/// let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).unwrap();
-///
-/// // The measurement is perturbed; the analysis recovers the truth.
-/// assert!(measured.trace.total_time() > actual.trace.total_time());
-/// let approx = event_based(&measured.trace, &cfg.overheads).unwrap();
-/// assert_eq!(approx.total_time(), actual.trace.total_time());
-/// ```
-pub fn event_based(
-    measured: &Trace,
-    overheads: &OverheadSpec,
-) -> Result<EventBasedResult, AnalysisError> {
-    let index = pair_sync_events(measured)?;
-    let events = measured.events();
-    let n = events.len();
-    if n == 0 {
-        return Ok(EventBasedResult {
-            trace: Trace::new(TraceKind::Approximated),
-            awaits: Vec::new(),
-            barriers: Vec::new(),
-        });
-    }
+/// Static trace structure shared by the batch and sharded analyses:
+/// same-thread predecessors, fork anchors, and every event's time basis.
+pub(crate) struct Structure {
+    /// Same-thread predecessor of each event.
+    pub(crate) prev: Vec<Option<usize>>,
+    /// The time basis of each event.
+    pub(crate) basis: Vec<Basis>,
+}
 
-    // --- Structure discovery -------------------------------------------
+/// Computes [`Structure`] for a non-empty event sequence.
+pub(crate) fn discover_structure(events: &[Event]) -> Structure {
+    let n = events.len();
     // Same-thread predecessors.
     let mut prev: Vec<Option<usize>> = vec![None; n];
     {
@@ -210,6 +187,182 @@ pub fn event_based(
         })
         .collect();
 
+    Structure { prev, basis }
+}
+
+/// Builds the [`EventBasedResult`] from fully resolved approximate times.
+pub(crate) fn assemble_result(
+    events: &[Event],
+    ta: &[Time],
+    index: &SyncIndex,
+) -> EventBasedResult {
+    let approx_events: Vec<Event> = events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| Event { time: ta[i], ..*e })
+        .collect();
+
+    let awaits = index
+        .awaits
+        .iter()
+        .map(|p| {
+            let (var, tag) = match events[p.end].kind {
+                EventKind::AwaitEnd { var, tag } => (var, tag),
+                _ => unreachable!("await pair indexes an awaitE"),
+            };
+            let begin = ta[p.begin];
+            let end = ta[p.end];
+            let wait = match p.advance {
+                Some(adv) => ta[adv].saturating_since(begin),
+                None => Span::ZERO,
+            };
+            AwaitOutcome {
+                proc: p.proc,
+                var,
+                tag,
+                begin,
+                end,
+                wait,
+            }
+        })
+        .collect();
+
+    let mut barriers = Vec::new();
+    for ep in &index.barriers {
+        let release = ep
+            .enters
+            .iter()
+            .map(|&en| ta[en])
+            .max()
+            .expect("episodes have enters");
+        for &en in &ep.enters {
+            let proc = events[en].proc;
+            let exit = ep
+                .exits
+                .iter()
+                .find(|&&x| events[x].proc == proc)
+                .copied()
+                .expect("validated episodes pair enters and exits per processor");
+            barriers.push(BarrierOutcome {
+                barrier: ep.barrier,
+                proc,
+                enter: ta[en],
+                exit: ta[exit],
+                wait: release.saturating_since(ta[en]),
+            });
+        }
+    }
+
+    EventBasedResult {
+        trace: Trace::from_events(TraceKind::Approximated, approx_events),
+        awaits,
+        barriers,
+    }
+}
+
+/// Applies event-based perturbation analysis to a measured trace.
+///
+/// This runs the incremental engine
+/// ([`EventBasedAnalyzer`](crate::EventBasedAnalyzer)) over the whole
+/// trace and reassembles its outputs; the result is identical to the
+/// direct worklist formulation kept as [`event_based_reference`]. The
+/// approximation rules are those of §4.2.3:
+///
+/// ```text
+/// ta(advance) = ta(u) + tm(advance) − tm(u) − α
+/// ta(awaitB)  = ta(v) + tm(awaitB)  − tm(v) − β
+/// ta(awaitE)  = ta(awaitB) + s_nowait              if ta(advance) ≤ ta(awaitB)
+///             = ta(advance) + s_wait               otherwise
+/// ta(barrier exit) = max over enters ta(enter) + s_barrier
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use ppa_program::{InstrumentationPlan, ProgramBuilder};
+/// use ppa_sim::{run_actual, run_measured, SimConfig};
+/// use ppa_core::event_based;
+///
+/// // A DOACROSS loop with a critical section.
+/// let mut b = ProgramBuilder::new("demo");
+/// let v = b.sync_var();
+/// let program = b
+///     .doacross(1, 32, |body| {
+///         body.compute("head", 500).await_var(v, -1).compute("cs", 60).advance(v)
+///     })
+///     .build()
+///     .unwrap();
+///
+/// let cfg = SimConfig { clock: ppa_trace::ClockRate::GHZ_1, ..SimConfig::alliant_fx80() };
+/// let actual = run_actual(&program, &cfg).unwrap();
+/// let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).unwrap();
+///
+/// // The measurement is perturbed; the analysis recovers the truth.
+/// assert!(measured.trace.total_time() > actual.trace.total_time());
+/// let approx = event_based(&measured.trace, &cfg.overheads).unwrap();
+/// assert_eq!(approx.total_time(), actual.trace.total_time());
+/// ```
+pub fn event_based(
+    measured: &Trace,
+    overheads: &OverheadSpec,
+) -> Result<EventBasedResult, AnalysisError> {
+    let mut analyzer = EventBasedAnalyzer::new(overheads);
+    let mut events: Vec<Event> = Vec::with_capacity(measured.len());
+    let mut awaits: Vec<(usize, AwaitOutcome)> = Vec::new();
+    let mut barriers: Vec<(usize, BarrierOutcome)> = Vec::new();
+    {
+        let mut dispatch = |o: StreamOutput| match o {
+            StreamOutput::Event(e) => events.push(e),
+            StreamOutput::Await { ordinal, outcome } => awaits.push((ordinal, outcome)),
+            StreamOutput::Barrier { ordinal, outcome } => barriers.push((ordinal, outcome)),
+        };
+        for e in measured.iter() {
+            analyzer.push(*e)?;
+            while let Some(o) = analyzer.next_output() {
+                dispatch(o);
+            }
+        }
+        for o in analyzer.finish()?.outputs {
+            dispatch(o);
+        }
+    }
+    // Events arrive already in final order; outcomes arrive in resolution
+    // order and are keyed for the measured-trace order the batch analysis
+    // reports them in.
+    awaits.sort_by_key(|&(i, _)| i);
+    barriers.sort_by_key(|&(i, _)| i);
+    Ok(EventBasedResult {
+        trace: Trace::from_events(TraceKind::Approximated, events),
+        awaits: awaits.into_iter().map(|(_, a)| a).collect(),
+        barriers: barriers.into_iter().map(|(_, b)| b).collect(),
+    })
+}
+
+/// The direct (batch) formulation of event-based analysis: build the full
+/// dependency DAG, then resolve it with a worklist pass.
+///
+/// Kept as the executable specification of the analysis — the streaming
+/// engine behind [`event_based`] and the sharded runner
+/// ([`event_based_sharded`](crate::event_based_sharded)) are
+/// cross-validated against it, and benchmarks use it as the baseline.
+/// It materializes `O(trace length)` state.
+pub fn event_based_reference(
+    measured: &Trace,
+    overheads: &OverheadSpec,
+) -> Result<EventBasedResult, AnalysisError> {
+    let index = pair_sync_events(measured)?;
+    let events = measured.events();
+    let n = events.len();
+    if n == 0 {
+        return Ok(EventBasedResult {
+            trace: Trace::new(TraceKind::Approximated),
+            awaits: Vec::new(),
+            barriers: Vec::new(),
+        });
+    }
+
+    let Structure { basis, .. } = discover_structure(events);
+
     // awaitE -> (awaitB, advance) lookups.
     let mut await_of_end: std::collections::HashMap<usize, (usize, Option<usize>)> =
         Default::default();
@@ -231,8 +384,8 @@ pub fn event_based(
         out[from].push(to);
         ind[to] += 1;
     };
-    for i in 0..n {
-        match basis[i] {
+    for (i, bas) in basis.iter().enumerate() {
+        match *bas {
             Basis::Origin => {}
             Basis::Event(b) => add_edge(b, i, &mut out_edges, &mut indegree),
         }
@@ -314,74 +467,16 @@ pub fn event_based(
     }
 
     if resolved < n {
-        return Err(AnalysisError::CyclicDependencies { unresolved: n - resolved });
+        return Err(AnalysisError::CyclicDependencies {
+            unresolved: n - resolved,
+        });
     }
 
-    // --- Outputs ---------------------------------------------------------
-    let approx_events: Vec<Event> = events
-        .iter()
-        .enumerate()
-        .map(|(i, e)| {
-            let mut ne = *e;
-            ne.time = ta[i].expect("all events resolved");
-            ne
-        })
+    let ta: Vec<Time> = ta
+        .into_iter()
+        .map(|t| t.expect("all events resolved"))
         .collect();
-
-    let awaits = index
-        .awaits
-        .iter()
-        .map(|p| {
-            let (var, tag) = match events[p.end].kind {
-                EventKind::AwaitEnd { var, tag } => (var, tag),
-                _ => unreachable!("await pair indexes an awaitE"),
-            };
-            let begin = ta[p.begin].expect("resolved");
-            let end = ta[p.end].expect("resolved");
-            let wait = match p.advance {
-                Some(adv) => ta[adv].expect("resolved").saturating_since(begin),
-                None => Span::ZERO,
-            };
-            AwaitOutcome { proc: p.proc, var, tag, begin, end, wait }
-        })
-        .collect();
-
-    let mut barriers = Vec::new();
-    for ep in &index.barriers {
-        let release = ep
-            .enters
-            .iter()
-            .map(|&en| ta[en].expect("resolved"))
-            .max()
-            .expect("episodes have enters");
-        for (&en, &ex) in ep.enters.iter().zip(&ep.exits) {
-            // enters/exits are index-aligned per processor only by
-            // episode construction order; match by processor instead.
-            let _ = (en, ex);
-        }
-        for &en in &ep.enters {
-            let proc = events[en].proc;
-            let exit = ep
-                .exits
-                .iter()
-                .find(|&&x| events[x].proc == proc)
-                .copied()
-                .expect("validated episodes pair enters and exits per processor");
-            barriers.push(BarrierOutcome {
-                barrier: ep.barrier,
-                proc,
-                enter: ta[en].expect("resolved"),
-                exit: ta[exit].expect("resolved"),
-                wait: release.saturating_since(ta[en].expect("resolved")),
-            });
-        }
-    }
-
-    Ok(EventBasedResult {
-        trace: Trace::from_events(TraceKind::Approximated, approx_events),
-        awaits,
-        barriers,
-    })
+    Ok(assemble_result(events, &ta, &index))
 }
 
 /// Convenience: the approximated total execution time only.
@@ -397,7 +492,14 @@ mod tests {
     use super::*;
     use ppa_trace::TraceBuilder;
 
-    fn spec(stmt: u64, alpha: u64, beta: u64, awe: u64, s_nowait: u64, s_wait: u64) -> OverheadSpec {
+    fn spec(
+        stmt: u64,
+        alpha: u64,
+        beta: u64,
+        awe: u64,
+        s_nowait: u64,
+        s_wait: u64,
+    ) -> OverheadSpec {
         OverheadSpec {
             statement_event: Span::from_nanos(stmt),
             marker_event: Span::from_nanos(stmt),
@@ -421,8 +523,16 @@ mod tests {
         // Thread 1: awaitB at 50 (cost 10 + β 40), waits for advance,
         //           awaitE at 210 (resume 200 + s_wait 10, no aE oh).
         let t = TraceBuilder::measured()
-            .on(0).at(100).stmt(0).at(200).advance(0, 0)
-            .on(1).at(50).await_begin(0, 0).at(210).await_end(0, 0)
+            .on(0)
+            .at(100)
+            .stmt(0)
+            .at(200)
+            .advance(0, 0)
+            .on(1)
+            .at(50)
+            .await_begin(0, 0)
+            .at(210)
+            .await_end(0, 0)
             .build();
         let oh = spec(40, 40, 40, 0, 5, 10);
         let r = event_based(&t, &oh).unwrap();
@@ -463,9 +573,18 @@ mod tests {
         // Thread 1: three statements (oh 40 each) then awaitB at 150;
         //           tag already advanced → awaitE at 155 (s_nowait 5).
         let t = TraceBuilder::measured()
-            .on(0).at(100).advance(0, 0)
-            .on(1).at(50).stmt(0).at(100).stmt(1).at(150).await_begin(0, 0)
-            .at(155).await_end(0, 0)
+            .on(0)
+            .at(100)
+            .advance(0, 0)
+            .on(1)
+            .at(50)
+            .stmt(0)
+            .at(100)
+            .stmt(1)
+            .at(150)
+            .await_begin(0, 0)
+            .at(155)
+            .await_end(0, 0)
             .build();
         let oh = spec(40, 40, 40, 0, 5, 10);
         let r = event_based(&t, &oh).unwrap();
@@ -484,8 +603,14 @@ mod tests {
     #[test]
     fn no_wait_when_advance_precedes() {
         let t = TraceBuilder::measured()
-            .on(0).at(10).advance(0, 0)
-            .on(1).at(100).await_begin(0, 0).at(105).await_end(0, 0)
+            .on(0)
+            .at(10)
+            .advance(0, 0)
+            .on(1)
+            .at(100)
+            .await_begin(0, 0)
+            .at(105)
+            .await_end(0, 0)
             .build();
         let oh = spec(0, 0, 0, 0, 5, 10);
         let r = event_based(&t, &oh).unwrap();
@@ -502,7 +627,11 @@ mod tests {
     #[test]
     fn pre_advanced_tag_never_waits() {
         let t = TraceBuilder::measured()
-            .on(0).at(50).await_begin(0, -1).at(55).await_end(0, -1)
+            .on(0)
+            .at(50)
+            .await_begin(0, -1)
+            .at(55)
+            .await_end(0, -1)
             .build();
         let r = event_based(&t, &spec(0, 0, 0, 0, 5, 10)).unwrap();
         assert!(!r.awaits[0].waited());
@@ -512,8 +641,20 @@ mod tests {
     #[test]
     fn zero_overhead_zero_sync_cost_is_identity_on_feasible_traces() {
         let t = TraceBuilder::measured()
-            .on(0).at(10).stmt(0).at(20).advance(0, 0).at(30).stmt(1)
-            .on(1).at(5).stmt(2).at(25).await_begin(0, 0).at(25).await_end(0, 0)
+            .on(0)
+            .at(10)
+            .stmt(0)
+            .at(20)
+            .advance(0, 0)
+            .at(30)
+            .stmt(1)
+            .on(1)
+            .at(5)
+            .stmt(2)
+            .at(25)
+            .await_begin(0, 0)
+            .at(25)
+            .await_end(0, 0)
             .build();
         let r = event_based(&t, &OverheadSpec::ZERO).unwrap();
         for (orig, approx) in t.iter().zip(r.trace.iter()) {
@@ -524,10 +665,18 @@ mod tests {
     #[test]
     fn barrier_exit_at_latest_enter() {
         let t = TraceBuilder::measured()
-            .on(0).at(10).barrier_enter(0)
-            .on(1).at(30).barrier_enter(0)
-            .on(0).at(30).barrier_exit(0)
-            .on(1).at(30).barrier_exit(0)
+            .on(0)
+            .at(10)
+            .barrier_enter(0)
+            .on(1)
+            .at(30)
+            .barrier_enter(0)
+            .on(0)
+            .at(30)
+            .barrier_exit(0)
+            .on(1)
+            .at(30)
+            .barrier_exit(0)
             .build();
         let mut oh = OverheadSpec::ZERO;
         oh.barrier_release = Span::from_nanos(7);
@@ -538,8 +687,16 @@ mod tests {
             }
         }
         // P0 waited 20, P1 waited 0.
-        let w0 = r.barriers.iter().find(|b| b.proc == ProcessorId(0)).unwrap();
-        let w1 = r.barriers.iter().find(|b| b.proc == ProcessorId(1)).unwrap();
+        let w0 = r
+            .barriers
+            .iter()
+            .find(|b| b.proc == ProcessorId(0))
+            .unwrap();
+        let w1 = r
+            .barriers
+            .iter()
+            .find(|b| b.proc == ProcessorId(1))
+            .unwrap();
         assert_eq!(w0.wait, Span::from_nanos(20));
         assert_eq!(w1.wait, Span::ZERO);
     }
@@ -550,15 +707,31 @@ mod tests {
         oh.barrier_release = Span::from_nanos(3);
         let t = TraceBuilder::measured()
             // Episode 1: release at 20.
-            .on(0).at(10).barrier_enter(0)
-            .on(1).at(20).barrier_enter(0)
-            .on(0).at(20).barrier_exit(0)
-            .on(1).at(20).barrier_exit(0)
+            .on(0)
+            .at(10)
+            .barrier_enter(0)
+            .on(1)
+            .at(20)
+            .barrier_enter(0)
+            .on(0)
+            .at(20)
+            .barrier_exit(0)
+            .on(1)
+            .at(20)
+            .barrier_exit(0)
             // Episode 2 of the same barrier id: release at 50.
-            .on(0).at(40).barrier_enter(0)
-            .on(1).at(50).barrier_enter(0)
-            .on(0).at(50).barrier_exit(0)
-            .on(1).at(50).barrier_exit(0)
+            .on(0)
+            .at(40)
+            .barrier_enter(0)
+            .on(1)
+            .at(50)
+            .barrier_enter(0)
+            .on(0)
+            .at(50)
+            .barrier_exit(0)
+            .on(1)
+            .at(50)
+            .barrier_exit(0)
             .build();
         let r = event_based(&t, &oh).unwrap();
         let exits: Vec<u64> = r
@@ -580,14 +753,32 @@ mod tests {
         oh.statement_event = Span::from_nanos(40);
         oh.marker_event = Span::ZERO;
         let t = TraceBuilder::measured()
-            .on(0).at(0).loop_begin(0)
-            .on(1).at(140).stmt(0) // loop 0 work on P1: cost 100 + oh 40
-            .on(0).at(200).loop_end(0)
+            .on(0)
+            .at(0)
+            .loop_begin(0)
+            .on(1)
+            .at(140)
+            .stmt(0) // loop 0 work on P1: cost 100 + oh 40
+            .on(0)
+            .at(200)
+            .loop_end(0)
             // Serial segment on P0 with instrumentation: 3 statements.
-            .on(0).at(340).stmt(1).at(480).stmt(2).at(620).stmt(3)
-            .on(0).at(620).loop_begin(1)
-            .on(1).at(760).stmt(4) // loop 1 work on P1: cost 100 + oh 40
-            .on(0).at(800).loop_end(1)
+            .on(0)
+            .at(340)
+            .stmt(1)
+            .at(480)
+            .stmt(2)
+            .at(620)
+            .stmt(3)
+            .on(0)
+            .at(620)
+            .loop_begin(1)
+            .on(1)
+            .at(760)
+            .stmt(4) // loop 1 work on P1: cost 100 + oh 40
+            .on(0)
+            .at(800)
+            .loop_end(1)
             .build();
         let r = event_based(&t, &oh).unwrap();
         // Approximated loop 1 begin: 620 - 3*40 (P0's serial overhead)
@@ -620,8 +811,14 @@ mod tests {
     #[test]
     fn per_proc_wait_accessors() {
         let t = TraceBuilder::measured()
-            .on(0).at(100).advance(0, 0)
-            .on(1).at(10).await_begin(0, 0).at(110).await_end(0, 0)
+            .on(0)
+            .at(100)
+            .advance(0, 0)
+            .on(1)
+            .at(10)
+            .await_begin(0, 0)
+            .at(110)
+            .await_end(0, 0)
             .build();
         let r = event_based(&t, &spec(0, 0, 0, 0, 0, 10)).unwrap();
         assert_eq!(r.sync_wait(ProcessorId(1)), Span::from_nanos(90));

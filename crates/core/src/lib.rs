@@ -29,15 +29,20 @@ mod error;
 mod estimate;
 mod event_based;
 mod liberal;
+mod sharded;
+mod streaming;
 mod time_based;
 
 pub use accuracy::{compare_traces, AccuracyReport};
 pub use error::AnalysisError;
 pub use estimate::{estimate_overheads, KindEstimate, OverheadEstimate};
 pub use event_based::{
-    event_based, event_based_total, AwaitOutcome, BarrierOutcome, EventBasedResult,
+    event_based, event_based_reference, event_based_total, AwaitOutcome, BarrierOutcome,
+    EventBasedResult,
 };
 pub use liberal::{liberal_reschedule, LiberalResult};
+pub use sharded::event_based_sharded;
+pub use streaming::{EventBasedAnalyzer, StreamOutput, StreamStats, StreamTail};
 pub use time_based::{time_based, time_based_total, TimeBasedResult};
 
 #[cfg(test)]
@@ -137,6 +142,25 @@ mod proptests {
             let approx = event_based(&measured.trace, &cfg.overheads).unwrap();
             prop_assert_eq!(approx.total_time(), actual.trace.total_time());
         }
+
+        /// The three formulations of event-based analysis — the streaming
+        /// engine (behind `event_based`), the batch worklist reference,
+        /// and the sharded parallel runner — agree event-for-event and
+        /// outcome-for-outcome on arbitrary feasible traces.
+        #[test]
+        fn streaming_and_sharded_match_the_reference(seed in any::<u64>()) {
+            let program = synthesize(seed, &SynthConfig::default());
+            let cfg = static_config(seed);
+            let measured =
+                run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).unwrap();
+
+            let reference = event_based_reference(&measured.trace, &cfg.overheads).unwrap();
+            let streamed = event_based(&measured.trace, &cfg.overheads).unwrap();
+            prop_assert_eq!(&streamed, &reference);
+
+            let sharded = event_based_sharded(&measured.trace, &cfg.overheads, 4).unwrap();
+            prop_assert_eq!(&sharded, &reference);
+        }
     }
 }
 
@@ -231,9 +255,21 @@ mod integration {
             let approx = time_based(&measured.trace, &cfg.overheads);
             ratios.push(approx.total_time().ratio(actual.trace.total_time()));
         }
-        assert!(ratios[0] < 0.8, "loop 3 should under-approximate, got {}", ratios[0]);
-        assert!(ratios[1] < 0.8, "loop 4 should under-approximate, got {}", ratios[1]);
-        assert!(ratios[2] > 1.5, "loop 17 should over-approximate, got {}", ratios[2]);
+        assert!(
+            ratios[0] < 0.8,
+            "loop 3 should under-approximate, got {}",
+            ratios[0]
+        );
+        assert!(
+            ratios[1] < 0.8,
+            "loop 4 should under-approximate, got {}",
+            ratios[1]
+        );
+        assert!(
+            ratios[2] > 1.5,
+            "loop 17 should over-approximate, got {}",
+            ratios[2]
+        );
     }
 
     /// Event-based analysis needs the sync events; on a statements-only
@@ -255,7 +291,9 @@ mod integration {
 
         let stmts_only =
             run_measured(&program, &InstrumentationPlan::full_statements(), &cfg).unwrap();
-        let time_ratio = time_based(&stmts_only.trace, &cfg.overheads).total_time().ratio(actual);
+        let time_ratio = time_based(&stmts_only.trace, &cfg.overheads)
+            .total_time()
+            .ratio(actual);
 
         assert!(
             (event_ratio - 1.0).abs() < (time_ratio - 1.0).abs(),
@@ -286,7 +324,10 @@ mod integration {
     /// regime).
     #[test]
     fn time_based_exact_on_sequential() {
-        let cfg = SimConfig { processors: 1, ..experiment_config() };
+        let cfg = SimConfig {
+            processors: 1,
+            ..experiment_config()
+        };
         for id in [1u8, 7, 19, 22] {
             let program = ppa_lfk::sequential_graph(id).unwrap();
             let actual = run_actual(&program, &cfg).unwrap();
@@ -300,7 +341,71 @@ mod integration {
             );
             // And the measured slowdown should be substantial.
             let slowdown = measured.trace.total_time().ratio(actual.trace.total_time());
-            assert!(slowdown > 2.0, "loop {id}: expected real intrusion, got {slowdown}");
+            assert!(
+                slowdown > 2.0,
+                "loop {id}: expected real intrusion, got {slowdown}"
+            );
+        }
+    }
+
+    /// The streaming engine produces a byte-identical approximated JSONL
+    /// trace to the batch reference on the paper's Livermore loops, while
+    /// carrying resident state far smaller than the trace — frontier
+    /// state plus open sync episodes, not `O(trace length)`.
+    #[test]
+    fn streaming_is_byte_identical_and_bounded_on_livermore_loops() {
+        for id in [3u8, 4, 17] {
+            let program = ppa_lfk::doacross_graph(id).unwrap();
+            let cfg = experiment_config();
+            let measured =
+                run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).unwrap();
+
+            let reference = event_based_reference(&measured.trace, &cfg.overheads).unwrap();
+            let mut batch_jsonl = Vec::new();
+            ppa_trace::write_jsonl(&reference.trace, &mut batch_jsonl).unwrap();
+
+            // Stream the measured events through the incremental engine,
+            // writing approximated events as they are emitted.
+            let mut analyzer = EventBasedAnalyzer::new(&cfg.overheads);
+            let mut writer = ppa_trace::TraceStreamWriter::new(
+                Vec::new(),
+                ppa_trace::TraceKind::Approximated,
+                measured.trace.len(),
+            )
+            .unwrap();
+            let emit = |o: StreamOutput, w: &mut ppa_trace::TraceStreamWriter<Vec<u8>>| {
+                if let StreamOutput::Event(e) = o {
+                    w.write_event(&e).unwrap();
+                }
+            };
+            for e in measured.trace.iter() {
+                analyzer.push(*e).unwrap();
+                while let Some(o) = analyzer.next_output() {
+                    emit(o, &mut writer);
+                }
+            }
+            let tail = analyzer.finish().unwrap();
+            for o in tail.outputs {
+                emit(o, &mut writer);
+            }
+            let stream_jsonl = writer.finish().unwrap();
+
+            assert_eq!(
+                stream_jsonl, batch_jsonl,
+                "loop {id}: streaming JSONL differs from batch"
+            );
+
+            // Bounded state: far below the trace length. The bound is
+            // O(processors + open sync episodes); on these 8-processor
+            // DOACROSS loops the resident peak sits well under a tenth
+            // of the trace.
+            let n = measured.trace.len();
+            assert!(
+                tail.stats.peak_resident < n / 10,
+                "loop {id}: peak resident {} vs {} events",
+                tail.stats.peak_resident,
+                n
+            );
         }
     }
 
@@ -308,7 +413,7 @@ mod integration {
     /// truth simulator statistics under static dispatch.
     #[test]
     fn approximated_waiting_matches_ground_truth() {
-        let program = ppa_lfk::doacross_graph_with("w", &DoacrossParams::lfk17());
+        let program = ppa_lfk::doacross_graph_with("w", &DoacrossParams::lfk17()).unwrap();
         let cfg = experiment_config().with_jitter(3, 150);
         let actual = run_actual(&program, &cfg).unwrap();
         let measured =

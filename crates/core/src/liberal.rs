@@ -136,17 +136,18 @@ pub fn liberal_reschedule(
                 vars.insert(var);
                 seq.advances.push((tag.0, e.time));
             }
-            EventKind::BarrierEnter { .. } => {
-                if seq.barrier_enter.is_none() {
-                    seq.barrier_enter = Some(e.time);
-                }
+            EventKind::BarrierEnter { .. } if seq.barrier_enter.is_none() => {
+                seq.barrier_enter = Some(e.time);
             }
             _ => {}
         }
     }
     if vars.len() > 1 {
         return Err(AnalysisError::UnrecognizedStructure {
-            detail: format!("{} sync variables; liberal analysis handles one", vars.len()),
+            detail: format!(
+                "{} sync variables; liberal analysis handles one",
+                vars.len()
+            ),
         });
     }
 
@@ -209,9 +210,9 @@ pub fn liberal_reschedule(
         let q = match policy {
             SchedulePolicy::StaticCyclic => i % processors,
             SchedulePolicy::StaticBlock => ((i as u64 / chunk) as usize).min(processors - 1),
-            SchedulePolicy::SelfScheduled => {
-                (0..processors).min_by_key(|&q| (ready[q], q)).expect("processors > 0")
-            }
+            SchedulePolicy::SelfScheduled => (0..processors)
+                .min_by_key(|&q| (ready[q], q))
+                .expect("processors > 0"),
         };
         assignment.push(ProcessorId(q as u16));
         let await_b = ready[q] + prof.head;
@@ -226,7 +227,10 @@ pub fn liberal_reschedule(
                 Some(_) => await_b + overheads.s_nowait,
                 None => {
                     return Err(AnalysisError::UnrecognizedStructure {
-                        detail: format!("iteration {} awaits unseen tag {}", prof.tag, prof.awaited),
+                        detail: format!(
+                            "iteration {} awaits unseen tag {}",
+                            prof.tag, prof.awaited
+                        ),
                     })
                 }
             }
@@ -240,7 +244,12 @@ pub fn liberal_reschedule(
     let loop_span = (release + overheads.barrier_release).saturating_since(Time::ZERO);
     let total = serial_pre + loop_span + serial_post;
 
-    Ok(LiberalResult { total, assignment, sync_wait, loop_span })
+    Ok(LiberalResult {
+        total,
+        assignment,
+        sync_wait,
+        loop_span,
+    })
 }
 
 #[cfg(test)]
@@ -264,7 +273,10 @@ mod tests {
     #[test]
     fn rejects_traces_without_sync() {
         let p = ppa_lfk::sequential_graph(1).unwrap();
-        let c = SimConfig { processors: 1, ..cfg(SchedulePolicy::StaticCyclic) };
+        let c = SimConfig {
+            processors: 1,
+            ..cfg(SchedulePolicy::StaticCyclic)
+        };
         let m = run_measured(&p, &InstrumentationPlan::full_statements(), &c).unwrap();
         assert!(matches!(
             liberal_reschedule(&m.trace, &c.overheads, 1, SchedulePolicy::StaticCyclic, 0.0),
@@ -281,9 +293,8 @@ mod tests {
         let c = cfg(SchedulePolicy::StaticCyclic);
         let actual = run_actual(&p, &c).unwrap();
         let m = run_measured(&p, &InstrumentationPlan::full_with_sync(), &c).unwrap();
-        let lib =
-            liberal_reschedule(&m.trace, &c.overheads, 8, SchedulePolicy::StaticCyclic, 0.0)
-                .unwrap();
+        let lib = liberal_reschedule(&m.trace, &c.overheads, 8, SchedulePolicy::StaticCyclic, 0.0)
+            .unwrap();
         let ratio = lib.total.ratio(actual.trace.total_time());
         assert!((ratio - 1.0).abs() < 0.02, "liberal ratio {ratio}");
         assert_eq!(lib.assignment.len(), 1001);
@@ -299,8 +310,9 @@ mod tests {
         let actual = run_actual(&p, &c).unwrap().trace.total_time();
         let m = run_measured(&p, &InstrumentationPlan::full_with_sync(), &c).unwrap();
 
-        let conservative =
-            crate::event_based(&m.trace, &c.overheads).unwrap().total_time();
+        let conservative = crate::event_based(&m.trace, &c.overheads)
+            .unwrap()
+            .total_time();
         // Loop 17's nominal tail fraction: tail 2000 of (head 6000 + tail
         // 2000 + dispatch 50).
         let lib = liberal_reschedule(
@@ -325,7 +337,9 @@ mod tests {
         let p = ppa_lfk::doacross_graph(3).unwrap();
         let c = cfg(SchedulePolicy::StaticCyclic);
         let m = run_measured(&p, &InstrumentationPlan::full_with_sync(), &c).unwrap();
-        assert!(liberal_reschedule(&m.trace, &c.overheads, 0, SchedulePolicy::StaticCyclic, 0.0)
-            .is_err());
+        assert!(
+            liberal_reschedule(&m.trace, &c.overheads, 0, SchedulePolicy::StaticCyclic, 0.0)
+                .is_err()
+        );
     }
 }

@@ -1,0 +1,340 @@
+//! Sharded (multi-threaded) event-based analysis.
+//!
+//! The §4.2.3 resolution has a natural parallel decomposition: between
+//! synchronization *joints* — advance/await pairings, barrier wavefronts,
+//! and fork anchors — each processor's events form independent chains
+//! whose approximate times are a running sum of per-event perturbation
+//! increments. [`event_based_sharded`] exploits this:
+//!
+//! 1. **Structure** (serial): validate, discover time bases, and classify
+//!    every event as a joint or a chain interior.
+//! 2. **Segment scan** (parallel): per-processor workers compute each
+//!    chain event's cumulative increment relative to its segment's anchor
+//!    joint.
+//! 3. **Joint resolution** (serial): a worklist pass over the joints only,
+//!    reading chain-interior values as `anchor + cumulative increment`.
+//! 4. **Reconstruction** (parallel): per-processor workers fill in the
+//!    chain interiors between the resolved joints.
+//!
+//! The result — approximated trace, outcomes, and errors on feasible
+//! input — is identical to [`event_based`](crate::event_based) and
+//! [`event_based_reference`](crate::event_based_reference); only the
+//! schedule differs. Because [`ppa_trace::Time`] arithmetic is plain
+//! (associative) integer addition, the segment-sum formulation is exact,
+//! not approximate.
+
+use crate::error::AnalysisError;
+use crate::event_based::{assemble_result, discover_structure, Basis, EventBasedResult, Structure};
+use ppa_trace::{pair_sync_events, OverheadSpec, ProcessorId, Span, Time, Trace, TraceKind};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// Event-based perturbation analysis with parallel chain reconstruction.
+///
+/// `workers` caps the number of `std::thread` workers used for the
+/// parallel phases (at least one is always used). Processors are
+/// distributed across workers; a trace with one processor degenerates to
+/// the serial algorithm.
+///
+/// Produces exactly the result of [`event_based`](crate::event_based) on
+/// the same input.
+pub fn event_based_sharded(
+    measured: &Trace,
+    overheads: &OverheadSpec,
+    workers: usize,
+) -> Result<EventBasedResult, AnalysisError> {
+    let index = pair_sync_events(measured)?;
+    let events = measured.events();
+    let n = events.len();
+    if n == 0 {
+        return Ok(EventBasedResult {
+            trace: Trace::new(TraceKind::Approximated),
+            awaits: Vec::new(),
+            barriers: Vec::new(),
+        });
+    }
+    let workers = workers.max(1);
+
+    // --- Phase 1: structure and joint classification (serial) -----------
+    let Structure { prev, basis, .. } = discover_structure(events);
+
+    let mut await_of_end: HashMap<usize, (usize, Option<usize>)> = HashMap::new();
+    for pair in &index.awaits {
+        await_of_end.insert(pair.end, (pair.begin, pair.advance));
+    }
+    let mut episode_of_exit: HashMap<usize, usize> = HashMap::new();
+    for (ep_idx, ep) in index.barriers.iter().enumerate() {
+        for &x in &ep.exits {
+            episode_of_exit.insert(x, ep_idx);
+        }
+    }
+
+    // A joint is any event the chain rule does not cover: awaitE, barrier
+    // exit, or an event whose basis is not its same-thread predecessor
+    // (origin and fork anchors).
+    let is_joint: Vec<bool> = (0..n)
+        .map(|i| {
+            await_of_end.contains_key(&i)
+                || episode_of_exit.contains_key(&i)
+                || match basis[i] {
+                    Basis::Event(b) => Some(b) != prev[i],
+                    Basis::Origin => true,
+                }
+        })
+        .collect();
+
+    let mut by_proc: BTreeMap<ProcessorId, Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        by_proc.entry(e.proc).or_default().push(i);
+    }
+    let proc_lists: Vec<Vec<usize>> = by_proc.into_values().collect();
+    let chunk = proc_lists.len().div_ceil(workers);
+
+    let inc = |i: usize| -> Span {
+        let p = prev[i].expect("chain events have a predecessor");
+        events[i]
+            .time
+            .saturating_since(events[p].time)
+            .saturating_sub(overheads.instr_overhead(&events[i].kind))
+    };
+
+    // --- Phase 2: parallel segment scans --------------------------------
+    // For each chain event, the anchor joint that starts its segment and
+    // the cumulative increment since that anchor.
+    let mut anchor: Vec<usize> = vec![0; n];
+    let mut cum: Vec<Span> = vec![Span::ZERO; n];
+    std::thread::scope(|s| {
+        let inc = &inc;
+        let is_joint = &is_joint;
+        let handles: Vec<_> = proc_lists
+            .chunks(chunk)
+            .map(|lists| {
+                s.spawn(move || {
+                    let mut out: Vec<(usize, usize, Span)> = Vec::new();
+                    for list in lists {
+                        // (anchor, cum) of the previous event on this
+                        // processor — the chain predecessor.
+                        let mut last: Option<(usize, Span)> = None;
+                        for &i in list {
+                            let (a, c) = if is_joint[i] {
+                                (i, Span::ZERO)
+                            } else {
+                                let (pa, pc) = last.expect("chain events follow a predecessor");
+                                (pa, pc + inc(i))
+                            };
+                            out.push((i, a, c));
+                            last = Some((a, c));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, a, c) in h.join().expect("segment-scan worker panicked") {
+                anchor[i] = a;
+                cum[i] = c;
+            }
+        }
+    });
+
+    // --- Phase 3: joint worklist (serial) --------------------------------
+    let joints: Vec<usize> = (0..n).filter(|&i| is_joint[i]).collect();
+    let anchor_of = |x: usize| if is_joint[x] { x } else { anchor[x] };
+
+    let mut out_edges: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut indeg: HashMap<usize, usize> = joints.iter().map(|&j| (j, 0)).collect();
+    for &j in &joints {
+        let mut deps: Vec<usize> = Vec::new();
+        if let Basis::Event(b) = basis[j] {
+            deps.push(anchor_of(b));
+        }
+        if let Some(&(begin, advance)) = await_of_end.get(&j) {
+            deps.push(anchor_of(begin));
+            if let Some(adv) = advance {
+                deps.push(anchor_of(adv));
+            }
+        }
+        if let Some(&ep_idx) = episode_of_exit.get(&j) {
+            for &en in &index.barriers[ep_idx].enters {
+                deps.push(anchor_of(en));
+            }
+        }
+        for d in deps {
+            out_edges.entry(d).or_default().push(j);
+            *indeg.get_mut(&j).expect("joints are registered") += 1;
+        }
+    }
+
+    let mut jval: HashMap<usize, Time> = HashMap::with_capacity(joints.len());
+    let mut ready: BinaryHeap<Reverse<usize>> = joints
+        .iter()
+        .copied()
+        .filter(|j| indeg[j] == 0)
+        .map(Reverse)
+        .collect();
+    let mut resolved_joints = 0usize;
+    while let Some(Reverse(j)) = ready.pop() {
+        let val_of = |x: usize| -> Time {
+            if is_joint[x] {
+                jval[&x]
+            } else {
+                jval[&anchor[x]] + cum[x]
+            }
+        };
+        let e = &events[j];
+        let value = if let Some(&(begin, advance)) = await_of_end.get(&j) {
+            let tb = val_of(begin);
+            match advance {
+                Some(adv) => {
+                    let tadv = val_of(adv);
+                    if tadv <= tb {
+                        tb + overheads.s_nowait
+                    } else {
+                        tadv + overheads.s_wait
+                    }
+                }
+                None => tb + overheads.s_nowait,
+            }
+        } else if let Some(&ep_idx) = episode_of_exit.get(&j) {
+            let release = index.barriers[ep_idx]
+                .enters
+                .iter()
+                .map(|&en| val_of(en))
+                .max()
+                .expect("episodes have enters");
+            release + overheads.barrier_release
+        } else {
+            let oh = overheads.instr_overhead(&e.kind);
+            match basis[j] {
+                Basis::Origin => e.time.saturating_sub_span(oh),
+                Basis::Event(b) => {
+                    let tb = val_of(b);
+                    tb + e.time.saturating_since(events[b].time).saturating_sub(oh)
+                }
+            }
+        };
+        jval.insert(j, value);
+        resolved_joints += 1;
+        if let Some(succs) = out_edges.get(&j) {
+            for &succ in succs {
+                let d = indeg.get_mut(&succ).expect("joints are registered");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(Reverse(succ));
+                }
+            }
+        }
+    }
+
+    if resolved_joints < joints.len() {
+        // A chain event is resolvable exactly when its anchor is.
+        let resolved_total = (0..n).filter(|&i| jval.contains_key(&anchor_of(i))).count();
+        return Err(AnalysisError::CyclicDependencies {
+            unresolved: n - resolved_total,
+        });
+    }
+
+    // --- Phase 4: parallel chain reconstruction --------------------------
+    let mut ta: Vec<Time> = vec![Time::ZERO; n];
+    std::thread::scope(|s| {
+        let jval = &jval;
+        let inc = &inc;
+        let is_joint = &is_joint;
+        let handles: Vec<_> = proc_lists
+            .chunks(chunk)
+            .map(|lists| {
+                s.spawn(move || {
+                    let mut out: Vec<(usize, Time)> = Vec::new();
+                    for list in lists {
+                        let mut last: Option<Time> = None;
+                        for &i in list {
+                            let v = if is_joint[i] {
+                                jval[&i]
+                            } else {
+                                last.expect("chain events follow a predecessor") + inc(i)
+                            };
+                            out.push((i, v));
+                            last = Some(v);
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("reconstruction worker panicked") {
+                ta[i] = v;
+            }
+        }
+    });
+
+    Ok(assemble_result(events, &ta, &index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event_based::event_based_reference;
+    use ppa_trace::TraceBuilder;
+
+    fn spec() -> OverheadSpec {
+        let mut oh = OverheadSpec::alliant_default();
+        oh.barrier_release = Span::from_nanos(7);
+        oh
+    }
+
+    #[test]
+    fn matches_reference_on_awaits_and_barriers() {
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(0)
+            .loop_begin(0)
+            .on(0)
+            .at(100)
+            .stmt(0)
+            .at(200)
+            .advance(0, 0)
+            .on(1)
+            .at(50)
+            .await_begin(0, 0)
+            .at(210)
+            .await_end(0, 0)
+            .on(0)
+            .at(300)
+            .barrier_enter(0)
+            .on(1)
+            .at(320)
+            .barrier_enter(0)
+            .on(0)
+            .at(330)
+            .barrier_exit(0)
+            .on(1)
+            .at(340)
+            .barrier_exit(0)
+            .on(0)
+            .at(400)
+            .loop_end(0)
+            .build();
+        let reference = event_based_reference(&t, &spec()).unwrap();
+        for workers in [1, 2, 4] {
+            let sharded = event_based_sharded(&t, &spec(), workers).unwrap();
+            assert_eq!(sharded, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let r = event_based_sharded(&Trace::new(TraceKind::Measured), &spec(), 4).unwrap();
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected() {
+        let t = TraceBuilder::measured().on(0).at(5).await_end(0, 0).build();
+        assert!(matches!(
+            event_based_sharded(&t, &spec(), 2),
+            Err(AnalysisError::Trace(_))
+        ));
+    }
+}

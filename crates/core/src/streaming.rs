@@ -1,0 +1,1304 @@
+//! Incremental (streaming) event-based perturbation analysis.
+//!
+//! [`EventBasedAnalyzer`] consumes a measured trace one event at a time
+//! and produces the approximated trace — plus await and barrier outcomes —
+//! with memory proportional to the number of processors and *open*
+//! synchronization episodes, not to the trace length. It applies exactly
+//! the §4.2.3 approximation rules of the batch algorithm
+//! ([`event_based`](crate::event_based)):
+//!
+//! ```text
+//! ta(advance) = ta(u) + tm(advance) − tm(u) − α
+//! ta(awaitB)  = ta(v) + tm(awaitB)  − tm(v) − β
+//! ta(awaitE)  = ta(awaitB) + s_nowait              if ta(advance) ≤ ta(awaitB)
+//!             = ta(advance) + s_wait               otherwise
+//! ta(barrier exit) = max over enters ta(enter) + barrier_release
+//! ```
+//!
+//! and is observationally identical to the batch analysis: the same
+//! approximated events in the same (sorted) order, the same outcomes, and
+//! the same error for infeasible traces.
+//!
+//! # How it stays bounded
+//!
+//! The analyzer carries only *frontier* state:
+//!
+//! - per processor: the last event's measured and approximated times and
+//!   the pending `awaitB`, if any;
+//! - the latest loop-begin marker (the fork anchor of §4.2.3);
+//! - *parked* events whose approximated time is not yet computable — an
+//!   `awaitE` whose partner `advance` has not arrived, a barrier exit
+//!   whose episode is still open — each holding the unresolved
+//!   dependencies that will wake it;
+//! - a small reorder buffer of resolved events not yet safe to emit.
+//!
+//! Emission is watermark-driven: a resolved event leaves the buffer once
+//! every event that could still resolve earlier provably cannot precede
+//! it. The watermark is the minimum over the per-processor frontiers
+//! (advanced by the global measured clock, which bounds any future
+//! same-thread event from below), the fork anchor, and the registered
+//! floors of open synchronization constructs. In a feasible trace every
+//! construct closes within a bounded horizon, so the buffer stays small;
+//! [`StreamStats::peak_resident`] reports the observed maximum.
+//!
+//! The advance tag table is the one structure that grows with the number
+//! of *distinct* tags (as in the batch analysis): lenient pairing allows
+//! an `awaitE` to precede its partner `advance` event, so no tag can be
+//! retired before the trace ends.
+
+use crate::error::AnalysisError;
+use crate::event_based::{AwaitOutcome, BarrierOutcome};
+use ppa_trace::{
+    BarrierId, Event, EventKind, OverheadSpec, ProcessorId, Span, SyncTag, SyncVarId, Time,
+    TraceError,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style multiply-rotate hasher. Every key hashed by the analyzer
+/// is a small fixed-size integer tuple, where the default SipHash's
+/// per-call setup cost dominates the whole map operation.
+#[derive(Clone, Copy, Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_ne_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_ne_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// One item of analyzer output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOutput {
+    /// An approximated event. Events are emitted in the approximated
+    /// trace's final (sorted) order.
+    Event(Event),
+    /// A completed await. `ordinal` is the arrival index of the `awaitE`
+    /// in the measured trace; sorting outcomes by it reproduces the batch
+    /// analysis's `awaits` order.
+    Await {
+        /// Arrival index of the `awaitE` event.
+        ordinal: usize,
+        /// The await, in approximated time.
+        outcome: AwaitOutcome,
+    },
+    /// One processor's passage through a completed barrier episode.
+    /// `ordinal` is the arrival index of the episode's first enter;
+    /// sorting by it (stably) reproduces the batch `barriers` order.
+    Barrier {
+        /// Arrival index of the episode's first `BarrierEnter`.
+        ordinal: usize,
+        /// The passage, in approximated time.
+        outcome: BarrierOutcome,
+    },
+}
+
+/// Resource counters for one analyzer run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events pushed.
+    pub events: usize,
+    /// Maximum number of simultaneously parked (unresolvable) events.
+    pub peak_parked: usize,
+    /// Maximum size of the emission reorder buffer.
+    pub peak_buffered: usize,
+    /// Maximum resident analysis state: parked events + buffered events +
+    /// open barrier episodes. This is the `O(processors + open episodes)`
+    /// quantity the streaming engine bounds; compare it to `events` to see
+    /// the saving over batch analysis.
+    pub peak_resident: usize,
+}
+
+/// Everything the analyzer still owes its caller after the last push.
+#[derive(Debug, Clone)]
+pub struct StreamTail {
+    /// Outputs not yet drained, ending with the reorder buffer's flush.
+    pub outputs: Vec<StreamOutput>,
+    /// Final resource counters.
+    pub stats: StreamStats,
+}
+
+/// Which dependency slot of a parked event a delivered value fills.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// The time basis (same-thread predecessor or fork anchor).
+    Basis,
+    /// The `awaitB` of an `awaitE`.
+    Begin,
+    /// The partner `advance` of an `awaitE`.
+    Advance,
+    /// Ordering-only dependency (a barrier exit's own enter): the value
+    /// participates in the watermark floor but not in the event's time.
+    Order,
+}
+
+/// How a parked event's approximate time will be computed.
+#[derive(Debug)]
+enum Rule {
+    /// Generic rule: `ta = ta(basis) + (tm − tm(basis)) − overhead`.
+    Chain {
+        basis_tm: Time,
+        basis_ta: Option<Time>,
+    },
+    /// The `awaitE` rule (§4.2.3, both Figure 2 cases).
+    AwaitEnd { begin_ta: Option<Time>, adv: Adv },
+    /// A barrier exit: the value arrives whole when the episode resolves.
+    Exit { value: Option<Time> },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Adv {
+    /// Pre-advanced tag: no partner needed, never waits.
+    NotNeeded,
+    /// Partner advance not yet arrived or not yet resolved.
+    Pending,
+    /// Partner advance resolved at this approximated time.
+    Got(Time),
+}
+
+/// A parked event: pushed, but not yet resolvable.
+#[derive(Debug)]
+struct Node {
+    event: Event,
+    /// Outstanding dependency count.
+    pending: u32,
+    rule: Rule,
+    /// Watermark floors this node has registered (removed on resolution).
+    anchors: Vec<Time>,
+    /// Parked events waiting on this one, with the slot each fills.
+    waiters: Vec<(usize, Slot)>,
+}
+
+/// Per-processor frontier state.
+#[derive(Debug)]
+struct ProcState {
+    last_id: usize,
+    last_tm: Time,
+    /// Approximated time of the last event, once resolved.
+    last_ta: Option<Time>,
+    pending_await: Option<PendingAwait>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingAwait {
+    var: SyncVarId,
+    tag: SyncTag,
+    begin_id: usize,
+    /// Set (and registered as a watermark floor) when the begin resolves.
+    begin_ta: Option<Time>,
+}
+
+/// The global fork anchor: the latest loop-begin marker.
+#[derive(Debug, Clone, Copy)]
+struct LoopAnchor {
+    id: usize,
+    tm: Time,
+    ta: Option<Time>,
+}
+
+#[derive(Debug)]
+struct AdvanceRec {
+    id: usize,
+    ta: Option<Time>,
+}
+
+#[derive(Debug)]
+struct EnterRec {
+    id: usize,
+    proc: ProcessorId,
+    key: (Time, u64, ProcessorId),
+    ta: Option<Time>,
+}
+
+/// One barrier episode in flight.
+#[derive(Debug)]
+struct Episode {
+    barrier: BarrierId,
+    enters: Vec<EnterRec>,
+    exits: Vec<(usize, ProcessorId)>,
+    first_exit_key: Option<(Time, u64, ProcessorId)>,
+    /// Enters whose approximated time is still unknown.
+    unresolved_enters: usize,
+    /// All exits have arrived; resolves when `unresolved_enters == 0`.
+    closed: bool,
+    /// Watermark floors registered by resolved enters.
+    anchors: Vec<Time>,
+}
+
+/// An entry of the emission reorder buffer, ordered like the final trace:
+/// by the approximated event's own sort key, with the arrival index as the
+/// final tie-break (mirroring the batch analysis's stable sort).
+#[derive(Debug)]
+struct EmitEntry {
+    event: Event,
+    idx: usize,
+}
+
+impl EmitEntry {
+    #[inline]
+    fn key(&self) -> (Time, u64, ProcessorId, usize) {
+        (self.event.time, self.event.seq, self.event.proc, self.idx)
+    }
+}
+
+impl PartialEq for EmitEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for EmitEntry {}
+impl PartialOrd for EmitEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EmitEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Streaming event-based perturbation analyzer (see the module docs).
+///
+/// Feed measured events in trace order with [`push`](Self::push), drain
+/// incremental output with [`next_output`](Self::next_output), and call
+/// [`finish`](Self::finish) for the tail and final verdict. The verdict —
+/// the approximated events, the outcomes, and any [`AnalysisError`] — is
+/// identical to running [`event_based`](crate::event_based) on the whole
+/// trace. Validation errors other than a broken total order are deferred
+/// to [`finish`](Self::finish), which reports the same error the batch
+/// validator would have chosen.
+#[derive(Debug)]
+pub struct EventBasedAnalyzer {
+    oh: OverheadSpec,
+    max_instr_oh: Span,
+
+    // Arrival bookkeeping.
+    next_idx: usize,
+    last_key: Option<(Time, u64, ProcessorId)>,
+    last_tm: Time,
+    serial_proc: Option<ProcessorId>,
+
+    // Deferred errors, in batch-validator precedence order.
+    fatal: Option<TraceError>,
+    scan_error: Option<TraceError>,
+    barrier_error: Option<TraceError>,
+
+    // Validation (scan) state.
+    procs: Vec<Option<ProcState>>,
+    advances: FxMap<(SyncVarId, SyncTag), AdvanceRec>,
+    /// `awaitE`s whose partner advance has not arrived, by end arrival
+    /// index — the batch validator's `MissingAdvance` candidates.
+    missing_adv: BTreeMap<usize, (SyncVarId, SyncTag)>,
+    missing_by_tag: FxMap<(SyncVarId, SyncTag), Vec<usize>>,
+
+    // Structure state.
+    latest_lb: Option<LoopAnchor>,
+
+    // Barrier episodes.
+    episodes: FxMap<u64, Episode>,
+    open_by_barrier: BTreeMap<BarrierId, u64>,
+    ep_of_enter: FxMap<usize, u64>,
+    next_ep_uid: u64,
+
+    // Dataflow resolution.
+    parked: FxMap<usize, Node>,
+    /// Parked `awaitE`s waiting for an advance on this tag to *arrive*.
+    awaiting_advance: FxMap<(SyncVarId, SyncTag), Vec<usize>>,
+    /// Watermark floor multiset.
+    anchors: BTreeMap<Time, u32>,
+
+    // Emission.
+    buffer: BinaryHeap<Reverse<EmitEntry>>,
+    out: VecDeque<StreamOutput>,
+    /// Pushes since the last watermark check (drains run on a cadence to
+    /// amortize the watermark computation).
+    since_drain: u32,
+
+    stats: StreamStats,
+}
+
+impl EventBasedAnalyzer {
+    /// Creates an analyzer applying the given overhead model.
+    pub fn new(overheads: &OverheadSpec) -> Self {
+        let max_instr_oh = [
+            overheads.statement_event,
+            overheads.marker_event,
+            overheads.advance_instr,
+            overheads.await_begin_instr,
+            overheads.await_end_instr,
+            overheads.barrier_instr,
+        ]
+        .into_iter()
+        .max()
+        .unwrap_or(Span::ZERO);
+        EventBasedAnalyzer {
+            oh: *overheads,
+            max_instr_oh,
+            next_idx: 0,
+            last_key: None,
+            last_tm: Time::ZERO,
+            serial_proc: None,
+            fatal: None,
+            scan_error: None,
+            barrier_error: None,
+            procs: Vec::new(),
+            advances: FxMap::default(),
+            missing_adv: BTreeMap::new(),
+            missing_by_tag: FxMap::default(),
+            latest_lb: None,
+            episodes: FxMap::default(),
+            open_by_barrier: BTreeMap::new(),
+            ep_of_enter: FxMap::default(),
+            next_ep_uid: 0,
+            parked: FxMap::default(),
+            awaiting_advance: FxMap::default(),
+            anchors: BTreeMap::new(),
+            buffer: BinaryHeap::new(),
+            out: VecDeque::new(),
+            since_drain: 0,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Feeds the next measured event.
+    ///
+    /// Returns an error only for a broken total order — the one condition
+    /// that cannot wait, because it invalidates every later judgment. All
+    /// other validation failures are deferred to [`finish`](Self::finish)
+    /// so that the reported error matches the batch validator's choice.
+    pub fn push(&mut self, event: Event) -> Result<(), AnalysisError> {
+        if let Some(e) = &self.fatal {
+            return Err(e.clone().into());
+        }
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        self.stats.events += 1;
+        let key = event.order_key();
+        if let Some(last) = self.last_key {
+            if last > key {
+                let e = TraceError::NotTotallyOrdered { position: idx };
+                self.fatal = Some(e.clone());
+                return Err(e.into());
+            }
+        }
+        self.last_key = Some(key);
+        self.last_tm = event.time;
+        if self.serial_proc.is_none() {
+            self.serial_proc = Some(event.proc);
+        }
+        let pi = event.proc.index();
+        if pi >= self.procs.len() {
+            self.procs.resize_with(pi + 1, || None);
+        }
+
+        // --- Fast path ---------------------------------------------------
+        // A plain chain event (no sync/barrier/loop-begin semantics) whose
+        // basis is already resolved needs none of the dataflow machinery:
+        // apply the generic §4.2.3 rule and buffer it directly. This is the
+        // bulk of any trace.
+        if self.scan_error.is_none()
+            && self.barrier_error.is_none()
+            && !matches!(
+                event.kind,
+                EventKind::Advance { .. }
+                    | EventKind::AwaitBegin { .. }
+                    | EventKind::AwaitEnd { .. }
+                    | EventKind::BarrierEnter { .. }
+                    | EventKind::BarrierExit { .. }
+                    | EventKind::LoopBegin { .. }
+            )
+        {
+            let latest_lb = self.latest_lb;
+            let is_serial = Some(event.proc) == self.serial_proc;
+            if let Some(s) = self.procs[pi].as_mut() {
+                // Basis selection, prev-exists case — identical to the
+                // general path below.
+                let fork = !is_serial && latest_lb.map(|l| l.id > s.last_id).unwrap_or(false);
+                let basis = if fork {
+                    let l = latest_lb.expect("fork implies an anchor");
+                    l.ta.map(|ta| (l.tm, ta))
+                } else {
+                    s.last_ta.map(|ta| (s.last_tm, ta))
+                };
+                if let Some((b_tm, b_ta)) = basis {
+                    let oh = self.oh.instr_overhead(&event.kind);
+                    let value = b_ta + event.time.saturating_since(b_tm).saturating_sub(oh);
+                    s.last_id = idx;
+                    s.last_tm = event.time;
+                    s.last_ta = Some(value);
+                    self.buffer.push(Reverse(EmitEntry {
+                        event: Event {
+                            time: value,
+                            ..event
+                        },
+                        idx,
+                    }));
+                    self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffer.len());
+                    let resident = self.parked.len() + self.buffer.len() + self.episodes.len();
+                    self.stats.peak_resident = self.stats.peak_resident.max(resident);
+                    self.maybe_drain();
+                    return Ok(());
+                }
+            }
+            // No predecessor, or a parked basis: take the general path.
+        }
+
+        // --- Scan (validation) step, frozen by the first scan error. ----
+        let mut await_info: Option<PendingAwait> = None;
+        if self.scan_error.is_none() {
+            match event.kind {
+                EventKind::Advance { var, tag } => {
+                    if tag.is_pre_advanced() {
+                        self.scan_error = Some(TraceError::NegativeAdvanceTag { var, tag });
+                    } else {
+                        match self.advances.entry((var, tag)) {
+                            std::collections::hash_map::Entry::Occupied(_) => {
+                                self.scan_error = Some(TraceError::DuplicateAdvance { var, tag });
+                            }
+                            std::collections::hash_map::Entry::Vacant(v) => {
+                                v.insert(AdvanceRec { id: idx, ta: None });
+                                if !self.missing_by_tag.is_empty() {
+                                    if let Some(ends) = self.missing_by_tag.remove(&(var, tag)) {
+                                        for end in ends {
+                                            self.missing_adv.remove(&end);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                EventKind::AwaitBegin { var, tag } => {
+                    let ps = &mut self.procs[pi];
+                    let nested = ps.as_ref().is_some_and(|s| s.pending_await.is_some());
+                    if nested {
+                        self.scan_error = Some(TraceError::NestedAwait {
+                            proc: event.proc,
+                            var,
+                            tag,
+                        });
+                    } else {
+                        let pending = PendingAwait {
+                            var,
+                            tag,
+                            begin_id: idx,
+                            begin_ta: None,
+                        };
+                        match ps {
+                            Some(s) => s.pending_await = Some(pending),
+                            None => {
+                                *ps = Some(ProcState {
+                                    // Placeholder; overwritten below before
+                                    // the frontier is consulted.
+                                    last_id: idx,
+                                    last_tm: event.time,
+                                    last_ta: None,
+                                    pending_await: Some(pending),
+                                });
+                            }
+                        }
+                    }
+                }
+                EventKind::AwaitEnd { var, tag } => {
+                    let taken = self.procs[pi].as_mut().and_then(|s| s.pending_await.take());
+                    match taken {
+                        Some(p) if p.var == var && p.tag == tag => {
+                            if !tag.is_pre_advanced() && !self.advances.contains_key(&(var, tag)) {
+                                self.missing_adv.insert(idx, (var, tag));
+                                self.missing_by_tag.entry((var, tag)).or_default().push(idx);
+                            }
+                            await_info = Some(p);
+                        }
+                        _ => {
+                            self.scan_error = Some(TraceError::UnmatchedAwaitEnd {
+                                proc: event.proc,
+                                var,
+                                tag,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if self.scan_error.is_some() {
+                return Ok(());
+            }
+        } else {
+            // Frozen: only the total-order check remains live.
+            return Ok(());
+        }
+
+        // --- Barrier (episode) step, frozen by the first barrier error. --
+        let mut enter_ep: Option<u64> = None;
+        let mut exit_ep: Option<u64> = None;
+        if self.barrier_error.is_none() {
+            match event.kind {
+                EventKind::BarrierEnter { barrier } => {
+                    let uid = *self.open_by_barrier.entry(barrier).or_insert_with(|| {
+                        let uid = self.next_ep_uid;
+                        self.next_ep_uid += 1;
+                        self.episodes.insert(
+                            uid,
+                            Episode {
+                                barrier,
+                                enters: Vec::new(),
+                                exits: Vec::new(),
+                                first_exit_key: None,
+                                unresolved_enters: 0,
+                                closed: false,
+                                anchors: Vec::new(),
+                            },
+                        );
+                        uid
+                    });
+                    let ep = self.episodes.get_mut(&uid).expect("episode is open");
+                    if ep.enters.iter().any(|r| r.proc == event.proc) {
+                        self.barrier_error = Some(TraceError::BarrierProtocol {
+                            barrier,
+                            proc: event.proc,
+                        });
+                    } else {
+                        ep.enters.push(EnterRec {
+                            id: idx,
+                            proc: event.proc,
+                            key,
+                            ta: None,
+                        });
+                        ep.unresolved_enters += 1;
+                        self.ep_of_enter.insert(idx, uid);
+                        enter_ep = Some(uid);
+                    }
+                }
+                EventKind::BarrierExit { barrier } => {
+                    match self.open_by_barrier.get(&barrier).copied() {
+                        None => {
+                            self.barrier_error = Some(TraceError::BarrierProtocol {
+                                barrier,
+                                proc: event.proc,
+                            });
+                        }
+                        Some(uid) => {
+                            let ep = self.episodes.get_mut(&uid).expect("episode is open");
+                            let entered = ep.enters.iter().any(|r| r.proc == event.proc);
+                            let exited = ep.exits.iter().any(|&(_, p)| p == event.proc);
+                            if !entered || exited {
+                                self.barrier_error = Some(TraceError::BarrierProtocol {
+                                    barrier,
+                                    proc: event.proc,
+                                });
+                            } else {
+                                ep.exits.push((idx, event.proc));
+                                if ep.first_exit_key.is_none() {
+                                    ep.first_exit_key = Some(key);
+                                }
+                                if ep.exits.len() == ep.enters.len() {
+                                    let last_enter_key =
+                                        ep.enters.last().expect("episode has enters").key;
+                                    let first_exit_key =
+                                        ep.first_exit_key.expect("episode has exits");
+                                    if first_exit_key < last_enter_key {
+                                        self.barrier_error =
+                                            Some(TraceError::BarrierExitBeforeLastEnter {
+                                                barrier,
+                                            });
+                                    } else {
+                                        ep.closed = true;
+                                        self.open_by_barrier.remove(&barrier);
+                                        exit_ep = Some(uid);
+                                    }
+                                } else {
+                                    exit_ep = Some(uid);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // --- Resolution step, meaningful only while no error is pending. -
+        if self.barrier_error.is_none() {
+            self.resolve_event(event, idx, await_info, enter_ep, exit_ep);
+        }
+
+        // Stats + emission.
+        let resident = self.parked.len() + self.buffer.len() + self.episodes.len();
+        self.stats.peak_parked = self.stats.peak_parked.max(self.parked.len());
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffer.len());
+        self.stats.peak_resident = self.stats.peak_resident.max(resident);
+        self.maybe_drain();
+        Ok(())
+    }
+
+    /// Takes the next available output, if any.
+    pub fn next_output(&mut self) -> Option<StreamOutput> {
+        self.out.pop_front()
+    }
+
+    /// Current resource counters.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Ends the stream: reports the deferred validation verdict and, on
+    /// success, flushes the reorder buffer.
+    ///
+    /// The error (if any) is exactly what [`event_based`](crate::event_based)
+    /// would return for the same event sequence, chosen with the batch
+    /// validator's precedence: broken total order, then scan errors in
+    /// arrival order, then dangling `awaitB`s, missing advances, barrier
+    /// protocol violations, open episodes, and finally unresolvable
+    /// (cyclic) dependencies.
+    pub fn finish(mut self) -> Result<StreamTail, AnalysisError> {
+        if let Some(e) = self.fatal {
+            return Err(e.into());
+        }
+        if let Some(e) = self.scan_error {
+            return Err(e.into());
+        }
+        for (i, ps) in self.procs.iter().enumerate() {
+            if let Some(p) = ps.as_ref().and_then(|s| s.pending_await) {
+                return Err(TraceError::UnmatchedAwaitBegin {
+                    proc: ProcessorId(i as u16),
+                    var: p.var,
+                    tag: p.tag,
+                }
+                .into());
+            }
+        }
+        if let Some((_, &(var, tag))) = self.missing_adv.iter().next() {
+            return Err(TraceError::MissingAdvance { var, tag }.into());
+        }
+        if let Some(e) = self.barrier_error {
+            return Err(e.into());
+        }
+        if let Some((&barrier, &uid)) = self.open_by_barrier.iter().next() {
+            let ep = &self.episodes[&uid];
+            return Err(TraceError::BarrierArityMismatch {
+                barrier,
+                enters: ep.enters.len(),
+                exits: ep.exits.len(),
+            }
+            .into());
+        }
+        if !self.parked.is_empty() {
+            return Err(AnalysisError::CyclicDependencies {
+                unresolved: self.parked.len(),
+            });
+        }
+        // Flush the reorder buffer: nothing can precede anything now.
+        while let Some(Reverse(entry)) = self.buffer.pop() {
+            self.out.push_back(StreamOutput::Event(entry.event));
+        }
+        Ok(StreamTail {
+            outputs: self.out.into_iter().collect(),
+            stats: self.stats,
+        })
+    }
+
+    // --- Resolution internals -------------------------------------------
+
+    /// Computes this event's dependencies, then either resolves it on the
+    /// spot or parks it.
+    fn resolve_event(
+        &mut self,
+        event: Event,
+        idx: usize,
+        await_info: Option<PendingAwait>,
+        enter_ep: Option<u64>,
+        exit_ep: Option<u64>,
+    ) {
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        // The fork anchor includes the current event (`last_loop_begin[i]`
+        // covers position `i` itself in the batch analysis).
+        if matches!(event.kind, EventKind::LoopBegin { .. }) {
+            self.latest_lb = Some(LoopAnchor {
+                id: idx,
+                tm: event.time,
+                ta: None,
+            });
+        }
+
+        // Basis selection — identical to the batch analysis.
+        let pi = event.proc.index();
+        let prev = self.procs[pi]
+            .as_ref()
+            // A state created by this very push (awaitB on a fresh
+            // processor) holds no predecessor.
+            .filter(|s| s.last_id != idx)
+            .map(|s| (s.last_id, s.last_tm, s.last_ta));
+        let is_serial = Some(event.proc) == self.serial_proc;
+        let basis: Option<(usize, Time, Option<Time>)> = match prev {
+            Some((p_id, p_tm, p_ta)) => {
+                let fork = !is_serial && self.latest_lb.map(|l| l.id > p_id).unwrap_or(false);
+                if fork {
+                    let l = self.latest_lb.expect("fork implies an anchor");
+                    Some((l.id, l.tm, l.ta))
+                } else {
+                    Some((p_id, p_tm, p_ta))
+                }
+            }
+            None => match self.latest_lb {
+                Some(l) if l.id != idx => Some((l.id, l.tm, l.ta)),
+                _ => None,
+            },
+        };
+
+        // Advance the frontier before resolving, so the resolution hook
+        // sees this event as its processor's latest.
+        match &mut self.procs[pi] {
+            Some(s) => {
+                s.last_id = idx;
+                s.last_tm = event.time;
+                s.last_ta = None;
+            }
+            slot @ None => {
+                *slot = Some(ProcState {
+                    last_id: idx,
+                    last_tm: event.time,
+                    last_ta: None,
+                    pending_await: None,
+                });
+            }
+        }
+
+        // Assemble the rule and its dependencies. Both scratch lists have
+        // small static bounds (begin + advance + basis), so they live on
+        // the stack.
+        let mut pending = 0u32;
+        let mut pending_deps = [(0usize, Slot::Basis); 3];
+        let mut n_deps = 0usize;
+        let mut ready_anchors = [Time::ZERO; 2];
+        let mut n_ready = 0usize;
+        // A floor already registered by the awaitB hook whose ownership
+        // transfers to this awaitE (it must persist until resolution, but
+        // is already counted in the multiset).
+        let mut transferred_anchor: Option<Time> = None;
+
+        let rule = if let Some(info) = await_info {
+            if let Some(tb) = info.begin_ta {
+                transferred_anchor = Some(tb);
+            } else {
+                pending += 1;
+                pending_deps[n_deps] = (info.begin_id, Slot::Begin);
+                n_deps += 1;
+            }
+            let (var, tag) = match event.kind {
+                EventKind::AwaitEnd { var, tag } => (var, tag),
+                _ => unreachable!("await_info implies an awaitE"),
+            };
+            let adv = if tag.is_pre_advanced() {
+                Adv::NotNeeded
+            } else {
+                match self.advances.get(&(var, tag)) {
+                    Some(rec) => match rec.ta {
+                        Some(v) => {
+                            ready_anchors[n_ready] = v;
+                            n_ready += 1;
+                            Adv::Got(v)
+                        }
+                        None => {
+                            pending += 1;
+                            pending_deps[n_deps] = (rec.id, Slot::Advance);
+                            n_deps += 1;
+                            Adv::Pending
+                        }
+                    },
+                    None => {
+                        pending += 1;
+                        self.awaiting_advance
+                            .entry((var, tag))
+                            .or_default()
+                            .push(idx);
+                        Adv::Pending
+                    }
+                }
+            };
+            if let Some((b_id, _, b_ta)) = basis {
+                match b_ta {
+                    Some(v) => {
+                        ready_anchors[n_ready] = v;
+                        n_ready += 1;
+                    }
+                    None => {
+                        pending += 1;
+                        pending_deps[n_deps] = (b_id, Slot::Order);
+                        n_deps += 1;
+                    }
+                }
+            }
+            Rule::AwaitEnd {
+                begin_ta: info.begin_ta,
+                adv,
+            }
+        } else if let Some(uid) = exit_ep {
+            // The episode delivers the exit time as a whole.
+            pending += 1;
+            let ep = &self.episodes[&uid];
+            let own = ep
+                .enters
+                .iter()
+                .find(|r| r.proc == event.proc)
+                .expect("exit protocol guarantees an enter");
+            match own.ta {
+                Some(v) => {
+                    ready_anchors[n_ready] = v;
+                    n_ready += 1;
+                }
+                None => {
+                    pending += 1;
+                    pending_deps[n_deps] = (own.id, Slot::Order);
+                    n_deps += 1;
+                }
+            }
+            if let Some((b_id, _, b_ta)) = basis {
+                match b_ta {
+                    Some(v) => {
+                        ready_anchors[n_ready] = v;
+                        n_ready += 1;
+                    }
+                    None => {
+                        pending += 1;
+                        pending_deps[n_deps] = (b_id, Slot::Order);
+                        n_deps += 1;
+                    }
+                }
+            }
+            Rule::Exit { value: None }
+        } else {
+            match basis {
+                None => {
+                    // Origin rule: resolves immediately.
+                    let oh = self.oh.instr_overhead(&event.kind);
+                    let value = event.time.saturating_sub_span(oh);
+                    self.finish_resolution(event, idx, value, &mut queue);
+                    self.run_queue(&mut queue);
+                    return;
+                }
+                Some((b_id, b_tm, b_ta)) => {
+                    if b_ta.is_none() {
+                        pending += 1;
+                        pending_deps[n_deps] = (b_id, Slot::Basis);
+                        n_deps += 1;
+                    }
+                    Rule::Chain {
+                        basis_tm: b_tm,
+                        basis_ta: b_ta,
+                    }
+                }
+            }
+        };
+
+        if pending == 0 {
+            // Resolvable on the spot; drop any floor we held through the
+            // pending await, and discard ready anchors (never registered).
+            if let Some(a) = transferred_anchor {
+                self.anchor_remove(a);
+            }
+            let value = self.compute_value(&event, &rule);
+            self.emit_await_outcome(&event, idx, &rule, value);
+            self.finish_resolution(event, idx, value, &mut queue);
+        } else {
+            let mut anchors = Vec::with_capacity(n_ready + 1);
+            if let Some(a) = transferred_anchor {
+                anchors.push(a); // already in the multiset
+            }
+            for &a in &ready_anchors[..n_ready] {
+                self.anchor_add(a);
+                anchors.push(a);
+            }
+            self.parked.insert(
+                idx,
+                Node {
+                    event,
+                    pending,
+                    rule,
+                    anchors,
+                    waiters: Vec::new(),
+                },
+            );
+            for &(dep, slot) in &pending_deps[..n_deps] {
+                self.parked
+                    .get_mut(&dep)
+                    .expect("unresolved dependencies are parked")
+                    .waiters
+                    .push((idx, slot));
+            }
+        }
+
+        // A just-closed episode may already be fully resolved.
+        if let Some(uid) = exit_ep {
+            let ready = {
+                let ep = &self.episodes[&uid];
+                ep.closed && ep.unresolved_enters == 0
+            };
+            if ready {
+                self.finalize_episode(uid, &mut queue);
+            }
+        }
+
+        // A newly arrived advance may wake parked awaitEs.
+        if !self.awaiting_advance.is_empty() {
+            if let EventKind::Advance { var, tag } = event.kind {
+                if let Some(rec) = self.advances.get(&(var, tag)) {
+                    if rec.id == idx {
+                        let rec_ta = rec.ta;
+                        if let Some(waiters) = self.awaiting_advance.remove(&(var, tag)) {
+                            for w in waiters {
+                                match rec_ta {
+                                    Some(v) => self.deliver(w, Slot::Advance, v, &mut queue),
+                                    None => self
+                                        .parked
+                                        .get_mut(&idx)
+                                        .expect("unresolved advance is parked")
+                                        .waiters
+                                        .push((w, Slot::Advance)),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let _ = enter_ep; // membership is tracked via `ep_of_enter`
+        self.run_queue(&mut queue);
+    }
+
+    /// Delivers a resolved dependency value into a parked event's slot.
+    fn deliver(&mut self, id: usize, slot: Slot, value: Time, queue: &mut VecDeque<usize>) {
+        let node = self.parked.get_mut(&id).expect("waiter is parked");
+        match (slot, &mut node.rule) {
+            (Slot::Basis, Rule::Chain { basis_ta, .. }) => *basis_ta = Some(value),
+            (Slot::Begin, Rule::AwaitEnd { begin_ta, .. }) => *begin_ta = Some(value),
+            (Slot::Advance, Rule::AwaitEnd { adv, .. }) => *adv = Adv::Got(value),
+            (Slot::Order, _) => {}
+            (slot, rule) => unreachable!("slot {slot:?} does not fit rule {rule:?}"),
+        }
+        node.anchors.push(value);
+        node.pending -= 1;
+        let ready = node.pending == 0;
+        self.anchor_add(value);
+        if ready {
+            queue.push_back(id);
+        }
+    }
+
+    /// Resolves queued events until the cascade settles.
+    fn run_queue(&mut self, queue: &mut VecDeque<usize>) {
+        while let Some(id) = queue.pop_front() {
+            let node = self.parked.remove(&id).expect("queued events are parked");
+            for a in &node.anchors {
+                self.anchor_remove(*a);
+            }
+            let value = self.compute_value(&node.event, &node.rule);
+            self.emit_await_outcome(&node.event, id, &node.rule, value);
+            self.finish_resolution(node.event, id, value, queue);
+            for (w, slot) in node.waiters {
+                self.deliver(w, slot, value, queue);
+            }
+        }
+    }
+
+    /// Applies the §4.2.3 value rules.
+    fn compute_value(&self, event: &Event, rule: &Rule) -> Time {
+        match rule {
+            Rule::Chain { basis_tm, basis_ta } => {
+                let tb = basis_ta.expect("basis resolved first");
+                let oh = self.oh.instr_overhead(&event.kind);
+                let delta = event.time.saturating_since(*basis_tm);
+                tb + delta.saturating_sub(oh)
+            }
+            Rule::AwaitEnd { begin_ta, adv } => {
+                let tb = begin_ta.expect("awaitB resolved before awaitE");
+                match adv {
+                    Adv::NotNeeded => tb + self.oh.s_nowait,
+                    Adv::Got(tadv) => {
+                        if *tadv <= tb {
+                            tb + self.oh.s_nowait
+                        } else {
+                            *tadv + self.oh.s_wait
+                        }
+                    }
+                    Adv::Pending => unreachable!("advance resolved before awaitE"),
+                }
+            }
+            Rule::Exit { value } => value.expect("episode resolved before exit"),
+        }
+    }
+
+    /// Emits the [`AwaitOutcome`] for a resolving `awaitE`.
+    fn emit_await_outcome(&mut self, event: &Event, idx: usize, rule: &Rule, end: Time) {
+        if let Rule::AwaitEnd { begin_ta, adv } = rule {
+            let (var, tag) = match event.kind {
+                EventKind::AwaitEnd { var, tag } => (var, tag),
+                _ => unreachable!("AwaitEnd rule implies an awaitE"),
+            };
+            let begin = begin_ta.expect("awaitB resolved before awaitE");
+            let wait = match adv {
+                Adv::Got(tadv) => tadv.saturating_since(begin),
+                _ => Span::ZERO,
+            };
+            self.out.push_back(StreamOutput::Await {
+                ordinal: idx,
+                outcome: AwaitOutcome {
+                    proc: event.proc,
+                    var,
+                    tag,
+                    begin,
+                    end,
+                    wait,
+                },
+            });
+        }
+    }
+
+    /// Books a freshly computed approximated time: updates the frontiers
+    /// and hooks, then buffers the event for ordered emission.
+    fn finish_resolution(
+        &mut self,
+        event: Event,
+        idx: usize,
+        value: Time,
+        queue: &mut VecDeque<usize>,
+    ) {
+        match event.kind {
+            EventKind::Advance { var, tag } => {
+                if let Some(rec) = self.advances.get_mut(&(var, tag)) {
+                    if rec.id == idx {
+                        rec.ta = Some(value);
+                    }
+                }
+            }
+            EventKind::AwaitBegin { .. } => {
+                let pi = event.proc.index();
+                if let Some(p) = self.procs[pi]
+                    .as_mut()
+                    .and_then(|s| s.pending_await.as_mut())
+                {
+                    if p.begin_id == idx {
+                        p.begin_ta = Some(value);
+                        self.anchor_add(value);
+                    }
+                }
+            }
+            EventKind::BarrierEnter { .. } => {
+                if let Some(&uid) = self.ep_of_enter.get(&idx) {
+                    let ep = self
+                        .episodes
+                        .get_mut(&uid)
+                        .expect("enter's episode is live");
+                    let rec = ep
+                        .enters
+                        .iter_mut()
+                        .find(|r| r.id == idx)
+                        .expect("enter is recorded");
+                    rec.ta = Some(value);
+                    ep.anchors.push(value);
+                    ep.unresolved_enters -= 1;
+                    let ready = ep.closed && ep.unresolved_enters == 0;
+                    self.anchor_add(value);
+                    if ready {
+                        self.finalize_episode(uid, queue);
+                    }
+                }
+            }
+            EventKind::LoopBegin { .. } => {
+                if let Some(l) = self.latest_lb.as_mut() {
+                    if l.id == idx {
+                        l.ta = Some(value);
+                    }
+                }
+            }
+            _ => {}
+        }
+        let pi = event.proc.index();
+        if let Some(s) = self.procs[pi].as_mut() {
+            if s.last_id == idx {
+                s.last_ta = Some(value);
+            }
+        }
+        self.buffer.push(Reverse(EmitEntry {
+            event: Event {
+                time: value,
+                ..event
+            },
+            idx,
+        }));
+    }
+
+    /// A closed episode with all enters resolved: computes the release,
+    /// emits the barrier outcomes, and wakes the parked exits.
+    fn finalize_episode(&mut self, uid: u64, queue: &mut VecDeque<usize>) {
+        let ep = self
+            .episodes
+            .remove(&uid)
+            .expect("finalized episode is live");
+        for a in &ep.anchors {
+            self.anchor_remove(*a);
+        }
+        let release = ep
+            .enters
+            .iter()
+            .map(|r| r.ta.expect("enters resolved before release"))
+            .max()
+            .expect("episodes have enters");
+        let exit_time = release + self.oh.barrier_release;
+        let ordinal = ep.enters.first().expect("episodes have enters").id;
+        for rec in &ep.enters {
+            self.ep_of_enter.remove(&rec.id);
+            let enter = rec.ta.expect("enters resolved");
+            self.out.push_back(StreamOutput::Barrier {
+                ordinal,
+                outcome: BarrierOutcome {
+                    barrier: ep.barrier,
+                    proc: rec.proc,
+                    enter,
+                    exit: exit_time,
+                    wait: release.saturating_since(enter),
+                },
+            });
+        }
+        for (exit_id, _) in ep.exits {
+            let node = self
+                .parked
+                .get_mut(&exit_id)
+                .expect("exits park until release");
+            match &mut node.rule {
+                Rule::Exit { value } => *value = Some(exit_time),
+                rule => unreachable!("exit node carries an Exit rule, not {rule:?}"),
+            }
+            node.pending -= 1;
+            if node.pending == 0 {
+                queue.push_back(exit_id);
+            }
+        }
+    }
+
+    // --- Watermark-driven emission --------------------------------------
+
+    fn anchor_add(&mut self, t: Time) {
+        *self.anchors.entry(t).or_insert(0) += 1;
+    }
+
+    fn anchor_remove(&mut self, t: Time) {
+        match self.anchors.get_mut(&t) {
+            Some(1) => {
+                self.anchors.remove(&t);
+            }
+            Some(n) => *n -= 1,
+            None => unreachable!("anchor removed twice"),
+        }
+    }
+
+    /// A lower bound on the approximated time of every event that has not
+    /// yet been emitted — the buffered ones excepted.
+    fn watermark(&self) -> Time {
+        // Unseen processors start at the origin rule's floor.
+        let mut wm = self.last_tm.saturating_sub_span(self.max_instr_oh);
+        // Known processors: any future event chains from (at least) the
+        // frontier, and the measured clock has advanced by
+        // `last_tm - frontier.tm` since, of which at most `max_instr_oh`
+        // is deductible.
+        for s in self.procs.iter().flatten() {
+            if let Some(ta) = s.last_ta {
+                let gained = self.last_tm.saturating_since(s.last_tm);
+                wm = wm.min(ta + gained.saturating_sub(self.max_instr_oh));
+            }
+        }
+        if let Some(l) = self.latest_lb {
+            if let Some(ta) = l.ta {
+                let gained = self.last_tm.saturating_since(l.tm);
+                wm = wm.min(ta + gained.saturating_sub(self.max_instr_oh));
+            }
+        }
+        if let Some((&floor, _)) = self.anchors.iter().next() {
+            wm = wm.min(floor);
+        }
+        wm
+    }
+
+    /// Runs a drain every 16 pushes: the watermark moves little between
+    /// consecutive events, so checking it per push buys nothing but cost.
+    #[inline]
+    fn maybe_drain(&mut self) {
+        self.since_drain += 1;
+        if self.since_drain >= 16 {
+            self.since_drain = 0;
+            self.drain_emission();
+        }
+    }
+
+    /// Moves every buffered event that is provably final into the output.
+    fn drain_emission(&mut self) {
+        let wm = self.watermark();
+        while let Some(Reverse(entry)) = self.buffer.peek() {
+            if entry.event.time >= wm {
+                break;
+            }
+            let Some(Reverse(entry)) = self.buffer.pop() else {
+                unreachable!()
+            };
+            self.out.push_back(StreamOutput::Event(entry.event));
+        }
+    }
+}

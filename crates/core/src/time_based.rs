@@ -97,9 +97,12 @@ mod tests {
     fn sequential_measured() -> Trace {
         TraceBuilder::measured()
             .on(0)
-            .at(140).stmt(0)
-            .at(280).stmt(1)
-            .at(420).stmt(2)
+            .at(140)
+            .stmt(0)
+            .at(280)
+            .stmt(1)
+            .at(420)
+            .stmt(2)
             .build()
     }
 
@@ -125,12 +128,21 @@ mod tests {
     #[test]
     fn threads_accumulate_independently() {
         let t = TraceBuilder::measured()
-            .on(0).at(50).stmt(0).at(100).stmt(1)
-            .on(1).at(60).stmt(2)
+            .on(0)
+            .at(50)
+            .stmt(0)
+            .at(100)
+            .stmt(1)
+            .on(1)
+            .at(60)
+            .stmt(2)
             .build();
         let r = time_based(&t, &OverheadSpec::uniform(Span::from_nanos(10)));
-        let by_time: Vec<(u16, u64)> =
-            r.trace.iter().map(|e| (e.proc.0, e.time.as_nanos())).collect();
+        let by_time: Vec<(u16, u64)> = r
+            .trace
+            .iter()
+            .map(|e| (e.proc.0, e.time.as_nanos()))
+            .collect();
         // P0: 50-10=40, 100-20=80; P1: 60-10=50.
         assert!(by_time.contains(&(0, 40)));
         assert!(by_time.contains(&(0, 80)));
@@ -150,9 +162,18 @@ mod tests {
         // because of thread 0's instrumentation. Time-based analysis
         // subtracts thread 1's own (zero) overhead and keeps the wait.
         let t = TraceBuilder::measured()
-            .on(0).at(140).stmt(0).after(10).advance(0, 0)
-            .on(1).at(10).await_begin(0, 0).at(150).await_end(0, 0)
-            .after(100).stmt(1)
+            .on(0)
+            .at(140)
+            .stmt(0)
+            .after(10)
+            .advance(0, 0)
+            .on(1)
+            .at(10)
+            .await_begin(0, 0)
+            .at(150)
+            .await_end(0, 0)
+            .after(100)
+            .stmt(1)
             .build();
         // Only statement events carry overhead here.
         let mut oh = OverheadSpec::ZERO;

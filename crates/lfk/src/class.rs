@@ -53,28 +53,108 @@ pub struct KernelMeta {
 
 /// The 24 kernels.
 pub const KERNELS: [KernelMeta; 24] = [
-    m(1, "hydro fragment", KernelClass::Vectorizable, 1001, Some(10.76)),
+    m(
+        1,
+        "hydro fragment",
+        KernelClass::Vectorizable,
+        1001,
+        Some(10.76),
+    ),
     m(2, "ICCG excerpt", KernelClass::Serial, 101, Some(11.14)),
     doacross(3, "inner product", 1001, 2.48, 0.37, 4.56, 0.96),
     doacross(4, "banded linear equations", 1001, 2.64, 0.57, 3.38, 1.06),
-    m(5, "tri-diagonal elimination", KernelClass::Serial, 1001, None),
-    m(6, "general linear recurrence", KernelClass::Serial, 64, Some(11.52)),
-    m(7, "equation of state", KernelClass::Vectorizable, 995, Some(8.96)),
+    m(
+        5,
+        "tri-diagonal elimination",
+        KernelClass::Serial,
+        1001,
+        None,
+    ),
+    m(
+        6,
+        "general linear recurrence",
+        KernelClass::Serial,
+        64,
+        Some(11.52),
+    ),
+    m(
+        7,
+        "equation of state",
+        KernelClass::Vectorizable,
+        995,
+        Some(8.96),
+    ),
     m(8, "ADI integration", KernelClass::Parallel, 100, Some(9.36)),
-    m(9, "integrate predictors", KernelClass::Vectorizable, 101, None),
-    m(10, "difference predictors", KernelClass::Vectorizable, 101, None),
+    m(
+        9,
+        "integrate predictors",
+        KernelClass::Vectorizable,
+        101,
+        None,
+    ),
+    m(
+        10,
+        "difference predictors",
+        KernelClass::Vectorizable,
+        101,
+        None,
+    ),
     m(11, "first sum", KernelClass::Serial, 1001, None),
-    m(12, "first difference", KernelClass::Vectorizable, 1000, None),
-    m(13, "2-D particle in cell", KernelClass::Serial, 128, Some(7.63)),
+    m(
+        12,
+        "first difference",
+        KernelClass::Vectorizable,
+        1000,
+        None,
+    ),
+    m(
+        13,
+        "2-D particle in cell",
+        KernelClass::Serial,
+        128,
+        Some(7.63),
+    ),
     m(14, "1-D particle in cell", KernelClass::Serial, 1001, None),
     m(15, "casual Fortran", KernelClass::Serial, 101, None),
-    m(16, "Monte Carlo search", KernelClass::Serial, 75, Some(4.98)),
-    doacross(17, "implicit conditional computation", 101, 9.97, 8.31, 14.08, 0.97),
+    m(
+        16,
+        "Monte Carlo search",
+        KernelClass::Serial,
+        75,
+        Some(4.98),
+    ),
+    doacross(
+        17,
+        "implicit conditional computation",
+        101,
+        9.97,
+        8.31,
+        14.08,
+        0.97,
+    ),
     m(18, "2-D explicit hydro", KernelClass::Parallel, 100, None),
-    m(19, "general linear recurrence II", KernelClass::Serial, 101, Some(16.89)),
-    m(20, "discrete ordinates transport", KernelClass::Serial, 1000, Some(4.81)),
+    m(
+        19,
+        "general linear recurrence II",
+        KernelClass::Serial,
+        101,
+        Some(16.89),
+    ),
+    m(
+        20,
+        "discrete ordinates transport",
+        KernelClass::Serial,
+        1000,
+        Some(4.81),
+    ),
     m(21, "matrix product", KernelClass::Parallel, 101, None),
-    m(22, "Planckian distribution", KernelClass::Vectorizable, 101, Some(3.90)),
+    m(
+        22,
+        "Planckian distribution",
+        KernelClass::Vectorizable,
+        101,
+        Some(3.90),
+    ),
     m(23, "2-D implicit hydro", KernelClass::Serial, 100, None),
     m(24, "first minimum", KernelClass::Serial, 1001, None),
 ];

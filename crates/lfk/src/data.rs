@@ -15,7 +15,9 @@ impl LfkRng {
     /// Creates a generator from a seed (zero is mapped to a fixed odd
     /// constant).
     pub fn new(seed: u64) -> Self {
-        LfkRng { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+        LfkRng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
     }
 
     /// Next raw 64-bit value.

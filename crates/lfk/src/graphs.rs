@@ -22,7 +22,7 @@
 //! the two failure modes of time-based analysis that Table 1 reports.
 
 use crate::class::{kernel_meta, KernelClass};
-use ppa_program::{Program, ProgramBuilder};
+use ppa_program::{Program, ProgramBuilder, ProgramError};
 
 /// Calibrated per-statement cost (ns) for a Figure-1 sequential kernel:
 /// with statement overhead `oh`, the measured/actual ratio of a fully
@@ -47,7 +47,7 @@ pub fn sequential_graph(id: u8) -> Option<Program> {
         }
         body
     });
-    Some(b.build().expect("fig1 graphs are valid by construction"))
+    b.build().ok()
 }
 
 /// Body shape of a Figure-1 kernel: (statements per iteration, trip
@@ -87,7 +87,7 @@ pub fn vector_twin(id: u8) -> Option<Program> {
         }
         body
     });
-    Some(b.build().expect("vector twins are valid by construction"))
+    b.build().ok()
 }
 
 /// Cost parameters for one DOACROSS workload (all in nanoseconds).
@@ -173,10 +173,19 @@ impl DoacrossParams {
 }
 
 /// Builds the DOACROSS statement-graph of Figure 3 from cost parameters.
-pub fn doacross_graph_with(name: &str, p: &DoacrossParams) -> Program {
+///
+/// Every [`DoacrossParams`] produced by this crate builds successfully;
+/// hand-written parameters that violate the program invariants (e.g. a
+/// zero trip count) surface as the builder's [`ProgramError`].
+pub fn doacross_graph_with(name: &str, p: &DoacrossParams) -> Result<Program, ProgramError> {
     let mut b = ProgramBuilder::new(name);
     let v = b.sync_var();
-    let mut b = b.serial(p.serial_head.iter().enumerate().map(|(i, &c)| (format!("pre{i}"), c)));
+    let mut b = b.serial(
+        p.serial_head
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (format!("pre{i}"), c)),
+    );
     let d = p.distance as i64;
     b = b.doacross(p.distance, p.trip, |mut body| {
         for (i, &c) in p.head.iter().enumerate() {
@@ -195,15 +204,20 @@ pub fn doacross_graph_with(name: &str, p: &DoacrossParams) -> Program {
         }
         body
     });
-    b = b.serial(p.serial_tail.iter().enumerate().map(|(i, &c)| (format!("post{i}"), c)));
-    b.build().expect("doacross graphs are valid by construction")
+    b = b.serial(
+        p.serial_tail
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (format!("post{i}"), c)),
+    );
+    b.build()
 }
 
 /// Builds the DOACROSS graph of a Table 1/2 kernel (3, 4, or 17) with its
 /// calibrated default parameters.
 pub fn doacross_graph(id: u8) -> Option<Program> {
     let p = DoacrossParams::for_kernel(id)?;
-    Some(doacross_graph_with(&format!("lfk{id:02}"), &p))
+    doacross_graph_with(&format!("lfk{id:02}"), &p).ok()
 }
 
 /// Builds the experiment graph for any kernel covered by the paper:
@@ -263,7 +277,7 @@ pub fn generic_graph(id: u8) -> Option<Program> {
         KernelClass::Parallel => builder.doall(trip, |body| add_body(body, stmts, cost)),
         _ => builder.sequential_loop(trip, |body| add_body(body, stmts, cost)),
     };
-    Some(b.build().expect("generic graphs are valid by construction"))
+    b.build().ok()
 }
 
 #[cfg(test)]
@@ -342,7 +356,10 @@ mod tests {
     fn vector_twin_only_for_vectorizable_kernels() {
         // Kernel 1 is vectorizable; kernel 2 (ICCG) is not.
         let v = vector_twin(1).unwrap();
-        assert!(matches!(v.loops().next().unwrap().kind, LoopKind::Vector { .. }));
+        assert!(matches!(
+            v.loops().next().unwrap().kind,
+            LoopKind::Vector { .. }
+        ));
         assert!(vector_twin(2).is_none());
         assert!(vector_twin(3).is_none());
         // Same body shape as the sequential form.
@@ -351,7 +368,10 @@ mod tests {
             v.loops().next().unwrap().body.len(),
             s.loops().next().unwrap().body.len()
         );
-        assert_eq!(v.loops().next().unwrap().trip_count, s.loops().next().unwrap().trip_count);
+        assert_eq!(
+            v.loops().next().unwrap().trip_count,
+            s.loops().next().unwrap().trip_count
+        );
     }
 
     #[test]
@@ -369,7 +389,10 @@ mod tests {
     fn generic_graph_respects_classification() {
         // Kernel 12 is vectorizable, 21 parallel, 5 serial.
         let v = generic_graph(12).unwrap();
-        assert!(matches!(v.loops().next().unwrap().kind, LoopKind::Vector { .. }));
+        assert!(matches!(
+            v.loops().next().unwrap().kind,
+            LoopKind::Vector { .. }
+        ));
         let p = generic_graph(21).unwrap();
         assert_eq!(p.loops().next().unwrap().kind, LoopKind::Doall);
         let s = generic_graph(5).unwrap();
@@ -379,7 +402,7 @@ mod tests {
     #[test]
     fn params_round_trip_through_builder() {
         let p = DoacrossParams::lfk17();
-        let g = doacross_graph_with("x", &p);
+        let g = doacross_graph_with("x", &p).unwrap();
         let l = g.loops().next().unwrap();
         assert_eq!(l.trip_count, p.trip);
         assert_eq!(l.pre_await_cost(), p.head.iter().sum::<u64>());

@@ -125,7 +125,8 @@ pub fn k07(n: usize) -> f64 {
     for k in 0..n {
         x[k] = u[k]
             + r * (z[k] + r * y[k])
-            + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+            + t * (u[k + 3]
+                + r * (u[k + 2] + r * u[k + 1])
                 + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
     }
     checksum(x)
@@ -171,9 +172,22 @@ pub fn k08(n: usize) -> f64 {
                 u3[nl1][ky][kx.min(4)] + a31 * d1 + a32 * d2 + a33 * d3 + sig * u3[nl1][ky][0];
         }
     }
-    checksum(u1[nl2].iter().flat_map(|r| r.iter().copied()).collect::<Vec<_>>())
-        + checksum(u2[nl2].iter().flat_map(|r| r.iter().copied()).collect::<Vec<_>>())
-        + checksum(u3[nl2].iter().flat_map(|r| r.iter().copied()).collect::<Vec<_>>())
+    checksum(
+        u1[nl2]
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect::<Vec<_>>(),
+    ) + checksum(
+        u2[nl2]
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect::<Vec<_>>(),
+    ) + checksum(
+        u3[nl2]
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Kernel 9 — numerical integration of predictors.
@@ -249,8 +263,9 @@ mod tests {
         let n = 16;
         let y = fill(n, 101, 1.0);
         let z = fill(n + 11, 102, 1.0);
-        let expected: Vec<f64> =
-            (0..n).map(|k| 0.5 + y[k] * (0.2 * z[k + 10] + 0.1 * z[k + 11])).collect();
+        let expected: Vec<f64> = (0..n)
+            .map(|k| 0.5 + y[k] * (0.2 * z[k + 10] + 0.1 * z[k + 11]))
+            .collect();
         assert_eq!(k01(n), checksum(expected));
     }
 
@@ -339,8 +354,7 @@ mod tests {
         let n = 16;
         let base = k09(n);
         let coeffs = [
-            0.0625, 0.125, 0.25, 0.5, 1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625,
-            0.0078125,
+            0.0625, 0.125, 0.25, 0.5, 1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625, 0.0078125,
         ];
         let mut px = crate::data::fill2(n, 13, 901, 1.0);
         for row in px.iter_mut() {

@@ -19,16 +19,16 @@ pub fn k13(n: usize) -> f64 {
     let c = fill2(grid, grid, 1302, 1.0);
     let mut y = fill2(grid, grid, 1303, 0.0);
     let mut p = fill2(n, 4, 1304, grid as f64 - 2.0);
-    for ip in 0..n {
-        let i1 = (p[ip][0] as usize) % grid;
-        let j1 = (p[ip][1] as usize) % grid;
-        p[ip][2] += b[j1][i1];
-        p[ip][3] += c[j1][i1];
-        p[ip][0] += p[ip][2];
-        p[ip][1] += p[ip][3];
-        let i2 = (p[ip][0].abs() as usize) % grid;
-        let j2 = (p[ip][1].abs() as usize) % grid;
-        p[ip][0] += y[j2][i2 % grid];
+    for part in p.iter_mut() {
+        let i1 = (part[0] as usize) % grid;
+        let j1 = (part[1] as usize) % grid;
+        part[2] += b[j1][i1];
+        part[3] += c[j1][i1];
+        part[0] += part[2];
+        part[1] += part[3];
+        let i2 = (part[0].abs() as usize) % grid;
+        let j2 = (part[1].abs() as usize) % grid;
+        part[0] += y[j2][i2 % grid];
         y[j2][i2] += 0.2;
     }
     checksum(p.iter().flat_map(|r| r.iter().copied()))
@@ -77,8 +77,16 @@ pub fn k15(n: usize) -> f64 {
         for k in 1..nz - 1 {
             // Conditional selection between neighbours, as in the original
             // "development version" kernel.
-            let t = if vh[j][k + 1] > vh[j][k] { vh[j][k + 1] } else { vh[j][k] };
-            let s = if vf[j][k] < vf[j - 1][k] { vg[j - 1][k] } else { vg[j][k] };
+            let t = if vh[j][k + 1] > vh[j][k] {
+                vh[j][k + 1]
+            } else {
+                vh[j][k]
+            };
+            let s = if vf[j][k] < vf[j - 1][k] {
+                vg[j - 1][k]
+            } else {
+                vg[j][k]
+            };
             let r = if t > vy[j][k] { t - s } else { vy[j][k] + s };
             vs[j][k] = (r * r + vy[j - 1][k]).sqrt();
         }
@@ -143,7 +151,11 @@ pub fn k17(n: usize) -> f64 {
     for i in (0..n).rev() {
         let e3 = xnm * vlr[i] + e6;
         let e2 = vlin[i] * e3;
-        let vx = if z[i] > 0.5 { e3 - e2 / scale } else { e2 + z[i] * e3 };
+        let vx = if z[i] > 0.5 {
+            e3 - e2 / scale
+        } else {
+            e2 + z[i] * e3
+        };
         vxne[i] = vx.abs();
         vxnd[i] = e3 + e2;
         // The serial recurrence: both state variables depend on this
@@ -181,11 +193,13 @@ pub fn k18(n: usize) -> f64 {
     }
     for k in 1..kn {
         for j in 1..jn {
-            zu[k][j] += s * (za[k][j] * (zz[k][j] - zz[k][j + 1].min(zz[k][j]))
-                - za[k][j - 1] * (zz[k][j] - zz[k][j - 1]))
+            zu[k][j] += s
+                * (za[k][j] * (zz[k][j] - zz[k][j + 1].min(zz[k][j]))
+                    - za[k][j - 1] * (zz[k][j] - zz[k][j - 1]))
                 - zb[k][j] * (zz[k][j] - zz[k - 1][j]);
-            zv[k][j] += s * (za[k][j] * (zr[k][j] - zr[k][j.min(jn - 1)])
-                - za[k][j - 1] * (zr[k][j] - zr[k][j - 1]))
+            zv[k][j] += s
+                * (za[k][j] * (zr[k][j] - zr[k][j.min(jn - 1)])
+                    - za[k][j - 1] * (zr[k][j] - zr[k][j - 1]))
                 - zb[k][j] * (zr[k][j] - zr[k - 1][j]);
         }
     }
@@ -292,7 +306,7 @@ pub fn k23(n: usize) -> f64 {
         for k in 1..jn {
             let qa = za[j][k + 1.min(jn - k)] * zr[j][k.saturating_sub(1)]
                 + za[j][k.saturating_sub(1)] * zb[j][k]
-                + zu[j][k] * zr[j.saturating_sub(1).max(0)][k]
+                + zu[j][k] * zr[j.saturating_sub(1)][k]
                 + zv[j][k] * zr[(j + 1).min(kn)][k];
             zr[j][k] += fw * (qa - zr[j][k]);
         }
@@ -331,7 +345,11 @@ mod tests {
         for i in (0..n).rev() {
             let e3 = xnm * vlr[i] + e6;
             let e2 = vlin[i] * e3;
-            let vx = if z[i] > 0.5 { e3 - e2 / scale } else { e2 + z[i] * e3 };
+            let vx = if z[i] > 0.5 {
+                e3 - e2 / scale
+            } else {
+                e2 + z[i] * e3
+            };
             vxne[i] = vx.abs();
             vxnd[i] = e3 + e2;
             xnm = 0.9 * vx.abs().min(1.0) + 0.1 * xnm;

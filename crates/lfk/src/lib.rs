@@ -33,7 +33,9 @@ pub use graphs::{
 
 /// The numeric kernels, `k01`–`k24`.
 pub mod kernels {
-    pub use crate::kernels_a::{k01, k02, k03, k03_with, k04, k05, k06, k07, k08, k09, k10, k11, k12};
+    pub use crate::kernels_a::{
+        k01, k02, k03, k03_with, k04, k05, k06, k07, k08, k09, k10, k11, k12,
+    };
     pub use crate::kernels_b::{k13, k14, k15, k16, k17, k18, k19, k20, k21, k22, k23, k24};
 
     /// Runs a kernel by number (1–24) at loop length `n`.
@@ -86,10 +88,18 @@ mod tests {
     #[test]
     fn every_experiment_kernel_has_a_graph() {
         for meta in fig1_kernels() {
-            assert!(graph(meta.id).is_some(), "missing graph for kernel {}", meta.id);
+            assert!(
+                graph(meta.id).is_some(),
+                "missing graph for kernel {}",
+                meta.id
+            );
         }
         for meta in doacross_kernels() {
-            assert!(graph(meta.id).is_some(), "missing graph for kernel {}", meta.id);
+            assert!(
+                graph(meta.id).is_some(),
+                "missing graph for kernel {}",
+                meta.id
+            );
         }
     }
 }

@@ -58,7 +58,11 @@ pub fn census(trace: &Trace) -> TraceCensus {
         } else {
             trace.len() as f64 / span.as_micros_f64()
         },
-        mean_gap_ns: if gaps == 0 { 0.0 } else { gap_sum as f64 / gaps as f64 },
+        mean_gap_ns: if gaps == 0 {
+            0.0
+        } else {
+            gap_sum as f64 / gaps as f64
+        },
         max_gap_ns: max_gap,
     }
 }
@@ -83,8 +87,18 @@ pub fn census_delta(a: &TraceCensus, b: &TraceCensus) -> CensusDelta {
         } else {
             b.events as f64 / a.events as f64
         },
-        added_kinds: b.by_kind.keys().filter(|k| !a.by_kind.contains_key(*k)).cloned().collect(),
-        removed_kinds: a.by_kind.keys().filter(|k| !b.by_kind.contains_key(*k)).cloned().collect(),
+        added_kinds: b
+            .by_kind
+            .keys()
+            .filter(|k| !a.by_kind.contains_key(*k))
+            .cloned()
+            .collect(),
+        removed_kinds: a
+            .by_kind
+            .keys()
+            .filter(|k| !b.by_kind.contains_key(*k))
+            .cloned()
+            .collect(),
     }
 }
 
@@ -117,8 +131,16 @@ mod tests {
 
     fn sample() -> Trace {
         TraceBuilder::measured()
-            .on(0).at(0).stmt(0).at(100).stmt(1).at(400).advance(0, 0)
-            .on(1).at(50).stmt(2)
+            .on(0)
+            .at(0)
+            .stmt(0)
+            .at(100)
+            .stmt(1)
+            .at(400)
+            .advance(0, 0)
+            .on(1)
+            .at(50)
+            .stmt(2)
             .build()
     }
 
@@ -148,7 +170,13 @@ mod tests {
     #[test]
     fn delta_detects_added_kinds() {
         let a = census(
-            &TraceBuilder::measured().on(0).at(0).stmt(0).at(10).stmt(1).build(),
+            &TraceBuilder::measured()
+                .on(0)
+                .at(0)
+                .stmt(0)
+                .at(10)
+                .stmt(1)
+                .build(),
         );
         let b = census(&sample());
         let d = census_delta(&a, &b);

@@ -39,7 +39,11 @@ pub fn render_simple_bars(title: &str, bars: &[(String, f64)], width: usize) -> 
         .collect();
     let mut s = render_bars(title, &groups, width);
     // Drop the empty group-label lines.
-    s = s.lines().filter(|l| !l.is_empty() || l.contains('|')).collect::<Vec<_>>().join("\n");
+    s = s
+        .lines()
+        .filter(|l| !l.is_empty() || l.contains('|'))
+        .collect::<Vec<_>>()
+        .join("\n");
     s.push('\n');
     s
 }
@@ -51,14 +55,14 @@ mod tests {
     #[test]
     fn bars_scale_to_max() {
         let groups = vec![
-            ("loop 1".to_string(), vec![
-                ("measured".to_string(), 10.0),
-                ("approx".to_string(), 1.0),
-            ]),
-            ("loop 19".to_string(), vec![
-                ("measured".to_string(), 20.0),
-                ("approx".to_string(), 1.0),
-            ]),
+            (
+                "loop 1".to_string(),
+                vec![("measured".to_string(), 10.0), ("approx".to_string(), 1.0)],
+            ),
+            (
+                "loop 19".to_string(),
+                vec![("measured".to_string(), 20.0), ("approx".to_string(), 1.0)],
+            ),
         ];
         let s = render_bars("Fig 1", &groups, 20);
         assert!(s.contains("loop 1"));

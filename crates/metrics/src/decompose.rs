@@ -76,7 +76,9 @@ pub fn decompose_slowdown(
     if let Ok(index) = pair_sync_events(measured) {
         let events = measured.events();
         for pair in &index.awaits {
-            let span = events[pair.end].time.saturating_since(events[pair.begin].time);
+            let span = events[pair.end]
+                .time
+                .saturating_since(events[pair.begin].time);
             let floor = overheads.s_nowait + overheads.await_end_instr;
             measured_sync_wait += span.saturating_sub(floor).as_nanos();
         }
@@ -84,8 +86,7 @@ pub fn decompose_slowdown(
             let release = ep.enters.iter().map(|&i| events[i].time).max();
             if let Some(release) = release {
                 for &en in &ep.enters {
-                    measured_barrier_wait +=
-                        release.saturating_since(events[en].time).as_nanos();
+                    measured_barrier_wait += release.saturating_since(events[en].time).as_nanos();
                 }
             }
         }
@@ -140,7 +141,13 @@ mod tests {
     #[test]
     fn direct_overhead_counts_every_event() {
         let t = TraceBuilder::measured()
-            .on(0).at(100).stmt(0).at(200).stmt(1).at(300).advance(0, 0)
+            .on(0)
+            .at(100)
+            .stmt(0)
+            .at(200)
+            .stmt(1)
+            .at(300)
+            .advance(0, 0)
             .build();
         let mut oh = OverheadSpec::ZERO;
         oh.statement_event = Span::from_nanos(10);
@@ -166,8 +173,16 @@ mod tests {
         // instrumentation the advance would come earlier, so approximated
         // waiting is smaller.
         let t = TraceBuilder::measured()
-            .on(0).at(140).stmt(0).at(145).advance(0, 0)
-            .on(1).at(10).await_begin(0, 0).at(150).await_end(0, 0)
+            .on(0)
+            .at(140)
+            .stmt(0)
+            .at(145)
+            .advance(0, 0)
+            .on(1)
+            .at(10)
+            .await_begin(0, 0)
+            .at(150)
+            .await_end(0, 0)
             .build();
         let analysis = event_based(&t, &oh).unwrap();
         let d = decompose_slowdown(&t, &analysis, &oh);

@@ -9,7 +9,10 @@ use std::io::{self, BufWriter, Write};
 /// Writes ratio rows: `label,measured_over_actual,approx_over_actual,paper_measured,paper_approx`.
 pub fn write_ratios_csv<W: Write>(rows: &[RatioRow], writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "label,measured_over_actual,approx_over_actual,paper_measured,paper_approx")?;
+    writeln!(
+        w,
+        "label,measured_over_actual,approx_over_actual,paper_measured,paper_approx"
+    )?;
     for r in rows {
         writeln!(
             w,
@@ -17,8 +20,12 @@ pub fn write_ratios_csv<W: Write>(rows: &[RatioRow], writer: W) -> io::Result<()
             r.label,
             r.measured_over_actual,
             r.approx_over_actual,
-            r.paper_measured.map(|v| format!("{v:.2}")).unwrap_or_default(),
-            r.paper_approx.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            r.paper_measured
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_default(),
+            r.paper_approx
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_default(),
         )?;
     }
     w.flush()
@@ -29,7 +36,11 @@ pub fn write_waiting_csv<W: Write>(table: &WaitingTable, writer: W) -> io::Resul
     let mut w = BufWriter::new(writer);
     writeln!(w, "proc,sync_wait_ns,barrier_wait_ns,sync_pct")?;
     for r in &table.rows {
-        writeln!(w, "{},{},{},{:.4}", r.proc, r.sync_wait_ns, r.barrier_wait_ns, r.sync_pct)?;
+        writeln!(
+            w,
+            "{},{},{},{:.4}",
+            r.proc, r.sync_wait_ns, r.barrier_wait_ns, r.sync_pct
+        )?;
     }
     w.flush()
 }
@@ -54,10 +65,7 @@ pub fn write_timeline_csv<W: Write>(timeline: &Timeline, writer: W) -> io::Resul
 }
 
 /// Writes the parallelism step function: `time_ns,parallelism`.
-pub fn write_parallelism_csv<W: Write>(
-    profile: &ParallelismProfile,
-    writer: W,
-) -> io::Result<()> {
+pub fn write_parallelism_csv<W: Write>(profile: &ParallelismProfile, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(w, "time_ns,parallelism")?;
     for &(t, c) in &profile.steps {

@@ -32,7 +32,11 @@ impl SpanHistogram {
         let mut total = Span::ZERO;
         let mut max = Span::ZERO;
         for s in spans {
-            let idx = if s.as_nanos() <= 1 { 0 } else { (63 - s.as_nanos().leading_zeros()) as usize };
+            let idx = if s.as_nanos() <= 1 {
+                0
+            } else {
+                (63 - s.as_nanos().leading_zeros()) as usize
+            };
             if buckets.len() <= idx {
                 buckets.resize(idx + 1, 0);
             }
@@ -41,16 +45,20 @@ impl SpanHistogram {
             total += s;
             max = max.max(s);
         }
-        SpanHistogram { buckets, count, total, max }
+        SpanHistogram {
+            buckets,
+            count,
+            total,
+            max,
+        }
     }
 
     /// Mean sample length.
     pub fn mean(&self) -> Span {
-        if self.count == 0 {
-            Span::ZERO
-        } else {
-            Span::from_nanos(self.total.as_nanos() / self.count)
-        }
+        self.total
+            .as_nanos()
+            .checked_div(self.count)
+            .map_or(Span::ZERO, Span::from_nanos)
     }
 
     /// The bucket index holding the most samples.
@@ -103,7 +111,9 @@ mod tests {
     #[test]
     fn buckets_are_log2() {
         let h = SpanHistogram::from_spans(
-            [0u64, 1, 2, 3, 4, 7, 8, 1024].into_iter().map(Span::from_nanos),
+            [0u64, 1, 2, 3, 4, 7, 8, 1024]
+                .into_iter()
+                .map(Span::from_nanos),
         );
         assert_eq!(h.count, 8);
         // 0,1 -> bucket 0; 2,3 -> bucket 1; 4,7 -> bucket 2; 8 -> 3; 1024 -> 10.
@@ -125,9 +135,8 @@ mod tests {
 
     #[test]
     fn mode_and_mean() {
-        let h = SpanHistogram::from_spans(
-            [100u64, 110, 120, 5000].into_iter().map(Span::from_nanos),
-        );
+        let h =
+            SpanHistogram::from_spans([100u64, 110, 120, 5000].into_iter().map(Span::from_nanos));
         assert_eq!(h.mode_bucket(), Some(6)); // 64..128ns holds three
         assert_eq!(h.mean(), Span::from_nanos((100 + 110 + 120 + 5000) / 4));
     }

@@ -17,20 +17,20 @@
 mod census;
 mod chart;
 mod decompose;
+mod export;
 mod histogram;
 mod order;
-mod export;
 mod parallelism;
 mod ratio;
 mod timeline;
 mod waiting;
 
 pub use census::{census, census_delta, format_census, CensusDelta, TraceCensus};
+pub use chart::{render_bars, render_simple_bars, BarGroup};
 pub use decompose::{decompose_slowdown, format_decomposition, SlowdownDecomposition};
+pub use export::{write_parallelism_csv, write_ratios_csv, write_timeline_csv, write_waiting_csv};
 pub use histogram::{render_histogram, wait_histogram, SpanHistogram};
 pub use order::{order_perturbation, OrderPerturbation};
-pub use chart::{render_bars, render_simple_bars, BarGroup};
-pub use export::{write_parallelism_csv, write_ratios_csv, write_timeline_csv, write_waiting_csv};
 pub use parallelism::{parallelism_profile, render_parallelism, ParallelismProfile};
 pub use ratio::{format_ratio_table, signed_error_pct, RatioRow};
 pub use timeline::{build_timeline, loop_windows, render_timeline, Interval, ProcState, Timeline};
@@ -45,8 +45,12 @@ mod proptests {
     fn arb_timeline() -> impl Strategy<Value = Timeline> {
         // Random per-proc partitions of [0, total) into intervals with
         // random states.
-        (1usize..6, 1u64..50, proptest::collection::vec(0u8..3, 1..64)).prop_map(
-            |(procs, unit, states)| {
+        (
+            1usize..6,
+            1u64..50,
+            proptest::collection::vec(0u8..3, 1..64),
+        )
+            .prop_map(|(procs, unit, states)| {
                 let per = states.len() / procs + 1;
                 let mut rows = Vec::new();
                 let total = per as u64 * unit * procs as u64;
@@ -76,9 +80,12 @@ mod proptests {
                     }
                     rows.push(row);
                 }
-                Timeline { rows, start: Time::ZERO, end: Time::from_nanos(total) }
-            },
-        )
+                Timeline {
+                    rows,
+                    start: Time::ZERO,
+                    end: Time::from_nanos(total),
+                }
+            })
     }
 
     proptest! {

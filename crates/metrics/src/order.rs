@@ -107,7 +107,11 @@ pub fn order_perturbation(reference: &Trace, perturbed: &Trace) -> OrderPerturba
     OrderPerturbation {
         matched,
         inversions,
-        inversion_rate: if pairs == 0 { 0.0 } else { inversions as f64 / pairs as f64 },
+        inversion_rate: if pairs == 0 {
+            0.0
+        } else {
+            inversions as f64 / pairs as f64
+        },
         cross_processor_inversions: inversions - same_proc,
     }
 }
@@ -124,8 +128,14 @@ mod tests {
     #[test]
     fn identical_traces_have_zero_inversions() {
         let t = TraceBuilder::measured()
-            .on(0).at(10).stmt(0).at(20).stmt(1)
-            .on(1).at(15).stmt(2)
+            .on(0)
+            .at(10)
+            .stmt(0)
+            .at(20)
+            .stmt(1)
+            .on(1)
+            .at(15)
+            .stmt(2)
             .build();
         let r = order_perturbation(&t, &t);
         assert_eq!(r.matched, 3);
@@ -137,12 +147,20 @@ mod tests {
     fn cross_processor_swap_is_one_inversion() {
         // Reference: P0 stmt at 10, P1 stmt at 20. Perturbed: P1 first.
         let reference = TraceBuilder::measured()
-            .on(0).at(10).stmt(0)
-            .on(1).at(20).stmt(1)
+            .on(0)
+            .at(10)
+            .stmt(0)
+            .on(1)
+            .at(20)
+            .stmt(1)
             .build();
         let perturbed = TraceBuilder::measured()
-            .on(1).at(5).stmt(1)
-            .on(0).at(10).stmt(0)
+            .on(1)
+            .at(5)
+            .stmt(1)
+            .on(0)
+            .at(10)
+            .stmt(0)
             .build();
         let r = order_perturbation(&reference, &perturbed);
         assert_eq!(r.matched, 2);
@@ -197,7 +215,11 @@ mod tests {
     fn unmatched_events_are_ignored() {
         let reference = TraceBuilder::measured().on(0).at(10).stmt(0).build();
         let perturbed = TraceBuilder::measured()
-            .on(0).at(10).stmt(0).at(20).stmt(9)
+            .on(0)
+            .at(10)
+            .stmt(0)
+            .at(20)
+            .stmt(9)
             .build();
         let r = order_perturbation(&reference, &perturbed);
         assert_eq!(r.matched, 1);

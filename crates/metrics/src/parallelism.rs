@@ -92,10 +92,17 @@ pub fn parallelism_profile(timeline: &Timeline) -> ParallelismProfile {
         }
         steps.push((t, count.max(0) as usize));
     }
-    if steps.first().map(|&(t, _)| t > timeline.start).unwrap_or(true) {
+    if steps
+        .first()
+        .map(|&(t, _)| t > timeline.start)
+        .unwrap_or(true)
+    {
         steps.insert(0, (timeline.start, 0));
     }
-    ParallelismProfile { steps, end: timeline.end }
+    ParallelismProfile {
+        steps,
+        end: timeline.end,
+    }
 }
 
 /// Renders the profile as an ASCII step chart (rows = parallelism levels
@@ -108,7 +115,8 @@ pub fn render_parallelism(profile: &ParallelismProfile, width: usize, max_level:
     let samples: Vec<usize> = (0..width)
         .map(|c| {
             let t = Time::from_nanos(
-                start.as_nanos() + (total as u128 * (2 * c as u128 + 1) / (2 * width as u128)) as u64,
+                start.as_nanos()
+                    + (total as u128 * (2 * c as u128 + 1) / (2 * width as u128)) as u64,
             );
             profile.at(t)
         })
@@ -116,7 +124,10 @@ pub fn render_parallelism(profile: &ParallelismProfile, width: usize, max_level:
     let peak = max_level.max(1);
     let mut out = String::new();
     for level in (1..=peak).rev() {
-        let row: String = samples.iter().map(|&s| if s >= level { '█' } else { ' ' }).collect();
+        let row: String = samples
+            .iter()
+            .map(|&s| if s >= level { '█' } else { ' ' })
+            .collect();
         out.push_str(&format!("{level:>2} |{row}|\n"));
     }
     out.push_str(&format!(
@@ -138,13 +149,33 @@ mod tests {
         Timeline {
             rows: vec![
                 vec![
-                    Interval { start: t(0), end: t(100), state: ProcState::Active },
-                    Interval { start: t(100), end: t(150), state: ProcState::Idle },
+                    Interval {
+                        start: t(0),
+                        end: t(100),
+                        state: ProcState::Active,
+                    },
+                    Interval {
+                        start: t(100),
+                        end: t(150),
+                        state: ProcState::Idle,
+                    },
                 ],
                 vec![
-                    Interval { start: t(0), end: t(50), state: ProcState::Idle },
-                    Interval { start: t(50), end: t(100), state: ProcState::Active },
-                    Interval { start: t(100), end: t(150), state: ProcState::Idle },
+                    Interval {
+                        start: t(0),
+                        end: t(50),
+                        state: ProcState::Idle,
+                    },
+                    Interval {
+                        start: t(50),
+                        end: t(100),
+                        state: ProcState::Active,
+                    },
+                    Interval {
+                        start: t(100),
+                        end: t(150),
+                        state: ProcState::Idle,
+                    },
                 ],
             ],
             start: t(0),
@@ -193,7 +224,11 @@ mod tests {
 
     #[test]
     fn empty_timeline() {
-        let tl = Timeline { rows: vec![], start: Time::ZERO, end: Time::ZERO };
+        let tl = Timeline {
+            rows: vec![],
+            start: Time::ZERO,
+            end: Time::ZERO,
+        };
         let p = parallelism_profile(&tl);
         assert_eq!(p.peak(), 0);
         assert_eq!(p.at(Time::ZERO), 0);

@@ -77,8 +77,14 @@ pub fn format_ratio_table(title: &str, rows: &[RatioRow]) -> String {
         "loop", "meas/actual", "paper", "approx/act", "paper", "err%"
     ));
     for r in rows {
-        let paper_m = r.paper_measured.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into());
-        let paper_a = r.paper_approx.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into());
+        let paper_m = r
+            .paper_measured
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "-".into());
+        let paper_a = r
+            .paper_approx
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "-".into());
         out.push_str(&format!(
             "{:<10} {:>12.2} {:>12} {:>12.2} {:>12} {:>8.1}%\n",
             r.label,
@@ -133,9 +139,19 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let rows = vec![
-            RatioRow::from_times("lfk03", Span::from_nanos(100), Span::from_nanos(456), Span::from_nanos(96))
-                .with_paper(Some(4.56), Some(0.96)),
-            RatioRow::from_times("lfk04", Span::from_nanos(100), Span::from_nanos(338), Span::from_nanos(106)),
+            RatioRow::from_times(
+                "lfk03",
+                Span::from_nanos(100),
+                Span::from_nanos(456),
+                Span::from_nanos(96),
+            )
+            .with_paper(Some(4.56), Some(0.96)),
+            RatioRow::from_times(
+                "lfk04",
+                Span::from_nanos(100),
+                Span::from_nanos(338),
+                Span::from_nanos(106),
+            ),
         ];
         let t = format_ratio_table("Table 2", &rows);
         assert!(t.contains("lfk03"));

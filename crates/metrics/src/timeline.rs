@@ -56,7 +56,10 @@ impl Timeline {
         self.rows
             .get(proc)
             .map(|row| {
-                row.iter().filter(|iv| iv.state == ProcState::Waiting).map(|iv| iv.span()).sum()
+                row.iter()
+                    .filter(|iv| iv.state == ProcState::Waiting)
+                    .map(|iv| iv.span())
+                    .sum()
             })
             .unwrap_or(Span::ZERO)
     }
@@ -66,7 +69,10 @@ impl Timeline {
         self.rows
             .get(proc)
             .map(|row| {
-                row.iter().filter(|iv| iv.state == ProcState::Active).map(|iv| iv.span()).sum()
+                row.iter()
+                    .filter(|iv| iv.state == ProcState::Active)
+                    .map(|iv| iv.span())
+                    .sum()
             })
             .unwrap_or(Span::ZERO)
     }
@@ -95,7 +101,11 @@ pub fn build_timeline(result: &EventBasedResult, processors: usize) -> Timeline 
         for a in result.awaits.iter().filter(|a| a.proc == pid && a.waited()) {
             waits.push((a.begin, a.begin + a.wait));
         }
-        for b in result.barriers.iter().filter(|b| b.proc == pid && !b.wait.is_zero()) {
+        for b in result
+            .barriers
+            .iter()
+            .filter(|b| b.proc == pid && !b.wait.is_zero())
+        {
             waits.push((b.enter, b.enter + b.wait));
         }
         waits.sort();
@@ -104,7 +114,11 @@ pub fn build_timeline(result: &EventBasedResult, processors: usize) -> Timeline 
         match (first, last) {
             (Some(f), Some(l)) => {
                 if f > start {
-                    row.push(Interval { start, end: f, state: ProcState::Idle });
+                    row.push(Interval {
+                        start,
+                        end: f,
+                        state: ProcState::Idle,
+                    });
                 }
                 let mut cursor = f;
                 for (wb, we) in waits {
@@ -114,21 +128,41 @@ pub fn build_timeline(result: &EventBasedResult, processors: usize) -> Timeline 
                         continue;
                     }
                     if wb > cursor {
-                        row.push(Interval { start: cursor, end: wb, state: ProcState::Active });
+                        row.push(Interval {
+                            start: cursor,
+                            end: wb,
+                            state: ProcState::Active,
+                        });
                     }
-                    row.push(Interval { start: wb, end: we, state: ProcState::Waiting });
+                    row.push(Interval {
+                        start: wb,
+                        end: we,
+                        state: ProcState::Waiting,
+                    });
                     cursor = we;
                 }
                 if l > cursor {
-                    row.push(Interval { start: cursor, end: l, state: ProcState::Active });
+                    row.push(Interval {
+                        start: cursor,
+                        end: l,
+                        state: ProcState::Active,
+                    });
                 }
                 if end > l {
-                    row.push(Interval { start: l, end, state: ProcState::Idle });
+                    row.push(Interval {
+                        start: l,
+                        end,
+                        state: ProcState::Idle,
+                    });
                 }
             }
             _ => {
                 if end > start {
-                    row.push(Interval { start, end, state: ProcState::Idle });
+                    row.push(Interval {
+                        start,
+                        end,
+                        state: ProcState::Idle,
+                    });
                 }
             }
         }
@@ -165,16 +199,18 @@ pub fn loop_windows(trace: &ppa_trace::Trace) -> Vec<(ppa_trace::LoopId, Time, T
 /// `#` active, `.` waiting, space idle.
 pub fn render_timeline(timeline: &Timeline, width: usize) -> String {
     let width = width.max(10);
-    let total = timeline.end.saturating_since(timeline.start).as_nanos().max(1);
+    let total = timeline
+        .end
+        .saturating_since(timeline.start)
+        .as_nanos()
+        .max(1);
     let mut out = String::new();
     for (p, row) in timeline.rows.iter().enumerate() {
         let mut line = vec![' '; width];
         for iv in row {
-            let a = ((iv.start.saturating_since(timeline.start).as_nanos() as u128
-                * width as u128)
+            let a = ((iv.start.saturating_since(timeline.start).as_nanos() as u128 * width as u128)
                 / total as u128) as usize;
-            let b = ((iv.end.saturating_since(timeline.start).as_nanos() as u128
-                * width as u128)
+            let b = ((iv.end.saturating_since(timeline.start).as_nanos() as u128 * width as u128)
                 / total as u128) as usize;
             let ch = match iv.state {
                 ProcState::Active => '#',
@@ -190,7 +226,13 @@ pub fn render_timeline(timeline: &Timeline, width: usize) -> String {
     out.push_str(&format!(
         "     0{}{}\n",
         " ".repeat(width.saturating_sub(12)),
-        format_args!("{:>10.1}us", timeline.end.saturating_since(timeline.start).as_micros_f64())
+        format_args!(
+            "{:>10.1}us",
+            timeline
+                .end
+                .saturating_since(timeline.start)
+                .as_micros_f64()
+        )
     ));
     out.push_str("     ('#' active, '.' waiting, ' ' idle)\n");
     out
@@ -206,8 +248,20 @@ mod tests {
         // P0 active 0..400 (serial + advance); P1 idle until 100, waits
         // 100..200, active 200..300, idle after.
         let t = TraceBuilder::measured()
-            .on(0).at(0).program_begin().at(200).advance(0, 0).at(400).program_end()
-            .on(1).at(100).await_begin(0, 0).at(200).await_end(0, 0).at(300).stmt(0)
+            .on(0)
+            .at(0)
+            .program_begin()
+            .at(200)
+            .advance(0, 0)
+            .at(400)
+            .program_end()
+            .on(1)
+            .at(100)
+            .await_begin(0, 0)
+            .at(200)
+            .await_end(0, 0)
+            .at(300)
+            .stmt(0)
             .build();
         event_based(&t, &OverheadSpec::ZERO).unwrap()
     }
@@ -250,17 +304,44 @@ mod tests {
     #[test]
     fn loop_windows_pair_markers() {
         let t = ppa_trace::TraceBuilder::measured()
-            .on(0).at(0).program_begin()
-            .at(10).loop_begin(0).at(50).loop_end(0)
-            .at(60).loop_begin(1).at(90).loop_end(1)
-            .at(100).program_end()
+            .on(0)
+            .at(0)
+            .program_begin()
+            .at(10)
+            .loop_begin(0)
+            .at(50)
+            .loop_end(0)
+            .at(60)
+            .loop_begin(1)
+            .at(90)
+            .loop_end(1)
+            .at(100)
+            .program_end()
             .build();
         let w = loop_windows(&t);
         assert_eq!(w.len(), 2);
-        assert_eq!(w[0], (ppa_trace::LoopId(0), Time::from_nanos(10), Time::from_nanos(50)));
-        assert_eq!(w[1], (ppa_trace::LoopId(1), Time::from_nanos(60), Time::from_nanos(90)));
+        assert_eq!(
+            w[0],
+            (
+                ppa_trace::LoopId(0),
+                Time::from_nanos(10),
+                Time::from_nanos(50)
+            )
+        );
+        assert_eq!(
+            w[1],
+            (
+                ppa_trace::LoopId(1),
+                Time::from_nanos(60),
+                Time::from_nanos(90)
+            )
+        );
         // Unclosed loops are skipped.
-        let t2 = ppa_trace::TraceBuilder::measured().on(0).at(5).loop_begin(3).build();
+        let t2 = ppa_trace::TraceBuilder::measured()
+            .on(0)
+            .at(5)
+            .loop_begin(3)
+            .build();
         assert!(loop_windows(&t2).is_empty());
     }
 

@@ -60,11 +60,18 @@ pub fn waiting_table(result: &EventBasedResult, processors: usize) -> WaitingTab
                 proc: p as u16,
                 sync_wait_ns: sync.as_nanos(),
                 barrier_wait_ns: barrier.as_nanos(),
-                sync_pct: if total.is_zero() { 0.0 } else { 100.0 * sync.ratio(total) },
+                sync_pct: if total.is_zero() {
+                    0.0
+                } else {
+                    100.0 * sync.ratio(total)
+                },
             }
         })
         .collect();
-    WaitingTable { total_ns: total.as_nanos(), rows }
+    WaitingTable {
+        total_ns: total.as_nanos(),
+        rows,
+    }
 }
 
 /// Formats the table like the paper's Table 3 (one percentage column per
@@ -92,8 +99,18 @@ mod tests {
     /// Two processors; P1 waits 100ns of a 400ns run = 25%.
     fn sample_result() -> EventBasedResult {
         let t = TraceBuilder::measured()
-            .on(0).at(0).program_begin().at(200).advance(0, 0).at(400).program_end()
-            .on(1).at(100).await_begin(0, 0).at(200).await_end(0, 0)
+            .on(0)
+            .at(0)
+            .program_begin()
+            .at(200)
+            .advance(0, 0)
+            .at(400)
+            .program_end()
+            .on(1)
+            .at(100)
+            .await_begin(0, 0)
+            .at(200)
+            .await_end(0, 0)
             .build();
         event_based(&t, &OverheadSpec::ZERO).unwrap()
     }

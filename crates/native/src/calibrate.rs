@@ -19,7 +19,9 @@ pub fn measure_record_cost(clock: &TraceClock, padding: Span) -> Span {
     let mut tracer = ThreadTracer::new(*clock, ProcessorId(0), padding, true);
     let begin = clock.now();
     for i in 0..N {
-        tracer.record(EventKind::Statement { stmt: StatementId(i as u32) });
+        tracer.record(EventKind::Statement {
+            stmt: StatementId(i as u32),
+        });
     }
     let end = clock.now();
     (end - begin) / N
@@ -89,7 +91,10 @@ mod tests {
         let padded = measure_record_cost(&clock, Span::from_micros(2));
         assert!(padded > bare);
         assert!(padded >= Span::from_micros(2));
-        assert!(padded < Span::from_micros(50), "padded cost unreasonable: {padded}");
+        assert!(
+            padded < Span::from_micros(50),
+            "padded cost unreasonable: {padded}"
+        );
     }
 
     #[test]

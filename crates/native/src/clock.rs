@@ -13,7 +13,9 @@ pub struct TraceClock {
 impl TraceClock {
     /// Starts a clock at "now".
     pub fn start() -> Self {
-        TraceClock { origin: Instant::now() }
+        TraceClock {
+            origin: Instant::now(),
+        }
     }
 
     /// Nanoseconds since the origin.

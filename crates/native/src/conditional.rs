@@ -28,13 +28,20 @@ struct State {
 pub fn k17_sequential(vlr: &[f64], vlin: &[f64], z: &[f64]) -> (Vec<f64>, Vec<f64>) {
     let n = vlr.len();
     let scale = 5.0 / 3.0;
-    let mut state = State { xnm: 1.0 / 3.0, e6: 1.03 / 3.07 };
+    let mut state = State {
+        xnm: 1.0 / 3.0,
+        e6: 1.03 / 3.07,
+    };
     let mut vxne = vec![0.0; n];
     let mut vxnd = vec![0.0; n];
     for i in (0..n).rev() {
         let e3 = state.xnm * vlr[i] + state.e6;
         let e2 = vlin[i] * e3;
-        let vx = if z[i] > 0.5 { e3 - e2 / scale } else { e2 + z[i] * e3 };
+        let vx = if z[i] > 0.5 {
+            e3 - e2 / scale
+        } else {
+            e2 + z[i] * e3
+        };
         vxne[i] = vx.abs();
         vxnd[i] = e3 + e2;
         state.xnm = 0.9 * vx.abs().min(1.0) + 0.1 * state.xnm;
@@ -48,12 +55,7 @@ pub fn k17_sequential(vlr: &[f64], vlin: &[f64], z: &[f64]) -> (Vec<f64>, Vec<f6
 ///
 /// # Panics
 /// Panics if `threads` is zero or the slices have different lengths.
-pub fn doacross_k17(
-    vlr: &[f64],
-    vlin: &[f64],
-    z: &[f64],
-    threads: usize,
-) -> (Vec<f64>, Vec<f64>) {
+pub fn doacross_k17(vlr: &[f64], vlin: &[f64], z: &[f64], threads: usize) -> (Vec<f64>, Vec<f64>) {
     assert!(threads > 0, "need at least one thread");
     assert!(
         vlr.len() == vlin.len() && vlin.len() == z.len(),
@@ -67,7 +69,10 @@ pub fn doacross_k17(
     let scale = 5.0 / 3.0;
     let sync = Arc::new(AdvanceAwait::new());
     let barrier = Arc::new(SenseBarrier::new(threads));
-    let state = Arc::new(SpinLock::new(State { xnm: 1.0 / 3.0, e6: 1.03 / 3.07 }));
+    let state = Arc::new(SpinLock::new(State {
+        xnm: 1.0 / 3.0,
+        e6: 1.03 / 3.07,
+    }));
     let vxne = Arc::new(SpinLock::new(vec![0.0; n]));
     let vxnd = Arc::new(SpinLock::new(vec![0.0; n]));
 
@@ -92,7 +97,11 @@ pub fn doacross_k17(
                         let mut st = state.lock();
                         let e3 = st.xnm * vl + st.e6;
                         let e2 = vi * e3;
-                        let vx = if take_then { e3 - e2 / scale } else { e2 + zi * e3 };
+                        let vx = if take_then {
+                            e3 - e2 / scale
+                        } else {
+                            e2 + zi * e3
+                        };
                         vxne.lock()[i] = vx.abs();
                         vxnd.lock()[i] = e3 + e2;
                         st.xnm = 0.9 * vx.abs().min(1.0) + 0.1 * st.xnm;

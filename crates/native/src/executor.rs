@@ -96,9 +96,7 @@ pub struct NativeRun {
 fn wants(plan: &InstrumentationPlan, kind: &EventKind, observable: bool) -> bool {
     match kind {
         EventKind::Statement { stmt } => observable && plan.traces_statement(*stmt),
-        EventKind::IterationBegin { .. } | EventKind::IterationEnd { .. } => {
-            plan.iteration_markers
-        }
+        EventKind::IterationBegin { .. } | EventKind::IterationEnd { .. } => plan.iteration_markers,
         k if k.is_sync() => plan.sync_ops,
         k if k.is_barrier() => plan.barriers,
         _ => plan.markers,
@@ -130,12 +128,20 @@ pub fn execute_program(program: &Program, cfg: &NativeConfig) -> Result<NativeRu
                 }
             }
             Segment::Loop(l) if !l.kind.is_concurrent() => {
-                record_if(&mut main_tracer, &cfg.plan, EventKind::LoopBegin { loop_id: l.id }, true);
+                record_if(
+                    &mut main_tracer,
+                    &cfg.plan,
+                    EventKind::LoopBegin { loop_id: l.id },
+                    true,
+                );
                 for i in 0..l.trip_count {
                     record_if(
                         &mut main_tracer,
                         &cfg.plan,
-                        EventKind::IterationBegin { loop_id: l.id, iter: i },
+                        EventKind::IterationBegin {
+                            loop_id: l.id,
+                            iter: i,
+                        },
                         true,
                     );
                     for s in &l.body {
@@ -150,14 +156,27 @@ pub fn execute_program(program: &Program, cfg: &NativeConfig) -> Result<NativeRu
                     record_if(
                         &mut main_tracer,
                         &cfg.plan,
-                        EventKind::IterationEnd { loop_id: l.id, iter: i },
+                        EventKind::IterationEnd {
+                            loop_id: l.id,
+                            iter: i,
+                        },
                         true,
                     );
                 }
-                record_if(&mut main_tracer, &cfg.plan, EventKind::LoopEnd { loop_id: l.id }, true);
+                record_if(
+                    &mut main_tracer,
+                    &cfg.plan,
+                    EventKind::LoopEnd { loop_id: l.id },
+                    true,
+                );
             }
             Segment::Loop(l) => {
-                record_if(&mut main_tracer, &cfg.plan, EventKind::LoopBegin { loop_id: l.id }, true);
+                record_if(
+                    &mut main_tracer,
+                    &cfg.plan,
+                    EventKind::LoopBegin { loop_id: l.id },
+                    true,
+                );
 
                 // Fresh synchronization state per loop execution.
                 let vars: BTreeMap<_, _> = l
@@ -169,65 +188,64 @@ pub fn execute_program(program: &Program, cfg: &NativeConfig) -> Result<NativeRu
                 let barrier = Arc::new(SenseBarrier::new(cfg.processors));
                 let next_iter = Arc::new(std::sync::atomic::AtomicU64::new(0));
 
-                let worker =
-                    |proc: usize, mut tracer: ThreadTracer| -> ThreadTracer {
-                        let fetch = |current: Option<u64>| -> Option<u64> {
-                            if cfg.self_scheduled {
-                                let i = next_iter
-                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                (i < l.trip_count).then_some(i)
-                            } else {
-                                let i = current.map(|c| c + cfg.processors as u64)
-                                    .unwrap_or(proc as u64);
-                                (i < l.trip_count).then_some(i)
-                            }
-                        };
-                        let mut cur = fetch(None);
-                        while let Some(i) = cur {
-                            for s in &l.body {
-                                match s.kind {
-                                    StatementKind::Compute { cost } => {
-                                        clock.spin_for(Span::from_nanos(cost));
-                                        if wants(
-                                            &cfg.plan,
-                                            &EventKind::Statement { stmt: s.id },
-                                            s.observable,
-                                        ) {
-                                            tracer.record(EventKind::Statement { stmt: s.id });
-                                        }
+                let worker = |proc: usize, mut tracer: ThreadTracer| -> ThreadTracer {
+                    let fetch = |current: Option<u64>| -> Option<u64> {
+                        if cfg.self_scheduled {
+                            let i = next_iter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            (i < l.trip_count).then_some(i)
+                        } else {
+                            let i = current
+                                .map(|c| c + cfg.processors as u64)
+                                .unwrap_or(proc as u64);
+                            (i < l.trip_count).then_some(i)
+                        }
+                    };
+                    let mut cur = fetch(None);
+                    while let Some(i) = cur {
+                        for s in &l.body {
+                            match s.kind {
+                                StatementKind::Compute { cost } => {
+                                    clock.spin_for(Span::from_nanos(cost));
+                                    if wants(
+                                        &cfg.plan,
+                                        &EventKind::Statement { stmt: s.id },
+                                        s.observable,
+                                    ) {
+                                        tracer.record(EventKind::Statement { stmt: s.id });
                                     }
-                                    StatementKind::Await { var, offset } => {
-                                        let tag = SyncTag(i as i64 + offset);
-                                        if cfg.plan.sync_ops {
-                                            tracer.record(EventKind::AwaitBegin { var, tag });
-                                        }
-                                        vars[&var].await_tag(tag.0);
-                                        if cfg.plan.sync_ops {
-                                            tracer.record(EventKind::AwaitEnd { var, tag });
-                                        }
+                                }
+                                StatementKind::Await { var, offset } => {
+                                    let tag = SyncTag(i as i64 + offset);
+                                    if cfg.plan.sync_ops {
+                                        tracer.record(EventKind::AwaitBegin { var, tag });
                                     }
-                                    StatementKind::Advance { var } => {
-                                        vars[&var].advance(i as i64);
-                                        if cfg.plan.sync_ops {
-                                            tracer.record(EventKind::Advance {
-                                                var,
-                                                tag: SyncTag(i as i64),
-                                            });
-                                        }
+                                    vars[&var].await_tag(tag.0);
+                                    if cfg.plan.sync_ops {
+                                        tracer.record(EventKind::AwaitEnd { var, tag });
+                                    }
+                                }
+                                StatementKind::Advance { var } => {
+                                    vars[&var].advance(i as i64);
+                                    if cfg.plan.sync_ops {
+                                        tracer.record(EventKind::Advance {
+                                            var,
+                                            tag: SyncTag(i as i64),
+                                        });
                                     }
                                 }
                             }
-                            cur = fetch(Some(i));
                         }
-                        if cfg.plan.barriers {
-                            tracer.record(EventKind::BarrierEnter { barrier: l.barrier });
-                        }
-                        barrier.wait();
-                        if cfg.plan.barriers {
-                            tracer.record(EventKind::BarrierExit { barrier: l.barrier });
-                        }
-                        tracer
-                    };
+                        cur = fetch(Some(i));
+                    }
+                    if cfg.plan.barriers {
+                        tracer.record(EventKind::BarrierEnter { barrier: l.barrier });
+                    }
+                    barrier.wait();
+                    if cfg.plan.barriers {
+                        tracer.record(EventKind::BarrierExit { barrier: l.barrier });
+                    }
+                    tracer
+                };
 
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (1..cfg.processors)
@@ -252,7 +270,12 @@ pub fn execute_program(program: &Program, cfg: &NativeConfig) -> Result<NativeRu
                     }
                 });
 
-                record_if(&mut main_tracer, &cfg.plan, EventKind::LoopEnd { loop_id: l.id }, true);
+                record_if(
+                    &mut main_tracer,
+                    &cfg.plan,
+                    EventKind::LoopEnd { loop_id: l.id },
+                    true,
+                );
             }
         }
     }
@@ -262,10 +285,18 @@ pub fn execute_program(program: &Program, cfg: &NativeConfig) -> Result<NativeRu
 
     let mut tracers = vec![main_tracer];
     tracers.extend(worker_events);
-    Ok(NativeRun { trace: merge_tracers(tracers), wall })
+    Ok(NativeRun {
+        trace: merge_tracers(tracers),
+        wall,
+    })
 }
 
-fn record_if(tracer: &mut ThreadTracer, plan: &InstrumentationPlan, kind: EventKind, observable: bool) {
+fn record_if(
+    tracer: &mut ThreadTracer,
+    plan: &InstrumentationPlan,
+    kind: EventKind,
+    observable: bool,
+) {
     if wants(plan, &kind, observable) {
         tracer.record(kind);
     }

@@ -46,7 +46,10 @@ pub fn native_pipeline_demo() -> Result<String, NativeError> {
     // Use the host's real parallelism: forcing extra threads onto a
     // single-CPU host would serialize the spin work and poison the
     // "actual" baseline.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
     let padding = Span::from_micros(3);
     let trip = 400;
 
@@ -66,8 +69,8 @@ pub fn native_pipeline_demo() -> Result<String, NativeError> {
     let actual = actual_walls[1];
 
     let measured = execute_program(&program, &NativeConfig::instrumented(threads, padding))?;
-    let analysis = event_based(&measured.trace, &overheads)
-        .expect("native measured traces are feasible");
+    let analysis =
+        event_based(&measured.trace, &overheads).expect("native measured traces are feasible");
 
     let slowdown = measured.wall.ratio(actual);
     let approx_ratio = analysis.total_time().ratio(actual);
@@ -89,7 +92,11 @@ pub fn native_pipeline_demo() -> Result<String, NativeError> {
         overheads.statement_event, overheads.s_nowait, overheads.s_wait, overheads.advance_op
     );
     let _ = writeln!(out, "actual wall (median/3): {actual}");
-    let _ = writeln!(out, "measured wall:          {} ({slowdown:.2}x slowdown)", measured.wall);
+    let _ = writeln!(
+        out,
+        "measured wall:          {} ({slowdown:.2}x slowdown)",
+        measured.wall
+    );
     let _ = writeln!(out, "measured events:        {}", measured.trace.len());
     let _ = writeln!(
         out,
@@ -102,7 +109,11 @@ pub fn native_pipeline_demo() -> Result<String, NativeError> {
         "inner product check:    parallel {} == sequential {} : {}",
         par,
         seq,
-        if par.to_bits() == seq.to_bits() { "BIT-IDENTICAL" } else { "MISMATCH" }
+        if par.to_bits() == seq.to_bits() {
+            "BIT-IDENTICAL"
+        } else {
+            "MISMATCH"
+        }
     );
     Ok(out)
 }
@@ -124,8 +135,10 @@ mod tests {
         let _guard = crate::TEST_SERIAL.lock().unwrap();
         // Nondeterministic: allow a generous band, but the approximation
         // must land far closer to actual than the measured time does.
-        let threads =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4);
         let padding = Span::from_micros(5);
         let clock = TraceClock::start();
         let overheads = calibrate(&clock, padding);
@@ -136,11 +149,16 @@ mod tests {
             .wall;
         let measured =
             execute_program(&program, &NativeConfig::instrumented(threads, padding)).unwrap();
-        let approx = event_based(&measured.trace, &overheads).unwrap().total_time();
+        let approx = event_based(&measured.trace, &overheads)
+            .unwrap()
+            .total_time();
 
         let slowdown = measured.wall.ratio(actual);
         let approx_err = (approx.ratio(actual) - 1.0).abs();
-        assert!(slowdown > 1.1, "instrumentation should visibly intrude, got {slowdown:.3}x");
+        assert!(
+            slowdown > 1.1,
+            "instrumentation should visibly intrude, got {slowdown:.3}x"
+        );
         assert!(
             approx_err < (slowdown - 1.0).abs(),
             "approximation (err {approx_err:.3}) should beat raw measurement ({slowdown:.3}x)"

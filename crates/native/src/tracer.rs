@@ -57,7 +57,12 @@ impl ThreadTracer {
             self.clock.spin_for(self.padding);
         }
         let time = self.clock.now();
-        self.events.push(Event::new(time, self.proc, seq_for(self.proc, self.local_seq), kind));
+        self.events.push(Event::new(
+            time,
+            self.proc,
+            seq_for(self.proc, self.local_seq),
+            kind,
+        ));
         self.local_seq += 1;
     }
 
@@ -79,7 +84,10 @@ impl ThreadTracer {
 
 /// Merges per-thread streams into one measured trace.
 pub fn merge_tracers(tracers: impl IntoIterator<Item = ThreadTracer>) -> Trace {
-    merge_streams(TraceKind::Measured, tracers.into_iter().map(ThreadTracer::into_events).collect())
+    merge_streams(
+        TraceKind::Measured,
+        tracers.into_iter().map(ThreadTracer::into_events).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -92,11 +100,15 @@ mod tests {
         let clock = TraceClock::start();
         let mut t = ThreadTracer::new(clock, ProcessorId(2), Span::ZERO, true);
         for i in 0..100 {
-            t.record(EventKind::Statement { stmt: StatementId(i) });
+            t.record(EventKind::Statement {
+                stmt: StatementId(i),
+            });
         }
         assert_eq!(t.len(), 100);
         let events = t.into_events();
-        assert!(events.windows(2).all(|w| w[0].order_key() <= w[1].order_key()));
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].order_key() <= w[1].order_key()));
         assert!(events.iter().all(|e| e.proc == ProcessorId(2)));
     }
 
@@ -117,7 +129,10 @@ mod tests {
             padded.record(EventKind::ProgramBegin);
         }
         let elapsed = clock.now() - begin;
-        assert!(elapsed >= Span::from_micros(100), "padding not applied: {elapsed}");
+        assert!(
+            elapsed >= Span::from_micros(100),
+            "padding not applied: {elapsed}"
+        );
     }
 
     #[test]
@@ -126,8 +141,12 @@ mod tests {
         let mut a = ThreadTracer::new(clock, ProcessorId(0), Span::ZERO, true);
         let mut b = ThreadTracer::new(clock, ProcessorId(1), Span::ZERO, true);
         for i in 0..10 {
-            a.record(EventKind::Statement { stmt: StatementId(i) });
-            b.record(EventKind::Statement { stmt: StatementId(i + 100) });
+            a.record(EventKind::Statement {
+                stmt: StatementId(i),
+            });
+            b.record(EventKind::Statement {
+                stmt: StatementId(i + 100),
+            });
         }
         let trace = merge_tracers([a, b]);
         assert_eq!(trace.len(), 20);

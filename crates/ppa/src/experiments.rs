@@ -41,7 +41,10 @@ pub fn experiment_config() -> SimConfig {
 
 /// Single-processor variant for the sequential (Figure 1) experiment.
 pub fn sequential_config() -> SimConfig {
-    SimConfig { processors: 1, ..experiment_config() }
+    SimConfig {
+        processors: 1,
+        ..experiment_config()
+    }
 }
 
 /// One Figure-1 bar pair.
@@ -180,7 +183,13 @@ pub fn loop17_analysis() -> Loop17Analysis {
     let ground_truth_pct = truth
         .per_proc
         .iter()
-        .map(|ps| if total.is_zero() { 0.0 } else { 100.0 * ps.sync_wait.ratio(total) })
+        .map(|ps| {
+            if total.is_zero() {
+                0.0
+            } else {
+                100.0 * ps.sync_wait.ratio(total)
+            }
+        })
         .collect();
 
     Loop17Analysis {
@@ -210,15 +219,21 @@ pub struct OverheadSweepPoint {
 pub fn ablation_overhead_sweep(kernel: u8, factors: &[f64]) -> Vec<OverheadSweepPoint> {
     let cfg = experiment_config();
     let program = ppa_lfk::doacross_graph(kernel).expect("doacross kernel");
-    let actual = run_actual(&program, &cfg).expect("valid").trace.total_time();
-    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-        .expect("valid");
+    let actual = run_actual(&program, &cfg)
+        .expect("valid")
+        .trace
+        .total_time();
+    let measured =
+        run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
     factors
         .iter()
         .map(|&factor| {
             let spec = cfg.overheads.scale_instrumentation(factor);
             let approx = event_based(&measured.trace, &spec).expect("feasible");
-            OverheadSweepPoint { factor, approx_ratio: approx.total_time().ratio(actual) }
+            OverheadSweepPoint {
+                factor,
+                approx_ratio: approx.total_time().ratio(actual),
+            }
         })
         .collect()
 }
@@ -256,53 +271,57 @@ pub fn ablation_schedule(kernel: u8) -> Vec<ScheduleAblationRow> {
     let head: u64 = params.head.iter().sum();
     let tail_fraction = tail as f64 / (tail + head + 50).max(1) as f64;
 
-    [SchedulePolicy::StaticCyclic, SchedulePolicy::StaticBlock, SchedulePolicy::SelfScheduled]
-        .into_iter()
-        .map(|policy| {
-            let cfg = experiment_config()
-                .with_schedule(policy)
-                .with_jitter(EXPERIMENT_SEED, 400);
-            let program = ppa_lfk::doacross_graph(kernel).expect("doacross kernel");
-            let actual = run_actual(&program, &cfg).expect("valid");
-            let actual_total = actual.trace.total_time();
-            let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-                .expect("valid");
-            let conservative = event_based(&measured.trace, &cfg.overheads)
-                .expect("feasible")
-                .total_time();
-            let liberal = |p: SchedulePolicy| {
-                liberal_reschedule(
-                    &measured.trace,
-                    &cfg.overheads,
-                    cfg.processors,
-                    p,
-                    tail_fraction,
-                )
-                .expect("structured trace")
-                .total
-            };
-            let wrong_policy = match policy {
-                SchedulePolicy::StaticCyclic => SchedulePolicy::StaticBlock,
-                _ => SchedulePolicy::StaticCyclic,
-            };
+    [
+        SchedulePolicy::StaticCyclic,
+        SchedulePolicy::StaticBlock,
+        SchedulePolicy::SelfScheduled,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let cfg = experiment_config()
+            .with_schedule(policy)
+            .with_jitter(EXPERIMENT_SEED, 400);
+        let program = ppa_lfk::doacross_graph(kernel).expect("doacross kernel");
+        let actual = run_actual(&program, &cfg).expect("valid");
+        let actual_total = actual.trace.total_time();
+        let measured =
+            run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
+        let conservative = event_based(&measured.trace, &cfg.overheads)
+            .expect("feasible")
+            .total_time();
+        let liberal = |p: SchedulePolicy| {
+            liberal_reschedule(
+                &measured.trace,
+                &cfg.overheads,
+                cfg.processors,
+                p,
+                tail_fraction,
+            )
+            .expect("structured trace")
+            .total
+        };
+        let wrong_policy = match policy {
+            SchedulePolicy::StaticCyclic => SchedulePolicy::StaticBlock,
+            _ => SchedulePolicy::StaticCyclic,
+        };
 
-            let divergence = {
-                let a = &actual.stats.loops[0].assignment;
-                let m = &measured.stats.loops[0].assignment;
-                let differing = a.iter().zip(m).filter(|(x, y)| x != y).count();
-                differing as f64 / a.len().max(1) as f64
-            };
+        let divergence = {
+            let a = &actual.stats.loops[0].assignment;
+            let m = &measured.stats.loops[0].assignment;
+            let differing = a.iter().zip(m).filter(|(x, y)| x != y).count();
+            differing as f64 / a.len().max(1) as f64
+        };
 
-            ScheduleAblationRow {
-                policy,
-                conservative_ratio: conservative.ratio(actual_total),
-                liberal_ratio: liberal(policy).ratio(actual_total),
-                liberal_wrong_policy_ratio: liberal(wrong_policy).ratio(actual_total),
-                wrong_policy,
-                assignment_divergence: divergence,
-            }
-        })
-        .collect()
+        ScheduleAblationRow {
+            policy,
+            conservative_ratio: conservative.ratio(actual_total),
+            liberal_ratio: liberal(policy).ratio(actual_total),
+            liberal_wrong_policy_ratio: liberal(wrong_policy).ratio(actual_total),
+            wrong_policy,
+            assignment_divergence: divergence,
+        }
+    })
+    .collect()
 }
 
 /// One row of the all-kernel intrusion survey.
@@ -352,7 +371,9 @@ pub fn all_kernel_intrusion() -> Vec<IntrusionRow> {
             };
             let measured = run_measured(&program, &plan, &cfg).expect("valid");
             let approx = if use_event_based {
-                event_based(&measured.trace, &cfg.overheads).expect("feasible").total_time()
+                event_based(&measured.trace, &cfg.overheads)
+                    .expect("feasible")
+                    .total_time()
             } else {
                 time_based(&measured.trace, &cfg.overheads).total_time()
             };
@@ -389,8 +410,8 @@ pub fn per_event_accuracy(kernel: u8) -> PerEventAccuracy {
     let cfg = experiment_config();
     let program = ppa_lfk::doacross_graph(kernel).expect("doacross kernel");
     let actual = run_actual(&program, &cfg).expect("valid");
-    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-        .expect("valid");
+    let measured =
+        run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
     let tolerance = Span::from_micros(1);
 
     let tb = time_based(&measured.trace, &cfg.overheads);
@@ -431,7 +452,9 @@ pub fn mode_comparison() -> Vec<ModeRow> {
     let plan = InstrumentationPlan::full_statements();
     let mut rows = Vec::new();
     for meta in fig1_kernels() {
-        let Some(vector) = ppa_lfk::vector_twin(meta.id) else { continue };
+        let Some(vector) = ppa_lfk::vector_twin(meta.id) else {
+            continue;
+        };
         let scalar = ppa_lfk::sequential_graph(meta.id).expect("fig1 kernel");
         for (mode, program) in [("scalar", scalar), ("vector", vector)] {
             let actual = run_actual(&program, &cfg).expect("valid");
@@ -467,8 +490,8 @@ pub fn order_study(kernel: u8) -> OrderStudy {
     let cfg = experiment_config();
     let program = ppa_lfk::doacross_graph(kernel).expect("doacross kernel");
     let actual = run_actual(&program, &cfg).expect("valid");
-    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-        .expect("valid");
+    let measured =
+        run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
     let approx = event_based(&measured.trace, &cfg.overheads).expect("feasible");
     OrderStudy {
         kernel,
@@ -505,9 +528,12 @@ pub fn buffer_study(kernel: u8, capacities: &[usize]) -> Vec<BufferStudyRow> {
     use ppa_trace::{apply_buffers, OverflowPolicy, Trace, TraceKind};
     let cfg = experiment_config();
     let program = ppa_lfk::doacross_graph(kernel).expect("doacross kernel");
-    let actual = run_actual(&program, &cfg).expect("valid").trace.total_time();
-    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-        .expect("valid");
+    let actual = run_actual(&program, &cfg)
+        .expect("valid")
+        .trace
+        .total_time();
+    let measured =
+        run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
     capacities
         .iter()
         .map(|&capacity| {
@@ -529,7 +555,12 @@ pub fn buffer_study(kernel: u8, capacities: &[usize]) -> Vec<BufferStudyRow> {
                     analyzable: true,
                     approx_ratio: Some(a.total_time().ratio(actual)),
                 },
-                Err(_) => BufferStudyRow { capacity, dropped, analyzable: false, approx_ratio: None },
+                Err(_) => BufferStudyRow {
+                    capacity,
+                    dropped,
+                    analyzable: false,
+                    approx_ratio: None,
+                },
             }
         })
         .collect()
@@ -589,7 +620,11 @@ pub struct IntrusionReport {
 pub fn intrusion(kernel: u8, plan: &InstrumentationPlan) -> IntrusionReport {
     let cfg = experiment_config();
     let program = ppa_lfk::graph(kernel).expect("kernel has a graph");
-    let cfg = if program.has_concurrency() { cfg } else { sequential_config() };
+    let cfg = if program.has_concurrency() {
+        cfg
+    } else {
+        sequential_config()
+    };
     let actual = run_actual(&program, &cfg).expect("valid");
     let measured = run_measured(&program, plan, &cfg).expect("valid");
     IntrusionReport {
@@ -608,7 +643,12 @@ mod tests {
         let rows = fig1();
         assert_eq!(rows.len(), 10);
         for r in &rows {
-            assert!(r.measured_ratio > 2.0, "kernel {}: slowdown {}", r.kernel, r.measured_ratio);
+            assert!(
+                r.measured_ratio > 2.0,
+                "kernel {}: slowdown {}",
+                r.kernel,
+                r.measured_ratio
+            );
             assert!(
                 (r.approx_ratio - 1.0).abs() < 0.01,
                 "kernel {}: time-based sequential approx should be ~exact, got {}",
@@ -638,9 +678,21 @@ mod tests {
     fn table1_directions_match_paper() {
         let rows = table1();
         assert_eq!(rows.len(), 3);
-        assert!(rows[0].approx_over_actual < 1.0, "loop 3: {}", rows[0].approx_over_actual);
-        assert!(rows[1].approx_over_actual < 1.0, "loop 4: {}", rows[1].approx_over_actual);
-        assert!(rows[2].approx_over_actual > 1.0, "loop 17: {}", rows[2].approx_over_actual);
+        assert!(
+            rows[0].approx_over_actual < 1.0,
+            "loop 3: {}",
+            rows[0].approx_over_actual
+        );
+        assert!(
+            rows[1].approx_over_actual < 1.0,
+            "loop 4: {}",
+            rows[1].approx_over_actual
+        );
+        assert!(
+            rows[2].approx_over_actual > 1.0,
+            "loop 17: {}",
+            rows[2].approx_over_actual
+        );
         for r in &rows {
             assert!(r.same_direction_as_paper(), "{}: wrong direction", r.label);
         }
@@ -696,7 +748,12 @@ mod tests {
         let rows = all_kernel_intrusion();
         assert_eq!(rows.len(), 24);
         for r in &rows {
-            assert!(r.slowdown > 1.5, "kernel {}: slowdown {}", r.kernel, r.slowdown);
+            assert!(
+                r.slowdown > 1.5,
+                "kernel {}: slowdown {}",
+                r.kernel,
+                r.slowdown
+            );
             assert!(
                 (r.approx_ratio - 1.0).abs() < 0.05,
                 "kernel {}: approx {}",
@@ -737,7 +794,11 @@ mod tests {
         for pair in rows.chunks(2) {
             let (s, v) = (&pair[0], &pair[1]);
             assert_eq!(s.kernel, v.kernel);
-            assert!(v.actual < s.actual, "kernel {}: vector should be faster", s.kernel);
+            assert!(
+                v.actual < s.actual,
+                "kernel {}: vector should be faster",
+                s.kernel
+            );
             assert!(
                 v.slowdown > s.slowdown,
                 "kernel {}: relative intrusion should grow in vector mode",
@@ -791,7 +852,15 @@ mod tests {
         assert!(json.contains("avg_parallelism"));
         // Structurally valid JSON with all top-level sections.
         let value: serde_json::Value = serde_json::from_str(&json).unwrap();
-        for key in ["seed", "fig1", "table1", "table2", "table3", "intrusion", "buffers"] {
+        for key in [
+            "seed",
+            "fig1",
+            "table1",
+            "table2",
+            "table3",
+            "intrusion",
+            "buffers",
+        ] {
             assert!(value.get(key).is_some(), "missing campaign section {key}");
         }
         assert_eq!(value["fig1"].as_array().unwrap().len(), 10);

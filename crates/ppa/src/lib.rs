@@ -59,9 +59,16 @@ pub use ppa_trace as trace;
 
 pub mod experiments;
 
+/// Compiles and runs the README's Rust snippets under `cargo test --doc`.
+#[doc = include_str!("../../../README.md")]
+mod readme_doctests {}
+
 /// The most commonly used items, in one import.
 pub mod prelude {
-    pub use ppa_core::{event_based, liberal_reschedule, time_based, AnalysisError};
+    pub use ppa_core::{
+        event_based, event_based_reference, event_based_sharded, liberal_reschedule, time_based,
+        AnalysisError, EventBasedAnalyzer, StreamOutput, StreamStats,
+    };
     pub use ppa_metrics::{
         build_timeline, format_ratio_table, format_waiting_table, parallelism_profile,
         render_parallelism, render_timeline, waiting_table, RatioRow,

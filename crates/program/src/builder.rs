@@ -76,14 +76,23 @@ impl ProgramBuilder {
         f: impl FnOnce(BodyBuilder<'_>) -> BodyBuilder<'_>,
     ) -> Self {
         let body = {
-            let bb = BodyBuilder { owner: &mut self, body: Vec::new() };
+            let bb = BodyBuilder {
+                owner: &mut self,
+                body: Vec::new(),
+            };
             f(bb).body
         };
         let id = LoopId(self.next_loop);
         self.next_loop += 1;
         let barrier = BarrierId(self.next_barrier);
         self.next_barrier += 1;
-        self.segments.push(Segment::Loop(Loop { id, kind, trip_count, body, barrier }));
+        self.segments.push(Segment::Loop(Loop {
+            id,
+            kind,
+            trip_count,
+            body,
+            barrier,
+        }));
         self
     }
 
@@ -127,7 +136,10 @@ impl ProgramBuilder {
 
     /// Finishes and validates the program.
     pub fn build(self) -> Result<Program, ProgramError> {
-        let program = Program { name: self.name, segments: self.segments };
+        let program = Program {
+            name: self.name,
+            segments: self.segments,
+        };
         validate(&program)?;
         Ok(program)
     }
@@ -146,21 +158,28 @@ impl BodyBuilder<'_> {
     /// synchronization at the assembly level).
     pub fn compute_unobservable(mut self, label: impl Into<String>, cost: u64) -> Self {
         let id = self.owner.fresh_stmt();
-        self.body.push(Statement::compute_unobservable(id, label, cost));
+        self.body
+            .push(Statement::compute_unobservable(id, label, cost));
         self
     }
 
     /// Appends an `await(var, i + offset)` statement (`offset < 0`).
     pub fn await_var(mut self, var: SyncVarId, offset: i64) -> Self {
         let id = self.owner.fresh_stmt();
-        self.body.push(Statement::await_on(id, format!("await({var},{offset})"), var, offset));
+        self.body.push(Statement::await_on(
+            id,
+            format!("await({var},{offset})"),
+            var,
+            offset,
+        ));
         self
     }
 
     /// Appends an `advance(var, i)` statement.
     pub fn advance(mut self, var: SyncVarId) -> Self {
         let id = self.owner.fresh_stmt();
-        self.body.push(Statement::advance(id, format!("advance({var})"), var));
+        self.body
+            .push(Statement::advance(id, format!("advance({var})"), var));
         self
     }
 }
@@ -203,7 +222,10 @@ mod tests {
         let mut b = ProgramBuilder::new("bad");
         let v = b.sync_var();
         // An await on a variable that is never advanced.
-        let err = b.doacross(1, 4, |body| body.await_var(v, -1)).build().unwrap_err();
+        let err = b
+            .doacross(1, 4, |body| body.await_var(v, -1))
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ProgramError::AwaitWithoutAdvance { .. }));
     }
 
@@ -220,11 +242,16 @@ mod tests {
         let mut b = ProgramBuilder::new("labels");
         let v = b.sync_var();
         let p = b
-            .doacross(2, 4, |body| body.await_var(v, -2).compute("x", 1).advance(v))
+            .doacross(2, 4, |body| {
+                body.await_var(v, -2).compute("x", 1).advance(v)
+            })
             .build()
             .unwrap();
         let l = p.loops().next().unwrap();
-        assert!(matches!(l.body[0].kind, StatementKind::Await { offset: -2, .. }));
+        assert!(matches!(
+            l.body[0].kind,
+            StatementKind::Await { offset: -2, .. }
+        ));
         assert!(l.body[0].label.starts_with("await("));
         assert!(l.body[2].label.starts_with("advance("));
     }

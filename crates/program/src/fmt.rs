@@ -13,7 +13,12 @@ use std::fmt::Write;
 fn statement_line(out: &mut String, s: &Statement, indent: &str) {
     let desc = match s.kind {
         StatementKind::Compute { cost } => {
-            format!("{}  [{} ns{}]", s.label, cost, if s.observable { "" } else { ", fused" })
+            format!(
+                "{}  [{} ns{}]",
+                s.label,
+                cost,
+                if s.observable { "" } else { ", fused" }
+            )
         }
         StatementKind::Advance { var } => format!("advance({var}, i)"),
         StatementKind::Await { var, offset } => format!("await({var}, i{offset})"),

@@ -103,11 +103,7 @@ impl InstrumentationPlan {
 
     /// True if the plan records anything at all.
     pub fn is_active(&self) -> bool {
-        self.statements
-            || self.sync_ops
-            || self.markers
-            || self.iteration_markers
-            || self.barriers
+        self.statements || self.sync_ops || self.markers || self.iteration_markers || self.barriers
     }
 }
 

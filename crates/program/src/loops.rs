@@ -153,7 +153,10 @@ mod tests {
         assert!(LoopKind::Doall.is_concurrent());
         assert!(LoopKind::Doacross { distance: 2 }.is_concurrent());
         assert!(!LoopKind::Sequential.is_concurrent());
-        assert!(!LoopKind::Vector { speedup_permille: 4000 }.is_concurrent());
+        assert!(!LoopKind::Vector {
+            speedup_permille: 4000
+        }
+        .is_concurrent());
         assert_eq!(LoopKind::Doacross { distance: 2 }.distance(), Some(2));
         assert_eq!(LoopKind::Doall.distance(), None);
     }

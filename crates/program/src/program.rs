@@ -30,7 +30,10 @@ pub struct Program {
 impl Program {
     /// Creates an empty program.
     pub fn new(name: impl Into<String>) -> Self {
-        Program { name: name.into(), segments: Vec::new() }
+        Program {
+            name: name.into(),
+            segments: Vec::new(),
+        }
     }
 
     /// All statements, in segment order (loop bodies once each).

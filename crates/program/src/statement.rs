@@ -39,7 +39,10 @@ pub enum StatementKind {
 impl StatementKind {
     /// True for advance/await statements.
     pub fn is_sync(&self) -> bool {
-        matches!(self, StatementKind::Advance { .. } | StatementKind::Await { .. })
+        matches!(
+            self,
+            StatementKind::Advance { .. } | StatementKind::Await { .. }
+        )
     }
 
     /// The synchronization variable, if any.
@@ -94,7 +97,12 @@ impl Statement {
 
     /// Creates an `advance` statement.
     pub fn advance(id: StatementId, label: impl Into<String>, var: SyncVarId) -> Self {
-        Statement { id, label: label.into(), kind: StatementKind::Advance { var }, observable: true }
+        Statement {
+            id,
+            label: label.into(),
+            kind: StatementKind::Advance { var },
+            observable: true,
+        }
     }
 
     /// Creates an `await` statement with a (negative) iteration offset.

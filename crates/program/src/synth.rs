@@ -142,7 +142,8 @@ pub fn synthesize(seed: u64, config: &SynthConfig) -> Program {
             }
         }
     }
-    b.build().expect("generator output is valid by construction")
+    b.build()
+        .expect("generator output is valid by construction")
 }
 
 #[cfg(test)]
@@ -183,8 +184,10 @@ mod tests {
                         crate::LoopKind::Doall => doall = true,
                         crate::LoopKind::Doacross { .. } => {
                             doacross = true;
-                            let vars: std::collections::BTreeSet<_> =
-                                l.sync_statements().filter_map(|s| s.kind.sync_var()).collect();
+                            let vars: std::collections::BTreeSet<_> = l
+                                .sync_statements()
+                                .filter_map(|s| s.kind.sync_var())
+                                .collect();
                             if vars.len() == 2 {
                                 two_var = true;
                             }
@@ -197,7 +200,10 @@ mod tests {
                 }
             }
         }
-        assert!(serial && seq && doall && doacross, "basic constructs missing");
+        assert!(
+            serial && seq && doall && doacross,
+            "basic constructs missing"
+        );
         assert!(two_var, "no two-variable DOACROSS generated");
         assert!(unobs, "no unobservable critical section generated");
     }

@@ -184,7 +184,10 @@ mod tests {
             Statement::compute(StatementId(0), "a", 10),
             Statement::compute(StatementId(0), "b", 10),
         ]);
-        assert_eq!(validate(&p), Err(ProgramError::DuplicateStatementId(StatementId(0))));
+        assert_eq!(
+            validate(&p),
+            Err(ProgramError::DuplicateStatementId(StatementId(0)))
+        );
     }
 
     #[test]
@@ -197,16 +200,26 @@ mod tests {
                 SyncVarId(0),
             )])],
         };
-        assert_eq!(validate(&p), Err(ProgramError::SyncOutsideDoacross(StatementId(0))));
+        assert_eq!(
+            validate(&p),
+            Err(ProgramError::SyncOutsideDoacross(StatementId(0)))
+        );
     }
 
     #[test]
     fn sync_in_doall_rejected() {
-        let mut p = doacross(vec![Statement::advance(StatementId(0), "adv", SyncVarId(0))]);
+        let mut p = doacross(vec![Statement::advance(
+            StatementId(0),
+            "adv",
+            SyncVarId(0),
+        )]);
         if let Segment::Loop(l) = &mut p.segments[0] {
             l.kind = LoopKind::Doall;
         }
-        assert_eq!(validate(&p), Err(ProgramError::SyncOutsideDoacross(StatementId(0))));
+        assert_eq!(
+            validate(&p),
+            Err(ProgramError::SyncOutsideDoacross(StatementId(0)))
+        );
     }
 
     #[test]
@@ -217,7 +230,10 @@ mod tests {
         ]);
         assert_eq!(
             validate(&p),
-            Err(ProgramError::NonNegativeAwaitOffset { stmt: StatementId(0), offset: 0 })
+            Err(ProgramError::NonNegativeAwaitOffset {
+                stmt: StatementId(0),
+                offset: 0
+            })
         );
     }
 
@@ -229,16 +245,27 @@ mod tests {
         ]);
         assert_eq!(
             validate(&p),
-            Err(ProgramError::DoubleAdvance { loop_id: LoopId(0), var: SyncVarId(0) })
+            Err(ProgramError::DoubleAdvance {
+                loop_id: LoopId(0),
+                var: SyncVarId(0)
+            })
         );
     }
 
     #[test]
     fn await_without_advance_rejected() {
-        let p = doacross(vec![Statement::await_on(StatementId(0), "w", SyncVarId(7), -1)]);
+        let p = doacross(vec![Statement::await_on(
+            StatementId(0),
+            "w",
+            SyncVarId(7),
+            -1,
+        )]);
         assert_eq!(
             validate(&p),
-            Err(ProgramError::AwaitWithoutAdvance { loop_id: LoopId(0), var: SyncVarId(7) })
+            Err(ProgramError::AwaitWithoutAdvance {
+                loop_id: LoopId(0),
+                var: SyncVarId(7)
+            })
         );
     }
 
@@ -250,7 +277,10 @@ mod tests {
         ]);
         assert_eq!(
             validate(&p),
-            Err(ProgramError::AwaitAfterAdvance { loop_id: LoopId(0), var: SyncVarId(0) })
+            Err(ProgramError::AwaitAfterAdvance {
+                loop_id: LoopId(0),
+                var: SyncVarId(0)
+            })
         );
     }
 

@@ -74,7 +74,10 @@ impl SimConfig {
 
     /// A single-processor configuration (sequential/vector experiments).
     pub fn uniprocessor() -> Self {
-        SimConfig { processors: 1, ..Self::alliant_fx80() }
+        SimConfig {
+            processors: 1,
+            ..Self::alliant_fx80()
+        }
     }
 
     /// Replaces the overhead specification.
@@ -97,7 +100,10 @@ impl SimConfig {
 
     /// Enables statement-cost jitter.
     pub fn with_jitter(mut self, seed: u64, amplitude_permille: u32) -> Self {
-        self.jitter = Some(JitterConfig { seed, amplitude_permille });
+        self.jitter = Some(JitterConfig {
+            seed,
+            amplitude_permille,
+        });
         self
     }
 }
@@ -128,7 +134,13 @@ mod tests {
             .with_jitter(42, 100);
         assert_eq!(c.processors, 4);
         assert_eq!(c.schedule, SchedulePolicy::SelfScheduled);
-        assert_eq!(c.jitter, Some(JitterConfig { seed: 42, amplitude_permille: 100 }));
+        assert_eq!(
+            c.jitter,
+            Some(JitterConfig {
+                seed: 42,
+                amplitude_permille: 100
+            })
+        );
         assert_eq!(SimConfig::uniprocessor().processors, 1);
     }
 }

@@ -218,7 +218,10 @@ impl<'a> Executor<'a> {
             Mode::Actual => TraceKind::Actual,
             Mode::Measured(_) => TraceKind::Measured,
         };
-        Ok(SimResult { trace: Trace::from_events(kind, self.events), stats: self.stats })
+        Ok(SimResult {
+            trace: Trace::from_events(kind, self.events),
+            stats: self.stats,
+        })
     }
 
     /// Executes one compute statement: cost (jittered, scaled for vector
@@ -251,13 +254,27 @@ impl<'a> Executor<'a> {
         };
         self.emit(t0, p0, EventKind::LoopBegin { loop_id: l.id });
         for i in 0..l.trip_count {
-            self.emit(t0, p0, EventKind::IterationBegin { loop_id: l.id, iter: i });
+            self.emit(
+                t0,
+                p0,
+                EventKind::IterationBegin {
+                    loop_id: l.id,
+                    iter: i,
+                },
+            );
             for s in &l.body {
                 // Validation guarantees serial loops contain no sync
                 // statements.
                 self.exec_compute(t0, p0, s, l.id, i, speedup);
             }
-            self.emit(t0, p0, EventKind::IterationEnd { loop_id: l.id, iter: i });
+            self.emit(
+                t0,
+                p0,
+                EventKind::IterationEnd {
+                    loop_id: l.id,
+                    iter: i,
+                },
+            );
         }
         self.emit(t0, p0, EventKind::LoopEnd { loop_id: l.id });
     }
@@ -283,14 +300,21 @@ impl<'a> Executor<'a> {
                     // The earliest-free processor takes the next iteration
                     // (ties to the lowest id) — exactly what a shared
                     // iteration counter produces.
-                    (0..p).min_by_key(|&q| (clocks[q], q)).expect("processors > 0")
+                    (0..p).min_by_key(|&q| (clocks[q], q)).unwrap_or(0)
                 }
             };
             assignment.push(ProcessorId(proc as u16));
             let pid = ProcessorId(proc as u16);
             let mut clock = clocks[proc];
             clock += self.cycles(self.config.dispatch_cycles);
-            self.emit(&mut clock, pid, EventKind::IterationBegin { loop_id: l.id, iter: i });
+            self.emit(
+                &mut clock,
+                pid,
+                EventKind::IterationBegin {
+                    loop_id: l.id,
+                    iter: i,
+                },
+            );
 
             for s in &l.body {
                 match s.kind {
@@ -303,9 +327,9 @@ impl<'a> Executor<'a> {
                         if tag.is_pre_advanced() {
                             clock += self.config.overheads.s_nowait;
                         } else {
-                            let visible = *advances.get(&(var, tag.0)).ok_or(
-                                SimError::UnsatisfiableAwait { var, tag },
-                            )?;
+                            let visible = *advances
+                                .get(&(var, tag.0))
+                                .ok_or(SimError::UnsatisfiableAwait { var, tag })?;
                             if visible <= clock {
                                 clock += self.config.overheads.s_nowait;
                             } else {
@@ -318,25 +342,47 @@ impl<'a> Executor<'a> {
                     StatementKind::Advance { var } => {
                         clock += self.config.overheads.advance_op;
                         advances.insert((var, i as i64), clock);
-                        self.emit(&mut clock, pid, EventKind::Advance { var, tag: SyncTag(i as i64) });
+                        self.emit(
+                            &mut clock,
+                            pid,
+                            EventKind::Advance {
+                                var,
+                                tag: SyncTag(i as i64),
+                            },
+                        );
                     }
                 }
             }
 
-            self.emit(&mut clock, pid, EventKind::IterationEnd { loop_id: l.id, iter: i });
+            self.emit(
+                &mut clock,
+                pid,
+                EventKind::IterationEnd {
+                    loop_id: l.id,
+                    iter: i,
+                },
+            );
             proc_stats[proc].iterations += 1;
             clocks[proc] = clock;
         }
 
         // Loop-end barrier: every processor participates.
         for (q, clock) in clocks.iter_mut().enumerate() {
-            self.emit(clock, ProcessorId(q as u16), EventKind::BarrierEnter { barrier: l.barrier });
+            self.emit(
+                clock,
+                ProcessorId(q as u16),
+                EventKind::BarrierEnter { barrier: l.barrier },
+            );
         }
-        let release = clocks.iter().copied().max().expect("processors > 0");
+        let release = clocks.iter().copied().max().unwrap_or(loop_start);
         for (q, clock) in clocks.iter_mut().enumerate() {
             proc_stats[q].barrier_wait += release - *clock;
             *clock = release + self.config.overheads.barrier_release;
-            self.emit(clock, ProcessorId(q as u16), EventKind::BarrierExit { barrier: l.barrier });
+            self.emit(
+                clock,
+                ProcessorId(q as u16),
+                EventKind::BarrierExit { barrier: l.barrier },
+            );
         }
 
         // Busy time = in-loop wall time minus waiting.
@@ -486,8 +532,7 @@ mod tests {
         let p = doacross_program(16, 50, 10, 20);
         let config = test_config().with_overheads(OverheadSpec::uniform(Span::from_nanos(25)));
         let actual = run_actual(&p, &config).unwrap();
-        let measured =
-            run_measured(&p, &InstrumentationPlan::full_with_sync(), &config).unwrap();
+        let measured = run_measured(&p, &InstrumentationPlan::full_with_sync(), &config).unwrap();
         assert!(pair_sync_events(&measured.trace).is_ok());
         assert!(measured.trace.total_time() > actual.trace.total_time());
         assert!(measured.stats.instr_overhead > Span::ZERO);
@@ -499,7 +544,11 @@ mod tests {
         let p = doacross_program(4, 50, 10, 20);
         let r = run_measured(&p, &InstrumentationPlan::full_statements(), &test_config()).unwrap();
         assert_eq!(r.trace.sync_event_count(), 0);
-        assert!(r.trace.count_where(|k| matches!(k, EventKind::Statement { .. })) > 0);
+        assert!(
+            r.trace
+                .count_where(|k| matches!(k, EventKind::Statement { .. }))
+                > 0
+        );
     }
 
     #[test]
@@ -518,11 +567,19 @@ mod tests {
         let cfg = test_config().with_overheads(OverheadSpec::uniform(Span::from_nanos(100)));
         let m = run_measured(&p, &InstrumentationPlan::full_statements(), &cfg).unwrap();
         // Only the observable "head" statements appear.
-        assert_eq!(m.trace.count_where(|k| matches!(k, EventKind::Statement { .. })), 4);
+        assert_eq!(
+            m.trace
+                .count_where(|k| matches!(k, EventKind::Statement { .. })),
+            4
+        );
         // In the actual trace, unobservable statements do appear (ground
         // truth sees everything).
         let a = run_actual(&p, &cfg).unwrap();
-        assert_eq!(a.trace.count_where(|k| matches!(k, EventKind::Statement { .. })), 8);
+        assert_eq!(
+            a.trace
+                .count_where(|k| matches!(k, EventKind::Statement { .. })),
+            8
+        );
     }
 
     #[test]
@@ -538,7 +595,10 @@ mod tests {
         use std::collections::HashMap;
         let mut actual_times: HashMap<(EventKind, u64), Vec<ppa_trace::Time>> = HashMap::new();
         for e in a.trace.iter() {
-            actual_times.entry((e.kind, e.proc.0 as u64)).or_default().push(e.time);
+            actual_times
+                .entry((e.kind, e.proc.0 as u64))
+                .or_default()
+                .push(e.time);
         }
         for e in m.trace.iter() {
             let times = actual_times
@@ -568,7 +628,9 @@ mod tests {
         // Jitter-free skew via distance-1 chain is complex; use DOALL-like
         // behavior (await always pre-advanced with distance > trip_count).
         let p = b
-            .doacross(100, 9, |body| body.compute("w", 50).await_var(v, -100).advance(v))
+            .doacross(100, 9, |body| {
+                body.compute("w", 50).await_var(v, -100).advance(v)
+            })
             .build()
             .unwrap();
         let cyclic = run_actual(&p, &test_config()).unwrap();
@@ -580,8 +642,16 @@ mod tests {
         // 9 iterations, 4 procs: both give ceil(9/4)=3 rounds here; they
         // must at least agree on total iterations and assign differently
         // only if beneficial. Sanity: same iteration count.
-        let c: u64 = cyclic.stats.loops[0].per_proc.iter().map(|p| p.iterations).sum();
-        let s: u64 = selfsched.stats.loops[0].per_proc.iter().map(|p| p.iterations).sum();
+        let c: u64 = cyclic.stats.loops[0]
+            .per_proc
+            .iter()
+            .map(|p| p.iterations)
+            .sum();
+        let s: u64 = selfsched.stats.loops[0]
+            .per_proc
+            .iter()
+            .map(|p| p.iterations)
+            .sum();
         assert_eq!(c, 9);
         assert_eq!(s, 9);
     }
@@ -589,7 +659,11 @@ mod tests {
     #[test]
     fn static_block_assigns_contiguous_chunks() {
         let p = doacross_program(8, 1000, 1, 0);
-        let r = run_actual(&p, &test_config().with_schedule(SchedulePolicy::StaticBlock)).unwrap();
+        let r = run_actual(
+            &p,
+            &test_config().with_schedule(SchedulePolicy::StaticBlock),
+        )
+        .unwrap();
         let assign = &r.stats.loops[0].assignment;
         assert_eq!(
             assign.iter().map(|p| p.0).collect::<Vec<_>>(),
@@ -645,9 +719,13 @@ mod tests {
         let v1 = b.sync_var();
         let v2 = b.sync_var();
         let p = b
-            .doacross(1, 8, |body| body.compute("a", 100).await_var(v1, -1).advance(v1))
+            .doacross(1, 8, |body| {
+                body.compute("a", 100).await_var(v1, -1).advance(v1)
+            })
             .serial([("between", 500u64)])
-            .doacross(2, 12, |body| body.compute("b", 80).await_var(v2, -2).advance(v2))
+            .doacross(2, 12, |body| {
+                body.compute("b", 80).await_var(v2, -2).advance(v2)
+            })
             .build()
             .unwrap();
         let r = run_actual(&p, &test_config()).unwrap();
@@ -701,7 +779,9 @@ mod tests {
         let mut b = ProgramBuilder::new("tiny");
         let v = b.sync_var();
         let p = b
-            .doacross(1, 2, |body| body.compute("x", 50).await_var(v, -1).advance(v))
+            .doacross(1, 2, |body| {
+                body.compute("x", 50).await_var(v, -1).advance(v)
+            })
             .build()
             .unwrap();
         let r = run_actual(&p, &test_config()).unwrap();
@@ -739,7 +819,11 @@ mod tests {
         let actual = run_actual(&p, &cfg).unwrap();
         let measured = run_measured(&p, &InstrumentationPlan::full_statements(), &cfg).unwrap();
         let wait = |r: &SimResult| -> Span {
-            r.stats.loops[0].per_proc.iter().map(|ps| ps.sync_wait).sum()
+            r.stats.loops[0]
+                .per_proc
+                .iter()
+                .map(|ps| ps.sync_wait)
+                .sum()
         };
         assert!(
             wait(&measured) < wait(&actual),
@@ -773,7 +857,11 @@ mod tests {
         let actual = run_actual(&p, &cfg).unwrap();
         let measured = run_measured(&p, &InstrumentationPlan::full_statements(), &cfg).unwrap();
         let wait = |r: &SimResult| -> Span {
-            r.stats.loops[0].per_proc.iter().map(|ps| ps.sync_wait).sum()
+            r.stats.loops[0]
+                .per_proc
+                .iter()
+                .map(|ps| ps.sync_wait)
+                .sum()
         };
         assert!(
             wait(&measured) > wait(&actual),

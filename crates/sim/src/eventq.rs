@@ -104,7 +104,13 @@ impl<'a> EventQ<'a> {
         }
     }
 
-    fn emit(&mut self, clock: &mut Time, proc: ProcessorId, kind: EventKind, stmt: Option<&Statement>) {
+    fn emit(
+        &mut self,
+        clock: &mut Time,
+        proc: ProcessorId,
+        kind: EventKind,
+        stmt: Option<&Statement>,
+    ) {
         if let Some(overhead) = self.recording(&kind, stmt) {
             *clock += overhead;
             self.instr_total += overhead;
@@ -143,7 +149,10 @@ impl<'a> EventQ<'a> {
                         self.emit(
                             &mut t0,
                             p0,
-                            EventKind::IterationBegin { loop_id: l.id, iter: i },
+                            EventKind::IterationBegin {
+                                loop_id: l.id,
+                                iter: i,
+                            },
                             None,
                         );
                         for s in &l.body {
@@ -152,7 +161,10 @@ impl<'a> EventQ<'a> {
                         self.emit(
                             &mut t0,
                             p0,
-                            EventKind::IterationEnd { loop_id: l.id, iter: i },
+                            EventKind::IterationEnd {
+                                loop_id: l.id,
+                                iter: i,
+                            },
                             None,
                         );
                     }
@@ -167,8 +179,15 @@ impl<'a> EventQ<'a> {
         self.emit(&mut t0, p0, EventKind::ProgramEnd, None);
         self.stats.events = self.events.len();
         self.stats.instr_overhead = self.instr_total;
-        let kind = if self.plan.is_some() { TraceKind::Measured } else { TraceKind::Actual };
-        Ok(SimResult { trace: Trace::from_events(kind, self.events), stats: self.stats })
+        let kind = if self.plan.is_some() {
+            TraceKind::Measured
+        } else {
+            TraceKind::Actual
+        };
+        Ok(SimResult {
+            trace: Trace::from_events(kind, self.events),
+            stats: self.stats,
+        })
     }
 
     fn exec_compute(
@@ -198,7 +217,12 @@ impl<'a> EventQ<'a> {
         let loop_start = t0;
 
         let mut cursors: Vec<ProcCursor> = (0..p)
-            .map(|_| ProcCursor { iter: None, stmt: 0, clock: loop_start, at_barrier: false })
+            .map(|_| ProcCursor {
+                iter: None,
+                stmt: 0,
+                clock: loop_start,
+                at_barrier: false,
+            })
             .collect();
         let mut proc_stats = vec![ProcStats::default(); p];
         let mut vars: HashMap<SyncVarId, VarState> = HashMap::new();
@@ -249,7 +273,10 @@ impl<'a> EventQ<'a> {
                         self.emit(
                             &mut clock,
                             ProcessorId(q as u16),
-                            EventKind::IterationBegin { loop_id: l.id, iter: i },
+                            EventKind::IterationBegin {
+                                loop_id: l.id,
+                                iter: i,
+                            },
                             None,
                         );
                         proc_stats[q].iterations += 1;
@@ -285,15 +312,22 @@ impl<'a> EventQ<'a> {
                         // Emit awaitB only on first entry to this await
                         // (re-entry after a wake skips it).
                         let state = vars.entry(var).or_default();
-                        let already_waiting =
-                            state.waiters.get(&tag.0).map(|w| w.contains(&q)).unwrap_or(false);
+                        let already_waiting = state
+                            .waiters
+                            .get(&tag.0)
+                            .map(|w| w.contains(&q))
+                            .unwrap_or(false);
                         if already_waiting {
                             // Woken by the advance, whose visibility time
                             // is `now`. The event-queue engine lets a
                             // processor run ahead of wall time, so the
                             // advance may turn out to predate our awaitB —
                             // in which case the await never really waited.
-                            state.waiters.get_mut(&tag.0).expect("registered").retain(|&w| w != q);
+                            state
+                                .waiters
+                                .get_mut(&tag.0)
+                                .expect("registered")
+                                .retain(|&w| w != q);
                             let await_b = cursors[q].clock;
                             if now <= await_b {
                                 clock = await_b + self.config.overheads.s_nowait;
@@ -312,7 +346,12 @@ impl<'a> EventQ<'a> {
                             match visible {
                                 Some(v) if v <= clock => {
                                     clock += self.config.overheads.s_nowait;
-                                    self.emit(&mut clock, pid, EventKind::AwaitEnd { var, tag }, None);
+                                    self.emit(
+                                        &mut clock,
+                                        pid,
+                                        EventKind::AwaitEnd { var, tag },
+                                        None,
+                                    );
                                 }
                                 Some(v) => {
                                     // Advance known but in this proc's
@@ -321,7 +360,12 @@ impl<'a> EventQ<'a> {
                                     // recorded), treat as wait-until.
                                     proc_stats[q].sync_wait += v.saturating_since(clock);
                                     clock = v + self.config.overheads.s_wait;
-                                    self.emit(&mut clock, pid, EventKind::AwaitEnd { var, tag }, None);
+                                    self.emit(
+                                        &mut clock,
+                                        pid,
+                                        EventKind::AwaitEnd { var, tag },
+                                        None,
+                                    );
                                 }
                                 None => {
                                     // Block: register and stop; the
@@ -348,7 +392,10 @@ impl<'a> EventQ<'a> {
                         self.emit(
                             &mut clock,
                             pid,
-                            EventKind::Advance { var, tag: SyncTag(i as i64) },
+                            EventKind::Advance {
+                                var,
+                                tag: SyncTag(i as i64),
+                            },
                             None,
                         );
                     }
@@ -364,7 +411,15 @@ impl<'a> EventQ<'a> {
             }
 
             // Iteration finished.
-            self.emit(&mut clock, pid, EventKind::IterationEnd { loop_id: l.id, iter: i }, None);
+            self.emit(
+                &mut clock,
+                pid,
+                EventKind::IterationEnd {
+                    loop_id: l.id,
+                    iter: i,
+                },
+                None,
+            );
             cursors[q].iter = None;
             cursors[q].clock = clock;
             ready.push(Reverse((clock, q)));
@@ -379,7 +434,11 @@ impl<'a> EventQ<'a> {
         }
 
         // Barrier release.
-        let release = cursors.iter().map(|c| c.clock).max().expect("processors > 0");
+        let release = cursors
+            .iter()
+            .map(|c| c.clock)
+            .max()
+            .expect("processors > 0");
         for (q, cursor) in cursors.iter_mut().enumerate() {
             proc_stats[q].barrier_wait += release - cursor.clock;
             cursor.clock = release + self.config.overheads.barrier_release;
@@ -456,13 +515,19 @@ mod tests {
     #[test]
     fn engines_agree_on_blocked_doacross() {
         let p = doacross(64, 100, 400, 50);
-        for schedule in
-            [SchedulePolicy::StaticCyclic, SchedulePolicy::StaticBlock, SchedulePolicy::SelfScheduled]
-        {
+        for schedule in [
+            SchedulePolicy::StaticCyclic,
+            SchedulePolicy::StaticBlock,
+            SchedulePolicy::SelfScheduled,
+        ] {
             let c = cfg(schedule);
             let a1 = run_actual(&p, &c).unwrap();
             let a2 = run_actual_eventq(&p, &c).unwrap();
-            assert_eq!(signature(&a1), signature(&a2), "actual mismatch under {schedule:?}");
+            assert_eq!(
+                signature(&a1),
+                signature(&a2),
+                "actual mismatch under {schedule:?}"
+            );
             assert_eq!(a1.stats.loops[0].assignment, a2.stats.loops[0].assignment);
         }
     }
@@ -484,7 +549,11 @@ mod tests {
         let c = cfg(SchedulePolicy::StaticCyclic);
         let a1 = run_actual(&p, &c).unwrap();
         let a2 = run_actual_eventq(&p, &c).unwrap();
-        for (s1, s2) in a1.stats.loops[0].per_proc.iter().zip(&a2.stats.loops[0].per_proc) {
+        for (s1, s2) in a1.stats.loops[0]
+            .per_proc
+            .iter()
+            .zip(&a2.stats.loops[0].per_proc)
+        {
             assert_eq!(s1.sync_wait, s2.sync_wait);
             assert_eq!(s1.barrier_wait, s2.barrier_wait);
             assert_eq!(s1.iterations, s2.iterations);

@@ -53,7 +53,10 @@ pub fn jittered_cost(
 mod tests {
     use super::*;
 
-    const CFG: JitterConfig = JitterConfig { seed: 7, amplitude_permille: 200 };
+    const CFG: JitterConfig = JitterConfig {
+        seed: 7,
+        amplitude_permille: 200,
+    };
 
     #[test]
     fn no_config_is_identity() {
@@ -62,8 +65,14 @@ mod tests {
 
     #[test]
     fn zero_amplitude_is_identity() {
-        let cfg = JitterConfig { seed: 7, amplitude_permille: 0 };
-        assert_eq!(jittered_cost(Some(cfg), LoopId(0), 3, StatementId(1), 100), 100);
+        let cfg = JitterConfig {
+            seed: 7,
+            amplitude_permille: 0,
+        };
+        assert_eq!(
+            jittered_cost(Some(cfg), LoopId(0), 3, StatementId(1), 100),
+            100
+        );
     }
 
     #[test]
@@ -86,7 +95,11 @@ mod tests {
         let costs: std::collections::BTreeSet<u64> = (0..100)
             .map(|i| jittered_cost(Some(CFG), LoopId(0), i, StatementId(0), 10_000))
             .collect();
-        assert!(costs.len() > 20, "jitter should spread, got {} distinct values", costs.len());
+        assert!(
+            costs.len() > 20,
+            "jitter should spread, got {} distinct values",
+            costs.len()
+        );
     }
 
     #[test]
@@ -103,6 +116,9 @@ mod tests {
             .map(|i| jittered_cost(Some(CFG), LoopId(2), i, StatementId(3), 1_000))
             .sum();
         let mean = sum as f64 / n as f64;
-        assert!((mean - 1000.0).abs() < 20.0, "mean {mean} drifted from nominal");
+        assert!(
+            (mean - 1000.0).abs() < 20.0,
+            "mean {mean} drifted from nominal"
+        );
     }
 }

@@ -41,29 +41,31 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_workload() -> impl Strategy<Value = Program> {
-        (1u64..3, 1u64..40, 0u64..200, 0u64..80, 0u64..200).prop_map(
-            |(d, n, head, cs, tail)| {
-                let mut b = ProgramBuilder::new("prop");
-                let v = b.sync_var();
-                b.doacross(d, n, |body| {
-                    body.compute("head", head)
-                        .await_var(v, -(d as i64))
-                        .compute("cs", cs)
-                        .advance(v)
-                        .compute("tail", tail)
-                })
-                .build()
-                .unwrap()
-            },
-        )
+        (1u64..3, 1u64..40, 0u64..200, 0u64..80, 0u64..200).prop_map(|(d, n, head, cs, tail)| {
+            let mut b = ProgramBuilder::new("prop");
+            let v = b.sync_var();
+            b.doacross(d, n, |body| {
+                body.compute("head", head)
+                    .await_var(v, -(d as i64))
+                    .compute("cs", cs)
+                    .advance(v)
+                    .compute("tail", tail)
+            })
+            .build()
+            .unwrap()
+        })
     }
 
     fn arb_config() -> impl Strategy<Value = SimConfig> {
-        (1usize..9, 0u64..5_000, prop_oneof![
-            Just(SchedulePolicy::StaticCyclic),
-            Just(SchedulePolicy::StaticBlock),
-            Just(SchedulePolicy::SelfScheduled),
-        ])
+        (
+            1usize..9,
+            0u64..5_000,
+            prop_oneof![
+                Just(SchedulePolicy::StaticCyclic),
+                Just(SchedulePolicy::StaticBlock),
+                Just(SchedulePolicy::SelfScheduled),
+            ],
+        )
             .prop_map(|(p, oh, schedule)| SimConfig {
                 processors: p,
                 clock: ClockRate::GHZ_1,

@@ -98,7 +98,11 @@ mod tests {
             assignment: vec![],
         };
         assert_eq!(ls.span(), Span::from_nanos(50));
-        let stats = SimStats { loops: vec![ls.clone()], events: 0, instr_overhead: Span::ZERO };
+        let stats = SimStats {
+            loops: vec![ls.clone()],
+            events: 0,
+            instr_overhead: Span::ZERO,
+        };
         assert_eq!(stats.loop_stats(LoopId(3)), Some(&ls));
         assert_eq!(stats.loop_stats(LoopId(9)), None);
     }

@@ -277,7 +277,10 @@ mod tests {
         }
         let order = order.lock();
         assert_eq!(order.len(), N as usize);
-        assert!(order.windows(2).all(|w| w[0] + 1 == w[1]), "iterations ran out of order");
+        assert!(
+            order.windows(2).all(|w| w[0] + 1 == w[1]),
+            "iterations ran out of order"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct Semaphore {
 impl Semaphore {
     /// Creates a semaphore holding `permits` initial permits.
     pub fn new(permits: usize) -> Self {
-        Semaphore { permits: Mutex::new(permits), available: Condvar::new() }
+        Semaphore {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
     }
 
     /// Acquires one permit, blocking while none are available.

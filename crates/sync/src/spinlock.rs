@@ -31,7 +31,10 @@ pub struct SpinGuard<'a, T> {
 impl<T> SpinLock<T> {
     /// Creates an unlocked spin lock.
     pub const fn new(value: T) -> Self {
-        SpinLock { locked: AtomicBool::new(false), value: UnsafeCell::new(value) }
+        SpinLock {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
     }
 
     /// Acquires the lock, spinning (with periodic yields) until free.
@@ -50,7 +53,7 @@ impl<T> SpinLock<T> {
                 return SpinGuard { lock: self };
             }
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 core::hint::spin_loop();

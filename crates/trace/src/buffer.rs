@@ -126,7 +126,9 @@ mod tests {
             Time::from_nanos(ns),
             ProcessorId(0),
             seq,
-            EventKind::Statement { stmt: StatementId(seq as u32) },
+            EventKind::Statement {
+                stmt: StatementId(seq as u32),
+            },
         )
     }
 
@@ -161,25 +163,44 @@ mod tests {
     #[test]
     fn apply_buffers_is_per_processor() {
         let events = vec![
-            Event::new(Time::from_nanos(1), ProcessorId(0), 0, EventKind::ProgramBegin),
-            Event::new(Time::from_nanos(2), ProcessorId(1), 1, EventKind::ProgramBegin),
-            Event::new(Time::from_nanos(3), ProcessorId(0), 2, EventKind::ProgramEnd),
-            Event::new(Time::from_nanos(4), ProcessorId(1), 3, EventKind::ProgramEnd),
+            Event::new(
+                Time::from_nanos(1),
+                ProcessorId(0),
+                0,
+                EventKind::ProgramBegin,
+            ),
+            Event::new(
+                Time::from_nanos(2),
+                ProcessorId(1),
+                1,
+                EventKind::ProgramBegin,
+            ),
+            Event::new(
+                Time::from_nanos(3),
+                ProcessorId(0),
+                2,
+                EventKind::ProgramEnd,
+            ),
+            Event::new(
+                Time::from_nanos(4),
+                ProcessorId(1),
+                3,
+                EventKind::ProgramEnd,
+            ),
         ];
         let trace = Trace::from_events(TraceKind::Measured, events);
         // Capacity 1 per processor: each keeps its first event only.
         let (kept, dropped) = apply_buffers(&trace, 1, OverflowPolicy::DropNewest);
         assert_eq!(kept.len(), 2);
         assert_eq!(dropped, 2);
-        assert!(kept.iter().all(|e| matches!(e.kind, EventKind::ProgramBegin)));
+        assert!(kept
+            .iter()
+            .all(|e| matches!(e.kind, EventKind::ProgramBegin)));
     }
 
     #[test]
     fn generous_capacity_drops_nothing() {
-        let trace = Trace::from_events(
-            TraceKind::Measured,
-            (0..10).map(|i| ev(i, i)).collect(),
-        );
+        let trace = Trace::from_events(TraceKind::Measured, (0..10).map(|i| ev(i, i)).collect());
         let (kept, dropped) = apply_buffers(&trace, 100, OverflowPolicy::DropOldest);
         assert_eq!(kept.len(), 10);
         assert_eq!(dropped, 0);

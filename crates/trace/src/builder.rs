@@ -23,7 +23,10 @@ pub struct TraceBuilder {
 impl TraceBuilder {
     /// Starts a builder producing a trace of the given provenance.
     pub fn new(kind: TraceKind) -> Self {
-        TraceBuilder { kind, ..Default::default() }
+        TraceBuilder {
+            kind,
+            ..Default::default()
+        }
     }
 
     /// Starts a builder for a measured trace (the common test case).
@@ -60,37 +63,52 @@ impl TraceBuilder {
 
     /// Records a statement event at the current clock.
     pub fn stmt(mut self, id: u32) -> Self {
-        self.emit(EventKind::Statement { stmt: StatementId(id) });
+        self.emit(EventKind::Statement {
+            stmt: StatementId(id),
+        });
         self
     }
 
     /// Records an `advance` event.
     pub fn advance(mut self, var: u32, tag: i64) -> Self {
-        self.emit(EventKind::Advance { var: SyncVarId(var), tag: SyncTag(tag) });
+        self.emit(EventKind::Advance {
+            var: SyncVarId(var),
+            tag: SyncTag(tag),
+        });
         self
     }
 
     /// Records an `awaitB` event.
     pub fn await_begin(mut self, var: u32, tag: i64) -> Self {
-        self.emit(EventKind::AwaitBegin { var: SyncVarId(var), tag: SyncTag(tag) });
+        self.emit(EventKind::AwaitBegin {
+            var: SyncVarId(var),
+            tag: SyncTag(tag),
+        });
         self
     }
 
     /// Records an `awaitE` event.
     pub fn await_end(mut self, var: u32, tag: i64) -> Self {
-        self.emit(EventKind::AwaitEnd { var: SyncVarId(var), tag: SyncTag(tag) });
+        self.emit(EventKind::AwaitEnd {
+            var: SyncVarId(var),
+            tag: SyncTag(tag),
+        });
         self
     }
 
     /// Records a barrier-enter event.
     pub fn barrier_enter(mut self, id: u32) -> Self {
-        self.emit(EventKind::BarrierEnter { barrier: BarrierId(id) });
+        self.emit(EventKind::BarrierEnter {
+            barrier: BarrierId(id),
+        });
         self
     }
 
     /// Records a barrier-exit event.
     pub fn barrier_exit(mut self, id: u32) -> Self {
-        self.emit(EventKind::BarrierExit { barrier: BarrierId(id) });
+        self.emit(EventKind::BarrierExit {
+            barrier: BarrierId(id),
+        });
         self
     }
 
@@ -108,25 +126,35 @@ impl TraceBuilder {
 
     /// Records a loop-begin marker.
     pub fn loop_begin(mut self, id: u32) -> Self {
-        self.emit(EventKind::LoopBegin { loop_id: LoopId(id) });
+        self.emit(EventKind::LoopBegin {
+            loop_id: LoopId(id),
+        });
         self
     }
 
     /// Records a loop-end marker.
     pub fn loop_end(mut self, id: u32) -> Self {
-        self.emit(EventKind::LoopEnd { loop_id: LoopId(id) });
+        self.emit(EventKind::LoopEnd {
+            loop_id: LoopId(id),
+        });
         self
     }
 
     /// Records an iteration-begin marker.
     pub fn iter_begin(mut self, loop_id: u32, iter: u64) -> Self {
-        self.emit(EventKind::IterationBegin { loop_id: LoopId(loop_id), iter });
+        self.emit(EventKind::IterationBegin {
+            loop_id: LoopId(loop_id),
+            iter,
+        });
         self
     }
 
     /// Records an iteration-end marker.
     pub fn iter_end(mut self, loop_id: u32, iter: u64) -> Self {
-        self.emit(EventKind::IterationEnd { loop_id: LoopId(loop_id), iter });
+        self.emit(EventKind::IterationEnd {
+            loop_id: LoopId(loop_id),
+            iter,
+        });
         self
     }
 
@@ -144,8 +172,16 @@ mod tests {
     #[test]
     fn builder_produces_ordered_trace() {
         let t = TraceBuilder::measured()
-            .on(0).at(0).stmt(1).after(100).advance(0, 0)
-            .on(1).at(50).await_begin(0, 0).after(80).await_end(0, 0)
+            .on(0)
+            .at(0)
+            .stmt(1)
+            .after(100)
+            .advance(0, 0)
+            .on(1)
+            .at(50)
+            .await_begin(0, 0)
+            .after(80)
+            .await_end(0, 0)
             .build();
         assert!(t.is_totally_ordered());
         assert_eq!(t.len(), 4);
@@ -156,9 +192,15 @@ mod tests {
     #[test]
     fn per_processor_clocks_are_independent() {
         let t = TraceBuilder::measured()
-            .on(0).at(10).stmt(0)
-            .on(1).at(5).stmt(1)
-            .on(0).after(1).stmt(2)
+            .on(0)
+            .at(10)
+            .stmt(0)
+            .on(1)
+            .at(5)
+            .stmt(1)
+            .on(0)
+            .after(1)
+            .stmt(2)
             .build();
         let times: Vec<u64> = t.iter().map(|e| e.time.as_nanos()).collect();
         assert_eq!(times, vec![5, 10, 11]);
@@ -167,10 +209,20 @@ mod tests {
     #[test]
     fn markers_and_barriers() {
         let t = TraceBuilder::new(TraceKind::Actual)
-            .on(0).at(0).program_begin().loop_begin(0)
-            .iter_begin(0, 0).after(10).iter_end(0, 0)
-            .after(1).barrier_enter(0).after(1).barrier_exit(0)
-            .after(1).loop_end(0).program_end()
+            .on(0)
+            .at(0)
+            .program_begin()
+            .loop_begin(0)
+            .iter_begin(0, 0)
+            .after(10)
+            .iter_end(0, 0)
+            .after(1)
+            .barrier_enter(0)
+            .after(1)
+            .barrier_exit(0)
+            .after(1)
+            .loop_end(0)
+            .program_end()
             .build();
         assert_eq!(t.len(), 8);
         assert!(pair_sync_events(&t).is_ok());

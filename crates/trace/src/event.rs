@@ -57,7 +57,10 @@ impl EventKind {
     /// True for barrier kinds.
     #[inline]
     pub fn is_barrier(&self) -> bool {
-        matches!(self, EventKind::BarrierEnter { .. } | EventKind::BarrierExit { .. })
+        matches!(
+            self,
+            EventKind::BarrierEnter { .. } | EventKind::BarrierExit { .. }
+        )
     }
 
     /// True for structural markers (program/loop/iteration boundaries).
@@ -162,7 +165,12 @@ impl Event {
     /// Creates an event; `seq` is usually assigned by [`crate::Trace`]
     /// builders.
     pub fn new(time: Time, proc: ProcessorId, seq: u64, kind: EventKind) -> Self {
-        Event { time, proc, seq, kind }
+        Event {
+            time,
+            proc,
+            seq,
+            kind,
+        }
     }
 
     /// The total-order key used throughout the analyses: time, then
@@ -189,23 +197,43 @@ mod tests {
 
     #[test]
     fn kind_predicates() {
-        let adv = EventKind::Advance { var: SyncVarId(0), tag: SyncTag(3) };
-        let awb = EventKind::AwaitBegin { var: SyncVarId(0), tag: SyncTag(3) };
-        let awe = EventKind::AwaitEnd { var: SyncVarId(0), tag: SyncTag(3) };
-        let stmt = EventKind::Statement { stmt: StatementId(1) };
-        let bar = EventKind::BarrierEnter { barrier: BarrierId(0) };
+        let adv = EventKind::Advance {
+            var: SyncVarId(0),
+            tag: SyncTag(3),
+        };
+        let awb = EventKind::AwaitBegin {
+            var: SyncVarId(0),
+            tag: SyncTag(3),
+        };
+        let awe = EventKind::AwaitEnd {
+            var: SyncVarId(0),
+            tag: SyncTag(3),
+        };
+        let stmt = EventKind::Statement {
+            stmt: StatementId(1),
+        };
+        let bar = EventKind::BarrierEnter {
+            barrier: BarrierId(0),
+        };
 
         assert!(adv.is_sync() && awb.is_sync() && awe.is_sync());
         assert!(!stmt.is_sync() && !bar.is_sync());
         assert!(bar.is_barrier());
         assert!(EventKind::ProgramBegin.is_marker());
-        assert!(EventKind::IterationEnd { loop_id: LoopId(0), iter: 2 }.is_marker());
+        assert!(EventKind::IterationEnd {
+            loop_id: LoopId(0),
+            iter: 2
+        }
+        .is_marker());
         assert!(!stmt.is_marker());
     }
 
     #[test]
     fn sync_accessors() {
-        let adv = EventKind::Advance { var: SyncVarId(7), tag: SyncTag(-1) };
+        let adv = EventKind::Advance {
+            var: SyncVarId(7),
+            tag: SyncTag(-1),
+        };
         assert_eq!(adv.sync_var(), Some(SyncVarId(7)));
         assert_eq!(adv.sync_tag(), Some(SyncTag(-1)));
         assert_eq!(EventKind::ProgramEnd.sync_var(), None);
@@ -218,7 +246,10 @@ mod tests {
             Time::from_micros(2),
             ProcessorId(1),
             9,
-            EventKind::AwaitEnd { var: SyncVarId(0), tag: SyncTag(4) },
+            EventKind::AwaitEnd {
+                var: SyncVarId(0),
+                tag: SyncTag(4),
+            },
         );
         assert_eq!(e.to_string(), "[2.000us P1 awaitE(A0,#4)]");
     }
@@ -241,7 +272,10 @@ mod tests {
             Time::from_nanos(123),
             ProcessorId(3),
             42,
-            EventKind::Advance { var: SyncVarId(1), tag: SyncTag(10) },
+            EventKind::Advance {
+                var: SyncVarId(1),
+                tag: SyncTag(10),
+            },
         );
         let json = serde_json::to_string(&e).unwrap();
         let back: Event = serde_json::from_str(&json).unwrap();

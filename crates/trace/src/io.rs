@@ -10,11 +10,13 @@ use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 #[derive(Serialize, Deserialize)]
-struct Header {
-    format: String,
-    kind: TraceKind,
-    events: usize,
+pub(crate) struct Header {
+    pub(crate) format: String,
+    pub(crate) kind: TraceKind,
+    pub(crate) events: usize,
 }
+
+pub(crate) const FORMAT_NAME: &str = "ppa-trace-v1";
 
 /// Errors from trace I/O.
 #[derive(Debug)]
@@ -50,16 +52,20 @@ impl From<io::Error> for IoError {
 pub fn write_jsonl<W: Write>(trace: &Trace, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
     let header = Header {
-        format: "ppa-trace-v1".to_string(),
+        format: FORMAT_NAME.to_string(),
         kind: trace.kind(),
         events: trace.len(),
     };
-    serde_json::to_writer(&mut w, &header)
-        .map_err(|e| IoError::Parse { line: 0, message: e.to_string() })?;
+    serde_json::to_writer(&mut w, &header).map_err(|e| IoError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })?;
     w.write_all(b"\n")?;
     for e in trace.iter() {
-        serde_json::to_writer(&mut w, e)
-            .map_err(|err| IoError::Parse { line: 0, message: err.to_string() })?;
+        serde_json::to_writer(&mut w, e).map_err(|err| IoError::Parse {
+            line: 0,
+            message: err.to_string(),
+        })?;
         w.write_all(b"\n")?;
     }
     w.flush()?;
@@ -72,10 +78,13 @@ pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, IoError> {
     let header_line = lines
         .next()
         .ok_or_else(|| IoError::BadHeader("empty input".to_string()))??;
-    let header: Header = serde_json::from_str(&header_line)
-        .map_err(|e| IoError::BadHeader(e.to_string()))?;
-    if header.format != "ppa-trace-v1" {
-        return Err(IoError::BadHeader(format!("unknown format {:?}", header.format)));
+    let header: Header =
+        serde_json::from_str(&header_line).map_err(|e| IoError::BadHeader(e.to_string()))?;
+    if header.format != FORMAT_NAME {
+        return Err(IoError::BadHeader(format!(
+            "unknown format {:?}",
+            header.format
+        )));
     }
 
     let mut events = Vec::with_capacity(header.events);
@@ -84,8 +93,10 @@ pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, IoError> {
         if line.trim().is_empty() {
             continue;
         }
-        let event: Event = serde_json::from_str(&line)
-            .map_err(|e| IoError::Parse { line: i + 2, message: e.to_string() })?;
+        let event: Event = serde_json::from_str(&line).map_err(|e| IoError::Parse {
+            line: i + 2,
+            message: e.to_string(),
+        })?;
         events.push(event);
     }
     Ok(Trace::from_events(header.kind, events))
@@ -125,13 +136,18 @@ mod tests {
                     Time::from_nanos(5),
                     ProcessorId(0),
                     0,
-                    EventKind::Statement { stmt: StatementId(3) },
+                    EventKind::Statement {
+                        stmt: StatementId(3),
+                    },
                 ),
                 Event::new(
                     Time::from_nanos(9),
                     ProcessorId(1),
                     1,
-                    EventKind::Advance { var: SyncVarId(0), tag: SyncTag(2) },
+                    EventKind::Advance {
+                        var: SyncVarId(0),
+                        tag: SyncTag(2),
+                    },
                 ),
             ],
         )

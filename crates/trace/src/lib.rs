@@ -31,6 +31,7 @@ mod event;
 mod ids;
 mod io;
 mod overhead;
+mod stream;
 mod time;
 mod trace;
 mod validate;
@@ -41,9 +42,12 @@ pub use event::{Event, EventKind};
 pub use ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
 pub use io::{read_jsonl, write_csv, write_jsonl, IoError};
 pub use overhead::OverheadSpec;
+pub use stream::{split_by_processor, MergedStreams, Shard, TraceStreamReader, TraceStreamWriter};
 pub use time::{ClockRate, Span, Time};
 pub use trace::{merge_streams, Trace, TraceKind};
-pub use validate::{pair_sync_events, pair_sync_events_strict, AwaitPair, BarrierEpisode, SyncIndex, TraceError};
+pub use validate::{
+    pair_sync_events, pair_sync_events_strict, AwaitPair, BarrierEpisode, SyncIndex, TraceError,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -52,17 +56,20 @@ mod proptests {
 
     fn arb_kind() -> impl Strategy<Value = EventKind> {
         prop_oneof![
-            (0u32..8).prop_map(|s| EventKind::Statement { stmt: StatementId(s) }),
+            (0u32..8).prop_map(|s| EventKind::Statement {
+                stmt: StatementId(s)
+            }),
             Just(EventKind::ProgramBegin),
-            (0u32..4, 0u64..16)
-                .prop_map(|(l, i)| EventKind::IterationBegin { loop_id: LoopId(l), iter: i }),
+            (0u32..4, 0u64..16).prop_map(|(l, i)| EventKind::IterationBegin {
+                loop_id: LoopId(l),
+                iter: i
+            }),
         ]
     }
 
     fn arb_event() -> impl Strategy<Value = Event> {
-        (0u64..10_000, 0u16..8, 0u64..1_000, arb_kind()).prop_map(|(t, p, s, k)| {
-            Event::new(Time::from_nanos(t), ProcessorId(p), s, k)
-        })
+        (0u64..10_000, 0u16..8, 0u64..1_000, arb_kind())
+            .prop_map(|(t, p, s, k)| Event::new(Time::from_nanos(t), ProcessorId(p), s, k))
     }
 
     proptest! {

@@ -162,30 +162,46 @@ mod tests {
     fn instr_overhead_dispatches_by_kind() {
         let spec = OverheadSpec::alliant_default();
         assert_eq!(
-            spec.instr_overhead(&EventKind::Statement { stmt: StatementId(1) }),
+            spec.instr_overhead(&EventKind::Statement {
+                stmt: StatementId(1)
+            }),
             spec.statement_event
         );
         assert_eq!(
-            spec.instr_overhead(&EventKind::Advance { var: SyncVarId(0), tag: SyncTag(0) }),
+            spec.instr_overhead(&EventKind::Advance {
+                var: SyncVarId(0),
+                tag: SyncTag(0)
+            }),
             spec.advance_instr
         );
         assert_eq!(
-            spec.instr_overhead(&EventKind::AwaitBegin { var: SyncVarId(0), tag: SyncTag(0) }),
+            spec.instr_overhead(&EventKind::AwaitBegin {
+                var: SyncVarId(0),
+                tag: SyncTag(0)
+            }),
             spec.await_begin_instr
         );
         assert_eq!(
-            spec.instr_overhead(&EventKind::AwaitEnd { var: SyncVarId(0), tag: SyncTag(0) }),
+            spec.instr_overhead(&EventKind::AwaitEnd {
+                var: SyncVarId(0),
+                tag: SyncTag(0)
+            }),
             spec.await_end_instr
         );
         assert_eq!(
-            spec.instr_overhead(&EventKind::BarrierEnter { barrier: BarrierId(0) }),
+            spec.instr_overhead(&EventKind::BarrierEnter {
+                barrier: BarrierId(0)
+            }),
             spec.barrier_instr
         );
         assert_eq!(
             spec.instr_overhead(&EventKind::LoopBegin { loop_id: LoopId(0) }),
             spec.marker_event
         );
-        assert_eq!(spec.instr_overhead(&EventKind::ProgramBegin), spec.marker_event);
+        assert_eq!(
+            spec.instr_overhead(&EventKind::ProgramBegin),
+            spec.marker_event
+        );
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! Streaming trace I/O: bounded-memory JSONL reading and writing,
+//! per-processor shard splitting, and k-way order-preserving merging.
+//!
+//! [`read_jsonl`](crate::read_jsonl)/[`write_jsonl`](crate::write_jsonl)
+//! materialize whole traces; the types here process one event at a time so
+//! a trace never has to fit in memory:
+//!
+//! - [`TraceStreamReader`] iterates the events of a JSONL trace without
+//!   collecting them (the same format, errors, and line numbering as
+//!   [`read_jsonl`](crate::read_jsonl));
+//! - [`TraceStreamWriter`] emits the JSONL format incrementally and
+//!   byte-identically to [`write_jsonl`](crate::write_jsonl);
+//! - [`split_by_processor`] fans a stream out into one shard per
+//!   processor, holding only the shard writers;
+//! - [`MergedStreams`] performs a k-way merge of sorted event streams
+//!   (e.g. shards) back into the global total order, holding one
+//!   lookahead event per stream.
+//!
+//! Splitting then merging round-trips exactly: per-processor subsequences
+//! preserve the total order, and the merge is stable (ties in
+//! [`Event::order_key`] resolve in stream-index order).
+
+use crate::event::Event;
+use crate::ids::ProcessorId;
+use crate::io::{Header, IoError, FORMAT_NAME};
+use crate::trace::TraceKind;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Incremental writer for the JSONL trace format.
+///
+/// Produces output byte-identical to [`write_jsonl`](crate::write_jsonl)
+/// when given the same kind, event count, and events, but needs only the
+/// current event in memory. The header's event count is advisory (readers
+/// use it to pre-size buffers); a writer that cannot know the final count
+/// up front may pass `0`.
+pub struct TraceStreamWriter<W: Write> {
+    sink: BufWriter<W>,
+    written: usize,
+}
+
+impl<W: Write> TraceStreamWriter<W> {
+    /// Starts a stream of `kind` announcing `events` upcoming events.
+    pub fn new(writer: W, kind: TraceKind, events: usize) -> Result<Self, IoError> {
+        let mut sink = BufWriter::new(writer);
+        let header = Header {
+            format: FORMAT_NAME.to_string(),
+            kind,
+            events,
+        };
+        serde_json::to_writer(&mut sink, &header).map_err(|e| IoError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        sink.write_all(b"\n")?;
+        Ok(TraceStreamWriter { sink, written: 0 })
+    }
+
+    /// Appends one event line.
+    pub fn write_event(&mut self, event: &Event) -> Result<(), IoError> {
+        serde_json::to_writer(&mut self.sink, event).map_err(|e| IoError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        self.sink.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// How many events have been written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(self) -> Result<W, IoError> {
+        self.sink
+            .into_inner()
+            .map_err(|e| IoError::Io(e.into_error()))
+    }
+}
+
+/// Incremental reader for the JSONL trace format.
+///
+/// Parses the header eagerly, then yields one event per call through the
+/// [`Iterator`] implementation — the whole trace never resides in memory.
+/// Accepts exactly what [`read_jsonl`](crate::read_jsonl) accepts: blank
+/// lines are skipped, malformed lines yield [`IoError::Parse`] with the
+/// same 1-based line number, and a missing or foreign header yields
+/// [`IoError::BadHeader`].
+pub struct TraceStreamReader<R: Read> {
+    lines: std::io::Lines<BufReader<R>>,
+    kind: TraceKind,
+    expected: usize,
+    /// 1-based number of the last line consumed (the header is line 1).
+    line: usize,
+    failed: bool,
+}
+
+impl<R: Read> TraceStreamReader<R> {
+    /// Opens a stream, reading and validating the header line.
+    pub fn new(reader: R) -> Result<Self, IoError> {
+        let mut lines = BufReader::new(reader).lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| IoError::BadHeader("empty input".to_string()))??;
+        let header: Header =
+            serde_json::from_str(&header_line).map_err(|e| IoError::BadHeader(e.to_string()))?;
+        if header.format != FORMAT_NAME {
+            return Err(IoError::BadHeader(format!(
+                "unknown format {:?}",
+                header.format
+            )));
+        }
+        Ok(TraceStreamReader {
+            lines,
+            kind: header.kind,
+            expected: header.events,
+            line: 1,
+            failed: false,
+        })
+    }
+
+    /// The trace kind announced by the header.
+    pub fn kind(&self) -> TraceKind {
+        self.kind
+    }
+
+    /// The event count announced by the header (advisory).
+    pub fn expected_events(&self) -> usize {
+        self.expected
+    }
+}
+
+impl<R: Read> Iterator for TraceStreamReader<R> {
+    type Item = Result<Event, IoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(IoError::Io(e)));
+                }
+            };
+            self.line += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(serde_json::from_str(&line).map_err(|e| {
+                self.failed = true;
+                IoError::Parse {
+                    line: self.line,
+                    message: e.to_string(),
+                }
+            }));
+        }
+    }
+}
+
+/// One finished per-processor shard from [`split_by_processor`].
+#[derive(Debug)]
+pub struct Shard<W> {
+    /// The flushed sink the shard was written to.
+    pub sink: W,
+    /// How many events the shard holds.
+    pub events: usize,
+}
+
+/// Fans a sorted event stream out into one JSONL shard per processor.
+///
+/// `make_sink` is called once per processor, on first sight, to open that
+/// shard's output; only the shard writers are held in memory. Each shard
+/// receives the processor's events in stream order, so shards of a totally
+/// ordered trace are themselves totally ordered and can be recombined with
+/// [`MergedStreams`]. Returns the flushed sinks with per-shard counts.
+///
+/// Shard headers carry an advisory event count of `0` (unknowable in a
+/// single pass); readers treat the count as a buffer-sizing hint only.
+pub fn split_by_processor<I, W, F>(
+    events: I,
+    kind: TraceKind,
+    mut make_sink: F,
+) -> Result<BTreeMap<ProcessorId, Shard<W>>, IoError>
+where
+    I: IntoIterator<Item = Result<Event, IoError>>,
+    W: Write,
+    F: FnMut(ProcessorId) -> Result<W, IoError>,
+{
+    let mut shards: BTreeMap<ProcessorId, TraceStreamWriter<W>> = BTreeMap::new();
+    for event in events {
+        let event = event?;
+        let shard = match shards.entry(event.proc) {
+            std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(TraceStreamWriter::new(make_sink(event.proc)?, kind, 0)?)
+            }
+        };
+        shard.write_event(&event)?;
+    }
+    let mut out = BTreeMap::new();
+    for (proc, shard) in shards {
+        let events = shard.written();
+        out.insert(
+            proc,
+            Shard {
+                sink: shard.finish()?,
+                events,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// An entry in the merge heap: the head event of one stream.
+struct Head {
+    key: (crate::time::Time, u64, ProcessorId),
+    stream: usize,
+    event: Event,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        (self.key, self.stream) == (other.key, other.stream)
+    }
+}
+impl Eq for Head {}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, self.stream).cmp(&(other.key, other.stream))
+    }
+}
+
+/// K-way merge of sorted event streams into the global total order.
+///
+/// Holds exactly one lookahead event per live stream, so merging `k`
+/// shards of an `n`-event trace takes `O(k)` memory and `O(n log k)`
+/// time. Input streams must each be sorted by [`Event::order_key`];
+/// ties between streams resolve in favor of the lower stream index, which
+/// makes merging per-processor shards of a trace reproduce the original
+/// trace exactly (shard splitting preserves relative order).
+pub struct MergedStreams<I: Iterator<Item = Result<Event, IoError>>> {
+    streams: Vec<I>,
+    heap: BinaryHeap<Reverse<Head>>,
+    started: bool,
+    pending_error: Option<IoError>,
+}
+
+impl<I: Iterator<Item = Result<Event, IoError>>> MergedStreams<I> {
+    /// Prepares a merge over `streams`; no input is consumed until the
+    /// first call to [`Iterator::next`].
+    pub fn new(streams: Vec<I>) -> Self {
+        MergedStreams {
+            streams,
+            heap: BinaryHeap::new(),
+            started: false,
+            pending_error: None,
+        }
+    }
+
+    fn pull(&mut self, stream: usize) {
+        match self.streams[stream].next() {
+            Some(Ok(event)) => self.heap.push(Reverse(Head {
+                key: event.order_key(),
+                stream,
+                event,
+            })),
+            // Surface the first error on the next pull; the stream is
+            // dropped and later errors are subsumed.
+            Some(Err(e)) if self.pending_error.is_none() => self.pending_error = Some(e),
+            Some(Err(_)) | None => {}
+        }
+    }
+}
+
+impl<I: Iterator<Item = Result<Event, IoError>>> Iterator for MergedStreams<I> {
+    type Item = Result<Event, IoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.streams.len() {
+                self.pull(i);
+            }
+        }
+        if let Some(e) = self.pending_error.take() {
+            return Some(Err(e));
+        }
+        let Reverse(head) = self.heap.pop()?;
+        self.pull(head.stream);
+        if let Some(e) = self.pending_error.take() {
+            // Deliver errors as soon as discovered, ahead of buffered events.
+            self.heap.push(Reverse(Head {
+                key: head.key,
+                stream: head.stream,
+                event: head.event,
+            }));
+            return Some(Err(e));
+        }
+        Some(Ok(head.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::io::{read_jsonl, write_jsonl};
+    use crate::trace::Trace;
+
+    fn sample() -> Trace {
+        TraceBuilder::measured()
+            .on(0)
+            .at(10)
+            .stmt(0)
+            .at(40)
+            .advance(0, 0)
+            .at(90)
+            .stmt(1)
+            .on(1)
+            .at(20)
+            .stmt(2)
+            .at(50)
+            .await_begin(0, 0)
+            .at(60)
+            .await_end(0, 0)
+            .on(2)
+            .at(30)
+            .stmt(3)
+            .at(70)
+            .stmt(4)
+            .build()
+    }
+
+    #[test]
+    fn writer_is_byte_identical_to_write_jsonl() {
+        let t = sample();
+        let mut batch = Vec::new();
+        write_jsonl(&t, &mut batch).unwrap();
+
+        let mut w = TraceStreamWriter::new(Vec::new(), t.kind(), t.len()).unwrap();
+        for e in t.iter() {
+            w.write_event(e).unwrap();
+        }
+        assert_eq!(w.written(), t.len());
+        let streamed = w.finish().unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn reader_round_trips() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+
+        let r = TraceStreamReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.kind(), t.kind());
+        assert_eq!(r.expected_events(), t.len());
+        let events: Vec<Event> = r.map(|e| e.unwrap()).collect();
+        assert_eq!(events, t.events());
+    }
+
+    #[test]
+    fn reader_rejects_bad_header() {
+        assert!(matches!(
+            TraceStreamReader::new(&b""[..]),
+            Err(IoError::BadHeader(_))
+        ));
+        let foreign = br#"{"format":"other","kind":"Measured","events":0}"#;
+        assert!(matches!(
+            TraceStreamReader::new(&foreign[..]),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn reader_reports_parse_errors_with_read_jsonl_line_numbers() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample(), &mut buf).unwrap();
+        buf.extend_from_slice(b"{not json}\n");
+        let n = sample().len();
+
+        let batch_line = match read_jsonl(buf.as_slice()) {
+            Err(IoError::Parse { line, .. }) => line,
+            other => panic!("expected parse error, got {other:?}"),
+        };
+        let mut r = TraceStreamReader::new(buf.as_slice()).unwrap();
+        for _ in 0..n {
+            r.next().unwrap().unwrap();
+        }
+        match r.next() {
+            Some(Err(IoError::Parse { line, .. })) => assert_eq!(line, batch_line),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // A failed reader fuses.
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn reader_skips_blank_lines() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample(), &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let r = TraceStreamReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.count(), sample().len());
+    }
+
+    #[test]
+    fn split_then_merge_reproduces_the_trace() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+
+        let reader = TraceStreamReader::new(buf.as_slice()).unwrap();
+        let shards = split_by_processor(reader, t.kind(), |_proc| Ok(Vec::new())).unwrap();
+        assert_eq!(shards.len(), 3);
+        let total: usize = shards.values().map(|s| s.events).sum();
+        assert_eq!(total, t.len());
+
+        // Each shard is a valid single-processor trace.
+        let readers: Vec<_> = shards
+            .values()
+            .map(|s| TraceStreamReader::new(s.sink.as_slice()).unwrap())
+            .collect();
+        let merged: Vec<Event> = MergedStreams::new(readers).map(|e| e.unwrap()).collect();
+        assert_eq!(merged, t.events());
+    }
+
+    #[test]
+    fn merge_is_stable_across_key_ties() {
+        // Two streams with an identical order key; the lower stream index
+        // must win, matching a stable global sort.
+        let a = TraceBuilder::measured().on(0).at(10).stmt(0).build();
+        let b = TraceBuilder::measured().on(0).at(10).stmt(1).build();
+        let (mut ab, mut bb) = (Vec::new(), Vec::new());
+        write_jsonl(&a, &mut ab).unwrap();
+        write_jsonl(&b, &mut bb).unwrap();
+        let merged: Vec<Event> = MergedStreams::new(vec![
+            TraceStreamReader::new(ab.as_slice()).unwrap(),
+            TraceStreamReader::new(bb.as_slice()).unwrap(),
+        ])
+        .map(|e| e.unwrap())
+        .collect();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], a.events()[0]);
+        assert_eq!(merged[1], b.events()[0]);
+    }
+
+    #[test]
+    fn merge_surfaces_stream_errors() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample(), &mut buf).unwrap();
+        buf.extend_from_slice(b"{broken\n");
+        let reader = TraceStreamReader::new(buf.as_slice()).unwrap();
+        let outcomes: Vec<_> = MergedStreams::new(vec![reader]).collect();
+        let errors = outcomes.iter().filter(|r| r.is_err()).count();
+        assert_eq!(errors, 1);
+        let events = outcomes.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(events, sample().len());
+    }
+}

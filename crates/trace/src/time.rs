@@ -308,7 +308,9 @@ pub struct ClockRate {
 
 impl ClockRate {
     /// ~5.9 MHz computational element clock of the Alliant FX/80 (170 ns).
-    pub const ALLIANT_FX80: ClockRate = ClockRate { ns_per_cycle: 170.0 };
+    pub const ALLIANT_FX80: ClockRate = ClockRate {
+        ns_per_cycle: 170.0,
+    };
 
     /// A convenient 1 GHz rate (1 cycle == 1 ns) for tests.
     pub const GHZ_1: ClockRate = ClockRate { ns_per_cycle: 1.0 };
@@ -328,7 +330,9 @@ impl ClockRate {
     /// Creates a clock rate from a frequency in Hz.
     pub fn from_hz(hz: f64) -> Self {
         assert!(hz.is_finite() && hz > 0.0, "frequency must be positive");
-        ClockRate { ns_per_cycle: 1e9 / hz }
+        ClockRate {
+            ns_per_cycle: 1e9 / hz,
+        }
     }
 
     /// The cycle period in nanoseconds.
@@ -375,7 +379,10 @@ mod tests {
         assert_eq!(early.saturating_since(late), Span::ZERO);
         assert_eq!(late.saturating_since(early), Span::from_nanos(4));
         assert_eq!(early.saturating_sub_span(Span::from_nanos(100)), Time::ZERO);
-        assert_eq!(Span::from_nanos(3).saturating_sub(Span::from_nanos(7)), Span::ZERO);
+        assert_eq!(
+            Span::from_nanos(3).saturating_sub(Span::from_nanos(7)),
+            Span::ZERO
+        );
     }
 
     #[test]
@@ -434,7 +441,13 @@ mod tests {
         let b = Time::from_nanos(2);
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
-        assert_eq!(Span::from_nanos(1).max(Span::from_nanos(2)), Span::from_nanos(2));
-        assert_eq!(Span::from_nanos(1).min(Span::from_nanos(2)), Span::from_nanos(1));
+        assert_eq!(
+            Span::from_nanos(1).max(Span::from_nanos(2)),
+            Span::from_nanos(2)
+        );
+        assert_eq!(
+            Span::from_nanos(1).min(Span::from_nanos(2)),
+            Span::from_nanos(1)
+        );
     }
 }

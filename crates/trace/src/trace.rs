@@ -37,7 +37,10 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace of the given provenance.
     pub fn new(kind: TraceKind) -> Self {
-        Trace { kind, events: Vec::new() }
+        Trace {
+            kind,
+            events: Vec::new(),
+        }
     }
 
     /// Builds a trace from events, sorting them into total order.
@@ -160,7 +163,9 @@ impl Trace {
     /// Checks that the container's order invariant holds (used by tests and
     /// after deserialization).
     pub fn is_totally_ordered(&self) -> bool {
-        self.events.windows(2).all(|w| w[0].order_key() <= w[1].order_key())
+        self.events
+            .windows(2)
+            .all(|w| w[0].order_key() <= w[1].order_key())
     }
 
     /// Returns the sub-trace of events with `from <= time < to` (total
@@ -172,19 +177,38 @@ impl Trace {
             .filter(|e| e.time >= from && e.time < to)
             .copied()
             .collect();
-        Trace { kind: self.kind, events }
+        Trace {
+            kind: self.kind,
+            events,
+        }
     }
 
     /// Returns the sub-trace of one processor's events.
     pub fn filter_proc(&self, proc: ProcessorId) -> Trace {
-        let events = self.events.iter().filter(|e| e.proc == proc).copied().collect();
-        Trace { kind: self.kind, events }
+        let events = self
+            .events
+            .iter()
+            .filter(|e| e.proc == proc)
+            .copied()
+            .collect();
+        Trace {
+            kind: self.kind,
+            events,
+        }
     }
 
     /// Returns the sub-trace of events whose kind satisfies `pred`.
     pub fn filter_kind(&self, mut pred: impl FnMut(&EventKind) -> bool) -> Trace {
-        let events = self.events.iter().filter(|e| pred(&e.kind)).copied().collect();
-        Trace { kind: self.kind, events }
+        let events = self
+            .events
+            .iter()
+            .filter(|e| pred(&e.kind))
+            .copied()
+            .collect();
+        Trace {
+            kind: self.kind,
+            events,
+        }
     }
 
     /// Shifts all timestamps so the first event is at [`Time::ZERO`].
@@ -232,13 +256,18 @@ mod tests {
             Time::from_nanos(ns),
             ProcessorId(proc),
             seq,
-            EventKind::Statement { stmt: StatementId(0) },
+            EventKind::Statement {
+                stmt: StatementId(0),
+            },
         )
     }
 
     #[test]
     fn from_events_sorts() {
-        let t = Trace::from_events(TraceKind::Measured, vec![ev(30, 0, 2), ev(10, 1, 0), ev(20, 0, 1)]);
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![ev(30, 0, 2), ev(10, 1, 0), ev(20, 0, 1)],
+        );
         assert!(t.is_totally_ordered());
         assert_eq!(t.start_time(), Some(Time::from_nanos(10)));
         assert_eq!(t.end_time(), Some(Time::from_nanos(30)));
@@ -271,7 +300,10 @@ mod tests {
         let by_proc = t.per_processor();
         assert_eq!(by_proc[&ProcessorId(0)], vec![0, 2]);
         assert_eq!(by_proc[&ProcessorId(1)], vec![1]);
-        assert_eq!(t.processors(), vec![ProcessorId(0), ProcessorId(1), ProcessorId(2)]);
+        assert_eq!(
+            t.processors(),
+            vec![ProcessorId(0), ProcessorId(1), ProcessorId(2)]
+        );
         assert_eq!(t.thread(ProcessorId(0)).count(), 2);
     }
 
@@ -347,10 +379,16 @@ mod tests {
             Time::from_nanos(2),
             ProcessorId(0),
             1,
-            EventKind::Advance { var: crate::ids::SyncVarId(0), tag: crate::ids::SyncTag(0) },
+            EventKind::Advance {
+                var: crate::ids::SyncVarId(0),
+                tag: crate::ids::SyncTag(0),
+            },
         ));
         let t = Trace::from_events(TraceKind::Measured, events);
         assert_eq!(t.sync_event_count(), 1);
-        assert_eq!(t.count_where(|k| matches!(k, EventKind::Statement { .. })), 1);
+        assert_eq!(
+            t.count_where(|k| matches!(k, EventKind::Statement { .. })),
+            1
+        );
     }
 }

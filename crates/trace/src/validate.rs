@@ -26,12 +26,24 @@ pub enum TraceError {
     NegativeAdvanceTag { var: SyncVarId, tag: SyncTag },
     /// An `awaitE` appeared with no preceding `awaitB` for the same
     /// `(var, tag)` on the same processor.
-    UnmatchedAwaitEnd { proc: ProcessorId, var: SyncVarId, tag: SyncTag },
+    UnmatchedAwaitEnd {
+        proc: ProcessorId,
+        var: SyncVarId,
+        tag: SyncTag,
+    },
     /// An `awaitB` was never completed by an `awaitE` on its processor.
-    UnmatchedAwaitBegin { proc: ProcessorId, var: SyncVarId, tag: SyncTag },
+    UnmatchedAwaitBegin {
+        proc: ProcessorId,
+        var: SyncVarId,
+        tag: SyncTag,
+    },
     /// Two `awaitB` events nested on one processor (an await began while
     /// another was still pending).
-    NestedAwait { proc: ProcessorId, var: SyncVarId, tag: SyncTag },
+    NestedAwait {
+        proc: ProcessorId,
+        var: SyncVarId,
+        tag: SyncTag,
+    },
     /// An `awaitE` on a non-pre-advanced tag has no `advance` partner
     /// anywhere in the trace.
     MissingAdvance { var: SyncVarId, tag: SyncTag },
@@ -39,11 +51,18 @@ pub enum TraceError {
     /// order — causally impossible.
     AwaitBeforeAdvance { var: SyncVarId, tag: SyncTag },
     /// A barrier episode has a different number of enters and exits.
-    BarrierArityMismatch { barrier: BarrierId, enters: usize, exits: usize },
+    BarrierArityMismatch {
+        barrier: BarrierId,
+        enters: usize,
+        exits: usize,
+    },
     /// A barrier exit was recorded before every participant entered.
     BarrierExitBeforeLastEnter { barrier: BarrierId },
     /// A processor exited a barrier it never entered (or exited twice).
-    BarrierProtocol { barrier: BarrierId, proc: ProcessorId },
+    BarrierProtocol {
+        barrier: BarrierId,
+        proc: ProcessorId,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -56,10 +75,16 @@ impl fmt::Display for TraceError {
                 write!(f, "duplicate advance on {var} {tag}")
             }
             TraceError::NegativeAdvanceTag { var, tag } => {
-                write!(f, "advance on {var} carries reserved pre-advanced tag {tag}")
+                write!(
+                    f,
+                    "advance on {var} carries reserved pre-advanced tag {tag}"
+                )
             }
             TraceError::UnmatchedAwaitEnd { proc, var, tag } => {
-                write!(f, "awaitE on {proc} for {var} {tag} without matching awaitB")
+                write!(
+                    f,
+                    "awaitE on {proc} for {var} {tag} without matching awaitB"
+                )
             }
             TraceError::UnmatchedAwaitBegin { proc, var, tag } => {
                 write!(f, "awaitB on {proc} for {var} {tag} never completed")
@@ -68,12 +93,22 @@ impl fmt::Display for TraceError {
                 write!(f, "nested awaitB on {proc} for {var} {tag}")
             }
             TraceError::MissingAdvance { var, tag } => {
-                write!(f, "awaitE for {var} {tag} has no advance partner in the trace")
+                write!(
+                    f,
+                    "awaitE for {var} {tag} has no advance partner in the trace"
+                )
             }
             TraceError::AwaitBeforeAdvance { var, tag } => {
-                write!(f, "awaitE for {var} {tag} precedes its advance in the total order")
+                write!(
+                    f,
+                    "awaitE for {var} {tag} precedes its advance in the total order"
+                )
             }
-            TraceError::BarrierArityMismatch { barrier, enters, exits } => {
+            TraceError::BarrierArityMismatch {
+                barrier,
+                enters,
+                exits,
+            } => {
                 write!(f, "{barrier}: {enters} enters but {exits} exits")
             }
             TraceError::BarrierExitBeforeLastEnter { barrier } => {
@@ -185,15 +220,30 @@ fn pair_sync_events_impl(trace: &Trace, strict: bool) -> Result<SyncIndex, Trace
             }
             EventKind::AwaitBegin { var, tag } => {
                 if pending.contains_key(&e.proc) {
-                    return Err(TraceError::NestedAwait { proc: e.proc, var, tag });
+                    return Err(TraceError::NestedAwait {
+                        proc: e.proc,
+                        var,
+                        tag,
+                    });
                 }
                 pending.insert(e.proc, (var, tag, i));
             }
             EventKind::AwaitEnd { var, tag } => match pending.remove(&e.proc) {
                 Some((bvar, btag, begin)) if bvar == var && btag == tag => {
-                    index.awaits.push(AwaitPair { proc: e.proc, begin, end: i, advance: None });
+                    index.awaits.push(AwaitPair {
+                        proc: e.proc,
+                        begin,
+                        end: i,
+                        advance: None,
+                    });
                 }
-                _ => return Err(TraceError::UnmatchedAwaitEnd { proc: e.proc, var, tag }),
+                _ => {
+                    return Err(TraceError::UnmatchedAwaitEnd {
+                        proc: e.proc,
+                        var,
+                        tag,
+                    })
+                }
             },
             _ => {}
         }
@@ -256,7 +306,10 @@ fn collect_barriers(events: &[Event]) -> Result<Vec<BarrierEpisode>, TraceError>
                 // A processor re-entering before the episode closed would
                 // mean two overlapping episodes of the same barrier.
                 if ep.entered.contains(&e.proc) {
-                    return Err(TraceError::BarrierProtocol { barrier, proc: e.proc });
+                    return Err(TraceError::BarrierProtocol {
+                        barrier,
+                        proc: e.proc,
+                    });
                 }
                 ep.enters.push(i);
                 ep.entered.push(e.proc);
@@ -264,10 +317,18 @@ fn collect_barriers(events: &[Event]) -> Result<Vec<BarrierEpisode>, TraceError>
             EventKind::BarrierExit { barrier } => {
                 let ep = match open.get_mut(&barrier) {
                     Some(ep) => ep,
-                    None => return Err(TraceError::BarrierProtocol { barrier, proc: e.proc }),
+                    None => {
+                        return Err(TraceError::BarrierProtocol {
+                            barrier,
+                            proc: e.proc,
+                        })
+                    }
                 };
                 if !ep.entered.contains(&e.proc) || ep.exited.contains(&e.proc) {
-                    return Err(TraceError::BarrierProtocol { barrier, proc: e.proc });
+                    return Err(TraceError::BarrierProtocol {
+                        barrier,
+                        proc: e.proc,
+                    });
                 }
                 // No exit may precede the last enter of the episode. Exits
                 // are only legal once every participant has entered; since
@@ -283,7 +344,11 @@ fn collect_barriers(events: &[Event]) -> Result<Vec<BarrierEpisode>, TraceError>
                     if events[first_exit].order_key() < events[last_enter].order_key() {
                         return Err(TraceError::BarrierExitBeforeLastEnter { barrier });
                     }
-                    done.push(BarrierEpisode { barrier, enters: ep.enters, exits: ep.exits });
+                    done.push(BarrierEpisode {
+                        barrier,
+                        enters: ep.enters,
+                        exits: ep.exits,
+                    });
                 }
             }
             _ => {}
@@ -313,13 +378,22 @@ mod tests {
     }
 
     fn adv(var: u32, tag: i64) -> EventKind {
-        EventKind::Advance { var: SyncVarId(var), tag: SyncTag(tag) }
+        EventKind::Advance {
+            var: SyncVarId(var),
+            tag: SyncTag(tag),
+        }
     }
     fn awb(var: u32, tag: i64) -> EventKind {
-        EventKind::AwaitBegin { var: SyncVarId(var), tag: SyncTag(tag) }
+        EventKind::AwaitBegin {
+            var: SyncVarId(var),
+            tag: SyncTag(tag),
+        }
     }
     fn awe(var: u32, tag: i64) -> EventKind {
-        EventKind::AwaitEnd { var: SyncVarId(var), tag: SyncTag(tag) }
+        EventKind::AwaitEnd {
+            var: SyncVarId(var),
+            tag: SyncTag(tag),
+        }
     }
 
     #[test]
@@ -358,7 +432,10 @@ mod tests {
         );
         assert_eq!(
             pair_sync_events(&t).unwrap_err(),
-            TraceError::MissingAdvance { var: SyncVarId(0), tag: SyncTag(5) }
+            TraceError::MissingAdvance {
+                var: SyncVarId(0),
+                tag: SyncTag(5)
+            }
         );
     }
 
@@ -374,7 +451,10 @@ mod tests {
         );
         assert_eq!(
             pair_sync_events_strict(&t).unwrap_err(),
-            TraceError::AwaitBeforeAdvance { var: SyncVarId(0), tag: SyncTag(0) }
+            TraceError::AwaitBeforeAdvance {
+                var: SyncVarId(0),
+                tag: SyncTag(0)
+            }
         );
         // The lenient pairing accepts the same trace: in a measured trace
         // the advance *event* may trail the advance *operation* by α.
@@ -390,7 +470,10 @@ mod tests {
         );
         assert_eq!(
             pair_sync_events(&t).unwrap_err(),
-            TraceError::DuplicateAdvance { var: SyncVarId(0), tag: SyncTag(3) }
+            TraceError::DuplicateAdvance {
+                var: SyncVarId(0),
+                tag: SyncTag(3)
+            }
         );
     }
 
@@ -399,7 +482,10 @@ mod tests {
         let t = Trace::from_events(TraceKind::Measured, vec![e(1, 0, 0, adv(0, -2))]);
         assert_eq!(
             pair_sync_events(&t).unwrap_err(),
-            TraceError::NegativeAdvanceTag { var: SyncVarId(0), tag: SyncTag(-2) }
+            TraceError::NegativeAdvanceTag {
+                var: SyncVarId(0),
+                tag: SyncTag(-2)
+            }
         );
     }
 
@@ -427,7 +513,10 @@ mod tests {
             TraceKind::Measured,
             vec![e(1, 0, 0, awb(0, 0)), e(2, 0, 1, awb(0, 1))],
         );
-        assert!(matches!(pair_sync_events(&t).unwrap_err(), TraceError::NestedAwait { .. }));
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::NestedAwait { .. }
+        ));
     }
 
     #[test]
@@ -515,7 +604,11 @@ mod tests {
         );
         assert_eq!(
             pair_sync_events(&t).unwrap_err(),
-            TraceError::BarrierArityMismatch { barrier: b, enters: 2, exits: 1 }
+            TraceError::BarrierArityMismatch {
+                barrier: b,
+                enters: 2,
+                exits: 1
+            }
         );
     }
 

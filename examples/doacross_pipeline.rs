@@ -11,8 +11,8 @@
 
 use ppa::experiments::experiment_config;
 use ppa::metrics::{
-    build_timeline, format_waiting_table, parallelism_profile, render_parallelism,
-    render_timeline, waiting_table,
+    build_timeline, format_waiting_table, parallelism_profile, render_parallelism, render_timeline,
+    waiting_table,
 };
 use ppa::prelude::*;
 
@@ -41,7 +41,10 @@ fn main() {
 
     // Table 3: per-processor waiting of the approximated execution.
     let table = waiting_table(&analysis, cfg.processors);
-    println!("\n{}", format_waiting_table("per-processor DOACROSS waiting", &table));
+    println!(
+        "\n{}",
+        format_waiting_table("per-processor DOACROSS waiting", &table)
+    );
 
     // Ground truth comparison the paper could not make.
     let truth = &actual.stats.loops[0];

@@ -23,14 +23,24 @@ fn main() {
     let actual_time = actual.trace.total_time();
 
     // The loop's statement ids, for selective plans.
-    let body_ids: Vec<_> = program.loops().next().unwrap().body.iter().map(|s| s.id).collect();
+    let body_ids: Vec<_> = program
+        .loops()
+        .next()
+        .unwrap()
+        .body
+        .iter()
+        .map(|s| s.id)
+        .collect();
 
     struct Scope {
         name: &'static str,
         plan: InstrumentationPlan,
     }
     let scopes = vec![
-        Scope { name: "none", plan: InstrumentationPlan::none() },
+        Scope {
+            name: "none",
+            plan: InstrumentationPlan::none(),
+        },
         Scope {
             name: "half the statements",
             plan: {
@@ -42,8 +52,14 @@ fn main() {
                 p
             },
         },
-        Scope { name: "all statements", plan: InstrumentationPlan::full_statements() },
-        Scope { name: "statements + sync", plan: InstrumentationPlan::full_with_sync() },
+        Scope {
+            name: "all statements",
+            plan: InstrumentationPlan::full_statements(),
+        },
+        Scope {
+            name: "statements + sync",
+            plan: InstrumentationPlan::full_with_sync(),
+        },
     ];
 
     println!("loop 3, actual time {actual_time}\n");
@@ -60,7 +76,10 @@ fn main() {
             let a = event_based(&measured.trace, &cfg.overheads).expect("feasible");
             ("event-based", a.total_time())
         } else if scope.plan.statements {
-            ("time-based", time_based(&measured.trace, &cfg.overheads).total_time())
+            (
+                "time-based",
+                time_based(&measured.trace, &cfg.overheads).total_time(),
+            )
         } else {
             // Nothing recorded: no analysis possible; the "approximation"
             // is no information at all.

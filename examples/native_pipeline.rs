@@ -37,8 +37,15 @@ fn main() {
         let identical = value.to_bits() == reference.to_bits();
         println!(
             "{threads} thread(s): {value:.12}  [{}] in {elapsed:?}",
-            if identical { "bit-identical" } else { "MISMATCH" }
+            if identical {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
         );
-        assert!(identical, "DOACROSS ordering must reproduce sequential addition order");
+        assert!(
+            identical,
+            "DOACROSS ordering must reproduce sequential addition order"
+        );
     }
 }

@@ -38,11 +38,18 @@ fn main() {
         run_measured(&cal, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
     let estimate = estimate_overheads(&cal_actual.trace, &cal_measured.trace, &cfg.overheads);
 
-    println!("estimated overheads from {} calibration events:", cal_measured.trace.len());
+    println!(
+        "estimated overheads from {} calibration events:",
+        cal_measured.trace.len()
+    );
     for k in &estimate.kinds {
         println!(
             "  {:<9} {:>10}   ({} samples, spread {} .. {})",
-            k.kind, k.median.to_string(), k.samples, k.min, k.max
+            k.kind,
+            k.median.to_string(),
+            k.samples,
+            k.min,
+            k.max
         );
     }
 
@@ -76,5 +83,8 @@ fn main() {
 
     let err = (with_estimated.total_time().ratio(actual_total) - 1.0).abs();
     assert!(err < 0.05, "estimated-spec analysis drifted: {err}");
-    println!("\nestimated-spec analysis is within {:.2}% of actual.", err * 100.0);
+    println!(
+        "\nestimated-spec analysis is within {:.2}% of actual.",
+        err * 100.0
+    );
 }

@@ -53,7 +53,10 @@ fn main() {
     let plan = InstrumentationPlan::full_with_sync();
 
     println!("dependence-distance sweep (512 iterations, cs 400ns):");
-    println!("{:<10} {:>14} {:>10} {:>12}", "distance", "actual", "slowdown", "approx err");
+    println!(
+        "{:<10} {:>14} {:>10} {:>12}",
+        "distance", "actual", "slowdown", "approx err"
+    );
     for d in [1u64, 2, 4, 8] {
         let program = distance_workload(d);
         let actual = run_actual(&program, &cfg).expect("valid");

@@ -16,8 +16,15 @@ fn main() {
         .expect("simulation succeeds");
     let trace = measured.trace;
 
-    println!("measured trace: {} events over {}", trace.len(), trace.total_time());
-    println!("processors: {:?}", trace.processors().iter().map(|p| p.0).collect::<Vec<_>>());
+    println!(
+        "measured trace: {} events over {}",
+        trace.len(),
+        trace.total_time()
+    );
+    println!(
+        "processors: {:?}",
+        trace.processors().iter().map(|p| p.0).collect::<Vec<_>>()
+    );
     println!("sync events: {}", trace.sync_event_count());
 
     // Event-kind census.
@@ -34,13 +41,24 @@ fn main() {
     let dir = std::env::temp_dir();
     let jsonl_path = dir.join("ppa_trace_explorer.jsonl");
     let csv_path = dir.join("ppa_trace_explorer.csv");
-    write_jsonl(&trace, std::fs::File::create(&jsonl_path).expect("create file"))
-        .expect("write jsonl");
-    write_csv(&trace, std::fs::File::create(&csv_path).expect("create file")).expect("write csv");
+    write_jsonl(
+        &trace,
+        std::fs::File::create(&jsonl_path).expect("create file"),
+    )
+    .expect("write jsonl");
+    write_csv(
+        &trace,
+        std::fs::File::create(&csv_path).expect("create file"),
+    )
+    .expect("write csv");
     let reloaded =
         read_jsonl(std::fs::File::open(&jsonl_path).expect("open file")).expect("read jsonl");
     assert_eq!(trace, reloaded, "JSONL round-trip is lossless");
-    println!("\nwrote {} and {}", jsonl_path.display(), csv_path.display());
+    println!(
+        "\nwrote {} and {}",
+        jsonl_path.display(),
+        csv_path.display()
+    );
 
     // Validation: the real trace pairs cleanly...
     let index = pair_sync_events(&trace).expect("measured traces are feasible");

@@ -48,7 +48,11 @@ fn census_delta_across_plans() {
     let a = census(&stmts_only);
     let b = census(&with_sync);
     let d = census_delta(&a, &b);
-    assert!(d.volume_ratio > 1.5, "sync instrumentation should add volume: {}", d.volume_ratio);
+    assert!(
+        d.volume_ratio > 1.5,
+        "sync instrumentation should add volume: {}",
+        d.volume_ratio
+    );
     for kind in ["advance", "awaitB", "awaitE", "barEnter", "barExit"] {
         assert!(
             d.added_kinds.iter().any(|k| k == kind),
@@ -87,10 +91,14 @@ fn histogram_mass_matches_waiting_totals() {
     let (_, measured, cfg) = run_pair(3, &InstrumentationPlan::full_with_sync());
     let approx = event_based(&measured, &cfg.overheads).unwrap();
     let h = wait_histogram(&approx);
-    let total_from_rows: Span =
-        (0..cfg.processors).map(|p| approx.sync_wait(ProcessorId(p as u16))).sum();
+    let total_from_rows: Span = (0..cfg.processors)
+        .map(|p| approx.sync_wait(ProcessorId(p as u16)))
+        .sum();
     assert_eq!(h.total, total_from_rows);
-    assert_eq!(h.count as usize, approx.awaits.iter().filter(|a| a.waited()).count());
+    assert_eq!(
+        h.count as usize,
+        approx.awaits.iter().filter(|a| a.waited()).count()
+    );
 }
 
 /// Overhead estimation from one kernel's pair transfers to another kernel

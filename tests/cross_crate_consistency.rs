@@ -37,7 +37,10 @@ fn event_based_reconstructs_actual_event_times() {
     use std::collections::HashMap;
     let mut actual_by_key: HashMap<(ProcessorId, EventKind), Vec<Time>> = HashMap::new();
     for e in actual.trace.iter() {
-        actual_by_key.entry((e.proc, e.kind)).or_default().push(e.time);
+        actual_by_key
+            .entry((e.proc, e.kind))
+            .or_default()
+            .push(e.time);
     }
     let mut checked = 0;
     for e in approx.trace.iter() {
@@ -94,7 +97,9 @@ fn metrics_layers_agree() {
             from_timeline <= from_result,
             "P{p}: timeline waiting {from_timeline} exceeds analysis {from_result}"
         );
-        let diff = from_result.as_nanos().saturating_sub(from_timeline.as_nanos());
+        let diff = from_result
+            .as_nanos()
+            .saturating_sub(from_timeline.as_nanos());
         assert!(
             diff <= from_result.as_nanos() / 20 + 10,
             "P{p}: timeline waiting {from_timeline} too far from analysis {from_result}"
@@ -103,10 +108,15 @@ fn metrics_layers_agree() {
 
     let profile = parallelism_profile(&timeline);
     let range = timeline.end - timeline.start;
-    let total_active: u64 = (0..cfg.processors).map(|p| timeline.active(p).as_nanos()).sum();
+    let total_active: u64 = (0..cfg.processors)
+        .map(|p| timeline.active(p).as_nanos())
+        .sum();
     let avg = profile.average(timeline.start, timeline.end);
     let expected = total_active as f64 / range.as_nanos() as f64;
-    assert!((avg - expected).abs() < 1e-6, "profile avg {avg} vs interval sum {expected}");
+    assert!(
+        (avg - expected).abs() < 1e-6,
+        "profile avg {avg} vs interval sum {expected}"
+    );
 }
 
 /// Simulator and native backend agree structurally: the same program under
@@ -155,7 +165,9 @@ fn liberal_and_conservative_agree_under_static_dispatch() {
     let actual = run_actual(&program, &cfg).unwrap().trace.total_time();
     let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).unwrap();
 
-    let conservative = event_based(&measured.trace, &cfg.overheads).unwrap().total_time();
+    let conservative = event_based(&measured.trace, &cfg.overheads)
+        .unwrap()
+        .total_time();
     let liberal = liberal_reschedule(
         &measured.trace,
         &cfg.overheads,

@@ -12,7 +12,10 @@ fn measured_doacross() -> (Trace, SimConfig) {
     let v = b.sync_var();
     let program = b
         .doacross(1, 32, |body| {
-            body.compute("head", 500).await_var(v, -1).compute("cs", 50).advance(v)
+            body.compute("head", 500)
+                .await_var(v, -1)
+                .compute("cs", 50)
+                .advance(v)
         })
         .build()
         .unwrap();
@@ -29,9 +32,10 @@ fn drop_events(trace: &Trace, mut pred: impl FnMut(&Event) -> bool) -> Trace {
 #[test]
 fn missing_advance_is_detected() {
     let (trace, cfg) = measured_doacross();
-    let corrupted = drop_events(&trace, |e| {
-        matches!(e.kind, EventKind::Advance { tag, .. } if tag.0 == 7)
-    });
+    let corrupted = drop_events(
+        &trace,
+        |e| matches!(e.kind, EventKind::Advance { tag, .. } if tag.0 == 7),
+    );
     match event_based(&corrupted, &cfg.overheads) {
         Err(AnalysisError::Trace(TraceError::MissingAdvance { tag, .. })) => {
             assert_eq!(tag, SyncTag(7));
@@ -43,9 +47,10 @@ fn missing_advance_is_detected() {
 #[test]
 fn orphan_await_end_is_detected() {
     let (trace, cfg) = measured_doacross();
-    let corrupted = drop_events(&trace, |e| {
-        matches!(e.kind, EventKind::AwaitBegin { tag, .. } if tag.0 == 3)
-    });
+    let corrupted = drop_events(
+        &trace,
+        |e| matches!(e.kind, EventKind::AwaitBegin { tag, .. } if tag.0 == 3),
+    );
     assert!(matches!(
         event_based(&corrupted, &cfg.overheads),
         Err(AnalysisError::Trace(TraceError::UnmatchedAwaitEnd { .. }))
@@ -55,9 +60,10 @@ fn orphan_await_end_is_detected() {
 #[test]
 fn dangling_await_begin_is_detected() {
     let (trace, cfg) = measured_doacross();
-    let corrupted = drop_events(&trace, |e| {
-        matches!(e.kind, EventKind::AwaitEnd { tag, .. } if tag.0 == 30)
-    });
+    let corrupted = drop_events(
+        &trace,
+        |e| matches!(e.kind, EventKind::AwaitEnd { tag, .. } if tag.0 == 30),
+    );
     // Dropping an awaitE leaves either an unmatched end (the next one on
     // that processor pairs wrongly) or a dangling begin.
     let result = event_based(&corrupted, &cfg.overheads);
@@ -98,7 +104,10 @@ fn reserved_tag_advance_is_detected() {
         Time::from_nanos(1),
         ProcessorId(0),
         u64::MAX,
-        EventKind::Advance { var: SyncVarId(0), tag: SyncTag(-4) },
+        EventKind::Advance {
+            var: SyncVarId(0),
+            tag: SyncTag(-4),
+        },
     ));
     let corrupted = Trace::from_events(TraceKind::Measured, events);
     assert!(matches!(
@@ -120,7 +129,9 @@ fn lost_barrier_exit_is_detected() {
     });
     assert!(matches!(
         event_based(&corrupted, &cfg.overheads),
-        Err(AnalysisError::Trace(TraceError::BarrierArityMismatch { .. }))
+        Err(AnalysisError::Trace(
+            TraceError::BarrierArityMismatch { .. }
+        ))
     ));
 }
 
@@ -129,8 +140,14 @@ fn strict_pairing_rejects_causal_inversions() {
     // awaitE stamped before its advance *event*: legal in a measured trace
     // (α skew), illegal under strict (actual-trace) validation.
     let t = TraceBuilder::measured()
-        .on(1).at(10).await_begin(0, 0).at(20).await_end(0, 0)
-        .on(0).at(30).advance(0, 0)
+        .on(1)
+        .at(10)
+        .await_begin(0, 0)
+        .at(20)
+        .await_end(0, 0)
+        .on(0)
+        .at(30)
+        .advance(0, 0)
         .build();
     assert!(pair_sync_events(&t).is_ok());
     assert!(matches!(
@@ -143,10 +160,19 @@ fn strict_pairing_rejects_causal_inversions() {
 fn liberal_analysis_rejects_markerless_traces() {
     let (trace, cfg) = measured_doacross();
     let no_markers = drop_events(&trace, |e| {
-        matches!(e.kind, EventKind::LoopBegin { .. } | EventKind::LoopEnd { .. })
+        matches!(
+            e.kind,
+            EventKind::LoopBegin { .. } | EventKind::LoopEnd { .. }
+        )
     });
     assert!(matches!(
-        liberal_reschedule(&no_markers, &cfg.overheads, 8, SchedulePolicy::StaticCyclic, 0.0),
+        liberal_reschedule(
+            &no_markers,
+            &cfg.overheads,
+            8,
+            SchedulePolicy::StaticCyclic,
+            0.0
+        ),
         Err(AnalysisError::UnrecognizedStructure { .. })
     ));
 }
@@ -160,7 +186,13 @@ fn liberal_analysis_rejects_sync_free_traces() {
     let cfg = experiment_config();
     let run = run_measured(&program, &InstrumentationPlan::full_statements(), &cfg).unwrap();
     assert!(matches!(
-        liberal_reschedule(&run.trace, &cfg.overheads, 8, SchedulePolicy::StaticCyclic, 0.0),
+        liberal_reschedule(
+            &run.trace,
+            &cfg.overheads,
+            8,
+            SchedulePolicy::StaticCyclic,
+            0.0
+        ),
         Err(AnalysisError::NoSyncEvents)
     ));
 }
@@ -181,11 +213,9 @@ fn simulator_rejects_malformed_programs() {
     };
     let cfg = experiment_config();
     assert!(run_actual(&bad, &cfg).is_err());
-    assert!(ppa::native::execute_program(
-        &bad,
-        &ppa::native::NativeConfig::uninstrumented(2)
-    )
-    .is_err());
+    assert!(
+        ppa::native::execute_program(&bad, &ppa::native::NativeConfig::uninstrumented(2)).is_err()
+    );
 }
 
 #[test]
@@ -193,12 +223,18 @@ fn builder_rejects_deadlocking_shapes() {
     // Await with offset 0 would wait for itself.
     let mut b = ProgramBuilder::new("self-wait");
     let v = b.sync_var();
-    assert!(b.doacross(1, 4, |body| body.await_var(v, 0).advance(v)).build().is_err());
+    assert!(b
+        .doacross(1, 4, |body| body.await_var(v, 0).advance(v))
+        .build()
+        .is_err());
 
     // Await on a variable no iteration advances.
     let mut b = ProgramBuilder::new("never-advanced");
     let v = b.sync_var();
-    assert!(b.doacross(1, 4, |body| body.await_var(v, -1)).build().is_err());
+    assert!(b
+        .doacross(1, 4, |body| body.await_var(v, -1))
+        .build()
+        .is_err());
 }
 
 #[test]
@@ -218,9 +254,23 @@ fn analysis_survives_adversarial_but_legal_traces() {
     // and an empty barrier-free structure: analysis must not panic and
     // must preserve feasibility.
     let t = TraceBuilder::measured()
-        .on(0).at(100).stmt(0).at(100).stmt(1).at(100).advance(0, 0)
-        .on(1).at(100).await_begin(0, -5).at(100).await_end(0, -5)
-        .on(2).at(100).await_begin(0, 0).at(100).await_end(0, 0)
+        .on(0)
+        .at(100)
+        .stmt(0)
+        .at(100)
+        .stmt(1)
+        .at(100)
+        .advance(0, 0)
+        .on(1)
+        .at(100)
+        .await_begin(0, -5)
+        .at(100)
+        .await_end(0, -5)
+        .on(2)
+        .at(100)
+        .await_begin(0, 0)
+        .at(100)
+        .await_end(0, 0)
         .build();
     let r = event_based(&t, &OverheadSpec::ZERO).unwrap();
     assert!(r.trace.is_totally_ordered());

@@ -5,9 +5,9 @@
 
 use ppa::experiments as exp;
 use ppa::metrics::{
-    census, format_census, format_decomposition, format_ratio_table, format_waiting_table,
-    render_bars, render_histogram, render_parallelism, render_timeline, wait_histogram,
-    decompose_slowdown,
+    census, decompose_slowdown, format_census, format_decomposition, format_ratio_table,
+    format_waiting_table, render_bars, render_histogram, render_parallelism, render_timeline,
+    wait_histogram,
 };
 use ppa::prelude::*;
 
@@ -29,9 +29,15 @@ fn ratio_table_renders_three_rows_with_paper_columns() {
 fn waiting_table_has_eight_processor_columns() {
     let a = exp::loop17_analysis();
     let s = format_waiting_table("Table 3", &a.waiting);
-    let header = s.lines().find(|l| l.starts_with("processor:")).expect("header row");
+    let header = s
+        .lines()
+        .find(|l| l.starts_with("processor:"))
+        .expect("header row");
     assert_eq!(header.split_whitespace().count(), 1 + 8);
-    let values = s.lines().find(|l| l.starts_with("waiting %:")).expect("values row");
+    let values = s
+        .lines()
+        .find(|l| l.starts_with("waiting %:"))
+        .expect("values row");
     assert_eq!(values.matches('%').count(), 9); // 8 values + the label's %
 }
 
@@ -41,7 +47,10 @@ fn timeline_renders_one_row_per_processor_with_legend() {
     let s = render_timeline(&a.timeline, 80);
     let proc_rows = s.lines().filter(|l| l.starts_with('P')).count();
     assert_eq!(proc_rows, 8);
-    assert!(s.contains("legend") || s.contains("active"), "legend missing:\n{s}");
+    assert!(
+        s.contains("legend") || s.contains("active"),
+        "legend missing:\n{s}"
+    );
     // Every processor has at least one active cell.
     for line in s.lines().filter(|l| l.starts_with('P')) {
         assert!(line.contains('#'), "row without activity: {line}");
@@ -73,17 +82,23 @@ fn bars_scale_within_width() {
     let groups: Vec<_> = rows
         .iter()
         .map(|r| {
-            (format!("loop {}", r.kernel), vec![
-                ("measured".to_string(), r.measured_ratio),
-                ("approx".to_string(), r.approx_ratio),
-            ])
+            (
+                format!("loop {}", r.kernel),
+                vec![
+                    ("measured".to_string(), r.measured_ratio),
+                    ("approx".to_string(), r.approx_ratio),
+                ],
+            )
         })
         .collect();
     let s = render_bars("Fig 1", &groups, 40);
     for line in s.lines().filter(|l| l.contains('|')) {
         assert!(line.matches('█').count() <= 40, "bar overflow: {line}");
     }
-    assert_eq!(s.lines().filter(|l| l.contains('|')).count(), rows.len() * 2);
+    assert_eq!(
+        s.lines().filter(|l| l.contains('|')).count(),
+        rows.len() * 2
+    );
 }
 
 #[test]

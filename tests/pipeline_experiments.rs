@@ -31,8 +31,15 @@ fn fig1_shape() {
     }
 
     // The paper's extreme case: loop 19 exceeds a 16x slowdown.
-    let l19 = rows.iter().find(|r| r.kernel == 19).expect("loop 19 present");
-    assert!(l19.measured_ratio > 15.0, "loop 19 slowdown {:.2}", l19.measured_ratio);
+    let l19 = rows
+        .iter()
+        .find(|r| r.kernel == 19)
+        .expect("loop 19 present");
+    assert!(
+        l19.measured_ratio > 15.0,
+        "loop 19 slowdown {:.2}",
+        l19.measured_ratio
+    );
 
     // Relative ordering of intrusion matches the paper: 19 > 6 > 2 > 1 >
     // 8 > 7 > 13 > 16 > 20 > 22.
@@ -63,17 +70,45 @@ fn table1_shape() {
     let l17 = by_label("lfk17");
 
     // Directions.
-    assert!(l3.approx_over_actual < 0.7, "loop 3 approx {:.2}", l3.approx_over_actual);
-    assert!(l4.approx_over_actual < 0.8, "loop 4 approx {:.2}", l4.approx_over_actual);
-    assert!(l17.approx_over_actual > 3.0, "loop 17 approx {:.2}", l17.approx_over_actual);
+    assert!(
+        l3.approx_over_actual < 0.7,
+        "loop 3 approx {:.2}",
+        l3.approx_over_actual
+    );
+    assert!(
+        l4.approx_over_actual < 0.8,
+        "loop 4 approx {:.2}",
+        l4.approx_over_actual
+    );
+    assert!(
+        l17.approx_over_actual > 3.0,
+        "loop 17 approx {:.2}",
+        l17.approx_over_actual
+    );
     for r in &rows {
-        assert!(r.same_direction_as_paper(), "{} errs in the wrong direction", r.label);
+        assert!(
+            r.same_direction_as_paper(),
+            "{} errs in the wrong direction",
+            r.label
+        );
     }
 
     // Magnitudes within a factor-band of the paper.
-    assert!((l3.measured_over_actual - 2.48).abs() < 0.5, "{:.2}", l3.measured_over_actual);
-    assert!((l4.measured_over_actual - 2.64).abs() < 0.5, "{:.2}", l4.measured_over_actual);
-    assert!((l17.measured_over_actual - 9.97).abs() < 3.0, "{:.2}", l17.measured_over_actual);
+    assert!(
+        (l3.measured_over_actual - 2.48).abs() < 0.5,
+        "{:.2}",
+        l3.measured_over_actual
+    );
+    assert!(
+        (l4.measured_over_actual - 2.64).abs() < 0.5,
+        "{:.2}",
+        l4.measured_over_actual
+    );
+    assert!(
+        (l17.measured_over_actual - 9.97).abs() < 3.0,
+        "{:.2}",
+        l17.measured_over_actual
+    );
 }
 
 /// Table 2: with synchronization instrumentation the intrusion grows but
@@ -121,7 +156,10 @@ fn loop17_products_shape() {
         );
     }
     let mean = a.waiting.mean_pct();
-    assert!(mean > 0.2 && mean < 10.0, "mean waiting {mean:.2}% out of band");
+    assert!(
+        mean > 0.2 && mean < 10.0,
+        "mean waiting {mean:.2}% out of band"
+    );
 
     // Approximated waiting tracks ground truth per processor.
     for (row, truth) in a.waiting.rows.iter().zip(&a.ground_truth_pct) {
@@ -145,7 +183,11 @@ fn loop17_products_shape() {
     let pre_loop = a.loop_window.0;
     if pre_loop > Time::ZERO {
         let mid_serial = Time::from_nanos(pre_loop.as_nanos() / 2);
-        assert_eq!(a.profile.at(mid_serial), 1, "serial prologue should be one processor");
+        assert_eq!(
+            a.profile.at(mid_serial),
+            1,
+            "serial prologue should be one processor"
+        );
     }
 }
 

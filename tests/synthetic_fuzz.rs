@@ -3,8 +3,8 @@
 //! analyze → compare, asserting the substrate's invariants on each.
 
 use ppa::analysis::{compare_traces, event_based, time_based};
-use ppa::program::synth::{synthesize, SynthConfig};
 use ppa::prelude::*;
+use ppa::program::synth::{synthesize, SynthConfig};
 
 fn config(seed: u64, schedule: SchedulePolicy) -> SimConfig {
     SimConfig {
@@ -63,8 +63,8 @@ fn self_scheduled_seed_sweep() {
         let cfg = config(seed, SchedulePolicy::SelfScheduled);
 
         let actual = run_actual(&program, &cfg).expect("valid");
-        let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-            .expect("valid");
+        let measured =
+            run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
         let approx = event_based(&measured.trace, &cfg.overheads)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
 
@@ -89,14 +89,19 @@ fn time_based_bounds_hold_on_sweep() {
     for seed in 0..150u64 {
         let program = synthesize(seed, &synth_cfg);
         let cfg = config(seed, SchedulePolicy::StaticCyclic);
-        let actual = run_actual(&program, &cfg).expect("valid").trace.total_time();
-        let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-            .expect("valid");
+        let actual = run_actual(&program, &cfg)
+            .expect("valid")
+            .trace
+            .total_time();
+        let measured =
+            run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
 
         let tb = time_based(&measured.trace, &cfg.overheads).total_time();
         assert!(tb <= measured.trace.total_time(), "seed {seed}");
 
-        let eb = event_based(&measured.trace, &cfg.overheads).expect("feasible").total_time();
+        let eb = event_based(&measured.trace, &cfg.overheads)
+            .expect("feasible")
+            .total_time();
         let tb_err = (tb.ratio(actual) - 1.0).abs();
         let eb_err = (eb.ratio(actual) - 1.0).abs();
         assert!(
@@ -113,8 +118,8 @@ fn serialization_seed_sweep() {
     for seed in 200..260u64 {
         let program = synthesize(seed, &synth_cfg);
         let cfg = config(seed, SchedulePolicy::StaticBlock);
-        let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
-            .expect("valid");
+        let measured =
+            run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).expect("valid");
         let mut buf = Vec::new();
         ppa::trace::write_jsonl(&measured.trace, &mut buf).expect("write");
         let back = ppa::trace::read_jsonl(buf.as_slice()).expect("read");

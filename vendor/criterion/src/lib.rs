@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the criterion API this
+//! workspace uses: `Criterion::bench_function`, benchmark groups with
+//! throughput annotations, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is warmed up briefly, then
+//! timed over enough iterations to fill a fixed measurement window; the
+//! mean time per iteration (and elements/second when a throughput is set)
+//! is printed to stdout.
+//!
+//! When the binary is invoked by `cargo test` (criterion benches use
+//! `harness = false`), the `--test` flag makes it run one iteration per
+//! benchmark as a smoke test instead of timing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each benchmark is measured for (after warmup).
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// Work-per-iteration annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (criterion's parameterized id).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    smoke_test: bool,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock time per call.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.smoke_test {
+            black_box(routine());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warmup: find an iteration count that fills the warmup window.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP_WINDOW {
+                let per_iter = elapsed.as_secs_f64() / batch as f64;
+                let measured_iters =
+                    ((MEASURE_WINDOW.as_secs_f64() / per_iter).ceil() as u64).max(1);
+                let start = Instant::now();
+                for _ in 0..measured_iters {
+                    black_box(routine());
+                }
+                self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / measured_iters as f64;
+                return;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false benches with `--test`; `cargo
+        // bench` passes `--bench`. Treat the former as a smoke test.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, None, self.smoke_test, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` over `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.throughput, self.criterion.smoke_test, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, self.criterion.smoke_test, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    smoke_test: bool,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        smoke_test,
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    if smoke_test {
+        println!("{label:<48} ok (smoke test)");
+        return;
+    }
+    let mean = bencher.mean_ns;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({} elem/s)", human_rate(n as f64 * 1e9 / mean)),
+        Throughput::Bytes(n) => format!(" ({}B/s)", human_rate(n as f64 * 1e9 / mean)),
+    });
+    println!(
+        "{label:<48} time: {}{}",
+        human_time(mean),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} ")
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,463 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored Value-based `serde` traits, by hand-parsing the item's
+//! token stream (no `syn`/`quote` available offline). Supports the shapes
+//! this workspace uses: named-field structs, tuple structs (serialized as
+//! newtypes when single-field), unit structs, and enums with unit, newtype
+//! and struct variants under serde's external tagging. The only attribute
+//! honoured is `#[serde(transparent)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: ItemKind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let transparent = skip_attrs_collect_transparent(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum keyword, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    skip_generics(&tokens, &mut i);
+
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_fields(&tokens, &mut i)),
+        "enum" => ItemKind::Enum(parse_variants(&tokens, &mut i)),
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Skips leading attributes, returning whether `#[serde(transparent)]`
+/// appeared among them.
+fn skip_attrs_collect_transparent(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut transparent = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let body = g.stream().to_string();
+            if body.starts_with("serde") && body.contains("transparent") {
+                transparent = true;
+            }
+            *i += 1;
+        }
+    }
+    transparent
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn skip_generics(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() == '<' {
+            let mut depth = 0usize;
+            while let Some(tok) = tokens.get(*i) {
+                if let TokenTree::Punct(p) = tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                *i += 1;
+                                return;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_struct_fields(tokens: &[TokenTree], i: &mut usize) -> Fields {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        _ => Fields::Unit,
+    }
+}
+
+/// Field names from a brace-delimited field list: skip attributes and
+/// visibility, take the ident before each top-level `:`, then skip the
+/// type up to the next top-level `,` (angle brackets tracked by depth;
+/// parens/brackets arrive as single groups).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_collect_transparent(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        let mut angle = 0usize;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle = angle.saturating_sub(1),
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree], i: &mut usize) -> Vec<Variant> {
+    let body = match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected enum body, found {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < tokens.len() {
+        skip_attrs_collect_transparent(&tokens, &mut j);
+        let name = match tokens.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected variant name, found {other}"),
+        };
+        j += 1;
+        let fields = match tokens.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(j) {
+            if p.as_char() == ',' {
+                j += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            if item.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::serialize(&self.{})", fields[0])
+            } else {
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "__obj.push((\"{f}\".to_string(), \
+                             ::serde::Serialize::serialize(&self.{f})));"
+                        )
+                    })
+                    .collect();
+                format!("{{ let mut __obj = Vec::new(); {pushes} ::serde::Value::Object(__obj) }}")
+            }
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\
+                             \"{vn}\".to_string(), ::serde::Serialize::serialize(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__inner.push((\"{f}\".to_string(), \
+                                         ::serde::Serialize::serialize({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{ \
+                                 let mut __inner = Vec::new(); {pushes} \
+                                 ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Object(__inner))]) }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_field_reads(fields: &[String], obj_expr: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {obj_expr}.iter().find(|(__k, _)| __k == \"{f}\") {{ \
+                 Some((_, __v)) => ::serde::Deserialize::deserialize(__v)?, \
+                 None => ::serde::Deserialize::deserialize_missing()? }},"
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            if item.transparent && fields.len() == 1 {
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::deserialize(__value)? }})",
+                    fields[0]
+                )
+            } else {
+                let reads = named_field_reads(fields, "__obj");
+                format!(
+                    "{{ let __obj = __value.as_object_slice().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}\"))?; \
+                     Ok({name} {{ {reads} }}) }}"
+                )
+            }
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(__value)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::deserialize(__arr.get({k}).ok_or_else(|| \
+                         ::serde::Error::custom(\"tuple too short for {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let __arr = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?; \
+                 Ok({name}({})) }}",
+                reads.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => String::new(),
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(__inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let reads: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(__arr.get({k})\
+                                         .ok_or_else(|| ::serde::Error::custom(\
+                                         \"tuple variant too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vn}\"))?; \
+                                 Ok({name}::{vn}({})) }},",
+                                reads.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let reads = named_field_reads(fields, "__obj");
+                            format!(
+                                "\"{vn}\" => {{ let __obj = __inner.as_object_slice()\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected object for {name}::{vn}\"))?; \
+                                 Ok({name}::{vn} {{ {reads} }}) }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{ \
+                 ::serde::Value::String(__s) => match __s.as_str() {{ \
+                 {unit_arms} \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))) }}, \
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                 let (__tag, __inner) = &__pairs[0]; \
+                 match __tag.as_str() {{ \
+                 {data_arms} \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))) }} }}, \
+                 _ => Err(::serde::Error::custom(\"expected {name} variant\")) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__value: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
