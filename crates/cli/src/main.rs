@@ -21,7 +21,14 @@
 //! `analyze` reads a measured trace from a JSONL file and recovers the
 //! approximated (perturbation-corrected) trace. With `--stream` it uses
 //! the bounded-memory incremental engine end to end: chunked reader →
-//! [`ppa::analysis::EventBasedAnalyzer`] → chunked writer.
+//! [`ppa::analysis::EventBasedAnalyzer`] → chunked writer. Add
+//! `--metrics-out snap.prom [--metrics-format prom|json]` to export a
+//! pipeline-metrics snapshot and `--progress` for a stderr ticker.
+//!
+//! Failures exit with BSD-sysexits-style codes so scripts can
+//! distinguish them: 64 usage error, 65 malformed input data (parse
+//! errors report the offending line number), 66 missing input file,
+//! 74 output I/O error.
 
 use ppa::experiments as exp;
 use ppa::metrics::{
@@ -32,32 +39,93 @@ use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// A classified CLI failure. Every error path funnels through this type
+/// so the exit-code mapping lives in exactly one place ([`CliError::code`]).
+#[derive(Debug)]
+enum CliError {
+    /// Bad command line (unknown flag, missing argument): exit 64.
+    Usage(String),
+    /// Input exists but its content is malformed or infeasible: exit 65.
+    Data(String),
+    /// An input file cannot be opened: exit 66.
+    NoInput(String),
+    /// Writing an output failed: exit 74.
+    Io(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 64,
+            CliError::Data(_) => 65,
+            CliError::NoInput(_) => 66,
+            CliError::Io(_) => 74,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Data(m) | CliError::NoInput(m) | CliError::Io(m) => {
+                f.write_str(m)
+            }
+        }
+    }
+}
+
+impl From<ppa::trace::IoError> for CliError {
+    fn from(e: ppa::trace::IoError) -> Self {
+        use ppa::trace::IoError;
+        match e {
+            // Parse errors carry the offending line number in their Display.
+            IoError::Parse { .. } | IoError::BadHeader(_) | IoError::Truncated { .. } => {
+                CliError::Data(e.to_string())
+            }
+            IoError::Io(err) => CliError::Io(err.to_string()),
+        }
+    }
+}
+
+impl From<ppa::analysis::AnalysisError> for CliError {
+    fn from(e: ppa::analysis::AnalysisError) -> Self {
+        CliError::Data(e.to_string())
+    }
+}
+
 fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ppa: {e}");
+            ExitCode::from(e.code())
+        }
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<PathBuf> = None;
     if let Some(pos) = args.iter().position(|a| a == "--csv") {
         if pos + 1 >= args.len() {
-            eprintln!("--csv needs a directory argument");
-            return ExitCode::FAILURE;
+            return Err(CliError::Usage("--csv needs a directory argument".into()));
         }
         csv_dir = Some(PathBuf::from(args.remove(pos + 1)));
         args.remove(pos);
     }
     if let Some(dir) = &csv_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
-            return ExitCode::FAILURE;
-        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Io(format!("cannot create {}: {e}", dir.display())))?;
     }
 
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let sub = args.get(1).map(String::as_str);
     match cmd {
         "all" => {
-            fig1(csv_dir.as_deref());
-            table1(csv_dir.as_deref());
-            table2(csv_dir.as_deref());
-            loop17(csv_dir.as_deref(), true, true, true);
+            fig1(csv_dir.as_deref())?;
+            table1(csv_dir.as_deref())?;
+            table2(csv_dir.as_deref())?;
+            loop17(csv_dir.as_deref(), true, true, true)?;
             intrusion();
             accuracy();
             modes();
@@ -68,18 +136,19 @@ fn main() -> ExitCode {
             ablation_schedule();
             native();
         }
-        "fig1" => fig1(csv_dir.as_deref()),
-        "table1" => table1(csv_dir.as_deref()),
-        "table2" => table2(csv_dir.as_deref()),
-        "table3" => loop17(csv_dir.as_deref(), true, false, false),
-        "fig4" => loop17(csv_dir.as_deref(), false, true, false),
-        "fig5" => loop17(csv_dir.as_deref(), false, false, true),
+        "fig1" => fig1(csv_dir.as_deref())?,
+        "table1" => table1(csv_dir.as_deref())?,
+        "table2" => table2(csv_dir.as_deref())?,
+        "table3" => loop17(csv_dir.as_deref(), true, false, false)?,
+        "fig4" => loop17(csv_dir.as_deref(), false, true, false)?,
+        "fig5" => loop17(csv_dir.as_deref(), false, false, true)?,
         "ablation" => match sub {
             Some("overhead") => ablation_overhead(),
             Some("schedule") | Some("liberal") => ablation_schedule(),
             _ => {
-                eprintln!("usage: ppa ablation <overhead|schedule>");
-                return ExitCode::FAILURE;
+                return Err(CliError::Usage(
+                    "usage: ppa ablation <overhead|schedule>".into(),
+                ))
             }
         },
         "native" => native(),
@@ -90,18 +159,14 @@ fn main() -> ExitCode {
         "modes" => modes(),
         "order" => order(),
         "buffers" => buffers(),
-        "campaign" => {
-            let path = sub.unwrap_or("campaign.json");
-            campaign(path);
-        }
+        "campaign" => campaign(sub.unwrap_or("campaign.json"))?,
         "show" => {
-            let Some(id) = sub.and_then(|s| s.parse::<u8>().ok()) else {
-                eprintln!("usage: ppa show <kernel 1-24>");
-                return ExitCode::FAILURE;
-            };
-            show(id);
+            let id = sub
+                .and_then(|s| s.parse::<u8>().ok())
+                .ok_or_else(|| CliError::Usage("usage: ppa show <kernel 1-24>".into()))?;
+            show(id)?;
         }
-        "analyze" => return analyze(&args[1..]),
+        "analyze" => run_analyze(&args[1..])?,
         "help" | "--help" | "-h" => {
             println!(
                 "subcommands: all fig1 table1 table2 table3 fig4 fig5 ablation native \
@@ -111,27 +176,35 @@ fn main() -> ExitCode {
                 "analyze: ppa analyze <measured.jsonl> [--stream] [--out approx.jsonl] \
                  [--overheads spec.json]"
             );
+            println!(
+                "         [--metrics-out snap.prom] [--metrics-format prom|json] [--progress]"
+            );
+            println!("exit codes: 64 usage, 65 bad data, 66 missing input, 74 output I/O");
         }
         other => {
-            eprintln!("unknown subcommand {other:?}; try `ppa help`");
-            return ExitCode::FAILURE;
+            return Err(CliError::Usage(format!(
+                "unknown subcommand {other:?}; try `ppa help`"
+            )));
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn csv_file(dir: Option<&Path>, name: &str) -> Option<File> {
-    let dir = dir?;
-    match File::create(dir.join(name)) {
-        Ok(f) => Some(f),
-        Err(e) => {
-            eprintln!("cannot create {name}: {e}");
-            None
-        }
-    }
+/// Opens `dir/name` for a CSV export. `Ok(None)` when no CSV directory
+/// was requested; a create failure is a real error (exit 74), not a
+/// silently-skipped export.
+fn csv_file(dir: Option<&Path>, name: &str) -> Result<Option<File>, CliError> {
+    let Some(dir) = dir else { return Ok(None) };
+    File::create(dir.join(name))
+        .map(Some)
+        .map_err(|e| CliError::Io(format!("cannot create {name}: {e}")))
 }
 
-fn fig1(csv: Option<&Path>) {
+fn csv_io(name: &str) -> impl Fn(std::io::Error) -> CliError + '_ {
+    move |e| CliError::Io(format!("cannot write {name}: {e}"))
+}
+
+fn fig1(csv: Option<&Path>) -> Result<(), CliError> {
     println!("==============================================================");
     println!("Figure 1: sequential loop execution, full statement tracing");
     println!("(measured/actual and time-based approximated/actual ratios)");
@@ -156,7 +229,7 @@ fn fig1(csv: Option<&Path>) {
         })
         .collect();
     println!("{}", render_bars("", &groups, 48));
-    if let Some(f) = csv_file(csv, "fig1.csv") {
+    if let Some(f) = csv_file(csv, "fig1.csv")? {
         let ratio_rows: Vec<_> = rows
             .iter()
             .map(|r| ppa::metrics::RatioRow {
@@ -167,11 +240,12 @@ fn fig1(csv: Option<&Path>) {
                 paper_approx: None,
             })
             .collect();
-        let _ = write_ratios_csv(&ratio_rows, f);
+        write_ratios_csv(&ratio_rows, f).map_err(csv_io("fig1.csv"))?;
     }
+    Ok(())
 }
 
-fn table1(csv: Option<&Path>) {
+fn table1(csv: Option<&Path>) -> Result<(), CliError> {
     println!("==============================================================");
     let rows = exp::table1();
     println!(
@@ -181,12 +255,13 @@ fn table1(csv: Option<&Path>) {
             &rows
         )
     );
-    if let Some(f) = csv_file(csv, "table1.csv") {
-        let _ = write_ratios_csv(&rows, f);
+    if let Some(f) = csv_file(csv, "table1.csv")? {
+        write_ratios_csv(&rows, f).map_err(csv_io("table1.csv"))?;
     }
+    Ok(())
 }
 
-fn table2(csv: Option<&Path>) {
+fn table2(csv: Option<&Path>) -> Result<(), CliError> {
     println!("==============================================================");
     let rows = exp::table2();
     println!(
@@ -196,12 +271,13 @@ fn table2(csv: Option<&Path>) {
             &rows
         )
     );
-    if let Some(f) = csv_file(csv, "table2.csv") {
-        let _ = write_ratios_csv(&rows, f);
+    if let Some(f) = csv_file(csv, "table2.csv")? {
+        write_ratios_csv(&rows, f).map_err(csv_io("table2.csv"))?;
     }
+    Ok(())
 }
 
-fn loop17(csv: Option<&Path>, t3: bool, f4: bool, f5: bool) {
+fn loop17(csv: Option<&Path>, t3: bool, f4: bool, f5: bool) -> Result<(), CliError> {
     let a = exp::loop17_analysis();
     if t3 {
         println!("==============================================================");
@@ -220,16 +296,16 @@ fn loop17(csv: Option<&Path>, t3: bool, f4: bool, f5: bool) {
                 .collect::<Vec<_>>()
                 .join(" ")
         );
-        if let Some(f) = csv_file(csv, "table3.csv") {
-            let _ = write_waiting_csv(&a.waiting, f);
+        if let Some(f) = csv_file(csv, "table3.csv")? {
+            write_waiting_csv(&a.waiting, f).map_err(csv_io("table3.csv"))?;
         }
     }
     if f4 {
         println!("==============================================================");
         println!("Figure 4: approximated waiting behavior in loop 17");
         println!("{}", render_timeline(&a.timeline, 96));
-        if let Some(f) = csv_file(csv, "fig4.csv") {
-            let _ = write_timeline_csv(&a.timeline, f);
+        if let Some(f) = csv_file(csv, "fig4.csv")? {
+            write_timeline_csv(&a.timeline, f).map_err(csv_io("fig4.csv"))?;
         }
     }
     if f5 {
@@ -239,10 +315,11 @@ fn loop17(csv: Option<&Path>, t3: bool, f4: bool, f5: bool) {
             a.avg_parallelism
         );
         println!("{}", render_parallelism(&a.profile, 96, 8));
-        if let Some(f) = csv_file(csv, "fig5.csv") {
-            let _ = write_parallelism_csv(&a.profile, f);
+        if let Some(f) = csv_file(csv, "fig5.csv")? {
+            write_parallelism_csv(&a.profile, f).map_err(csv_io("fig5.csv"))?;
         }
     }
+    Ok(())
 }
 
 fn ablation_overhead() {
@@ -283,10 +360,15 @@ fn ablation_schedule() {
     }
 }
 
-fn show(id: u8) {
+fn show(id: u8) -> Result<(), CliError> {
     match ppa::lfk::generic_graph(id) {
-        Some(program) => print!("{}", ppa::program::format_program(&program)),
-        None => eprintln!("kernel {id} has no graph (valid ids: 1-24)"),
+        Some(program) => {
+            print!("{}", ppa::program::format_program(&program));
+            Ok(())
+        }
+        None => Err(CliError::Usage(format!(
+            "kernel {id} has no graph (valid ids: 1-24)"
+        ))),
     }
 }
 
@@ -310,16 +392,15 @@ fn buffers() {
     }
 }
 
-fn campaign(path: &str) {
+fn campaign(path: &str) -> Result<(), CliError> {
     println!("running the full campaign...");
     let c = exp::run_campaign();
-    match std::fs::File::create(path)
-        .map_err(|e| e.to_string())
-        .and_then(|f| serde_json::to_writer_pretty(f, &c).map_err(|e| e.to_string()))
-    {
-        Ok(()) => println!("campaign report written to {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
-    }
+    let file =
+        File::create(path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
+    serde_json::to_writer_pretty(file, &c)
+        .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+    println!("campaign report written to {path}");
+    Ok(())
 }
 
 fn modes() {
@@ -475,14 +556,14 @@ fn native() {
 
 // --- analyze: event-based analysis of an on-disk JSONL trace ------------
 
-fn analyze(args: &[String]) -> ExitCode {
-    match run_analyze(args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("analyze: {e}");
-            ExitCode::FAILURE
-        }
-    }
+const ANALYZE_USAGE: &str = "usage: ppa analyze <measured.jsonl> [--stream] \
+     [--out approx.jsonl] [--overheads spec.json] [--metrics-out snap.prom] \
+     [--metrics-format prom|json] [--progress]";
+
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Prom,
+    Json,
 }
 
 /// Output accounting shared by the streaming loop and the tail flush.
@@ -512,97 +593,269 @@ impl<W: std::io::Write> AnalyzeSink<W> {
     }
 }
 
-fn run_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    use ppa::analysis::{event_based, EventBasedAnalyzer};
-    use ppa::trace::{
-        read_jsonl, write_jsonl, OverheadSpec, TraceKind, TraceStreamReader, TraceStreamWriter,
-    };
-    use std::io::{BufReader, BufWriter};
+fn run_analyze(args: &[String]) -> Result<(), CliError> {
+    use ppa::trace::OverheadSpec;
 
     let mut input: Option<&str> = None;
     let mut out_path: Option<&str> = None;
     let mut overheads_path: Option<&str> = None;
+    let mut metrics_out: Option<&str> = None;
+    let mut metrics_format = MetricsFormat::Prom;
     let mut stream = false;
+    let mut progress = false;
     let mut it = args.iter();
+    let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stream" => stream = true,
-            "--out" => out_path = Some(it.next().ok_or("--out needs a file argument")?),
+            "--progress" => progress = true,
+            "--out" => out_path = Some(it.next().ok_or_else(|| missing("--out"))?),
             "--overheads" => {
-                overheads_path = Some(it.next().ok_or("--overheads needs a file argument")?);
+                overheads_path = Some(it.next().ok_or_else(|| missing("--overheads"))?);
             }
-            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}").into()),
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or_else(|| missing("--metrics-out"))?);
+            }
+            "--metrics-format" => {
+                metrics_format = match it
+                    .next()
+                    .ok_or_else(|| missing("--metrics-format"))?
+                    .as_str()
+                {
+                    "prom" => MetricsFormat::Prom,
+                    "json" => MetricsFormat::Json,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--metrics-format must be `prom` or `json`, got {other:?}"
+                        )));
+                    }
+                };
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag {flag:?}")));
+            }
             path if input.is_none() => input = Some(path),
-            extra => return Err(format!("unexpected argument {extra:?}").into()),
+            extra => return Err(CliError::Usage(format!("unexpected argument {extra:?}"))),
         }
     }
-    let input = input.ok_or(
-        "usage: ppa analyze <measured.jsonl> [--stream] [--out approx.jsonl] \
-         [--overheads spec.json]",
-    )?;
+    let input = input.ok_or_else(|| CliError::Usage(ANALYZE_USAGE.into()))?;
+    if (metrics_out.is_some() || progress) && !stream {
+        return Err(CliError::Usage(
+            "--metrics-out and --progress require --stream".into(),
+        ));
+    }
     let overheads: OverheadSpec = match overheads_path {
-        Some(p) => serde_json::from_str(&std::fs::read_to_string(p)?)?,
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| CliError::NoInput(format!("{p}: {e}")))?;
+            serde_json::from_str(&text).map_err(|e| CliError::Data(format!("{p}: {e}")))?
+        }
         None => OverheadSpec::alliant_default(),
     };
 
     if stream {
-        // Bounded-memory pipeline: chunked reader -> analyzer -> writer.
-        let reader = TraceStreamReader::new(BufReader::new(File::open(input)?))?;
-        let expected = reader.expected_events();
-        let writer = match out_path {
-            Some(p) => Some(TraceStreamWriter::new(
-                BufWriter::new(File::create(p)?),
-                TraceKind::Approximated,
-                expected,
-            )?),
-            None => None,
-        };
-        let mut analyzer = EventBasedAnalyzer::new(&overheads);
-        let mut sink = AnalyzeSink {
-            writer,
-            events: 0,
-            awaits: 0,
-            barriers: 0,
-            last_time: ppa::trace::Time::ZERO,
-        };
-        for event in reader {
-            analyzer.push(event?)?;
-            while let Some(o) = analyzer.next_output() {
-                sink.take(o)?;
-            }
-        }
-        let tail = analyzer.finish()?;
-        for o in tail.outputs {
-            sink.take(o)?;
-        }
-        if let Some(w) = sink.writer.take() {
-            w.finish()?;
-        }
-        println!(
-            "analyzed {} measured events (streaming): {} approximated events, \
-             {} awaits, {} barrier passages",
-            expected, sink.events, sink.awaits, sink.barriers
-        );
-        println!("final approximated time: {}", sink.last_time);
-        println!(
-            "peak resident state: {} events (parked {}, buffered {})",
-            tail.stats.peak_resident, tail.stats.peak_parked, tail.stats.peak_buffered
-        );
+        stream_analyze(
+            input,
+            out_path,
+            &overheads,
+            metrics_out,
+            metrics_format,
+            progress,
+        )
     } else {
-        let measured = read_jsonl(BufReader::new(File::open(input)?))?;
-        let result = event_based(&measured, &overheads)?;
-        if let Some(p) = out_path {
-            write_jsonl(&result.trace, BufWriter::new(File::create(p)?))?;
-        }
-        println!(
-            "analyzed {} measured events: {} approximated events, {} awaits, \
-             {} barrier passages",
-            measured.len(),
-            result.trace.len(),
-            result.awaits.len(),
-            result.barriers.len()
-        );
-        println!("approximated total time: {}", result.trace.total_time());
+        batch_analyze(input, out_path, &overheads)
     }
+}
+
+/// Bounded-memory pipeline: chunked reader -> analyzer -> chunked writer,
+/// optionally instrumented with `ppa::obs` probes and a stderr ticker.
+fn stream_analyze(
+    input: &str,
+    out_path: Option<&str>,
+    overheads: &ppa::trace::OverheadSpec,
+    metrics_out: Option<&str>,
+    metrics_format: MetricsFormat,
+    progress: bool,
+) -> Result<(), CliError> {
+    use ppa::analysis::{AnalyzerProbes, EventBasedAnalyzer};
+    use ppa::obs::{calibrate_self_overhead, json_text, prometheus_text, Registry};
+    use ppa::trace::{StreamProbes, TraceKind, TraceStreamReader, TraceStreamWriter};
+    use std::io::{BufReader, BufWriter};
+    use std::time::{Duration, Instant};
+
+    let registry = Registry::new();
+    let want_metrics = metrics_out.is_some();
+    let (read_probes, write_probes, analyzer_probes) = if want_metrics {
+        (
+            StreamProbes::register(&registry, "read"),
+            StreamProbes::register(&registry, "write"),
+            AnalyzerProbes::register(&registry),
+        )
+    } else {
+        (
+            StreamProbes::noop(),
+            StreamProbes::noop(),
+            AnalyzerProbes::noop(),
+        )
+    };
+
+    let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
+    let reader = TraceStreamReader::with_probes(BufReader::new(file), read_probes)
+        .map_err(CliError::from)?;
+    let expected = reader.expected_events();
+    let writer = match out_path {
+        Some(p) => {
+            let f = File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?;
+            Some(
+                TraceStreamWriter::with_probes(
+                    BufWriter::new(f),
+                    TraceKind::Approximated,
+                    expected,
+                    write_probes,
+                )
+                .map_err(|e| CliError::Io(format!("{p}: {e}")))?,
+            )
+        }
+        None => None,
+    };
+    let mut analyzer = EventBasedAnalyzer::with_probes(overheads, analyzer_probes);
+    let mut sink = AnalyzeSink {
+        writer,
+        events: 0,
+        awaits: 0,
+        barriers: 0,
+        last_time: ppa::trace::Time::ZERO,
+    };
+
+    // Per-source-processor event shares for the per-shard counters:
+    // `ppa_shard_events_total{shard="p<i>"}` / `ppa_shard_throughput_eps`.
+    let mut per_proc: Vec<u64> = Vec::new();
+    let began = Instant::now();
+    let mut last_tick = began;
+    let mut pushed: u64 = 0;
+
+    for event in reader {
+        let event = event.map_err(|e| CliError::from(e).prefixed(input))?;
+        if want_metrics {
+            let pi = event.proc.index();
+            if pi >= per_proc.len() {
+                per_proc.resize(pi + 1, 0);
+            }
+            per_proc[pi] += 1;
+        }
+        analyzer.push(event)?;
+        pushed += 1;
+        while let Some(o) = analyzer.next_output() {
+            sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
+        }
+        if progress
+            && pushed.is_multiple_of(4096)
+            && last_tick.elapsed() >= Duration::from_millis(250)
+        {
+            eprintln!(
+                "progress: {pushed}/{expected} events in, {} out, watermark lag {}",
+                sink.events,
+                analyzer.watermark_lag()
+            );
+            last_tick = Instant::now();
+        }
+    }
+    let tail = analyzer.finish()?;
+    for o in tail.outputs {
+        sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
+    }
+    if let Some(w) = sink.writer.take() {
+        w.finish().map_err(|e| CliError::Io(e.to_string()))?;
+    }
+    if progress {
+        eprintln!("progress: done ({pushed} events in, {} out)", sink.events);
+    }
+
+    if let Some(path) = metrics_out {
+        let elapsed = began.elapsed().as_secs_f64();
+        for (p, &n) in per_proc.iter().enumerate() {
+            let shard = format!("p{p}");
+            registry
+                .counter_with(
+                    "ppa_shard_events_total",
+                    &[("shard", &shard)],
+                    "Measured events read per source processor.",
+                )
+                .add(n);
+            registry
+                .gauge_with(
+                    "ppa_shard_throughput_eps",
+                    &[("shard", &shard)],
+                    "Events per second processed for this source processor.",
+                )
+                .set(if elapsed > 0.0 {
+                    n as f64 / elapsed
+                } else {
+                    0.0
+                });
+        }
+        calibrate_self_overhead().export(&registry);
+        let snap = registry.snapshot();
+        let text = match metrics_format {
+            MetricsFormat::Prom => prometheus_text(&snap),
+            MetricsFormat::Json => json_text(&snap),
+        };
+        std::fs::write(path, text).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        println!("metrics snapshot written to {path}");
+    }
+
+    println!(
+        "analyzed {} measured events (streaming): {} approximated events, \
+         {} awaits, {} barrier passages",
+        expected, sink.events, sink.awaits, sink.barriers
+    );
+    println!("final approximated time: {}", sink.last_time);
+    println!(
+        "peak resident state: {} events (parked {}, buffered {})",
+        tail.stats.peak_resident, tail.stats.peak_parked, tail.stats.peak_buffered
+    );
     Ok(())
+}
+
+fn batch_analyze(
+    input: &str,
+    out_path: Option<&str>,
+    overheads: &ppa::trace::OverheadSpec,
+) -> Result<(), CliError> {
+    use ppa::analysis::event_based;
+    use ppa::trace::{read_jsonl, write_jsonl};
+    use std::io::{BufReader, BufWriter};
+
+    let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
+    let measured =
+        read_jsonl(BufReader::new(file)).map_err(|e| CliError::from(e).prefixed(input))?;
+    let result = event_based(&measured, overheads)?;
+    if let Some(p) = out_path {
+        let f = File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?;
+        write_jsonl(&result.trace, BufWriter::new(f))
+            .map_err(|e| CliError::Io(format!("{p}: {e}")))?;
+    }
+    println!(
+        "analyzed {} measured events: {} approximated events, {} awaits, \
+         {} barrier passages",
+        measured.len(),
+        result.trace.len(),
+        result.awaits.len(),
+        result.barriers.len()
+    );
+    println!("approximated total time: {}", result.trace.total_time());
+    Ok(())
+}
+
+impl CliError {
+    /// Prefixes the message with the file it concerns (for input errors
+    /// whose underlying message does not name the file).
+    fn prefixed(self, path: &str) -> CliError {
+        match self {
+            CliError::Usage(m) => CliError::Usage(format!("{path}: {m}")),
+            CliError::Data(m) => CliError::Data(format!("{path}: {m}")),
+            CliError::NoInput(m) => CliError::NoInput(format!("{path}: {m}")),
+            CliError::Io(m) => CliError::Io(format!("{path}: {m}")),
+        }
+    }
 }

@@ -1,10 +1,12 @@
-//! End-to-end test of `ppa analyze`: the streaming pipeline and the batch
-//! pipeline must produce byte-identical approximated JSONL.
+//! End-to-end tests of `ppa analyze`: the streaming pipeline and the
+//! batch pipeline must produce byte-identical approximated JSONL, errors
+//! must map onto the documented sysexits codes, and `--metrics-out` must
+//! emit a parseable snapshot with nonzero pipeline counters.
 
 use ppa::prelude::*;
 use std::fs;
 use std::path::PathBuf;
-use std::process::Command;
+use std::process::{Command, Output};
 
 fn measured_jsonl(dir: &std::path::Path) -> PathBuf {
     let cfg = ppa::experiments::experiment_config();
@@ -27,26 +29,26 @@ fn measured_jsonl(dir: &std::path::Path) -> PathBuf {
     path
 }
 
+fn ppa_analyze(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ppa"))
+        .arg("analyze")
+        .args(args)
+        .output()
+        .expect("run ppa analyze")
+}
+
 #[test]
 fn analyze_stream_matches_batch() {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
     let input = measured_jsonl(&dir);
+    let input = input.to_str().unwrap();
     let out_stream = dir.join("approx_stream.jsonl");
     let out_batch = dir.join("approx_batch.jsonl");
 
-    let bin = env!("CARGO_BIN_EXE_ppa");
-    let status = Command::new(bin)
-        .args(["analyze", input.to_str().unwrap(), "--stream", "--out"])
-        .arg(&out_stream)
-        .status()
-        .expect("run ppa analyze --stream");
-    assert!(status.success());
-    let status = Command::new(bin)
-        .args(["analyze", input.to_str().unwrap(), "--out"])
-        .arg(&out_batch)
-        .status()
-        .expect("run ppa analyze");
-    assert!(status.success());
+    let out = ppa_analyze(&[input, "--stream", "--out", out_stream.to_str().unwrap()]);
+    assert!(out.status.success(), "{:?}", out);
+    let out = ppa_analyze(&[input, "--out", out_batch.to_str().unwrap()]);
+    assert!(out.status.success(), "{:?}", out);
 
     let streamed = fs::read(&out_stream).expect("read streaming output");
     let batch = fs::read(&out_batch).expect("read batch output");
@@ -55,11 +57,127 @@ fn analyze_stream_matches_batch() {
 }
 
 #[test]
-fn analyze_rejects_missing_input() {
-    let bin = env!("CARGO_BIN_EXE_ppa");
-    let status = Command::new(bin)
-        .args(["analyze", "/nonexistent/trace.jsonl"])
-        .status()
-        .expect("run ppa analyze");
-    assert!(!status.success());
+fn analyze_rejects_missing_input_with_exit_66() {
+    let out = ppa_analyze(&["/nonexistent/trace.jsonl"]);
+    assert_eq!(out.status.code(), Some(66));
+    let out = ppa_analyze(&["/nonexistent/trace.jsonl", "--stream"]);
+    assert_eq!(out.status.code(), Some(66));
+}
+
+#[test]
+fn analyze_reports_usage_errors_with_exit_64() {
+    let out = ppa_analyze(&[]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = ppa_analyze(&["t.jsonl", "--bogus-flag"]);
+    assert_eq!(out.status.code(), Some(64));
+    // Metrics flags are only meaningful on the streaming pipeline.
+    let out = ppa_analyze(&["t.jsonl", "--metrics-out", "m.prom"]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = ppa_analyze(&["t.jsonl", "--stream", "--metrics-format", "xml"]);
+    assert_eq!(out.status.code(), Some(64));
+}
+
+#[test]
+fn analyze_reports_malformed_line_with_exit_65() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let mut bytes = fs::read(&input).expect("read measured.jsonl");
+    let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+    bytes.splice(first_nl + 1..first_nl + 1, b"{not json}\n".iter().copied());
+    let bad = dir.join("malformed.jsonl");
+    fs::write(&bad, &bytes).expect("write malformed.jsonl");
+
+    for extra in [&[][..], &["--stream"][..]] {
+        let mut args = vec![bad.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = ppa_analyze(&args);
+        assert_eq!(out.status.code(), Some(65), "{:?}", out);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        // The garbage line sits right after the header, i.e. line 2.
+        assert!(stderr.contains("line 2"), "stderr: {stderr}");
+    }
+}
+
+#[test]
+fn analyze_reports_truncated_input_with_exit_65() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let bytes = fs::read(&input).expect("read measured.jsonl");
+    let newlines: Vec<usize> = (0..bytes.len()).filter(|&i| bytes[i] == b'\n').collect();
+    let cut = dir.join("truncated.jsonl");
+    fs::write(&cut, &bytes[..newlines[newlines.len() - 4] + 1]).expect("write truncated.jsonl");
+
+    for extra in [&[][..], &["--stream"][..]] {
+        let mut args = vec![cut.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = ppa_analyze(&args);
+        assert_eq!(out.status.code(), Some(65), "{:?}", out);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("truncated"), "stderr: {stderr}");
+    }
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn analyze_stream_exports_prometheus_metrics() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let snap = dir.join("snap.prom");
+    let out = ppa_analyze(&[
+        input.to_str().unwrap(),
+        "--stream",
+        "--progress",
+        "--metrics-out",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+
+    let text = fs::read_to_string(&snap).expect("read snapshot");
+    for needle in [
+        "# TYPE ppa_events_pushed_total counter",
+        "# TYPE ppa_watermark_lag gauge",
+        "# TYPE ppa_resident_events gauge",
+        "ppa_stream_bytes_total{dir=\"read\"}",
+        "ppa_stream_bytes_total{dir=\"write\"}",
+        "ppa_shard_events_total{shard=\"p0\"}",
+        "ppa_shard_throughput_eps{shard=\"p0\"}",
+        "ppa_obs_self_overhead_ns_per_probe",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // The pipeline really counted: events pushed is nonzero.
+    let pushed = text
+        .lines()
+        .find(|l| l.starts_with("ppa_events_pushed_total "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("ppa_events_pushed_total sample");
+    assert!(pushed > 0);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn analyze_stream_exports_json_metrics() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let snap = dir.join("snap.json");
+    let out = ppa_analyze(&[
+        input.to_str().unwrap(),
+        "--stream",
+        "--metrics-out",
+        snap.to_str().unwrap(),
+        "--metrics-format",
+        "json",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+
+    let text = fs::read_to_string(&snap).expect("read snapshot");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("snapshot is valid JSON");
+    let metrics = doc["metrics"].as_array().expect("metrics array");
+    assert!(!metrics.is_empty());
+    let pushed = metrics
+        .iter()
+        .find(|m| m["name"].as_str() == Some("ppa_events_pushed_total"))
+        .expect("ppa_events_pushed_total present");
+    assert!(pushed["value"].as_u64().unwrap() > 0);
 }

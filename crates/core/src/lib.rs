@@ -41,8 +41,8 @@ pub use event_based::{
     EventBasedResult,
 };
 pub use liberal::{liberal_reschedule, LiberalResult};
-pub use sharded::event_based_sharded;
-pub use streaming::{EventBasedAnalyzer, StreamOutput, StreamStats, StreamTail};
+pub use sharded::{event_based_sharded, event_based_sharded_probed, ShardProbes};
+pub use streaming::{AnalyzerProbes, EventBasedAnalyzer, StreamOutput, StreamStats, StreamTail};
 pub use time_based::{time_based, time_based_total, TimeBasedResult};
 
 #[cfg(test)]

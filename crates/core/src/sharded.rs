@@ -25,9 +25,70 @@
 
 use crate::error::AnalysisError;
 use crate::event_based::{assemble_result, discover_structure, Basis, EventBasedResult, Structure};
+use ppa_obs::{exponential_bounds, Counter, Gauge, Histogram, Registry};
 use ppa_trace::{pair_sync_events, OverheadSpec, ProcessorId, Span, Time, Trace, TraceKind};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::time::Instant;
+
+/// Observability probes for [`event_based_sharded_probed`].
+///
+/// Per-shard metrics are registered lazily (one label set per worker) on
+/// the registry captured at [`ShardProbes::register`] time:
+/// `ppa_shard_events_total{shard="w<i>"}` counts the events a worker
+/// scanned (each trace event is counted by exactly one shard),
+/// `ppa_shard_throughput_eps{shard="w<i>"}` reports scanned events per
+/// second of the worker's total busy time across both parallel phases
+/// (segment scan + reconstruction), and `ppa_shard_join_wait_ns`
+/// is a histogram of how long the coordinating thread waited for each
+/// worker join — the direct measure of shard skew.
+#[derive(Clone, Debug, Default)]
+pub struct ShardProbes {
+    registry: Option<Registry>,
+    /// Join-wait histogram (`ppa_shard_join_wait_ns`).
+    pub join_wait: Histogram,
+}
+
+impl ShardProbes {
+    /// Detached probes: every record is discarded.
+    pub fn noop() -> Self {
+        ShardProbes::default()
+    }
+
+    /// Registers the sharding metrics on `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        ShardProbes {
+            registry: Some(registry.clone()),
+            join_wait: registry.histogram(
+                "ppa_shard_join_wait_ns",
+                "Nanoseconds the coordinator waited for each worker join.",
+                &exponential_bounds(1_000, 8.0, 8),
+            ),
+        }
+    }
+
+    fn shard_events(&self, shard: usize) -> Counter {
+        match &self.registry {
+            Some(r) => r.counter_with(
+                "ppa_shard_events_total",
+                &[("shard", &format!("w{shard}"))],
+                "Events scanned by this shard worker.",
+            ),
+            None => Counter::noop(),
+        }
+    }
+
+    fn shard_throughput(&self, shard: usize) -> Gauge {
+        match &self.registry {
+            Some(r) => r.gauge_with(
+                "ppa_shard_throughput_eps",
+                &[("shard", &format!("w{shard}"))],
+                "Events per second this shard worker sustained across the parallel phases.",
+            ),
+            None => Gauge::noop(),
+        }
+    }
+}
 
 /// Event-based perturbation analysis with parallel chain reconstruction.
 ///
@@ -42,6 +103,18 @@ pub fn event_based_sharded(
     measured: &Trace,
     overheads: &OverheadSpec,
     workers: usize,
+) -> Result<EventBasedResult, AnalysisError> {
+    event_based_sharded_probed(measured, overheads, workers, ShardProbes::noop())
+}
+
+/// [`event_based_sharded`] with observability: per-shard event counts and
+/// throughput, plus a join-wait histogram capturing shard skew. Produces
+/// the identical analysis result.
+pub fn event_based_sharded_probed(
+    measured: &Trace,
+    overheads: &OverheadSpec,
+    workers: usize,
+    probes: ShardProbes,
 ) -> Result<EventBasedResult, AnalysisError> {
     let index = pair_sync_events(measured)?;
     let events = measured.events();
@@ -98,6 +171,13 @@ pub fn event_based_sharded(
             .saturating_sub(overheads.instr_overhead(&events[i].kind))
     };
 
+    // Per-shard observability accumulators: events scanned and busy time
+    // across both parallel phases, folded into the shard metrics at the
+    // end of the run.
+    let n_shards = proc_lists.chunks(chunk).len();
+    let mut shard_events: Vec<u64> = vec![0; n_shards];
+    let mut shard_busy: Vec<std::time::Duration> = vec![std::time::Duration::ZERO; n_shards];
+
     // --- Phase 2: parallel segment scans --------------------------------
     // For each chain event, the anchor joint that starts its segment and
     // the cumulative increment since that anchor.
@@ -110,6 +190,7 @@ pub fn event_based_sharded(
             .chunks(chunk)
             .map(|lists| {
                 s.spawn(move || {
+                    let begin = Instant::now();
                     let mut out: Vec<(usize, usize, Span)> = Vec::new();
                     for list in lists {
                         // (anchor, cum) of the previous event on this
@@ -126,12 +207,21 @@ pub fn event_based_sharded(
                             last = Some((a, c));
                         }
                     }
-                    out
+                    (out, begin.elapsed())
                 })
             })
             .collect();
-        for h in handles {
-            for (i, a, c) in h.join().expect("segment-scan worker panicked") {
+        for (w, h) in handles.into_iter().enumerate() {
+            let wait = Instant::now();
+            let (out, busy) = h.join().expect("segment-scan worker panicked");
+            probes
+                .join_wait
+                .observe(wait.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            // Each trace event is scanned by exactly one worker in this
+            // phase, so this is the per-shard share of the trace.
+            shard_events[w] += out.len() as u64;
+            shard_busy[w] += busy;
+            for (i, a, c) in out {
                 anchor[i] = a;
                 cum[i] = c;
             }
@@ -245,6 +335,7 @@ pub fn event_based_sharded(
             .chunks(chunk)
             .map(|lists| {
                 s.spawn(move || {
+                    let begin = Instant::now();
                     let mut out: Vec<(usize, Time)> = Vec::new();
                     for list in lists {
                         let mut last: Option<Time> = None;
@@ -258,16 +349,35 @@ pub fn event_based_sharded(
                             last = Some(v);
                         }
                     }
-                    out
+                    (out, begin.elapsed())
                 })
             })
             .collect();
-        for h in handles {
-            for (i, v) in h.join().expect("reconstruction worker panicked") {
+        for (w, h) in handles.into_iter().enumerate() {
+            let wait = Instant::now();
+            let (out, busy) = h.join().expect("reconstruction worker panicked");
+            probes
+                .join_wait
+                .observe(wait.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            // Events were already counted in the segment-scan phase; only
+            // the reconstruction busy time feeds the throughput gauge.
+            shard_busy[w] += busy;
+            for (i, v) in out {
                 ta[i] = v;
             }
         }
     });
+
+    for (w, (&events_scanned, busy)) in shard_events.iter().zip(&shard_busy).enumerate() {
+        probes.shard_events(w).add(events_scanned);
+        let secs = busy.as_secs_f64();
+        let eps = if secs > 0.0 {
+            events_scanned as f64 / secs
+        } else {
+            0.0
+        };
+        probes.shard_throughput(w).set(eps);
+    }
 
     Ok(assemble_result(events, &ta, &index))
 }
@@ -336,5 +446,100 @@ mod tests {
             event_based_sharded(&t, &spec(), 2),
             Err(AnalysisError::Trace(_))
         ));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn probes_record_per_shard_and_analyzer_metrics() {
+        use crate::streaming::{AnalyzerProbes, EventBasedAnalyzer};
+
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(0)
+            .loop_begin(0)
+            .on(0)
+            .at(100)
+            .stmt(0)
+            .at(200)
+            .advance(0, 0)
+            .on(1)
+            .at(50)
+            .await_begin(0, 0)
+            .at(210)
+            .await_end(0, 0)
+            .on(0)
+            .at(300)
+            .barrier_enter(0)
+            .on(1)
+            .at(320)
+            .barrier_enter(0)
+            .on(0)
+            .at(330)
+            .barrier_exit(0)
+            .on(1)
+            .at(340)
+            .barrier_exit(0)
+            .on(0)
+            .at(400)
+            .loop_end(0)
+            .build();
+
+        let registry = Registry::new();
+        let probes = ShardProbes::register(&registry);
+        event_based_sharded_probed(&t, &spec(), 2, probes).unwrap();
+
+        let snap = registry.snapshot();
+        let total: u64 = snap
+            .entries
+            .iter()
+            .filter(|m| m.name == "ppa_shard_events_total")
+            .map(|m| match m.value {
+                ppa_obs::MetricValue::Counter(c) => c,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, t.len() as u64, "every event scanned by some shard");
+        assert!(snap
+            .entries
+            .iter()
+            .any(|m| m.name == "ppa_shard_throughput_eps"));
+        assert!(snap
+            .entries
+            .iter()
+            .any(|m| m.name == "ppa_shard_join_wait_ns"));
+
+        let registry = Registry::new();
+        let probes = AnalyzerProbes::register(&registry);
+        let mut analyzer = EventBasedAnalyzer::with_probes(&spec(), probes);
+        for e in t.iter() {
+            analyzer.push(*e).unwrap();
+        }
+        let _ = analyzer.finish().unwrap();
+        let snap = registry.snapshot();
+        let counter = |name: &str| {
+            snap.entries
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| match m.value {
+                    ppa_obs::MetricValue::Counter(c) => c,
+                    _ => 0,
+                })
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("ppa_events_pushed_total"), t.len() as u64);
+        assert_eq!(counter("ppa_events_emitted_total"), t.len() as u64);
+        // finish() zeroes the pipeline gauges once the stream is complete.
+        let gauge = |name: &str| {
+            snap.entries
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| match m.value {
+                    ppa_obs::MetricValue::Gauge(g) => g,
+                    _ => f64::NAN,
+                })
+                .unwrap()
+        };
+        assert_eq!(gauge("ppa_resident_events"), 0.0);
+        assert_eq!(gauge("ppa_open_sync_episodes"), 0.0);
     }
 }

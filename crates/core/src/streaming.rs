@@ -48,6 +48,7 @@
 
 use crate::error::AnalysisError;
 use crate::event_based::{AwaitOutcome, BarrierOutcome};
+use ppa_obs::{Counter, Gauge, Registry};
 use ppa_trace::{
     BarrierId, Event, EventKind, OverheadSpec, ProcessorId, Span, SyncTag, SyncVarId, Time,
     TraceError,
@@ -55,6 +56,63 @@ use ppa_trace::{
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
+
+/// Observability probes for [`EventBasedAnalyzer`].
+///
+/// The analyzer always carries a set of these; the default
+/// ([`AnalyzerProbes::noop`]) is fully detached, so an unobserved
+/// analyzer pays one branch per push and nothing on the drain path.
+/// Attach real metrics with [`AnalyzerProbes::register`]. Gauges are
+/// refreshed on the drain cadence (every 16 pushes), not per event, so
+/// their cost is amortized away from the hot path.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyzerProbes {
+    /// Measured events accepted by `push` (`ppa_events_pushed_total`).
+    pub events_pushed: Counter,
+    /// Approximated events moved to the output (`ppa_events_emitted_total`).
+    pub events_emitted: Counter,
+    /// Nanoseconds between the newest arrival and the emission watermark
+    /// (`ppa_watermark_lag`).
+    pub watermark_lag: Gauge,
+    /// Resident analysis state: parked + buffered events + episode records
+    /// (`ppa_resident_events`).
+    pub resident_events: Gauge,
+    /// Barrier episodes currently open (`ppa_open_sync_episodes`).
+    pub open_sync_episodes: Gauge,
+}
+
+impl AnalyzerProbes {
+    /// Detached probes: every record is discarded.
+    pub fn noop() -> Self {
+        AnalyzerProbes::default()
+    }
+
+    /// Registers the analyzer metrics on `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        AnalyzerProbes {
+            events_pushed: registry.counter(
+                "ppa_events_pushed_total",
+                "Measured events accepted by the streaming analyzer.",
+            ),
+            events_emitted: registry.counter(
+                "ppa_events_emitted_total",
+                "Approximated events emitted by the streaming analyzer.",
+            ),
+            watermark_lag: registry.gauge(
+                "ppa_watermark_lag",
+                "Nanoseconds between the newest arrival and the emission watermark.",
+            ),
+            resident_events: registry.gauge(
+                "ppa_resident_events",
+                "Resident analyzer state: parked plus buffered events plus episode records.",
+            ),
+            open_sync_episodes: registry.gauge(
+                "ppa_open_sync_episodes",
+                "Barrier episodes currently open in the streaming analyzer.",
+            ),
+        }
+    }
+}
 
 /// FxHash-style multiply-rotate hasher. Every key hashed by the analyzer
 /// is a small fixed-size integer tuple, where the default SipHash's
@@ -372,6 +430,7 @@ pub struct EventBasedAnalyzer {
     since_drain: u32,
 
     stats: StreamStats,
+    probes: AnalyzerProbes,
 }
 
 impl EventBasedAnalyzer {
@@ -414,7 +473,25 @@ impl EventBasedAnalyzer {
             out: VecDeque::new(),
             since_drain: 0,
             stats: StreamStats::default(),
+            probes: AnalyzerProbes::noop(),
         }
+    }
+
+    /// Like [`EventBasedAnalyzer::new`], recording pipeline metrics into
+    /// `probes` as the stream is analyzed.
+    pub fn with_probes(overheads: &OverheadSpec, probes: AnalyzerProbes) -> Self {
+        let mut a = Self::new(overheads);
+        a.probes = probes;
+        a
+    }
+
+    /// Distance between the newest arrival and the emission watermark, in
+    /// measured time. A growing lag means buffered events are waiting on
+    /// an open synchronization construct (e.g. a barrier episode still
+    /// collecting enters); a small steady lag is the instrumentation
+    /// overhead horizon.
+    pub fn watermark_lag(&self) -> Span {
+        self.last_tm.saturating_since(self.watermark())
     }
 
     /// Feeds the next measured event.
@@ -430,6 +507,7 @@ impl EventBasedAnalyzer {
         let idx = self.next_idx;
         self.next_idx += 1;
         self.stats.events += 1;
+        self.probes.events_pushed.inc();
         let key = event.order_key();
         if let Some(last) = self.last_key {
             if last > key {
@@ -745,9 +823,15 @@ impl EventBasedAnalyzer {
             });
         }
         // Flush the reorder buffer: nothing can precede anything now.
+        let mut drained = 0u64;
         while let Some(Reverse(entry)) = self.buffer.pop() {
             self.out.push_back(StreamOutput::Event(entry.event));
+            drained += 1;
         }
+        self.probes.events_emitted.add(drained);
+        self.probes.watermark_lag.set(0.0);
+        self.probes.resident_events.set(0.0);
+        self.probes.open_sync_episodes.set(0.0);
         Ok(StreamTail {
             outputs: self.out.into_iter().collect(),
             stats: self.stats,
@@ -1291,6 +1375,7 @@ impl EventBasedAnalyzer {
     /// Moves every buffered event that is provably final into the output.
     fn drain_emission(&mut self) {
         let wm = self.watermark();
+        let mut drained = 0u64;
         while let Some(Reverse(entry)) = self.buffer.peek() {
             if entry.event.time >= wm {
                 break;
@@ -1299,6 +1384,18 @@ impl EventBasedAnalyzer {
                 unreachable!()
             };
             self.out.push_back(StreamOutput::Event(entry.event));
+            drained += 1;
         }
+        // Gauge refresh rides the drain cadence (every 16 pushes), keeping
+        // observability cost off the per-event path.
+        self.probes.events_emitted.add(drained);
+        self.probes
+            .watermark_lag
+            .set(self.last_tm.saturating_since(wm).as_nanos() as f64);
+        let resident = self.parked.len() + self.buffer.len() + self.episodes.len();
+        self.probes.resident_events.set(resident as f64);
+        self.probes
+            .open_sync_episodes
+            .set(self.open_by_barrier.len() as f64);
     }
 }

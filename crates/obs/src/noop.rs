@@ -1,0 +1,162 @@
+//! Zero-sized, zero-cost mirrors of the active metric types.
+//!
+//! Every type here is a unit struct and every method an empty `#[inline]`
+//! body, so a probe compiled against this module costs nothing — no
+//! memory, no branches, no atomics. The crate-level tests assert the
+//! zero-size property at compile time. When the `enabled` feature is off,
+//! the crate root aliases these types, erasing all observability from the
+//! build; they are also always available under `ppa_obs::noop` so the
+//! erased configuration stays testable from an enabled build.
+
+use crate::snapshot::Snapshot;
+
+/// No-op mirror of [`crate::active::Counter`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// A detached counter (indistinguishable from any other).
+    #[inline]
+    pub fn noop() -> Self {
+        Counter
+    }
+
+    /// Discards the record.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// Discards the record.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always zero.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op mirror of [`crate::active::Gauge`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// A detached gauge (indistinguishable from any other).
+    #[inline]
+    pub fn noop() -> Self {
+        Gauge
+    }
+
+    /// Discards the record.
+    #[inline]
+    pub fn set(&self, _v: f64) {}
+
+    /// Discards the record.
+    #[inline]
+    pub fn add(&self, _delta: f64) {}
+
+    /// Always zero.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op mirror of [`crate::active::Histogram`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// A detached histogram (indistinguishable from any other).
+    #[inline]
+    pub fn noop() -> Self {
+        Histogram
+    }
+
+    /// Discards the record.
+    #[inline]
+    pub fn observe(&self, _value: u64) {}
+
+    /// A stopwatch that reads no clock and records nothing.
+    #[inline]
+    pub fn start(&self) -> Stopwatch {
+        Stopwatch
+    }
+
+    /// Always zero.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always zero.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op mirror of [`crate::active::Stopwatch`]: no clock read, no record.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stopwatch;
+
+/// No-op mirror of [`crate::active::Registry`]: hands out no-op handles
+/// and snapshots to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// An empty registry.
+    #[inline]
+    pub fn new() -> Self {
+        Registry
+    }
+
+    /// A no-op counter.
+    #[inline]
+    pub fn counter(&self, _name: &str, _help: &str) -> Counter {
+        Counter
+    }
+
+    /// A no-op counter.
+    #[inline]
+    pub fn counter_with(&self, _name: &str, _labels: &[(&str, &str)], _help: &str) -> Counter {
+        Counter
+    }
+
+    /// A no-op gauge.
+    #[inline]
+    pub fn gauge(&self, _name: &str, _help: &str) -> Gauge {
+        Gauge
+    }
+
+    /// A no-op gauge.
+    #[inline]
+    pub fn gauge_with(&self, _name: &str, _labels: &[(&str, &str)], _help: &str) -> Gauge {
+        Gauge
+    }
+
+    /// A no-op histogram.
+    #[inline]
+    pub fn histogram(&self, _name: &str, _help: &str, _bounds: &[u64]) -> Histogram {
+        Histogram
+    }
+
+    /// A no-op histogram.
+    #[inline]
+    pub fn histogram_with(
+        &self,
+        _name: &str,
+        _labels: &[(&str, &str)],
+        _help: &str,
+        _bounds: &[u64],
+    ) -> Histogram {
+        Histogram
+    }
+
+    /// Always empty.
+    #[inline]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}

@@ -1,0 +1,345 @@
+//! Point-in-time metric snapshots and their exporters.
+//!
+//! A [`Snapshot`] is a plain-data copy of a registry taken at one instant;
+//! [`prometheus_text`] and [`json_text`] serialize it. Both exporters are
+//! hand-rolled so this crate stays dependency-free.
+
+use crate::active::kind_of;
+
+/// The export kind of a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing count.
+    Counter,
+    /// A value that can move in either direction.
+    Gauge,
+    /// A distribution over fixed buckets.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A point-in-time value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram {
+        /// Upper bucket bounds, ascending; an implicit `+Inf` bucket follows.
+        bounds: Vec<u64>,
+        /// Per-bucket (non-cumulative) counts; `bounds.len() + 1` entries,
+        /// the last being the `+Inf` bucket.
+        counts: Vec<u64>,
+        /// Sum of all observed samples.
+        sum: u64,
+        /// Total number of observed samples.
+        count: u64,
+    },
+}
+
+/// One registered metric captured at snapshot time.
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    /// Metric name (`ppa_`-prefixed snake_case).
+    pub name: String,
+    /// Help text shown in the `# HELP` line.
+    pub help: String,
+    /// Static labels fixed at registration.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// The captured metrics, in registration order.
+    pub entries: Vec<MetricSnapshot>,
+}
+
+/// Exponentially spaced histogram bucket bounds: `base * factor^i` for
+/// `i in 0..count`, deduplicated and ascending. Handy for latency
+/// histograms spanning several orders of magnitude.
+///
+/// ```
+/// assert_eq!(ppa_obs::exponential_bounds(10, 10.0, 4), vec![10, 100, 1000, 10000]);
+/// ```
+pub fn exponential_bounds(base: u64, factor: f64, count: usize) -> Vec<u64> {
+    assert!(base > 0, "base must be positive");
+    assert!(factor > 1.0, "factor must exceed 1");
+    let mut bounds = Vec::with_capacity(count);
+    let mut cur = base as f64;
+    for _ in 0..count {
+        let b = cur.min(u64::MAX as f64) as u64;
+        if bounds.last() != Some(&b) {
+            bounds.push(b);
+        }
+        cur *= factor;
+    }
+    bounds
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Metrics sharing a name form one family: the `# HELP`/`# TYPE` header is
+/// emitted once (from the first registration), followed by one sample line
+/// per label set. Histograms expand to cumulative `_bucket{le=...}` lines
+/// plus `_sum` and `_count`.
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for entry in &snapshot.entries {
+        if !seen.contains(&entry.name.as_str()) {
+            seen.push(&entry.name);
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} {}\n",
+                entry.name,
+                entry.help,
+                entry.name,
+                kind_of(&entry.value).as_str()
+            ));
+            // Emit every family member together, regardless of
+            // registration interleaving.
+            for member in snapshot.entries.iter().filter(|m| m.name == entry.name) {
+                render_sample(&mut out, member);
+            }
+        }
+    }
+    out
+}
+
+fn render_sample(out: &mut String, m: &MetricSnapshot) {
+    match &m.value {
+        MetricValue::Counter(v) => {
+            out.push_str(&format!("{}{} {v}\n", m.name, label_block(&m.labels, None)));
+        }
+        MetricValue::Gauge(v) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                m.name,
+                label_block(&m.labels, None),
+                fmt_f64(*v)
+            ));
+        }
+        MetricValue::Histogram {
+            bounds,
+            counts,
+            sum,
+            count,
+        } => {
+            let mut cumulative = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cumulative += c;
+                let le = bounds
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_string());
+                out.push_str(&format!(
+                    "{}_bucket{} {cumulative}\n",
+                    m.name,
+                    label_block(&m.labels, Some(("le", &le)))
+                ));
+            }
+            out.push_str(&format!(
+                "{}_sum{} {sum}\n",
+                m.name,
+                label_block(&m.labels, None)
+            ));
+            out.push_str(&format!(
+                "{}_count{} {count}\n",
+                m.name,
+                label_block(&m.labels, None)
+            ));
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_u64_list(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders a snapshot as a JSON document: an object with a `"metrics"`
+/// array, each element carrying `name`, `kind`, `help`, `labels`, and a
+/// kind-specific `value` (number for counters/gauges; an object with
+/// `bounds`/`counts`/`sum`/`count` for histograms).
+pub fn json_text(snapshot: &Snapshot) -> String {
+    let mut items = Vec::with_capacity(snapshot.entries.len());
+    for m in &snapshot.entries {
+        let labels: Vec<String> = m
+            .labels
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        let value = match &m.value {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => {
+                if v.is_finite() {
+                    fmt_f64(*v)
+                } else {
+                    "null".to_string()
+                }
+            }
+            MetricValue::Histogram {
+                bounds,
+                counts,
+                sum,
+                count,
+            } => format!(
+                "{{\"bounds\":{},\"counts\":{},\"sum\":{sum},\"count\":{count}}}",
+                json_u64_list(bounds),
+                json_u64_list(counts)
+            ),
+        };
+        items.push(format!(
+            "{{\"name\":\"{}\",\"kind\":\"{}\",\"help\":\"{}\",\"labels\":{{{}}},\"value\":{value}}}",
+            json_escape(&m.name),
+            kind_of(&m.value).as_str(),
+            json_escape(&m.help),
+            labels.join(",")
+        ));
+    }
+    format!("{{\"metrics\":[{}]}}\n", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::active::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        let c = r.counter("ppa_events_pushed_total", "Events pushed.");
+        c.add(42);
+        let g = r.gauge_with("ppa_watermark_lag", &[("unit", "ns")], "Watermark lag.");
+        g.set(1.5);
+        let h = r.histogram("ppa_join_wait_ns", "Join wait.", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        r
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("# HELP ppa_events_pushed_total Events pushed.\n"));
+        assert!(text.contains("# TYPE ppa_events_pushed_total counter\n"));
+        assert!(text.contains("ppa_events_pushed_total 42\n"));
+        assert!(text.contains("ppa_watermark_lag{unit=\"ns\"} 1.5\n"));
+        assert!(text.contains("# TYPE ppa_join_wait_ns histogram\n"));
+        assert!(text.contains("ppa_join_wait_ns_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("ppa_join_wait_ns_bucket{le=\"100\"} 2\n"));
+        assert!(text.contains("ppa_join_wait_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("ppa_join_wait_ns_sum 555\n"));
+        assert!(text.contains("ppa_join_wait_ns_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_groups_label_variants_under_one_header() {
+        let r = Registry::new();
+        r.counter_with("ppa_shard_events_total", &[("shard", "p0")], "Per shard.")
+            .add(7);
+        r.gauge("ppa_other", "Other.").set(1.0);
+        r.counter_with("ppa_shard_events_total", &[("shard", "p1")], "Per shard.")
+            .add(9);
+        let text = prometheus_text(&r.snapshot());
+        assert_eq!(text.matches("# TYPE ppa_shard_events_total").count(), 1);
+        let p0 = text.find("ppa_shard_events_total{shard=\"p0\"} 7").unwrap();
+        let p1 = text.find("ppa_shard_events_total{shard=\"p1\"} 9").unwrap();
+        let other = text.find("ppa_other 1").unwrap();
+        // Family members are contiguous even though registration interleaved.
+        assert!(p0 < p1 && (other < p0 || other > p1));
+    }
+
+    #[test]
+    fn json_text_is_valid_json_with_expected_shape() {
+        let text = json_text(&sample_registry().snapshot());
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let metrics = doc["metrics"].as_array().unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics[0]["name"].as_str(), Some("ppa_events_pushed_total"));
+        assert_eq!(metrics[0]["kind"].as_str(), Some("counter"));
+        assert_eq!(metrics[0]["value"].as_u64(), Some(42));
+        assert_eq!(metrics[1]["labels"]["unit"].as_str(), Some("ns"));
+        assert_eq!(metrics[2]["value"]["count"].as_u64(), Some(3));
+        assert_eq!(metrics[2]["value"]["counts"][2].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        let r = Registry::new();
+        r.counter_with("ppa_q_total", &[("k", "a\"b\\c\nd")], "he\"lp")
+            .add(1);
+        let text = json_text(&r.snapshot());
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(
+            doc["metrics"][0]["labels"]["k"].as_str(),
+            Some("a\"b\\c\nd")
+        );
+        assert_eq!(doc["metrics"][0]["help"].as_str(), Some("he\"lp"));
+    }
+
+    #[test]
+    fn exponential_bounds_deduplicate_and_ascend() {
+        let b = exponential_bounds(1, 2.0, 6);
+        assert_eq!(b, vec![1, 2, 4, 8, 16, 32]);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -14,6 +14,8 @@
 //! - [`lfk`] — the Livermore loops (numeric + statement-graph forms);
 //! - [`analysis`] — time-based and event-based perturbation analysis;
 //! - [`metrics`] — ratios, waiting tables, timelines, parallelism;
+//! - [`obs`] — self-observability: pipeline metrics, span timers,
+//!   Prometheus/JSON export, self-overhead calibration;
 //! - [`experiments`] — one driver per paper table/figure.
 //!
 //! ## Quickstart
@@ -52,6 +54,7 @@ pub use ppa_core as analysis;
 pub use ppa_lfk as lfk;
 pub use ppa_metrics as metrics;
 pub use ppa_native as native;
+pub use ppa_obs as obs;
 pub use ppa_program as program;
 pub use ppa_sim as sim;
 pub use ppa_sync as sync;

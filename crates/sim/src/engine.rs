@@ -34,6 +34,7 @@
 use crate::config::{SchedulePolicy, SimConfig};
 use crate::jitter::jittered_cost;
 use crate::stats::{LoopStats, ProcStats, SimStats};
+use ppa_obs::{exponential_bounds, Counter, Histogram, Registry};
 use ppa_program::{
     validate, InstrumentationPlan, Loop, LoopKind, Program, ProgramError, Segment, Statement,
     StatementKind,
@@ -43,6 +44,51 @@ use ppa_trace::{
 };
 use std::collections::HashMap;
 use std::fmt;
+
+/// Observability probes for the simulation engines.
+///
+/// Shared by the primary structured engine (this module) and the
+/// cross-validating event-queue engine (`run_*_eventq`). The default
+/// ([`EngineProbes::noop`]) is fully detached; attach real metrics with
+/// [`EngineProbes::register`].
+#[derive(Clone, Debug, Default)]
+pub struct EngineProbes {
+    /// Trace events emitted by the engine (`ppa_sim_events_total`).
+    pub events_emitted: Counter,
+    /// Concurrent-loop iterations dispatched to processors
+    /// (`ppa_sim_iterations_dispatched_total`).
+    pub iterations_dispatched: Counter,
+    /// Ready-queue depth sampled at each event-queue step
+    /// (`ppa_sim_ready_queue_depth`). Only the event-queue engine has an
+    /// explicit ready queue; the structured engine never records here.
+    pub queue_depth: Histogram,
+}
+
+impl EngineProbes {
+    /// Detached probes: every record is discarded.
+    pub fn noop() -> Self {
+        EngineProbes::default()
+    }
+
+    /// Registers the engine metrics on `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        EngineProbes {
+            events_emitted: registry.counter(
+                "ppa_sim_events_total",
+                "Trace events emitted by the simulation engine.",
+            ),
+            iterations_dispatched: registry.counter(
+                "ppa_sim_iterations_dispatched_total",
+                "Concurrent-loop iterations dispatched to processors.",
+            ),
+            queue_depth: registry.histogram(
+                "ppa_sim_ready_queue_depth",
+                "Ready-queue depth at each event-queue simulation step.",
+                &exponential_bounds(1, 2.0, 8),
+            ),
+        }
+    }
+}
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,7 +139,17 @@ pub struct SimResult {
 /// Simulates the program without instrumentation, producing the *actual*
 /// trace (every event present, zero instrumentation cost).
 pub fn run_actual(program: &Program, config: &SimConfig) -> Result<SimResult, SimError> {
-    Executor::new(config, Mode::Actual).run(program)
+    Executor::new(config, Mode::Actual, EngineProbes::noop()).run(program)
+}
+
+/// [`run_actual`] with observability: emitted events and dispatched
+/// iterations are recorded into `probes`.
+pub fn run_actual_probed(
+    program: &Program,
+    config: &SimConfig,
+    probes: EngineProbes,
+) -> Result<SimResult, SimError> {
+    Executor::new(config, Mode::Actual, probes).run(program)
 }
 
 /// Simulates the program under the given instrumentation plan, producing
@@ -104,7 +160,18 @@ pub fn run_measured(
     plan: &InstrumentationPlan,
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    Executor::new(config, Mode::Measured(plan)).run(program)
+    Executor::new(config, Mode::Measured(plan), EngineProbes::noop()).run(program)
+}
+
+/// [`run_measured`] with observability: emitted events and dispatched
+/// iterations are recorded into `probes`.
+pub fn run_measured_probed(
+    program: &Program,
+    plan: &InstrumentationPlan,
+    config: &SimConfig,
+    probes: EngineProbes,
+) -> Result<SimResult, SimError> {
+    Executor::new(config, Mode::Measured(plan), probes).run(program)
 }
 
 #[derive(Clone, Copy)]
@@ -120,13 +187,14 @@ struct Executor<'a> {
     seq: u64,
     instr_total: Span,
     stats: SimStats,
+    probes: EngineProbes,
 }
 
 /// Sentinel loop id for jitter keys of statements outside any loop.
 const SERIAL_LOOP_KEY: LoopId = LoopId(u32::MAX);
 
 impl<'a> Executor<'a> {
-    fn new(config: &'a SimConfig, mode: Mode<'a>) -> Self {
+    fn new(config: &'a SimConfig, mode: Mode<'a>, probes: EngineProbes) -> Self {
         Executor {
             config,
             mode,
@@ -134,6 +202,7 @@ impl<'a> Executor<'a> {
             seq: 0,
             instr_total: Span::ZERO,
             stats: SimStats::default(),
+            probes,
         }
     }
 
@@ -177,6 +246,7 @@ impl<'a> Executor<'a> {
             self.instr_total += overhead;
             self.events.push(Event::new(*clock, proc, self.seq, kind));
             self.seq += 1;
+            self.probes.events_emitted.inc();
         }
     }
 
@@ -304,6 +374,7 @@ impl<'a> Executor<'a> {
                 }
             };
             assignment.push(ProcessorId(proc as u16));
+            self.probes.iterations_dispatched.inc();
             let pid = ProcessorId(proc as u16);
             let mut clock = clocks[proc];
             clock += self.cycles(self.config.dispatch_cycles);
@@ -606,6 +677,42 @@ mod tests {
                 .unwrap_or_else(|| panic!("measured event {e} missing from actual"));
             assert!(times.contains(&e.time), "measured event {e} at wrong time");
         }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn probes_count_emitted_events_and_dispatches() {
+        use crate::eventq::run_actual_eventq_probed;
+
+        let p = doacross_program(8, 50, 10, 20);
+        let cfg = test_config();
+
+        let registry = Registry::new();
+        let r = run_actual_probed(&p, &cfg, EngineProbes::register(&registry)).unwrap();
+        let snap = registry.snapshot();
+        let counter = |name: &str| {
+            snap.entries
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| match m.value {
+                    ppa_obs::MetricValue::Counter(c) => c,
+                    _ => 0,
+                })
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("ppa_sim_events_total"), r.trace.len() as u64);
+        assert_eq!(counter("ppa_sim_iterations_dispatched_total"), 8);
+
+        // The event-queue engine additionally samples ready-queue depth.
+        let registry = Registry::new();
+        let r = run_actual_eventq_probed(&p, &cfg, EngineProbes::register(&registry)).unwrap();
+        let snap = registry.snapshot();
+        assert!(snap.entries.iter().any(|m| m.name == "ppa_sim_events_total"
+            && matches!(m.value, ppa_obs::MetricValue::Counter(c) if c == r.trace.len() as u64)));
+        assert!(snap
+            .entries
+            .iter()
+            .any(|m| m.name == "ppa_sim_ready_queue_depth"));
     }
 
     #[test]

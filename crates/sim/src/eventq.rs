@@ -14,7 +14,7 @@
 //! re-calibrate every experiment.
 
 use crate::config::{SchedulePolicy, SimConfig};
-use crate::engine::{SimError, SimResult};
+use crate::engine::{EngineProbes, SimError, SimResult};
 use crate::jitter::jittered_cost;
 use crate::stats::{LoopStats, ProcStats, SimStats};
 use ppa_program::{
@@ -28,7 +28,17 @@ use std::collections::{BinaryHeap, HashMap};
 
 /// Runs the program on the event-queue engine without instrumentation.
 pub fn run_actual_eventq(program: &Program, config: &SimConfig) -> Result<SimResult, SimError> {
-    EventQ::new(config, None).run(program)
+    EventQ::new(config, None, EngineProbes::noop()).run(program)
+}
+
+/// [`run_actual_eventq`] with observability: emitted events, dispatched
+/// iterations, and ready-queue depth are recorded into `probes`.
+pub fn run_actual_eventq_probed(
+    program: &Program,
+    config: &SimConfig,
+    probes: EngineProbes,
+) -> Result<SimResult, SimError> {
+    EventQ::new(config, None, probes).run(program)
 }
 
 /// Runs the program on the event-queue engine under a plan.
@@ -37,7 +47,18 @@ pub fn run_measured_eventq(
     plan: &InstrumentationPlan,
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    EventQ::new(config, Some(plan)).run(program)
+    EventQ::new(config, Some(plan), EngineProbes::noop()).run(program)
+}
+
+/// [`run_measured_eventq`] with observability: emitted events, dispatched
+/// iterations, and ready-queue depth are recorded into `probes`.
+pub fn run_measured_eventq_probed(
+    program: &Program,
+    plan: &InstrumentationPlan,
+    config: &SimConfig,
+    probes: EngineProbes,
+) -> Result<SimResult, SimError> {
+    EventQ::new(config, Some(plan), probes).run(program)
 }
 
 struct EventQ<'a> {
@@ -47,6 +68,7 @@ struct EventQ<'a> {
     seq: u64,
     instr_total: Span,
     stats: SimStats,
+    probes: EngineProbes,
 }
 
 const SERIAL_LOOP_KEY: LoopId = LoopId(u32::MAX);
@@ -73,7 +95,11 @@ struct VarState {
 }
 
 impl<'a> EventQ<'a> {
-    fn new(config: &'a SimConfig, plan: Option<&'a InstrumentationPlan>) -> Self {
+    fn new(
+        config: &'a SimConfig,
+        plan: Option<&'a InstrumentationPlan>,
+        probes: EngineProbes,
+    ) -> Self {
         EventQ {
             config,
             plan,
@@ -81,6 +107,7 @@ impl<'a> EventQ<'a> {
             seq: 0,
             instr_total: Span::ZERO,
             stats: SimStats::default(),
+            probes,
         }
     }
 
@@ -116,6 +143,7 @@ impl<'a> EventQ<'a> {
             self.instr_total += overhead;
             self.events.push(Event::new(*clock, proc, self.seq, kind));
             self.seq += 1;
+            self.probes.events_emitted.inc();
         }
     }
 
@@ -238,6 +266,7 @@ impl<'a> EventQ<'a> {
         let mut arrived = 0usize;
 
         while let Some(Reverse((now, q))) = ready.pop() {
+            self.probes.queue_depth.observe(ready.len() as u64);
             let mut clock = now.max(cursors[q].clock);
             // Fetch an iteration if idle.
             if cursors[q].iter.is_none() {
@@ -280,6 +309,7 @@ impl<'a> EventQ<'a> {
                             None,
                         );
                         proc_stats[q].iterations += 1;
+                        self.probes.iterations_dispatched.inc();
                     }
                     None => {
                         // No more work: enter the barrier.

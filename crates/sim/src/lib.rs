@@ -28,8 +28,13 @@ mod jitter;
 mod stats;
 
 pub use config::{JitterConfig, SchedulePolicy, SimConfig};
-pub use engine::{run_actual, run_measured, SimError, SimResult};
-pub use eventq::{run_actual_eventq, run_measured_eventq};
+pub use engine::{
+    run_actual, run_actual_probed, run_measured, run_measured_probed, EngineProbes, SimError,
+    SimResult,
+};
+pub use eventq::{
+    run_actual_eventq, run_actual_eventq_probed, run_measured_eventq, run_measured_eventq_probed,
+};
 pub use jitter::jittered_cost;
 pub use stats::{LoopStats, ProcStats, SimStats};
 

@@ -28,6 +28,10 @@ pub enum IoError {
     Parse { line: usize, message: String },
     /// The header line is missing or names an unknown format.
     BadHeader(String),
+    /// The input ended before delivering the event count its header
+    /// declared (file truncated mid-stream). Headers with an advisory
+    /// count of `0` (e.g. shards) are exempt.
+    Truncated { expected: usize, got: usize },
 }
 
 impl std::fmt::Display for IoError {
@@ -36,6 +40,10 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             IoError::BadHeader(msg) => write!(f, "bad trace header: {msg}"),
+            IoError::Truncated { expected, got } => write!(
+                f,
+                "truncated trace: header declares {expected} events but input ended after {got}"
+            ),
         }
     }
 }
@@ -98,6 +106,12 @@ pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, IoError> {
             message: e.to_string(),
         })?;
         events.push(event);
+    }
+    if header.events > 0 && events.len() < header.events {
+        return Err(IoError::Truncated {
+            expected: header.events,
+            got: events.len(),
+        });
     }
     Ok(Trace::from_events(header.kind, events))
 }
@@ -192,6 +206,21 @@ mod tests {
         buf.extend_from_slice(b"\n\n");
         let back = read_jsonl(buf.as_slice()).unwrap();
         assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample_trace(), &mut buf).unwrap();
+        // Drop the last event line entirely: the header still declares 2.
+        let newlines: Vec<usize> = (0..buf.len()).filter(|&i| buf[i] == b'\n').collect();
+        buf.truncate(newlines[newlines.len() - 2] + 1);
+        match read_jsonl(buf.as_slice()) {
+            Err(IoError::Truncated { expected, got }) => {
+                assert_eq!((expected, got), (2, 1));
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub use event::{Event, EventKind};
 pub use ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
 pub use io::{read_jsonl, write_csv, write_jsonl, IoError};
 pub use overhead::OverheadSpec;
-pub use stream::{split_by_processor, MergedStreams, Shard, TraceStreamReader, TraceStreamWriter};
+pub use stream::{
+    split_by_processor, MergedStreams, Shard, StreamProbes, TraceStreamReader, TraceStreamWriter,
+};
 pub use time::{ClockRate, Span, Time};
 pub use trace::{merge_streams, Trace, TraceKind};
 pub use validate::{

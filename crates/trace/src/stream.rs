@@ -24,9 +24,76 @@ use crate::event::Event;
 use crate::ids::ProcessorId;
 use crate::io::{Header, IoError, FORMAT_NAME};
 use crate::trace::TraceKind;
+use ppa_obs::{Counter, Registry};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Observability probes for streaming trace I/O.
+///
+/// Readers and writers carry one of these; the default
+/// ([`StreamProbes::noop`]) is fully detached and costs one branch per
+/// record, so unobserved streams pay essentially nothing. Attach real
+/// metrics with [`StreamProbes::register`].
+#[derive(Clone, Debug, Default)]
+pub struct StreamProbes {
+    /// Payload bytes processed (`ppa_stream_bytes_total`). For readers
+    /// this counts consumed lines including their newline; for writers,
+    /// bytes flushed to the underlying sink (header included).
+    pub bytes: Counter,
+    /// Events read or written (`ppa_stream_events_total`).
+    pub events: Counter,
+    /// Malformed or truncated records (`ppa_stream_parse_errors_total`).
+    pub parse_errors: Counter,
+}
+
+impl StreamProbes {
+    /// Detached probes: every record is discarded.
+    pub fn noop() -> Self {
+        StreamProbes::default()
+    }
+
+    /// Registers the stream metrics on `registry`, labelled with the
+    /// transfer direction (conventionally `"read"` or `"write"`).
+    pub fn register(registry: &Registry, dir: &str) -> Self {
+        let labels = [("dir", dir)];
+        StreamProbes {
+            bytes: registry.counter_with(
+                "ppa_stream_bytes_total",
+                &labels,
+                "Trace stream payload bytes processed.",
+            ),
+            events: registry.counter_with(
+                "ppa_stream_events_total",
+                &labels,
+                "Trace stream events processed.",
+            ),
+            parse_errors: registry.counter_with(
+                "ppa_stream_parse_errors_total",
+                &labels,
+                "Malformed or truncated trace records encountered.",
+            ),
+        }
+    }
+}
+
+/// A `Write` adapter that counts bytes into a probe counter.
+struct CountingWriter<W: Write> {
+    inner: W,
+    bytes: Counter,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
 
 /// Incremental writer for the JSONL trace format.
 ///
@@ -36,14 +103,29 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 /// use it to pre-size buffers); a writer that cannot know the final count
 /// up front may pass `0`.
 pub struct TraceStreamWriter<W: Write> {
-    sink: BufWriter<W>,
+    sink: BufWriter<CountingWriter<W>>,
     written: usize,
+    events: Counter,
 }
 
 impl<W: Write> TraceStreamWriter<W> {
     /// Starts a stream of `kind` announcing `events` upcoming events.
     pub fn new(writer: W, kind: TraceKind, events: usize) -> Result<Self, IoError> {
-        let mut sink = BufWriter::new(writer);
+        Self::with_probes(writer, kind, events, StreamProbes::noop())
+    }
+
+    /// Like [`TraceStreamWriter::new`], recording bytes and events into
+    /// `probes` as the stream is written.
+    pub fn with_probes(
+        writer: W,
+        kind: TraceKind,
+        events: usize,
+        probes: StreamProbes,
+    ) -> Result<Self, IoError> {
+        let mut sink = BufWriter::new(CountingWriter {
+            inner: writer,
+            bytes: probes.bytes,
+        });
         let header = Header {
             format: FORMAT_NAME.to_string(),
             kind,
@@ -54,7 +136,11 @@ impl<W: Write> TraceStreamWriter<W> {
             message: e.to_string(),
         })?;
         sink.write_all(b"\n")?;
-        Ok(TraceStreamWriter { sink, written: 0 })
+        Ok(TraceStreamWriter {
+            sink,
+            written: 0,
+            events: probes.events,
+        })
     }
 
     /// Appends one event line.
@@ -65,6 +151,7 @@ impl<W: Write> TraceStreamWriter<W> {
         })?;
         self.sink.write_all(b"\n")?;
         self.written += 1;
+        self.events.inc();
         Ok(())
     }
 
@@ -77,6 +164,7 @@ impl<W: Write> TraceStreamWriter<W> {
     pub fn finish(self) -> Result<W, IoError> {
         self.sink
             .into_inner()
+            .map(|counting| counting.inner)
             .map_err(|e| IoError::Io(e.into_error()))
     }
 }
@@ -87,24 +175,36 @@ impl<W: Write> TraceStreamWriter<W> {
 /// [`Iterator`] implementation — the whole trace never resides in memory.
 /// Accepts exactly what [`read_jsonl`](crate::read_jsonl) accepts: blank
 /// lines are skipped, malformed lines yield [`IoError::Parse`] with the
-/// same 1-based line number, and a missing or foreign header yields
-/// [`IoError::BadHeader`].
+/// same 1-based line number, a missing or foreign header yields
+/// [`IoError::BadHeader`], and input that ends before delivering the
+/// header's declared event count yields [`IoError::Truncated`] (headers
+/// with an advisory count of `0` are exempt).
 pub struct TraceStreamReader<R: Read> {
     lines: std::io::Lines<BufReader<R>>,
     kind: TraceKind,
     expected: usize,
     /// 1-based number of the last line consumed (the header is line 1).
     line: usize,
+    /// Events successfully yielded so far.
+    seen: usize,
     failed: bool,
+    probes: StreamProbes,
 }
 
 impl<R: Read> TraceStreamReader<R> {
     /// Opens a stream, reading and validating the header line.
     pub fn new(reader: R) -> Result<Self, IoError> {
+        Self::with_probes(reader, StreamProbes::noop())
+    }
+
+    /// Like [`TraceStreamReader::new`], recording bytes, events, and
+    /// parse errors into `probes` as the stream is consumed.
+    pub fn with_probes(reader: R, probes: StreamProbes) -> Result<Self, IoError> {
         let mut lines = BufReader::new(reader).lines();
         let header_line = lines
             .next()
             .ok_or_else(|| IoError::BadHeader("empty input".to_string()))??;
+        probes.bytes.add(header_line.len() as u64 + 1);
         let header: Header =
             serde_json::from_str(&header_line).map_err(|e| IoError::BadHeader(e.to_string()))?;
         if header.format != FORMAT_NAME {
@@ -118,7 +218,9 @@ impl<R: Read> TraceStreamReader<R> {
             kind: header.kind,
             expected: header.events,
             line: 1,
+            seen: 0,
             failed: false,
+            probes,
         })
     }
 
@@ -141,24 +243,46 @@ impl<R: Read> Iterator for TraceStreamReader<R> {
             return None;
         }
         loop {
-            let line = match self.lines.next()? {
-                Ok(line) => line,
-                Err(e) => {
+            let line = match self.lines.next() {
+                Some(Ok(line)) => line,
+                Some(Err(e)) => {
                     self.failed = true;
                     return Some(Err(IoError::Io(e)));
                 }
+                None => {
+                    // End of input: if the header promised more events
+                    // than we delivered, the file was cut off mid-stream.
+                    if self.expected > 0 && self.seen < self.expected {
+                        self.failed = true;
+                        self.probes.parse_errors.inc();
+                        return Some(Err(IoError::Truncated {
+                            expected: self.expected,
+                            got: self.seen,
+                        }));
+                    }
+                    return None;
+                }
             };
             self.line += 1;
+            self.probes.bytes.add(line.len() as u64 + 1);
             if line.trim().is_empty() {
                 continue;
             }
-            return Some(serde_json::from_str(&line).map_err(|e| {
-                self.failed = true;
-                IoError::Parse {
-                    line: self.line,
-                    message: e.to_string(),
+            return match serde_json::from_str(&line) {
+                Ok(event) => {
+                    self.seen += 1;
+                    self.probes.events.inc();
+                    Some(Ok(event))
                 }
-            }));
+                Err(e) => {
+                    self.failed = true;
+                    self.probes.parse_errors.inc();
+                    Some(Err(IoError::Parse {
+                        line: self.line,
+                        message: e.to_string(),
+                    }))
+                }
+            };
         }
     }
 }
@@ -245,10 +369,18 @@ impl Ord for Head {
 ///
 /// Holds exactly one lookahead event per live stream, so merging `k`
 /// shards of an `n`-event trace takes `O(k)` memory and `O(n log k)`
-/// time. Input streams must each be sorted by [`Event::order_key`];
-/// ties between streams resolve in favor of the lower stream index, which
-/// makes merging per-processor shards of a trace reproduce the original
-/// trace exactly (shard splitting preserves relative order).
+/// time. Input streams must each be sorted by [`Event::order_key`].
+///
+/// # Tie-breaking
+///
+/// The merge order is fully deterministic. Events compare by
+/// [`Event::order_key`] — `(time, seq, proc)` — so two events with equal
+/// timestamps order by emission sequence first and processor id second,
+/// regardless of which stream they arrive on. Only events whose *entire*
+/// key ties (possible across independently produced streams) fall through
+/// to the final tie-breaker: the lower stream index wins. This makes
+/// merging per-processor shards of a trace reproduce the original trace
+/// exactly (shard splitting preserves relative order).
 pub struct MergedStreams<I: Iterator<Item = Result<Event, IoError>>> {
     streams: Vec<I>,
     heap: BinaryHeap<Reverse<Head>>,
@@ -454,6 +586,121 @@ mod tests {
         assert_eq!(merged.len(), 2);
         assert_eq!(merged[0], a.events()[0]);
         assert_eq!(merged[1], b.events()[0]);
+    }
+
+    #[test]
+    fn reader_errors_on_truncated_input() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        // Cut the stream after the first two event lines; the header
+        // still declares the full count.
+        let newlines: Vec<usize> = (0..buf.len()).filter(|&i| buf[i] == b'\n').collect();
+        buf.truncate(newlines[2] + 1);
+
+        let mut r = TraceStreamReader::new(buf.as_slice()).unwrap();
+        r.next().unwrap().unwrap();
+        r.next().unwrap().unwrap();
+        match r.next() {
+            Some(Err(IoError::Truncated { expected, got })) => {
+                assert_eq!((expected, got), (t.len(), 2));
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+        // A truncated reader fuses like any other failure.
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn reader_accepts_advisory_zero_count_streams() {
+        // Shard headers declare 0 events; ending early is not truncation.
+        let mut w = TraceStreamWriter::new(Vec::new(), TraceKind::Measured, 0).unwrap();
+        for e in sample().iter().take(2) {
+            w.write_event(e).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let r = TraceStreamReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.filter_map(|e| e.ok()).count(), 2);
+    }
+
+    #[test]
+    fn equal_timestamps_across_processors_merge_deterministically() {
+        // Same timestamp on different processors: order_key falls back to
+        // emission seq, then processor id — never stream arrival order.
+        use crate::event::EventKind;
+        use crate::ids::StatementId;
+        use crate::time::Time;
+        let t = Time::from_nanos(10);
+        let ev = |proc: u16, seq: u64, stmt: u32| {
+            Event::new(
+                t,
+                ProcessorId(proc),
+                seq,
+                EventKind::Statement {
+                    stmt: StatementId(stmt),
+                },
+            )
+        };
+        // Stream 0 carries the *higher* seq; stream order must not matter.
+        let streams = vec![
+            vec![Ok(ev(0, 3, 0))].into_iter(),
+            vec![Ok(ev(1, 1, 1))].into_iter(),
+            vec![Ok(ev(2, 2, 2))].into_iter(),
+        ];
+        let merged: Vec<Event> = MergedStreams::new(streams).map(|e| e.unwrap()).collect();
+        let seqs: Vec<u64> = merged.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+
+        // Full-key ties (same time, seq, AND proc) resolve in stream-index
+        // order: the documented final tie-breaker.
+        let dup = ev(0, 5, 7);
+        let streams = vec![vec![Ok(ev(0, 5, 8))].into_iter(), vec![Ok(dup)].into_iter()];
+        let merged: Vec<Event> = MergedStreams::new(streams).map(|e| e.unwrap()).collect();
+        assert_eq!(
+            merged[0].kind,
+            EventKind::Statement {
+                stmt: StatementId(8)
+            }
+        );
+        assert_eq!(merged[1], dup);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn probes_count_bytes_events_and_parse_errors() {
+        let t = sample();
+        let registry = ppa_obs::Registry::new();
+
+        let wp = StreamProbes::register(&registry, "write");
+        let mut w =
+            TraceStreamWriter::with_probes(Vec::new(), t.kind(), t.len(), wp.clone()).unwrap();
+        for e in t.iter() {
+            w.write_event(e).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        assert_eq!(wp.events.get(), t.len() as u64);
+        assert_eq!(wp.bytes.get(), buf.len() as u64);
+
+        let rp = StreamProbes::register(&registry, "read");
+        let r = TraceStreamReader::with_probes(buf.as_slice(), rp.clone()).unwrap();
+        assert_eq!(r.filter_map(|e| e.ok()).count(), t.len());
+        assert_eq!(rp.events.get(), t.len() as u64);
+        assert_eq!(rp.bytes.get(), buf.len() as u64);
+        assert_eq!(rp.parse_errors.get(), 0);
+
+        // Truncation and malformed lines land in the parse-error counter.
+        let mut cut = buf.clone();
+        let newlines: Vec<usize> = (0..cut.len()).filter(|&i| cut[i] == b'\n').collect();
+        cut.truncate(newlines[1] + 1);
+        let ep = StreamProbes::register(&registry, "read-truncated");
+        let outcomes: Vec<_> = TraceStreamReader::with_probes(cut.as_slice(), ep.clone())
+            .unwrap()
+            .collect();
+        assert!(matches!(
+            outcomes.last(),
+            Some(Err(IoError::Truncated { .. }))
+        ));
+        assert_eq!(ep.parse_errors.get(), 1);
     }
 
     #[test]
