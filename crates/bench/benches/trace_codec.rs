@@ -1,0 +1,195 @@
+//! Trace codec throughput: events/sec to encode and decode the JSONL
+//! format (`ppa-trace-v1`) vs the binary block format
+//! (`ppa-trace-bin-v1`), serial vs block-parallel binary decode, and the
+//! byte-size ratio between the encodings.
+//!
+//! The fixture is a ≥1M-event synthetic 8-processor trace with the event
+//! mixture of an instrumented DOACROSS loop (statements dominating,
+//! periodic advance/await pairs, occasional barriers) — the shape the
+//! paper's pipeline ships at scale, where serialization is the tax on
+//! everything else. Alongside the criterion timings, the bench prints a
+//! summary and records the headline numbers into
+//! `BENCH_trace_codec.json` at the repository root to seed the
+//! performance trajectory. Set `PPA_CODEC_BENCH_EVENTS` to scale the
+//! fixture (e.g. for CI smoke runs).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppa::trace::{
+    read_binary, read_binary_parallel, read_jsonl, write_binary, write_jsonl, Event, EventKind,
+    ProcessorId, StatementId, SyncTag, SyncVarId, Time, Trace, TraceKind,
+};
+use std::time::Instant;
+
+const DEFAULT_EVENTS: usize = 1 << 20;
+
+/// A ≥1M-event synthetic measured trace: 8 processors, mostly statement
+/// events with a sprinkling of synchronization, monotone timestamps with
+/// irregular gaps (so time deltas exercise multi-byte varints too).
+fn fixture() -> Trace {
+    let n: usize = std::env::var("PPA_CODEC_BENCH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_EVENTS);
+    let mut events = Vec::with_capacity(n);
+    let mut time = 0u64;
+    for i in 0..n {
+        // Deterministic pseudo-random gap in [1, 4096] ns.
+        let gap = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) + 1;
+        time += gap;
+        let proc = ProcessorId((i % 8) as u16);
+        let kind = match i % 97 {
+            0 => EventKind::Advance {
+                var: SyncVarId(0),
+                tag: SyncTag((i / 97) as i64),
+            },
+            1 => EventKind::AwaitBegin {
+                var: SyncVarId(0),
+                tag: SyncTag((i / 97) as i64 - 1),
+            },
+            2 => EventKind::AwaitEnd {
+                var: SyncVarId(0),
+                tag: SyncTag((i / 97) as i64 - 1),
+            },
+            _ => EventKind::Statement {
+                stmt: StatementId((i % 40) as u32),
+            },
+        };
+        events.push(Event::new(Time::from_nanos(time), proc, i as u64, kind));
+    }
+    Trace::from_events(TraceKind::Measured, events)
+}
+
+/// Best-of-3 wall time of one run, in seconds (plus one warm-up).
+fn best_of_3<R>(mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn trace_codec(c: &mut Criterion) {
+    let trace = fixture();
+    let n = trace.len();
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get());
+
+    let mut jsonl = Vec::new();
+    write_jsonl(&trace, &mut jsonl).expect("encode jsonl");
+    let mut bin = Vec::new();
+    write_binary(&trace, &mut bin).expect("encode binary");
+
+    let t_enc_jsonl = best_of_3(|| {
+        let mut buf = Vec::with_capacity(jsonl.len());
+        write_jsonl(&trace, &mut buf).expect("encode jsonl");
+        buf.len()
+    });
+    let t_enc_bin = best_of_3(|| {
+        let mut buf = Vec::with_capacity(bin.len());
+        write_binary(&trace, &mut buf).expect("encode binary");
+        buf.len()
+    });
+    let t_dec_jsonl = best_of_3(|| read_jsonl(jsonl.as_slice()).expect("decode jsonl").len());
+    let t_dec_bin = best_of_3(|| read_binary(bin.as_slice()).expect("decode binary").len());
+    let t_dec_par = best_of_3(|| {
+        read_binary_parallel(bin.as_slice(), workers)
+            .expect("decode binary parallel")
+            .len()
+    });
+
+    let eps = |secs: f64| n as f64 / secs;
+    let size_ratio = bin.len() as f64 / jsonl.len() as f64;
+    println!("\n=== trace codec ({n} events, 8 processors, {workers} decode workers) ===");
+    println!(
+        "size     : jsonl {:>12} bytes, bin {:>12} bytes ({:.1}% of jsonl)",
+        jsonl.len(),
+        bin.len(),
+        size_ratio * 100.0
+    );
+    println!(
+        "encode   : jsonl {:>12.0} events/sec, bin {:>12.0} events/sec ({:.2}x)",
+        eps(t_enc_jsonl),
+        eps(t_enc_bin),
+        t_enc_jsonl / t_enc_bin
+    );
+    println!(
+        "decode   : jsonl {:>12.0} events/sec, bin {:>12.0} events/sec ({:.2}x)",
+        eps(t_dec_jsonl),
+        eps(t_dec_bin),
+        t_dec_jsonl / t_dec_bin
+    );
+    println!(
+        "parallel : bin   {:>12.0} events/sec ({:.2}x serial bin, {:.2}x jsonl)",
+        eps(t_dec_par),
+        t_dec_bin / t_dec_par,
+        t_dec_jsonl / t_dec_par
+    );
+
+    // Record the headline numbers at the repository root. Block-parallel
+    // decode can only beat serial decode when the host actually has more
+    // than one core; flag single-core hosts so the number reads right.
+    let note = if workers > 1 {
+        ""
+    } else {
+        "\n  \"note\": \"single-core host: parallel decode cannot beat serial here\","
+    };
+    let report = format!(
+        "{{\n  \"bench\": \"trace_codec\",\n  \"events\": {n},\n  \"decode_workers\": {workers},{note}\n  \
+         \"bytes\": {{ \"jsonl\": {}, \"bin\": {}, \"bin_over_jsonl\": {:.4} }},\n  \
+         \"encode_events_per_sec\": {{ \"jsonl\": {:.0}, \"bin\": {:.0} }},\n  \
+         \"decode_events_per_sec\": {{ \"jsonl\": {:.0}, \"bin_serial\": {:.0}, \"bin_parallel\": {:.0} }},\n  \
+         \"speedup\": {{ \"bin_serial_vs_jsonl_decode\": {:.2}, \"bin_parallel_vs_bin_serial\": {:.2} }}\n}}\n",
+        jsonl.len(),
+        bin.len(),
+        size_ratio,
+        eps(t_enc_jsonl),
+        eps(t_enc_bin),
+        eps(t_dec_jsonl),
+        eps(t_dec_bin),
+        eps(t_dec_par),
+        t_dec_jsonl / t_dec_bin,
+        t_dec_bin / t_dec_par,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace_codec.json");
+    if let Err(e) = std::fs::write(path, &report) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("recorded {path}");
+    }
+
+    let mut group = c.benchmark_group("trace_codec");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("encode_jsonl", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(jsonl.len());
+            write_jsonl(&trace, &mut buf).expect("encode jsonl");
+            buf.len()
+        })
+    });
+    group.bench_function("encode_bin", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(bin.len());
+            write_binary(&trace, &mut buf).expect("encode binary");
+            buf.len()
+        })
+    });
+    group.bench_function("decode_jsonl", |b| {
+        b.iter(|| read_jsonl(jsonl.as_slice()).expect("decode jsonl").len())
+    });
+    group.bench_function("decode_bin_serial", |b| {
+        b.iter(|| read_binary(bin.as_slice()).expect("decode binary").len())
+    });
+    group.bench_function("decode_bin_parallel", |b| {
+        b.iter(|| {
+            read_binary_parallel(bin.as_slice(), workers)
+                .expect("decode binary parallel")
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trace_codec);
+criterion_main!(benches);

@@ -14,16 +14,23 @@
 //! ppa ablation overhead    # A2: accuracy vs overhead misestimation
 //! ppa ablation schedule    # A1/A3: conservative vs liberal per policy
 //! ppa native               # native real-thread pipeline on loop 3
-//! ppa analyze t.jsonl      # event-based analysis of a measured JSONL trace
+//! ppa analyze t.jsonl      # event-based analysis of a measured trace
+//! ppa convert a.jsonl a.bin --to bin   # transcode between trace formats
 //! ppa --csv DIR <cmd>      # additionally write CSV files into DIR
 //! ```
 //!
-//! `analyze` reads a measured trace from a JSONL file and recovers the
-//! approximated (perturbation-corrected) trace. With `--stream` it uses
-//! the bounded-memory incremental engine end to end: chunked reader →
-//! [`ppa::analysis::EventBasedAnalyzer`] → chunked writer. Add
+//! `analyze` reads a measured trace from a file — JSONL (`ppa-trace-v1`)
+//! or binary (`ppa-trace-bin-v1`), auto-detected by magic bytes — and
+//! recovers the approximated (perturbation-corrected) trace; `--format
+//! bin|jsonl` picks the `--out` encoding. With `--stream` it uses the
+//! bounded-memory incremental engine end to end: chunked reader →
+//! [`ppa::analysis::EventBasedAnalyzer`] → chunked writer, decoding
+//! binary input blocks on worker threads. Add
 //! `--metrics-out snap.prom [--metrics-format prom|json]` to export a
 //! pipeline-metrics snapshot and `--progress` for a stderr ticker.
+//!
+//! `convert` transcodes a trace between the two formats (the input
+//! format is auto-detected, `--to` names the output format).
 //!
 //! Failures exit with BSD-sysexits-style codes so scripts can
 //! distinguish them: 64 usage error, 65 malformed input data (parse
@@ -167,18 +174,20 @@ fn real_main() -> Result<(), CliError> {
             show(id)?;
         }
         "analyze" => run_analyze(&args[1..])?,
+        "convert" => run_convert(&args[1..])?,
         "help" | "--help" | "-h" => {
             println!(
                 "subcommands: all fig1 table1 table2 table3 fig4 fig5 ablation native \
-                 intrusion accuracy analyze"
+                 intrusion accuracy analyze convert"
             );
             println!(
-                "analyze: ppa analyze <measured.jsonl> [--stream] [--out approx.jsonl] \
-                 [--overheads spec.json]"
+                "analyze: ppa analyze <measured.{{jsonl|bin}}> [--stream] [--out approx] \
+                 [--format bin|jsonl] [--overheads spec.json]"
             );
             println!(
                 "         [--metrics-out snap.prom] [--metrics-format prom|json] [--progress]"
             );
+            println!("convert: ppa convert <in> <out> --to <bin|jsonl> [--block-events N]");
             println!("exit codes: 64 usage, 65 bad data, 66 missing input, 74 output I/O");
         }
         other => {
@@ -556,9 +565,9 @@ fn native() {
 
 // --- analyze: event-based analysis of an on-disk JSONL trace ------------
 
-const ANALYZE_USAGE: &str = "usage: ppa analyze <measured.jsonl> [--stream] \
-     [--out approx.jsonl] [--overheads spec.json] [--metrics-out snap.prom] \
-     [--metrics-format prom|json] [--progress]";
+const ANALYZE_USAGE: &str = "usage: ppa analyze <measured.{jsonl|bin}> [--stream] \
+     [--out approx] [--format bin|jsonl] [--overheads spec.json] \
+     [--metrics-out snap.prom] [--metrics-format prom|json] [--progress]";
 
 #[derive(Clone, Copy, PartialEq)]
 enum MetricsFormat {
@@ -568,7 +577,7 @@ enum MetricsFormat {
 
 /// Output accounting shared by the streaming loop and the tail flush.
 struct AnalyzeSink<W: std::io::Write> {
-    writer: Option<ppa::trace::TraceStreamWriter<W>>,
+    writer: Option<ppa::trace::AnyTraceWriter<W>>,
     events: usize,
     awaits: usize,
     barriers: usize,
@@ -598,6 +607,7 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
 
     let mut input: Option<&str> = None;
     let mut out_path: Option<&str> = None;
+    let mut out_format = ppa::trace::TraceFormat::Jsonl;
     let mut overheads_path: Option<&str> = None;
     let mut metrics_out: Option<&str> = None;
     let mut metrics_format = MetricsFormat::Prom;
@@ -610,6 +620,12 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
             "--stream" => stream = true,
             "--progress" => progress = true,
             "--out" => out_path = Some(it.next().ok_or_else(|| missing("--out"))?),
+            "--format" => {
+                let name = it.next().ok_or_else(|| missing("--format"))?;
+                out_format = ppa::trace::TraceFormat::parse(name).ok_or_else(|| {
+                    CliError::Usage(format!("--format must be `bin` or `jsonl`, got {name:?}"))
+                })?;
+            }
             "--overheads" => {
                 overheads_path = Some(it.next().ok_or_else(|| missing("--overheads"))?);
             }
@@ -657,21 +673,25 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
         stream_analyze(
             input,
             out_path,
+            out_format,
             &overheads,
             metrics_out,
             metrics_format,
             progress,
         )
     } else {
-        batch_analyze(input, out_path, &overheads)
+        batch_analyze(input, out_path, out_format, &overheads)
     }
 }
 
 /// Bounded-memory pipeline: chunked reader -> analyzer -> chunked writer,
 /// optionally instrumented with `ppa::obs` probes and a stderr ticker.
+/// The input format is auto-detected; binary input decodes block-parallel.
+#[allow(clippy::too_many_arguments)]
 fn stream_analyze(
     input: &str,
     out_path: Option<&str>,
+    out_format: ppa::trace::TraceFormat,
     overheads: &ppa::trace::OverheadSpec,
     metrics_out: Option<&str>,
     metrics_format: MetricsFormat,
@@ -679,7 +699,7 @@ fn stream_analyze(
 ) -> Result<(), CliError> {
     use ppa::analysis::{AnalyzerProbes, EventBasedAnalyzer};
     use ppa::obs::{calibrate_self_overhead, json_text, prometheus_text, Registry};
-    use ppa::trace::{StreamProbes, TraceKind, TraceStreamReader, TraceStreamWriter};
+    use ppa::trace::{AnyTraceReader, AnyTraceWriter, StreamProbes, TraceKind};
     use std::io::{BufReader, BufWriter};
     use std::time::{Duration, Instant};
 
@@ -700,15 +720,18 @@ fn stream_analyze(
     };
 
     let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
-    let reader = TraceStreamReader::with_probes(BufReader::new(file), read_probes)
-        .map_err(CliError::from)?;
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reader =
+        AnyTraceReader::open_parallel_with_probes(BufReader::new(file), workers, read_probes)
+            .map_err(|e| CliError::from(e).prefixed(input))?;
     let expected = reader.expected_events();
     let writer = match out_path {
         Some(p) => {
             let f = File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?;
             Some(
-                TraceStreamWriter::with_probes(
+                AnyTraceWriter::with_probes(
                     BufWriter::new(f),
+                    out_format,
                     TraceKind::Approximated,
                     expected,
                     write_probes,
@@ -820,19 +843,20 @@ fn stream_analyze(
 fn batch_analyze(
     input: &str,
     out_path: Option<&str>,
+    out_format: ppa::trace::TraceFormat,
     overheads: &ppa::trace::OverheadSpec,
 ) -> Result<(), CliError> {
     use ppa::analysis::event_based;
-    use ppa::trace::{read_jsonl, write_jsonl};
+    use ppa::trace::{read_trace, write_trace};
     use std::io::{BufReader, BufWriter};
 
     let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
     let measured =
-        read_jsonl(BufReader::new(file)).map_err(|e| CliError::from(e).prefixed(input))?;
+        read_trace(BufReader::new(file)).map_err(|e| CliError::from(e).prefixed(input))?;
     let result = event_based(&measured, overheads)?;
     if let Some(p) = out_path {
         let f = File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?;
-        write_jsonl(&result.trace, BufWriter::new(f))
+        write_trace(&result.trace, BufWriter::new(f), out_format)
             .map_err(|e| CliError::Io(format!("{p}: {e}")))?;
     }
     println!(
@@ -844,6 +868,92 @@ fn batch_analyze(
         result.barriers.len()
     );
     println!("approximated total time: {}", result.trace.total_time());
+    Ok(())
+}
+
+// --- convert: transcode a trace between the two on-disk formats ---------
+
+const CONVERT_USAGE: &str = "usage: ppa convert <in> <out> --to <bin|jsonl> [--block-events N]";
+
+/// Streams a trace from one format to the other (or the same — useful for
+/// canonicalization). The input format is auto-detected by magic bytes;
+/// the trace kind and advisory event count carry over, so converting a
+/// file to binary and back reproduces it byte for byte.
+fn run_convert(args: &[String]) -> Result<(), CliError> {
+    use ppa::trace::{
+        AnyTraceReader, AnyTraceWriter, BinaryTraceWriter, StreamProbes, TraceFormat,
+    };
+    use std::io::{BufReader, BufWriter, Write};
+
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut to: Option<TraceFormat> = None;
+    let mut block_events: Option<usize> = None;
+    let mut it = args.iter();
+    let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--to" => {
+                let name = it.next().ok_or_else(|| missing("--to"))?;
+                to = Some(TraceFormat::parse(name).ok_or_else(|| {
+                    CliError::Usage(format!("--to must be `bin` or `jsonl`, got {name:?}"))
+                })?);
+            }
+            "--block-events" => {
+                let n = it.next().ok_or_else(|| missing("--block-events"))?;
+                block_events = Some(n.parse::<usize>().map_err(|_| {
+                    CliError::Usage(format!(
+                        "--block-events must be a positive integer, got {n:?}"
+                    ))
+                })?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag {flag:?}")));
+            }
+            path if input.is_none() => input = Some(path),
+            path if output.is_none() => output = Some(path),
+            extra => return Err(CliError::Usage(format!("unexpected argument {extra:?}"))),
+        }
+    }
+    let (Some(input), Some(output), Some(to)) = (input, output, to) else {
+        return Err(CliError::Usage(CONVERT_USAGE.into()));
+    };
+    if block_events == Some(0) {
+        return Err(CliError::Usage("--block-events must be at least 1".into()));
+    }
+    if block_events.is_some() && to != TraceFormat::Binary {
+        return Err(CliError::Usage(
+            "--block-events only applies to `--to bin`".into(),
+        ));
+    }
+
+    let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
+    let reader = AnyTraceReader::open(BufReader::new(file))
+        .map_err(|e| CliError::from(e).prefixed(input))?;
+    let from = reader.format();
+    let (kind, expected) = (reader.kind(), reader.expected_events());
+
+    let out_file = File::create(output).map_err(|e| CliError::Io(format!("{output}: {e}")))?;
+    let sink = BufWriter::new(out_file);
+    let out_err = |e: ppa::trace::IoError| CliError::Io(format!("{output}: {e}"));
+    let mut writer = match block_events {
+        Some(n) => AnyTraceWriter::Binary(
+            BinaryTraceWriter::with_block_events(sink, kind, expected, n, StreamProbes::noop())
+                .map_err(out_err)?,
+        ),
+        None => AnyTraceWriter::new(sink, to, kind, expected).map_err(out_err)?,
+    };
+    let mut converted = 0usize;
+    for event in reader {
+        let event = event.map_err(|e| CliError::from(e).prefixed(input))?;
+        writer.write_event(&event).map_err(out_err)?;
+        converted += 1;
+    }
+    let mut inner = writer.finish().map_err(out_err)?;
+    inner
+        .flush()
+        .map_err(|e| CliError::Io(format!("{output}: {e}")))?;
+    println!("converted {converted} events: {input} ({from}) -> {output} ({to})");
     Ok(())
 }
 

@@ -1,0 +1,240 @@
+//! End-to-end tests of `ppa convert` and the format-transparent
+//! `ppa analyze`: a jsonl -> bin -> jsonl round trip must reproduce the
+//! original file byte for byte, binary output must be much smaller than
+//! the JSONL it came from, errors must map onto the documented sysexits
+//! codes, and `analyze` (batch and `--stream`) must produce identical
+//! analysis output whichever format carries the measured trace.
+
+use ppa::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn measured_jsonl(dir: &std::path::Path) -> PathBuf {
+    let cfg = ppa::experiments::experiment_config();
+    let mut b = ProgramBuilder::new("convert-e2e");
+    let v = b.sync_var();
+    let program = b
+        .doacross(1, 64, |body| {
+            body.compute("head", 400)
+                .await_var(v, -1)
+                .compute("cs", 50)
+                .advance(v)
+        })
+        .build()
+        .expect("valid workload");
+    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
+        .expect("valid program");
+    let path = dir.join("convert_measured.jsonl");
+    let file = fs::File::create(&path).expect("create measured.jsonl");
+    ppa::trace::write_jsonl(&measured.trace, file).expect("write measured.jsonl");
+    path
+}
+
+fn ppa_cmd(sub: &str, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ppa"))
+        .arg(sub)
+        .args(args)
+        .output()
+        .expect("run ppa")
+}
+
+#[test]
+fn convert_round_trip_is_byte_identical() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let bin = dir.join("rt.bin");
+    let back = dir.join("rt.jsonl");
+
+    let out = ppa_cmd(
+        "convert",
+        &[
+            input.to_str().unwrap(),
+            bin.to_str().unwrap(),
+            "--to",
+            "bin",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let out = ppa_cmd(
+        "convert",
+        &[
+            bin.to_str().unwrap(),
+            back.to_str().unwrap(),
+            "--to",
+            "jsonl",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    let original = fs::read(&input).expect("read original");
+    let round_tripped = fs::read(&back).expect("read round-tripped");
+    assert!(!original.is_empty());
+    assert_eq!(
+        original, round_tripped,
+        "jsonl -> bin -> jsonl byte identity"
+    );
+
+    // The binary encoding must be dramatically smaller (≤ 40% is the
+    // acceptance bar; delta+varint encoding usually does far better).
+    let bin_len = fs::metadata(&bin).expect("stat bin").len();
+    assert!(
+        bin_len * 5 <= original.len() as u64 * 2,
+        "binary {} bytes vs jsonl {} bytes",
+        bin_len,
+        original.len()
+    );
+}
+
+#[test]
+fn convert_respects_block_events() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let bin = dir.join("small_blocks.bin");
+    let out = ppa_cmd(
+        "convert",
+        &[
+            input.to_str().unwrap(),
+            bin.to_str().unwrap(),
+            "--to",
+            "bin",
+            "--block-events",
+            "16",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    // Smaller blocks -> more frames, still the same decoded events.
+    let decoded = ppa::trace::read_binary(fs::File::open(&bin).expect("open bin")).unwrap();
+    let original = ppa::trace::read_jsonl(fs::File::open(&input).expect("open jsonl")).unwrap();
+    assert_eq!(decoded, original);
+}
+
+#[test]
+fn convert_reports_usage_errors_with_exit_64() {
+    let out = ppa_cmd("convert", &[]);
+    assert_eq!(out.status.code(), Some(64));
+    // Missing --to.
+    let out = ppa_cmd("convert", &["a.jsonl", "b.bin"]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = ppa_cmd("convert", &["a.jsonl", "b.bin", "--to", "csv"]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = ppa_cmd(
+        "convert",
+        &["a.jsonl", "b.jsonl", "--to", "jsonl", "--block-events", "8"],
+    );
+    assert_eq!(out.status.code(), Some(64));
+}
+
+#[test]
+fn convert_maps_input_errors_onto_sysexits() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let out = ppa_cmd(
+        "convert",
+        &["/nonexistent/trace.jsonl", "out.bin", "--to", "bin"],
+    );
+    assert_eq!(out.status.code(), Some(66));
+
+    // A corrupted binary block is bad data: exit 65, with the block index.
+    let input = measured_jsonl(&dir);
+    let bin = dir.join("corrupt_src.bin");
+    let out = ppa_cmd(
+        "convert",
+        &[
+            input.to_str().unwrap(),
+            bin.to_str().unwrap(),
+            "--to",
+            "bin",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let mut bytes = fs::read(&bin).expect("read bin");
+    let n = bytes.len();
+    bytes[n - 3] ^= 0xff;
+    let corrupt = dir.join("corrupt.bin");
+    fs::write(&corrupt, &bytes).expect("write corrupt bin");
+    let sink = dir.join("corrupt_out.jsonl");
+    let out = ppa_cmd(
+        "convert",
+        &[
+            corrupt.to_str().unwrap(),
+            sink.to_str().unwrap(),
+            "--to",
+            "jsonl",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(65), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("CRC"), "stderr: {stderr}");
+}
+
+#[test]
+fn analyze_accepts_both_formats_with_identical_output() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let bin = dir.join("analyze_src.bin");
+    let out = ppa_cmd(
+        "convert",
+        &[
+            input.to_str().unwrap(),
+            bin.to_str().unwrap(),
+            "--to",
+            "bin",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    // Batch and streaming, from JSONL and from binary: four runs, one
+    // approximated trace.
+    let mut outputs = Vec::new();
+    for (src, tag) in [(&input, "jsonl"), (&bin, "bin")] {
+        for flags in [&[][..], &["--stream"][..]] {
+            let approx = dir.join(format!(
+                "approx_{tag}_{}.jsonl",
+                if flags.is_empty() { "batch" } else { "stream" }
+            ));
+            let mut args = vec![src.to_str().unwrap()];
+            args.extend_from_slice(flags);
+            args.extend_from_slice(&["--out", approx.to_str().unwrap()]);
+            let out = ppa_cmd("analyze", &args);
+            assert!(out.status.success(), "{tag} {flags:?}: {:?}", out);
+            outputs.push(fs::read(&approx).expect("read approx"));
+        }
+    }
+    assert!(!outputs[0].is_empty());
+    for o in &outputs[1..] {
+        assert_eq!(&outputs[0], o, "same analysis whichever format/path");
+    }
+}
+
+#[test]
+fn analyze_writes_binary_output_on_request() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let approx_jl = dir.join("approx_fmt.jsonl");
+    let approx_bin = dir.join("approx_fmt.bin");
+
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--out",
+            approx_jl.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--out",
+            approx_bin.to_str().unwrap(),
+            "--format",
+            "bin",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    let from_jl = ppa::trace::read_jsonl(fs::File::open(&approx_jl).unwrap()).unwrap();
+    let from_bin = ppa::trace::read_binary(fs::File::open(&approx_bin).unwrap()).unwrap();
+    assert_eq!(from_jl, from_bin);
+}

@@ -34,14 +34,16 @@ mod streaming;
 mod time_based;
 
 pub use accuracy::{compare_traces, AccuracyReport};
-pub use error::AnalysisError;
+pub use error::{AnalysisError, IngestError};
 pub use estimate::{estimate_overheads, KindEstimate, OverheadEstimate};
 pub use event_based::{
     event_based, event_based_reference, event_based_total, AwaitOutcome, BarrierOutcome,
     EventBasedResult,
 };
 pub use liberal::{liberal_reschedule, LiberalResult};
-pub use sharded::{event_based_sharded, event_based_sharded_probed, ShardProbes};
+pub use sharded::{
+    event_based_sharded, event_based_sharded_from_reader, event_based_sharded_probed, ShardProbes,
+};
 pub use streaming::{AnalyzerProbes, EventBasedAnalyzer, StreamOutput, StreamStats, StreamTail};
 pub use time_based::{time_based, time_based_total, TimeBasedResult};
 

@@ -23,10 +23,12 @@
 //! (associative) integer addition, the segment-sum formulation is exact,
 //! not approximate.
 
-use crate::error::AnalysisError;
+use crate::error::{AnalysisError, IngestError};
 use crate::event_based::{assemble_result, discover_structure, Basis, EventBasedResult, Structure};
 use ppa_obs::{exponential_bounds, Counter, Gauge, Histogram, Registry};
-use ppa_trace::{pair_sync_events, OverheadSpec, ProcessorId, Span, Time, Trace, TraceKind};
+use ppa_trace::{
+    pair_sync_events, AnyTraceReader, OverheadSpec, ProcessorId, Span, Time, Trace, TraceKind,
+};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::time::Instant;
@@ -105,6 +107,28 @@ pub fn event_based_sharded(
     workers: usize,
 ) -> Result<EventBasedResult, AnalysisError> {
     event_based_sharded_probed(measured, overheads, workers, ShardProbes::noop())
+}
+
+/// Sharded analysis fed straight from a trace stream of either format.
+///
+/// Ingestion is where a large measured trace actually spends its time, so
+/// this entry point wires the codec layer's parallelism to the analysis's:
+/// the stream format is auto-detected by magic bytes, `ppa-trace-bin-v1`
+/// input is decoded block-parallel on up to `workers` threads
+/// ([`ParallelBinaryReader`](ppa_trace::ParallelBinaryReader)), and the
+/// decoded trace then runs through [`event_based_sharded`] with the same
+/// worker budget. JSONL input decodes serially (it has no parallel path)
+/// and analyzes identically.
+pub fn event_based_sharded_from_reader<R: std::io::Read>(
+    reader: R,
+    overheads: &OverheadSpec,
+    workers: usize,
+) -> Result<EventBasedResult, IngestError> {
+    let stream = AnyTraceReader::open_parallel(reader, workers.max(1))?;
+    let kind = stream.kind();
+    let events = stream.collect::<Result<Vec<_>, _>>()?;
+    let measured = Trace::from_events(kind, events);
+    Ok(event_based_sharded(&measured, overheads, workers)?)
 }
 
 /// [`event_based_sharded`] with observability: per-shard event counts and
@@ -431,6 +455,46 @@ mod tests {
             let sharded = event_based_sharded(&t, &spec(), workers).unwrap();
             assert_eq!(sharded, reference, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn from_reader_matches_in_memory_analysis_across_formats() {
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(100)
+            .stmt(0)
+            .at(200)
+            .advance(0, 0)
+            .on(1)
+            .at(50)
+            .await_begin(0, 0)
+            .at(210)
+            .await_end(0, 0)
+            .build();
+        let direct = event_based_sharded(&t, &spec(), 2).unwrap();
+
+        let (mut jl, mut bin) = (Vec::new(), Vec::new());
+        ppa_trace::write_trace(&t, &mut jl, ppa_trace::TraceFormat::Jsonl).unwrap();
+        ppa_trace::write_trace(&t, &mut bin, ppa_trace::TraceFormat::Binary).unwrap();
+        for buf in [jl, bin] {
+            let r = event_based_sharded_from_reader(buf.as_slice(), &spec(), 2).unwrap();
+            assert_eq!(r, direct);
+        }
+    }
+
+    #[test]
+    fn from_reader_surfaces_decode_and_analysis_errors() {
+        // Not a trace stream at all: the sniffer falls through to JSONL,
+        // whose header parse fails.
+        let err = event_based_sharded_from_reader(&b"garbage\n"[..], &spec(), 2).unwrap_err();
+        assert!(matches!(err, crate::IngestError::Io(_)), "{err:?}");
+
+        // A well-formed stream carrying an invalid trace fails analysis.
+        let t = TraceBuilder::measured().on(0).at(5).await_end(0, 0).build();
+        let mut bin = Vec::new();
+        ppa_trace::write_trace(&t, &mut bin, ppa_trace::TraceFormat::Binary).unwrap();
+        let err = event_based_sharded_from_reader(bin.as_slice(), &spec(), 2).unwrap_err();
+        assert!(matches!(err, crate::IngestError::Analysis(_)), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! The `ppa-trace-bin-v1` binary trace format: writer, serial reader,
+//! raw block access, and a parallel block decoder.
+//!
+//! A binary trace is an 18-byte header — the 8-byte magic
+//! [`BINARY_MAGIC`], a format version byte, a [`TraceKind`] byte, and the
+//! advisory event count as a little-endian `u64` — followed by framed
+//! blocks (see [`super::block`]). Blocks are independently decodable, so:
+//!
+//! - [`BinaryTraceWriter`] buffers events into blocks of
+//!   [`DEFAULT_BLOCK_EVENTS`] and frames each with its summary and CRC;
+//! - [`BinaryTraceReader`] is the serial streaming decoder, a drop-in
+//!   sibling of [`TraceStreamReader`](crate::TraceStreamReader);
+//! - [`BinaryBlockReader`] yields raw framed blocks without decoding,
+//!   using the frame summaries as a skip index for time-bounded reads;
+//! - [`ParallelBinaryReader`] decodes batches of blocks on worker
+//!   threads and stitches the results back in file (seq) order.
+
+use super::block::{decode_block, encode_block, BlockFrame, BlockSummary, FRAME_LEN};
+use crate::event::Event;
+use crate::io::IoError;
+use crate::stream::{CountingWriter, StreamProbes};
+use crate::time::Time;
+use crate::trace::TraceKind;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Read, Write};
+
+/// Magic bytes opening every `ppa-trace-bin-v1` file.
+pub const BINARY_MAGIC: [u8; 8] = *b"PPATRBIN";
+
+/// Format version written after the magic; the only version understood.
+pub const BINARY_VERSION: u8 = 1;
+
+/// The binary format's name, mirroring the JSONL header's `format` field.
+pub const BINARY_FORMAT_NAME: &str = "ppa-trace-bin-v1";
+
+/// Default number of events framed into one block.
+///
+/// Around 4K events a block is large enough to amortize the 44-byte frame
+/// and the per-block thread handoff of the parallel decoder, yet small
+/// enough that block-granular skipping and parallelism stay fine-grained.
+pub const DEFAULT_BLOCK_EVENTS: usize = 4096;
+
+const HEADER_LEN: usize = 18;
+
+fn kind_to_byte(kind: TraceKind) -> u8 {
+    match kind {
+        TraceKind::Actual => 0,
+        TraceKind::Measured => 1,
+        TraceKind::Approximated => 2,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Option<TraceKind> {
+    match b {
+        0 => Some(TraceKind::Actual),
+        1 => Some(TraceKind::Measured),
+        2 => Some(TraceKind::Approximated),
+        _ => None,
+    }
+}
+
+/// Reads into `buf` until it is full or the stream ends; returns how many
+/// bytes were read (a short count means EOF).
+fn read_up_to<R: Read>(reader: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+// --- Writer -------------------------------------------------------------
+
+/// Incremental writer for the `ppa-trace-bin-v1` format.
+///
+/// Buffers events into blocks of a configurable size (default
+/// [`DEFAULT_BLOCK_EVENTS`]) and frames each finished block with its
+/// event count, first/last seq and time, and a payload CRC32. Only the
+/// current block resides in memory. As with the JSONL writer, the
+/// header's event count is advisory; pass `0` when it is unknown.
+pub struct BinaryTraceWriter<W: Write> {
+    sink: BufWriter<CountingWriter<W>>,
+    block: Vec<Event>,
+    block_events: usize,
+    written: usize,
+    events: ppa_obs::Counter,
+    blocks: ppa_obs::Counter,
+}
+
+impl<W: Write> BinaryTraceWriter<W> {
+    /// Starts a binary stream of `kind` announcing `events` upcoming
+    /// events, with the default block size.
+    pub fn new(writer: W, kind: TraceKind, events: usize) -> Result<Self, IoError> {
+        Self::with_probes(writer, kind, events, StreamProbes::noop())
+    }
+
+    /// Like [`BinaryTraceWriter::new`], recording bytes, events, and
+    /// blocks into `probes` as the stream is written.
+    pub fn with_probes(
+        writer: W,
+        kind: TraceKind,
+        events: usize,
+        probes: StreamProbes,
+    ) -> Result<Self, IoError> {
+        Self::with_block_events(writer, kind, events, DEFAULT_BLOCK_EVENTS, probes)
+    }
+
+    /// Full-control constructor: `block_events` sets how many events are
+    /// framed into each block (clamped to at least 1).
+    pub fn with_block_events(
+        writer: W,
+        kind: TraceKind,
+        events: usize,
+        block_events: usize,
+        probes: StreamProbes,
+    ) -> Result<Self, IoError> {
+        let mut sink = BufWriter::new(CountingWriter::new(writer, probes.bytes));
+        let mut header = [0u8; HEADER_LEN];
+        header[0..8].copy_from_slice(&BINARY_MAGIC);
+        header[8] = BINARY_VERSION;
+        header[9] = kind_to_byte(kind);
+        header[10..18].copy_from_slice(&(events as u64).to_le_bytes());
+        sink.write_all(&header)?;
+        let block_events = block_events.max(1);
+        Ok(BinaryTraceWriter {
+            sink,
+            block: Vec::with_capacity(block_events),
+            block_events,
+            written: 0,
+            events: probes.events,
+            blocks: probes.blocks,
+        })
+    }
+
+    /// Appends one event, flushing a block whenever one fills up.
+    pub fn write_event(&mut self, event: &Event) -> Result<(), IoError> {
+        self.block.push(*event);
+        self.written += 1;
+        self.events.inc();
+        if self.block.len() >= self.block_events {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<(), IoError> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let (frame, payload) = encode_block(&self.block);
+        self.sink.write_all(&frame.to_bytes())?;
+        self.sink.write_all(&payload)?;
+        self.block.clear();
+        self.blocks.inc();
+        Ok(())
+    }
+
+    /// How many events have been written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Frames any partial block, flushes, and returns the underlying
+    /// writer.
+    pub fn finish(mut self) -> Result<W, IoError> {
+        self.flush_block()?;
+        self.sink
+            .into_inner()
+            .map(CountingWriter::into_inner)
+            .map_err(|e| IoError::Io(e.into_error()))
+    }
+}
+
+// --- Raw block reader ---------------------------------------------------
+
+/// One framed block read from a binary trace, not yet decoded.
+#[derive(Debug, Clone)]
+pub struct RawBlock {
+    index: usize,
+    frame: BlockFrame,
+    payload: Vec<u8>,
+}
+
+impl RawBlock {
+    /// The block's 1-based position in the file (reported as `line` in
+    /// [`IoError::Parse`] errors).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The frame summary: event count, first/last seq and time.
+    pub fn summary(&self) -> BlockSummary {
+        self.frame.summary
+    }
+
+    /// Verifies the payload CRC and decodes the block's events.
+    pub fn decode(&self) -> Result<Vec<Event>, IoError> {
+        decode_block(&self.frame, &self.payload, self.index)
+    }
+}
+
+/// Reads the framed blocks of a binary trace without decoding payloads.
+///
+/// This is the layer both decoders share: [`BinaryTraceReader`] decodes
+/// each block inline, [`ParallelBinaryReader`] fans batches out to
+/// worker threads. The frame summaries also serve as a skip index —
+/// [`BinaryBlockReader::set_min_time`] makes the reader discard (read
+/// but neither CRC-check nor decode) every block that ends before a
+/// time bound, the cheap path for watermark-bounded re-reads.
+pub struct BinaryBlockReader<R: Read> {
+    input: R,
+    kind: TraceKind,
+    expected: usize,
+    /// Events delivered (or skipped) by fully-read blocks so far.
+    seen: usize,
+    /// 1-based index of the next block.
+    index: usize,
+    min_time: Option<Time>,
+    skipped_blocks: usize,
+    done: bool,
+    probes: StreamProbes,
+}
+
+impl<R: Read> BinaryBlockReader<R> {
+    /// Opens a binary trace, reading and validating the 18-byte header.
+    pub fn new(reader: R) -> Result<Self, IoError> {
+        Self::with_probes(reader, StreamProbes::noop())
+    }
+
+    /// Like [`BinaryBlockReader::new`], recording bytes, blocks, and
+    /// parse errors into `probes`.
+    pub fn with_probes(mut reader: R, probes: StreamProbes) -> Result<Self, IoError> {
+        let mut header = [0u8; HEADER_LEN];
+        let got = read_up_to(&mut reader, &mut header)?;
+        if got < HEADER_LEN {
+            return Err(IoError::BadHeader(format!(
+                "binary trace header needs {HEADER_LEN} bytes, got {got}"
+            )));
+        }
+        if header[0..8] != BINARY_MAGIC {
+            return Err(IoError::BadHeader(format!(
+                "bad magic {:?} (expected {BINARY_FORMAT_NAME})",
+                &header[0..8]
+            )));
+        }
+        if header[8] != BINARY_VERSION {
+            return Err(IoError::BadHeader(format!(
+                "unsupported {BINARY_FORMAT_NAME} version {}",
+                header[8]
+            )));
+        }
+        let kind = kind_from_byte(header[9])
+            .ok_or_else(|| IoError::BadHeader(format!("unknown trace kind byte {}", header[9])))?;
+        let expected = u64::from_le_bytes(header[10..18].try_into().expect("8 bytes")) as usize;
+        probes.bytes.add(HEADER_LEN as u64);
+        Ok(BinaryBlockReader {
+            input: reader,
+            kind,
+            expected,
+            seen: 0,
+            index: 0,
+            min_time: None,
+            skipped_blocks: 0,
+            done: false,
+            probes,
+        })
+    }
+
+    /// The trace kind announced by the header.
+    pub fn kind(&self) -> TraceKind {
+        self.kind
+    }
+
+    /// The event count announced by the header (advisory).
+    pub fn expected_events(&self) -> usize {
+        self.expected
+    }
+
+    /// Engages the skip index: blocks whose `last_time` is strictly
+    /// before `t` are discarded without CRC verification or decoding
+    /// (their events still count toward truncation accounting). The
+    /// first surviving block may begin before `t`; callers wanting an
+    /// exact bound filter the leading events themselves.
+    pub fn set_min_time(&mut self, t: Time) {
+        self.min_time = Some(t);
+    }
+
+    /// How many blocks the skip index has discarded so far.
+    pub fn skipped_blocks(&self) -> usize {
+        self.skipped_blocks
+    }
+
+    fn fail(&mut self, e: IoError) -> Option<Result<RawBlock, IoError>> {
+        self.done = true;
+        if !matches!(e, IoError::Io(_)) {
+            self.probes.parse_errors.inc();
+        }
+        Some(Err(e))
+    }
+
+    fn truncated(&mut self, at_least: usize) -> Option<Result<RawBlock, IoError>> {
+        let expected = self.expected.max(at_least);
+        let got = self.seen;
+        self.fail(IoError::Truncated { expected, got })
+    }
+
+    /// Reads the next frame + payload. `None` means clean end of input.
+    pub fn next_block(&mut self) -> Option<Result<RawBlock, IoError>> {
+        loop {
+            if self.done {
+                return None;
+            }
+            let mut frame_bytes = [0u8; FRAME_LEN];
+            let got = match read_up_to(&mut self.input, &mut frame_bytes) {
+                Ok(n) => n,
+                Err(e) => return self.fail(IoError::Io(e)),
+            };
+            if got == 0 {
+                // Clean end of input: complain only if the header
+                // promised more events than the blocks delivered.
+                self.done = true;
+                if self.expected > 0 && self.seen < self.expected {
+                    self.probes.parse_errors.inc();
+                    return Some(Err(IoError::Truncated {
+                        expected: self.expected,
+                        got: self.seen,
+                    }));
+                }
+                return None;
+            }
+            if got < FRAME_LEN {
+                // The file ends inside a frame: a short final block.
+                return self.truncated(self.seen + 1);
+            }
+            self.index += 1;
+            let frame = match BlockFrame::from_bytes(&frame_bytes, self.index) {
+                Ok(f) => f,
+                Err(e) => return self.fail(e),
+            };
+            let count = frame.summary.count as usize;
+            let mut payload = vec![0u8; frame.payload_len as usize];
+            let got = match read_up_to(&mut self.input, &mut payload) {
+                Ok(n) => n,
+                Err(e) => return self.fail(IoError::Io(e)),
+            };
+            if got < payload.len() {
+                // The file ends inside this block's payload.
+                return self.truncated(self.seen + count);
+            }
+            self.probes.bytes.add((FRAME_LEN + payload.len()) as u64);
+            self.probes.blocks.inc();
+            self.seen += count;
+            if let Some(min) = self.min_time {
+                if frame.summary.last_time < min {
+                    self.skipped_blocks += 1;
+                    continue;
+                }
+            }
+            return Some(Ok(RawBlock {
+                index: self.index,
+                frame,
+                payload,
+            }));
+        }
+    }
+}
+
+// --- Serial reader ------------------------------------------------------
+
+/// Serial streaming decoder for the `ppa-trace-bin-v1` format.
+///
+/// The binary sibling of [`TraceStreamReader`](crate::TraceStreamReader):
+/// parses the header eagerly, then yields one event per [`Iterator`]
+/// call, holding at most one decoded block in memory. Error mapping
+/// follows the JSONL reader's conventions — [`IoError::BadHeader`] for a
+/// wrong magic or version, [`IoError::Truncated`] for input that ends
+/// mid-block or short of the header's declared count, and
+/// [`IoError::Parse`] (with the 1-based *block* index as `line`) for a
+/// CRC mismatch or malformed payload. After an error the iterator fuses.
+pub struct BinaryTraceReader<R: Read> {
+    blocks: BinaryBlockReader<R>,
+    pending: std::vec::IntoIter<Event>,
+    failed: bool,
+    probes: StreamProbes,
+}
+
+impl<R: Read> BinaryTraceReader<R> {
+    /// Opens a binary stream, reading and validating the header.
+    pub fn new(reader: R) -> Result<Self, IoError> {
+        Self::with_probes(reader, StreamProbes::noop())
+    }
+
+    /// Like [`BinaryTraceReader::new`], recording bytes, events, blocks,
+    /// and parse errors into `probes` as the stream is consumed.
+    pub fn with_probes(reader: R, probes: StreamProbes) -> Result<Self, IoError> {
+        let blocks = BinaryBlockReader::with_probes(reader, probes.clone())?;
+        Ok(BinaryTraceReader {
+            blocks,
+            pending: Vec::new().into_iter(),
+            failed: false,
+            probes,
+        })
+    }
+
+    /// The trace kind announced by the header.
+    pub fn kind(&self) -> TraceKind {
+        self.blocks.kind()
+    }
+
+    /// The event count announced by the header (advisory).
+    pub fn expected_events(&self) -> usize {
+        self.blocks.expected_events()
+    }
+
+    /// Engages the block skip index; see
+    /// [`BinaryBlockReader::set_min_time`].
+    pub fn set_min_time(&mut self, t: Time) {
+        self.blocks.set_min_time(t);
+    }
+
+    /// How many blocks the skip index has discarded so far.
+    pub fn skipped_blocks(&self) -> usize {
+        self.blocks.skipped_blocks()
+    }
+}
+
+impl<R: Read> Iterator for BinaryTraceReader<R> {
+    type Item = Result<Event, IoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(e) = self.pending.next() {
+                self.probes.events.inc();
+                return Some(Ok(e));
+            }
+            match self.blocks.next_block()? {
+                Ok(block) => match block.decode() {
+                    Ok(events) => self.pending = events.into_iter(),
+                    Err(e) => {
+                        self.failed = true;
+                        self.probes.parse_errors.inc();
+                        return Some(Err(e));
+                    }
+                },
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+// --- Parallel reader ----------------------------------------------------
+
+/// Parallel block decoder for the `ppa-trace-bin-v1` format.
+///
+/// Reads framed blocks serially (cheap — the payload stays opaque), then
+/// decodes batches of blocks on `workers` scoped threads and stitches
+/// the decoded events back together in file order, which *is* seq order
+/// for any writer fed a totally ordered trace. Yields exactly the event
+/// sequence of [`BinaryTraceReader`] on the same input, including the
+/// position of the first error, after which the iterator fuses.
+///
+/// Batches hold `4 * workers` blocks, so peak memory is
+/// `O(workers * block_events)` decoded events.
+pub struct ParallelBinaryReader<R: Read> {
+    blocks: BinaryBlockReader<R>,
+    workers: usize,
+    queue: VecDeque<Event>,
+    pending_error: Option<IoError>,
+    failed: bool,
+    probes: StreamProbes,
+}
+
+impl<R: Read> ParallelBinaryReader<R> {
+    /// Opens a binary stream for parallel decoding on up to `workers`
+    /// threads (clamped to at least 1).
+    pub fn new(reader: R, workers: usize) -> Result<Self, IoError> {
+        Self::with_probes(reader, workers, StreamProbes::noop())
+    }
+
+    /// Like [`ParallelBinaryReader::new`], with stream probes.
+    pub fn with_probes(reader: R, workers: usize, probes: StreamProbes) -> Result<Self, IoError> {
+        let blocks = BinaryBlockReader::with_probes(reader, probes.clone())?;
+        Ok(ParallelBinaryReader {
+            blocks,
+            workers: workers.max(1),
+            queue: VecDeque::new(),
+            pending_error: None,
+            failed: false,
+            probes,
+        })
+    }
+
+    /// The trace kind announced by the header.
+    pub fn kind(&self) -> TraceKind {
+        self.blocks.kind()
+    }
+
+    /// The event count announced by the header (advisory).
+    pub fn expected_events(&self) -> usize {
+        self.blocks.expected_events()
+    }
+
+    /// Reads and decodes the next batch of blocks into the queue.
+    fn refill(&mut self) {
+        let mut batch: Vec<RawBlock> = Vec::with_capacity(self.workers * 4);
+        while batch.len() < self.workers * 4 {
+            match self.blocks.next_block() {
+                Some(Ok(b)) => batch.push(b),
+                Some(Err(e)) => {
+                    self.pending_error = Some(e);
+                    break;
+                }
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        // One chunk of blocks per worker; each block decodes
+        // independently, results return in submission order.
+        let chunk = batch.len().div_ceil(self.workers);
+        let mut results: Vec<Result<Vec<Event>, IoError>> = Vec::with_capacity(batch.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .map(|blocks| {
+                    s.spawn(move || blocks.iter().map(RawBlock::decode).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                results.extend(h.join().expect("block decode worker panicked"));
+            }
+        });
+        for r in results {
+            match r {
+                Ok(events) => {
+                    self.probes.events.add(events.len() as u64);
+                    self.queue.extend(events);
+                }
+                Err(e) => {
+                    // A decode failure precedes (in stream order) any
+                    // block-reader error stashed above, and everything
+                    // after the first error is dropped anyway.
+                    self.probes.parse_errors.inc();
+                    self.pending_error = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for ParallelBinaryReader<R> {
+    type Item = Result<Event, IoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(e) = self.queue.pop_front() {
+                return Some(Ok(e));
+            }
+            if let Some(e) = self.pending_error.take() {
+                self.failed = true;
+                return Some(Err(e));
+            }
+            self.refill();
+            if self.queue.is_empty() && self.pending_error.is_none() {
+                return None;
+            }
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Block framing for the `ppa-trace-bin-v1` format.
+//!
+//! A binary trace is a header followed by framed blocks of up to a few
+//! thousand events each. Every block is independently decodable: its
+//! fixed-size frame carries everything a decoder needs (payload length,
+//! event count, first/last sequence and time, a CRC32 of the payload), so
+//! blocks can be decoded in parallel and stitched back together in file
+//! order, and the first/last-time summary doubles as a skip index for
+//! time-bounded reads.
+//!
+//! ## Frame layout (44 bytes, little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  payload_len   bytes of varint payload that follow
+//!      4     4  count         events in the block (>= 1)
+//!      8     8  first_seq     seq of the first event
+//!     16     8  last_seq      seq of the last event
+//!     24     8  first_time    timestamp of the first event (ns)
+//!     32     8  last_time     timestamp of the last event (ns)
+//!     40     4  crc32         CRC32 (IEEE) of the payload bytes
+//! ```
+//!
+//! ## Payload layout
+//!
+//! Per event: a one-byte [`EventKind`] tag, then zigzag-varint deltas for
+//! time and seq (relative to the previous event in the block; the frame's
+//! `first_time`/`first_seq` seed the chain, so the first event encodes
+//! two zero deltas), a varint processor id, and the kind's operands as
+//! varints (synchronization tags zigzag-mapped — they are signed).
+
+use super::varint::{read_varint, read_varint_signed, write_varint, write_varint_signed};
+use crate::event::{Event, EventKind};
+use crate::ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
+use crate::io::IoError;
+use crate::time::Time;
+
+/// Byte length of an encoded block frame.
+pub(crate) const FRAME_LEN: usize = 44;
+
+/// Upper bound accepted for a frame's `payload_len` (64 MiB). A frame
+/// announcing more is treated as corrupt rather than allocated.
+pub(crate) const MAX_PAYLOAD_LEN: u32 = 64 << 20;
+
+/// Upper bound accepted for a frame's `count`. A block never legitimately
+/// holds more events than bytes of payload (every event costs >= 4 bytes).
+pub(crate) const MAX_BLOCK_COUNT: u32 = MAX_PAYLOAD_LEN / 4;
+
+/// The per-block summary carried by every frame of a binary trace.
+///
+/// Summaries are readable without decoding the payload, which makes them
+/// a skip index: a reader looking only for events at or after some
+/// watermark can discard every block whose `last_time` is below it
+/// without touching the payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Events in the block (at least 1).
+    pub count: u32,
+    /// Sequence number of the block's first event.
+    pub first_seq: u64,
+    /// Sequence number of the block's last event.
+    pub last_seq: u64,
+    /// Timestamp of the block's first event.
+    pub first_time: Time,
+    /// Timestamp of the block's last event.
+    pub last_time: Time,
+}
+
+/// One decoded block frame: the summary plus payload accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockFrame {
+    pub(crate) payload_len: u32,
+    pub(crate) summary: BlockSummary,
+    pub(crate) crc: u32,
+}
+
+impl BlockFrame {
+    /// Serializes the frame into its fixed 44-byte layout.
+    pub(crate) fn to_bytes(self) -> [u8; FRAME_LEN] {
+        let mut out = [0u8; FRAME_LEN];
+        out[0..4].copy_from_slice(&self.payload_len.to_le_bytes());
+        out[4..8].copy_from_slice(&self.summary.count.to_le_bytes());
+        out[8..16].copy_from_slice(&self.summary.first_seq.to_le_bytes());
+        out[16..24].copy_from_slice(&self.summary.last_seq.to_le_bytes());
+        out[24..32].copy_from_slice(&self.summary.first_time.as_nanos().to_le_bytes());
+        out[32..40].copy_from_slice(&self.summary.last_time.as_nanos().to_le_bytes());
+        out[40..44].copy_from_slice(&self.crc.to_le_bytes());
+        out
+    }
+
+    /// Parses a frame; `block` is the 1-based block index used in errors.
+    pub(crate) fn from_bytes(bytes: &[u8; FRAME_LEN], block: usize) -> Result<Self, IoError> {
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let frame = BlockFrame {
+            payload_len: u32_at(0),
+            summary: BlockSummary {
+                count: u32_at(4),
+                first_seq: u64_at(8),
+                last_seq: u64_at(16),
+                first_time: Time::from_nanos(u64_at(24)),
+                last_time: Time::from_nanos(u64_at(32)),
+            },
+            crc: u32_at(40),
+        };
+        if frame.summary.count == 0
+            || frame.summary.count > MAX_BLOCK_COUNT
+            || frame.payload_len == 0
+            || frame.payload_len > MAX_PAYLOAD_LEN
+        {
+            return Err(IoError::Parse {
+                line: block,
+                message: format!(
+                    "block {block}: implausible frame (count {}, payload {} bytes)",
+                    frame.summary.count, frame.payload_len
+                ),
+            });
+        }
+        Ok(frame)
+    }
+}
+
+// --- CRC32 (IEEE 802.3, reflected) -------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `data` — the checksum guarding every block payload.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// --- EventKind tag codec ------------------------------------------------
+
+const TAG_PROGRAM_BEGIN: u8 = 0;
+const TAG_PROGRAM_END: u8 = 1;
+const TAG_LOOP_BEGIN: u8 = 2;
+const TAG_LOOP_END: u8 = 3;
+const TAG_ITERATION_BEGIN: u8 = 4;
+const TAG_ITERATION_END: u8 = 5;
+const TAG_STATEMENT: u8 = 6;
+const TAG_ADVANCE: u8 = 7;
+const TAG_AWAIT_BEGIN: u8 = 8;
+const TAG_AWAIT_END: u8 = 9;
+const TAG_BARRIER_ENTER: u8 = 10;
+const TAG_BARRIER_EXIT: u8 = 11;
+
+fn write_kind(buf: &mut Vec<u8>, kind: &EventKind) {
+    match kind {
+        EventKind::ProgramBegin => buf.push(TAG_PROGRAM_BEGIN),
+        EventKind::ProgramEnd => buf.push(TAG_PROGRAM_END),
+        EventKind::LoopBegin { loop_id } => {
+            buf.push(TAG_LOOP_BEGIN);
+            write_varint(buf, u64::from(loop_id.0));
+        }
+        EventKind::LoopEnd { loop_id } => {
+            buf.push(TAG_LOOP_END);
+            write_varint(buf, u64::from(loop_id.0));
+        }
+        EventKind::IterationBegin { loop_id, iter } => {
+            buf.push(TAG_ITERATION_BEGIN);
+            write_varint(buf, u64::from(loop_id.0));
+            write_varint(buf, *iter);
+        }
+        EventKind::IterationEnd { loop_id, iter } => {
+            buf.push(TAG_ITERATION_END);
+            write_varint(buf, u64::from(loop_id.0));
+            write_varint(buf, *iter);
+        }
+        EventKind::Statement { stmt } => {
+            buf.push(TAG_STATEMENT);
+            write_varint(buf, u64::from(stmt.0));
+        }
+        EventKind::Advance { var, tag } => {
+            buf.push(TAG_ADVANCE);
+            write_varint(buf, u64::from(var.0));
+            write_varint_signed(buf, tag.0);
+        }
+        EventKind::AwaitBegin { var, tag } => {
+            buf.push(TAG_AWAIT_BEGIN);
+            write_varint(buf, u64::from(var.0));
+            write_varint_signed(buf, tag.0);
+        }
+        EventKind::AwaitEnd { var, tag } => {
+            buf.push(TAG_AWAIT_END);
+            write_varint(buf, u64::from(var.0));
+            write_varint_signed(buf, tag.0);
+        }
+        EventKind::BarrierEnter { barrier } => {
+            buf.push(TAG_BARRIER_ENTER);
+            write_varint(buf, u64::from(barrier.0));
+        }
+        EventKind::BarrierExit { barrier } => {
+            buf.push(TAG_BARRIER_EXIT);
+            write_varint(buf, u64::from(barrier.0));
+        }
+    }
+}
+
+fn read_kind(tag: u8, input: &[u8], pos: &mut usize) -> Option<EventKind> {
+    let u32_operand = |pos: &mut usize| read_varint(input, pos).and_then(|v| u32::try_from(v).ok());
+    Some(match tag {
+        TAG_PROGRAM_BEGIN => EventKind::ProgramBegin,
+        TAG_PROGRAM_END => EventKind::ProgramEnd,
+        TAG_LOOP_BEGIN => EventKind::LoopBegin {
+            loop_id: LoopId(u32_operand(pos)?),
+        },
+        TAG_LOOP_END => EventKind::LoopEnd {
+            loop_id: LoopId(u32_operand(pos)?),
+        },
+        TAG_ITERATION_BEGIN => EventKind::IterationBegin {
+            loop_id: LoopId(u32_operand(pos)?),
+            iter: read_varint(input, pos)?,
+        },
+        TAG_ITERATION_END => EventKind::IterationEnd {
+            loop_id: LoopId(u32_operand(pos)?),
+            iter: read_varint(input, pos)?,
+        },
+        TAG_STATEMENT => EventKind::Statement {
+            stmt: StatementId(u32_operand(pos)?),
+        },
+        TAG_ADVANCE => EventKind::Advance {
+            var: SyncVarId(u32_operand(pos)?),
+            tag: SyncTag(read_varint_signed(input, pos)?),
+        },
+        TAG_AWAIT_BEGIN => EventKind::AwaitBegin {
+            var: SyncVarId(u32_operand(pos)?),
+            tag: SyncTag(read_varint_signed(input, pos)?),
+        },
+        TAG_AWAIT_END => EventKind::AwaitEnd {
+            var: SyncVarId(u32_operand(pos)?),
+            tag: SyncTag(read_varint_signed(input, pos)?),
+        },
+        TAG_BARRIER_ENTER => EventKind::BarrierEnter {
+            barrier: BarrierId(u32_operand(pos)?),
+        },
+        TAG_BARRIER_EXIT => EventKind::BarrierExit {
+            barrier: BarrierId(u32_operand(pos)?),
+        },
+        _ => return None,
+    })
+}
+
+// --- Block encode / decode ----------------------------------------------
+
+/// Encodes one block of events into a frame and its payload bytes.
+///
+/// `events` must be non-empty; the caller controls the block size. The
+/// events need not be time-ordered (deltas are signed), though ordered
+/// input is what makes them compress well.
+pub(crate) fn encode_block(events: &[Event]) -> (BlockFrame, Vec<u8>) {
+    assert!(!events.is_empty(), "blocks hold at least one event");
+    let first = &events[0];
+    let last = &events[events.len() - 1];
+    let mut payload = Vec::with_capacity(events.len() * 6);
+    let mut prev_time = first.time.as_nanos();
+    let mut prev_seq = first.seq;
+    for e in events {
+        write_kind(&mut payload, &e.kind);
+        let t = e.time.as_nanos();
+        write_varint_signed(&mut payload, t.wrapping_sub(prev_time) as i64);
+        write_varint_signed(&mut payload, e.seq.wrapping_sub(prev_seq) as i64);
+        write_varint(&mut payload, u64::from(e.proc.0));
+        prev_time = t;
+        prev_seq = e.seq;
+    }
+    let frame = BlockFrame {
+        payload_len: payload.len() as u32,
+        summary: BlockSummary {
+            count: events.len() as u32,
+            first_seq: first.seq,
+            last_seq: last.seq,
+            first_time: first.time,
+            last_time: last.time,
+        },
+        crc: crc32(&payload),
+    };
+    (frame, payload)
+}
+
+/// Decodes a block payload against its frame.
+///
+/// Verifies the CRC32 before touching the payload, then checks that the
+/// decode consumed exactly `payload_len` bytes, produced exactly `count`
+/// events, and reproduced the frame's first/last summary. `block` is the
+/// 1-based block index reported (as `line`) in [`IoError::Parse`] errors.
+pub(crate) fn decode_block(
+    frame: &BlockFrame,
+    payload: &[u8],
+    block: usize,
+) -> Result<Vec<Event>, IoError> {
+    let corrupt = |message: String| IoError::Parse {
+        line: block,
+        message,
+    };
+    let actual = crc32(payload);
+    if actual != frame.crc {
+        return Err(corrupt(format!(
+            "block {block}: CRC mismatch (stored {:#010x}, computed {actual:#010x})",
+            frame.crc
+        )));
+    }
+    let mut events = Vec::with_capacity(frame.summary.count as usize);
+    let mut prev_time = frame.summary.first_time.as_nanos();
+    let mut prev_seq = frame.summary.first_seq;
+    let mut pos = 0usize;
+    for i in 0..frame.summary.count {
+        let err = || corrupt(format!("block {block}: malformed event {i}"));
+        let tag = *payload.get(pos).ok_or_else(err)?;
+        pos += 1;
+        let kind = read_kind(tag, payload, &mut pos).ok_or_else(err)?;
+        let dt = read_varint_signed(payload, &mut pos).ok_or_else(err)?;
+        let dseq = read_varint_signed(payload, &mut pos).ok_or_else(err)?;
+        let proc = read_varint(payload, &mut pos)
+            .and_then(|v| u16::try_from(v).ok())
+            .ok_or_else(err)?;
+        prev_time = prev_time.wrapping_add(dt as u64);
+        prev_seq = prev_seq.wrapping_add(dseq as u64);
+        events.push(Event::new(
+            Time::from_nanos(prev_time),
+            ProcessorId(proc),
+            prev_seq,
+            kind,
+        ));
+    }
+    if pos != payload.len() {
+        return Err(corrupt(format!(
+            "block {block}: {} trailing payload bytes",
+            payload.len() - pos
+        )));
+    }
+    let first = events.first().expect("count >= 1 was validated");
+    let last = events.last().expect("count >= 1 was validated");
+    if first.time != frame.summary.first_time
+        || first.seq != frame.summary.first_seq
+        || last.time != frame.summary.last_time
+        || last.seq != frame.summary.last_seq
+    {
+        return Err(corrupt(format!(
+            "block {block}: payload does not match its frame summary"
+        )));
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::new(
+                Time::from_nanos(100),
+                ProcessorId(0),
+                0,
+                EventKind::ProgramBegin,
+            ),
+            Event::new(
+                Time::from_nanos(140),
+                ProcessorId(1),
+                1,
+                EventKind::Statement {
+                    stmt: StatementId(7),
+                },
+            ),
+            Event::new(
+                Time::from_nanos(150),
+                ProcessorId(1),
+                2,
+                EventKind::Advance {
+                    var: SyncVarId(0),
+                    tag: SyncTag(-3),
+                },
+            ),
+            Event::new(
+                Time::from_nanos(150),
+                ProcessorId(2),
+                3,
+                EventKind::AwaitEnd {
+                    var: SyncVarId(0),
+                    tag: SyncTag(4),
+                },
+            ),
+            Event::new(
+                Time::from_nanos(900),
+                ProcessorId(0),
+                4,
+                EventKind::ProgramEnd,
+            ),
+        ]
+    }
+
+    #[test]
+    fn block_round_trips() {
+        let events = sample_events();
+        let (frame, payload) = encode_block(&events);
+        assert_eq!(frame.summary.count, 5);
+        assert_eq!(frame.summary.first_time, Time::from_nanos(100));
+        assert_eq!(frame.summary.last_time, Time::from_nanos(900));
+        assert_eq!(frame.summary.first_seq, 0);
+        assert_eq!(frame.summary.last_seq, 4);
+        let back = decode_block(&frame, &payload, 1).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn frame_bytes_round_trip() {
+        let (frame, _) = encode_block(&sample_events());
+        let bytes = frame.to_bytes();
+        assert_eq!(BlockFrame::from_bytes(&bytes, 1).unwrap(), frame);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc_with_block_index() {
+        let (frame, mut payload) = encode_block(&sample_events());
+        payload[3] ^= 0xff;
+        match decode_block(&frame, &payload, 7) {
+            Err(IoError::Parse { line, message }) => {
+                assert_eq!(line, 7);
+                assert!(message.contains("CRC mismatch"), "{message}");
+            }
+            other => panic!("expected CRC parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implausible_frames_are_rejected() {
+        let (frame, _) = encode_block(&sample_events());
+        let mut zero_count = frame;
+        zero_count.summary.count = 0;
+        assert!(matches!(
+            BlockFrame::from_bytes(&zero_count.to_bytes(), 1),
+            Err(IoError::Parse { .. })
+        ));
+        let mut huge = frame;
+        huge.payload_len = MAX_PAYLOAD_LEN + 1;
+        assert!(matches!(
+            BlockFrame::from_bytes(&huge.to_bytes(), 1),
+            Err(IoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn unordered_events_still_round_trip() {
+        // Deltas are signed, so even a time-reversed block is lossless.
+        let mut events = sample_events();
+        events.reverse();
+        let (frame, payload) = encode_block(&events);
+        assert_eq!(decode_block(&frame, &payload, 1).unwrap(), events);
+    }
+
+    #[test]
+    fn extreme_field_values_round_trip() {
+        let events = vec![
+            Event::new(
+                Time::from_nanos(u64::MAX),
+                ProcessorId(u16::MAX),
+                u64::MAX,
+                EventKind::Advance {
+                    var: SyncVarId(u32::MAX),
+                    tag: SyncTag(i64::MIN),
+                },
+            ),
+            Event::new(
+                Time::ZERO,
+                ProcessorId(0),
+                0,
+                EventKind::IterationEnd {
+                    loop_id: LoopId(u32::MAX),
+                    iter: u64::MAX,
+                },
+            ),
+        ];
+        let (frame, payload) = encode_block(&events);
+        assert_eq!(decode_block(&frame, &payload, 1).unwrap(), events);
+    }
+}

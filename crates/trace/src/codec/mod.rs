@@ -1,0 +1,642 @@
+//! Trace codecs: the JSONL interchange format's binary sibling
+//! `ppa-trace-bin-v1`, plus format auto-detection.
+//!
+//! JSONL (one `serde_json` event per line) is self-describing and
+//! greppable but pays a parse-and-allocate tax per event. The binary
+//! format trades that for LEB128 varints with delta-encoded timestamps
+//! and sequence numbers, framed into independently decodable blocks —
+//! typically well under half the bytes and several times
+//! the decode throughput, with block-parallel decoding on top
+//! ([`ParallelBinaryReader`]).
+//!
+//! Every reader entry point here auto-detects the format from the first
+//! bytes of the stream ([`BINARY_MAGIC`] opens a binary trace; anything
+//! else is treated as JSONL), so pipelines accept either format
+//! transparently:
+//!
+//! - [`AnyTraceReader`] — streaming reader over either format;
+//! - [`AnyTraceWriter`] — streaming writer for a caller-chosen
+//!   [`TraceFormat`];
+//! - [`read_trace`] / [`read_trace_parallel`] — materialize a whole
+//!   [`Trace`] from either format, optionally decoding binary blocks on
+//!   worker threads;
+//! - [`write_trace`] — write a whole [`Trace`] in a chosen format.
+
+mod binary;
+mod block;
+mod varint;
+
+pub use binary::{
+    BinaryBlockReader, BinaryTraceReader, BinaryTraceWriter, ParallelBinaryReader, RawBlock,
+    BINARY_FORMAT_NAME, BINARY_MAGIC, BINARY_VERSION, DEFAULT_BLOCK_EVENTS,
+};
+pub use block::BlockSummary;
+
+use crate::event::Event;
+use crate::io::IoError;
+use crate::stream::{StreamProbes, TraceStreamReader, TraceStreamWriter};
+use crate::trace::{Trace, TraceKind};
+use std::io::{Chain, Cursor, Read, Write};
+
+/// The on-disk trace formats the toolchain reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceFormat {
+    /// `ppa-trace-v1`: a JSON header line plus one JSON event per line.
+    Jsonl,
+    /// `ppa-trace-bin-v1`: magic-prefixed header plus framed varint
+    /// blocks.
+    Binary,
+}
+
+impl TraceFormat {
+    /// Parses a user-facing format name (`jsonl`/`json` or
+    /// `bin`/`binary`).
+    pub fn parse(name: &str) -> Option<TraceFormat> {
+        match name {
+            "jsonl" | "json" => Some(TraceFormat::Jsonl),
+            "bin" | "binary" => Some(TraceFormat::Binary),
+            _ => None,
+        }
+    }
+
+    /// Classifies a stream by its opening bytes: a [`BINARY_MAGIC`]
+    /// prefix is binary, everything else (including short prefixes) is
+    /// presumed JSONL and left to the JSONL parser to accept or reject.
+    pub fn sniff(prefix: &[u8]) -> TraceFormat {
+        if prefix.len() >= BINARY_MAGIC.len() && prefix[..BINARY_MAGIC.len()] == BINARY_MAGIC {
+            TraceFormat::Binary
+        } else {
+            TraceFormat::Jsonl
+        }
+    }
+}
+
+impl std::fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFormat::Jsonl => f.write_str("jsonl"),
+            TraceFormat::Binary => f.write_str("bin"),
+        }
+    }
+}
+
+/// The replayed-prefix reader auto-detection hands each codec: the
+/// sniffed bytes, then the rest of the stream.
+pub type Sniffed<R> = Chain<Cursor<Vec<u8>>, R>;
+
+/// Streaming reader over either trace format, selected by sniffing the
+/// first bytes of the stream.
+///
+/// Presents the union of the per-format reader APIs ([`kind`],
+/// [`expected_events`], the event [`Iterator`]) so pipelines accept both
+/// formats transparently. Binary input decodes serially by default; open
+/// with [`AnyTraceReader::open_parallel`] to decode binary blocks on
+/// worker threads instead (JSONL input is unaffected — it has no
+/// parallel decode path).
+///
+/// [`kind`]: AnyTraceReader::kind
+/// [`expected_events`]: AnyTraceReader::expected_events
+pub enum AnyTraceReader<R: Read> {
+    /// A detected `ppa-trace-v1` JSONL stream.
+    Jsonl(TraceStreamReader<Sniffed<R>>),
+    /// A detected `ppa-trace-bin-v1` stream, decoded serially.
+    Binary(BinaryTraceReader<Sniffed<R>>),
+    /// A detected `ppa-trace-bin-v1` stream, decoded block-parallel.
+    BinaryParallel(ParallelBinaryReader<Sniffed<R>>),
+}
+
+/// Reads up to `BINARY_MAGIC.len()` bytes and rebuilds a full stream
+/// that replays them.
+fn sniff_stream<R: Read>(mut reader: R) -> Result<(TraceFormat, Sniffed<R>), IoError> {
+    let mut prefix = vec![0u8; BINARY_MAGIC.len()];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(IoError::Io(e)),
+        }
+    }
+    prefix.truncate(filled);
+    let format = TraceFormat::sniff(&prefix);
+    Ok((format, Cursor::new(prefix).chain(reader)))
+}
+
+impl<R: Read> AnyTraceReader<R> {
+    /// Opens a trace stream of either format (serial binary decode).
+    pub fn open(reader: R) -> Result<Self, IoError> {
+        Self::with_probes(reader, StreamProbes::noop())
+    }
+
+    /// Like [`AnyTraceReader::open`], with stream probes.
+    pub fn with_probes(reader: R, probes: StreamProbes) -> Result<Self, IoError> {
+        let (format, stream) = sniff_stream(reader)?;
+        Ok(match format {
+            TraceFormat::Jsonl => {
+                AnyTraceReader::Jsonl(TraceStreamReader::with_probes(stream, probes)?)
+            }
+            TraceFormat::Binary => {
+                AnyTraceReader::Binary(BinaryTraceReader::with_probes(stream, probes)?)
+            }
+        })
+    }
+
+    /// Opens a trace stream of either format, decoding binary blocks on
+    /// up to `workers` threads. JSONL input falls back to the ordinary
+    /// serial reader.
+    pub fn open_parallel(reader: R, workers: usize) -> Result<Self, IoError> {
+        Self::open_parallel_with_probes(reader, workers, StreamProbes::noop())
+    }
+
+    /// Like [`AnyTraceReader::open_parallel`], with stream probes.
+    pub fn open_parallel_with_probes(
+        reader: R,
+        workers: usize,
+        probes: StreamProbes,
+    ) -> Result<Self, IoError> {
+        let (format, stream) = sniff_stream(reader)?;
+        Ok(match format {
+            TraceFormat::Jsonl => {
+                AnyTraceReader::Jsonl(TraceStreamReader::with_probes(stream, probes)?)
+            }
+            TraceFormat::Binary => AnyTraceReader::BinaryParallel(
+                ParallelBinaryReader::with_probes(stream, workers, probes)?,
+            ),
+        })
+    }
+
+    /// Which format the stream was detected as.
+    pub fn format(&self) -> TraceFormat {
+        match self {
+            AnyTraceReader::Jsonl(_) => TraceFormat::Jsonl,
+            AnyTraceReader::Binary(_) | AnyTraceReader::BinaryParallel(_) => TraceFormat::Binary,
+        }
+    }
+
+    /// The trace kind announced by the header.
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            AnyTraceReader::Jsonl(r) => r.kind(),
+            AnyTraceReader::Binary(r) => r.kind(),
+            AnyTraceReader::BinaryParallel(r) => r.kind(),
+        }
+    }
+
+    /// The event count announced by the header (advisory).
+    pub fn expected_events(&self) -> usize {
+        match self {
+            AnyTraceReader::Jsonl(r) => r.expected_events(),
+            AnyTraceReader::Binary(r) => r.expected_events(),
+            AnyTraceReader::BinaryParallel(r) => r.expected_events(),
+        }
+    }
+}
+
+impl<R: Read> Iterator for AnyTraceReader<R> {
+    type Item = Result<Event, IoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            AnyTraceReader::Jsonl(r) => r.next(),
+            AnyTraceReader::Binary(r) => r.next(),
+            AnyTraceReader::BinaryParallel(r) => r.next(),
+        }
+    }
+}
+
+/// Streaming writer for a caller-chosen [`TraceFormat`].
+///
+/// The format-generic face of [`TraceStreamWriter`] and
+/// [`BinaryTraceWriter`]: `ppa convert` and `ppa analyze --format` pick
+/// the variant from a flag and drive one API.
+pub enum AnyTraceWriter<W: Write> {
+    /// Writes `ppa-trace-v1` JSONL.
+    Jsonl(TraceStreamWriter<W>),
+    /// Writes `ppa-trace-bin-v1`.
+    Binary(BinaryTraceWriter<W>),
+}
+
+impl<W: Write> AnyTraceWriter<W> {
+    /// Starts a stream of `kind` in `format`, announcing `events`
+    /// upcoming events (advisory; pass `0` when unknown).
+    pub fn new(
+        writer: W,
+        format: TraceFormat,
+        kind: TraceKind,
+        events: usize,
+    ) -> Result<Self, IoError> {
+        Self::with_probes(writer, format, kind, events, StreamProbes::noop())
+    }
+
+    /// Like [`AnyTraceWriter::new`], with stream probes.
+    pub fn with_probes(
+        writer: W,
+        format: TraceFormat,
+        kind: TraceKind,
+        events: usize,
+        probes: StreamProbes,
+    ) -> Result<Self, IoError> {
+        Ok(match format {
+            TraceFormat::Jsonl => AnyTraceWriter::Jsonl(TraceStreamWriter::with_probes(
+                writer, kind, events, probes,
+            )?),
+            TraceFormat::Binary => AnyTraceWriter::Binary(BinaryTraceWriter::with_probes(
+                writer, kind, events, probes,
+            )?),
+        })
+    }
+
+    /// Appends one event.
+    pub fn write_event(&mut self, event: &Event) -> Result<(), IoError> {
+        match self {
+            AnyTraceWriter::Jsonl(w) => w.write_event(event),
+            AnyTraceWriter::Binary(w) => w.write_event(event),
+        }
+    }
+
+    /// How many events have been written so far.
+    pub fn written(&self) -> usize {
+        match self {
+            AnyTraceWriter::Jsonl(w) => w.written(),
+            AnyTraceWriter::Binary(w) => w.written(),
+        }
+    }
+
+    /// Flushes (framing any partial binary block) and returns the
+    /// underlying writer.
+    pub fn finish(self) -> Result<W, IoError> {
+        match self {
+            AnyTraceWriter::Jsonl(w) => w.finish(),
+            AnyTraceWriter::Binary(w) => w.finish(),
+        }
+    }
+}
+
+/// Writes a whole trace in the `ppa-trace-bin-v1` format.
+pub fn write_binary<W: Write>(trace: &Trace, writer: W) -> Result<(), IoError> {
+    let mut w = BinaryTraceWriter::new(writer, trace.kind(), trace.len())?;
+    for e in trace.iter() {
+        w.write_event(e)?;
+    }
+    let mut inner = w.finish()?;
+    inner.flush()?;
+    Ok(())
+}
+
+/// Reads a whole `ppa-trace-bin-v1` trace (serial decode).
+pub fn read_binary<R: Read>(reader: R) -> Result<Trace, IoError> {
+    let r = BinaryTraceReader::new(reader)?;
+    let kind = r.kind();
+    let events = r.collect::<Result<Vec<_>, _>>()?;
+    Ok(Trace::from_events(kind, events))
+}
+
+/// Reads a whole `ppa-trace-bin-v1` trace, decoding blocks on up to
+/// `workers` threads.
+pub fn read_binary_parallel<R: Read>(reader: R, workers: usize) -> Result<Trace, IoError> {
+    let r = ParallelBinaryReader::new(reader, workers)?;
+    let kind = r.kind();
+    let events = r.collect::<Result<Vec<_>, _>>()?;
+    Ok(Trace::from_events(kind, events))
+}
+
+/// Reads a whole trace of either format, auto-detected by magic bytes.
+pub fn read_trace<R: Read>(reader: R) -> Result<Trace, IoError> {
+    let r = AnyTraceReader::open(reader)?;
+    let kind = r.kind();
+    let events = r.collect::<Result<Vec<_>, _>>()?;
+    Ok(Trace::from_events(kind, events))
+}
+
+/// Reads a whole trace of either format, decoding binary blocks on up
+/// to `workers` threads (JSONL input reads serially).
+pub fn read_trace_parallel<R: Read>(reader: R, workers: usize) -> Result<Trace, IoError> {
+    let r = AnyTraceReader::open_parallel(reader, workers)?;
+    let kind = r.kind();
+    let events = r.collect::<Result<Vec<_>, _>>()?;
+    Ok(Trace::from_events(kind, events))
+}
+
+/// Writes a whole trace in the chosen format.
+pub fn write_trace<W: Write>(trace: &Trace, writer: W, format: TraceFormat) -> Result<(), IoError> {
+    match format {
+        TraceFormat::Jsonl => crate::io::write_jsonl(trace, writer),
+        TraceFormat::Binary => write_binary(trace, writer),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::io::write_jsonl;
+    use crate::time::Time;
+
+    fn sample() -> Trace {
+        TraceBuilder::measured()
+            .on(0)
+            .at(10)
+            .stmt(0)
+            .at(40)
+            .advance(0, 0)
+            .at(90)
+            .stmt(1)
+            .on(1)
+            .at(20)
+            .stmt(2)
+            .at(50)
+            .await_begin(0, 0)
+            .at(60)
+            .await_end(0, 0)
+            .on(2)
+            .at(30)
+            .stmt(3)
+            .at(70)
+            .stmt(4)
+            .build()
+    }
+
+    /// A larger multi-block trace: `blocks` full blocks of `per_block`.
+    fn blocky(per_block: usize, blocks: usize) -> (Trace, Vec<u8>) {
+        use crate::event::EventKind;
+        use crate::ids::{ProcessorId, StatementId};
+        let events: Vec<Event> = (0..per_block * blocks)
+            .map(|i| {
+                Event::new(
+                    Time::from_nanos(10 * i as u64),
+                    ProcessorId((i % 8) as u16),
+                    i as u64,
+                    EventKind::Statement {
+                        stmt: StatementId((i % 100) as u32),
+                    },
+                )
+            })
+            .collect();
+        let t = Trace::from_events(TraceKind::Measured, events);
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::with_block_events(
+            &mut buf,
+            t.kind(),
+            t.len(),
+            per_block,
+            StreamProbes::noop(),
+        )
+        .unwrap();
+        for e in t.iter() {
+            w.write_event(e).unwrap();
+        }
+        w.finish().unwrap();
+        (t, buf)
+    }
+
+    #[test]
+    fn binary_round_trips() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.kind(), TraceKind::Measured);
+    }
+
+    #[test]
+    fn binary_decode_equals_jsonl_decode() {
+        let t = sample();
+        let (mut jl, mut bin) = (Vec::new(), Vec::new());
+        write_jsonl(&t, &mut jl).unwrap();
+        write_binary(&t, &mut bin).unwrap();
+        assert_eq!(
+            read_trace(jl.as_slice()).unwrap(),
+            read_trace(bin.as_slice()).unwrap()
+        );
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_jsonl() {
+        let (_, bin) = blocky(512, 4);
+        let (t, _) = blocky(512, 4);
+        let mut jl = Vec::new();
+        write_jsonl(&t, &mut jl).unwrap();
+        assert!(
+            bin.len() * 5 < jl.len() * 2,
+            "binary {} bytes vs jsonl {} bytes — expected <= 40%",
+            bin.len(),
+            jl.len()
+        );
+    }
+
+    #[test]
+    fn auto_detection_picks_the_right_codec() {
+        let t = sample();
+        let (mut jl, mut bin) = (Vec::new(), Vec::new());
+        write_jsonl(&t, &mut jl).unwrap();
+        write_binary(&t, &mut bin).unwrap();
+
+        let r = AnyTraceReader::open(jl.as_slice()).unwrap();
+        assert_eq!(r.format(), TraceFormat::Jsonl);
+        assert_eq!(r.kind(), t.kind());
+        assert_eq!(r.expected_events(), t.len());
+        assert_eq!(r.map(|e| e.unwrap()).collect::<Vec<_>>(), t.events());
+
+        let r = AnyTraceReader::open(bin.as_slice()).unwrap();
+        assert_eq!(r.format(), TraceFormat::Binary);
+        assert_eq!(r.kind(), t.kind());
+        assert_eq!(r.expected_events(), t.len());
+        assert_eq!(r.map(|e| e.unwrap()).collect::<Vec<_>>(), t.events());
+
+        // Empty input falls through to the JSONL parser's BadHeader.
+        assert!(matches!(
+            AnyTraceReader::open(&b""[..]),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn sniff_and_parse_names() {
+        assert_eq!(TraceFormat::sniff(b"PPATRBIN\x01..."), TraceFormat::Binary);
+        assert_eq!(TraceFormat::sniff(b"{\"format\""), TraceFormat::Jsonl);
+        assert_eq!(TraceFormat::sniff(b""), TraceFormat::Jsonl);
+        assert_eq!(TraceFormat::parse("bin"), Some(TraceFormat::Binary));
+        assert_eq!(TraceFormat::parse("binary"), Some(TraceFormat::Binary));
+        assert_eq!(TraceFormat::parse("jsonl"), Some(TraceFormat::Jsonl));
+        assert_eq!(TraceFormat::parse("csv"), None);
+        assert_eq!(TraceFormat::Binary.to_string(), "bin");
+    }
+
+    #[test]
+    fn parallel_decode_matches_serial() {
+        let (t, buf) = blocky(64, 7);
+        for workers in [1, 2, 4, 16] {
+            let r = ParallelBinaryReader::new(buf.as_slice(), workers).unwrap();
+            let events: Vec<Event> = r.map(|e| e.unwrap()).collect();
+            assert_eq!(events, t.events(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn corrupted_block_reports_its_index_and_fuses() {
+        let (_, mut buf) = blocky(64, 3);
+        // Flip a payload byte inside the second block. Layout: header,
+        // then per block a 44-byte frame + payload.
+        let header = 18;
+        let frame = 44;
+        let payload_len = |buf: &[u8], at: usize| {
+            u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize
+        };
+        let b1 = header;
+        let b2 = b1 + frame + payload_len(&buf, b1);
+        let target = b2 + frame + 10;
+        buf[target] ^= 0xff;
+
+        let outcomes: Vec<_> = BinaryTraceReader::new(buf.as_slice()).unwrap().collect();
+        assert_eq!(outcomes.iter().filter(|r| r.is_ok()).count(), 64);
+        match outcomes.last() {
+            Some(Err(IoError::Parse { line, message })) => {
+                assert_eq!(*line, 2, "block index is reported as the line");
+                assert!(message.contains("CRC"), "{message}");
+            }
+            other => panic!("expected CRC error, got {other:?}"),
+        }
+
+        // The parallel reader surfaces the same error at the same point.
+        let outcomes: Vec<_> = ParallelBinaryReader::new(buf.as_slice(), 4)
+            .unwrap()
+            .collect();
+        assert_eq!(outcomes.iter().filter(|r| r.is_ok()).count(), 64);
+        assert!(matches!(
+            outcomes.last(),
+            Some(Err(IoError::Parse { line: 2, .. }))
+        ));
+    }
+
+    #[test]
+    fn truncated_binary_input_is_detected() {
+        let (t, buf) = blocky(64, 3);
+        // Cut inside the final block's payload.
+        let cut = &buf[..buf.len() - 7];
+        let outcomes: Vec<_> = BinaryTraceReader::new(cut).unwrap().collect();
+        assert_eq!(outcomes.iter().filter(|r| r.is_ok()).count(), 128);
+        match outcomes.last() {
+            Some(Err(IoError::Truncated { expected, got })) => {
+                assert_eq!((*expected, *got), (t.len(), 128));
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+
+        // Cut inside a frame header.
+        let cut = &buf[..18 + 20];
+        let outcomes: Vec<_> = BinaryTraceReader::new(cut).unwrap().collect();
+        assert!(matches!(
+            outcomes.last(),
+            Some(Err(IoError::Truncated { .. }))
+        ));
+
+        // A whole missing block (clean frame boundary) is caught by the
+        // header's declared count.
+        let payload_len = u32::from_le_bytes(buf[18..22].try_into().unwrap()) as usize;
+        let cut = &buf[..18 + 44 + payload_len];
+        let outcomes: Vec<_> = BinaryTraceReader::new(cut).unwrap().collect();
+        match outcomes.last() {
+            Some(Err(IoError::Truncated { expected, got })) => {
+                assert_eq!((*expected, *got), (t.len(), 64));
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_bad_headers() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        assert!(matches!(
+            BinaryTraceReader::new(&buf[..10]),
+            Err(IoError::BadHeader(_))
+        ));
+        let mut wrong_version = buf.clone();
+        wrong_version[8] = 9;
+        assert!(matches!(
+            BinaryTraceReader::new(wrong_version.as_slice()),
+            Err(IoError::BadHeader(_))
+        ));
+        let mut wrong_kind = buf.clone();
+        wrong_kind[9] = 7;
+        assert!(matches!(
+            BinaryTraceReader::new(wrong_kind.as_slice()),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn skip_index_bounds_reads_by_time() {
+        let (t, buf) = blocky(64, 8); // times 0, 10, ..., 5110
+        let bound = Time::from_nanos(3000);
+        let mut r = BinaryTraceReader::new(buf.as_slice()).unwrap();
+        r.set_min_time(bound);
+        let events: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+        // Whole blocks strictly before the bound were skipped...
+        assert!(r.skipped_blocks() >= 4, "skipped {}", r.skipped_blocks());
+        // ...every event at/after the bound survived...
+        let expected: Vec<&Event> = t.iter().filter(|e| e.time >= bound).collect();
+        assert!(events.len() >= expected.len());
+        assert_eq!(
+            events.iter().filter(|e| e.time >= bound).count(),
+            expected.len()
+        );
+        // ...and the survivors are a suffix of the trace.
+        let suffix = &t.events()[t.len() - events.len()..];
+        assert_eq!(events, suffix);
+    }
+
+    #[test]
+    fn advisory_zero_count_binary_streams_accept_early_end() {
+        let t = sample();
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::new(&mut buf, t.kind(), 0).unwrap();
+        for e in t.iter().take(3) {
+            w.write_event(e).unwrap();
+        }
+        w.finish().unwrap();
+        let r = BinaryTraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.collect::<Result<Vec<_>, _>>().unwrap().len(), 3);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn probes_count_binary_bytes_events_and_blocks() {
+        let registry = ppa_obs::Registry::new();
+        let (t, _) = blocky(64, 4);
+
+        let wp = StreamProbes::register(&registry, "write");
+        let mut buf = Vec::new();
+        let mut w =
+            BinaryTraceWriter::with_block_events(&mut buf, t.kind(), t.len(), 64, wp.clone())
+                .unwrap();
+        for e in t.iter() {
+            w.write_event(e).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(wp.events.get(), t.len() as u64);
+        assert_eq!(wp.blocks.get(), 4);
+        assert_eq!(wp.bytes.get(), buf.len() as u64);
+
+        let rp = StreamProbes::register(&registry, "read");
+        let r = BinaryTraceReader::with_probes(buf.as_slice(), rp.clone()).unwrap();
+        assert_eq!(r.filter_map(|e| e.ok()).count(), t.len());
+        assert_eq!(rp.events.get(), t.len() as u64);
+        assert_eq!(rp.blocks.get(), 4);
+        assert_eq!(rp.bytes.get(), buf.len() as u64);
+        assert_eq!(rp.parse_errors.get(), 0);
+
+        // A corrupted block lands in the shared parse-error metric.
+        let mut bad = buf.clone();
+        let n = bad.len();
+        bad[n - 5] ^= 0xff;
+        let ep = StreamProbes::register(&registry, "read-bad");
+        let _ = BinaryTraceReader::with_probes(bad.as_slice(), ep.clone())
+            .unwrap()
+            .count();
+        assert_eq!(ep.parse_errors.get(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! LEB128 variable-length integers and the zigzag signed mapping.
+//!
+//! The binary trace payload stores every multi-byte field as an unsigned
+//! LEB128 varint: seven value bits per byte, least-significant group
+//! first, high bit set on every byte except the last. Values below 128
+//! cost one byte, which is why the block codec delta-encodes timestamps
+//! and sequence numbers first — within a block both are near-monotone, so
+//! the deltas are tiny.
+//!
+//! Signed quantities (sequence deltas, time deltas, synchronization tags)
+//! go through the zigzag mapping `0, -1, 1, -2, 2, ...` first so that
+//! small-magnitude negatives stay short.
+
+/// Appends `v` to `buf` as an unsigned LEB128 varint (1..=10 bytes).
+#[inline]
+pub(crate) fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from `input` starting at `*pos`,
+/// advancing `*pos` past it. Returns `None` on truncated input or on an
+/// encoding that does not fit in a `u64`.
+#[inline]
+pub(crate) fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos)?;
+        *pos += 1;
+        let group = u64::from(byte & 0x7f);
+        if shift == 63 && group > 1 {
+            return None; // would overflow the top bit of a u64
+        }
+        v |= group << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None; // 11th continuation byte: not a u64
+        }
+    }
+}
+
+/// Maps a signed value onto the unsigned zigzag line `0, 1, -1 -> 0, 2, 1`
+/// so small magnitudes of either sign encode as short varints.
+#[inline]
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a signed value as a zigzag-mapped varint.
+#[inline]
+pub(crate) fn write_varint_signed(buf: &mut Vec<u8>, v: i64) {
+    write_varint(buf, zigzag(v));
+}
+
+/// Reads a zigzag-mapped signed varint.
+#[inline]
+pub(crate) fn read_varint_signed(input: &[u8], pos: &mut usize) -> Option<i64> {
+    read_varint(input, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) -> (usize, u64) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        let mut pos = 0;
+        let back = read_varint(&buf, &mut pos).expect("well-formed varint");
+        assert_eq!(pos, buf.len(), "decoder consumed every encoded byte");
+        (buf.len(), back)
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        // The satellite-test triple: zero, one, and the largest u64.
+        assert_eq!(round_trip(0), (1, 0));
+        assert_eq!(round_trip(1), (1, 1));
+        assert_eq!(round_trip(u64::MAX), (10, u64::MAX));
+    }
+
+    #[test]
+    fn varint_length_boundaries() {
+        for (v, len) in [
+            (127u64, 1usize),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u64::from(u32::MAX), 5),
+        ] {
+            assert_eq!(round_trip(v), (len, v));
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf[..cut], &mut pos), None, "cut at {cut}");
+        }
+        // An 11-byte continuation chain does not fit in a u64.
+        let over = [0x80u8; 10];
+        let mut pos = 0;
+        assert_eq!(read_varint(&over, &mut pos), None);
+        // Ten bytes whose final group carries more than the one remaining
+        // bit overflow too.
+        let wide = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut pos = 0;
+        assert_eq!(read_varint(&wide, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Zigzag keeps small magnitudes small.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn signed_varint_round_trips() {
+        for v in [0i64, 1, -1, 1_000_000, -1_000_000, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_varint_signed(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint_signed(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -27,6 +27,7 @@
 
 mod buffer;
 mod builder;
+pub mod codec;
 mod event;
 mod ids;
 mod io;
@@ -38,6 +39,11 @@ mod validate;
 
 pub use buffer::{apply_buffers, BoundedBuffer, OverflowPolicy};
 pub use builder::TraceBuilder;
+pub use codec::{
+    read_binary, read_binary_parallel, read_trace, read_trace_parallel, write_binary, write_trace,
+    AnyTraceReader, AnyTraceWriter, BinaryTraceReader, BinaryTraceWriter, BlockSummary,
+    ParallelBinaryReader, TraceFormat, BINARY_FORMAT_NAME, BINARY_MAGIC, DEFAULT_BLOCK_EVENTS,
+};
 pub use event::{Event, EventKind};
 pub use ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
 pub use io::{read_jsonl, write_csv, write_jsonl, IoError};
@@ -114,6 +120,32 @@ mod proptests {
             write_jsonl(&trace, &mut buf).unwrap();
             let back = read_jsonl(buf.as_slice()).unwrap();
             prop_assert_eq!(trace, back);
+        }
+
+        /// `ppa-trace-bin-v1` round-trips arbitrary traces losslessly,
+        /// through both the serial and the block-parallel decoder.
+        #[test]
+        fn binary_round_trips(events in proptest::collection::vec(arb_event(), 0..64)) {
+            let trace = Trace::from_events(TraceKind::Approximated, events);
+            let mut buf = Vec::new();
+            write_binary(&trace, &mut buf).unwrap();
+            let back = read_binary(buf.as_slice()).unwrap();
+            prop_assert_eq!(&trace, &back);
+            let parallel = read_binary_parallel(buf.as_slice(), 4).unwrap();
+            prop_assert_eq!(&trace, &parallel);
+        }
+
+        /// Decoding a trace from its binary encoding equals decoding it
+        /// from its JSONL encoding, through the auto-detecting reader.
+        #[test]
+        fn binary_decode_equals_jsonl_decode(events in proptest::collection::vec(arb_event(), 0..64)) {
+            let trace = Trace::from_events(TraceKind::Measured, events);
+            let (mut jl, mut bin) = (Vec::new(), Vec::new());
+            write_jsonl(&trace, &mut jl).unwrap();
+            write_binary(&trace, &mut bin).unwrap();
+            let from_jl = read_trace(jl.as_slice()).unwrap();
+            let from_bin = read_trace(bin.as_slice()).unwrap();
+            prop_assert_eq!(from_jl, from_bin);
         }
 
         /// Rebasing preserves all pairwise gaps.

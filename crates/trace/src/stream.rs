@@ -44,7 +44,11 @@ pub struct StreamProbes {
     /// Events read or written (`ppa_stream_events_total`).
     pub events: Counter,
     /// Malformed or truncated records (`ppa_stream_parse_errors_total`).
+    /// For the binary codec this includes CRC-mismatched blocks.
     pub parse_errors: Counter,
+    /// Binary codec blocks framed or decoded (`ppa_stream_blocks_total`).
+    /// JSONL streams never touch this counter.
+    pub blocks: Counter,
 }
 
 impl StreamProbes {
@@ -73,14 +77,31 @@ impl StreamProbes {
                 &labels,
                 "Malformed or truncated trace records encountered.",
             ),
+            blocks: registry.counter_with(
+                "ppa_stream_blocks_total",
+                &labels,
+                "Binary trace codec blocks framed or decoded.",
+            ),
         }
     }
 }
 
 /// A `Write` adapter that counts bytes into a probe counter.
-struct CountingWriter<W: Write> {
+pub(crate) struct CountingWriter<W: Write> {
     inner: W,
     bytes: Counter,
+}
+
+impl<W: Write> CountingWriter<W> {
+    /// Wraps `inner`, adding every written byte to `bytes`.
+    pub(crate) fn new(inner: W, bytes: Counter) -> Self {
+        CountingWriter { inner, bytes }
+    }
+
+    /// Unwraps the underlying writer.
+    pub(crate) fn into_inner(self) -> W {
+        self.inner
+    }
 }
 
 impl<W: Write> Write for CountingWriter<W> {
@@ -122,10 +143,7 @@ impl<W: Write> TraceStreamWriter<W> {
         events: usize,
         probes: StreamProbes,
     ) -> Result<Self, IoError> {
-        let mut sink = BufWriter::new(CountingWriter {
-            inner: writer,
-            bytes: probes.bytes,
-        });
+        let mut sink = BufWriter::new(CountingWriter::new(writer, probes.bytes));
         let header = Header {
             format: FORMAT_NAME.to_string(),
             kind,
@@ -164,7 +182,7 @@ impl<W: Write> TraceStreamWriter<W> {
     pub fn finish(self) -> Result<W, IoError> {
         self.sink
             .into_inner()
-            .map(|counting| counting.inner)
+            .map(CountingWriter::into_inner)
             .map_err(|e| IoError::Io(e.into_error()))
     }
 }
@@ -180,7 +198,10 @@ impl<W: Write> TraceStreamWriter<W> {
 /// header's declared event count yields [`IoError::Truncated`] (headers
 /// with an advisory count of `0` are exempt).
 pub struct TraceStreamReader<R: Read> {
-    lines: std::io::Lines<BufReader<R>>,
+    input: BufReader<R>,
+    /// Reused line buffer: one allocation for the whole stream instead of
+    /// a fresh `String` per event.
+    buf: String,
     kind: TraceKind,
     expected: usize,
     /// 1-based number of the last line consumed (the header is line 1).
@@ -189,6 +210,24 @@ pub struct TraceStreamReader<R: Read> {
     seen: usize,
     failed: bool,
     probes: StreamProbes,
+}
+
+/// Reads one line into the reused buffer, stripping the trailing
+/// newline (and a preceding `\r`, matching [`BufRead::lines`]). Returns
+/// the raw byte count consumed, `0` at end of input.
+fn read_trimmed_line<R: Read>(
+    input: &mut BufReader<R>,
+    buf: &mut String,
+) -> std::io::Result<usize> {
+    buf.clear();
+    let n = input.read_line(buf)?;
+    if buf.ends_with('\n') {
+        buf.pop();
+        if buf.ends_with('\r') {
+            buf.pop();
+        }
+    }
+    Ok(n)
 }
 
 impl<R: Read> TraceStreamReader<R> {
@@ -200,13 +239,15 @@ impl<R: Read> TraceStreamReader<R> {
     /// Like [`TraceStreamReader::new`], recording bytes, events, and
     /// parse errors into `probes` as the stream is consumed.
     pub fn with_probes(reader: R, probes: StreamProbes) -> Result<Self, IoError> {
-        let mut lines = BufReader::new(reader).lines();
-        let header_line = lines
-            .next()
-            .ok_or_else(|| IoError::BadHeader("empty input".to_string()))??;
-        probes.bytes.add(header_line.len() as u64 + 1);
+        let mut input = BufReader::new(reader);
+        let mut buf = String::new();
+        let n = read_trimmed_line(&mut input, &mut buf)?;
+        if n == 0 {
+            return Err(IoError::BadHeader("empty input".to_string()));
+        }
+        probes.bytes.add(n as u64);
         let header: Header =
-            serde_json::from_str(&header_line).map_err(|e| IoError::BadHeader(e.to_string()))?;
+            serde_json::from_str(&buf).map_err(|e| IoError::BadHeader(e.to_string()))?;
         if header.format != FORMAT_NAME {
             return Err(IoError::BadHeader(format!(
                 "unknown format {:?}",
@@ -214,7 +255,8 @@ impl<R: Read> TraceStreamReader<R> {
             )));
         }
         Ok(TraceStreamReader {
-            lines,
+            input,
+            buf,
             kind: header.kind,
             expected: header.events,
             line: 1,
@@ -243,13 +285,8 @@ impl<R: Read> Iterator for TraceStreamReader<R> {
             return None;
         }
         loop {
-            let line = match self.lines.next() {
-                Some(Ok(line)) => line,
-                Some(Err(e)) => {
-                    self.failed = true;
-                    return Some(Err(IoError::Io(e)));
-                }
-                None => {
+            match read_trimmed_line(&mut self.input, &mut self.buf) {
+                Ok(0) => {
                     // End of input: if the header promised more events
                     // than we delivered, the file was cut off mid-stream.
                     if self.expected > 0 && self.seen < self.expected {
@@ -262,13 +299,17 @@ impl<R: Read> Iterator for TraceStreamReader<R> {
                     }
                     return None;
                 }
-            };
+                Ok(n) => self.probes.bytes.add(n as u64),
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(IoError::Io(e)));
+                }
+            }
             self.line += 1;
-            self.probes.bytes.add(line.len() as u64 + 1);
-            if line.trim().is_empty() {
+            if self.buf.trim().is_empty() {
                 continue;
             }
-            return match serde_json::from_str(&line) {
+            return match serde_json::from_str(&self.buf) {
                 Ok(event) => {
                     self.seen += 1;
                     self.probes.events.inc();
