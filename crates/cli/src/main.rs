@@ -29,8 +29,19 @@
 //! `--metrics-out snap.prom [--metrics-format prom|json]` to export a
 //! pipeline-metrics snapshot and `--progress` for a stderr ticker.
 //!
+//! The streaming pipeline is fault-tolerant on demand: `--lenient`
+//! skips undecodable input regions as typed gaps (every lost event is
+//! accounted for in the summary and in the `ppa_stream_gaps_total` /
+//! `ppa_stream_events_lost_total` metrics), `--reorder-window N`
+//! re-sorts events arriving up to N sequence numbers late, and
+//! `--checkpoint state.ckpt` (cadence: `--checkpoint-every`) makes the
+//! run resumable: after a crash or kill, `--resume state.ckpt` seeks the
+//! input past the already-analyzed prefix, truncates the report's torn
+//! tail, and continues to a byte-identical report.
+//!
 //! `convert` transcodes a trace between the two formats (the input
-//! format is auto-detected, `--to` names the output format).
+//! format is auto-detected, `--to` names the output format); it refuses
+//! to overwrite an existing output unless `--force` is given.
 //!
 //! Failures exit with BSD-sysexits-style codes so scripts can
 //! distinguish them: 64 usage error, 65 malformed input data (parse
@@ -187,7 +198,13 @@ fn real_main() -> Result<(), CliError> {
             println!(
                 "         [--metrics-out snap.prom] [--metrics-format prom|json] [--progress]"
             );
-            println!("convert: ppa convert <in> <out> --to <bin|jsonl> [--block-events N]");
+            println!(
+                "         [--lenient] [--reorder-window N] \
+                 [--checkpoint state.ckpt [--checkpoint-every N]] [--resume state.ckpt]"
+            );
+            println!(
+                "convert: ppa convert <in> <out> --to <bin|jsonl> [--block-events N] [--force]"
+            );
             println!("exit codes: 64 usage, 65 bad data, 66 missing input, 74 output I/O");
         }
         other => {
@@ -567,13 +584,38 @@ fn native() {
 
 const ANALYZE_USAGE: &str = "usage: ppa analyze <measured.{jsonl|bin}> [--stream] \
      [--out approx] [--format bin|jsonl] [--overheads spec.json] \
-     [--metrics-out snap.prom] [--metrics-format prom|json] [--progress]";
+     [--metrics-out snap.prom] [--metrics-format prom|json] [--progress] \
+     [--lenient] [--reorder-window N] \
+     [--checkpoint state.ckpt [--checkpoint-every N]] [--resume state.ckpt]";
 
 #[derive(Clone, Copy, PartialEq)]
 enum MetricsFormat {
     Prom,
     Json,
 }
+
+/// Fault-tolerance options of the streaming pipeline (all off by default).
+#[derive(Default)]
+struct FaultOptions {
+    /// Skip undecodable input regions as typed gaps instead of failing.
+    lenient: bool,
+    /// Re-sort events arriving up to N sequence numbers late.
+    reorder_window: Option<u64>,
+    /// Write resumable checkpoints to this path while analyzing.
+    checkpoint: Option<String>,
+    /// Checkpoint cadence, in events consumed from the input.
+    checkpoint_every: u64,
+    /// Resume from this checkpoint instead of starting fresh.
+    resume: Option<String>,
+}
+
+/// Default `--checkpoint-every`: 256 binary blocks at the default block
+/// size, i.e. a snapshot every ~1M events. A checkpoint serializes the
+/// analyzer's full live state, whose size tracks the trace's
+/// synchronization history, so the cadence trades snapshot cost against
+/// how much input a resumed run re-analyzes (~1M events is about a
+/// second of pipeline time).
+const DEFAULT_CHECKPOINT_EVERY: u64 = 1_048_576;
 
 /// Output accounting shared by the streaming loop and the tail flush.
 struct AnalyzeSink<W: std::io::Write> {
@@ -613,12 +655,42 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
     let mut metrics_format = MetricsFormat::Prom;
     let mut stream = false;
     let mut progress = false;
+    let mut faults = FaultOptions {
+        checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        ..FaultOptions::default()
+    };
+    let mut checkpoint_every_set = false;
     let mut it = args.iter();
     let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stream" => stream = true,
             "--progress" => progress = true,
+            "--lenient" => faults.lenient = true,
+            "--reorder-window" => {
+                let n = it.next().ok_or_else(|| missing("--reorder-window"))?;
+                faults.reorder_window = Some(n.parse::<u64>().map_err(|_| {
+                    CliError::Usage(format!(
+                        "--reorder-window must be a non-negative integer, got {n:?}"
+                    ))
+                })?);
+            }
+            "--checkpoint" => {
+                faults.checkpoint = Some(it.next().ok_or_else(|| missing("--checkpoint"))?.clone());
+            }
+            "--checkpoint-every" => {
+                let n = it.next().ok_or_else(|| missing("--checkpoint-every"))?;
+                faults.checkpoint_every =
+                    n.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "--checkpoint-every must be a positive integer, got {n:?}"
+                        ))
+                    })?;
+                checkpoint_every_set = true;
+            }
+            "--resume" => {
+                faults.resume = Some(it.next().ok_or_else(|| missing("--resume"))?.clone());
+            }
             "--out" => out_path = Some(it.next().ok_or_else(|| missing("--out"))?),
             "--format" => {
                 let name = it.next().ok_or_else(|| missing("--format"))?;
@@ -660,6 +732,37 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
             "--metrics-out and --progress require --stream".into(),
         ));
     }
+    if !stream
+        && (faults.lenient
+            || faults.reorder_window.is_some()
+            || faults.checkpoint.is_some()
+            || faults.resume.is_some())
+    {
+        return Err(CliError::Usage(
+            "--lenient, --reorder-window, --checkpoint, and --resume require --stream".into(),
+        ));
+    }
+    if checkpoint_every_set && faults.checkpoint.is_none() {
+        return Err(CliError::Usage(
+            "--checkpoint-every only applies with --checkpoint".into(),
+        ));
+    }
+    if faults.checkpoint.is_some() || faults.resume.is_some() {
+        // A checkpoint records a durable byte offset into the report and
+        // resume truncates + appends there; only the line-oriented JSONL
+        // format has that property (a binary writer holds a partly
+        // accumulated block in memory that no flush can frame).
+        if out_path.is_none() {
+            return Err(CliError::Usage(
+                "--checkpoint/--resume require --out (the report is what gets resumed)".into(),
+            ));
+        }
+        if out_format != ppa::trace::TraceFormat::Jsonl {
+            return Err(CliError::Usage(
+                "--checkpoint/--resume require `--format jsonl` output".into(),
+            ));
+        }
+    }
     let overheads: OverheadSpec = match overheads_path {
         Some(p) => {
             let text =
@@ -678,15 +781,36 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
             metrics_out,
             metrics_format,
             progress,
+            &faults,
         )
     } else {
         batch_analyze(input, out_path, out_format, &overheads)
     }
 }
 
+/// Maps checkpoint failures onto the sysexits scheme: a missing
+/// checkpoint file is missing input (66), a torn or corrupted one is bad
+/// data (65), anything else is I/O (74).
+fn checkpoint_error(path: &str, e: ppa::analysis::CheckpointError) -> CliError {
+    use ppa::analysis::CheckpointError;
+    match e {
+        CheckpointError::Io(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            CliError::NoInput(format!("{path}: {err}"))
+        }
+        CheckpointError::Io(err) => CliError::Io(format!("{path}: {err}")),
+        CheckpointError::Corrupt(m) => CliError::Data(format!("{path}: corrupt checkpoint: {m}")),
+    }
+}
+
 /// Bounded-memory pipeline: chunked reader -> analyzer -> chunked writer,
 /// optionally instrumented with `ppa::obs` probes and a stderr ticker.
 /// The input format is auto-detected; binary input decodes block-parallel.
+///
+/// The `faults` options make the pipeline fault-tolerant end to end:
+/// `--lenient` turns undecodable input regions into typed gaps,
+/// `--reorder-window` re-sorts slightly late events in front of the
+/// analyzer, and `--checkpoint`/`--resume` make a killed run continuable
+/// to a byte-identical report.
 #[allow(clippy::too_many_arguments)]
 fn stream_analyze(
     input: &str,
@@ -696,11 +820,15 @@ fn stream_analyze(
     metrics_out: Option<&str>,
     metrics_format: MetricsFormat,
     progress: bool,
+    faults: &FaultOptions,
 ) -> Result<(), CliError> {
-    use ppa::analysis::{AnalyzerProbes, EventBasedAnalyzer};
+    use ppa::analysis::{
+        read_checkpoint, write_checkpoint, AnalyzerProbes, Checkpoint, EventBasedAnalyzer,
+        SinkState,
+    };
     use ppa::obs::{calibrate_self_overhead, json_text, prometheus_text, Registry};
-    use ppa::trace::{AnyTraceReader, AnyTraceWriter, StreamProbes, TraceKind};
-    use std::io::{BufReader, BufWriter};
+    use ppa::trace::{AnyTraceReader, AnyTraceWriter, ReorderBuffer, StreamProbes, TraceKind};
+    use std::io::{BufReader, BufWriter, Seek, SeekFrom};
     use std::time::{Duration, Instant};
 
     let registry = Registry::new();
@@ -718,15 +846,73 @@ fn stream_analyze(
             AnalyzerProbes::noop(),
         )
     };
+    let checkpoints_written = if want_metrics && faults.checkpoint.is_some() {
+        registry.counter(
+            "ppa_checkpoints_written_total",
+            "Resumable checkpoints written by this analysis run.",
+        )
+    } else {
+        ppa::obs::Counter::default()
+    };
+
+    // A resumed run starts from the checkpoint's cut, not from scratch:
+    // the analyzer state, the input cursor, the gap record, the reorder
+    // tail, and the output counters all carry over.
+    let resumed: Option<Checkpoint> = match &faults.resume {
+        Some(p) => Some(read_checkpoint(Path::new(p)).map_err(|e| checkpoint_error(p, e))?),
+        None => None,
+    };
+    let base_positions = resumed.as_ref().map_or(0, |cp| cp.positions_seen);
+    let prior_lost = resumed.as_ref().map_or(0, |cp| cp.events_lost);
+    let prior_gaps: Vec<ppa::trace::TraceGap> =
+        resumed.as_ref().map_or_else(Vec::new, |cp| cp.gaps.clone());
 
     let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let reader =
+    let mut reader =
         AnyTraceReader::open_parallel_with_probes(BufReader::new(file), workers, read_probes)
             .map_err(|e| CliError::from(e).prefixed(input))?;
+    if faults.lenient {
+        reader.set_lenient(true);
+    }
+    if base_positions > 0 {
+        reader.set_skip_events(base_positions);
+    }
     let expected = reader.expected_events();
-    let writer = match out_path {
-        Some(p) => {
+
+    let writer = match (out_path, &resumed) {
+        (Some(p), Some(cp)) => {
+            // The checkpoint's byte offset is the durable frontier:
+            // everything before it was flushed before the snapshot was
+            // taken, everything after it will be re-emitted by the
+            // resumed analysis. Truncate the torn tail and append.
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(p)
+                .map_err(|e| CliError::NoInput(format!("{p}: cannot resume into: {e}")))?;
+            let len = f
+                .metadata()
+                .map_err(|e| CliError::Io(format!("{p}: {e}")))?
+                .len();
+            if len < cp.sink.bytes_flushed {
+                return Err(CliError::Data(format!(
+                    "{p}: report is {len} bytes but the checkpoint flushed {}; \
+                     wrong or modified output file",
+                    cp.sink.bytes_flushed
+                )));
+            }
+            f.set_len(cp.sink.bytes_flushed)
+                .map_err(|e| CliError::Io(format!("{p}: {e}")))?;
+            let mut f = f;
+            f.seek(SeekFrom::End(0))
+                .map_err(|e| CliError::Io(format!("{p}: {e}")))?;
+            Some(AnyTraceWriter::resume_jsonl(
+                BufWriter::new(f),
+                cp.sink.events as usize,
+                write_probes,
+            ))
+        }
+        (Some(p), None) => {
             let f = File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?;
             Some(
                 AnyTraceWriter::with_probes(
@@ -739,16 +925,26 @@ fn stream_analyze(
                 .map_err(|e| CliError::Io(format!("{p}: {e}")))?,
             )
         }
-        None => None,
+        (None, _) => None,
     };
-    let mut analyzer = EventBasedAnalyzer::with_probes(overheads, analyzer_probes);
+    let mut analyzer = match &resumed {
+        Some(cp) => EventBasedAnalyzer::restore_with_probes(&cp.analyzer, analyzer_probes),
+        None => EventBasedAnalyzer::with_probes(overheads, analyzer_probes),
+    };
+    let mut reorder = match &resumed {
+        Some(cp) => cp.reorder.as_ref().map(ReorderBuffer::restore),
+        None => faults.reorder_window.map(ReorderBuffer::new),
+    };
     let mut sink = AnalyzeSink {
         writer,
-        events: 0,
-        awaits: 0,
-        barriers: 0,
-        last_time: ppa::trace::Time::ZERO,
+        events: resumed.as_ref().map_or(0, |cp| cp.sink.events as usize),
+        awaits: resumed.as_ref().map_or(0, |cp| cp.sink.awaits as usize),
+        barriers: resumed.as_ref().map_or(0, |cp| cp.sink.barriers as usize),
+        last_time: resumed
+            .as_ref()
+            .map_or(ppa::trace::Time::ZERO, |cp| cp.sink.last_time),
     };
+    drop(resumed);
 
     // Per-source-processor event shares for the per-shard counters:
     // `ppa_shard_events_total{shard="p<i>"}` / `ppa_shard_throughput_eps`.
@@ -756,9 +952,10 @@ fn stream_analyze(
     let began = Instant::now();
     let mut last_tick = began;
     let mut pushed: u64 = 0;
+    let mut since_checkpoint: u64 = 0;
 
-    for event in reader {
-        let event = event.map_err(|e| CliError::from(e).prefixed(input))?;
+    while let Some(item) = reader.next() {
+        let event = item.map_err(|e| CliError::from(e).prefixed(input))?;
         if want_metrics {
             let pi = event.proc.index();
             if pi >= per_proc.len() {
@@ -766,10 +963,56 @@ fn stream_analyze(
             }
             per_proc[pi] += 1;
         }
-        analyzer.push(event)?;
+        match &mut reorder {
+            Some(buf) => {
+                // A rejection is counted by the buffer, not fatal: the
+                // event arrived too late to place without rewriting
+                // already-released order.
+                buf.push(event);
+                while let Some(e) = buf.pop_ready() {
+                    analyzer.push(e)?;
+                    while let Some(o) = analyzer.next_output() {
+                        sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
+                    }
+                }
+            }
+            None => {
+                analyzer.push(event)?;
+                while let Some(o) = analyzer.next_output() {
+                    sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
+                }
+            }
+        }
         pushed += 1;
-        while let Some(o) = analyzer.next_output() {
-            sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
+        since_checkpoint += 1;
+        if let Some(ck_path) = &faults.checkpoint {
+            if since_checkpoint >= faults.checkpoint_every {
+                since_checkpoint = 0;
+                let out = out_path.expect("--checkpoint requires --out");
+                if let Some(w) = &mut sink.writer {
+                    w.flush().map_err(|e| CliError::Io(format!("{out}: {e}")))?;
+                }
+                let bytes_flushed = std::fs::metadata(out)
+                    .map_err(|e| CliError::Io(format!("{out}: {e}")))?
+                    .len();
+                let cp = Checkpoint {
+                    analyzer: analyzer.snapshot(),
+                    positions_seen: base_positions + pushed + reader.events_lost(),
+                    gaps: prior_gaps.iter().chain(reader.gaps()).cloned().collect(),
+                    events_lost: prior_lost + reader.events_lost(),
+                    reorder: reorder.as_ref().map(|b| b.snapshot()),
+                    sink: SinkState {
+                        bytes_flushed,
+                        events: sink.events as u64,
+                        awaits: sink.awaits as u64,
+                        barriers: sink.barriers as u64,
+                        last_time: sink.last_time,
+                    },
+                };
+                write_checkpoint(Path::new(ck_path), &cp)
+                    .map_err(|e| checkpoint_error(ck_path, e))?;
+                checkpoints_written.inc();
+            }
         }
         if progress
             && pushed.is_multiple_of(4096)
@@ -783,15 +1026,46 @@ fn stream_analyze(
             last_tick = Instant::now();
         }
     }
-    let tail = analyzer.finish()?;
-    for o in tail.outputs {
-        sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
+    // End of input: release whatever the reorder buffer still holds.
+    if let Some(buf) = &mut reorder {
+        while let Some(e) = buf.pop_flush() {
+            analyzer.push(e)?;
+            while let Some(o) = analyzer.next_output() {
+                sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
+            }
+        }
+    }
+    let tail = if faults.lenient {
+        analyzer.finish_lenient()
+    } else {
+        analyzer.finish()?
+    };
+    for o in &tail.outputs {
+        sink.take(*o).map_err(|e| CliError::Io(e.to_string()))?;
     }
     if let Some(w) = sink.writer.take() {
         w.finish().map_err(|e| CliError::Io(e.to_string()))?;
     }
     if progress {
         eprintln!("progress: done ({pushed} events in, {} out)", sink.events);
+    }
+
+    let events_lost = prior_lost + reader.events_lost();
+    if want_metrics {
+        if let Some(buf) = &reorder {
+            registry
+                .counter(
+                    "ppa_reorder_resorted_total",
+                    "Late events re-sorted into place by the reorder buffer.",
+                )
+                .add(buf.reordered());
+            registry
+                .counter(
+                    "ppa_reorder_rejected_total",
+                    "Events rejected for arriving beyond the reorder window.",
+                )
+                .add(buf.rejected());
+        }
     }
 
     if let Some(path) = metrics_out {
@@ -837,6 +1111,28 @@ fn stream_analyze(
         "peak resident state: {} events (parked {}, buffered {})",
         tail.stats.peak_resident, tail.stats.peak_parked, tail.stats.peak_buffered
     );
+    let gap_count = prior_gaps.len() + reader.gaps().len();
+    if gap_count > 0 {
+        println!("decode gaps: {gap_count} gap(s), {events_lost} event(s) lost");
+        for g in prior_gaps.iter().chain(reader.gaps()) {
+            println!("  {g}");
+        }
+    }
+    if tail.unresolved > 0 {
+        println!(
+            "unresolved: {} event(s) parked at end of stream (dependencies \
+             lost to decode gaps); their approximated times were dropped",
+            tail.unresolved
+        );
+    }
+    if let Some(buf) = &reorder {
+        println!(
+            "reorder buffer (window {}): {} event(s) re-sorted, {} rejected",
+            buf.window(),
+            buf.reordered(),
+            buf.rejected()
+        );
+    }
     Ok(())
 }
 
@@ -873,7 +1169,8 @@ fn batch_analyze(
 
 // --- convert: transcode a trace between the two on-disk formats ---------
 
-const CONVERT_USAGE: &str = "usage: ppa convert <in> <out> --to <bin|jsonl> [--block-events N]";
+const CONVERT_USAGE: &str =
+    "usage: ppa convert <in> <out> --to <bin|jsonl> [--block-events N] [--force]";
 
 /// Streams a trace from one format to the other (or the same — useful for
 /// canonicalization). The input format is auto-detected by magic bytes;
@@ -889,10 +1186,12 @@ fn run_convert(args: &[String]) -> Result<(), CliError> {
     let mut output: Option<&str> = None;
     let mut to: Option<TraceFormat> = None;
     let mut block_events: Option<usize> = None;
+    let mut force = false;
     let mut it = args.iter();
     let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--force" => force = true,
             "--to" => {
                 let name = it.next().ok_or_else(|| missing("--to"))?;
                 to = Some(TraceFormat::parse(name).ok_or_else(|| {
@@ -933,6 +1232,11 @@ fn run_convert(args: &[String]) -> Result<(), CliError> {
     let from = reader.format();
     let (kind, expected) = (reader.kind(), reader.expected_events());
 
+    if !force && Path::new(output).exists() {
+        return Err(CliError::Usage(format!(
+            "{output} already exists; pass --force to overwrite it"
+        )));
+    }
     let out_file = File::create(output).map_err(|e| CliError::Io(format!("{output}: {e}")))?;
     let sink = BufWriter::new(out_file);
     let out_err = |e: ppa::trace::IoError| CliError::Io(format!("{output}: {e}"));

@@ -53,6 +53,7 @@ fn convert_round_trip_is_byte_identical() {
             bin.to_str().unwrap(),
             "--to",
             "bin",
+            "--force",
         ],
     );
     assert!(out.status.success(), "{:?}", out);
@@ -63,6 +64,7 @@ fn convert_round_trip_is_byte_identical() {
             back.to_str().unwrap(),
             "--to",
             "jsonl",
+            "--force",
         ],
     );
     assert!(out.status.success(), "{:?}", out);
@@ -100,6 +102,7 @@ fn convert_respects_block_events() {
             "bin",
             "--block-events",
             "16",
+            "--force",
         ],
     );
     assert!(out.status.success(), "{:?}", out);
@@ -144,6 +147,7 @@ fn convert_maps_input_errors_onto_sysexits() {
             bin.to_str().unwrap(),
             "--to",
             "bin",
+            "--force",
         ],
     );
     assert!(out.status.success(), "{:?}", out);
@@ -160,6 +164,7 @@ fn convert_maps_input_errors_onto_sysexits() {
             sink.to_str().unwrap(),
             "--to",
             "jsonl",
+            "--force",
         ],
     );
     assert_eq!(out.status.code(), Some(65), "{:?}", out);
@@ -179,6 +184,7 @@ fn analyze_accepts_both_formats_with_identical_output() {
             bin.to_str().unwrap(),
             "--to",
             "bin",
+            "--force",
         ],
     );
     assert!(out.status.success(), "{:?}", out);
@@ -237,4 +243,57 @@ fn analyze_writes_binary_output_on_request() {
     let from_jl = ppa::trace::read_jsonl(fs::File::open(&approx_jl).unwrap()).unwrap();
     let from_bin = ppa::trace::read_binary(fs::File::open(&approx_bin).unwrap()).unwrap();
     assert_eq!(from_jl, from_bin);
+}
+
+#[test]
+fn convert_refuses_to_overwrite_without_force() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let target = dir.join("precious.bin");
+
+    let out = ppa_cmd(
+        "convert",
+        &[
+            input.to_str().unwrap(),
+            target.to_str().unwrap(),
+            "--to",
+            "bin",
+            "--force",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let original = fs::read(&target).expect("read first conversion");
+
+    // Second run without --force: refused, file untouched.
+    let out = ppa_cmd(
+        "convert",
+        &[
+            input.to_str().unwrap(),
+            target.to_str().unwrap(),
+            "--to",
+            "bin",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(64), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("already exists"), "stderr: {stderr}");
+    assert!(stderr.contains("--force"), "stderr: {stderr}");
+    assert_eq!(
+        fs::read(&target).unwrap(),
+        original,
+        "output must be untouched"
+    );
+
+    // With --force: overwritten.
+    let out = ppa_cmd(
+        "convert",
+        &[
+            input.to_str().unwrap(),
+            target.to_str().unwrap(),
+            "--to",
+            "bin",
+            "--force",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
 }

@@ -1,0 +1,387 @@
+//! End-to-end tests of the fault-tolerant streaming pipeline:
+//! kill-and-resume must reproduce the uninterrupted report byte for
+//! byte, `--lenient` must turn undecodable input into exit-0 runs with
+//! every lost event accounted for, `--reorder-window` must absorb
+//! almost-sorted input, and the new flags must map their misuse onto the
+//! documented sysexits codes.
+
+use ppa::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+/// A DOACROSS workload big enough that a mid-run kill is plausible and
+/// checkpoint cadences divide it many times over.
+fn measured_jsonl(dir: &std::path::Path, name: &str, iters: u64) -> PathBuf {
+    let cfg = ppa::experiments::experiment_config();
+    let mut b = ProgramBuilder::new("fault-e2e");
+    let v = b.sync_var();
+    let program = b
+        .doacross(1, iters, |body| {
+            body.compute("head", 400)
+                .await_var(v, -1)
+                .compute("cs", 50)
+                .advance(v)
+        })
+        .build()
+        .expect("valid workload");
+    let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg)
+        .expect("valid program");
+    let path = dir.join(name);
+    let file = fs::File::create(&path).expect("create measured trace");
+    ppa::trace::write_jsonl(&measured.trace, file).expect("write measured trace");
+    path
+}
+
+fn ppa_cmd(sub: &str, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ppa"))
+        .arg(sub)
+        .args(args)
+        .output()
+        .expect("run ppa")
+}
+
+fn to_bin(input: &std::path::Path, bin: &std::path::Path, block_events: &str) {
+    let out = ppa_cmd(
+        "convert",
+        &[
+            input.to_str().unwrap(),
+            bin.to_str().unwrap(),
+            "--to",
+            "bin",
+            "--block-events",
+            block_events,
+            "--force",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_report_byte_for_byte() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "kill_measured.jsonl", 512);
+    let bin = dir.join("kill_measured.bin");
+    to_bin(&input, &bin, "64");
+
+    // The uninterrupted reference report.
+    let reference = dir.join("kill_reference.jsonl");
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            bin.to_str().unwrap(),
+            "--stream",
+            "--out",
+            reference.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    // Start a checkpointed run and kill it as soon as the first
+    // checkpoint lands. Whether the kill strikes mid-run or after the
+    // run finished, resume must converge to the same report: it
+    // truncates the report to the checkpoint's flushed offset and
+    // re-analyzes the rest of the input.
+    let report = dir.join("kill_report.jsonl");
+    let ckpt = dir.join("kill_state.ckpt");
+    fs::remove_file(&ckpt).ok();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ppa"))
+        .args([
+            "analyze",
+            bin.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "64",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointed analyze");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !ckpt.exists() {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            assert!(
+                ckpt.exists(),
+                "child exited ({status:?}) without writing a checkpoint"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no checkpoint within 30s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    child.kill().ok(); // SIGKILL — no flush, no atexit
+    child.wait().expect("reap child");
+
+    // The checkpoint on disk is complete and valid (atomic replace).
+    let cp = ppa::analysis::read_checkpoint(&ckpt).expect("checkpoint validates");
+    let flushed = fs::metadata(&report).expect("report exists").len();
+    assert!(
+        cp.sink.bytes_flushed <= flushed,
+        "checkpoint claims more than was written"
+    );
+
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            bin.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    assert_eq!(
+        fs::read(&report).unwrap(),
+        fs::read(&reference).unwrap(),
+        "resumed report differs from the uninterrupted one"
+    );
+}
+
+#[test]
+fn resume_from_every_checkpoint_is_exact_without_a_kill() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "resume_measured.jsonl", 96);
+
+    let reference = dir.join("resume_reference.jsonl");
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--stream",
+            "--out",
+            reference.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    // Run to completion while checkpointing; the surviving file is the
+    // last checkpoint taken. Resuming from it re-analyzes the final
+    // stretch over the finished report — still byte-identical.
+    let report = dir.join("resume_report.jsonl");
+    let ckpt = dir.join("resume_state.ckpt");
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "100",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    assert_eq!(fs::read(&report).unwrap(), fs::read(&reference).unwrap());
+
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    assert_eq!(
+        fs::read(&report).unwrap(),
+        fs::read(&reference).unwrap(),
+        "report after resume differs"
+    );
+}
+
+#[test]
+fn lenient_accounts_every_event_lost_to_a_corrupted_block() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "lenient_measured.jsonl", 128);
+    let bin = dir.join("lenient_measured.bin");
+    to_bin(&input, &bin, "32");
+
+    // Corrupt one payload byte in the middle of the file.
+    let mut bytes = fs::read(&bin).expect("read bin");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    let corrupt = dir.join("lenient_corrupt.bin");
+    fs::write(&corrupt, &bytes).expect("write corrupt bin");
+
+    // Strict: bad data, exit 65.
+    let out = ppa_cmd("analyze", &[corrupt.to_str().unwrap(), "--stream"]);
+    assert_eq!(out.status.code(), Some(65), "{:?}", out);
+
+    // Lenient: exit 0, the gap is reported with its loss accounted.
+    let out = ppa_cmd(
+        "analyze",
+        &[corrupt.to_str().unwrap(), "--stream", "--lenient"],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("decode gaps:"), "stdout: {stdout}");
+    assert!(stdout.contains("event(s) lost"), "stdout: {stdout}");
+}
+
+#[test]
+fn lenient_jsonl_loses_exactly_the_wrecked_line() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "lenient_line.jsonl", 64);
+    let mut bytes = fs::read(&input).expect("read measured");
+    let newlines: Vec<usize> = (0..bytes.len()).filter(|&i| bytes[i] == b'\n').collect();
+    // Wreck the third event line (the header is line 1).
+    for b in &mut bytes[newlines[2] + 1..newlines[3]] {
+        *b = b'?';
+    }
+    let bad = dir.join("lenient_line_bad.jsonl");
+    fs::write(&bad, &bytes).expect("write wrecked");
+
+    let out = ppa_cmd("analyze", &[bad.to_str().unwrap(), "--stream", "--lenient"]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("decode gaps: 1 gap(s), 1 event(s) lost"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("malformed-line"), "stdout: {stdout}");
+}
+
+#[test]
+fn reorder_window_absorbs_almost_sorted_input() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "reorder_measured.jsonl", 64);
+
+    let reference = dir.join("reorder_reference.jsonl");
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--stream",
+            "--out",
+            reference.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    // Swap two adjacent event lines: the stream is now out of order.
+    let text = fs::read_to_string(&input).expect("read measured");
+    let mut lines: Vec<&str> = text.lines().collect();
+    let k = lines.len() / 2;
+    lines.swap(k, k + 1);
+    let shuffled = dir.join("reorder_shuffled.jsonl");
+    fs::write(&shuffled, lines.join("\n") + "\n").expect("write shuffled");
+
+    // Without tolerance: broken total order, exit 65.
+    let out = ppa_cmd("analyze", &[shuffled.to_str().unwrap(), "--stream"]);
+    assert_eq!(out.status.code(), Some(65), "{:?}", out);
+
+    // With a window: re-sorted back into the reference analysis.
+    let report = dir.join("reorder_report.jsonl");
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            shuffled.to_str().unwrap(),
+            "--stream",
+            "--reorder-window",
+            "8",
+            "--out",
+            report.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("re-sorted"), "stdout: {stdout}");
+    assert_eq!(
+        fs::read(&report).unwrap(),
+        fs::read(&reference).unwrap(),
+        "reordered input must analyze to the reference report"
+    );
+}
+
+#[test]
+fn fault_flags_map_misuse_onto_exit_64() {
+    // All fault-tolerance flags require the streaming pipeline.
+    for args in [
+        &["t.jsonl", "--lenient"][..],
+        &["t.jsonl", "--reorder-window", "4"][..],
+        &["t.jsonl", "--checkpoint", "c.ckpt"][..],
+        &["t.jsonl", "--resume", "c.ckpt"][..],
+    ] {
+        let out = ppa_cmd("analyze", args);
+        assert_eq!(out.status.code(), Some(64), "{args:?}: {out:?}");
+    }
+    // Checkpointing needs a resumable (JSONL) report to anchor to.
+    let out = ppa_cmd(
+        "analyze",
+        &["t.jsonl", "--stream", "--checkpoint", "c.ckpt"],
+    );
+    assert_eq!(out.status.code(), Some(64), "{:?}", out);
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            "t.jsonl",
+            "--stream",
+            "--checkpoint",
+            "c.ckpt",
+            "--out",
+            "r.bin",
+            "--format",
+            "bin",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(64), "{:?}", out);
+    // Cadence without checkpointing is meaningless.
+    let out = ppa_cmd(
+        "analyze",
+        &["t.jsonl", "--stream", "--checkpoint-every", "10"],
+    );
+    assert_eq!(out.status.code(), Some(64), "{:?}", out);
+}
+
+#[test]
+fn resume_rejects_missing_and_corrupt_checkpoints() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "ckerr_measured.jsonl", 16);
+    let report = dir.join("ckerr_report.jsonl");
+
+    // Missing checkpoint file: missing input, exit 66.
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--resume",
+            dir.join("ckerr_nonexistent.ckpt").to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(66), "{:?}", out);
+
+    // Corrupt checkpoint: bad data, exit 65.
+    let bad = dir.join("ckerr_corrupt.ckpt");
+    fs::write(&bad, b"PPACKPT1 this is not a checkpoint payload").unwrap();
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--resume",
+            bad.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(65), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt checkpoint"), "stderr: {stderr}");
+}

@@ -34,11 +34,12 @@ use ppa_trace::{
     pair_sync_events, BarrierId, Event, EventKind, OverheadSpec, ProcessorId, Span, SyncIndex,
     SyncTag, SyncVarId, Time, Trace, TraceKind,
 };
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// One await, in approximated time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AwaitOutcome {
     /// Processor that executed the await.
     pub proc: ProcessorId,
@@ -63,7 +64,7 @@ impl AwaitOutcome {
 
 /// One processor's passage through one barrier episode, in approximated
 /// time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BarrierOutcome {
     /// The barrier.
     pub barrier: BarrierId,

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod accuracy;
+mod checkpoint;
 mod error;
 mod estimate;
 mod event_based;
@@ -34,6 +35,9 @@ mod streaming;
 mod time_based;
 
 pub use accuracy::{compare_traces, AccuracyReport};
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, Checkpoint, CheckpointError, SinkState, CHECKPOINT_MAGIC,
+};
 pub use error::{AnalysisError, IngestError};
 pub use estimate::{estimate_overheads, KindEstimate, OverheadEstimate};
 pub use event_based::{
@@ -44,7 +48,9 @@ pub use liberal::{liberal_reschedule, LiberalResult};
 pub use sharded::{
     event_based_sharded, event_based_sharded_from_reader, event_based_sharded_probed, ShardProbes,
 };
-pub use streaming::{AnalyzerProbes, EventBasedAnalyzer, StreamOutput, StreamStats, StreamTail};
+pub use streaming::{
+    AnalyzerProbes, AnalyzerSnapshot, EventBasedAnalyzer, StreamOutput, StreamStats, StreamTail,
+};
 pub use time_based::{time_based, time_based_total, TimeBasedResult};
 
 #[cfg(test)]
@@ -162,6 +168,58 @@ mod proptests {
 
             let sharded = event_based_sharded(&measured.trace, &cfg.overheads, 4).unwrap();
             prop_assert_eq!(&sharded, &reference);
+        }
+
+        /// Checkpointing is transparent: snapshotting the streaming
+        /// analyzer at ANY split point, serializing the image to JSON
+        /// (as a checkpoint file would), and restoring it in a fresh
+        /// analyzer continues to exactly the outputs, stats, and tail of
+        /// the uninterrupted run.
+        #[test]
+        fn snapshot_restore_is_transparent_at_any_split(
+            seed in any::<u64>(),
+            split_seed in any::<u64>(),
+        ) {
+            let program = synthesize(seed, &SynthConfig::default());
+            let cfg = static_config(seed);
+            let measured =
+                run_measured(&program, &InstrumentationPlan::full_with_sync(), &cfg).unwrap();
+            let events = measured.trace.events();
+
+            let mut direct = EventBasedAnalyzer::new(&cfg.overheads);
+            let mut direct_out = Vec::new();
+            for e in events {
+                direct.push(*e).unwrap();
+                while let Some(o) = direct.next_output() {
+                    direct_out.push(o);
+                }
+            }
+            let direct_tail = direct.finish().unwrap();
+            direct_out.extend(direct_tail.outputs.iter().copied());
+
+            let split = (split_seed as usize) % (events.len() + 1);
+            let mut first = EventBasedAnalyzer::new(&cfg.overheads);
+            let mut resumed_out = Vec::new();
+            for e in &events[..split] {
+                first.push(*e).unwrap();
+                while let Some(o) = first.next_output() {
+                    resumed_out.push(o);
+                }
+            }
+            let json = serde_json::to_string(&first.snapshot()).unwrap();
+            let image: AnalyzerSnapshot = serde_json::from_str(&json).unwrap();
+            let mut second = EventBasedAnalyzer::restore(&image);
+            for e in &events[split..] {
+                second.push(*e).unwrap();
+                while let Some(o) = second.next_output() {
+                    resumed_out.push(o);
+                }
+            }
+            let resumed_tail = second.finish().unwrap();
+            resumed_out.extend(resumed_tail.outputs.iter().copied());
+
+            prop_assert_eq!(resumed_out, direct_out);
+            prop_assert_eq!(resumed_tail.stats, direct_tail.stats);
         }
     }
 }

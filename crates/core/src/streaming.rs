@@ -53,6 +53,7 @@ use ppa_trace::{
     BarrierId, Event, EventKind, OverheadSpec, ProcessorId, Span, SyncTag, SyncVarId, Time,
     TraceError,
 };
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -182,7 +183,7 @@ impl Hasher for FxHasher {
 type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// One item of analyzer output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StreamOutput {
     /// An approximated event. Events are emitted in the approximated
     /// trace's final (sorted) order.
@@ -208,7 +209,7 @@ pub enum StreamOutput {
 }
 
 /// Resource counters for one analyzer run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamStats {
     /// Events pushed.
     pub events: usize,
@@ -230,10 +231,16 @@ pub struct StreamTail {
     pub outputs: Vec<StreamOutput>,
     /// Final resource counters.
     pub stats: StreamStats,
+    /// Events still parked when the stream ended — their dependencies
+    /// never resolved. Always `0` from [`EventBasedAnalyzer::finish`]
+    /// (it fails instead); nonzero only from
+    /// [`EventBasedAnalyzer::finish_lenient`], where a decode gap may have
+    /// swallowed a partner `advance` or a barrier participant.
+    pub unresolved: usize,
 }
 
 /// Which dependency slot of a parked event a delivered value fills.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 enum Slot {
     /// The time basis (same-thread predecessor or fork anchor).
     Basis,
@@ -247,7 +254,7 @@ enum Slot {
 }
 
 /// How a parked event's approximate time will be computed.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum Rule {
     /// Generic rule: `ta = ta(basis) + (tm − tm(basis)) − overhead`.
     Chain {
@@ -260,7 +267,7 @@ enum Rule {
     Exit { value: Option<Time> },
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 enum Adv {
     /// Pre-advanced tag: no partner needed, never waits.
     NotNeeded,
@@ -271,7 +278,7 @@ enum Adv {
 }
 
 /// A parked event: pushed, but not yet resolvable.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Node {
     event: Event,
     /// Outstanding dependency count.
@@ -284,7 +291,7 @@ struct Node {
 }
 
 /// Per-processor frontier state.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ProcState {
     last_id: usize,
     last_tm: Time,
@@ -293,7 +300,7 @@ struct ProcState {
     pending_await: Option<PendingAwait>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct PendingAwait {
     var: SyncVarId,
     tag: SyncTag,
@@ -303,20 +310,20 @@ struct PendingAwait {
 }
 
 /// The global fork anchor: the latest loop-begin marker.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct LoopAnchor {
     id: usize,
     tm: Time,
     ta: Option<Time>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct AdvanceRec {
     id: usize,
     ta: Option<Time>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct EnterRec {
     id: usize,
     proc: ProcessorId,
@@ -325,7 +332,7 @@ struct EnterRec {
 }
 
 /// One barrier episode in flight.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Episode {
     barrier: BarrierId,
     enters: Vec<EnterRec>,
@@ -342,7 +349,7 @@ struct Episode {
 /// An entry of the emission reorder buffer, ordered like the final trace:
 /// by the approximated event's own sort key, with the arrival index as the
 /// final tie-break (mirroring the batch analysis's stable sort).
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct EmitEntry {
     event: Event,
     idx: usize,
@@ -370,6 +377,47 @@ impl Ord for EmitEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.key().cmp(&other.key())
     }
+}
+
+/// Serializable image of an [`EventBasedAnalyzer`]'s complete state.
+///
+/// Produced by [`EventBasedAnalyzer::snapshot`], consumed by
+/// [`EventBasedAnalyzer::restore`]. The fields are private: the image is
+/// an opaque continuation token, meaningful only to the analyzer version
+/// that wrote it (the checkpoint container guards this with a format
+/// version and checksum). It serializes with `serde` — snapshots of equal
+/// analyzer states produce identical JSON, which is what makes
+/// kill-and-resume byte-reproducible.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzerSnapshot {
+    oh: OverheadSpec,
+    next_idx: usize,
+    last_key: Option<(Time, u64, ProcessorId)>,
+    last_tm: Time,
+    serial_proc: Option<ProcessorId>,
+    fatal: Option<TraceError>,
+    scan_error: Option<TraceError>,
+    barrier_error: Option<TraceError>,
+    procs: Vec<Option<ProcState>>,
+    /// The advance table, packed as flat quads
+    /// `[var, zigzag(tag), id, ta_nanos + 1 (0 = unresolved)]`. This is
+    /// the one analyzer structure that grows with the trace's whole
+    /// synchronization history rather than its live frontier, so it gets
+    /// a numbers-only layout that serializes without per-entry
+    /// allocations — checkpoint cadence work is dominated by this field.
+    advances: Vec<u64>,
+    missing_adv: Vec<(usize, (SyncVarId, SyncTag))>,
+    latest_lb: Option<LoopAnchor>,
+    episodes: Vec<(u64, Episode)>,
+    open_by_barrier: Vec<(BarrierId, u64)>,
+    next_ep_uid: u64,
+    parked: Vec<(usize, Node)>,
+    awaiting_advance: Vec<((SyncVarId, SyncTag), Vec<usize>)>,
+    anchors: Vec<(Time, u32)>,
+    buffer: Vec<EmitEntry>,
+    out: Vec<StreamOutput>,
+    since_drain: u32,
+    stats: StreamStats,
 }
 
 /// Streaming event-based perturbation analyzer (see the module docs).
@@ -835,7 +883,165 @@ impl EventBasedAnalyzer {
         Ok(StreamTail {
             outputs: self.out.into_iter().collect(),
             stats: self.stats,
+            unresolved: 0,
         })
+    }
+
+    /// Ends the stream without a verdict: flushes everything resolvable
+    /// and reports — rather than fails on — whatever could not resolve.
+    ///
+    /// This is the companion of lenient decoding. A decode gap can
+    /// swallow a partner `advance`, one side of an await pair, or a
+    /// barrier participant; [`finish`](Self::finish) would then report
+    /// the trace as infeasible even though every *surviving* event was
+    /// analyzed correctly. `finish_lenient` instead emits all resolved
+    /// events (awaits and barrier passages included) and returns the
+    /// count of still-parked events in [`StreamTail::unresolved`] so the
+    /// caller can account for them alongside the decode gaps. Parked
+    /// events are dropped — their approximated times were never
+    /// computable.
+    pub fn finish_lenient(mut self) -> StreamTail {
+        let unresolved = self.parked.len();
+        let mut drained = 0u64;
+        while let Some(Reverse(entry)) = self.buffer.pop() {
+            self.out.push_back(StreamOutput::Event(entry.event));
+            drained += 1;
+        }
+        self.probes.events_emitted.add(drained);
+        self.probes.watermark_lag.set(0.0);
+        self.probes.resident_events.set(0.0);
+        self.probes.open_sync_episodes.set(0.0);
+        StreamTail {
+            outputs: self.out.into_iter().collect(),
+            stats: self.stats,
+            unresolved,
+        }
+    }
+
+    /// Serializes the analyzer's complete state into a plain data image.
+    ///
+    /// The image, embedded in a checkpoint file (see `ppa_core`'s
+    /// checkpoint module), lets a later process [`restore`](Self::restore)
+    /// the analyzer and continue the stream with observationally identical
+    /// results: feeding the same remaining events to the restored analyzer
+    /// produces the same outputs, stats, and verdict as never having
+    /// stopped. Internal hash maps are stored key-sorted, so equal states
+    /// serialize to equal bytes.
+    pub fn snapshot(&self) -> AnalyzerSnapshot {
+        fn sorted<K: Ord + Clone, V: Clone>(map: &FxMap<K, V>) -> Vec<(K, V)> {
+            let mut v: Vec<(K, V)> = map.iter().map(|(k, x)| (k.clone(), x.clone())).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        }
+        fn pack_advances(map: &FxMap<(SyncVarId, SyncTag), AdvanceRec>) -> Vec<u64> {
+            let mut keys: Vec<(SyncVarId, SyncTag)> = map.keys().copied().collect();
+            keys.sort_unstable();
+            let mut out = Vec::with_capacity(keys.len() * 4);
+            for key in keys {
+                let rec = &map[&key];
+                out.push(u64::from(key.0 .0));
+                out.push(((key.1 .0 << 1) ^ (key.1 .0 >> 63)) as u64);
+                out.push(rec.id as u64);
+                out.push(rec.ta.map_or(0, |t| t.as_nanos() + 1));
+            }
+            out
+        }
+        let mut buffer: Vec<EmitEntry> = self.buffer.iter().map(|Reverse(e)| e.clone()).collect();
+        buffer.sort_by_key(|e| e.key());
+        AnalyzerSnapshot {
+            oh: self.oh,
+            next_idx: self.next_idx,
+            last_key: self.last_key,
+            last_tm: self.last_tm,
+            serial_proc: self.serial_proc,
+            fatal: self.fatal.clone(),
+            scan_error: self.scan_error.clone(),
+            barrier_error: self.barrier_error.clone(),
+            procs: self.procs.clone(),
+            advances: pack_advances(&self.advances),
+            missing_adv: self.missing_adv.iter().map(|(k, v)| (*k, *v)).collect(),
+            latest_lb: self.latest_lb,
+            episodes: sorted(&self.episodes),
+            open_by_barrier: self.open_by_barrier.iter().map(|(k, v)| (*k, *v)).collect(),
+            next_ep_uid: self.next_ep_uid,
+            parked: sorted(&self.parked),
+            awaiting_advance: sorted(&self.awaiting_advance),
+            anchors: self.anchors.iter().map(|(k, v)| (*k, *v)).collect(),
+            buffer,
+            out: self.out.iter().copied().collect(),
+            since_drain: self.since_drain,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds an analyzer from a [`snapshot`](Self::snapshot) image,
+    /// with detached probes.
+    pub fn restore(snapshot: &AnalyzerSnapshot) -> Self {
+        Self::restore_with_probes(snapshot, AnalyzerProbes::noop())
+    }
+
+    /// Like [`restore`](Self::restore), recording pipeline metrics into
+    /// `probes` from this point on (probe counters restart at zero — they
+    /// meter the work of *this* process, not the cumulative analysis,
+    /// which [`StreamStats`] carries across the checkpoint).
+    pub fn restore_with_probes(snapshot: &AnalyzerSnapshot, probes: AnalyzerProbes) -> Self {
+        fn unpack_advances(packed: &[u64]) -> FxMap<(SyncVarId, SyncTag), AdvanceRec> {
+            packed
+                .chunks_exact(4)
+                .map(|quad| {
+                    let var = SyncVarId(quad[0] as u32);
+                    let tag = SyncTag(((quad[1] >> 1) as i64) ^ -((quad[1] & 1) as i64));
+                    let ta = match quad[3] {
+                        0 => None,
+                        ns => Some(Time::from_nanos(ns - 1)),
+                    };
+                    (
+                        (var, tag),
+                        AdvanceRec {
+                            id: quad[2] as usize,
+                            ta,
+                        },
+                    )
+                })
+                .collect()
+        }
+        let s = snapshot.clone();
+        let mut a = EventBasedAnalyzer::new(&s.oh);
+        a.probes = probes;
+        a.next_idx = s.next_idx;
+        a.last_key = s.last_key;
+        a.last_tm = s.last_tm;
+        a.serial_proc = s.serial_proc;
+        a.fatal = s.fatal;
+        a.scan_error = s.scan_error;
+        a.barrier_error = s.barrier_error;
+        a.procs = s.procs;
+        a.advances = unpack_advances(&s.advances);
+        a.missing_adv = s.missing_adv.into_iter().collect();
+        // `missing_by_tag` indexes `missing_adv` by tag, in end-arrival
+        // order — which is exactly the BTreeMap's ascending key order.
+        for (&end, &key) in &a.missing_adv {
+            a.missing_by_tag.entry(key).or_default().push(end);
+        }
+        a.latest_lb = s.latest_lb;
+        a.episodes = s.episodes.into_iter().collect();
+        a.open_by_barrier = s.open_by_barrier.into_iter().collect();
+        // `ep_of_enter` maps each live episode's enters back to it; dead
+        // episodes were removed from both structures together.
+        for (uid, ep) in &a.episodes {
+            for rec in &ep.enters {
+                a.ep_of_enter.insert(rec.id, *uid);
+            }
+        }
+        a.next_ep_uid = s.next_ep_uid;
+        a.parked = s.parked.into_iter().collect();
+        a.awaiting_advance = s.awaiting_advance.into_iter().collect();
+        a.anchors = s.anchors.into_iter().collect();
+        a.buffer = s.buffer.into_iter().map(Reverse).collect();
+        a.out = s.out.into_iter().collect();
+        a.since_drain = s.since_drain;
+        a.stats = s.stats;
+        a
     }
 
     // --- Resolution internals -------------------------------------------

@@ -39,6 +39,15 @@
 //! `shard="p3"`). Snapshots export to the Prometheus text format
 //! ([`prometheus_text`]) or a JSON document ([`json_text`]).
 //!
+//! Loss and recovery are first-class observables: lenient trace decoding
+//! accounts for damage in `ppa_stream_gaps_total` /
+//! `ppa_stream_events_lost_total` (labelled `dir="read"|"write"` like
+//! the other stream metrics), the reorder buffer reports
+//! `ppa_reorder_resorted_total` / `ppa_reorder_rejected_total`, and
+//! checkpointing reports `ppa_checkpoints_written_total`. A consumer can
+//! therefore tell a clean run from a degraded one by metrics alone —
+//! README's metric table is the complete inventory.
+//!
 //! ```
 //! use ppa_obs::{Registry, prometheus_text};
 //!

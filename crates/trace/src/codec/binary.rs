@@ -17,6 +17,7 @@
 
 use super::block::{decode_block, encode_block, BlockFrame, BlockSummary, FRAME_LEN};
 use crate::event::Event;
+use crate::gap::{GapCause, TraceGap};
 use crate::io::IoError;
 use crate::stream::{CountingWriter, StreamProbes};
 use crate::time::Time;
@@ -165,6 +166,14 @@ impl<W: Write> BinaryTraceWriter<W> {
         self.written
     }
 
+    /// Flushes the bytes of *completed* blocks to the underlying writer.
+    /// Events of the partial in-memory block are not framed — only
+    /// [`BinaryTraceWriter::finish`] does that — so a flushed prefix is a
+    /// valid trace of whole blocks.
+    pub fn flush(&mut self) -> Result<(), IoError> {
+        self.sink.flush().map_err(IoError::Io)
+    }
+
     /// Frames any partial block, flushes, and returns the underlying
     /// writer.
     pub fn finish(mut self) -> Result<W, IoError> {
@@ -202,6 +211,37 @@ impl RawBlock {
     pub fn decode(&self) -> Result<Vec<Event>, IoError> {
         decode_block(&self.frame, &self.payload, self.index)
     }
+
+    /// Classifies why [`RawBlock::decode`] failed, for gap reporting: a
+    /// stored-vs-computed CRC mismatch, or payload bytes that passed the
+    /// CRC but did not decode to the events the frame promised.
+    pub fn gap_cause(&self) -> GapCause {
+        if super::block::crc32(&self.payload) != self.frame.crc {
+            GapCause::CrcMismatch
+        } else {
+            GapCause::MalformedPayload
+        }
+    }
+
+    /// The gap record for this whole block, used when lenient decoding
+    /// skips it.
+    pub fn to_gap(&self, cause: GapCause) -> TraceGap {
+        block_gap(self.index, self.frame.summary, cause)
+    }
+}
+
+/// A gap describing `summary`'s whole block — the exact span a damaged
+/// payload loses.
+fn block_gap(block: usize, summary: BlockSummary, cause: GapCause) -> TraceGap {
+    TraceGap {
+        block,
+        events: u64::from(summary.count),
+        first_seq: Some(summary.first_seq),
+        last_seq: Some(summary.last_seq),
+        first_time: Some(summary.first_time),
+        last_time: Some(summary.last_time),
+        cause,
+    }
 }
 
 /// Reads the framed blocks of a binary trace without decoding payloads.
@@ -223,6 +263,17 @@ pub struct BinaryBlockReader<R: Read> {
     min_time: Option<Time>,
     skipped_blocks: usize,
     done: bool,
+    /// Record damaged regions as gaps instead of failing; see
+    /// [`BinaryBlockReader::set_lenient`].
+    lenient: bool,
+    /// Stream positions (events) still to skip without decoding.
+    skip_events: u64,
+    /// Residual partial skip inside the block just returned; consumers
+    /// collect it with [`BinaryBlockReader::take_event_skip`].
+    event_skip: u64,
+    gaps: Vec<TraceGap>,
+    /// Events swallowed by the gaps recorded so far.
+    lost: u64,
     probes: StreamProbes,
 }
 
@@ -267,6 +318,11 @@ impl<R: Read> BinaryBlockReader<R> {
             min_time: None,
             skipped_blocks: 0,
             done: false,
+            lenient: false,
+            skip_events: 0,
+            event_skip: 0,
+            gaps: Vec::new(),
+            lost: 0,
             probes,
         })
     }
@@ -293,6 +349,86 @@ impl<R: Read> BinaryBlockReader<R> {
     /// How many blocks the skip index has discarded so far.
     pub fn skipped_blocks(&self) -> usize {
         self.skipped_blocks
+    }
+
+    /// Switches the reader into lenient mode.
+    ///
+    /// Damaged regions are then recorded as [`TraceGap`]s instead of
+    /// ending the stream with an error: input that ends mid-block or
+    /// short of the declared count records a truncation gap and yields a
+    /// clean end of stream, and a malformed frame records a gap covering
+    /// the rest of the stream (a corrupt frame cannot be trusted to
+    /// locate the next block, so resynchronization is impossible).
+    /// Payload-level damage — CRC mismatches — is detected at decode
+    /// time; decoders record those gaps through
+    /// [`BinaryBlockReader::record_gap`] and keep going, skipping just
+    /// the damaged block. I/O errors remain fatal in either mode.
+    pub fn set_lenient(&mut self, lenient: bool) {
+        self.lenient = lenient;
+    }
+
+    /// Whether the reader is in lenient mode.
+    pub fn lenient(&self) -> bool {
+        self.lenient
+    }
+
+    /// Seeks past the first `n` stream positions (events) using the
+    /// frame summaries: whole blocks are discarded without CRC checks or
+    /// decoding. When `n` lands inside a block, that block is returned
+    /// normally and the leftover intra-block skip is reported through
+    /// [`BinaryBlockReader::take_event_skip`] for the decoder to apply.
+    /// Positions count events a previous run *consumed* — delivered or
+    /// lost to lenient gaps — which is exactly the frame `count` total,
+    /// so a resume never re-verifies the prefix it already processed.
+    pub fn set_skip_events(&mut self, n: u64) {
+        self.skip_events = n;
+    }
+
+    /// Takes the residual intra-block skip owed on the block most
+    /// recently returned by [`BinaryBlockReader::next_block`] (zero when
+    /// the skip ended on a block boundary). The caller must drop that
+    /// many events from the front of the decoded block.
+    pub fn take_event_skip(&mut self) -> u64 {
+        std::mem::take(&mut self.event_skip)
+    }
+
+    /// The gaps lenient decoding has recorded so far.
+    pub fn gaps(&self) -> &[TraceGap] {
+        &self.gaps
+    }
+
+    /// Total events swallowed by the recorded gaps.
+    pub fn events_lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Records one lenient-mode gap, updating the loss accounting and
+    /// the gap probes. Decoders call this for payload-level damage (CRC
+    /// mismatches, malformed payloads) that only decoding can detect.
+    pub fn record_gap(&mut self, gap: TraceGap) {
+        self.lost += gap.events;
+        self.probes.gaps.inc();
+        self.probes.events_lost.add(gap.events);
+        self.gaps.push(gap);
+    }
+
+    /// Ends the stream leniently, recording a gap for whatever the
+    /// header still promised beyond the events already read (`seen`
+    /// counts every event of every fully read block, so events a decoder
+    /// separately lost to CRC gaps are not double-counted here).
+    fn end_with_gap(&mut self, block: usize, cause: GapCause) -> Option<Result<RawBlock, IoError>> {
+        self.done = true;
+        self.probes.parse_errors.inc();
+        self.record_gap(TraceGap {
+            block,
+            events: (self.expected as u64).saturating_sub(self.seen as u64),
+            first_seq: None,
+            last_seq: None,
+            first_time: None,
+            last_time: None,
+            cause,
+        });
+        None
     }
 
     fn fail(&mut self, e: IoError) -> Option<Result<RawBlock, IoError>> {
@@ -323,24 +459,38 @@ impl<R: Read> BinaryBlockReader<R> {
             if got == 0 {
                 // Clean end of input: complain only if the header
                 // promised more events than the blocks delivered.
-                self.done = true;
                 if self.expected > 0 && self.seen < self.expected {
+                    if self.lenient {
+                        return self.end_with_gap(self.index + 1, GapCause::TruncatedStream);
+                    }
+                    self.done = true;
                     self.probes.parse_errors.inc();
                     return Some(Err(IoError::Truncated {
                         expected: self.expected,
                         got: self.seen,
                     }));
                 }
+                self.done = true;
                 return None;
             }
             if got < FRAME_LEN {
                 // The file ends inside a frame: a short final block.
+                if self.lenient {
+                    return self.end_with_gap(self.index + 1, GapCause::TruncatedStream);
+                }
                 return self.truncated(self.seen + 1);
             }
             self.index += 1;
             let frame = match BlockFrame::from_bytes(&frame_bytes, self.index) {
                 Ok(f) => f,
-                Err(e) => return self.fail(e),
+                Err(e) => {
+                    if self.lenient {
+                        // The frame cannot be trusted to locate the next
+                        // block; the rest of the stream is one gap.
+                        return self.end_with_gap(self.index, GapCause::MalformedFrame);
+                    }
+                    return self.fail(e);
+                }
             };
             let count = frame.summary.count as usize;
             let mut payload = vec![0u8; frame.payload_len as usize];
@@ -350,11 +500,42 @@ impl<R: Read> BinaryBlockReader<R> {
             };
             if got < payload.len() {
                 // The file ends inside this block's payload.
+                if self.lenient {
+                    self.done = true;
+                    self.probes.parse_errors.inc();
+                    let gap = block_gap(self.index, frame.summary, GapCause::TruncatedBlock);
+                    self.record_gap(gap);
+                    // The frame's events are accounted as lost; anything
+                    // the header promised beyond them is a second gap.
+                    self.seen += count;
+                    if self.expected > 0 && self.seen < self.expected {
+                        self.record_gap(TraceGap {
+                            block: self.index + 1,
+                            events: (self.expected - self.seen) as u64,
+                            first_seq: None,
+                            last_seq: None,
+                            first_time: None,
+                            last_time: None,
+                            cause: GapCause::TruncatedStream,
+                        });
+                    }
+                    return None;
+                }
                 return self.truncated(self.seen + count);
             }
             self.probes.bytes.add((FRAME_LEN + payload.len()) as u64);
             self.probes.blocks.inc();
             self.seen += count;
+            if self.skip_events > 0 {
+                // Resume seek: discard whole already-processed blocks by
+                // their frame count, without CRC checks or decoding.
+                if self.skip_events >= count as u64 {
+                    self.skip_events -= count as u64;
+                    continue;
+                }
+                self.event_skip = self.skip_events;
+                self.skip_events = 0;
+            }
             if let Some(min) = self.min_time {
                 if frame.summary.last_time < min {
                     self.skipped_blocks += 1;
@@ -427,6 +608,29 @@ impl<R: Read> BinaryTraceReader<R> {
     pub fn skipped_blocks(&self) -> usize {
         self.blocks.skipped_blocks()
     }
+
+    /// Switches the reader into lenient mode: CRC-failed or malformed
+    /// blocks are skipped and recorded as [`TraceGap`]s instead of
+    /// ending the stream; see [`BinaryBlockReader::set_lenient`].
+    pub fn set_lenient(&mut self, lenient: bool) {
+        self.blocks.set_lenient(lenient);
+    }
+
+    /// Seeks past the first `n` stream positions without decoding whole
+    /// skipped blocks; see [`BinaryBlockReader::set_skip_events`].
+    pub fn set_skip_events(&mut self, n: u64) {
+        self.blocks.set_skip_events(n);
+    }
+
+    /// The gaps lenient decoding has recorded so far.
+    pub fn gaps(&self) -> &[TraceGap] {
+        self.blocks.gaps()
+    }
+
+    /// Total events swallowed by the recorded gaps.
+    pub fn events_lost(&self) -> u64 {
+        self.blocks.events_lost()
+    }
 }
 
 impl<R: Read> Iterator for BinaryTraceReader<R> {
@@ -443,8 +647,20 @@ impl<R: Read> Iterator for BinaryTraceReader<R> {
             }
             match self.blocks.next_block()? {
                 Ok(block) => match block.decode() {
-                    Ok(events) => self.pending = events.into_iter(),
+                    Ok(events) => {
+                        let mut it = events.into_iter();
+                        for _ in 0..self.blocks.take_event_skip() {
+                            it.next();
+                        }
+                        self.pending = it;
+                    }
                     Err(e) => {
+                        if self.blocks.lenient() {
+                            let gap = block.to_gap(block.gap_cause());
+                            self.probes.parse_errors.inc();
+                            self.blocks.record_gap(gap);
+                            continue;
+                        }
                         self.failed = true;
                         self.probes.parse_errors.inc();
                         return Some(Err(e));
@@ -478,6 +694,10 @@ pub struct ParallelBinaryReader<R: Read> {
     queue: VecDeque<Event>,
     pending_error: Option<IoError>,
     failed: bool,
+    /// Residual resume skip to drop from the next decoded block (the
+    /// straddling block is always the first block of the batch in which
+    /// the skip ends).
+    drop_next: usize,
     probes: StreamProbes,
 }
 
@@ -497,6 +717,7 @@ impl<R: Read> ParallelBinaryReader<R> {
             queue: VecDeque::new(),
             pending_error: None,
             failed: false,
+            drop_next: 0,
             probes,
         })
     }
@@ -509,6 +730,29 @@ impl<R: Read> ParallelBinaryReader<R> {
     /// The event count announced by the header (advisory).
     pub fn expected_events(&self) -> usize {
         self.blocks.expected_events()
+    }
+
+    /// Switches the reader into lenient mode: CRC-failed or malformed
+    /// blocks are skipped and recorded as [`TraceGap`]s instead of
+    /// ending the stream; see [`BinaryBlockReader::set_lenient`].
+    pub fn set_lenient(&mut self, lenient: bool) {
+        self.blocks.set_lenient(lenient);
+    }
+
+    /// Seeks past the first `n` stream positions without decoding whole
+    /// skipped blocks; see [`BinaryBlockReader::set_skip_events`].
+    pub fn set_skip_events(&mut self, n: u64) {
+        self.blocks.set_skip_events(n);
+    }
+
+    /// The gaps lenient decoding has recorded so far.
+    pub fn gaps(&self) -> &[TraceGap] {
+        self.blocks.gaps()
+    }
+
+    /// Total events swallowed by the recorded gaps.
+    pub fn events_lost(&self) -> u64 {
+        self.blocks.events_lost()
     }
 
     /// Reads and decodes the next batch of blocks into the queue.
@@ -524,6 +768,9 @@ impl<R: Read> ParallelBinaryReader<R> {
                 None => break,
             }
         }
+        // A resume skip that ends mid-block surfaces here, attached to
+        // the first block next_block returned after consuming the skip.
+        self.drop_next += self.blocks.take_event_skip() as usize;
         if batch.is_empty() {
             return;
         }
@@ -542,13 +789,21 @@ impl<R: Read> ParallelBinaryReader<R> {
                 results.extend(h.join().expect("block decode worker panicked"));
             }
         });
-        for r in results {
+        for (block, r) in batch.iter().zip(results) {
             match r {
                 Ok(events) => {
-                    self.probes.events.add(events.len() as u64);
-                    self.queue.extend(events);
+                    let drop = std::mem::take(&mut self.drop_next).min(events.len());
+                    self.probes.events.add((events.len() - drop) as u64);
+                    self.queue.extend(events.into_iter().skip(drop));
                 }
                 Err(e) => {
+                    if self.blocks.lenient() {
+                        // Skip just the damaged block and keep stitching.
+                        let gap = block.to_gap(block.gap_cause());
+                        self.probes.parse_errors.inc();
+                        self.blocks.record_gap(gap);
+                        continue;
+                    }
                     // A decode failure precedes (in stream order) any
                     // block-reader error stashed above, and everything
                     // after the first error is dropped anyway.

@@ -144,8 +144,11 @@ const fn crc32_table() -> [u32; 256] {
 
 static CRC_TABLE: [u32; 256] = crc32_table();
 
-/// CRC32 (IEEE) of `data` — the checksum guarding every block payload.
-pub(crate) fn crc32(data: &[u8]) -> u32 {
+/// CRC32 (IEEE 802.3, reflected) of `data` — the checksum guarding every
+/// block payload of a binary trace, exposed so other integrity-checked
+/// file formats (notably analysis checkpoints) can share the exact same
+/// polynomial and table.
+pub fn crc32(data: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in data {
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);

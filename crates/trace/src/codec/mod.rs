@@ -30,9 +30,10 @@ pub use binary::{
     BinaryBlockReader, BinaryTraceReader, BinaryTraceWriter, ParallelBinaryReader, RawBlock,
     BINARY_FORMAT_NAME, BINARY_MAGIC, BINARY_VERSION, DEFAULT_BLOCK_EVENTS,
 };
-pub use block::BlockSummary;
+pub use block::{crc32, BlockSummary};
 
 use crate::event::Event;
+use crate::gap::TraceGap;
 use crate::io::IoError;
 use crate::stream::{StreamProbes, TraceStreamReader, TraceStreamWriter};
 use crate::trace::{Trace, TraceKind};
@@ -191,6 +192,53 @@ impl<R: Read> AnyTraceReader<R> {
             AnyTraceReader::BinaryParallel(r) => r.expected_events(),
         }
     }
+
+    /// Switches the reader into lenient mode: damaged regions are
+    /// skipped and recorded as [`TraceGap`]s (query them with
+    /// [`AnyTraceReader::gaps`]) instead of ending the stream with an
+    /// error. For binary input a CRC-failed or malformed block loses
+    /// exactly that block; for JSONL a malformed line loses one event.
+    /// Truncated input of either format records a final truncation gap
+    /// and ends cleanly. I/O errors remain fatal in either mode.
+    pub fn set_lenient(&mut self, lenient: bool) {
+        match self {
+            AnyTraceReader::Jsonl(r) => r.set_lenient(lenient),
+            AnyTraceReader::Binary(r) => r.set_lenient(lenient),
+            AnyTraceReader::BinaryParallel(r) => r.set_lenient(lenient),
+        }
+    }
+
+    /// Seeks past the first `n` stream positions — events a previous run
+    /// already consumed, whether delivered or lost to lenient gaps — so
+    /// a resumed analysis continues where its checkpoint left off.
+    /// Binary input skips whole already-processed blocks by their frame
+    /// summaries without CRC checks or decoding; JSONL input consumes
+    /// (but does not parse) the skipped lines.
+    pub fn set_skip_events(&mut self, n: u64) {
+        match self {
+            AnyTraceReader::Jsonl(r) => r.set_skip_events(n),
+            AnyTraceReader::Binary(r) => r.set_skip_events(n),
+            AnyTraceReader::BinaryParallel(r) => r.set_skip_events(n),
+        }
+    }
+
+    /// The gaps lenient decoding has recorded so far.
+    pub fn gaps(&self) -> &[TraceGap] {
+        match self {
+            AnyTraceReader::Jsonl(r) => r.gaps(),
+            AnyTraceReader::Binary(r) => r.gaps(),
+            AnyTraceReader::BinaryParallel(r) => r.gaps(),
+        }
+    }
+
+    /// Total events swallowed by the recorded gaps.
+    pub fn events_lost(&self) -> u64 {
+        match self {
+            AnyTraceReader::Jsonl(r) => r.events_lost(),
+            AnyTraceReader::Binary(r) => r.events_lost(),
+            AnyTraceReader::BinaryParallel(r) => r.events_lost(),
+        }
+    }
 }
 
 impl<R: Read> Iterator for AnyTraceReader<R> {
@@ -255,11 +303,34 @@ impl<W: Write> AnyTraceWriter<W> {
         }
     }
 
+    /// Resumes an interrupted JSONL stream: wraps a sink already
+    /// positioned after `written` events (header included) and continues
+    /// appending without writing a new header. Only JSONL supports
+    /// resumption — a binary stream's partial in-memory block cannot be
+    /// reconstructed from a flushed prefix — which is why checkpointed
+    /// analyses require a JSONL report.
+    pub fn resume_jsonl(writer: W, written: usize, probes: StreamProbes) -> Self {
+        AnyTraceWriter::Jsonl(TraceStreamWriter::resume_with_probes(
+            writer, written, probes,
+        ))
+    }
+
     /// How many events have been written so far.
     pub fn written(&self) -> usize {
         match self {
             AnyTraceWriter::Jsonl(w) => w.written(),
             AnyTraceWriter::Binary(w) => w.written(),
+        }
+    }
+
+    /// Flushes buffered bytes through to the underlying writer (for the
+    /// binary format, only completed blocks; the partial block is framed
+    /// by [`AnyTraceWriter::finish`] alone). Checkpointing flushes
+    /// before recording the output offset a resume will truncate to.
+    pub fn flush(&mut self) -> Result<(), IoError> {
+        match self {
+            AnyTraceWriter::Jsonl(w) => w.flush(),
+            AnyTraceWriter::Binary(w) => w.flush(),
         }
     }
 
@@ -587,6 +658,119 @@ mod tests {
         // ...and the survivors are a suffix of the trace.
         let suffix = &t.events()[t.len() - events.len()..];
         assert_eq!(events, suffix);
+    }
+
+    #[test]
+    fn lenient_decode_skips_a_corrupted_block_and_records_the_gap() {
+        use crate::gap::GapCause;
+        let (t, mut buf) = blocky(64, 3);
+        // Corrupt a payload byte of the second block.
+        let header = 18;
+        let frame = 44;
+        let payload_len = |buf: &[u8], at: usize| {
+            u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize
+        };
+        let b2 = header + frame + payload_len(&buf, header);
+        buf[b2 + frame + 10] ^= 0xff;
+
+        let expected: Vec<Event> = t
+            .events()
+            .iter()
+            .filter(|e| !(64..128).contains(&(e.seq as usize)))
+            .copied()
+            .collect();
+
+        let mut r = BinaryTraceReader::new(buf.as_slice()).unwrap();
+        r.set_lenient(true);
+        let events: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+        assert_eq!(events, expected);
+        assert_eq!(r.events_lost(), 64);
+        let gaps = r.gaps();
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].block, 2);
+        assert_eq!(gaps[0].events, 64);
+        assert_eq!(gaps[0].cause, GapCause::CrcMismatch);
+        assert_eq!(gaps[0].first_seq, Some(64));
+        assert_eq!(gaps[0].last_seq, Some(127));
+
+        // The parallel decoder skips the same block with the same gap.
+        let mut r = ParallelBinaryReader::new(buf.as_slice(), 4).unwrap();
+        r.set_lenient(true);
+        let events: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+        assert_eq!(events, expected);
+        assert_eq!(r.gaps().len(), 1);
+        assert_eq!(r.events_lost(), 64);
+    }
+
+    #[test]
+    fn lenient_decode_accounts_truncated_input_as_gaps() {
+        use crate::gap::GapCause;
+        let (t, buf) = blocky(64, 3);
+        // Cut inside the final block's payload: the block frame is known,
+        // so the gap carries its exact span.
+        let cut = &buf[..buf.len() - 7];
+        let mut r = BinaryTraceReader::new(cut).unwrap();
+        r.set_lenient(true);
+        let events: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+        assert_eq!(events.len(), 128);
+        assert_eq!(r.events_lost() as usize + events.len(), t.len());
+        assert_eq!(r.gaps().last().unwrap().cause, GapCause::TruncatedBlock);
+
+        // A whole missing final block surfaces as a truncated-stream gap
+        // via the header's declared count.
+        let payload_len = u32::from_le_bytes(buf[18..22].try_into().unwrap()) as usize;
+        let cut = &buf[..18 + 44 + payload_len];
+        let mut r = BinaryTraceReader::new(cut).unwrap();
+        r.set_lenient(true);
+        let events: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+        assert_eq!(events.len(), 64);
+        assert_eq!(r.events_lost(), 128);
+        assert_eq!(r.gaps().last().unwrap().cause, GapCause::TruncatedStream);
+    }
+
+    #[test]
+    fn lenient_jsonl_skips_malformed_lines_without_fusing() {
+        use crate::gap::GapCause;
+        let t = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        // Wreck the third event line (line 4: the header is line 1).
+        let newlines: Vec<usize> = (0..buf.len()).filter(|&i| buf[i] == b'\n').collect();
+        buf[newlines[2] + 1..newlines[3]].fill(b'?');
+        let mut r = crate::stream::TraceStreamReader::new(buf.as_slice()).unwrap();
+        r.set_lenient(true);
+        let events: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+        assert_eq!(events.len(), t.len() - 1);
+        assert_eq!(r.events_lost(), 1);
+        assert_eq!(r.gaps().len(), 1);
+        assert_eq!(r.gaps()[0].block, 4);
+        assert_eq!(r.gaps()[0].cause, GapCause::MalformedLine);
+    }
+
+    #[test]
+    fn skip_events_seeks_to_the_same_suffix_in_every_reader() {
+        let (t, bin) = blocky(64, 4);
+        let mut jl = Vec::new();
+        write_jsonl(&t, &mut jl).unwrap();
+        // Skips landing on and off block boundaries, plus degenerate ends.
+        for skip in [0usize, 1, 63, 64, 65, 128, 200, 255, 256] {
+            let expected = &t.events()[skip..];
+
+            let mut r = BinaryTraceReader::new(bin.as_slice()).unwrap();
+            r.set_skip_events(skip as u64);
+            let events: Vec<Event> = r.map(|e| e.unwrap()).collect();
+            assert_eq!(events, expected, "serial, skip {skip}");
+
+            let mut r = ParallelBinaryReader::new(bin.as_slice(), 3).unwrap();
+            r.set_skip_events(skip as u64);
+            let events: Vec<Event> = r.map(|e| e.unwrap()).collect();
+            assert_eq!(events, expected, "parallel, skip {skip}");
+
+            let mut r = AnyTraceReader::open(jl.as_slice()).unwrap();
+            r.set_skip_events(skip as u64);
+            let events: Vec<Event> = r.map(|e| e.unwrap()).collect();
+            assert_eq!(events, expected, "jsonl, skip {skip}");
+        }
     }
 
     #[test]

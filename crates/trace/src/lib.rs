@@ -29,9 +29,11 @@ mod buffer;
 mod builder;
 pub mod codec;
 mod event;
+mod gap;
 mod ids;
 mod io;
 mod overhead;
+mod reorder;
 mod stream;
 mod time;
 mod trace;
@@ -40,14 +42,17 @@ mod validate;
 pub use buffer::{apply_buffers, BoundedBuffer, OverflowPolicy};
 pub use builder::TraceBuilder;
 pub use codec::{
-    read_binary, read_binary_parallel, read_trace, read_trace_parallel, write_binary, write_trace,
-    AnyTraceReader, AnyTraceWriter, BinaryTraceReader, BinaryTraceWriter, BlockSummary,
-    ParallelBinaryReader, TraceFormat, BINARY_FORMAT_NAME, BINARY_MAGIC, DEFAULT_BLOCK_EVENTS,
+    crc32, read_binary, read_binary_parallel, read_trace, read_trace_parallel, write_binary,
+    write_trace, AnyTraceReader, AnyTraceWriter, BinaryTraceReader, BinaryTraceWriter,
+    BlockSummary, ParallelBinaryReader, TraceFormat, BINARY_FORMAT_NAME, BINARY_MAGIC,
+    DEFAULT_BLOCK_EVENTS,
 };
 pub use event::{Event, EventKind};
+pub use gap::{GapCause, TraceGap};
 pub use ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
 pub use io::{read_jsonl, write_csv, write_jsonl, IoError};
 pub use overhead::OverheadSpec;
+pub use reorder::{ReorderBuffer, ReorderSnapshot};
 pub use stream::{
     split_by_processor, MergedStreams, Shard, StreamProbes, TraceStreamReader, TraceStreamWriter,
 };
@@ -146,6 +151,168 @@ mod proptests {
             let from_jl = read_trace(jl.as_slice()).unwrap();
             let from_bin = read_trace(bin.as_slice()).unwrap();
             prop_assert_eq!(from_jl, from_bin);
+        }
+
+        /// For any single corrupted block, lenient decode yields exactly
+        /// the serial decode minus that block's events, and the loss is
+        /// fully accounted by one gap — through both binary decoders.
+        #[test]
+        fn lenient_decode_is_strict_decode_minus_the_corrupted_block(
+            events in proptest::collection::vec(arb_event(), 48..160),
+            per_block in 8usize..24,
+            target in 0usize..1000,
+            at in 0usize..10_000,
+        ) {
+            let trace = Trace::from_events(TraceKind::Measured, events);
+            let mut buf = Vec::new();
+            let mut w = BinaryTraceWriter::with_block_events(
+                &mut buf,
+                trace.kind(),
+                trace.len(),
+                per_block,
+                StreamProbes::default(),
+            )
+            .unwrap();
+            for e in trace.iter() {
+                w.write_event(e).unwrap();
+            }
+            w.finish().unwrap();
+
+            // Walk the frames to find the target block's payload bounds.
+            let blocks = trace.len().div_ceil(per_block);
+            let target = target % blocks;
+            let mut offset = 18; // header
+            let mut payload_span = (0usize, 0usize);
+            let mut counts = Vec::with_capacity(blocks);
+            for i in 0..blocks {
+                let payload_len =
+                    u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap()) as usize;
+                let count =
+                    u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().unwrap()) as usize;
+                counts.push(count);
+                if i == target {
+                    payload_span = (offset + 44, payload_len);
+                }
+                offset += 44 + payload_len;
+            }
+            // Corrupt one payload byte: always a CRC mismatch.
+            buf[payload_span.0 + at % payload_span.1] ^= 0xff;
+
+            let survivors: Vec<Event> = trace
+                .events()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i / per_block != target)
+                .map(|(_, e)| *e)
+                .collect();
+
+            let mut serial = BinaryTraceReader::new(buf.as_slice()).unwrap();
+            serial.set_lenient(true);
+            let got: Vec<Event> = serial.by_ref().map(|e| e.unwrap()).collect();
+            prop_assert_eq!(&got, &survivors);
+            prop_assert_eq!(serial.gaps().len(), 1);
+            prop_assert_eq!(serial.gaps()[0].block, target + 1);
+            prop_assert_eq!(serial.events_lost(), counts[target] as u64);
+            prop_assert_eq!(got.len() + counts[target], trace.len());
+
+            let mut parallel = ParallelBinaryReader::new(buf.as_slice(), 4).unwrap();
+            parallel.set_lenient(true);
+            let got: Vec<Event> = parallel.by_ref().map(|e| e.unwrap()).collect();
+            prop_assert_eq!(&got, &survivors);
+            prop_assert_eq!(parallel.events_lost(), counts[target] as u64);
+        }
+
+        /// A dropped (whole, excised) block leaves exactly the other
+        /// blocks' events, with the loss accounted as a truncation gap.
+        #[test]
+        fn lenient_decode_accounts_a_dropped_block(
+            events in proptest::collection::vec(arb_event(), 48..160),
+            per_block in 8usize..24,
+            target in 0usize..1000,
+        ) {
+            let trace = Trace::from_events(TraceKind::Measured, events);
+            let mut buf = Vec::new();
+            let mut w = BinaryTraceWriter::with_block_events(
+                &mut buf,
+                trace.kind(),
+                trace.len(),
+                per_block,
+                StreamProbes::default(),
+            )
+            .unwrap();
+            for e in trace.iter() {
+                w.write_event(e).unwrap();
+            }
+            w.finish().unwrap();
+
+            let blocks = trace.len().div_ceil(per_block);
+            let target = target % blocks;
+            let mut offset = 18;
+            let mut excised = (0usize, 0usize);
+            let mut dropped_count = 0usize;
+            for i in 0..blocks {
+                let payload_len =
+                    u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap()) as usize;
+                let count =
+                    u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().unwrap()) as usize;
+                if i == target {
+                    excised = (offset, 44 + payload_len);
+                    dropped_count = count;
+                }
+                offset += 44 + payload_len;
+            }
+            buf.drain(excised.0..excised.0 + excised.1);
+
+            let survivors: Vec<Event> = trace
+                .events()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i / per_block != target)
+                .map(|(_, e)| *e)
+                .collect();
+
+            let mut r = BinaryTraceReader::new(buf.as_slice()).unwrap();
+            r.set_lenient(true);
+            let got: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+            prop_assert_eq!(&got, &survivors);
+            prop_assert_eq!(r.events_lost(), dropped_count as u64);
+            prop_assert_eq!(got.len() + dropped_count, trace.len());
+        }
+
+        /// Seeking with `set_skip_events` yields exactly the suffix, for
+        /// every skip point and both binary decoders.
+        #[test]
+        fn skip_events_yields_the_exact_suffix(
+            events in proptest::collection::vec(arb_event(), 16..96),
+            per_block in 4usize..16,
+            skip in 0usize..96,
+        ) {
+            let trace = Trace::from_events(TraceKind::Measured, events);
+            let skip = skip % (trace.len() + 1);
+            let mut buf = Vec::new();
+            let mut w = BinaryTraceWriter::with_block_events(
+                &mut buf,
+                trace.kind(),
+                trace.len(),
+                per_block,
+                StreamProbes::default(),
+            )
+            .unwrap();
+            for e in trace.iter() {
+                w.write_event(e).unwrap();
+            }
+            w.finish().unwrap();
+
+            let expected = &trace.events()[skip..];
+            let mut r = BinaryTraceReader::new(buf.as_slice()).unwrap();
+            r.set_skip_events(skip as u64);
+            let got: Vec<Event> = r.map(|e| e.unwrap()).collect();
+            prop_assert_eq!(got.as_slice(), expected);
+
+            let mut r = ParallelBinaryReader::new(buf.as_slice(), 3).unwrap();
+            r.set_skip_events(skip as u64);
+            let got: Vec<Event> = r.map(|e| e.unwrap()).collect();
+            prop_assert_eq!(got.as_slice(), expected);
         }
 
         /// Rebasing preserves all pairwise gaps.

@@ -49,6 +49,15 @@ pub struct StreamProbes {
     /// Binary codec blocks framed or decoded (`ppa_stream_blocks_total`).
     /// JSONL streams never touch this counter.
     pub blocks: Counter,
+    /// Damaged regions skipped by a lenient reader
+    /// (`ppa_stream_gaps_total`). Strict readers never touch this
+    /// counter — they abort on the first damaged record instead.
+    pub gaps: Counter,
+    /// Events swallowed by lenient-mode gaps
+    /// (`ppa_stream_events_lost_total`); the sum of
+    /// [`TraceGap::events`](crate::TraceGap::events) over all recorded
+    /// gaps.
+    pub events_lost: Counter,
 }
 
 impl StreamProbes {
@@ -81,6 +90,16 @@ impl StreamProbes {
                 "ppa_stream_blocks_total",
                 &labels,
                 "Binary trace codec blocks framed or decoded.",
+            ),
+            gaps: registry.counter_with(
+                "ppa_stream_gaps_total",
+                &labels,
+                "Damaged trace regions skipped by lenient decoding.",
+            ),
+            events_lost: registry.counter_with(
+                "ppa_stream_events_lost_total",
+                &labels,
+                "Events lost to damaged trace regions in lenient decoding.",
             ),
         }
     }
@@ -173,9 +192,31 @@ impl<W: Write> TraceStreamWriter<W> {
         Ok(())
     }
 
+    /// Resumes an interrupted stream: wraps a sink already positioned
+    /// after `written` events (header included) and continues appending
+    /// event lines *without* writing a new header. The checkpoint/resume
+    /// pipeline truncates the partial output to its last flushed offset
+    /// and hands the re-opened file here, so the resumed stream is
+    /// byte-identical to an uninterrupted one.
+    pub fn resume_with_probes(writer: W, written: usize, probes: StreamProbes) -> Self {
+        TraceStreamWriter {
+            sink: BufWriter::new(CountingWriter::new(writer, probes.bytes)),
+            written,
+            events: probes.events,
+        }
+    }
+
     /// How many events have been written so far.
     pub fn written(&self) -> usize {
         self.written
+    }
+
+    /// Flushes buffered bytes through to the underlying writer without
+    /// consuming the stream. Checkpointing calls this before recording
+    /// the output's byte offset, so a resume can truncate to a prefix
+    /// that is actually on disk.
+    pub fn flush(&mut self) -> Result<(), IoError> {
+        self.sink.flush().map_err(IoError::Io)
     }
 
     /// Flushes and returns the underlying writer.
@@ -206,9 +247,18 @@ pub struct TraceStreamReader<R: Read> {
     expected: usize,
     /// 1-based number of the last line consumed (the header is line 1).
     line: usize,
-    /// Events successfully yielded so far.
+    /// Events successfully yielded so far (plus resumed-past positions
+    /// consumed by [`TraceStreamReader::set_skip_events`]).
     seen: usize,
     failed: bool,
+    /// Skip damaged lines instead of failing; see
+    /// [`TraceStreamReader::set_lenient`].
+    lenient: bool,
+    /// Event lines still to consume without parsing (resume support).
+    skip: u64,
+    gaps: Vec<crate::gap::TraceGap>,
+    /// Events swallowed by the gaps recorded so far.
+    lost: u64,
     probes: StreamProbes,
 }
 
@@ -262,6 +312,10 @@ impl<R: Read> TraceStreamReader<R> {
             line: 1,
             seen: 0,
             failed: false,
+            lenient: false,
+            skip: 0,
+            gaps: Vec::new(),
+            lost: 0,
             probes,
         })
     }
@@ -274,6 +328,41 @@ impl<R: Read> TraceStreamReader<R> {
     /// The event count announced by the header (advisory).
     pub fn expected_events(&self) -> usize {
         self.expected
+    }
+
+    /// Switches the reader into lenient mode: a malformed line is
+    /// recorded as a one-event [`TraceGap`](crate::TraceGap) and skipped,
+    /// and input ending short of the header's declared count records a
+    /// [`GapCause::TruncatedStream`](crate::GapCause::TruncatedStream)
+    /// gap instead of erroring. I/O errors remain fatal.
+    pub fn set_lenient(&mut self, lenient: bool) {
+        self.lenient = lenient;
+    }
+
+    /// Consumes the next `n` event lines without parsing them, so a
+    /// resumed run can seek past the stream positions a previous run
+    /// already processed (including positions that previous run lost to
+    /// lenient-mode gaps — which is why the skipped lines must not be
+    /// parsed).
+    pub fn set_skip_events(&mut self, n: u64) {
+        self.skip = n;
+    }
+
+    /// The gaps lenient decoding has recorded so far.
+    pub fn gaps(&self) -> &[crate::gap::TraceGap] {
+        &self.gaps
+    }
+
+    /// Total events swallowed by the recorded gaps.
+    pub fn events_lost(&self) -> u64 {
+        self.lost
+    }
+
+    fn record_gap(&mut self, gap: crate::gap::TraceGap) {
+        self.lost += gap.events;
+        self.probes.gaps.inc();
+        self.probes.events_lost.add(gap.events);
+        self.gaps.push(gap);
     }
 }
 
@@ -288,10 +377,25 @@ impl<R: Read> Iterator for TraceStreamReader<R> {
             match read_trimmed_line(&mut self.input, &mut self.buf) {
                 Ok(0) => {
                     // End of input: if the header promised more events
-                    // than we delivered, the file was cut off mid-stream.
-                    if self.expected > 0 && self.seen < self.expected {
-                        self.failed = true;
+                    // than we delivered (or leniently lost), the file was
+                    // cut off mid-stream.
+                    let accounted = self.seen + self.lost as usize;
+                    if self.expected > 0 && accounted < self.expected {
                         self.probes.parse_errors.inc();
+                        if self.lenient {
+                            self.failed = true;
+                            self.record_gap(crate::gap::TraceGap {
+                                block: self.line + 1,
+                                events: (self.expected - accounted) as u64,
+                                first_seq: None,
+                                last_seq: None,
+                                first_time: None,
+                                last_time: None,
+                                cause: crate::gap::GapCause::TruncatedStream,
+                            });
+                            return None;
+                        }
+                        self.failed = true;
                         return Some(Err(IoError::Truncated {
                             expected: self.expected,
                             got: self.seen,
@@ -309,6 +413,14 @@ impl<R: Read> Iterator for TraceStreamReader<R> {
             if self.buf.trim().is_empty() {
                 continue;
             }
+            if self.skip > 0 {
+                // A resumed-past position: the line was consumed by a
+                // previous run (delivered or recorded as lost) and must
+                // not be parsed again.
+                self.skip -= 1;
+                self.seen += 1;
+                continue;
+            }
             return match serde_json::from_str(&self.buf) {
                 Ok(event) => {
                     self.seen += 1;
@@ -316,8 +428,20 @@ impl<R: Read> Iterator for TraceStreamReader<R> {
                     Some(Ok(event))
                 }
                 Err(e) => {
-                    self.failed = true;
                     self.probes.parse_errors.inc();
+                    if self.lenient {
+                        self.record_gap(crate::gap::TraceGap {
+                            block: self.line,
+                            events: 1,
+                            first_seq: None,
+                            last_seq: None,
+                            first_time: None,
+                            last_time: None,
+                            cause: crate::gap::GapCause::MalformedLine,
+                        });
+                        continue;
+                    }
+                    self.failed = true;
                     Some(Err(IoError::Parse {
                         line: self.line,
                         message: e.to_string(),

@@ -10,11 +10,12 @@
 use crate::event::{Event, EventKind};
 use crate::ids::{BarrierId, ProcessorId, SyncTag, SyncVarId};
 use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Validation failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[allow(missing_docs)] // variant fields are named after the id types they hold
 pub enum TraceError {
     /// The event array is not sorted by `(time, proc, seq)`.
