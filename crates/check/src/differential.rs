@@ -1,0 +1,294 @@
+//! Differential oracle: three independent implementations of the §4.2.3
+//! analysis must agree on every input.
+//!
+//! The workspace deliberately keeps three paths to the same answer — the
+//! streaming [`event_based`], the batch worklist
+//! [`event_based_reference`] (the executable spec), and the parallel
+//! [`event_based_sharded`] — so they can act as mutual oracles. This
+//! module generates DOACROSS programs (the Livermore loops 3/4/17
+//! experiment graphs plus synthesized random workloads), simulates their
+//! instrumented measurement, runs all three analyses, and diffs the
+//! reports field by field. Any disagreement is shrunk with a
+//! deterministic delta-debugging pass to a minimal reproducing measured
+//! trace, which can be written to disk for offline triage.
+
+use crate::Violation;
+use ppa_core::{event_based, event_based_reference, event_based_sharded, EventBasedResult};
+use ppa_program::synth::{synthesize, SynthConfig};
+use ppa_program::InstrumentationPlan;
+use ppa_sim::{run_measured, SchedulePolicy, SimConfig};
+use ppa_trace::{write_trace, ClockRate, Event, OverheadSpec, Trace, TraceFormat, TraceKind};
+use std::path::{Path, PathBuf};
+
+/// Configuration for one differential-oracle run.
+#[derive(Debug, Clone)]
+pub struct DifferentialConfig {
+    /// Base seed; program `i` derives its workload and jitter from
+    /// `seed + i`, so a run is fully reproducible from this one number.
+    pub seed: u64,
+    /// How many programs to generate and cross-check.
+    pub programs: usize,
+    /// Worker count handed to the sharded path.
+    pub workers: usize,
+}
+
+impl Default for DifferentialConfig {
+    fn default() -> Self {
+        DifferentialConfig {
+            seed: 0,
+            programs: 50,
+            workers: 4,
+        }
+    }
+}
+
+/// One disagreement between the three analysis paths.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Which generated program disagreed (e.g. `lfk03` or `synth-17`).
+    pub program: String,
+    /// The seed that reproduces it.
+    pub seed: u64,
+    /// First field-level difference found between two paths.
+    pub detail: String,
+    /// Size (events) of the shrunken reproducing measured trace.
+    pub minimal_events: usize,
+    /// Where the reproducing trace was written, when an output directory
+    /// was given.
+    pub trace_path: Option<PathBuf>,
+}
+
+/// The outcome of a differential-oracle run.
+#[derive(Debug, Clone, Default)]
+pub struct DifferentialReport {
+    /// Programs generated and cross-checked.
+    pub programs: usize,
+    /// Total measured events analyzed across all programs.
+    pub events: usize,
+    /// Every disagreement found, shrunk.
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl DifferentialReport {
+    /// The mismatches as check violations (rule `differential-mismatch`).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.mismatches
+            .iter()
+            .map(|m| {
+                Violation::new(
+                    "differential-mismatch",
+                    format!(
+                        "{} (seed {}): {}; minimal repro has {} event(s){}",
+                        m.program,
+                        m.seed,
+                        m.detail,
+                        m.minimal_events,
+                        m.trace_path
+                            .as_deref()
+                            .map(|p| format!(", written to {}", p.display()))
+                            .unwrap_or_default()
+                    ),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The simulator configuration the oracle measures programs under:
+/// 8 processors, jittered statement costs, static-cyclic dispatch — the
+/// same shape as the repository's exactness property tests, so any
+/// disagreement here is a real analyzer divergence, not a workload
+/// artifact.
+fn sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        processors: 8,
+        clock: ClockRate::GHZ_1,
+        overheads: OverheadSpec::alliant_default(),
+        schedule: SchedulePolicy::StaticCyclic,
+        dispatch_cycles: 50,
+        jitter: None,
+    }
+    .with_jitter(seed, 250)
+}
+
+/// Runs the oracle: generates `cfg.programs` DOACROSS workloads, diffs
+/// the three analysis paths on each, and shrinks any mismatch. Minimal
+/// reproducing traces are written to `out_dir` as JSONL when given.
+///
+/// Errors only on environmental failure (simulation or I/O); analysis
+/// disagreement is reported through [`DifferentialReport::mismatches`].
+pub fn run_differential(
+    cfg: &DifferentialConfig,
+    out_dir: Option<&Path>,
+) -> Result<DifferentialReport, String> {
+    let mut report = DifferentialReport::default();
+    for i in 0..cfg.programs {
+        let seed = cfg.seed.wrapping_add(i as u64);
+        // The three paper DOACROSS kernels anchor the set; everything
+        // after them is a synthesized random workload (which also mixes
+        // serial, sequential-loop, and DOALL segments around its
+        // DOACROSS loops).
+        let (label, program) = match i {
+            0..=2 => {
+                let id = [3u8, 4, 17][i];
+                (
+                    format!("lfk{id:02}"),
+                    ppa_lfk::doacross_graph(id)
+                        .ok_or_else(|| format!("lfk{id:02}: no DOACROSS graph"))?,
+                )
+            }
+            _ => (
+                format!("synth-{i}"),
+                synthesize(seed, &SynthConfig::default()),
+            ),
+        };
+        let sim = sim_config(seed);
+        let measured = run_measured(&program, &InstrumentationPlan::full_with_sync(), &sim)
+            .map_err(|e| format!("{label}: simulation failed: {e:?}"))?;
+        report.programs += 1;
+        report.events += measured.trace.len();
+
+        if let Some(detail) = diff_paths(&measured.trace, &sim.overheads, cfg.workers) {
+            let minimal = shrink(measured.trace.events(), &sim.overheads, cfg.workers);
+            let trace_path = match out_dir {
+                Some(dir) => {
+                    let path = dir.join(format!("mismatch-{label}.jsonl"));
+                    let minimal_trace = Trace::from_events(TraceKind::Measured, minimal.clone());
+                    let file = std::fs::File::create(&path)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    write_trace(
+                        &minimal_trace,
+                        std::io::BufWriter::new(file),
+                        TraceFormat::Jsonl,
+                    )
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                    Some(path)
+                }
+                None => None,
+            };
+            report.mismatches.push(Mismatch {
+                program: label,
+                seed,
+                detail,
+                minimal_events: minimal.len(),
+                trace_path,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Runs the three paths on one measured trace; `Some(description)` of
+/// the first difference if they disagree, `None` when they agree.
+fn diff_paths(trace: &Trace, oh: &OverheadSpec, workers: usize) -> Option<String> {
+    let streaming = event_based(trace, oh);
+    let reference = event_based_reference(trace, oh);
+    let sharded = event_based_sharded(trace, oh, workers);
+    match (streaming, reference, sharded) {
+        (Ok(s), Ok(r), Ok(h)) => diff_results("streaming", &s, "reference", &r)
+            .or_else(|| diff_results("sharded", &h, "reference", &r)),
+        // All three failing is agreement: they reject the same input.
+        // The *choice* of error is pinned by unit tests elsewhere; the
+        // oracle only demands the accept/reject verdict match.
+        (Err(_), Err(_), Err(_)) => None,
+        (s, r, h) => Some(format!(
+            "accept/reject split: streaming {}, reference {}, sharded {}",
+            verdict(&s),
+            verdict(&r),
+            verdict(&h)
+        )),
+    }
+}
+
+fn verdict(r: &Result<EventBasedResult, ppa_core::AnalysisError>) -> &'static str {
+    match r {
+        Ok(_) => "accepted",
+        Err(_) => "rejected",
+    }
+}
+
+/// First field-level difference between two reports, if any.
+fn diff_results(an: &str, a: &EventBasedResult, bn: &str, b: &EventBasedResult) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    if a.trace.len() != b.trace.len() {
+        return Some(format!(
+            "trace length: {an} {} vs {bn} {}",
+            a.trace.len(),
+            b.trace.len()
+        ));
+    }
+    for (i, (ea, eb)) in a.trace.iter().zip(b.trace.iter()).enumerate() {
+        if ea != eb {
+            return Some(format!("trace[{i}]: {an} {ea} vs {bn} {eb}"));
+        }
+    }
+    if a.awaits != b.awaits {
+        let i = a
+            .awaits
+            .iter()
+            .zip(&b.awaits)
+            .position(|(x, y)| x != y)
+            .unwrap_or(a.awaits.len().min(b.awaits.len()));
+        return Some(format!(
+            "awaits[{i}]: {an} {:?} vs {bn} {:?}",
+            a.awaits.get(i),
+            b.awaits.get(i)
+        ));
+    }
+    let i = a
+        .barriers
+        .iter()
+        .zip(&b.barriers)
+        .position(|(x, y)| x != y)
+        .unwrap_or(a.barriers.len().min(b.barriers.len()));
+    Some(format!(
+        "barriers[{i}]: {an} {:?} vs {bn} {:?}",
+        a.barriers.get(i),
+        b.barriers.get(i)
+    ))
+}
+
+/// Deterministic delta-debugging (ddmin) shrink: the smallest event
+/// subset (in measured order) on which the three paths still disagree.
+///
+/// Subsets keep their original timestamps and sequence numbers, so the
+/// reduced trace stays totally ordered; dropping events may turn the
+/// input invalid, but a unanimous rejection counts as agreement, so the
+/// shrinker only keeps subsets that still *split* the implementations.
+fn shrink(events: &[Event], oh: &OverheadSpec, workers: usize) -> Vec<Event> {
+    let still_mismatches = |subset: &[Event]| {
+        let t = Trace::from_events(TraceKind::Measured, subset.to_vec());
+        diff_paths(&t, oh, workers).is_some()
+    };
+    let mut current: Vec<Event> = events.to_vec();
+    let mut chunks = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(chunks);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<Event> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if !candidate.is_empty() && still_mismatches(&candidate) {
+                current = candidate;
+                chunks = chunks.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            chunks = (chunks * 2).min(current.len());
+        }
+    }
+    current
+}

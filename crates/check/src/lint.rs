@@ -1,0 +1,167 @@
+//! Structural trace lint: the invariants every well-formed event trace
+//! (measured or actual) must satisfy before analysis is meaningful.
+
+use crate::Violation;
+use ppa_trace::{Event, EventKind, SyncTag, SyncVarId, Time};
+use std::collections::HashSet;
+
+/// Per-processor lint state.
+#[derive(Debug, Clone, Default)]
+struct ProcLint {
+    last_time: Option<Time>,
+    /// The open `awaitB` (var, tag, seq) awaiting its `awaitE`.
+    pending_await: Option<(SyncVarId, SyncTag, u64)>,
+}
+
+/// Streaming structural linter for measured/actual traces.
+///
+/// Feed events in stream order with [`push`](Self::push), then collect
+/// the verdict with [`finish`](Self::finish). Rules checked:
+///
+/// | rule | invariant |
+/// |---|---|
+/// | `trace-total-order` | `order_key` (time, seq, proc) never decreases |
+/// | `proc-time-monotone` | per-processor timestamps never decrease |
+/// | `seq-contiguity` | sequence numbers form one contiguous run, no holes or duplicates |
+/// | `await-pairing` | every `awaitE` closes a matching open `awaitB` (same var and tag, same processor), and no `awaitB` nests |
+/// | `await-advance-order` | every `awaitE` has a matching `advance` (same var and tag) somewhere in the trace; pre-advanced (negative) tags are exempt |
+///
+/// `await-advance-order` deliberately checks *existence*, not stream
+/// position: in a measured trace the `advance` record is stamped after
+/// the operation's own instrumentation overhead, so a dependent `awaitE`
+/// on another processor routinely precedes it in the stream. The
+/// stronger ordering claim — the await completes no earlier than its
+/// advance — is a §4.2.3 conservation law that only holds for
+/// approximated reports, where [`ReportChecker`](crate::ReportChecker)
+/// enforces it on the approximated times.
+///
+/// The linter records every violation it sees (no cap); callers
+/// presenting to humans typically print the first few plus a count.
+#[derive(Debug, Default)]
+pub struct TraceLinter {
+    violations: Vec<Violation>,
+    last_key: Option<(Time, u64, ppa_trace::ProcessorId)>,
+    procs: Vec<ProcLint>,
+    seqs: Vec<u64>,
+    advanced: HashSet<(SyncVarId, SyncTag)>,
+    /// Completed awaits whose advance had not appeared yet; re-checked
+    /// against the full advance set at [`finish`](Self::finish).
+    unmatched_awaits: Vec<(SyncVarId, SyncTag, u64)>,
+}
+
+impl TraceLinter {
+    /// Creates an empty linter.
+    pub fn new() -> Self {
+        TraceLinter::default()
+    }
+
+    /// Feeds the next event in stream order.
+    pub fn push(&mut self, e: &Event) {
+        let key = e.order_key();
+        if let Some(last) = self.last_key {
+            if last > key {
+                self.violations.push(Violation::new(
+                    "trace-total-order",
+                    format!(
+                        "event {e} orders before its predecessor (time, seq, proc) = ({}, {}, {})",
+                        last.0, last.1, last.2
+                    ),
+                ));
+            }
+        }
+        self.last_key = Some(key);
+        self.seqs.push(e.seq);
+
+        let pi = e.proc.index();
+        if pi >= self.procs.len() {
+            self.procs.resize_with(pi + 1, ProcLint::default);
+        }
+        let p = &mut self.procs[pi];
+        if let Some(last) = p.last_time {
+            if e.time < last {
+                self.violations.push(Violation::new(
+                    "proc-time-monotone",
+                    format!("event {e} moves {} backwards from {last}", e.proc),
+                ));
+            }
+        }
+        p.last_time = Some(e.time);
+
+        match e.kind {
+            EventKind::Advance { var, tag } => {
+                self.advanced.insert((var, tag));
+            }
+            EventKind::AwaitBegin { var, tag } => {
+                if let Some((v, t, seq)) = p.pending_await {
+                    self.violations.push(Violation::new(
+                        "await-pairing",
+                        format!("event {e} opens an await while awaitB({v},{t}) (seq {seq}) is still open on {}", e.proc),
+                    ));
+                }
+                p.pending_await = Some((var, tag, e.seq));
+            }
+            EventKind::AwaitEnd { var, tag } => {
+                match p.pending_await.take() {
+                    Some((v, t, _)) if v == var && t == tag => {}
+                    Some((v, t, seq)) => {
+                        self.violations.push(Violation::new(
+                            "await-pairing",
+                            format!("event {e} closes awaitB({v},{t}) (seq {seq}) with a different (var, tag)"),
+                        ));
+                    }
+                    None => {
+                        self.violations.push(Violation::new(
+                            "await-pairing",
+                            format!("event {e} has no open awaitB on {}", e.proc),
+                        ));
+                    }
+                }
+                if !tag.is_pre_advanced() && !self.advanced.contains(&(var, tag)) {
+                    self.unmatched_awaits.push((var, tag, e.seq));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes the stream and returns every violation found, in
+    /// encounter order (end-of-stream rules last).
+    pub fn finish(mut self) -> Vec<Violation> {
+        for (v, t, seq) in &self.unmatched_awaits {
+            if !self.advanced.contains(&(*v, *t)) {
+                self.violations.push(Violation::new(
+                    "await-advance-order",
+                    format!(
+                        "awaitE({v},{t}) (seq {seq}) has no matching advance anywhere in the trace"
+                    ),
+                ));
+            }
+        }
+        for (pi, p) in self.procs.iter().enumerate() {
+            if let Some((v, t, seq)) = p.pending_await {
+                self.violations.push(Violation::new(
+                    "await-pairing",
+                    format!("awaitB({v},{t}) (seq {seq}) on p{pi} never closed"),
+                ));
+            }
+        }
+        // Contiguity is a multiset property, so it is checked once at the
+        // end: sorted, the sequence numbers must form one run without
+        // holes or duplicates. (Clarity over cleverness — the sort costs
+        // O(n log n) once, not per event.)
+        self.seqs.sort_unstable();
+        for w in self.seqs.windows(2) {
+            if w[1] != w[0] + 1 {
+                let kind = if w[1] == w[0] { "duplicate" } else { "hole" };
+                self.violations.push(Violation::new(
+                    "seq-contiguity",
+                    format!(
+                        "sequence numbers have a {kind} between {} and {}",
+                        w[0], w[1]
+                    ),
+                ));
+            }
+        }
+        self.violations
+    }
+}

@@ -1,0 +1,75 @@
+//! Clamp accounting cross-check against an exported metrics snapshot.
+
+use crate::Violation;
+
+/// Checks a metrics snapshot (Prometheus text or the JSON exporter
+/// format, auto-detected) for unaccounted-for approximation clamps.
+///
+/// A nonzero `ppa_core_clamped_approx_total` means the §4.2.3 value
+/// rules hit at least one event whose instrumentation overhead exceeded
+/// the measured inter-event delta — the correction was clamped, so the
+/// report is not a pure application of the perturbation model there.
+/// Rule: `unaccounted-clamp`.
+///
+/// Returns an `Err` with a description when the snapshot cannot be
+/// parsed at all.
+pub fn check_metrics(snapshot: &str) -> Result<Vec<Violation>, String> {
+    let clamped = if snapshot.trim_start().starts_with('{') {
+        clamped_from_json(snapshot)?
+    } else {
+        clamped_from_prom(snapshot)?
+    };
+    let mut violations = Vec::new();
+    if clamped > 0 {
+        violations.push(Violation::new(
+            "unaccounted-clamp",
+            format!(
+                "ppa_core_clamped_approx_total = {clamped}: the analyzer clamped \
+                 {clamped} approximated time(s); overheads exceed the measured \
+                 inter-event spacing somewhere, so the report is not fully \
+                 explained by the §4.2.3 model"
+            ),
+        ));
+    }
+    Ok(violations)
+}
+
+const CLAMP_METRIC: &str = "ppa_core_clamped_approx_total";
+
+fn clamped_from_json(snapshot: &str) -> Result<u64, String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(snapshot).map_err(|e| format!("metrics JSON: {e}"))?;
+    let metrics = doc["metrics"]
+        .as_array()
+        .ok_or_else(|| "metrics JSON: no \"metrics\" array".to_string())?;
+    Ok(metrics
+        .iter()
+        .filter(|m| m["name"].as_str() == Some(CLAMP_METRIC))
+        .filter_map(|m| m["value"].as_u64())
+        .sum())
+}
+
+fn clamped_from_prom(snapshot: &str) -> Result<u64, String> {
+    let mut total = 0u64;
+    let mut sample_lines = 0usize;
+    for line in snapshot.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        sample_lines += 1;
+        let Some((name_part, value_part)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let name = name_part.split('{').next().unwrap_or(name_part);
+        if name == CLAMP_METRIC {
+            total += value_part
+                .parse::<u64>()
+                .map_err(|e| format!("metrics prom: bad value for {CLAMP_METRIC}: {e}"))?;
+        }
+    }
+    if sample_lines == 0 {
+        return Err("metrics prom: no sample lines".to_string());
+    }
+    Ok(total)
+}

@@ -1,0 +1,170 @@
+//! §4.2.3 conservation laws on analyzer output.
+//!
+//! The event-based approximation is only *conservative* if the
+//! approximated times preserve the measured partial order of dependent
+//! synchronization events. These rules verify exactly that on an
+//! approximated trace, independently of the analyzer that produced it.
+
+use crate::Violation;
+use ppa_trace::{Event, EventKind, SyncTag, SyncVarId, Time};
+use std::collections::HashMap;
+
+/// Per-processor report state.
+#[derive(Debug, Clone, Default)]
+struct ProcReport {
+    last_ta: Option<Time>,
+    /// The open `awaitB` (var, tag, ta) awaiting its `awaitE`.
+    pending_await: Option<(SyncVarId, SyncTag, Time)>,
+}
+
+/// One barrier's open episode: enters accumulate, then exits drain; the
+/// episode closes when exits match enters.
+#[derive(Debug, Clone, Copy, Default)]
+struct BarrierEpisode {
+    enters: usize,
+    exits: usize,
+    max_enter_ta: Time,
+}
+
+/// Streaming checker for the §4.2.3 conservation laws on an
+/// approximated trace.
+///
+/// Feed events in stream order with [`push`](Self::push), then collect
+/// the verdict with [`finish`](Self::finish). Rules checked:
+///
+/// | rule | invariant (§4.2.3) |
+/// |---|---|
+/// | `report-ta-monotone` | approximated times never decrease on one processor |
+/// | `await-begin-before-end` | `ta(awaitE) ≥ ta(awaitB)` for each await |
+/// | `await-order-preserved` | `ta(awaitE) ≥ ta(advance)` for the dependent advance — the measured partial order survives approximation (both Figure 2 branches add a non-negative `s_nowait`/`s_wait`) |
+/// | `barrier-exit-order` | every barrier exit's ta is at least the episode's latest enter ta |
+/// | `barrier-protocol` | enters and exits alternate in whole episodes (no exit without an enter, no enter inside an exit drain) |
+///
+/// Pre-advanced (negative) tags have no `advance` by construction and
+/// are exempt from `await-order-preserved`.
+#[derive(Debug, Default)]
+pub struct ReportChecker {
+    violations: Vec<Violation>,
+    procs: Vec<ProcReport>,
+    advances: HashMap<(SyncVarId, SyncTag), Time>,
+    barriers: HashMap<ppa_trace::BarrierId, BarrierEpisode>,
+}
+
+impl ReportChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        ReportChecker::default()
+    }
+
+    /// Feeds the next approximated event in stream order.
+    pub fn push(&mut self, e: &Event) {
+        let pi = e.proc.index();
+        if pi >= self.procs.len() {
+            self.procs.resize_with(pi + 1, ProcReport::default);
+        }
+        let p = &mut self.procs[pi];
+        if let Some(last) = p.last_ta {
+            if e.time < last {
+                self.violations.push(Violation::new(
+                    "report-ta-monotone",
+                    format!("event {e} moves {} backwards from {last}", e.proc),
+                ));
+            }
+        }
+        p.last_ta = Some(e.time);
+
+        match e.kind {
+            EventKind::Advance { var, tag } => {
+                self.advances.insert((var, tag), e.time);
+            }
+            EventKind::AwaitBegin { var, tag } => {
+                p.pending_await = Some((var, tag, e.time));
+            }
+            EventKind::AwaitEnd { var, tag } => {
+                if let Some((v, t, begin_ta)) = p.pending_await.take() {
+                    if (v, t) == (var, tag) && e.time < begin_ta {
+                        self.violations.push(Violation::new(
+                            "await-begin-before-end",
+                            format!("event {e} ends before its awaitB at {begin_ta}"),
+                        ));
+                    }
+                }
+                if !tag.is_pre_advanced() {
+                    match self.advances.get(&(var, tag)) {
+                        Some(&adv_ta) if e.time >= adv_ta => {}
+                        Some(&adv_ta) => {
+                            self.violations.push(Violation::new(
+                                "await-order-preserved",
+                                format!(
+                                    "event {e} precedes its advance({var},{tag}) at {adv_ta}; \
+                                     the measured dependence order was lost"
+                                ),
+                            ));
+                        }
+                        None => {
+                            self.violations.push(Violation::new(
+                                "await-order-preserved",
+                                format!(
+                                    "event {e} has no advance({var},{tag}) earlier in the report"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            EventKind::BarrierEnter { barrier } => {
+                let ep = self.barriers.entry(barrier).or_default();
+                if ep.exits > 0 {
+                    self.violations.push(Violation::new(
+                        "barrier-protocol",
+                        format!("event {e} enters {barrier} while its episode is still exiting"),
+                    ));
+                }
+                ep.enters += 1;
+                ep.max_enter_ta = ep.max_enter_ta.max(e.time);
+            }
+            EventKind::BarrierExit { barrier } => {
+                // Deliberately no `or_default()`: an exit without an open
+                // episode is its own violation, not a new (phantom) episode
+                // that `finish` would report a second time as left open.
+                let Some(ep) = self.barriers.get_mut(&barrier) else {
+                    self.violations.push(Violation::new(
+                        "barrier-protocol",
+                        format!("event {e} exits {barrier} with no open episode"),
+                    ));
+                    return;
+                };
+                if e.time < ep.max_enter_ta {
+                    self.violations.push(Violation::new(
+                        "barrier-exit-order",
+                        format!(
+                            "event {e} exits before the episode's latest enter at {}",
+                            ep.max_enter_ta
+                        ),
+                    ));
+                }
+                ep.exits += 1;
+                if ep.exits == ep.enters {
+                    self.barriers.remove(&barrier);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes the stream and returns every violation found.
+    pub fn finish(mut self) -> Vec<Violation> {
+        let mut open: Vec<_> = self.barriers.iter().collect();
+        open.sort_by_key(|(b, _)| **b);
+        for (barrier, ep) in open {
+            self.violations.push(Violation::new(
+                "barrier-protocol",
+                format!(
+                    "{barrier} episode left open at end of report ({} enters, {} exits)",
+                    ep.enters, ep.exits
+                ),
+            ));
+        }
+        self.violations
+    }
+}

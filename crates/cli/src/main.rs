@@ -186,10 +186,11 @@ fn real_main() -> Result<(), CliError> {
         }
         "analyze" => run_analyze(&args[1..])?,
         "convert" => run_convert(&args[1..])?,
+        "check" => run_check(&args[1..])?,
         "help" | "--help" | "-h" => {
             println!(
                 "subcommands: all fig1 table1 table2 table3 fig4 fig5 ablation native \
-                 intrusion accuracy analyze convert"
+                 intrusion accuracy analyze convert check"
             );
             println!(
                 "analyze: ppa analyze <measured.{{jsonl|bin}}> [--stream] [--out approx] \
@@ -204,6 +205,14 @@ fn real_main() -> Result<(), CliError> {
             );
             println!(
                 "convert: ppa convert <in> <out> --to <bin|jsonl> [--block-events N] [--force]"
+            );
+            println!(
+                "check:   ppa check <trace-or-report.{{jsonl|bin}}> [--metrics snap.{{prom|json}}] \
+                 [--metrics-out snap.prom [--metrics-format prom|json]]"
+            );
+            println!(
+                "         ppa check --differential [--seed N] [--programs N] [--workers N] \
+                 [--out-dir DIR]"
             );
             println!("exit codes: 64 usage, 65 bad data, 66 missing input, 74 output I/O");
         }
@@ -932,7 +941,15 @@ fn stream_analyze(
         None => EventBasedAnalyzer::with_probes(overheads, analyzer_probes),
     };
     let mut reorder = match &resumed {
-        Some(cp) => cp.reorder.as_ref().map(ReorderBuffer::restore),
+        // A checkpoint written without --reorder-window carries no buffer
+        // snapshot; fall back to a fresh buffer so the flag is honored on
+        // resume too (fresh is safe: no order has been released yet from
+        // its point of view, and the analyzer still enforces total order).
+        Some(cp) => cp
+            .reorder
+            .as_ref()
+            .map(ReorderBuffer::restore)
+            .or_else(|| faults.reorder_window.map(ReorderBuffer::new)),
         None => faults.reorder_window.map(ReorderBuffer::new),
     };
     let mut sink = AnalyzeSink {
@@ -1111,6 +1128,13 @@ fn stream_analyze(
         "peak resident state: {} events (parked {}, buffered {})",
         tail.stats.peak_resident, tail.stats.peak_parked, tail.stats.peak_buffered
     );
+    if tail.stats.clamped > 0 {
+        println!(
+            "clamped approximations: {} (overhead exceeded the measured \
+             inter-event delta; see ppa_core_clamped_approx_total)",
+            tail.stats.clamped
+        );
+    }
     let gap_count = prior_gaps.len() + reader.gaps().len();
     if gap_count > 0 {
         println!("decode gaps: {gap_count} gap(s), {events_lost} event(s) lost");
@@ -1259,6 +1283,181 @@ fn run_convert(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::Io(format!("{output}: {e}")))?;
     println!("converted {converted} events: {input} ({from}) -> {output} ({to})");
     Ok(())
+}
+
+const CHECK_USAGE: &str = "usage: ppa check <trace-or-report.{jsonl|bin}> \
+     [--metrics snap.{prom|json}] [--metrics-out snap.prom [--metrics-format prom|json]]\n\
+       ppa check --differential [--seed N] [--programs N] [--workers N] [--out-dir DIR]";
+
+/// How many violations `ppa check` prints in full before summarizing.
+const CHECK_PRINT_CAP: usize = 20;
+
+/// Validates a trace or report against the invariant rules, or runs the
+/// differential oracle (`--differential`). Any violation exits 65 with
+/// the rule named in the output; per-rule counts export as
+/// `ppa_check_violations_total` with `--metrics-out`.
+fn run_check(args: &[String]) -> Result<(), CliError> {
+    use ppa::check::{
+        check_metrics, export_violations, run_differential, DifferentialConfig, ReportChecker,
+        TraceLinter,
+    };
+    use ppa::obs::{json_text, prometheus_text, Registry};
+    use ppa::trace::{AnyTraceReader, TraceKind};
+    use std::io::BufReader;
+
+    let mut input: Option<&str> = None;
+    let mut metrics_in: Option<&str> = None;
+    let mut metrics_out: Option<&str> = None;
+    let mut metrics_format = MetricsFormat::Prom;
+    let mut differential = false;
+    let mut diff_cfg = DifferentialConfig::default();
+    let mut out_dir: Option<&str> = None;
+    let mut it = args.iter();
+    let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
+    let positive = |flag: &str, n: &str| {
+        n.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| CliError::Usage(format!("{flag} must be a positive integer, got {n:?}")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--differential" => differential = true,
+            "--seed" => {
+                let n = it.next().ok_or_else(|| missing("--seed"))?;
+                diff_cfg.seed = n.parse::<u64>().map_err(|_| {
+                    CliError::Usage(format!("--seed must be a non-negative integer, got {n:?}"))
+                })?;
+            }
+            "--programs" => {
+                diff_cfg.programs = positive(
+                    "--programs",
+                    it.next().ok_or_else(|| missing("--programs"))?,
+                )?;
+            }
+            "--workers" => {
+                diff_cfg.workers =
+                    positive("--workers", it.next().ok_or_else(|| missing("--workers"))?)?;
+            }
+            "--out-dir" => out_dir = Some(it.next().ok_or_else(|| missing("--out-dir"))?),
+            "--metrics" => metrics_in = Some(it.next().ok_or_else(|| missing("--metrics"))?),
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or_else(|| missing("--metrics-out"))?);
+            }
+            "--metrics-format" => {
+                metrics_format = match it
+                    .next()
+                    .ok_or_else(|| missing("--metrics-format"))?
+                    .as_str()
+                {
+                    "prom" => MetricsFormat::Prom,
+                    "json" => MetricsFormat::Json,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--metrics-format must be `prom` or `json`, got {other:?}"
+                        )));
+                    }
+                };
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag {flag:?}")));
+            }
+            path if input.is_none() => input = Some(path),
+            extra => return Err(CliError::Usage(format!("unexpected argument {extra:?}"))),
+        }
+    }
+
+    let violations;
+    let subject: String;
+    if differential {
+        if input.is_some() || metrics_in.is_some() {
+            return Err(CliError::Usage(
+                "--differential takes no trace argument (it generates its own programs)".into(),
+            ));
+        }
+        if let Some(dir) = out_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::Io(format!("cannot create {dir}: {e}")))?;
+        }
+        let report = run_differential(&diff_cfg, out_dir.map(Path::new)).map_err(CliError::Io)?;
+        println!(
+            "differential oracle: {} program(s), {} measured event(s), \
+             streaming vs reference vs sharded",
+            report.programs, report.events
+        );
+        violations = report.violations();
+        subject = format!("differential oracle (seed {})", diff_cfg.seed);
+    } else {
+        let Some(input) = input else {
+            return Err(CliError::Usage(CHECK_USAGE.into()));
+        };
+        if out_dir.is_some() {
+            return Err(CliError::Usage(
+                "--out-dir only applies with --differential".into(),
+            ));
+        }
+        let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
+        let reader = AnyTraceReader::open(BufReader::new(file))
+            .map_err(|e| CliError::from(e).prefixed(input))?;
+        let kind = reader.kind();
+        // Measured/actual traces get the structural lint; approximated
+        // reports additionally get the §4.2.3 conservation rules (they
+        // are still traces, so the structural rules apply to them too).
+        let mut linter = TraceLinter::new();
+        let mut report_pass = (kind == TraceKind::Approximated).then(ReportChecker::new);
+        let mut events = 0usize;
+        for item in reader {
+            let e = item.map_err(|err| CliError::from(err).prefixed(input))?;
+            linter.push(&e);
+            if let Some(r) = &mut report_pass {
+                r.push(&e);
+            }
+            events += 1;
+        }
+        let mut found = linter.finish();
+        if let Some(r) = report_pass {
+            found.extend(r.finish());
+        }
+        if let Some(mpath) = metrics_in {
+            let text = std::fs::read_to_string(mpath)
+                .map_err(|e| CliError::NoInput(format!("{mpath}: {e}")))?;
+            found.extend(check_metrics(&text).map_err(CliError::Data)?);
+        }
+        let pass = match kind {
+            TraceKind::Approximated => "lint + report invariants",
+            TraceKind::Measured | TraceKind::Actual => "lint",
+        };
+        println!("checked {input}: {events} event(s), {pass} pass");
+        violations = found;
+        subject = input.to_string();
+    }
+
+    if let Some(path) = metrics_out {
+        let registry = Registry::new();
+        export_violations(&registry, &violations);
+        let snap = registry.snapshot();
+        let text = match metrics_format {
+            MetricsFormat::Prom => prometheus_text(&snap),
+            MetricsFormat::Json => json_text(&snap),
+        };
+        std::fs::write(path, text).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        println!("metrics snapshot written to {path}");
+    }
+
+    if violations.is_empty() {
+        println!("OK: no invariant violations");
+        return Ok(());
+    }
+    for v in violations.iter().take(CHECK_PRINT_CAP) {
+        println!("violation {v}");
+    }
+    if violations.len() > CHECK_PRINT_CAP {
+        println!("... and {} more", violations.len() - CHECK_PRINT_CAP);
+    }
+    Err(CliError::Data(format!(
+        "{subject}: {} invariant violation(s)",
+        violations.len()
+    )))
 }
 
 impl CliError {

@@ -348,6 +348,150 @@ fn fault_flags_map_misuse_onto_exit_64() {
 }
 
 #[test]
+fn degenerate_flag_values_are_usage_errors() {
+    // `--checkpoint-every 0` would mean "never checkpoint" at best and
+    // a divide-by-zero cadence at worst; it must be exit 64, not a
+    // silently accepted u64.
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            "t.jsonl",
+            "--stream",
+            "--checkpoint",
+            "c.ckpt",
+            "--checkpoint-every",
+            "0",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(64), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--checkpoint-every"), "stderr: {stderr}");
+
+    // Same for `--block-events 0`: a binary writer cannot frame
+    // zero-event blocks.
+    let out = ppa_cmd(
+        "convert",
+        &["t.jsonl", "t.bin", "--to", "bin", "--block-events", "0"],
+    );
+    assert_eq!(out.status.code(), Some(64), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--block-events"), "stderr: {stderr}");
+}
+
+/// The three fault-tolerance flags together: a corrupted, shuffled
+/// binary trace analyzed under `--lenient --reorder-window`, killed
+/// mid-run at the first checkpoint, and resumed with the same flags
+/// must converge to the report of the uninterrupted run — which means
+/// the reorder buffer's in-flight events and the gap accounting both
+/// survive the checkpoint round-trip.
+#[test]
+fn kill_and_resume_with_lenient_and_reorder_window_is_byte_identical() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "trifecta_measured.jsonl", 512);
+
+    // Shuffle: swap two adjacent event lines in the first quarter, so
+    // the disorder lands before the first checkpoint cadence boundary
+    // and the reorder buffer is non-trivially exercised early.
+    let text = fs::read_to_string(&input).expect("read measured");
+    let mut lines: Vec<&str> = text.lines().collect();
+    let k = lines.len() / 4;
+    lines.swap(k, k + 1);
+    let shuffled = dir.join("trifecta_shuffled.jsonl");
+    fs::write(&shuffled, lines.join("\n") + "\n").expect("write shuffled");
+
+    // Binary, small blocks; then corrupt one payload byte at ~3/4 of
+    // the file so the damaged block is far from the shuffled region.
+    let bin = dir.join("trifecta.bin");
+    to_bin(&shuffled, &bin, "64");
+    let mut bytes = fs::read(&bin).expect("read bin");
+    let at = bytes.len() * 3 / 4;
+    bytes[at] ^= 0xff;
+    let corrupt = dir.join("trifecta_corrupt.bin");
+    fs::write(&corrupt, &bytes).expect("write corrupt bin");
+
+    let fault_flags = ["--lenient", "--reorder-window", "8"];
+
+    // The uninterrupted reference run under the same fault flags.
+    let reference = dir.join("trifecta_reference.jsonl");
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            &[
+                corrupt.to_str().unwrap(),
+                "--stream",
+                "--out",
+                reference.to_str().unwrap(),
+            ],
+            &fault_flags[..],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    // Checkpointed run, killed as soon as the first checkpoint lands.
+    let report = dir.join("trifecta_report.jsonl");
+    let ckpt = dir.join("trifecta_state.ckpt");
+    fs::remove_file(&ckpt).ok();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ppa"))
+        .args([
+            "analyze",
+            corrupt.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "64",
+        ])
+        .args(fault_flags)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointed analyze");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !ckpt.exists() {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            assert!(
+                ckpt.exists(),
+                "child exited ({status:?}) without writing a checkpoint"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no checkpoint within 30s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    child.kill().ok(); // SIGKILL — no flush, no atexit
+    child.wait().expect("reap child");
+
+    // Resume with all three flags still in force.
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            &[
+                corrupt.to_str().unwrap(),
+                "--stream",
+                "--out",
+                report.to_str().unwrap(),
+                "--resume",
+                ckpt.to_str().unwrap(),
+            ],
+            &fault_flags[..],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "{:?}", out);
+    assert_eq!(
+        fs::read(&report).unwrap(),
+        fs::read(&reference).unwrap(),
+        "resumed lenient+reorder report differs from the uninterrupted one"
+    );
+}
+
+#[test]
 fn resume_rejects_missing_and_corrupt_checkpoints() {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
     let input = measured_jsonl(&dir, "ckerr_measured.jsonl", 16);

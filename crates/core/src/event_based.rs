@@ -809,6 +809,90 @@ mod tests {
         ));
     }
 
+    /// Regression: overheads larger than the measured inter-event deltas
+    /// used to clamp the §4.2.3 corrections silently. The clamps still
+    /// happen (the approximation must stay locally non-decreasing) but
+    /// are now counted, and streaming stays identical to the reference.
+    #[test]
+    fn oversized_overhead_clamps_are_counted_not_silent() {
+        // Every inter-event delta is 100 ns; every overhead is 1000 ns.
+        // Proc 0 exercises the origin rule, the fast path, and the
+        // general chain rule (advance); proc 1 the await machinery.
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(100)
+            .stmt(0)
+            .at(200)
+            .stmt(1)
+            .at(300)
+            .advance(0, 0)
+            .on(1)
+            .at(150)
+            .await_begin(0, 0)
+            .at(400)
+            .await_end(0, 0)
+            .build();
+        let oh = spec(1000, 1000, 1000, 1000, 5, 10);
+
+        let mut analyzer = EventBasedAnalyzer::new(&oh);
+        for e in t.iter() {
+            analyzer.push(*e).unwrap();
+        }
+        let tail = analyzer.finish().unwrap();
+        assert!(
+            tail.stats.clamped >= 4,
+            "expected every underflowing correction counted, got {}",
+            tail.stats.clamped
+        );
+
+        // The clamps are semantics, not a bug: streaming, the wrapper,
+        // and the batch reference all agree on the clamped values.
+        let streamed = event_based(&t, &oh).unwrap();
+        let reference = event_based_reference(&t, &oh).unwrap();
+        assert_eq!(streamed, reference);
+        // And the clamped chain really did hold at its basis.
+        assert!(streamed
+            .trace
+            .iter()
+            .all(|e| e.time <= Time::from_nanos(10)));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn clamp_counter_exports_through_obs() {
+        use crate::streaming::AnalyzerProbes;
+        use ppa_obs::Registry;
+
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(100)
+            .stmt(0)
+            .at(200)
+            .stmt(1)
+            .build();
+        let oh = spec(1000, 0, 0, 0, 0, 0);
+        let registry = Registry::new();
+        let mut analyzer =
+            EventBasedAnalyzer::with_probes(&oh, AnalyzerProbes::register(&registry));
+        for e in t.iter() {
+            analyzer.push(*e).unwrap();
+        }
+        let tail = analyzer.finish().unwrap();
+        let exported = registry
+            .snapshot()
+            .entries
+            .iter()
+            .find_map(
+                |m| match (m.name == "ppa_core_clamped_approx_total", &m.value) {
+                    (true, ppa_obs::MetricValue::Counter(c)) => Some(*c),
+                    _ => None,
+                },
+            )
+            .expect("clamp counter registered");
+        assert_eq!(exported, tail.stats.clamped as u64);
+        assert!(exported >= 2, "both underflowing statements counted");
+    }
+
     #[test]
     fn per_proc_wait_accessors() {
         let t = TraceBuilder::measured()

@@ -80,6 +80,9 @@ pub struct AnalyzerProbes {
     pub resident_events: Gauge,
     /// Barrier episodes currently open (`ppa_open_sync_episodes`).
     pub open_sync_episodes: Gauge,
+    /// Approximated-time computations clamped at an underflow on the
+    /// §4.2.3 hot path (`ppa_core_clamped_approx_total`).
+    pub clamped_approx: Counter,
 }
 
 impl AnalyzerProbes {
@@ -110,6 +113,12 @@ impl AnalyzerProbes {
             open_sync_episodes: registry.gauge(
                 "ppa_open_sync_episodes",
                 "Barrier episodes currently open in the streaming analyzer.",
+            ),
+            clamped_approx: registry.counter(
+                "ppa_core_clamped_approx_total",
+                "Approximated-time clamps on the §4.2.3 hot path (an instrumentation \
+                 overhead exceeded the inter-event delta, so the would-be-negative \
+                 correction was clamped to zero).",
             ),
         }
     }
@@ -222,6 +231,14 @@ pub struct StreamStats {
     /// quantity the streaming engine bounds; compare it to `events` to see
     /// the saving over batch analysis.
     pub peak_resident: usize,
+    /// §4.2.3 value computations whose overhead correction exceeded the
+    /// available delta and was clamped to keep the approximated time
+    /// non-negative (locally non-decreasing). A nonzero count means the
+    /// instrumentation overhead model overstates at least one event's
+    /// cost relative to the measured inter-event spacing — the
+    /// "instrumentation uncertainty" Malony warns about — and the
+    /// approximation is correspondingly less trustworthy there.
+    pub clamped: usize,
 }
 
 /// Everything the analyzer still owes its caller after the last push.
@@ -605,10 +622,17 @@ impl EventBasedAnalyzer {
                 };
                 if let Some((b_tm, b_ta)) = basis {
                     let oh = self.oh.instr_overhead(&event.kind);
-                    let value = b_ta + event.time.saturating_since(b_tm).saturating_sub(oh);
+                    // The total-order check above guarantees the basis is
+                    // not in the future; only the overhead can underflow.
+                    debug_assert!(event.time >= b_tm, "basis precedes the event");
+                    let delta = event.time.saturating_since(b_tm);
+                    let value = b_ta + delta.saturating_sub(oh);
                     s.last_id = idx;
                     s.last_tm = event.time;
                     s.last_ta = Some(value);
+                    if oh > delta {
+                        self.note_clamp();
+                    }
                     self.buffer.push(Reverse(EmitEntry {
                         event: Event {
                             time: value,
@@ -822,6 +846,17 @@ impl EventBasedAnalyzer {
     /// Current resource counters.
     pub fn stats(&self) -> StreamStats {
         self.stats
+    }
+
+    /// Records one §4.2.3 underflow clamp: the overhead correction
+    /// exceeded the measured delta, so the value rule held the
+    /// approximated time at its basis instead of going negative. Counted
+    /// (never silent) so downstream validation can distinguish a clean
+    /// approximation from one that absorbed instrumentation uncertainty.
+    #[inline]
+    fn note_clamp(&mut self) {
+        self.stats.clamped += 1;
+        self.probes.clamped_approx.inc();
     }
 
     /// Ends the stream: reports the deferred validation verdict and, on
@@ -1219,6 +1254,9 @@ impl EventBasedAnalyzer {
                 None => {
                     // Origin rule: resolves immediately.
                     let oh = self.oh.instr_overhead(&event.kind);
+                    if event.time.checked_sub_span(oh).is_none() {
+                        self.note_clamp();
+                    }
                     let value = event.time.saturating_sub_span(oh);
                     self.finish_resolution(event, idx, value, &mut queue);
                     self.run_queue(&mut queue);
@@ -1350,12 +1388,18 @@ impl EventBasedAnalyzer {
     }
 
     /// Applies the §4.2.3 value rules.
-    fn compute_value(&self, event: &Event, rule: &Rule) -> Time {
+    fn compute_value(&mut self, event: &Event, rule: &Rule) -> Time {
         match rule {
             Rule::Chain { basis_tm, basis_ta } => {
                 let tb = basis_ta.expect("basis resolved first");
                 let oh = self.oh.instr_overhead(&event.kind);
+                // The basis is an earlier event of the total order, so the
+                // delta itself cannot underflow — only the overhead can.
+                debug_assert!(event.time >= *basis_tm, "basis precedes the event");
                 let delta = event.time.saturating_since(*basis_tm);
+                if oh > delta {
+                    self.note_clamp();
+                }
                 tb + delta.saturating_sub(oh)
             }
             Rule::AwaitEnd { begin_ta, adv } => {
@@ -1542,6 +1586,15 @@ impl EventBasedAnalyzer {
 
     /// A lower bound on the approximated time of every event that has not
     /// yet been emitted — the buffered ones excepted.
+    ///
+    /// The saturating arithmetic here is *not* a silent clamp of a §4.2.3
+    /// value (those are counted via [`note_clamp`](Self::note_clamp)): a
+    /// future event chaining from a frontier will itself clamp at the
+    /// basis when `max_instr_oh` exceeds its delta, so
+    /// `ta + max(0, gained - max_instr_oh)` is the exact lower bound of
+    /// the clamped value rule, and the origin floor saturates at
+    /// [`Time::ZERO`] exactly as the origin rule does. Counting these
+    /// would fire on nearly every drain and drown the real signal.
     fn watermark(&self) -> Time {
         // Unseen processors start at the origin rule's floor.
         let mut wm = self.last_tm.saturating_sub_span(self.max_instr_oh);

@@ -13,6 +13,7 @@
 //! - [`native`] — real-thread traced execution backend;
 //! - [`lfk`] — the Livermore loops (numeric + statement-graph forms);
 //! - [`analysis`] — time-based and event-based perturbation analysis;
+//! - [`check`] — trace/report invariant checker and differential oracle;
 //! - [`metrics`] — ratios, waiting tables, timelines, parallelism;
 //! - [`obs`] — self-observability: pipeline metrics, span timers,
 //!   Prometheus/JSON export, self-overhead calibration;
@@ -50,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub use ppa_check as check;
 pub use ppa_core as analysis;
 pub use ppa_lfk as lfk;
 pub use ppa_metrics as metrics;

@@ -262,6 +262,11 @@ pub struct BinaryBlockReader<R: Read> {
     index: usize,
     min_time: Option<Time>,
     skipped_blocks: usize,
+    /// Events inside blocks the skip index discarded. These are in
+    /// `seen` (the blocks were fully read) but are neither delivered
+    /// nor lost, so lenient accounting must treat them as a third
+    /// bucket: `delivered + lost + skipped == expected`.
+    skipped_events: u64,
     done: bool,
     /// Record damaged regions as gaps instead of failing; see
     /// [`BinaryBlockReader::set_lenient`].
@@ -317,6 +322,7 @@ impl<R: Read> BinaryBlockReader<R> {
             index: 0,
             min_time: None,
             skipped_blocks: 0,
+            skipped_events: 0,
             done: false,
             lenient: false,
             skip_events: 0,
@@ -342,6 +348,13 @@ impl<R: Read> BinaryBlockReader<R> {
     /// (their events still count toward truncation accounting). The
     /// first surviving block may begin before `t`; callers wanting an
     /// exact bound filter the leading events themselves.
+    ///
+    /// Skipped events are accounted separately from lenient-mode
+    /// losses — a skipped block is never CRC-checked, so damage inside
+    /// it is invisible and must not surface as a [`TraceGap`]. With
+    /// skipping active the conservation law is
+    /// `delivered + events_lost() + skipped_events() == expected`
+    /// (for a stream that is not itself truncated).
     pub fn set_min_time(&mut self, t: Time) {
         self.min_time = Some(t);
     }
@@ -349,6 +362,17 @@ impl<R: Read> BinaryBlockReader<R> {
     /// How many blocks the skip index has discarded so far.
     pub fn skipped_blocks(&self) -> usize {
         self.skipped_blocks
+    }
+
+    /// How many events were inside the blocks the skip index discarded.
+    /// These are neither delivered nor counted in [`events_lost`]; they
+    /// are the third bucket of the conservation law documented on
+    /// [`set_min_time`].
+    ///
+    /// [`events_lost`]: BinaryBlockReader::events_lost
+    /// [`set_min_time`]: BinaryBlockReader::set_min_time
+    pub fn skipped_events(&self) -> u64 {
+        self.skipped_events
     }
 
     /// Switches the reader into lenient mode.
@@ -539,6 +563,10 @@ impl<R: Read> BinaryBlockReader<R> {
             if let Some(min) = self.min_time {
                 if frame.summary.last_time < min {
                     self.skipped_blocks += 1;
+                    // Counted here, not as a gap: the payload was never
+                    // CRC-checked, so any damage inside it is invisible
+                    // and must not be mistaken for a lenient loss.
+                    self.skipped_events += count as u64;
                     continue;
                 }
             }
@@ -607,6 +635,12 @@ impl<R: Read> BinaryTraceReader<R> {
     /// How many blocks the skip index has discarded so far.
     pub fn skipped_blocks(&self) -> usize {
         self.blocks.skipped_blocks()
+    }
+
+    /// How many events were inside the skipped blocks; see
+    /// [`BinaryBlockReader::skipped_events`].
+    pub fn skipped_events(&self) -> u64 {
+        self.blocks.skipped_events()
     }
 
     /// Switches the reader into lenient mode: CRC-failed or malformed

@@ -748,6 +748,66 @@ mod tests {
     }
 
     #[test]
+    fn skip_index_never_double_counts_in_lenient_gap_accounting() {
+        // A corrupted block that the time-bound skip index discards must
+        // not surface as a lenient gap (its payload is never CRC-checked)
+        // and its events must land in exactly one accounting bucket:
+        // delivered + lost + skipped == expected.
+        let (t, buf) = blocky(64, 8); // times 0, 10, ..., 5110
+        let header = 18;
+        let frame = 44;
+        let payload_len = |buf: &[u8], at: usize| {
+            u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize
+        };
+        let block_start = |buf: &[u8], index: usize| {
+            let mut at = header;
+            for _ in 0..index {
+                at += frame + payload_len(buf, at);
+            }
+            at
+        };
+
+        // Case 1: the corruption sits inside block 2 (times 640..1270),
+        // entirely before the bound — skipped, so invisible by design.
+        let bound = Time::from_nanos(3000);
+        let mut wrecked = buf.clone();
+        let b2 = block_start(&wrecked, 1);
+        wrecked[b2 + frame + 10] ^= 0xff;
+        let mut r = BinaryTraceReader::new(wrecked.as_slice()).unwrap();
+        r.set_lenient(true);
+        r.set_min_time(bound);
+        let events: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+        assert!(r.gaps().is_empty(), "skipped damage must not be a gap");
+        assert_eq!(r.events_lost(), 0);
+        assert_eq!(r.skipped_blocks(), 4);
+        assert_eq!(r.skipped_events(), 256);
+        assert_eq!(
+            events.len() as u64 + r.events_lost() + r.skipped_events(),
+            t.len() as u64,
+            "delivered + lost + skipped == expected"
+        );
+
+        // Case 2: corruption after the bound still records its gap —
+        // exactly once — and the conservation law keeps holding.
+        let mut wrecked = buf.clone();
+        let b6 = block_start(&wrecked, 5); // times 3200..3830, past bound
+        wrecked[b6 + frame + 10] ^= 0xff;
+        let mut r = BinaryTraceReader::new(wrecked.as_slice()).unwrap();
+        r.set_lenient(true);
+        r.set_min_time(bound);
+        let events: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+        assert_eq!(r.gaps().len(), 1);
+        assert_eq!(r.gaps()[0].block, 6);
+        assert_eq!(r.events_lost(), 64);
+        assert_eq!(r.skipped_events(), 256);
+        assert_eq!(
+            events.len() as u64 + r.events_lost() + r.skipped_events(),
+            t.len() as u64,
+            "delivered + lost + skipped == expected"
+        );
+    }
+
+    #[test]
     fn skip_events_seeks_to_the_same_suffix_in_every_reader() {
         let (t, bin) = blocky(64, 4);
         let mut jl = Vec::new();
