@@ -27,7 +27,8 @@
 //! [`ppa::analysis::EventBasedAnalyzer`] → chunked writer, decoding
 //! binary input blocks on worker threads. Add
 //! `--metrics-out snap.prom [--metrics-format prom|json]` to export a
-//! pipeline-metrics snapshot and `--progress` for a stderr ticker.
+//! pipeline-metrics snapshot and `--progress` for a stderr ticker (shown
+//! only when stderr is a terminal; `--progress=force` overrides).
 //!
 //! The streaming pipeline is fault-tolerant on demand: `--lenient`
 //! skips undecodable input regions as typed gaps (every lost event is
@@ -42,6 +43,13 @@
 //! `convert` transcodes a trace between the two formats (the input
 //! format is auto-detected, `--to` names the output format); it refuses
 //! to overwrite an existing output unless `--force` is given.
+//!
+//! `serve` runs the multi-tenant streaming ingest daemon: many
+//! concurrent `(tenant, stream)` sessions over TCP and unix sockets,
+//! each one a checkpointed analyzer whose report survives eviction,
+//! SIGTERM, and even SIGKILL (see PROTOCOL.md for the wire format and
+//! OPERATIONS.md for running it). `send` is the matching uploader:
+//! `ppa send trace.bin --to 127.0.0.1:7223 --tenant acme --stream run1`.
 //!
 //! Failures exit with BSD-sysexits-style codes so scripts can
 //! distinguish them: 64 usage error, 65 malformed input data (parse
@@ -187,17 +195,20 @@ fn real_main() -> Result<(), CliError> {
         "analyze" => run_analyze(&args[1..])?,
         "convert" => run_convert(&args[1..])?,
         "check" => run_check(&args[1..])?,
+        "serve" => run_serve(&args[1..])?,
+        "send" => run_send(&args[1..])?,
         "help" | "--help" | "-h" => {
             println!(
                 "subcommands: all fig1 table1 table2 table3 fig4 fig5 ablation native \
-                 intrusion accuracy analyze convert check"
+                 intrusion accuracy analyze convert check serve send"
             );
             println!(
                 "analyze: ppa analyze <measured.{{jsonl|bin}}> [--stream] [--out approx] \
                  [--format bin|jsonl] [--overheads spec.json]"
             );
             println!(
-                "         [--metrics-out snap.prom] [--metrics-format prom|json] [--progress]"
+                "         [--metrics-out snap.prom] [--metrics-format prom|json] \
+                 [--progress[=force]]"
             );
             println!(
                 "         [--lenient] [--reorder-window N] \
@@ -213,6 +224,22 @@ fn real_main() -> Result<(), CliError> {
             println!(
                 "         ppa check --differential [--seed N] [--programs N] [--workers N] \
                  [--out-dir DIR]"
+            );
+            println!(
+                "serve:   ppa serve --checkpoint-dir DIR [--listen ADDR] [--unix-socket PATH] \
+                 [--metrics-listen ADDR]"
+            );
+            println!(
+                "         [--max-sessions N] [--tenant-max-sessions N] [--tenant-max-eps N] \
+                 [--tenant-max-resident-bytes N]"
+            );
+            println!(
+                "         [--checkpoint-every N] [--idle-timeout-ms N] [--lenient] \
+                 [--reorder-window N] [--overheads spec.json]"
+            );
+            println!(
+                "send:    ppa send <trace.{{jsonl|bin}}> (--to ADDR | --unix PATH) \
+                 --tenant T --stream S [--frame-bytes N]"
             );
             println!("exit codes: 64 usage, 65 bad data, 66 missing input, 74 output I/O");
         }
@@ -593,7 +620,7 @@ fn native() {
 
 const ANALYZE_USAGE: &str = "usage: ppa analyze <measured.{jsonl|bin}> [--stream] \
      [--out approx] [--format bin|jsonl] [--overheads spec.json] \
-     [--metrics-out snap.prom] [--metrics-format prom|json] [--progress] \
+     [--metrics-out snap.prom] [--metrics-format prom|json] [--progress[=force]] \
      [--lenient] [--reorder-window N] \
      [--checkpoint state.ckpt [--checkpoint-every N]] [--resume state.ckpt]";
 
@@ -663,7 +690,8 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
     let mut metrics_out: Option<&str> = None;
     let mut metrics_format = MetricsFormat::Prom;
     let mut stream = false;
-    let mut progress = false;
+    let mut progress_flag = false;
+    let mut progress_forced = false;
     let mut faults = FaultOptions {
         checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
         ..FaultOptions::default()
@@ -674,7 +702,11 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stream" => stream = true,
-            "--progress" => progress = true,
+            "--progress" => progress_flag = true,
+            "--progress=force" => {
+                progress_flag = true;
+                progress_forced = true;
+            }
             "--lenient" => faults.lenient = true,
             "--reorder-window" => {
                 let n = it.next().ok_or_else(|| missing("--reorder-window"))?;
@@ -736,7 +768,7 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
         }
     }
     let input = input.ok_or_else(|| CliError::Usage(ANALYZE_USAGE.into()))?;
-    if (metrics_out.is_some() || progress) && !stream {
+    if (metrics_out.is_some() || progress_flag) && !stream {
         return Err(CliError::Usage(
             "--metrics-out and --progress require --stream".into(),
         ));
@@ -780,6 +812,16 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
         }
         None => OverheadSpec::alliant_default(),
     };
+
+    // The ticker is for humans watching a terminal; when stderr is a
+    // pipe (CI logs, scripted captures) `--progress` stays silent so it
+    // cannot pollute machine-read output. `--progress=force` overrides
+    // the detection for the rare "tee the ticker to a file" case.
+    let progress = progress_flag
+        && (progress_forced || {
+            use std::io::IsTerminal;
+            std::io::stderr().is_terminal()
+        });
 
     if stream {
         stream_analyze(
@@ -1458,6 +1500,225 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
         "{subject}: {} invariant violation(s)",
         violations.len()
     )))
+}
+
+// --- serve / send ---
+
+const SERVE_USAGE: &str = "usage: ppa serve --checkpoint-dir DIR [--listen ADDR]... \
+                           [--unix-socket PATH] [--metrics-listen ADDR] \
+                           [--max-sessions N] [--tenant-max-sessions N] [--tenant-max-eps N] \
+                           [--tenant-max-resident-bytes N] [--checkpoint-every N] \
+                           [--idle-timeout-ms N] [--lenient] [--reorder-window N] \
+                           [--overheads spec.json]";
+
+const SEND_USAGE: &str = "usage: ppa send <trace.{jsonl|bin}> (--to ADDR | --unix PATH) \
+                          --tenant T --stream S [--frame-bytes N]";
+
+/// `ppa serve`: run the multi-tenant streaming ingest daemon until
+/// SIGTERM/SIGINT, checkpointing every live session on the way out.
+/// The wire protocol is specified in PROTOCOL.md; the operational
+/// lifecycle (eviction, resume, alerting) in OPERATIONS.md.
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    use ppa::server::{install_signal_handlers, Quotas, ServeConfig, Server};
+
+    let mut config = ServeConfig {
+        listen: Vec::new(),
+        quotas: Quotas::default(),
+        ..ServeConfig::default()
+    };
+    let mut checkpoint_dir: Option<&str> = None;
+    let mut overheads_path: Option<&str> = None;
+    let mut it = args.iter();
+    let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
+    let positive = |flag: &str, n: &str| {
+        n.parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| CliError::Usage(format!("{flag} must be a positive integer, got {n:?}")))
+    };
+    let nonneg = |flag: &str, n: &str| {
+        n.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!("{flag} must be a non-negative integer, got {n:?}"))
+        })
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(it.next().ok_or_else(|| missing("--checkpoint-dir"))?);
+            }
+            "--listen" => {
+                config
+                    .listen
+                    .push(it.next().ok_or_else(|| missing("--listen"))?.clone());
+            }
+            "--unix-socket" => {
+                config.unix_socket =
+                    Some(it.next().ok_or_else(|| missing("--unix-socket"))?.into());
+            }
+            "--metrics-listen" => {
+                config.metrics_listen = Some(
+                    it.next()
+                        .ok_or_else(|| missing("--metrics-listen"))?
+                        .clone(),
+                );
+            }
+            "--max-sessions" => {
+                let n = it.next().ok_or_else(|| missing("--max-sessions"))?;
+                config.quotas.max_sessions = nonneg("--max-sessions", n)? as usize;
+            }
+            "--tenant-max-sessions" => {
+                let n = it.next().ok_or_else(|| missing("--tenant-max-sessions"))?;
+                config.quotas.tenant_max_sessions = nonneg("--tenant-max-sessions", n)? as usize;
+            }
+            "--tenant-max-eps" => {
+                let n = it.next().ok_or_else(|| missing("--tenant-max-eps"))?;
+                config.quotas.tenant_max_eps = nonneg("--tenant-max-eps", n)?;
+            }
+            "--tenant-max-resident-bytes" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| missing("--tenant-max-resident-bytes"))?;
+                config.quotas.tenant_max_resident_bytes = nonneg("--tenant-max-resident-bytes", n)?;
+            }
+            "--checkpoint-every" => {
+                let n = it.next().ok_or_else(|| missing("--checkpoint-every"))?;
+                config.checkpoint_every = positive("--checkpoint-every", n)?;
+            }
+            "--idle-timeout-ms" => {
+                let n = it.next().ok_or_else(|| missing("--idle-timeout-ms"))?;
+                config.idle_timeout =
+                    std::time::Duration::from_millis(positive("--idle-timeout-ms", n)?);
+            }
+            "--lenient" => config.lenient = true,
+            "--reorder-window" => {
+                let n = it.next().ok_or_else(|| missing("--reorder-window"))?;
+                config.reorder_window = Some(nonneg("--reorder-window", n)?);
+            }
+            "--overheads" => {
+                overheads_path = Some(it.next().ok_or_else(|| missing("--overheads"))?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag {flag:?}")));
+            }
+            extra => return Err(CliError::Usage(format!("unexpected argument {extra:?}"))),
+        }
+    }
+    // The checkpoint directory is the daemon's only durable state — no
+    // sensible default exists, so it is the one required flag.
+    config.checkpoint_dir = checkpoint_dir
+        .ok_or_else(|| CliError::Usage(SERVE_USAGE.into()))?
+        .into();
+    config.overheads = match overheads_path {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| CliError::NoInput(format!("{p}: {e}")))?;
+            serde_json::from_str(&text).map_err(|e| CliError::Data(format!("{p}: {e}")))?
+        }
+        None => ppa::trace::OverheadSpec::alliant_default(),
+    };
+    if config.listen.is_empty() && config.unix_socket.is_none() {
+        config.listen.push("127.0.0.1:7223".to_string());
+    }
+
+    install_signal_handlers();
+    let server = Server::bind(config).map_err(|e| CliError::Io(format!("bind: {e}")))?;
+    for addr in server.tcp_addrs() {
+        eprintln!("ppa-serve: listening on tcp {addr}");
+    }
+    if let Some(path) = server.ctx().config.unix_socket.as_ref() {
+        eprintln!("ppa-serve: listening on unix {}", path.display());
+    }
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("ppa-serve: metrics on http://{addr}");
+    }
+    eprintln!("ppa-serve: ready");
+    server
+        .run()
+        .map_err(|e| CliError::Io(format!("serve: {e}")))?;
+    Ok(())
+}
+
+/// `ppa send`: upload one trace file to a running `ppa serve` daemon as
+/// a `(tenant, stream)` session and print the server's final summary.
+fn run_send(args: &[String]) -> Result<(), CliError> {
+    use ppa::server::{send_trace, ClientError, SendOutcome, Target, DEFAULT_FRAME_BYTES};
+
+    let mut trace: Option<&str> = None;
+    let mut target: Option<Target> = None;
+    let mut tenant: Option<&str> = None;
+    let mut stream_id: Option<&str> = None;
+    let mut frame_bytes = DEFAULT_FRAME_BYTES;
+    let mut it = args.iter();
+    let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--to" => {
+                target = Some(Target::Tcp(
+                    it.next().ok_or_else(|| missing("--to"))?.clone(),
+                ));
+            }
+            "--unix" => {
+                target = Some(Target::Unix(
+                    it.next().ok_or_else(|| missing("--unix"))?.into(),
+                ));
+            }
+            "--tenant" => tenant = Some(it.next().ok_or_else(|| missing("--tenant"))?),
+            "--stream" => stream_id = Some(it.next().ok_or_else(|| missing("--stream"))?),
+            "--frame-bytes" => {
+                let n = it.next().ok_or_else(|| missing("--frame-bytes"))?;
+                frame_bytes = n.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--frame-bytes must be a positive integer, got {n:?}"
+                    ))
+                })?;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag {flag:?}")));
+            }
+            path if trace.is_none() => trace = Some(path),
+            extra => return Err(CliError::Usage(format!("unexpected argument {extra:?}"))),
+        }
+    }
+    let trace = trace.ok_or_else(|| CliError::Usage(SEND_USAGE.into()))?;
+    let target = target.ok_or_else(|| CliError::Usage(SEND_USAGE.into()))?;
+    let tenant = tenant.ok_or_else(|| CliError::Usage(SEND_USAGE.into()))?;
+    let stream_id = stream_id.ok_or_else(|| CliError::Usage(SEND_USAGE.into()))?;
+    // Distinguish "trace file missing" (66) from socket trouble (74)
+    // before the upload mixes both into one I/O stream.
+    if !std::path::Path::new(trace).is_file() {
+        return Err(CliError::NoInput(format!("{trace}: no such file")));
+    }
+
+    match send_trace(
+        &target,
+        tenant,
+        stream_id,
+        std::path::Path::new(trace),
+        frame_bytes,
+    ) {
+        Ok(SendOutcome::Done {
+            resumed_from,
+            summary,
+        }) => {
+            if resumed_from > 0 {
+                println!("send: resumed {tenant}/{stream_id} from {resumed_from} events");
+            }
+            println!(
+                "send: {tenant}/{stream_id} done ({} report events, {} awaits, {} barriers, \
+                 last t={} ns, {} gaps, {} events lost)",
+                summary.events,
+                summary.awaits,
+                summary.barriers,
+                summary.last_time_ns,
+                summary.gaps,
+                summary.events_lost
+            );
+            Ok(())
+        }
+        Err(ClientError::Io(e)) => Err(CliError::Io(format!("{trace}: {e}"))),
+        Err(e @ ClientError::Protocol(_)) => Err(CliError::Data(e.to_string())),
+        Err(e @ ClientError::Server { .. }) => Err(CliError::Data(e.to_string())),
+    }
 }
 
 impl CliError {

@@ -491,6 +491,38 @@ fn kill_and_resume_with_lenient_and_reorder_window_is_byte_identical() {
     );
 }
 
+/// `--progress` must stay silent when stderr is not a terminal — a
+/// piped run's stderr is machine-read (CI logs, scripted captures) and
+/// the ticker would pollute it. `--progress=force` is the escape hatch.
+#[test]
+fn progress_ticker_stays_silent_when_stderr_is_piped() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "progress_measured.jsonl", 64);
+
+    // `Output` pipes stderr, so `IsTerminal` is false here by construction.
+    let out = ppa_cmd(
+        "analyze",
+        &[input.to_str().unwrap(), "--stream", "--progress"],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("progress:"),
+        "ticker leaked into piped stderr: {stderr}"
+    );
+
+    let out = ppa_cmd(
+        "analyze",
+        &[input.to_str().unwrap(), "--stream", "--progress=force"],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("progress:"),
+        "--progress=force must tick even when piped: {stderr}"
+    );
+}
+
 #[test]
 fn resume_rejects_missing_and_corrupt_checkpoints() {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));

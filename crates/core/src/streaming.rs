@@ -559,6 +559,17 @@ impl EventBasedAnalyzer {
         self.last_tm.saturating_since(self.watermark())
     }
 
+    /// Events currently resident in the analyzer's live state: parked
+    /// events waiting on lost dependencies, buffered events below the
+    /// emission watermark, and open synchronization episodes. The peak
+    /// over a whole run is reported as [`StreamStats::peak_resident`];
+    /// this is the instantaneous value, which long-running services use
+    /// to bound per-session memory (e.g. `ppa serve`'s per-tenant
+    /// resident-bytes quota).
+    pub fn resident(&self) -> usize {
+        self.parked.len() + self.buffer.len() + self.episodes.len()
+    }
+
     /// Feeds the next measured event.
     ///
     /// Returns an error only for a broken total order — the one condition

@@ -14,6 +14,7 @@
 //! - [`lfk`] — the Livermore loops (numeric + statement-graph forms);
 //! - [`analysis`] — time-based and event-based perturbation analysis;
 //! - [`check`] — trace/report invariant checker and differential oracle;
+//! - [`server`] — multi-tenant streaming ingest daemon (`ppa serve`);
 //! - [`metrics`] — ratios, waiting tables, timelines, parallelism;
 //! - [`obs`] — self-observability: pipeline metrics, span timers,
 //!   Prometheus/JSON export, self-overhead calibration;
@@ -58,6 +59,7 @@ pub use ppa_metrics as metrics;
 pub use ppa_native as native;
 pub use ppa_obs as obs;
 pub use ppa_program as program;
+pub use ppa_server as server;
 pub use ppa_sim as sim;
 pub use ppa_sync as sync;
 pub use ppa_trace as trace;

@@ -1,0 +1,165 @@
+//! The sending side of the ingest protocol, shared by `ppa send` and
+//! the e2e tests: connect, `HELLO`, stream a trace file as `DATA`
+//! frames, `FIN`, and wait for `DONE`.
+//!
+//! The client is resume-oblivious by design: it always replays the
+//! trace from byte 0, and the server's `OK` frame tells it how many
+//! events the server has already analyzed (the server skips that prefix
+//! internally). That keeps client state zero — a resumed upload is just
+//! the same command run again.
+
+use crate::protocol::{
+    decode_done, decode_error, decode_ok, encode_hello, read_frame, write_frame, Frame,
+    ProtocolError, Summary, FT_DATA, FT_DONE, FT_ERROR, FT_FIN, FT_HELLO, FT_OK,
+};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Default `DATA` frame payload size. Big enough to amortize framing,
+/// small enough that the server's one-frame ingest buffer stays modest.
+pub const DEFAULT_FRAME_BYTES: usize = 256 * 1024;
+
+/// Where to send a trace.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// A `host:port` TCP address.
+    Tcp(String),
+    /// A unix socket path.
+    Unix(std::path::PathBuf),
+}
+
+/// Why an upload failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or file I/O failed.
+    Io(io::Error),
+    /// The server answered with bytes that are not valid protocol.
+    Protocol(ProtocolError),
+    /// The server refused or aborted the session with a typed `ERROR`.
+    Server {
+        /// The protocol error code.
+        code: u16,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(
+                f,
+                "server: {} ({code}): {message}",
+                crate::protocol::error_code_name(*code)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// What a successful (or server-side-parked) upload reports.
+#[derive(Debug)]
+pub enum SendOutcome {
+    /// The server finished the stream and deleted its checkpoint.
+    Done {
+        /// Events the server said it had already seen at `OK` time
+        /// (nonzero means this upload resumed a parked session).
+        resumed_from: u64,
+        /// The server's final report summary.
+        summary: Summary,
+    },
+}
+
+/// Streams `trace` to `target` as one `(tenant, stream)` session.
+/// Returns the server's `DONE` summary, or the typed error the server
+/// sent instead.
+pub fn send_trace(
+    target: &Target,
+    tenant: &str,
+    stream: &str,
+    trace: &Path,
+    frame_bytes: usize,
+) -> Result<SendOutcome, ClientError> {
+    match target {
+        Target::Tcp(addr) => {
+            let sock = TcpStream::connect(addr.as_str())?;
+            send_on(sock, tenant, stream, trace, frame_bytes)
+        }
+        Target::Unix(path) => {
+            let sock = UnixStream::connect(path)?;
+            send_on(sock, tenant, stream, trace, frame_bytes)
+        }
+    }
+}
+
+fn send_on<S: Read + Write>(
+    mut sock: S,
+    tenant: &str,
+    stream: &str,
+    trace: &Path,
+    frame_bytes: usize,
+) -> Result<SendOutcome, ClientError> {
+    let hello = encode_hello(tenant, stream).map_err(ClientError::Protocol)?;
+    write_frame(&mut sock, FT_HELLO, &hello)?;
+    let ok = expect_frame(&mut sock, FT_OK)?;
+    let resumed_from = decode_ok(&ok.payload).map_err(ClientError::Protocol)?;
+
+    let mut file = std::fs::File::open(trace)?;
+    let cap = frame_bytes.clamp(1, crate::protocol::MAX_FRAME_LEN as usize);
+    let mut buf = vec![0u8; cap];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        if let Err(e) = write_frame(&mut sock, FT_DATA, &buf[..n]) {
+            // The server may have torn the connection down with a final
+            // ERROR frame (quota, eviction); surface that instead of a
+            // bare EPIPE when we can still read it.
+            if let Ok(f) = read_frame(&mut sock) {
+                if f.ty == FT_ERROR {
+                    let (code, message) =
+                        decode_error(&f.payload).map_err(ClientError::Protocol)?;
+                    return Err(ClientError::Server { code, message });
+                }
+            }
+            return Err(ClientError::Io(e));
+        }
+    }
+    write_frame(&mut sock, FT_FIN, &[])?;
+    let done = expect_frame(&mut sock, FT_DONE)?;
+    let summary = decode_done(&done.payload).map_err(ClientError::Protocol)?;
+    Ok(SendOutcome::Done {
+        resumed_from,
+        summary,
+    })
+}
+
+/// Reads one frame and requires it to be `want`; an `ERROR` frame
+/// becomes [`ClientError::Server`], anything else a protocol error.
+fn expect_frame(sock: &mut impl Read, want: u8) -> Result<Frame, ClientError> {
+    let f = read_frame(sock)?;
+    if f.ty == want {
+        return Ok(f);
+    }
+    if f.ty == FT_ERROR {
+        let (code, message) = decode_error(&f.payload).map_err(ClientError::Protocol)?;
+        return Err(ClientError::Server { code, message });
+    }
+    Err(ClientError::Protocol(ProtocolError {
+        code: crate::protocol::EC_MALFORMED_FRAME,
+        message: format!("expected frame type {want:#04x}, got {:#04x}", f.ty),
+    }))
+}

@@ -1,0 +1,399 @@
+//! The long-running `ppa serve` daemon: listeners, accept loops, the
+//! shared server context, and graceful shutdown.
+//!
+//! Lifecycle: [`Server::bind`] claims every socket up front (so `ppa
+//! serve` fails fast on a taken port, and tests can bind port 0 and
+//! read the real addresses back), then [`Server::run`] accepts until
+//! the shutdown flag rises. Each accepted connection gets its own
+//! session thread ([`run_session`]); accept loops poll non-blocking so
+//! a quiet listener still notices shutdown within ~50 ms.
+//!
+//! Shutdown is SIGTERM/SIGINT (installed by [`install_signal_handlers`])
+//! or the `Arc<AtomicBool>` handed to `run` (used by tests). Either way
+//! the daemon stops accepting, every live session checkpoints its
+//! analyzer state to a `PPACKPT1` file and answers `ERROR
+//! shutting-down`, and `run` joins them all before returning — so a
+//! restarted daemon resumes every stream byte-identically. A SIGKILL'd
+//! daemon skips the final checkpoint but still resumes from the last
+//! cadence checkpoint; clients replay from byte 0 and the server skips
+//! what it already counted.
+
+use crate::metrics::ServerMetrics;
+use crate::quota::{Quotas, SessionTable};
+use crate::session::{run_session, SessionEnd, SessionOutcome};
+use ppa_trace::OverheadSpec;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often an idle accept loop checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Everything `ppa serve` is configured with; the CLI builds one of
+/// these from flags, tests build them directly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP ingest addresses to bind (empty = no TCP ingest).
+    pub listen: Vec<String>,
+    /// Unix-socket ingest path (removed and re-created at bind).
+    pub unix_socket: Option<PathBuf>,
+    /// HTTP address for `/metrics` and `/healthz` (None = no endpoint).
+    pub metrics_listen: Option<String>,
+    /// Root of the checkpoint/report tree (one subdirectory per tenant).
+    pub checkpoint_dir: PathBuf,
+    /// Admission and rate quotas.
+    pub quotas: Quotas,
+    /// Events between cadence checkpoints in each session.
+    pub checkpoint_every: u64,
+    /// Idle time after which a session is evicted (checkpointed).
+    pub idle_timeout: Duration,
+    /// Tolerate decode errors and unresolved dependencies (the server
+    /// twin of `ppa analyze --lenient`).
+    pub lenient: bool,
+    /// Reorder-buffer window for out-of-order ingest (None = strict).
+    pub reorder_window: Option<u64>,
+    /// Overhead model applied by every session's analyzer.
+    pub overheads: OverheadSpec,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: vec!["127.0.0.1:7223".to_string()],
+            unix_socket: None,
+            metrics_listen: None,
+            checkpoint_dir: PathBuf::from("ppa-serve-state"),
+            quotas: Quotas::default(),
+            checkpoint_every: 1 << 20,
+            idle_timeout: Duration::from_secs(30),
+            lenient: false,
+            reorder_window: None,
+            overheads: OverheadSpec::default(),
+        }
+    }
+}
+
+/// State shared by every session thread and the accept loops.
+pub struct ServerCtx {
+    /// The daemon's configuration.
+    pub config: ServeConfig,
+    /// Live-session registry enforcing the quotas.
+    pub table: SessionTable,
+    /// The daemon's metric surface (exported at `/metrics`).
+    pub metrics: ServerMetrics,
+    /// Test-visible shutdown flag; OR'd with the signal flag.
+    pub shutdown: Arc<AtomicBool>,
+}
+
+impl ServerCtx {
+    /// Whether the daemon should stop: the programmatic flag or a
+    /// delivered SIGTERM/SIGINT.
+    pub fn should_stop(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal_shutdown_requested()
+    }
+}
+
+/// The signal handler's flag. `static` because a signal handler cannot
+/// carry context; one daemon per process is the supported shape.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SIGNAL_SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Routes SIGTERM and SIGINT to a flag the accept and session loops
+/// poll, instead of the default immediate-death disposition. Uses the
+/// raw libc `signal(2)` binding so the workspace stays dependency-free.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_shutdown_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Whether a shutdown signal has been delivered to this process.
+pub fn signal_shutdown_requested() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Resets the signal flag (tests that run several daemons in-process).
+pub fn reset_signal_shutdown() {
+    SIGNAL_SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+/// What one daemon run did, returned by [`Server::run`] after shutdown.
+#[derive(Debug, Default, Clone)]
+pub struct ServeReport {
+    /// Connections accepted across all listeners.
+    pub connections: u64,
+    /// Sessions that ran to `DONE`.
+    pub completed: u64,
+    /// Sessions checkpointed for later resume (idle, shutdown, or a
+    /// vanished client).
+    pub parked: u64,
+    /// Sessions rejected or failed with a typed error.
+    pub failed: u64,
+}
+
+/// A bound-but-not-yet-running daemon. Dropping it without calling
+/// [`Server::run`] just closes the listeners.
+pub struct Server {
+    ctx: Arc<ServerCtx>,
+    tcp: Vec<TcpListener>,
+    unix: Option<(UnixListener, PathBuf)>,
+    metrics_http: Option<TcpListener>,
+}
+
+impl Server {
+    /// Binds every configured listener. Fails fast if any address is
+    /// taken or the checkpoint directory cannot be created.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        std::fs::create_dir_all(&config.checkpoint_dir)?;
+        let mut tcp = Vec::new();
+        for addr in &config.listen {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            tcp.push(l);
+        }
+        let unix = match &config.unix_socket {
+            Some(path) => {
+                // A stale socket file from a SIGKILL'd daemon would make
+                // bind fail; connecting to one just gets ECONNREFUSED,
+                // so removal is safe.
+                match std::fs::remove_file(path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Some((l, path.clone()))
+            }
+            None => None,
+        };
+        let metrics_http = match &config.metrics_listen {
+            Some(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let table = SessionTable::new(config.quotas.clone());
+        let metrics = ServerMetrics::new();
+        let ctx = Arc::new(ServerCtx {
+            config,
+            table,
+            metrics,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        Ok(Server {
+            ctx,
+            tcp,
+            unix,
+            metrics_http,
+        })
+    }
+
+    /// The bound TCP ingest addresses (resolves port 0 for tests).
+    pub fn tcp_addrs(&self) -> Vec<SocketAddr> {
+        self.tcp
+            .iter()
+            .filter_map(|l| l.local_addr().ok())
+            .collect()
+    }
+
+    /// The bound metrics address, if an endpoint was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// The shutdown flag; raise it to stop the daemon programmatically.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.ctx.shutdown.clone()
+    }
+
+    /// The shared context (tests inspect the table and metrics).
+    pub fn ctx(&self) -> Arc<ServerCtx> {
+        self.ctx.clone()
+    }
+
+    /// Accepts and serves until shutdown, then checkpoints and joins
+    /// every live session before returning. Logs one stderr line per
+    /// finished session.
+    pub fn run(self) -> io::Result<ServeReport> {
+        let Server {
+            ctx,
+            tcp,
+            unix,
+            metrics_http,
+        } = self;
+        let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let report = Arc::new(Mutex::new(ServeReport::default()));
+        let mut acceptors = Vec::new();
+
+        for l in tcp {
+            let ctx = ctx.clone();
+            let sessions = sessions.clone();
+            let report = report.clone();
+            acceptors.push(std::thread::spawn(move || {
+                accept_loop(
+                    || match l.accept() {
+                        Ok((s, _)) => Some(Ok(s)),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                        Err(e) => Some(Err(e)),
+                    },
+                    &ctx,
+                    &sessions,
+                    &report,
+                );
+            }));
+        }
+        if let Some((l, _)) = &unix {
+            let l = l.try_clone()?;
+            let ctx = ctx.clone();
+            let sessions = sessions.clone();
+            let report = report.clone();
+            acceptors.push(std::thread::spawn(move || {
+                accept_loop(
+                    || match l.accept() {
+                        Ok((s, _)) => Some(Ok(s)),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                        Err(e) => Some(Err(e)),
+                    },
+                    &ctx,
+                    &sessions,
+                    &report,
+                );
+            }));
+        }
+        if let Some(l) = metrics_http {
+            let ctx = ctx.clone();
+            acceptors.push(std::thread::spawn(move || {
+                crate::http::serve_metrics(l, &ctx);
+            }));
+        }
+
+        // Park until shutdown; the acceptors do the work.
+        while !ctx.should_stop() {
+            std::thread::sleep(ACCEPT_POLL);
+            // Reap finished session threads so a long-lived daemon does
+            // not accumulate handles.
+            let mut live = sessions.lock().expect("session handles poisoned");
+            let mut i = 0;
+            while i < live.len() {
+                if live[i].is_finished() {
+                    let _ = live.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        eprintln!("ppa-serve: shutting down, checkpointing live sessions");
+        for a in acceptors {
+            let _ = a.join();
+        }
+        // Sessions observe the flag through their polled reads and
+        // checkpoint themselves; joining waits for that to finish.
+        let handles = std::mem::take(&mut *sessions.lock().expect("session handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some((_, path)) = unix {
+            let _ = std::fs::remove_file(path);
+        }
+        let report = report.lock().expect("serve report poisoned").clone();
+        eprintln!(
+            "ppa-serve: stopped ({} connections, {} completed, {} parked, {} failed)",
+            report.connections, report.completed, report.parked, report.failed
+        );
+        Ok(report)
+    }
+}
+
+/// One listener's accept loop: poll non-blocking accept, spawn a
+/// session thread per connection, stop when the flag rises.
+fn accept_loop<S: crate::session::SessionStream>(
+    mut accept: impl FnMut() -> Option<io::Result<S>>,
+    ctx: &Arc<ServerCtx>,
+    sessions: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    report: &Arc<Mutex<ServeReport>>,
+) {
+    while !ctx.should_stop() {
+        match accept() {
+            None => std::thread::sleep(ACCEPT_POLL),
+            Some(Err(e)) => {
+                // Transient accept errors (EMFILE, aborted handshakes)
+                // should not kill the listener.
+                eprintln!("ppa-serve: accept error: {e}");
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Some(Ok(sock)) => {
+                report.lock().expect("serve report poisoned").connections += 1;
+                let ctx = ctx.clone();
+                let report = report.clone();
+                let handle = std::thread::spawn(move || {
+                    let outcome = run_session(sock, ctx);
+                    log_outcome(&outcome);
+                    let mut r = report.lock().expect("serve report poisoned");
+                    match outcome.end {
+                        SessionEnd::Completed { .. } => r.completed += 1,
+                        SessionEnd::Evicted | SessionEnd::Shutdown | SessionEnd::ClientGone => {
+                            r.parked += 1
+                        }
+                        SessionEnd::Rejected { .. } | SessionEnd::Failed { .. } => r.failed += 1,
+                    }
+                });
+                sessions
+                    .lock()
+                    .expect("session handles poisoned")
+                    .push(handle);
+            }
+        }
+    }
+}
+
+fn log_outcome(o: &SessionOutcome) {
+    match &o.end {
+        SessionEnd::Completed { events } => eprintln!(
+            "ppa-serve: session {}/{} completed ({events} events out)",
+            o.tenant, o.stream
+        ),
+        SessionEnd::Evicted => eprintln!(
+            "ppa-serve: session {}/{} evicted idle (checkpointed)",
+            o.tenant, o.stream
+        ),
+        SessionEnd::Shutdown => eprintln!(
+            "ppa-serve: session {}/{} parked for shutdown (checkpointed)",
+            o.tenant, o.stream
+        ),
+        SessionEnd::ClientGone => eprintln!(
+            "ppa-serve: session {}/{} client vanished (checkpointed)",
+            o.tenant, o.stream
+        ),
+        SessionEnd::Rejected { code } => eprintln!(
+            "ppa-serve: session {}/{} rejected ({})",
+            o.tenant,
+            o.stream,
+            crate::protocol::error_code_name(*code)
+        ),
+        SessionEnd::Failed { code, message } => eprintln!(
+            "ppa-serve: session {}/{} failed ({}): {message}",
+            o.tenant,
+            o.stream,
+            crate::protocol::error_code_name(*code)
+        ),
+    }
+}

@@ -1,0 +1,74 @@
+//! A deliberately tiny HTTP/1.1 responder for the observability
+//! endpoints. It serves exactly two paths — `GET /metrics`
+//! (Prometheus text exposition from the ppa-obs registry) and `GET
+//! /healthz` — closes every connection after one response, and ignores
+//! everything else with a 404. It is not a general web server and does
+//! not try to be: no keep-alive, no TLS, no request bodies.
+
+use crate::daemon::ServerCtx;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often an idle metrics listener checks the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// How long one scrape may take before the socket is dropped.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Accepts scrapes until shutdown. The listener must be non-blocking.
+pub(crate) fn serve_metrics(listener: TcpListener, ctx: &Arc<ServerCtx>) {
+    while !ctx.should_stop() {
+        match listener.accept() {
+            Ok((sock, _)) => {
+                if let Err(e) = respond(sock, ctx) {
+                    eprintln!("ppa-serve: metrics scrape failed: {e}");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) => {
+                eprintln!("ppa-serve: metrics accept error: {e}");
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+fn respond(sock: TcpStream, ctx: &Arc<ServerCtx>) -> std::io::Result<()> {
+    sock.set_nonblocking(false)?;
+    sock.set_read_timeout(Some(SCRAPE_TIMEOUT))?;
+    sock.set_write_timeout(Some(SCRAPE_TIMEOUT))?;
+    let mut reader = BufReader::new(sock.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see the response; contents
+    // are irrelevant to a fixed two-endpoint server.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    drop(reader);
+    let mut sock = sock;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body): (&str, &str, String) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            ppa_obs::prometheus_text(&ctx.metrics.registry().snapshot()),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain", "ok\n".to_string()),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    write!(
+        sock,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    sock.write_all(body.as_bytes())?;
+    sock.flush()
+}

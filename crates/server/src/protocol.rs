@@ -1,0 +1,446 @@
+//! The `ppa-serve-v1` wire protocol: length-prefixed frames carrying a
+//! session handshake, raw trace bytes, and typed results.
+//!
+//! `PROTOCOL.md` in the repository root is the normative
+//! specification; the constants there are doc-tested against this
+//! module so the two cannot drift. The shape in one paragraph: a
+//! client connects (TCP or unix socket), sends `HELLO` naming a
+//! `(tenant, stream)` pair, receives `OK` carrying how many trace
+//! positions the server has already durably analyzed for that pair (0
+//! for a fresh stream), then sends the trace bytes — a complete
+//! `ppa-trace-v1` (JSONL) or `ppa-trace-bin-v1` (binary) stream,
+//! starting from byte 0, chopped into `DATA` frames — followed by `FIN`.
+//! The server replies `DONE` with a summary, or `ERROR` with a typed
+//! code at any point.
+//!
+//! Every frame is an 8-byte header plus a payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     frame type (FT_*)
+//! 1       3     reserved, must be zero
+//! 4       4     payload length, u32 little-endian (< MAX_FRAME_LEN)
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every `HELLO` payload: `b"PPASERV1"`.
+pub const SERVE_MAGIC: [u8; 8] = *b"PPASERV1";
+/// Protocol version carried in `HELLO` after the magic.
+pub const SERVE_VERSION: u8 = 1;
+/// Bytes in a frame header: type, three reserved zeros, u32 LE length.
+pub const FRAME_HEADER_LEN: usize = 8;
+/// Hard cap on a frame payload: 16 MiB. A peer announcing more is
+/// violating the protocol and the connection is closed with
+/// [`EC_FRAME_TOO_LARGE`]; the cap bounds per-connection buffering.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+/// Longest permitted tenant or stream id, in bytes.
+pub const MAX_ID_LEN: usize = 128;
+
+/// Client→server: session handshake (magic, version, tenant, stream).
+pub const FT_HELLO: u8 = 0x01;
+/// Client→server: a chunk of raw trace bytes.
+pub const FT_DATA: u8 = 0x02;
+/// Client→server: end of trace bytes (empty payload).
+pub const FT_FIN: u8 = 0x03;
+/// Server→client: handshake accepted; payload is the u64 LE count of
+/// trace positions already analyzed (the client may still resend from
+/// byte 0 — the server skips the prefix).
+pub const FT_OK: u8 = 0x10;
+/// Server→client: analysis finished; payload is a [`Summary`].
+pub const FT_DONE: u8 = 0x11;
+/// Server→client: typed failure; payload is u16 LE code + UTF-8 text.
+pub const FT_ERROR: u8 = 0x1f;
+
+/// A frame violated the framing rules (bad reserved bytes, short read).
+pub const EC_MALFORMED_FRAME: u16 = 1;
+/// `HELLO` carried an unknown magic or protocol version.
+pub const EC_UNSUPPORTED_VERSION: u16 = 2;
+/// Tenant or stream id empty, too long, or containing forbidden bytes.
+pub const EC_BAD_ID: u16 = 3;
+/// The server-wide concurrent session cap is reached.
+pub const EC_SERVER_FULL: u16 = 4;
+/// The tenant's concurrent session cap is reached.
+pub const EC_TENANT_SESSIONS: u16 = 5;
+/// Another live session already owns this `(tenant, stream)`.
+pub const EC_SESSION_BUSY: u16 = 6;
+/// The trace bytes failed to decode (strict mode) or failed analysis.
+pub const EC_BAD_TRACE: u16 = 7;
+/// The tenant's resident-bytes quota was exceeded mid-analysis.
+pub const EC_QUOTA_RESIDENT: u16 = 8;
+/// The session sat idle past the eviction deadline; state was
+/// checkpointed and a later `HELLO` for the same pair resumes it.
+pub const EC_IDLE_EVICTED: u16 = 9;
+/// The daemon is shutting down; state was checkpointed for resume.
+pub const EC_SHUTTING_DOWN: u16 = 10;
+/// A frame announced a payload at or above [`MAX_FRAME_LEN`].
+pub const EC_FRAME_TOO_LARGE: u16 = 11;
+/// Unexpected server-side failure (I/O on checkpoint files, etc.).
+pub const EC_INTERNAL: u16 = 12;
+
+/// Human-readable name of a protocol error code (for logs and CLI
+/// messages); `"unknown"` for codes this build does not define.
+pub fn error_code_name(code: u16) -> &'static str {
+    match code {
+        EC_MALFORMED_FRAME => "malformed-frame",
+        EC_UNSUPPORTED_VERSION => "unsupported-version",
+        EC_BAD_ID => "bad-id",
+        EC_SERVER_FULL => "server-full",
+        EC_TENANT_SESSIONS => "tenant-sessions",
+        EC_SESSION_BUSY => "session-busy",
+        EC_BAD_TRACE => "bad-trace",
+        EC_QUOTA_RESIDENT => "quota-resident",
+        EC_IDLE_EVICTED => "idle-evicted",
+        EC_SHUTTING_DOWN => "shutting-down",
+        EC_FRAME_TOO_LARGE => "frame-too-large",
+        EC_INTERNAL => "internal",
+        _ => "unknown",
+    }
+}
+
+/// One decoded frame: a type byte and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type (`FT_*`).
+    pub ty: u8,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A decoded `HELLO` payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The tenant the stream bills to (quota + metrics key).
+    pub tenant: String,
+    /// The stream id, unique per tenant (checkpoint/resume key).
+    pub stream: String,
+}
+
+/// The `DONE` payload: six u64 LE fields summarizing the finished
+/// analysis, in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Summary {
+    /// Approximated events written to the session report.
+    pub events: u64,
+    /// Await resolutions observed.
+    pub awaits: u64,
+    /// Barrier passages observed.
+    pub barriers: u64,
+    /// Final approximated timestamp, nanoseconds.
+    pub last_time_ns: u64,
+    /// Decode gaps recorded (lenient mode).
+    pub gaps: u64,
+    /// Events lost to decode gaps (lenient mode).
+    pub events_lost: u64,
+}
+
+/// A protocol-level decode failure: the typed code the server reports
+/// plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// One of the `EC_*` codes.
+    pub code: u16,
+    /// What was wrong, for logs.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, error_code_name(self.code))
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn perr(code: u16, message: impl Into<String>) -> ProtocolError {
+    ProtocolError {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Whether `id` is a valid tenant or stream id: 1..=[`MAX_ID_LEN`] bytes
+/// of `[A-Za-z0-9._-]`, not starting with `.` (ids name checkpoint files
+/// on the server, so path separators and dot-prefixes are forbidden).
+pub fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_ID_LEN
+        && !id.starts_with('.')
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Writes one frame (header + payload). The payload must be shorter
+/// than [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl Write, ty: u8, payload: &[u8]) -> io::Result<()> {
+    debug_assert!((payload.len() as u64) < MAX_FRAME_LEN as u64);
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[0] = ty;
+    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Parses a frame header, validating the reserved bytes and the length
+/// cap. Returns `(type, payload_len)`.
+pub fn parse_frame_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, u32), ProtocolError> {
+    if header[1..4] != [0, 0, 0] {
+        return Err(perr(
+            EC_MALFORMED_FRAME,
+            "frame header reserved bytes are not zero",
+        ));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len >= MAX_FRAME_LEN {
+        return Err(perr(
+            EC_FRAME_TOO_LARGE,
+            format!("frame payload of {len} bytes exceeds the {MAX_FRAME_LEN} cap"),
+        ));
+    }
+    Ok((header[0], len))
+}
+
+/// Reads one complete frame from a blocking stream (the client side;
+/// the server reads incrementally so it can poll for shutdown).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (ty, len) = parse_frame_header(&header)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Frame { ty, payload })
+}
+
+/// Encodes a `HELLO` payload. Fails with [`EC_BAD_ID`] on invalid ids.
+pub fn encode_hello(tenant: &str, stream: &str) -> Result<Vec<u8>, ProtocolError> {
+    for (what, id) in [("tenant", tenant), ("stream", stream)] {
+        if !valid_id(id) {
+            return Err(perr(
+                EC_BAD_ID,
+                format!(
+                    "{what} id {id:?} is invalid (1..={MAX_ID_LEN} bytes of \
+                     [A-Za-z0-9._-], no leading dot)"
+                ),
+            ));
+        }
+    }
+    let mut p = Vec::with_capacity(SERVE_MAGIC.len() + 2 + 4 + tenant.len() + stream.len());
+    p.extend_from_slice(&SERVE_MAGIC);
+    p.push(SERVE_VERSION);
+    p.push(0); // reserved flags
+    p.extend_from_slice(&(tenant.len() as u16).to_le_bytes());
+    p.extend_from_slice(tenant.as_bytes());
+    p.extend_from_slice(&(stream.len() as u16).to_le_bytes());
+    p.extend_from_slice(stream.as_bytes());
+    Ok(p)
+}
+
+/// Decodes and validates a `HELLO` payload.
+pub fn decode_hello(payload: &[u8]) -> Result<Hello, ProtocolError> {
+    let need = |n: usize, at: usize| {
+        if payload.len() < at + n {
+            Err(perr(EC_MALFORMED_FRAME, "HELLO payload truncated"))
+        } else {
+            Ok(())
+        }
+    };
+    need(SERVE_MAGIC.len() + 2, 0)?;
+    if payload[..8] != SERVE_MAGIC {
+        return Err(perr(EC_UNSUPPORTED_VERSION, "HELLO magic is not PPASERV1"));
+    }
+    if payload[8] != SERVE_VERSION {
+        return Err(perr(
+            EC_UNSUPPORTED_VERSION,
+            format!(
+                "protocol version {} is not supported (this server speaks {SERVE_VERSION})",
+                payload[8]
+            ),
+        ));
+    }
+    let mut at = 10; // magic + version + reserved flags
+    let mut take_id = |what: &str| -> Result<String, ProtocolError> {
+        need(2, at)?;
+        let len = u16::from_le_bytes(payload[at..at + 2].try_into().expect("2 bytes")) as usize;
+        at += 2;
+        need(len, at)?;
+        let id = std::str::from_utf8(&payload[at..at + len])
+            .map_err(|_| perr(EC_BAD_ID, format!("{what} id is not UTF-8")))?
+            .to_string();
+        at += len;
+        if !valid_id(&id) {
+            return Err(perr(
+                EC_BAD_ID,
+                format!(
+                    "{what} id {id:?} is invalid (1..={MAX_ID_LEN} bytes of \
+                     [A-Za-z0-9._-], no leading dot)"
+                ),
+            ));
+        }
+        Ok(id)
+    };
+    let tenant = take_id("tenant")?;
+    let stream = take_id("stream")?;
+    if at != payload.len() {
+        return Err(perr(EC_MALFORMED_FRAME, "trailing bytes after HELLO ids"));
+    }
+    Ok(Hello { tenant, stream })
+}
+
+/// Encodes an `OK` payload: the resumed position count, u64 LE.
+pub fn encode_ok(resumed_positions: u64) -> Vec<u8> {
+    resumed_positions.to_le_bytes().to_vec()
+}
+
+/// Decodes an `OK` payload.
+pub fn decode_ok(payload: &[u8]) -> Result<u64, ProtocolError> {
+    let bytes: [u8; 8] = payload
+        .try_into()
+        .map_err(|_| perr(EC_MALFORMED_FRAME, "OK payload is not 8 bytes"))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Encodes a `DONE` payload: the six [`Summary`] fields, u64 LE each.
+pub fn encode_done(s: &Summary) -> Vec<u8> {
+    let mut p = Vec::with_capacity(48);
+    for v in [
+        s.events,
+        s.awaits,
+        s.barriers,
+        s.last_time_ns,
+        s.gaps,
+        s.events_lost,
+    ] {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    p
+}
+
+/// Decodes a `DONE` payload.
+pub fn decode_done(payload: &[u8]) -> Result<Summary, ProtocolError> {
+    if payload.len() != 48 {
+        return Err(perr(EC_MALFORMED_FRAME, "DONE payload is not 48 bytes"));
+    }
+    let f = |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+    Ok(Summary {
+        events: f(0),
+        awaits: f(1),
+        barriers: f(2),
+        last_time_ns: f(3),
+        gaps: f(4),
+        events_lost: f(5),
+    })
+}
+
+/// Encodes an `ERROR` payload: u16 LE code followed by UTF-8 text.
+pub fn encode_error(code: u16, message: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + message.len());
+    p.extend_from_slice(&code.to_le_bytes());
+    p.extend_from_slice(message.as_bytes());
+    p
+}
+
+/// Decodes an `ERROR` payload into `(code, message)`.
+pub fn decode_error(payload: &[u8]) -> Result<(u16, String), ProtocolError> {
+    if payload.len() < 2 {
+        return Err(perr(
+            EC_MALFORMED_FRAME,
+            "ERROR payload shorter than a code",
+        ));
+    }
+    let code = u16::from_le_bytes(payload[..2].try_into().expect("2 bytes"));
+    let message = String::from_utf8_lossy(&payload[2..]).into_owned();
+    Ok((code, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FT_DATA, b"abc").unwrap();
+        write_frame(&mut buf, FT_FIN, b"").unwrap();
+        let mut r = buf.as_slice();
+        let a = read_frame(&mut r).unwrap();
+        assert_eq!((a.ty, a.payload.as_slice()), (FT_DATA, &b"abc"[..]));
+        let b = read_frame(&mut r).unwrap();
+        assert_eq!((b.ty, b.payload.len()), (FT_FIN, 0));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn header_rejects_nonzero_reserved_and_oversized_payloads() {
+        let mut h = [0u8; FRAME_HEADER_LEN];
+        h[0] = FT_DATA;
+        h[2] = 1;
+        assert_eq!(parse_frame_header(&h).unwrap_err().code, EC_MALFORMED_FRAME);
+        let mut h = [0u8; FRAME_HEADER_LEN];
+        h[0] = FT_DATA;
+        h[4..8].copy_from_slice(&MAX_FRAME_LEN.to_le_bytes());
+        assert_eq!(parse_frame_header(&h).unwrap_err().code, EC_FRAME_TOO_LARGE);
+    }
+
+    #[test]
+    fn hello_round_trips_and_validates_ids() {
+        let p = encode_hello("acme", "run-7.bin").unwrap();
+        let h = decode_hello(&p).unwrap();
+        assert_eq!(h.tenant, "acme");
+        assert_eq!(h.stream, "run-7.bin");
+
+        assert_eq!(encode_hello("", "s").unwrap_err().code, EC_BAD_ID);
+        assert_eq!(encode_hello("a/b", "s").unwrap_err().code, EC_BAD_ID);
+        assert_eq!(encode_hello("..", "s").unwrap_err().code, EC_BAD_ID);
+        assert_eq!(
+            encode_hello(&"x".repeat(MAX_ID_LEN + 1), "s")
+                .unwrap_err()
+                .code,
+            EC_BAD_ID
+        );
+
+        let mut bad_magic = p.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            decode_hello(&bad_magic).unwrap_err().code,
+            EC_UNSUPPORTED_VERSION
+        );
+        let mut bad_version = p.clone();
+        bad_version[8] = 9;
+        assert_eq!(
+            decode_hello(&bad_version).unwrap_err().code,
+            EC_UNSUPPORTED_VERSION
+        );
+        let mut trailing = p.clone();
+        trailing.push(0);
+        assert_eq!(
+            decode_hello(&trailing).unwrap_err().code,
+            EC_MALFORMED_FRAME
+        );
+        assert_eq!(decode_hello(&p[..4]).unwrap_err().code, EC_MALFORMED_FRAME);
+    }
+
+    #[test]
+    fn ok_done_and_error_payloads_round_trip() {
+        assert_eq!(decode_ok(&encode_ok(42)).unwrap(), 42);
+        assert!(decode_ok(b"short").is_err());
+
+        let s = Summary {
+            events: 1,
+            awaits: 2,
+            barriers: 3,
+            last_time_ns: 4,
+            gaps: 5,
+            events_lost: 6,
+        };
+        assert_eq!(decode_done(&encode_done(&s)).unwrap(), s);
+        assert!(decode_done(b"short").is_err());
+
+        let (code, msg) = decode_error(&encode_error(EC_BAD_TRACE, "nope")).unwrap();
+        assert_eq!((code, msg.as_str()), (EC_BAD_TRACE, "nope"));
+        assert_eq!(error_code_name(EC_BAD_TRACE), "bad-trace");
+        assert_eq!(error_code_name(9999), "unknown");
+    }
+}

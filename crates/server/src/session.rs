@@ -1,0 +1,924 @@
+//! One ingest session: the server side of a `(tenant, stream)`
+//! connection, from `HELLO` to `DONE`/`ERROR`.
+//!
+//! A session drives the same fault-tolerant pipeline as `ppa analyze
+//! --stream`: socket bytes → [`AnyTraceReader`] (format auto-detected) →
+//! optional [`ReorderBuffer`] → checkpointed [`EventBasedAnalyzer`] →
+//! JSONL report, with cadence checkpoints to the standard `PPACKPT1`
+//! files. Because the steps and the checkpoint bookkeeping mirror the
+//! CLI exactly, a session report is byte-identical to a single-shot
+//! `ppa analyze --stream` of the same trace with the same flags — the
+//! property the e2e suite asserts, including across evictions, SIGTERM,
+//! and SIGKILL.
+//!
+//! Sessions are synchronous and thread-per-stream. Backpressure is the
+//! socket itself: a session that is checkpointing, throttled, or slow
+//! simply stops reading, bounding per-session buffering at one frame
+//! ([`MAX_FRAME_LEN`](crate::protocol::MAX_FRAME_LEN)) plus the kernel
+//! socket buffer, and the transport pushes back on the client.
+
+use crate::daemon::ServerCtx;
+use crate::protocol::{
+    parse_frame_header, write_frame, Hello, ProtocolError, Summary, EC_BAD_TRACE, EC_IDLE_EVICTED,
+    EC_INTERNAL, EC_MALFORMED_FRAME, EC_QUOTA_RESIDENT, EC_SHUTTING_DOWN, FRAME_HEADER_LEN,
+    FT_DATA, FT_DONE, FT_ERROR, FT_FIN, FT_HELLO, FT_OK,
+};
+use ppa_core::{
+    read_checkpoint, write_checkpoint, Checkpoint, EventBasedAnalyzer, SinkState, StreamOutput,
+};
+use ppa_trace::{
+    AnyTraceReader, AnyTraceWriter, Event, IoError, ReorderBuffer, StreamProbes, Time, TraceFormat,
+    TraceGap, TraceKind,
+};
+use std::fs::{self, File};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often a blocked socket read wakes up to check the shutdown flag
+/// and the idle deadline.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How long a response write may block before the peer is declared dead.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Events between resident-quota samples (cheap, but no need per-event).
+const RESIDENT_CHECK_EVERY: u64 = 1024;
+
+/// A bidirectional byte stream a session can run over. Both halves of
+/// the protocol flow on one socket; the session clones the handle so
+/// the trace decoder can own the read side while responses go out the
+/// write side.
+pub trait SessionStream: Read + Write + Send + Sized + 'static {
+    /// Clones the underlying socket handle.
+    fn try_clone_stream(&self) -> io::Result<Self>;
+    /// Sets the read timeout (the session polls at [`POLL_INTERVAL`]).
+    fn set_stream_read_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+    /// Sets the write timeout for responses.
+    fn set_stream_write_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+    /// Half-closes the write side (flushes the final frame to the peer).
+    fn shutdown_write(&self) -> io::Result<()>;
+}
+
+impl SessionStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_stream_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(t)
+    }
+    fn set_stream_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(t)
+    }
+    fn shutdown_write(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+impl SessionStream for UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_stream_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(t)
+    }
+    fn set_stream_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(t)
+    }
+    fn shutdown_write(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+/// How long a terminal `ERROR` lingers draining the client's in-flight
+/// bytes before the socket really closes.
+const ERROR_DRAIN: Duration = Duration::from_millis(500);
+
+/// Writes a terminal `ERROR` frame and tears the socket down without a
+/// reset. A session that fails mid-upload usually still has unread
+/// client bytes in the kernel receive buffer; closing then makes TCP
+/// reset the connection, which can destroy the `ERROR` frame before the
+/// client reads it. So: half-close the write side (the frame and the
+/// FIN go out), then briefly drain and discard what the client already
+/// sent, stopping early once the client saw the error and hung up.
+fn send_error<S: SessionStream>(sock: &mut S, code: u16, message: &str) {
+    let frame = crate::protocol::encode_error(code, message);
+    if write_frame(sock, FT_ERROR, &frame).is_err() {
+        return;
+    }
+    let _ = sock.shutdown_write();
+    let _ = sock.set_stream_read_timeout(Some(POLL_INTERVAL));
+    let deadline = Instant::now() + ERROR_DRAIN;
+    let mut scratch = [0u8; 8192];
+    while Instant::now() < deadline {
+        match sock.read(&mut scratch) {
+            Ok(0) => break, // client closed: the error was deliverable
+            Ok(_) => {}     // discard abandoned upload bytes
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// How a session ended, for the daemon's log line and counters.
+#[derive(Debug)]
+pub enum SessionEnd {
+    /// Ran to `DONE`; the checkpoint (if any) was deleted.
+    Completed {
+        /// Approximated events in the finished report.
+        events: u64,
+    },
+    /// Idle past the deadline; state checkpointed for resume.
+    Evicted,
+    /// Daemon shutdown; state checkpointed for resume.
+    Shutdown,
+    /// The client vanished mid-stream; state checkpointed for resume.
+    ClientGone,
+    /// Refused before analysis started (handshake or quota).
+    Rejected {
+        /// The protocol error code sent (or that would have been sent).
+        code: u16,
+    },
+    /// Failed mid-analysis with a typed protocol error.
+    Failed {
+        /// The protocol error code sent.
+        code: u16,
+        /// The message sent alongside it.
+        message: String,
+    },
+}
+
+/// A finished session, as reported to the daemon.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The tenant, or `"-"` if the handshake never completed.
+    pub tenant: String,
+    /// The stream id, or `"-"` if the handshake never completed.
+    pub stream: String,
+    /// How it ended.
+    pub end: SessionEnd,
+}
+
+/// Reads exactly `buf.len()` bytes, polling so a blocked read still
+/// honors daemon shutdown and the idle deadline. Marker error kinds:
+/// `TimedOut` = idle eviction, `ConnectionAborted` = shutdown,
+/// `UnexpectedEof` = peer hung up mid-frame.
+fn read_exact_polled(
+    sock: &mut impl Read,
+    ctx: &ServerCtx,
+    idle: Duration,
+    buf: &mut [u8],
+) -> io::Result<()> {
+    let mut filled = 0;
+    let mut idle_since = Instant::now();
+    while filled < buf.len() {
+        if ctx.should_stop() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "daemon is shutting down",
+            ));
+        }
+        match sock.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                idle_since = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if idle_since.elapsed() >= idle {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "session idle"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One polled read of up to `buf.len()` bytes (at least 1 on success).
+fn read_some_polled(
+    sock: &mut impl Read,
+    ctx: &ServerCtx,
+    idle: Duration,
+    buf: &mut [u8],
+) -> io::Result<usize> {
+    let mut idle_since = Instant::now();
+    loop {
+        if ctx.should_stop() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "daemon is shutting down",
+            ));
+        }
+        match sock.read(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => return Ok(n),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if idle_since.elapsed() >= idle {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "session idle"));
+                }
+                let _ = &mut idle_since;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads one complete frame with the polled reader (server side).
+fn read_frame_polled(
+    sock: &mut impl Read,
+    ctx: &ServerCtx,
+    idle: Duration,
+) -> Result<(u8, Vec<u8>), Fail> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    read_exact_polled(sock, ctx, idle, &mut header).map_err(Fail::from_io)?;
+    let (ty, len) = parse_frame_header(&header).map_err(Fail::Protocol)?;
+    let mut payload = vec![0u8; len as usize];
+    read_exact_polled(sock, ctx, idle, &mut payload).map_err(Fail::from_io)?;
+    Ok((ty, payload))
+}
+
+/// A `Read` adapter that unwraps the `DATA`/`FIN` framing: the trace
+/// decoder reads raw trace bytes from it, and it pulls frames off the
+/// socket on demand — so per-session ingest buffering never exceeds one
+/// frame. Protocol violations surface as `InvalidData` I/O errors with
+/// the typed code parked in the shared `violation` slot.
+struct FramePayloadReader<S: SessionStream> {
+    sock: S,
+    ctx: Arc<ServerCtx>,
+    idle: Duration,
+    /// Payload bytes left in the current `DATA` frame.
+    remaining: u32,
+    /// `FIN` seen: all subsequent reads are EOF.
+    finished: bool,
+    /// Tenant ingest byte counter.
+    bytes: ppa_obs::Counter,
+    violation: Arc<Mutex<Option<ProtocolError>>>,
+}
+
+impl<S: SessionStream> FramePayloadReader<S> {
+    fn violate(&self, e: ProtocolError) -> io::Error {
+        let msg = e.to_string();
+        *self.violation.lock().expect("violation slot poisoned") = Some(e);
+        io::Error::new(io::ErrorKind::InvalidData, msg)
+    }
+}
+
+impl<S: SessionStream> Read for FramePayloadReader<S> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            if self.finished {
+                return Ok(0);
+            }
+            if self.remaining == 0 {
+                let mut header = [0u8; FRAME_HEADER_LEN];
+                read_exact_polled(&mut self.sock, &self.ctx, self.idle, &mut header)?;
+                let (ty, len) = parse_frame_header(&header).map_err(|e| self.violate(e))?;
+                match ty {
+                    FT_DATA => {
+                        self.remaining = len;
+                        continue; // a zero-length DATA frame is legal
+                    }
+                    FT_FIN => {
+                        if len != 0 {
+                            return Err(self.violate(ProtocolError {
+                                code: EC_MALFORMED_FRAME,
+                                message: "FIN carries a payload".into(),
+                            }));
+                        }
+                        self.finished = true;
+                        return Ok(0);
+                    }
+                    other => {
+                        return Err(self.violate(ProtocolError {
+                            code: EC_MALFORMED_FRAME,
+                            message: format!("unexpected frame type {other:#04x} mid-stream"),
+                        }))
+                    }
+                }
+            }
+            let want = out.len().min(self.remaining as usize);
+            let n = read_some_polled(&mut self.sock, &self.ctx, self.idle, &mut out[..want])?;
+            self.remaining -= n as u32;
+            self.bytes.add(n as u64);
+            return Ok(n);
+        }
+    }
+}
+
+/// A mid-session failure, classified for the response frame.
+enum Fail {
+    /// Idle past the deadline (checkpoint, `ERROR idle-evicted`).
+    Evicted,
+    /// Daemon shutdown (checkpoint, `ERROR shutting-down`).
+    Shutdown,
+    /// Socket died; nobody to respond to (checkpoint silently).
+    ClientGone,
+    /// The client broke the framing rules.
+    Protocol(ProtocolError),
+    /// The trace bytes failed decoding or analysis.
+    BadTrace(String),
+    /// The tenant blew its resident-bytes quota.
+    QuotaResident(String),
+    /// Server-side failure (checkpoint I/O etc.).
+    Internal(String),
+}
+
+impl Fail {
+    fn from_io(e: io::Error) -> Fail {
+        match e.kind() {
+            io::ErrorKind::TimedOut => Fail::Evicted,
+            io::ErrorKind::ConnectionAborted => Fail::Shutdown,
+            _ => Fail::ClientGone,
+        }
+    }
+
+    /// Classifies a trace-decode error, recovering the parked protocol
+    /// violation if the adapter recorded one.
+    fn from_decode(e: IoError, violation: &Mutex<Option<ProtocolError>>) -> Fail {
+        match e {
+            IoError::Io(io) => {
+                if io.kind() == io::ErrorKind::InvalidData {
+                    if let Some(p) = violation.lock().expect("violation slot poisoned").take() {
+                        return Fail::Protocol(p);
+                    }
+                }
+                Fail::from_io(io)
+            }
+            other => Fail::BadTrace(other.to_string()),
+        }
+    }
+
+    /// Whether the session's state should be checkpointed for resume.
+    fn checkpoint_worthy(&self) -> bool {
+        matches!(
+            self,
+            Fail::Evicted | Fail::Shutdown | Fail::ClientGone | Fail::QuotaResident(_)
+        )
+    }
+
+    /// The `(code, message)` for the `ERROR` frame; `None` for a dead
+    /// peer there is no point responding to.
+    fn response(&self) -> Option<(u16, String)> {
+        match self {
+            Fail::Evicted => Some((
+                EC_IDLE_EVICTED,
+                "session idle past the eviction deadline; state checkpointed, \
+                 reconnect with the same (tenant, stream) to resume"
+                    .into(),
+            )),
+            Fail::Shutdown => Some((
+                EC_SHUTTING_DOWN,
+                "daemon is shutting down; state checkpointed, reconnect to resume".into(),
+            )),
+            Fail::ClientGone => None,
+            Fail::Protocol(p) => Some((p.code, p.message.clone())),
+            Fail::BadTrace(m) => Some((EC_BAD_TRACE, m.clone())),
+            Fail::QuotaResident(m) => Some((EC_QUOTA_RESIDENT, m.clone())),
+            Fail::Internal(m) => Some((EC_INTERNAL, m.clone())),
+        }
+    }
+
+    fn end(self) -> SessionEnd {
+        match &self {
+            Fail::Evicted => SessionEnd::Evicted,
+            Fail::Shutdown => SessionEnd::Shutdown,
+            Fail::ClientGone => SessionEnd::ClientGone,
+            _ => {
+                let (code, message) = self.response().expect("typed failure has a response");
+                SessionEnd::Failed { code, message }
+            }
+        }
+    }
+}
+
+/// Output accounting; the server twin of the CLI's `AnalyzeSink`.
+struct ReportSink {
+    writer: Option<AnyTraceWriter<File>>,
+    events: u64,
+    awaits: u64,
+    barriers: u64,
+    last_time: Time,
+}
+
+impl ReportSink {
+    fn take(&mut self, o: StreamOutput) -> Result<(), IoError> {
+        match o {
+            StreamOutput::Event(e) => {
+                self.events += 1;
+                self.last_time = self.last_time.max(e.time);
+                if let Some(w) = &mut self.writer {
+                    w.write_event(&e)?;
+                }
+            }
+            StreamOutput::Await { .. } => self.awaits += 1,
+            StreamOutput::Barrier { .. } => self.barriers += 1,
+        }
+        Ok(())
+    }
+}
+
+/// Everything a checkpoint needs, passed explicitly so the cadence
+/// path, the eviction path, and the shutdown path write identical
+/// snapshots (the property resume correctness rides on).
+#[allow(clippy::too_many_arguments)]
+fn take_checkpoint(
+    ckpt_path: &Path,
+    report_path: &Path,
+    analyzer: &EventBasedAnalyzer,
+    reorder: &Option<ReorderBuffer>,
+    sink: &mut ReportSink,
+    reader: &AnyTraceReader<FramePayloadReader<impl SessionStream>>,
+    base_positions: u64,
+    pushed: u64,
+    prior_lost: u64,
+    prior_gaps: &[TraceGap],
+) -> Result<(), String> {
+    if let Some(w) = &mut sink.writer {
+        w.flush().map_err(|e| format!("flush report: {e}"))?;
+    }
+    let bytes_flushed = fs::metadata(report_path)
+        .map_err(|e| format!("stat report: {e}"))?
+        .len();
+    let cp = Checkpoint {
+        analyzer: analyzer.snapshot(),
+        positions_seen: base_positions + pushed + reader.events_lost(),
+        gaps: prior_gaps.iter().chain(reader.gaps()).cloned().collect(),
+        events_lost: prior_lost + reader.events_lost(),
+        reorder: reorder.as_ref().map(|b| b.snapshot()),
+        sink: SinkState {
+            bytes_flushed,
+            events: sink.events,
+            awaits: sink.awaits,
+            barriers: sink.barriers,
+            last_time: sink.last_time,
+        },
+    };
+    write_checkpoint(ckpt_path, &cp).map_err(|e| format!("write checkpoint: {e}"))
+}
+
+/// Runs one connection to completion. Never panics outward on protocol
+/// abuse; every exit path is a typed [`SessionOutcome`].
+pub fn run_session<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOutcome {
+    ctx.metrics.connections.inc();
+    let unknown = |code: u16| SessionOutcome {
+        tenant: "-".into(),
+        stream: "-".into(),
+        end: SessionEnd::Rejected { code },
+    };
+    if sock.set_stream_read_timeout(Some(POLL_INTERVAL)).is_err()
+        || sock.set_stream_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+    {
+        return unknown(EC_INTERNAL);
+    }
+    let mut sock = sock;
+
+    // --- HELLO --------------------------------------------------------
+    let hello = match read_frame_polled(&mut sock, &ctx, ctx.config.idle_timeout) {
+        Ok((FT_HELLO, payload)) => match crate::protocol::decode_hello(&payload) {
+            Ok(h) => h,
+            Err(e) => {
+                send_error(&mut sock, e.code, &e.message);
+                return unknown(e.code);
+            }
+        },
+        Ok((ty, _)) => {
+            let e = ProtocolError {
+                code: EC_MALFORMED_FRAME,
+                message: format!("expected HELLO, got frame type {ty:#04x}"),
+            };
+            send_error(&mut sock, e.code, &e.message);
+            return unknown(e.code);
+        }
+        Err(fail) => {
+            if let Some((code, message)) = fail.response() {
+                send_error(&mut sock, code, &message);
+                return unknown(code);
+            }
+            return unknown(EC_MALFORMED_FRAME);
+        }
+    };
+    let Hello { tenant, stream } = hello;
+    let outcome = |end: SessionEnd| SessionOutcome {
+        tenant: tenant.clone(),
+        stream: stream.clone(),
+        end,
+    };
+    let tm = ctx.metrics.tenant(&tenant);
+
+    // --- Admission ----------------------------------------------------
+    let permit = match ctx.table.admit(&tenant, &stream) {
+        Ok(p) => p,
+        Err(e) => {
+            tm.rejections.inc();
+            tm.errors.inc();
+            send_error(&mut sock, e.code(), &e.message(ctx.table.quotas()));
+            return outcome(SessionEnd::Rejected { code: e.code() });
+        }
+    };
+    tm.sessions.inc();
+    ctx.metrics.active_sessions.add(1.0);
+    // Decrement the gauge on every exit path.
+    struct ActiveGuard(ppa_obs::Gauge);
+    impl Drop for ActiveGuard {
+        fn drop(&mut self) {
+            self.0.add(-1.0);
+        }
+    }
+    let _active = ActiveGuard(ctx.metrics.active_sessions.clone());
+
+    // --- Paths and resume ---------------------------------------------
+    let dir = ctx.config.checkpoint_dir.join(&tenant);
+    // Ids are charset-restricted by `valid_id`, so these joins cannot
+    // escape the checkpoint directory.
+    let ckpt_path = dir.join(format!("{stream}.ckpt"));
+    let report_path = dir.join(format!("{stream}.report.jsonl"));
+    let fail_out = |f: Fail, sock: &mut S, tm: &crate::metrics::TenantMetrics| {
+        if let Some((code, message)) = f.response() {
+            tm.errors.inc();
+            send_error(sock, code, &message);
+        }
+        outcome(f.end())
+    };
+    if let Err(e) = fs::create_dir_all(&dir) {
+        return fail_out(
+            Fail::Internal(format!("cannot create checkpoint dir: {e}")),
+            &mut sock,
+            &tm,
+        );
+    }
+    let resumed: Option<Checkpoint> = if ckpt_path.exists() {
+        match read_checkpoint(&ckpt_path) {
+            Ok(cp) => {
+                tm.resumed.inc();
+                Some(cp)
+            }
+            Err(e) => {
+                return fail_out(
+                    Fail::Internal(format!("cannot read checkpoint: {e}")),
+                    &mut sock,
+                    &tm,
+                )
+            }
+        }
+    } else {
+        None
+    };
+    let base_positions = resumed.as_ref().map_or(0, |cp| cp.positions_seen);
+    let prior_lost = resumed.as_ref().map_or(0, |cp| cp.events_lost);
+    let prior_gaps: Vec<TraceGap> = resumed.as_ref().map_or_else(Vec::new, |cp| cp.gaps.clone());
+
+    if write_frame(
+        &mut sock,
+        FT_OK,
+        &crate::protocol::encode_ok(base_positions),
+    )
+    .is_err()
+    {
+        return outcome(SessionEnd::ClientGone);
+    }
+
+    // --- Pipeline construction ----------------------------------------
+    let violation: Arc<Mutex<Option<ProtocolError>>> = Arc::new(Mutex::new(None));
+    let read_half = match sock.try_clone_stream() {
+        Ok(s) => s,
+        Err(e) => {
+            return fail_out(
+                Fail::Internal(format!("cannot clone socket: {e}")),
+                &mut sock,
+                &tm,
+            )
+        }
+    };
+    let adapter = FramePayloadReader {
+        sock: read_half,
+        ctx: ctx.clone(),
+        idle: ctx.config.idle_timeout,
+        remaining: 0,
+        finished: false,
+        bytes: tm.bytes.clone(),
+        violation: violation.clone(),
+    };
+    // Blocks until the client's first trace bytes arrive (the format
+    // sniff needs 8 bytes), honoring idle/shutdown via the adapter.
+    let mut reader = match AnyTraceReader::open(adapter) {
+        Ok(r) => r,
+        Err(e) => return fail_out(Fail::from_decode(e, &violation), &mut sock, &tm),
+    };
+    if ctx.config.lenient {
+        reader.set_lenient(true);
+    }
+    if base_positions > 0 {
+        reader.set_skip_events(base_positions);
+    }
+    let expected = reader.expected_events();
+
+    let writer = match &resumed {
+        Some(cp) => {
+            let open = fs::OpenOptions::new().write(true).open(&report_path);
+            match open.and_then(|f| f.metadata().map(|m| (f, m.len()))) {
+                Ok((f, len)) if len >= cp.sink.bytes_flushed => {
+                    let mut f = f;
+                    if f.set_len(cp.sink.bytes_flushed).is_err()
+                        || f.seek(SeekFrom::End(0)).is_err()
+                    {
+                        return fail_out(
+                            Fail::Internal("cannot truncate report for resume".into()),
+                            &mut sock,
+                            &tm,
+                        );
+                    }
+                    Some(AnyTraceWriter::resume_jsonl(
+                        f,
+                        cp.sink.events as usize,
+                        StreamProbes::noop(),
+                    ))
+                }
+                Ok((_, len)) => {
+                    return fail_out(
+                        Fail::Internal(format!(
+                            "report is {len} bytes but the checkpoint flushed {}; \
+                             wrong or modified report file",
+                            cp.sink.bytes_flushed
+                        )),
+                        &mut sock,
+                        &tm,
+                    )
+                }
+                Err(e) => {
+                    return fail_out(
+                        Fail::Internal(format!("cannot reopen report for resume: {e}")),
+                        &mut sock,
+                        &tm,
+                    )
+                }
+            }
+        }
+        None => match File::create(&report_path) {
+            Ok(f) => match AnyTraceWriter::with_probes(
+                f,
+                TraceFormat::Jsonl,
+                TraceKind::Approximated,
+                expected,
+                StreamProbes::noop(),
+            ) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    return fail_out(
+                        Fail::Internal(format!("cannot start report: {e}")),
+                        &mut sock,
+                        &tm,
+                    )
+                }
+            },
+            Err(e) => {
+                return fail_out(
+                    Fail::Internal(format!("cannot create report: {e}")),
+                    &mut sock,
+                    &tm,
+                )
+            }
+        },
+    };
+    let mut analyzer = match &resumed {
+        Some(cp) => {
+            EventBasedAnalyzer::restore_with_probes(&cp.analyzer, ppa_core::AnalyzerProbes::noop())
+        }
+        None => EventBasedAnalyzer::new(&ctx.config.overheads),
+    };
+    let mut reorder = match &resumed {
+        Some(cp) => cp
+            .reorder
+            .as_ref()
+            .map(ReorderBuffer::restore)
+            .or_else(|| ctx.config.reorder_window.map(ReorderBuffer::new)),
+        None => ctx.config.reorder_window.map(ReorderBuffer::new),
+    };
+    let mut sink = ReportSink {
+        writer,
+        events: resumed.as_ref().map_or(0, |cp| cp.sink.events),
+        awaits: resumed.as_ref().map_or(0, |cp| cp.sink.awaits),
+        barriers: resumed.as_ref().map_or(0, |cp| cp.sink.barriers),
+        last_time: resumed.as_ref().map_or(Time::ZERO, |cp| cp.sink.last_time),
+    };
+    drop(resumed);
+
+    // --- The event loop ------------------------------------------------
+    let mut pushed: u64 = 0;
+    let mut since_checkpoint: u64 = 0;
+    let mut since_resident: u64 = 0;
+    let quotas = ctx.table.quotas().clone();
+    // Phase 1: the event loop. Only borrows the analyzer, so on a
+    // checkpoint-worthy failure (idle, shutdown, vanished client,
+    // resident quota) the state is still here to snapshot.
+    let loop_result: Result<(), Fail> = (|| {
+        while let Some(item) = reader.next() {
+            let event = item.map_err(|e| Fail::from_decode(e, &violation))?;
+            let sink_err = |e: IoError| Fail::Internal(format!("report write: {e}"));
+            match &mut reorder {
+                Some(buf) => {
+                    buf.push(event);
+                    while let Some(e) = buf.pop_ready() {
+                        analyzer
+                            .push(e)
+                            .map_err(|e| Fail::BadTrace(e.to_string()))?;
+                        while let Some(o) = analyzer.next_output() {
+                            sink.take(o).map_err(sink_err)?;
+                        }
+                    }
+                }
+                None => {
+                    analyzer
+                        .push(event)
+                        .map_err(|e| Fail::BadTrace(e.to_string()))?;
+                    while let Some(o) = analyzer.next_output() {
+                        sink.take(o).map_err(sink_err)?;
+                    }
+                }
+            }
+            pushed += 1;
+            since_checkpoint += 1;
+            since_resident += 1;
+            tm.events.inc();
+
+            if quotas.tenant_max_eps > 0 {
+                let sleep = ctx.table.throttle(&tenant, 1);
+                if !sleep.is_zero() {
+                    tm.throttled_ms.add(sleep.as_millis() as u64);
+                    std::thread::sleep(sleep);
+                }
+            }
+            if quotas.tenant_max_resident_bytes > 0 && since_resident >= RESIDENT_CHECK_EVERY {
+                since_resident = 0;
+                let held = analyzer.resident() + reorder.as_ref().map_or(0, ReorderBuffer::len);
+                let bytes = (held * std::mem::size_of::<Event>()) as u64;
+                if permit.set_resident(bytes) {
+                    return Err(Fail::QuotaResident(format!(
+                        "tenant resident state exceeds the {}-byte quota \
+                         (this session holds ~{bytes} bytes); state checkpointed",
+                        quotas.tenant_max_resident_bytes
+                    )));
+                }
+            }
+            if since_checkpoint >= ctx.config.checkpoint_every {
+                since_checkpoint = 0;
+                take_checkpoint(
+                    &ckpt_path,
+                    &report_path,
+                    &analyzer,
+                    &reorder,
+                    &mut sink,
+                    &reader,
+                    base_positions,
+                    pushed,
+                    prior_lost,
+                    &prior_gaps,
+                )
+                .map_err(Fail::Internal)?;
+                tm.checkpoints.inc();
+            }
+            if ctx.should_stop() {
+                return Err(Fail::Shutdown);
+            }
+        }
+        Ok(())
+    })();
+
+    if let Err(fail) = loop_result {
+        tm.gaps.add(reader.gaps().len() as u64);
+        tm.events_lost.add(reader.events_lost());
+        if fail.checkpoint_worthy() {
+            let ck = take_checkpoint(
+                &ckpt_path,
+                &report_path,
+                &analyzer,
+                &reorder,
+                &mut sink,
+                &reader,
+                base_positions,
+                pushed,
+                prior_lost,
+                &prior_gaps,
+            );
+            match ck {
+                Ok(()) => {
+                    tm.checkpoints.inc();
+                    tm.evictions.inc();
+                }
+                Err(e) => {
+                    return fail_out(
+                        Fail::Internal(format!("eviction checkpoint failed: {e}")),
+                        &mut sock,
+                        &tm,
+                    )
+                }
+            }
+        }
+        return fail_out(fail, &mut sock, &tm);
+    }
+
+    // Phase 2: end of input. Drain the reorder tail, finish the
+    // analyzer (consuming it — nothing here needs a checkpoint: a
+    // failure past FIN is either bad data or a server fault, and the
+    // cadence checkpoint from phase 1 still covers resume).
+    let result: Result<Summary, Fail> = (|| {
+        let sink_err = |e: IoError| Fail::Internal(format!("report write: {e}"));
+        if let Some(buf) = &mut reorder {
+            while let Some(e) = buf.pop_flush() {
+                analyzer
+                    .push(e)
+                    .map_err(|e| Fail::BadTrace(e.to_string()))?;
+                while let Some(o) = analyzer.next_output() {
+                    sink.take(o).map_err(sink_err)?;
+                }
+            }
+        }
+        let tail = if ctx.config.lenient {
+            analyzer.finish_lenient()
+        } else {
+            analyzer
+                .finish()
+                .map_err(|e| Fail::BadTrace(e.to_string()))?
+        };
+        for o in &tail.outputs {
+            sink.take(*o).map_err(sink_err)?;
+        }
+        if let Some(w) = sink.writer.take() {
+            let mut inner = w
+                .finish()
+                .map_err(|e| Fail::Internal(format!("finish report: {e}")))?;
+            inner
+                .flush()
+                .map_err(|e| Fail::Internal(format!("flush report: {e}")))?;
+        }
+        Ok(Summary {
+            events: sink.events,
+            awaits: sink.awaits,
+            barriers: sink.barriers,
+            last_time_ns: sink.last_time.as_nanos(),
+            gaps: (prior_gaps.len() + reader.gaps().len()) as u64,
+            events_lost: prior_lost + reader.events_lost(),
+        })
+    })();
+
+    tm.gaps.add(reader.gaps().len() as u64);
+    tm.events_lost.add(reader.events_lost());
+
+    match result {
+        Ok(summary) => {
+            // The session is complete: the checkpoint (a resume token)
+            // is stale. Delete it so a future HELLO starts fresh.
+            match fs::remove_file(&ckpt_path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return fail_out(
+                        Fail::Internal(format!("cannot clear checkpoint: {e}")),
+                        &mut sock,
+                        &tm,
+                    )
+                }
+            }
+            tm.completed.inc();
+            let _ = write_frame(&mut sock, FT_DONE, &crate::protocol::encode_done(&summary));
+            outcome(SessionEnd::Completed {
+                events: summary.events,
+            })
+        }
+        Err(fail) => fail_out(fail, &mut sock, &tm),
+    }
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Lint that PROTOCOL.md mirrors the wire constants in ppa-server.
+
+The doc-tested Rust block at the end of PROTOCOL.md already fails the
+build if its assertions disagree with the source; this lint covers the
+other direction — the *prose tables* of the spec. Every frame type and
+error code declared in crates/server/src/protocol.rs must appear in
+PROTOCOL.md with the same literal value and the same name, so the spec
+a client author reads cannot drift from what the daemon speaks.
+
+Exit 0 when everything matches; exit 1 with one line per mismatch.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "crates" / "server" / "src" / "protocol.rs"
+DOC = ROOT / "PROTOCOL.md"
+
+
+def parse_consts(src: str):
+    """Return {name: int} for every pub const u8/u16/u32/usize literal."""
+    consts = {}
+    pat = re.compile(
+        r"pub const (?P<name>[A-Z_0-9]+): (?:u8|u16|u32|usize) = "
+        r"(?P<val>0x[0-9a-fA-F]+|\d+(?: << \d+)?);"
+    )
+    for m in pat.finditer(src):
+        val = m.group("val")
+        if "<<" in val:
+            lhs, rhs = val.split("<<")
+            consts[m.group("name")] = int(lhs) << int(rhs)
+        else:
+            consts[m.group("name")] = int(val, 0)
+    return consts
+
+
+def main() -> int:
+    src = SRC.read_text()
+    doc = DOC.read_text()
+    consts = parse_consts(src)
+    errors = []
+
+    def require(cond: bool, msg: str):
+        if not cond:
+            errors.append(msg)
+
+    fts = {k: v for k, v in consts.items() if k.startswith("FT_")}
+    ecs = {k: v for k, v in consts.items() if k.startswith("EC_")}
+    require(len(fts) >= 6, f"expected >=6 FT_ consts in {SRC}, found {len(fts)}")
+    require(len(ecs) >= 12, f"expected >=12 EC_ consts in {SRC}, found {len(ecs)}")
+
+    # Every frame type must appear as a table row: | `0xNN` | `NAME` | ...
+    for name, val in sorted(fts.items(), key=lambda kv: kv[1]):
+        label = name[len("FT_"):]
+        row = re.compile(
+            r"\|\s*`0x%02x`\s*\|\s*`%s`\s*\|" % (val, re.escape(label))
+        )
+        require(
+            bool(row.search(doc)),
+            f"PROTOCOL.md frame-type table is missing | `0x{val:02x}` | `{label}` | "
+            f"(source: {name} = 0x{val:02x})",
+        )
+
+    # Every error code must appear as a table row: | N | `kebab-name` | ...
+    for name, val in sorted(ecs.items(), key=lambda kv: kv[1]):
+        label = name[len("EC_"):].lower().replace("_", "-")
+        row = re.compile(r"\|\s*%d\s*\|\s*`%s`\s*\|" % (val, re.escape(label)))
+        require(
+            bool(row.search(doc)),
+            f"PROTOCOL.md error-code table is missing | {val} | `{label}` | "
+            f"(source: {name} = {val})",
+        )
+
+    # Error codes must be dense 1..=N — the spec's tables promise that.
+    expected = list(range(1, len(ecs) + 1))
+    require(
+        sorted(ecs.values()) == expected,
+        f"EC_ codes are not dense 1..={len(ecs)}: {sorted(ecs.values())}",
+    )
+
+    # Scalar facts the prose states outright.
+    require("PPASERV1" in doc, "PROTOCOL.md never names the magic PPASERV1")
+    require(
+        consts.get("FRAME_HEADER_LEN") == 8 and "8-byte header" in doc,
+        "frame header is not documented as the 8-byte header the source declares",
+    )
+    require(
+        consts.get("MAX_FRAME_LEN") == (1 << 24) and "`1 << 24`" in doc,
+        "MAX_FRAME_LEN (1 << 24) is not stated in PROTOCOL.md",
+    )
+    require(
+        consts.get("MAX_ID_LEN") == 128 and "1..=128 bytes" in doc,
+        "MAX_ID_LEN (128) is not reflected in the id validation prose",
+    )
+    version = consts.get("SERVE_VERSION")
+    require(
+        version == 1 and "protocol version: 1" in doc,
+        f"SERVE_VERSION ({version}) is not the version PROTOCOL.md documents",
+    )
+
+    # The doc-tested block must exercise every constant by name, so a
+    # rename in the source breaks the doctest rather than orphaning it.
+    for name in sorted(consts):
+        require(
+            f"p::{name}" in doc,
+            f"doc-tested block in PROTOCOL.md never references p::{name}",
+        )
+
+    if errors:
+        for e in errors:
+            print(f"check_protocol_doc: {e}", file=sys.stderr)
+        print(
+            f"check_protocol_doc: {len(errors)} mismatch(es) between "
+            f"{SRC.relative_to(ROOT)} and {DOC.relative_to(ROOT)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"check_protocol_doc: ok — {len(fts)} frame types, {len(ecs)} error "
+        f"codes, and all scalar constants match PROTOCOL.md"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
