@@ -113,6 +113,96 @@ fn observability_ablation(trace: &Trace, oh: &OverheadSpec, n: usize) {
     );
 }
 
+/// The consume loop instrumented the way `ppa analyze --stream` is: a
+/// `Run` root span with a rotating `AnalyzePush` chunk span per 4096
+/// events. With no recorder bound the guards are inert; the ablation
+/// compares that against a recorder installed globally.
+fn drive_stream_spanned(trace: &Trace, oh: &OverheadSpec) -> usize {
+    use ppa::obs::{span_enter, Stage};
+
+    let mut analyzer = EventBasedAnalyzer::new(oh);
+    let mut outputs = 0usize;
+    let run_span = span_enter(Stage::Run);
+    let mut chunk_span: Option<ppa::obs::SpanGuard> = None;
+    for (i, e) in trace.iter().enumerate() {
+        if i % 4096 == 0 {
+            // Rotate: close the old chunk before opening the new one so
+            // chunks stay siblings under the root.
+            drop(chunk_span.take());
+            let mut g = span_enter(Stage::AnalyzePush);
+            g.attr_seq(i as u64);
+            chunk_span = Some(g);
+        }
+        analyzer.push(*e).expect("ordered trace");
+        while analyzer.next_output().is_some() {
+            outputs += 1;
+        }
+    }
+    drop(chunk_span);
+    let tail = analyzer.finish().expect("feasible trace");
+    drop(run_span);
+    outputs + tail.outputs.len()
+}
+
+/// Self-trace ablation: the spanned consume loop with span guards inert
+/// (no recorder) vs recording into an installed [`SpanRecorder`], the
+/// exact configuration `ppa analyze --self-trace` runs in. Records the
+/// headline numbers into `BENCH_self_trace.json` at the repo root; the
+/// acceptance bar is < 2% throughput cost with the recorder attached.
+fn self_trace_ablation(trace: &Trace, oh: &OverheadSpec, n: usize) {
+    use ppa::obs::SpanRecorder;
+
+    let t_off = best_of_5(|| drive_stream_spanned(trace, oh));
+    let recorder = SpanRecorder::new();
+    let _installed = recorder.install_global();
+    let t_on = best_of_5(|| drive_stream_spanned(trace, oh));
+    let log = recorder.drain();
+    let spans_per_run = log.events.len() / 6; // warm-up + 5 timed runs
+    let delta = (t_on - t_off) / t_off * 100.0;
+    let eps = |secs: f64| n as f64 / secs;
+
+    println!("\n=== self-trace ablation (spanned consume path) ===");
+    println!(
+        "spans compiled: {}",
+        if ppa::obs::ENABLED {
+            "yes"
+        } else {
+            "no (erased)"
+        }
+    );
+    println!(
+        "recorder off (inert guards): {:>12.0} events/sec",
+        eps(t_off)
+    );
+    println!(
+        "recorder on  (installed)   : {:>12.0} events/sec ({delta:+.2}% vs off)",
+        eps(t_on)
+    );
+    println!("spans per run: {spans_per_run} ({} dropped)", log.dropped);
+    println!(
+        "acceptance (<2% with recorder attached): {}",
+        if delta < 2.0 { "PASS" } else { "FAIL" }
+    );
+
+    let report = format!(
+        "{{\n  \"bench\": \"self_trace\",\n  \"events\": {n},\n  \
+         \"pipeline\": \"streaming consume loop with Run root + AnalyzePush chunk span per 4096 events\",\n  \
+         \"spans_per_run\": {spans_per_run},\n  \
+         \"events_per_sec\": {{ \"recorder_off\": {:.0}, \"recorder_on\": {:.0} }},\n  \
+         \"overhead_pct\": {delta:.2},\n  \
+         \"acceptance_under_2_pct\": {}\n}}\n",
+        eps(t_off),
+        eps(t_on),
+        delta < 2.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_self_trace.json");
+    if let Err(e) = std::fs::write(path, &report) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("recorded {path}");
+    }
+}
+
 fn streaming_throughput(c: &mut Criterion) {
     let (trace, oh) = fixture();
     let n = trace.len();
@@ -151,6 +241,7 @@ fn streaming_throughput(c: &mut Criterion) {
     );
 
     observability_ablation(&trace, &oh, n);
+    self_trace_ablation(&trace, &oh, n);
 
     let mut group = c.benchmark_group("streaming_throughput");
     group.throughput(Throughput::Elements(n as u64));

@@ -1,0 +1,132 @@
+//! The self-trace exporter must emit traces `ppa check` accepts: the
+//! dogfood loop (`ppa analyze --self-trace` fed back through the
+//! checker) depends on every exported span log satisfying the full
+//! trace lint — total order, per-processor monotonicity, contiguous
+//! sequence numbers, and await pairing — in both container formats.
+
+use ppa_check::TraceLinter;
+use ppa_obs::{SpanEvent, SpanLog, Stage, STAGE_COUNT};
+use ppa_trace::{write_self_trace, AnyTraceReader, TraceFormat, TraceKind};
+use proptest::prelude::*;
+
+/// A random call tree; spans are synthesized from it with a counter
+/// clock, so the fixtures satisfy exactly the invariants the recorder
+/// guarantees (well-nested per thread) without needing a live recorder.
+#[derive(Clone, Debug)]
+struct Node {
+    stage: usize,
+    children: Vec<Node>,
+}
+
+fn arb_tree() -> impl Strategy<Value = Node> {
+    let leaf = (0..STAGE_COUNT).prop_map(|stage| Node {
+        stage,
+        children: Vec::new(),
+    });
+    // Depth up to 10 so some spans exceed the exporter's lane budget
+    // (DEPTH_LANES = 8) and exercise the skip path.
+    leaf.prop_recursive(10, 48, 3, |inner| {
+        (0..STAGE_COUNT, proptest::collection::vec(inner, 0..3))
+            .prop_map(|(stage, children)| Node { stage, children })
+    })
+}
+
+fn synthesize(
+    node: &Node,
+    thread: u32,
+    parent: Option<u64>,
+    depth: u16,
+    clock: &mut u64,
+    next_id: &mut u64,
+    out: &mut Vec<SpanEvent>,
+) {
+    let id = *next_id;
+    *next_id += 1;
+    let start_ns = *clock;
+    *clock += 1;
+    for child in &node.children {
+        synthesize(child, thread, Some(id), depth + 1, clock, next_id, out);
+    }
+    let end_ns = *clock;
+    *clock += 1;
+    out.push(SpanEvent {
+        id,
+        parent,
+        thread,
+        depth,
+        stage: Stage::ALL[node.stage],
+        start_ns,
+        end_ns,
+        block: None,
+        seq: None,
+    });
+}
+
+fn log_from(forest: &[(u32, Node)]) -> SpanLog {
+    let mut events = Vec::new();
+    let mut clock = 0;
+    let mut next_id = 0;
+    for (thread, tree) in forest {
+        synthesize(
+            tree,
+            *thread,
+            None,
+            0,
+            &mut clock,
+            &mut next_id,
+            &mut events,
+        );
+    }
+    events.sort_by_key(|e| (e.start_ns, e.id));
+    let mut stage_ns = [0u64; STAGE_COUNT];
+    for e in &events {
+        stage_ns[e.stage.index()] += e.duration_ns();
+    }
+    SpanLog {
+        events,
+        dropped: 0,
+        stage_ns,
+    }
+}
+
+fn lint_violations(bytes: &[u8]) -> Vec<String> {
+    let reader = AnyTraceReader::open(bytes).expect("open exported self-trace");
+    assert_eq!(reader.kind(), TraceKind::Measured);
+    let mut linter = TraceLinter::new();
+    for event in reader {
+        let event = event.expect("decode exported event");
+        linter.push(&event);
+    }
+    linter
+        .finish()
+        .into_iter()
+        .map(|v| format!("{}: {}", v.rule, v.detail))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every exported span forest — including multi-thread logs and
+    /// spans deep enough to be skipped — lints clean in both formats.
+    #[test]
+    fn exported_self_trace_passes_the_lint(
+        trees in proptest::collection::vec(arb_tree(), 1..4),
+        threads in 1u32..3,
+    ) {
+        let forest: Vec<(u32, Node)> = trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32 % threads, t.clone()))
+            .collect();
+        let log = log_from(&forest);
+
+        for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+            let mut bytes = Vec::new();
+            let summary = write_self_trace(&mut bytes, &log, format).expect("export");
+            prop_assert_eq!(summary.spans + summary.skipped, log.events.len());
+            let violations = lint_violations(&bytes);
+            prop_assert!(violations.is_empty(), "lint violations: {:?}", violations);
+        }
+    }
+}

@@ -208,7 +208,10 @@ fn real_main() -> Result<(), CliError> {
             );
             println!(
                 "         [--metrics-out snap.prom] [--metrics-format prom|json] \
-                 [--progress[=force]]"
+                 [--metrics-every SECS] [--progress[=force]]"
+            );
+            println!(
+                "         [--self-trace spans.{{jsonl|bin|json}}] [--self-trace-format ppa|chrome]"
             );
             println!(
                 "         [--lenient] [--reorder-window N] \
@@ -236,6 +239,10 @@ fn real_main() -> Result<(), CliError> {
             println!(
                 "         [--checkpoint-every N] [--idle-timeout-ms N] [--lenient] \
                  [--reorder-window N] [--overheads spec.json]"
+            );
+            println!(
+                "         [--log-format text|json] [--log-level info|debug] \
+                 [--self-trace-dir DIR] [--metrics-every SECS]"
             );
             println!(
                 "send:    ppa send <trace.{{jsonl|bin}}> (--to ADDR | --unix PATH) \
@@ -620,14 +627,73 @@ fn native() {
 
 const ANALYZE_USAGE: &str = "usage: ppa analyze <measured.{jsonl|bin}> [--stream] \
      [--out approx] [--format bin|jsonl] [--overheads spec.json] \
-     [--metrics-out snap.prom] [--metrics-format prom|json] [--progress[=force]] \
-     [--lenient] [--reorder-window N] \
+     [--metrics-out snap.prom] [--metrics-format prom|json] [--metrics-every SECS] \
+     [--progress[=force]] [--self-trace spans.{jsonl|bin|json}] \
+     [--self-trace-format ppa|chrome] [--lenient] [--reorder-window N] \
      [--checkpoint state.ckpt [--checkpoint-every N]] [--resume state.ckpt]";
 
 #[derive(Clone, Copy, PartialEq)]
 enum MetricsFormat {
     Prom,
     Json,
+}
+
+/// On-disk shape of `--self-trace` output: a native ppa trace (the
+/// dogfood loop — `ppa analyze`/`ppa check` run on it unmodified) or
+/// Chrome trace-event JSON for chrome://tracing and Perfetto.
+#[derive(Clone, Copy, PartialEq)]
+enum SelfTraceFormat {
+    Ppa,
+    Chrome,
+}
+
+/// Writes `text` to `path` atomically (tmp + fsync + rename), the same
+/// discipline as checkpoint writes: a reader never observes a torn
+/// snapshot, which is what lets `--metrics-every` re-export into a path
+/// a scraper is concurrently reading.
+fn write_atomic(path: &str, text: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let tmp = format!("{path}.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+/// Drains `recorder` and writes the self-trace to `path` in `format`.
+/// For the ppa format the container is chosen by extension: `.bin`
+/// gets `ppa-trace-bin-v1`, anything else JSONL.
+fn export_self_trace(
+    recorder: &ppa::obs::SpanRecorder,
+    path: &str,
+    format: SelfTraceFormat,
+) -> Result<(), CliError> {
+    use ppa::trace::{write_chrome_trace, write_self_trace, TraceFormat};
+    use std::io::BufWriter;
+
+    let log = recorder.drain();
+    let file = File::create(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let mut out = BufWriter::new(file);
+    let summary = match format {
+        SelfTraceFormat::Ppa => {
+            let container = if path.ends_with(".bin") {
+                TraceFormat::Binary
+            } else {
+                TraceFormat::Jsonl
+            };
+            write_self_trace(&mut out, &log, container)
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?
+        }
+        SelfTraceFormat::Chrome => {
+            write_chrome_trace(&mut out, &log).map_err(|e| CliError::Io(format!("{path}: {e}")))?
+        }
+    };
+    println!(
+        "self-trace written to {path}: {} span(s), {} skipped, {} dropped",
+        summary.spans, summary.skipped, summary.dropped
+    );
+    Ok(())
 }
 
 /// Fault-tolerance options of the streaming pipeline (all off by default).
@@ -689,6 +755,9 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
     let mut overheads_path: Option<&str> = None;
     let mut metrics_out: Option<&str> = None;
     let mut metrics_format = MetricsFormat::Prom;
+    let mut metrics_every: Option<std::time::Duration> = None;
+    let mut self_trace: Option<&str> = None;
+    let mut self_trace_format: Option<SelfTraceFormat> = None;
     let mut stream = false;
     let mut progress_flag = false;
     let mut progress_forced = false;
@@ -760,6 +829,36 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
                     }
                 };
             }
+            "--metrics-every" => {
+                let n = it.next().ok_or_else(|| missing("--metrics-every"))?;
+                metrics_every = Some(std::time::Duration::from_secs(
+                    n.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "--metrics-every must be a positive number of seconds, got {n:?}"
+                        ))
+                    })?,
+                ));
+            }
+            "--self-trace" => {
+                self_trace = Some(it.next().ok_or_else(|| missing("--self-trace"))?);
+            }
+            "--self-trace-format" => {
+                self_trace_format = Some(
+                    match it
+                        .next()
+                        .ok_or_else(|| missing("--self-trace-format"))?
+                        .as_str()
+                    {
+                        "ppa" => SelfTraceFormat::Ppa,
+                        "chrome" => SelfTraceFormat::Chrome,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "--self-trace-format must be `ppa` or `chrome`, got {other:?}"
+                            )));
+                        }
+                    },
+                );
+            }
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {flag:?}")));
             }
@@ -768,9 +867,19 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
         }
     }
     let input = input.ok_or_else(|| CliError::Usage(ANALYZE_USAGE.into()))?;
-    if (metrics_out.is_some() || progress_flag) && !stream {
+    if (metrics_out.is_some() || progress_flag || self_trace.is_some()) && !stream {
         return Err(CliError::Usage(
-            "--metrics-out and --progress require --stream".into(),
+            "--metrics-out, --progress, and --self-trace require --stream".into(),
+        ));
+    }
+    if metrics_every.is_some() && metrics_out.is_none() {
+        return Err(CliError::Usage(
+            "--metrics-every only applies with --metrics-out".into(),
+        ));
+    }
+    if self_trace_format.is_some() && self_trace.is_none() {
+        return Err(CliError::Usage(
+            "--self-trace-format only applies with --self-trace".into(),
         ));
     }
     if !stream
@@ -831,6 +940,8 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
             &overheads,
             metrics_out,
             metrics_format,
+            metrics_every,
+            self_trace.map(|p| (p, self_trace_format.unwrap_or(SelfTraceFormat::Ppa))),
             progress,
             &faults,
         )
@@ -870,6 +981,8 @@ fn stream_analyze(
     overheads: &ppa::trace::OverheadSpec,
     metrics_out: Option<&str>,
     metrics_format: MetricsFormat,
+    metrics_every: Option<std::time::Duration>,
+    self_trace: Option<(&str, SelfTraceFormat)>,
     progress: bool,
     faults: &FaultOptions,
 ) -> Result<(), CliError> {
@@ -877,13 +990,39 @@ fn stream_analyze(
         read_checkpoint, write_checkpoint, AnalyzerProbes, Checkpoint, EventBasedAnalyzer,
         SinkState,
     };
-    use ppa::obs::{calibrate_self_overhead, json_text, prometheus_text, Registry};
+    use ppa::obs::{
+        calibrate_self_overhead, json_text, prometheus_text, span_enter, Registry, SpanRecorder,
+        Stage, StageCounters, STAGE_COUNT,
+    };
     use ppa::trace::{AnyTraceReader, AnyTraceWriter, ReorderBuffer, StreamProbes, TraceKind};
     use std::io::{BufReader, BufWriter, Seek, SeekFrom};
     use std::time::{Duration, Instant};
 
     let registry = Registry::new();
     let want_metrics = metrics_out.is_some();
+
+    // The span recorder watches the pipeline run itself. Installed
+    // globally (before the reader spawns decode workers) so codec
+    // threads lazily bind to it; drained at the end into the
+    // `--self-trace` export and the `ppa_stage_ns_total` counters.
+    let want_spans = want_metrics || self_trace.is_some();
+    let recorder = want_spans.then(SpanRecorder::new);
+    let _recorder_installed = recorder.as_ref().map(|r| r.install_global());
+    let stage_counters = want_metrics.then(|| StageCounters::register(&registry));
+    // Stage totals already pushed to the registry, so `--metrics-every`
+    // snapshots can re-export monotone counters mid-run.
+    let mut stage_published = [0u64; STAGE_COUNT];
+    let publish_stages = |published: &mut [u64; STAGE_COUNT]| {
+        if let (Some(rec), Some(counters)) = (&recorder, &stage_counters) {
+            let totals = rec.stage_totals();
+            let mut delta = [0u64; STAGE_COUNT];
+            for (d, (t, p)) in delta.iter_mut().zip(totals.iter().zip(published.iter())) {
+                *d = t - p;
+            }
+            counters.add_totals(&delta);
+            *published = totals;
+        }
+    };
     let (read_probes, write_probes, analyzer_probes) = if want_metrics {
         (
             StreamProbes::register(&registry, "read"),
@@ -1010,10 +1149,26 @@ fn stream_analyze(
     let mut per_proc: Vec<u64> = Vec::new();
     let began = Instant::now();
     let mut last_tick = began;
+    let mut last_export = began;
     let mut pushed: u64 = 0;
     let mut since_checkpoint: u64 = 0;
 
+    // The whole streaming run is one root span; per-event spans would
+    // perturb the pipeline they measure (the paper's uncertainty
+    // principle), so push work is attributed in 4096-event chunks
+    // instead — the same granularity as the progress ticker.
+    let mut run_span = Some(span_enter(Stage::Run));
+    let mut chunk_span: Option<ppa::obs::SpanGuard> = None;
+
     while let Some(item) = reader.next() {
+        if want_spans && pushed.is_multiple_of(4096) {
+            // Close the old chunk before opening the new one so chunks
+            // stay siblings under the run span rather than nesting.
+            drop(chunk_span.take());
+            let mut g = span_enter(Stage::AnalyzePush);
+            g.attr_seq(pushed);
+            chunk_span = Some(g);
+        }
         let event = item.map_err(|e| CliError::from(e).prefixed(input))?;
         if want_metrics {
             let pi = event.proc.index();
@@ -1073,6 +1228,18 @@ fn stream_analyze(
                 checkpoints_written.inc();
             }
         }
+        if let (Some(every), Some(path)) = (metrics_every, metrics_out) {
+            if pushed.is_multiple_of(4096) && last_export.elapsed() >= every {
+                publish_stages(&mut stage_published);
+                let snap = registry.snapshot();
+                let text = match metrics_format {
+                    MetricsFormat::Prom => prometheus_text(&snap),
+                    MetricsFormat::Json => json_text(&snap),
+                };
+                write_atomic(path, &text).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                last_export = Instant::now();
+            }
+        }
         if progress
             && pushed.is_multiple_of(4096)
             && last_tick.elapsed() >= Duration::from_millis(250)
@@ -1085,8 +1252,10 @@ fn stream_analyze(
             last_tick = Instant::now();
         }
     }
+    drop(chunk_span);
     // End of input: release whatever the reorder buffer still holds.
     if let Some(buf) = &mut reorder {
+        let _span = span_enter(Stage::Reorder);
         while let Some(e) = buf.pop_flush() {
             analyzer.push(e)?;
             while let Some(o) = analyzer.next_output() {
@@ -1094,17 +1263,24 @@ fn stream_analyze(
             }
         }
     }
-    let tail = if faults.lenient {
-        analyzer.finish_lenient()
-    } else {
-        analyzer.finish()?
+    let tail = {
+        let _span = span_enter(Stage::AnalyzeEmit);
+        let tail = if faults.lenient {
+            analyzer.finish_lenient()
+        } else {
+            analyzer.finish()?
+        };
+        for o in &tail.outputs {
+            sink.take(*o).map_err(|e| CliError::Io(e.to_string()))?;
+        }
+        if let Some(w) = sink.writer.take() {
+            w.finish().map_err(|e| CliError::Io(e.to_string()))?;
+        }
+        tail
     };
-    for o in &tail.outputs {
-        sink.take(*o).map_err(|e| CliError::Io(e.to_string()))?;
-    }
-    if let Some(w) = sink.writer.take() {
-        w.finish().map_err(|e| CliError::Io(e.to_string()))?;
-    }
+    // The root span ends here so its duration lands in the drained log
+    // and the stage totals below.
+    drop(run_span.take());
     if progress {
         eprintln!("progress: done ({pushed} events in, {} out)", sink.events);
     }
@@ -1151,13 +1327,18 @@ fn stream_analyze(
                 });
         }
         calibrate_self_overhead().export(&registry);
+        publish_stages(&mut stage_published);
         let snap = registry.snapshot();
         let text = match metrics_format {
             MetricsFormat::Prom => prometheus_text(&snap),
             MetricsFormat::Json => json_text(&snap),
         };
-        std::fs::write(path, text).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        write_atomic(path, &text).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
         println!("metrics snapshot written to {path}");
+    }
+
+    if let (Some((path, format)), Some(rec)) = (self_trace, &recorder) {
+        export_self_trace(rec, path, format)?;
     }
 
     println!(
@@ -1509,7 +1690,9 @@ const SERVE_USAGE: &str = "usage: ppa serve --checkpoint-dir DIR [--listen ADDR]
                            [--max-sessions N] [--tenant-max-sessions N] [--tenant-max-eps N] \
                            [--tenant-max-resident-bytes N] [--checkpoint-every N] \
                            [--idle-timeout-ms N] [--lenient] [--reorder-window N] \
-                           [--overheads spec.json]";
+                           [--overheads spec.json] [--log-format text|json] \
+                           [--log-level info|debug] [--self-trace-dir DIR] \
+                           [--metrics-every SECS]";
 
 const SEND_USAGE: &str = "usage: ppa send <trace.{jsonl|bin}> (--to ADDR | --unix PATH) \
                           --tenant T --stream S [--frame-bytes N]";
@@ -1597,6 +1780,33 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             "--overheads" => {
                 overheads_path = Some(it.next().ok_or_else(|| missing("--overheads"))?);
             }
+            "--log-format" => {
+                let name = it.next().ok_or_else(|| missing("--log-format"))?;
+                config.log_format = ppa::server::LogFormat::parse(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--log-format must be `text` or `json`, got {name:?}"
+                    ))
+                })?;
+            }
+            "--log-level" => {
+                let name = it.next().ok_or_else(|| missing("--log-level"))?;
+                config.log_level = ppa::server::LogLevel::parse(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--log-level must be `info` or `debug`, got {name:?}"
+                    ))
+                })?;
+            }
+            "--self-trace-dir" => {
+                config.self_trace_dir =
+                    Some(it.next().ok_or_else(|| missing("--self-trace-dir"))?.into());
+            }
+            "--metrics-every" => {
+                let n = it.next().ok_or_else(|| missing("--metrics-every"))?;
+                config.metrics_every = Some(std::time::Duration::from_secs(positive(
+                    "--metrics-every",
+                    n,
+                )?));
+            }
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {flag:?}")));
             }
@@ -1622,16 +1832,32 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
 
     install_signal_handlers();
     let server = Server::bind(config).map_err(|e| CliError::Io(format!("bind: {e}")))?;
+    let log = server.ctx().log();
     for addr in server.tcp_addrs() {
-        eprintln!("ppa-serve: listening on tcp {addr}");
+        let addr = addr.to_string();
+        log.info(
+            &format!("listening on tcp {addr}"),
+            "listening_tcp",
+            &[("addr", ppa::server::LogValue::Str(&addr))],
+        );
     }
     if let Some(path) = server.ctx().config.unix_socket.as_ref() {
-        eprintln!("ppa-serve: listening on unix {}", path.display());
+        let path = path.display().to_string();
+        log.info(
+            &format!("listening on unix {path}"),
+            "listening_unix",
+            &[("path", ppa::server::LogValue::Str(&path))],
+        );
     }
     if let Some(addr) = server.metrics_addr() {
-        eprintln!("ppa-serve: metrics on http://{addr}");
+        let addr = addr.to_string();
+        log.info(
+            &format!("metrics on http://{addr}"),
+            "metrics_listening",
+            &[("addr", ppa::server::LogValue::Str(&addr))],
+        );
     }
-    eprintln!("ppa-serve: ready");
+    log.info("ready", "ready", &[]);
     server
         .run()
         .map_err(|e| CliError::Io(format!("serve: {e}")))?;

@@ -181,3 +181,117 @@ fn analyze_stream_exports_json_metrics() {
         .expect("ppa_events_pushed_total present");
     assert!(pushed["value"].as_u64().unwrap() > 0);
 }
+
+/// The dogfood loop: a `--self-trace` of a streaming run must itself be
+/// a valid ppa trace — `ppa check` lints it clean and `ppa analyze`
+/// turns it into a well-formed report — in both container formats.
+#[cfg(feature = "obs")]
+#[test]
+fn analyze_self_trace_dogfoods_through_analyze_and_check() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    for name in ["self_trace.jsonl", "self_trace.bin"] {
+        let st = dir.join(name);
+        let st = st.to_str().unwrap();
+        let out = ppa_analyze(&[input.to_str().unwrap(), "--stream", "--self-trace", st]);
+        assert!(out.status.success(), "{:?}", out);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("self-trace written to"), "stdout: {stdout}");
+
+        let out = Command::new(env!("CARGO_BIN_EXE_ppa"))
+            .args(["check", st])
+            .output()
+            .expect("run ppa check");
+        assert!(out.status.success(), "check {name}: {:?}", out);
+
+        let report = dir.join(format!("{name}.report.jsonl"));
+        let out = ppa_analyze(&[st, "--stream", "--out", report.to_str().unwrap()]);
+        assert!(out.status.success(), "re-analyze {name}: {:?}", out);
+        let text = fs::read_to_string(&report).expect("read self-trace report");
+        assert!(!text.trim().is_empty(), "empty report for {name}");
+        for line in text.lines() {
+            let _: serde_json::Value =
+                serde_json::from_str(line).expect("report line is valid JSON");
+        }
+    }
+}
+
+/// The Chrome exporter writes one valid JSON document whose events all
+/// carry complete-phase spans named after real pipeline stages.
+#[cfg(feature = "obs")]
+#[test]
+fn analyze_self_trace_chrome_export_parses() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let chrome = dir.join("self_trace_chrome.json");
+    let out = ppa_analyze(&[
+        input.to_str().unwrap(),
+        "--stream",
+        "--self-trace",
+        chrome.to_str().unwrap(),
+        "--self-trace-format",
+        "chrome",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+
+    let text = fs::read_to_string(&chrome).expect("read chrome export");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("chrome export is valid JSON");
+    assert_eq!(doc["displayTimeUnit"].as_str(), Some("ns"));
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        assert_eq!(e["ph"].as_str(), Some("X"));
+        assert!(e["dur"].as_f64().is_some());
+        let name = e["name"].as_str().expect("span name");
+        assert!(
+            [
+                "run",
+                "decode",
+                "crc_verify",
+                "reorder",
+                "merge",
+                "analyze_push",
+                "analyze_emit",
+                "checkpoint_write",
+                "frame_read",
+                "ingest",
+                "park"
+            ]
+            .contains(&name),
+            "unknown stage name {name:?}"
+        );
+    }
+    // The root span of the run is always recorded.
+    assert!(events.iter().any(|e| e["name"].as_str() == Some("run")));
+}
+
+#[test]
+fn analyze_self_trace_flags_reject_misuse_with_exit_64() {
+    // Self-tracing instruments the streaming pipeline only.
+    let out = ppa_analyze(&["t.jsonl", "--self-trace", "s.jsonl"]);
+    assert_eq!(out.status.code(), Some(64));
+    // The format selector is meaningless without an output path.
+    let out = ppa_analyze(&["t.jsonl", "--stream", "--self-trace-format", "chrome"]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = ppa_analyze(&[
+        "t.jsonl",
+        "--stream",
+        "--self-trace",
+        "s.jsonl",
+        "--self-trace-format",
+        "xml",
+    ]);
+    assert_eq!(out.status.code(), Some(64));
+    // Periodic re-export needs a snapshot path and a positive period.
+    let out = ppa_analyze(&["t.jsonl", "--stream", "--metrics-every", "5"]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = ppa_analyze(&[
+        "t.jsonl",
+        "--stream",
+        "--metrics-out",
+        "m.prom",
+        "--metrics-every",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(64));
+}

@@ -129,6 +129,7 @@ impl From<std::io::Error> for CheckpointError {
 /// and renamed over `path` — so a crash at any point leaves either the
 /// old checkpoint or the new one, never a torn hybrid.
 pub fn write_checkpoint(path: &Path, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+    let _span = ppa_obs::span_enter(ppa_obs::Stage::CheckpointWrite);
     let payload = value_codec::encode(&checkpoint.serialize());
     let mut buf = Vec::with_capacity(20 + payload.len());
     buf.extend_from_slice(CHECKPOINT_MAGIC);

@@ -65,19 +65,28 @@ pub mod active;
 pub mod noop;
 mod overhead;
 mod snapshot;
+pub mod span;
 
 pub use overhead::{calibrate_self_overhead, SelfOverhead};
 pub use snapshot::{
     exponential_bounds, json_text, prometheus_text, MetricKind, MetricSnapshot, MetricValue,
     Snapshot,
 };
+// The span data model is real in both configurations (exporters
+// downstream consume a drained SpanLog either way); only the recording
+// machinery below is feature-selected.
+pub use span::{SpanEvent, SpanLog, Stage, DEFAULT_THREAD_SPAN_CAP, STAGE_COUNT};
 
 /// Whether observability is compiled in (`true`) or erased (`false`).
 pub const ENABLED: bool = cfg!(feature = "enabled");
 
 #[cfg(feature = "enabled")]
 pub use active::{Counter, Gauge, Histogram, Registry, Stopwatch};
+#[cfg(feature = "enabled")]
+pub use span::{span_enter, BindGuard, InstallGuard, SpanGuard, SpanRecorder, StageCounters};
 
+#[cfg(not(feature = "enabled"))]
+pub use noop::{span_enter, BindGuard, InstallGuard, SpanGuard, SpanRecorder, StageCounters};
 #[cfg(not(feature = "enabled"))]
 pub use noop::{Counter, Gauge, Histogram, Registry, Stopwatch};
 
@@ -93,6 +102,11 @@ mod tests {
     const _: () = assert!(std::mem::size_of::<noop::Histogram>() == 0);
     const _: () = assert!(std::mem::size_of::<noop::Registry>() == 0);
     const _: () = assert!(std::mem::size_of::<noop::Stopwatch>() == 0);
+    const _: () = assert!(std::mem::size_of::<noop::SpanRecorder>() == 0);
+    const _: () = assert!(std::mem::size_of::<noop::SpanGuard>() == 0);
+    const _: () = assert!(std::mem::size_of::<noop::BindGuard>() == 0);
+    const _: () = assert!(std::mem::size_of::<noop::InstallGuard>() == 0);
+    const _: () = assert!(std::mem::size_of::<noop::StageCounters>() == 0);
 
     #[test]
     fn noop_registry_records_and_exports_nothing() {

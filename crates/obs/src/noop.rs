@@ -9,6 +9,7 @@
 //! erased configuration stays testable from an enabled build.
 
 use crate::snapshot::Snapshot;
+use crate::span::{SpanLog, Stage, STAGE_COUNT};
 
 /// No-op mirror of [`crate::active::Counter`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -159,4 +160,92 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         Snapshot::default()
     }
+}
+
+/// No-op mirror of [`crate::span::SpanRecorder`]: accepts bindings and
+/// drains to an empty [`SpanLog`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanRecorder;
+
+impl SpanRecorder {
+    /// A recorder that records nothing.
+    #[inline]
+    pub fn new() -> Self {
+        SpanRecorder
+    }
+
+    /// A recorder that records nothing (the cap is irrelevant).
+    #[inline]
+    pub fn with_thread_cap(_cap: usize) -> Self {
+        SpanRecorder
+    }
+
+    /// Binds nothing; the guard restores nothing.
+    #[inline]
+    pub fn bind_current_thread(&self) -> BindGuard {
+        BindGuard
+    }
+
+    /// Installs nothing; the guard uninstalls nothing.
+    #[inline]
+    pub fn install_global(&self) -> InstallGuard {
+        InstallGuard
+    }
+
+    /// Always an empty log.
+    #[inline]
+    pub fn drain(&self) -> SpanLog {
+        SpanLog::default()
+    }
+
+    /// Always all-zero totals.
+    #[inline]
+    pub fn stage_totals(&self) -> [u64; STAGE_COUNT] {
+        [0; STAGE_COUNT]
+    }
+}
+
+/// No-op mirror of [`crate::span::BindGuard`]. Not `Copy`: like the
+/// active guard, dropping it is meaningful to callers.
+#[derive(Debug, Default)]
+pub struct BindGuard;
+
+/// No-op mirror of [`crate::span::InstallGuard`].
+#[derive(Debug, Default)]
+pub struct InstallGuard;
+
+/// No-op mirror of [`crate::span::SpanGuard`]: no clock read, no record.
+#[derive(Debug, Default)]
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// Discards the attribution.
+    #[inline]
+    pub fn attr_block(&mut self, _block: u64) {}
+
+    /// Discards the attribution.
+    #[inline]
+    pub fn attr_seq(&mut self, _seq: u64) {}
+}
+
+/// No-op mirror of [`crate::span::span_enter`]: an inert guard.
+#[inline]
+pub fn span_enter(_stage: Stage) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op mirror of [`crate::span::StageCounters`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageCounters;
+
+impl StageCounters {
+    /// Registers nothing.
+    #[inline]
+    pub fn register(_registry: &Registry) -> Self {
+        StageCounters
+    }
+
+    /// Discards the totals.
+    #[inline]
+    pub fn add_totals(&self, _totals: &[u64; STAGE_COUNT]) {}
 }

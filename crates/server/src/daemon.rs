@@ -18,17 +18,19 @@
 //! cadence checkpoint; clients replay from byte 0 and the server skips
 //! what it already counted.
 
+use crate::log::{LogFormat, LogLevel, LogValue, Logger};
 use crate::metrics::ServerMetrics;
 use crate::quota::{Quotas, SessionTable};
 use crate::session::{run_session, SessionEnd, SessionOutcome};
 use ppa_trace::OverheadSpec;
 use std::io;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often an idle accept loop checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
@@ -58,6 +60,17 @@ pub struct ServeConfig {
     pub reorder_window: Option<u64>,
     /// Overhead model applied by every session's analyzer.
     pub overheads: OverheadSpec,
+    /// Stderr log record shape (`--log-format`).
+    pub log_format: LogFormat,
+    /// Stderr verbosity (`--log-level`).
+    pub log_level: LogLevel,
+    /// Directory for per-session self-traces (`--self-trace-dir`):
+    /// every finished session writes its own stage spans there as a
+    /// ppa trace (None = no self-tracing).
+    pub self_trace_dir: Option<PathBuf>,
+    /// Re-export the metrics snapshot to `<checkpoint_dir>/metrics.prom`
+    /// at this cadence (`--metrics-every`; None = never).
+    pub metrics_every: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +86,10 @@ impl Default for ServeConfig {
             lenient: false,
             reorder_window: None,
             overheads: OverheadSpec::default(),
+            log_format: LogFormat::Text,
+            log_level: LogLevel::Info,
+            self_trace_dir: None,
+            metrics_every: None,
         }
     }
 }
@@ -87,6 +104,8 @@ pub struct ServerCtx {
     pub metrics: ServerMetrics,
     /// Test-visible shutdown flag; OR'd with the signal flag.
     pub shutdown: Arc<AtomicBool>,
+    /// Monotone connection counter; names per-session self-traces.
+    pub session_seq: AtomicU64,
 }
 
 impl ServerCtx {
@@ -94,6 +113,11 @@ impl ServerCtx {
     /// delivered SIGTERM/SIGINT.
     pub fn should_stop(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed) || signal_shutdown_requested()
+    }
+
+    /// The configured logger (a copyable value, built on demand).
+    pub fn log(&self) -> Logger {
+        Logger::new(self.config.log_format, self.config.log_level)
     }
 }
 
@@ -160,6 +184,9 @@ impl Server {
     /// taken or the checkpoint directory cannot be created.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         std::fs::create_dir_all(&config.checkpoint_dir)?;
+        if let Some(dir) = &config.self_trace_dir {
+            std::fs::create_dir_all(dir)?;
+        }
         let mut tcp = Vec::new();
         for addr in &config.listen {
             let l = TcpListener::bind(addr)?;
@@ -197,6 +224,7 @@ impl Server {
             table,
             metrics,
             shutdown: Arc::new(AtomicBool::new(false)),
+            session_seq: AtomicU64::new(0),
         });
         Ok(Server {
             ctx,
@@ -287,6 +315,7 @@ impl Server {
         }
 
         // Park until shutdown; the acceptors do the work.
+        let mut last_export = Instant::now();
         while !ctx.should_stop() {
             std::thread::sleep(ACCEPT_POLL);
             // Reap finished session threads so a long-lived daemon does
@@ -300,8 +329,19 @@ impl Server {
                     i += 1;
                 }
             }
+            drop(live);
+            if let Some(every) = ctx.config.metrics_every {
+                if last_export.elapsed() >= every {
+                    last_export = Instant::now();
+                    export_metrics_snapshot(&ctx);
+                }
+            }
         }
-        eprintln!("ppa-serve: shutting down, checkpointing live sessions");
+        ctx.log().info(
+            "shutting down, checkpointing live sessions",
+            "shutdown",
+            &[],
+        );
         for a in acceptors {
             let _ = a.join();
         }
@@ -315,11 +355,48 @@ impl Server {
             let _ = std::fs::remove_file(path);
         }
         let report = report.lock().expect("serve report poisoned").clone();
-        eprintln!(
-            "ppa-serve: stopped ({} connections, {} completed, {} parked, {} failed)",
-            report.connections, report.completed, report.parked, report.failed
+        ctx.log().info(
+            &format!(
+                "stopped ({} connections, {} completed, {} parked, {} failed)",
+                report.connections, report.completed, report.parked, report.failed
+            ),
+            "stopped",
+            &[
+                ("connections", LogValue::U64(report.connections)),
+                ("completed", LogValue::U64(report.completed)),
+                ("parked", LogValue::U64(report.parked)),
+                ("failed", LogValue::U64(report.failed)),
+            ],
         );
         Ok(report)
+    }
+}
+
+/// Atomically re-exports the metrics snapshot (Prometheus text) to
+/// `<checkpoint_dir>/metrics.prom`: tmp + fsync + rename, so a scraper
+/// tailing the file never reads a torn snapshot.
+fn export_metrics_snapshot(ctx: &ServerCtx) {
+    let path = ctx.config.checkpoint_dir.join("metrics.prom");
+    let tmp = ctx.config.checkpoint_dir.join("metrics.prom.tmp");
+    let text = ppa_obs::prometheus_text(&ctx.metrics.registry().snapshot());
+    let write = || -> io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &path)
+    };
+    match write() {
+        Ok(()) => ctx.log().debug(
+            &format!("metrics snapshot exported to {}", path.display()),
+            "metrics_export",
+            &[("path", LogValue::Str(&path.to_string_lossy()))],
+        ),
+        Err(e) => ctx.log().info(
+            &format!("metrics export failed: {e}"),
+            "metrics_export_failed",
+            &[("error", LogValue::Str(&e.to_string()))],
+        ),
     }
 }
 
@@ -337,16 +414,21 @@ fn accept_loop<S: crate::session::SessionStream>(
             Some(Err(e)) => {
                 // Transient accept errors (EMFILE, aborted handshakes)
                 // should not kill the listener.
-                eprintln!("ppa-serve: accept error: {e}");
+                ctx.log().info(
+                    &format!("accept error: {e}"),
+                    "accept_error",
+                    &[("error", LogValue::Str(&e.to_string()))],
+                );
                 std::thread::sleep(ACCEPT_POLL);
             }
             Some(Ok(sock)) => {
                 report.lock().expect("serve report poisoned").connections += 1;
+                ctx.log().debug("connection accepted", "accept", &[]);
                 let ctx = ctx.clone();
                 let report = report.clone();
                 let handle = std::thread::spawn(move || {
-                    let outcome = run_session(sock, ctx);
-                    log_outcome(&outcome);
+                    let outcome = run_session(sock, ctx.clone());
+                    log_outcome(&ctx.log(), &outcome);
                     let mut r = report.lock().expect("serve report poisoned");
                     match outcome.end {
                         SessionEnd::Completed { .. } => r.completed += 1,
@@ -365,35 +447,69 @@ fn accept_loop<S: crate::session::SessionStream>(
     }
 }
 
-fn log_outcome(o: &SessionOutcome) {
+fn log_outcome(log: &Logger, o: &SessionOutcome) {
+    let session = |extra: &[(&str, LogValue)], text: &str, event: &str| {
+        let mut fields: Vec<(&str, LogValue)> = vec![
+            ("tenant", LogValue::Str(&o.tenant)),
+            ("stream", LogValue::Str(&o.stream)),
+        ];
+        fields.extend_from_slice(extra);
+        log.info(text, event, &fields);
+    };
     match &o.end {
-        SessionEnd::Completed { events } => eprintln!(
-            "ppa-serve: session {}/{} completed ({events} events out)",
-            o.tenant, o.stream
+        SessionEnd::Completed { events } => session(
+            &[("events", LogValue::U64(*events))],
+            &format!(
+                "session {}/{} completed ({events} events out)",
+                o.tenant, o.stream
+            ),
+            "session_completed",
         ),
-        SessionEnd::Evicted => eprintln!(
-            "ppa-serve: session {}/{} evicted idle (checkpointed)",
-            o.tenant, o.stream
+        SessionEnd::Evicted => session(
+            &[],
+            &format!(
+                "session {}/{} evicted idle (checkpointed)",
+                o.tenant, o.stream
+            ),
+            "session_evicted",
         ),
-        SessionEnd::Shutdown => eprintln!(
-            "ppa-serve: session {}/{} parked for shutdown (checkpointed)",
-            o.tenant, o.stream
+        SessionEnd::Shutdown => session(
+            &[],
+            &format!(
+                "session {}/{} parked for shutdown (checkpointed)",
+                o.tenant, o.stream
+            ),
+            "session_parked",
         ),
-        SessionEnd::ClientGone => eprintln!(
-            "ppa-serve: session {}/{} client vanished (checkpointed)",
-            o.tenant, o.stream
+        SessionEnd::ClientGone => session(
+            &[],
+            &format!(
+                "session {}/{} client vanished (checkpointed)",
+                o.tenant, o.stream
+            ),
+            "session_client_gone",
         ),
-        SessionEnd::Rejected { code } => eprintln!(
-            "ppa-serve: session {}/{} rejected ({})",
-            o.tenant,
-            o.stream,
-            crate::protocol::error_code_name(*code)
-        ),
-        SessionEnd::Failed { code, message } => eprintln!(
-            "ppa-serve: session {}/{} failed ({}): {message}",
-            o.tenant,
-            o.stream,
-            crate::protocol::error_code_name(*code)
-        ),
+        SessionEnd::Rejected { code } => {
+            let code_name = crate::protocol::error_code_name(*code);
+            session(
+                &[("code", LogValue::Str(code_name))],
+                &format!("session {}/{} rejected ({code_name})", o.tenant, o.stream),
+                "session_rejected",
+            )
+        }
+        SessionEnd::Failed { code, message } => {
+            let code_name = crate::protocol::error_code_name(*code);
+            session(
+                &[
+                    ("code", LogValue::Str(code_name)),
+                    ("message", LogValue::Str(message)),
+                ],
+                &format!(
+                    "session {}/{} failed ({code_name}): {message}",
+                    o.tenant, o.stream
+                ),
+                "session_failed",
+            )
+        }
     }
 }

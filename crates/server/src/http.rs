@@ -23,12 +23,20 @@ pub(crate) fn serve_metrics(listener: TcpListener, ctx: &Arc<ServerCtx>) {
         match listener.accept() {
             Ok((sock, _)) => {
                 if let Err(e) = respond(sock, ctx) {
-                    eprintln!("ppa-serve: metrics scrape failed: {e}");
+                    ctx.log().info(
+                        &format!("metrics scrape failed: {e}"),
+                        "scrape_failed",
+                        &[("error", crate::log::LogValue::Str(&e.to_string()))],
+                    );
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
             Err(e) => {
-                eprintln!("ppa-serve: metrics accept error: {e}");
+                ctx.log().info(
+                    &format!("metrics accept error: {e}"),
+                    "metrics_accept_error",
+                    &[("error", crate::log::LogValue::Str(&e.to_string()))],
+                );
                 std::thread::sleep(POLL);
             }
         }

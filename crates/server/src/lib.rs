@@ -28,6 +28,7 @@
 pub mod client;
 pub mod daemon;
 mod http;
+pub mod log;
 pub mod metrics;
 pub mod protocol;
 pub mod quota;
@@ -38,6 +39,7 @@ pub use daemon::{
     install_signal_handlers, reset_signal_shutdown, signal_shutdown_requested, ServeConfig,
     ServeReport, Server, ServerCtx,
 };
+pub use log::{LogFormat, LogLevel, LogValue, Logger};
 pub use metrics::{ServerMetrics, TenantMetrics};
 pub use protocol::{ProtocolError, Summary};
 pub use quota::{AdmitError, Quotas, SessionTable};

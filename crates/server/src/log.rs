@@ -1,0 +1,188 @@
+//! Leveled, structured logging for the daemon.
+//!
+//! Two output shapes, both on stderr:
+//!
+//! - **text** (the default): byte-identical to the historical
+//!   `eprintln!` lines — every record renders as `ppa-serve: <text>` —
+//!   so operators' greps and the e2e suite's expectations keep working.
+//! - **json**: one JSON object per line with `ts`/`level`/`event` plus
+//!   the record's structured fields (`tenant`, `stream`, `events`, …),
+//!   for log pipelines and `jq`.
+//!
+//! Levels are `info` (default) and `debug`; `debug` additionally emits
+//! per-connection and per-checkpoint chatter. The logger is a two-enum
+//! value type — call sites construct it from [`ServeConfig`] via
+//! [`crate::ServerCtx::log`] and pass records as a pre-rendered text
+//! message plus the fields that produced it.
+//!
+//! [`ServeConfig`]: crate::ServeConfig
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log record shape: legacy human-readable text or JSONL.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LogFormat {
+    /// `ppa-serve: <message>` lines (the historical format).
+    #[default]
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Parses a `--log-format` value.
+    pub fn parse(name: &str) -> Option<LogFormat> {
+        match name {
+            "text" => Some(LogFormat::Text),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// Verbosity threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Lifecycle and per-session outcome lines.
+    #[default]
+    Info,
+    /// Everything, including per-connection and per-checkpoint lines.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses a `--log-level` value.
+    pub fn parse(name: &str) -> Option<LogLevel> {
+        match name {
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// A structured field value (strings stay strings in JSON, counts stay
+/// numbers).
+#[derive(Clone, Copy, Debug)]
+pub enum LogValue<'a> {
+    /// A string field.
+    Str(&'a str),
+    /// An unsigned numeric field.
+    U64(u64),
+}
+
+impl<'a> From<&'a str> for LogValue<'a> {
+    fn from(s: &'a str) -> Self {
+        LogValue::Str(s)
+    }
+}
+
+impl From<u64> for LogValue<'_> {
+    fn from(n: u64) -> Self {
+        LogValue::U64(n)
+    }
+}
+
+/// The daemon's logger: a copyable (format, level) pair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Logger {
+    format: LogFormat,
+    level: LogLevel,
+}
+
+impl Logger {
+    /// A logger with the given shape and threshold.
+    pub fn new(format: LogFormat, level: LogLevel) -> Logger {
+        Logger { format, level }
+    }
+
+    /// Emits an info record (always shown).
+    ///
+    /// `text` is the full human-readable message (rendered after the
+    /// `ppa-serve: ` prefix in text mode); `event` is the stable
+    /// machine-readable name used as `event` in JSON mode; `fields`
+    /// carry the values `text` interpolated.
+    pub fn info(&self, text: &str, event: &str, fields: &[(&str, LogValue)]) {
+        self.emit("info", text, event, fields);
+    }
+
+    /// Emits a debug record (suppressed unless `--log-level debug`).
+    pub fn debug(&self, text: &str, event: &str, fields: &[(&str, LogValue)]) {
+        if self.level >= LogLevel::Debug {
+            self.emit("debug", text, event, fields);
+        }
+    }
+
+    fn emit(&self, level: &str, text: &str, event: &str, fields: &[(&str, LogValue)]) {
+        match self.format {
+            LogFormat::Text => eprintln!("ppa-serve: {text}"),
+            LogFormat::Json => {
+                let ts = SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map_or(0.0, |d| d.as_secs_f64());
+                let mut line = String::with_capacity(128);
+                line.push_str(&format!(
+                    "{{\"ts\":{ts:.3},\"level\":\"{level}\",\"event\":\"{}\"",
+                    json_escape(event)
+                ));
+                for (key, value) in fields {
+                    line.push_str(&format!(",\"{}\":", json_escape(key)));
+                    match value {
+                        LogValue::Str(s) => {
+                            line.push('"');
+                            line.push_str(&json_escape(s));
+                            line.push('"');
+                        }
+                        LogValue::U64(n) => line.push_str(&n.to_string()),
+                    }
+                }
+                line.push_str(&format!(",\"msg\":\"{}\"}}", json_escape(text)));
+                eprintln!("{line}");
+            }
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flag_values() {
+        assert_eq!(LogFormat::parse("text"), Some(LogFormat::Text));
+        assert_eq!(LogFormat::parse("json"), Some(LogFormat::Json));
+        assert_eq!(LogFormat::parse("yaml"), None);
+        assert_eq!(LogLevel::parse("info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("trace"), None);
+    }
+
+    #[test]
+    fn debug_is_ordered_above_info() {
+        assert!(LogLevel::Debug > LogLevel::Info);
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -7,7 +7,7 @@
 //! names follow the workspace convention (`ppa_` prefix, counters end
 //! in `_total`); OPERATIONS.md documents which of these to alert on.
 
-use ppa_obs::{Counter, Gauge, Registry};
+use ppa_obs::{Counter, Gauge, Registry, StageCounters};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -51,6 +51,9 @@ pub struct ServerMetrics {
     pub active_sessions: Gauge,
     /// `ppa_server_connections_total` — accepted connections.
     pub connections: Counter,
+    /// `ppa_stage_ns_total{stage=...}` — wall-clock time in each
+    /// pipeline stage, published by sessions from their span recorders.
+    pub stage: Arc<StageCounters>,
     tenants: Arc<Mutex<HashMap<String, Arc<TenantMetrics>>>>,
 }
 
@@ -66,10 +69,12 @@ impl ServerMetrics {
             "ppa_server_connections_total",
             "Connections accepted on the ingest listeners.",
         );
+        let stage = Arc::new(StageCounters::register(&registry));
         ServerMetrics {
             registry,
             active_sessions,
             connections,
+            stage,
             tenants: Arc::new(Mutex::new(HashMap::new())),
         }
     }

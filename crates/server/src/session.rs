@@ -305,6 +305,9 @@ impl<S: SessionStream> Read for FramePayloadReader<S> {
                 return Ok(0);
             }
             if self.remaining == 0 {
+                // One span per frame header: this read is where the
+                // session waits on the network between frames.
+                let _span = ppa_obs::span_enter(ppa_obs::Stage::FrameRead);
                 let mut header = [0u8; FRAME_HEADER_LEN];
                 read_exact_polled(&mut self.sock, &self.ctx, self.idle, &mut header)?;
                 let (ty, len) = parse_frame_header(&header).map_err(|e| self.violate(e))?;
@@ -493,7 +496,69 @@ fn take_checkpoint(
 
 /// Runs one connection to completion. Never panics outward on protocol
 /// abuse; every exit path is a typed [`SessionOutcome`].
+///
+/// The session's own execution is span-recorded (frame reads, ingest
+/// chunks, checkpoint writes, the final emit): the stage totals feed
+/// `ppa_stage_ns_total` in `/metrics`, and with `--self-trace-dir` the
+/// spans are exported as one ppa trace per session.
 pub fn run_session<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOutcome {
+    let seq = ctx
+        .session_seq
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let recorder = ppa_obs::SpanRecorder::new();
+    // Explicit binding: session threads are thread-per-stream, and an
+    // explicit bind keeps concurrent sessions' spans in their own
+    // recorders (a global install would mix them).
+    let bound = recorder.bind_current_thread();
+    let outcome = {
+        let _run = ppa_obs::span_enter(ppa_obs::Stage::Run);
+        session_body(sock, ctx.clone())
+    };
+    drop(bound);
+    ctx.metrics.stage.add_totals(&recorder.stage_totals());
+    if let Some(dir) = &ctx.config.self_trace_dir {
+        let log = recorder.drain();
+        let name = format!(
+            "session-{seq:06}-{}-{}.jsonl",
+            outcome.tenant, outcome.stream
+        );
+        let path = dir.join(name);
+        let write = || -> Result<ppa_trace::SelfTraceSummary, IoError> {
+            let file = File::create(&path)?;
+            let mut out = io::BufWriter::new(file);
+            ppa_trace::write_self_trace(&mut out, &log, TraceFormat::Jsonl)
+        };
+        match write() {
+            Ok(summary) => ctx.log().debug(
+                &format!(
+                    "session {}/{} self-trace written ({} spans)",
+                    outcome.tenant, outcome.stream, summary.spans
+                ),
+                "self_trace",
+                &[
+                    ("tenant", crate::log::LogValue::Str(&outcome.tenant)),
+                    ("stream", crate::log::LogValue::Str(&outcome.stream)),
+                    ("spans", crate::log::LogValue::U64(summary.spans as u64)),
+                ],
+            ),
+            Err(e) => ctx.log().info(
+                &format!(
+                    "session {}/{} self-trace write failed: {e}",
+                    outcome.tenant, outcome.stream
+                ),
+                "self_trace_failed",
+                &[
+                    ("tenant", crate::log::LogValue::Str(&outcome.tenant)),
+                    ("stream", crate::log::LogValue::Str(&outcome.stream)),
+                    ("error", crate::log::LogValue::Str(&e.to_string())),
+                ],
+            ),
+        }
+    }
+    outcome
+}
+
+fn session_body<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOutcome {
     ctx.metrics.connections.inc();
     let unknown = |code: u16| SessionOutcome {
         tenant: "-".into(),
@@ -746,7 +811,17 @@ pub fn run_session<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOut
     // checkpoint-worthy failure (idle, shutdown, vanished client,
     // resident quota) the state is still here to snapshot.
     let loop_result: Result<(), Fail> = (|| {
+        // Ingest work is attributed in 4096-event chunk spans (the same
+        // granularity as the CLI's push chunks): per-event spans would
+        // perturb the pipeline being measured.
+        let mut chunk_span: Option<ppa_obs::SpanGuard> = None;
         while let Some(item) = reader.next() {
+            if pushed.is_multiple_of(4096) {
+                drop(chunk_span.take());
+                let mut g = ppa_obs::span_enter(ppa_obs::Stage::Ingest);
+                g.attr_seq(pushed);
+                chunk_span = Some(g);
+            }
             let event = item.map_err(|e| Fail::from_decode(e, &violation))?;
             let sink_err = |e: IoError| Fail::Internal(format!("report write: {e}"));
             match &mut reorder {
@@ -810,6 +885,15 @@ pub fn run_session<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOut
                 )
                 .map_err(Fail::Internal)?;
                 tm.checkpoints.inc();
+                ctx.log().debug(
+                    &format!("session {tenant}/{stream} checkpointed at {pushed} events"),
+                    "checkpoint",
+                    &[
+                        ("tenant", crate::log::LogValue::Str(&tenant)),
+                        ("stream", crate::log::LogValue::Str(&stream)),
+                        ("events", crate::log::LogValue::U64(pushed)),
+                    ],
+                );
             }
             if ctx.should_stop() {
                 return Err(Fail::Shutdown);
@@ -822,6 +906,9 @@ pub fn run_session<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOut
         tm.gaps.add(reader.gaps().len() as u64);
         tm.events_lost.add(reader.events_lost());
         if fail.checkpoint_worthy() {
+            // Parking: the final state snapshot a future session resumes
+            // from (idle eviction, shutdown, vanished client, quota).
+            let _span = ppa_obs::span_enter(ppa_obs::Stage::Park);
             let ck = take_checkpoint(
                 &ckpt_path,
                 &report_path,
@@ -856,8 +943,10 @@ pub fn run_session<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOut
     // failure past FIN is either bad data or a server fault, and the
     // cadence checkpoint from phase 1 still covers resume).
     let result: Result<Summary, Fail> = (|| {
+        let _span = ppa_obs::span_enter(ppa_obs::Stage::AnalyzeEmit);
         let sink_err = |e: IoError| Fail::Internal(format!("report write: {e}"));
         if let Some(buf) = &mut reorder {
+            let _reorder_span = ppa_obs::span_enter(ppa_obs::Stage::Reorder);
             while let Some(e) = buf.pop_flush() {
                 analyzer
                     .push(e)

@@ -115,6 +115,7 @@ fn serve_config(dir: &Path) -> ServeConfig {
         lenient: false,
         reorder_window: None,
         overheads: overheads(),
+        ..ServeConfig::default()
     }
 }
 
@@ -405,4 +406,71 @@ fn metrics_endpoint_exports_per_tenant_series_and_health() {
 
     let missing = http_get(metrics_addr, "/nope");
     assert!(missing.starts_with("HTTP/1.1 404"), "404: {missing}");
+}
+
+/// Each session leaves a per-session self-trace behind when
+/// `self_trace_dir` is set: a valid measured ppa trace of the session's
+/// own stages that passes the trace lint, while the shared registry
+/// accumulates `ppa_stage_ns_total` from every session.
+#[cfg(feature = "obs")]
+#[test]
+fn sessions_write_self_traces_that_lint_clean() {
+    let dir = tmp("selftrace");
+    let trace = measured_jsonl(&dir, "measured.jsonl", 128);
+    let mut cfg = serve_config(&dir);
+    cfg.self_trace_dir = Some(dir.join("traces"));
+    let mut server = RunningServer::start(cfg);
+
+    let outcome = send_trace(
+        &Target::Tcp(server.tcp.to_string()),
+        "acme",
+        "traced-run",
+        &trace,
+        4096,
+    );
+    assert!(
+        matches!(outcome, Ok(SendOutcome::Done { .. })),
+        "{outcome:?}"
+    );
+
+    // The session publishes its stage totals after the client sees
+    // DONE; poll briefly rather than racing the session thread's exit.
+    let metrics_addr = server.metrics.expect("metrics listener");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let metrics = loop {
+        let body = http_get(metrics_addr, "/metrics");
+        let published = body
+            .lines()
+            .any(|l| l.starts_with("ppa_stage_ns_total{stage=\"run\"}") && !l.ends_with(" 0"));
+        if published || Instant::now() >= deadline {
+            break body;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    server.stop();
+
+    let st = dir
+        .join("traces")
+        .join("session-000000-acme-traced-run.jsonl");
+    let reader = AnyTraceReader::open(BufReader::new(File::open(&st).expect("self-trace written")))
+        .expect("open self-trace");
+    assert_eq!(reader.kind(), TraceKind::Measured);
+    let mut linter = ppa_check::TraceLinter::new();
+    let mut events = 0usize;
+    for e in reader {
+        linter.push(&e.expect("decode self-trace event"));
+        events += 1;
+    }
+    let violations = linter.finish();
+    assert!(violations.is_empty(), "self-trace lint: {violations:?}");
+    assert!(events >= 2, "at least the session root span is recorded");
+
+    // The session published its stage totals into the shared registry.
+    let ingest_ns = metrics
+        .lines()
+        .find(|l| l.starts_with("ppa_stage_ns_total{stage=\"run\"}"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("run stage series");
+    assert!(ingest_ns > 0, "metrics:\n{metrics}");
 }

@@ -209,6 +209,9 @@ impl RawBlock {
 
     /// Verifies the payload CRC and decodes the block's events.
     pub fn decode(&self) -> Result<Vec<Event>, IoError> {
+        let mut span = ppa_obs::span_enter(ppa_obs::Stage::Decode);
+        span.attr_block(self.index as u64);
+        span.attr_seq(self.frame.summary.first_seq);
         decode_block(&self.frame, &self.payload, self.index)
     }
 

@@ -319,7 +319,11 @@ pub(crate) fn decode_block(
         line: block,
         message,
     };
-    let actual = crc32(payload);
+    let actual = {
+        let mut span = ppa_obs::span_enter(ppa_obs::Stage::CrcVerify);
+        span.attr_block(block as u64);
+        crc32(payload)
+    };
     if actual != frame.crc {
         return Err(corrupt(format!(
             "block {block}: CRC mismatch (stored {:#010x}, computed {actual:#010x})",

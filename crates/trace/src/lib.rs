@@ -34,6 +34,7 @@ mod ids;
 mod io;
 mod overhead;
 mod reorder;
+pub mod selftrace;
 mod stream;
 mod time;
 mod trace;
@@ -53,6 +54,9 @@ pub use ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
 pub use io::{read_jsonl, write_csv, write_jsonl, IoError};
 pub use overhead::OverheadSpec;
 pub use reorder::{ReorderBuffer, ReorderSnapshot};
+pub use selftrace::{
+    spans_to_events, write_chrome_trace, write_self_trace, SelfTraceSummary, DEPTH_LANES,
+};
 pub use stream::{
     split_by_processor, MergedStreams, Shard, StreamProbes, TraceStreamReader, TraceStreamWriter,
 };

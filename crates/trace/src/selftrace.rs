@@ -1,0 +1,313 @@
+//! Self-trace export: the pipeline's own spans as a ppa trace.
+//!
+//! `ppa-obs` records the pipeline's execution as [`SpanEvent`]s; this
+//! module closes the dogfood loop by exporting a drained [`SpanLog`]
+//! in two shapes:
+//!
+//! - **A native ppa trace** ([`write_self_trace`]): every stage span
+//!   becomes an `awaitB`/`awaitE` pair — the paper's shape for "a
+//!   region of time on a processor" — so `ppa analyze` and `ppa check`
+//!   run unmodified on a trace of their own execution. Written through
+//!   [`AnyTraceWriter`], so both JSONL and `ppa-trace-bin-v1` work.
+//! - **Chrome trace-event JSON** ([`write_chrome_trace`]) for
+//!   chrome://tracing and Perfetto.
+//!
+//! ## Encoding (ppa format)
+//!
+//! The trace model has no "span" primitive, and the invariant linter
+//! enforces real-trace rules: awaits must not nest per processor, and
+//! every non-pre-advanced `awaitE` needs a matching `advance`. Spans
+//! *do* nest per thread, so threads cannot map 1:1 onto processors.
+//! Instead each span lands on a synthetic **lane**:
+//!
+//! ```text
+//! processor = thread * DEPTH_LANES + min(depth, DEPTH_LANES - 1)
+//! ```
+//!
+//! Same-depth spans on one thread are always disjoint intervals (RAII
+//! guards are LIFO per thread), so each lane sees strictly sequential
+//! `awaitB`/`awaitE` pairs — no nesting. Spans deeper than
+//! [`DEPTH_LANES`]` - 1` are skipped (and counted) rather than clamped
+//! onto a shallower lane, where they *would* nest. The sync variable
+//! is the stage index ([`ppa_obs::Stage::index`]); the tag is the negated span
+//! id (`-(id+1)`), which is unique and pre-advanced by the workspace
+//! convention ([`SyncTag::is_pre_advanced`]) — so the pair needs no
+//! `advance` event. Events are ordered by time (stable across lanes)
+//! and re-sequenced `0..n`, satisfying the total-order and
+//! seq-contiguity lint rules by construction.
+
+use crate::codec::{AnyTraceWriter, TraceFormat};
+use crate::event::{Event, EventKind};
+use crate::ids::{ProcessorId, SyncTag, SyncVarId};
+use crate::io::IoError;
+use crate::time::Time;
+use crate::trace::TraceKind;
+use ppa_obs::{SpanEvent, SpanLog};
+use std::io::Write;
+
+/// Depth lanes per thread in the ppa export. Deeper spans are skipped
+/// (see module docs); the real pipeline nests at most ~4 deep.
+pub const DEPTH_LANES: u16 = 8;
+
+/// What a self-trace export did: events written and spans it could not
+/// represent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelfTraceSummary {
+    /// Spans exported (two trace events each in the ppa format).
+    pub spans: usize,
+    /// Spans skipped: nested deeper than [`DEPTH_LANES`]` - 1`, or on a
+    /// lane index past [`ProcessorId`]'s range.
+    pub skipped: usize,
+    /// Spans the recorder itself dropped at its buffer cap (copied
+    /// from [`SpanLog::dropped`]).
+    pub dropped: u64,
+}
+
+/// Converts a span log to totally ordered ppa trace events (the
+/// encoding in the module docs). Returns the events and the count of
+/// unrepresentable (skipped) spans.
+pub fn spans_to_events(log: &SpanLog) -> (Vec<Event>, usize) {
+    let mut skipped = 0usize;
+    // Per-lane event lists; each is time-sorted because drained spans
+    // arrive sorted by start and same-lane intervals are disjoint.
+    let mut lanes: Vec<(u16, Vec<(u64, EventKind)>)> = Vec::new();
+    let mut lane_index: std::collections::HashMap<u16, usize> = std::collections::HashMap::new();
+    for span in &log.events {
+        let Some(lane) = lane_of(span) else {
+            skipped += 1;
+            continue;
+        };
+        let var = SyncVarId(span.stage.index() as u32);
+        let tag = SyncTag(-(span.id as i64) - 1);
+        let idx = *lane_index.entry(lane).or_insert_with(|| {
+            lanes.push((lane, Vec::new()));
+            lanes.len() - 1
+        });
+        lanes[idx]
+            .1
+            .push((span.start_ns, EventKind::AwaitBegin { var, tag }));
+        lanes[idx]
+            .1
+            .push((span.end_ns, EventKind::AwaitEnd { var, tag }));
+    }
+    // Lanes in processor order so ties interleave deterministically.
+    lanes.sort_by_key(|(lane, _)| *lane);
+    let mut events: Vec<(u64, u16, EventKind)> = lanes
+        .into_iter()
+        .flat_map(|(lane, list)| list.into_iter().map(move |(t, k)| (t, lane, k)))
+        .collect();
+    // Stable: preserves each lane's B/E alternation across time ties.
+    events.sort_by_key(|(t, _, _)| *t);
+    let events = events
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (t, lane, kind))| {
+            Event::new(Time::from_nanos(t), ProcessorId(lane), seq as u64, kind)
+        })
+        .collect();
+    (events, skipped)
+}
+
+fn lane_of(span: &SpanEvent) -> Option<u16> {
+    if span.depth >= DEPTH_LANES {
+        return None;
+    }
+    u16::try_from(span.thread as u64 * DEPTH_LANES as u64 + span.depth as u64).ok()
+}
+
+/// Writes `log` as a ppa trace of kind [`TraceKind::Measured`] in the
+/// given on-disk format.
+pub fn write_self_trace<W: Write>(
+    writer: W,
+    log: &SpanLog,
+    format: TraceFormat,
+) -> Result<SelfTraceSummary, IoError> {
+    let (events, skipped) = spans_to_events(log);
+    let mut out = AnyTraceWriter::new(writer, format, TraceKind::Measured, events.len())?;
+    for event in &events {
+        out.write_event(event)?;
+    }
+    out.finish()?;
+    Ok(SelfTraceSummary {
+        spans: events.len() / 2,
+        skipped,
+        dropped: log.dropped,
+    })
+}
+
+/// Writes `log` in the Chrome trace-event format (a JSON object with a
+/// `traceEvents` array of complete events, `ph: "X"`), loadable in
+/// chrome://tracing and Perfetto. Every span is representable here —
+/// nothing is skipped — and parent/block/seq attribution rides in
+/// `args`.
+pub fn write_chrome_trace<W: Write>(
+    mut writer: W,
+    log: &SpanLog,
+) -> std::io::Result<SelfTraceSummary> {
+    writer.write_all(b"{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")?;
+    for (i, span) in log.events.iter().enumerate() {
+        if i > 0 {
+            writer.write_all(b",")?;
+        }
+        // Timestamps are microseconds (fractional) in this format.
+        write!(
+            writer,
+            "\n{{\"name\":\"{}\",\"cat\":\"ppa\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\
+             \"pid\":0,\"tid\":{},\"args\":{{\"id\":{}",
+            span.stage.name(),
+            span.start_ns / 1_000,
+            span.start_ns % 1_000,
+            span.duration_ns() / 1_000,
+            span.duration_ns() % 1_000,
+            span.thread,
+            span.id,
+        )?;
+        if let Some(parent) = span.parent {
+            write!(writer, ",\"parent\":{parent}")?;
+        }
+        if let Some(block) = span.block {
+            write!(writer, ",\"block\":{block}")?;
+        }
+        if let Some(seq) = span.seq {
+            write!(writer, ",\"seq\":{seq}")?;
+        }
+        writer.write_all(b"}}")?;
+    }
+    writer.write_all(b"\n]}\n")?;
+    writer.flush()?;
+    Ok(SelfTraceSummary {
+        spans: log.events.len(),
+        skipped: 0,
+        dropped: log.dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_obs::{Stage, STAGE_COUNT};
+
+    fn span(
+        id: u64,
+        thread: u32,
+        depth: u16,
+        stage: Stage,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanEvent {
+        SpanEvent {
+            id,
+            parent: None,
+            thread,
+            depth,
+            stage,
+            start_ns,
+            end_ns,
+            block: None,
+            seq: None,
+        }
+    }
+
+    fn sample_log() -> SpanLog {
+        SpanLog {
+            events: vec![
+                span(0, 0, 0, Stage::Run, 0, 1000),
+                span(1, 0, 1, Stage::Decode, 10, 400),
+                span(2, 0, 2, Stage::CrcVerify, 20, 100),
+                span(3, 1, 0, Stage::Decode, 15, 300),
+                span(4, 0, 1, Stage::AnalyzePush, 400, 900),
+            ],
+            dropped: 0,
+            stage_ns: [0; STAGE_COUNT],
+        }
+    }
+
+    #[test]
+    fn export_is_totally_ordered_and_pairs_per_lane() {
+        let (events, skipped) = spans_to_events(&sample_log());
+        assert_eq!(skipped, 0);
+        assert_eq!(events.len(), 10);
+        // Strictly increasing order key, contiguous seqs from 0.
+        for (i, w) in events.windows(2).enumerate() {
+            assert!(w[0].order_key() < w[1].order_key(), "order at {i}");
+        }
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        // Per lane: awaits alternate B, E with matching var/tag.
+        let mut open: std::collections::HashMap<ProcessorId, (SyncVarId, SyncTag)> =
+            std::collections::HashMap::new();
+        for e in &events {
+            match e.kind {
+                EventKind::AwaitBegin { var, tag } => {
+                    assert!(tag.is_pre_advanced());
+                    assert!(open.insert(e.proc, (var, tag)).is_none(), "nested awaitB");
+                }
+                EventKind::AwaitEnd { var, tag } => {
+                    assert_eq!(open.remove(&e.proc), Some((var, tag)), "unmatched awaitE");
+                }
+                ref other => panic!("unexpected kind {other:?}"),
+            }
+        }
+        assert!(open.is_empty(), "unclosed awaits");
+    }
+
+    #[test]
+    fn too_deep_spans_are_skipped_not_clamped() {
+        let mut log = sample_log();
+        log.events
+            .push(span(9, 0, DEPTH_LANES, Stage::Decode, 30, 40));
+        let (events, skipped) = spans_to_events(&log);
+        assert_eq!(skipped, 1);
+        assert_eq!(events.len(), 10);
+    }
+
+    #[test]
+    fn self_trace_round_trips_through_both_formats() {
+        for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+            let mut bytes = Vec::new();
+            let summary = write_self_trace(&mut bytes, &sample_log(), format).unwrap();
+            assert_eq!(summary.spans, 5);
+            let reader = crate::AnyTraceReader::open(std::io::Cursor::new(bytes)).unwrap();
+            assert_eq!(reader.kind(), TraceKind::Measured);
+            let events: Vec<Event> = reader.map(|e| e.unwrap()).collect();
+            assert_eq!(events, spans_to_events(&sample_log()).0);
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed_json() {
+        let mut log = sample_log();
+        log.events[1].parent = Some(0);
+        log.events[1].block = Some(3);
+        log.events[1].seq = Some(4096);
+        let mut bytes = Vec::new();
+        write_chrome_trace(&mut bytes, &log).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = value["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0]["ph"].as_str(), Some("X"));
+        assert_eq!(events[1]["name"].as_str(), Some("decode"));
+        assert_eq!(events[1]["args"]["block"].as_u64(), Some(3));
+        assert_eq!(events[1]["args"]["parent"].as_u64(), Some(0));
+        // 10 ns = 0.010 us.
+        assert_eq!(events[1]["ts"].as_f64(), Some(0.010));
+    }
+
+    #[test]
+    fn empty_log_exports_empty_but_valid_artifacts() {
+        let log = SpanLog::default();
+        for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+            let mut bytes = Vec::new();
+            write_self_trace(&mut bytes, &log, format).unwrap();
+            let reader = crate::AnyTraceReader::open(std::io::Cursor::new(bytes)).unwrap();
+            assert_eq!(reader.count(), 0);
+        }
+        let mut bytes = Vec::new();
+        write_chrome_trace(&mut bytes, &log).unwrap();
+        let value: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(value["traceEvents"].as_array().unwrap().len(), 0);
+    }
+}

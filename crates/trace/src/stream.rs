@@ -586,6 +586,9 @@ impl<I: Iterator<Item = Result<Event, IoError>>> Iterator for MergedStreams<I> {
     fn next(&mut self) -> Option<Self::Item> {
         if !self.started {
             self.started = true;
+            // The initial heap fill reads the head of every stream — the
+            // bounded, I/O-heavy part of the k-way merge.
+            let _span = ppa_obs::span_enter(ppa_obs::Stage::Merge);
             for i in 0..self.streams.len() {
                 self.pull(i);
             }

@@ -64,6 +64,31 @@ pub trait Strategy {
     {
         BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
     }
+
+    /// Recursive strategies: `self` generates leaves, and `recurse`
+    /// turns a strategy for depth-`d` values into one for depth
+    /// `d + 1`. Mirrors proptest's signature; the stand-in ignores the
+    /// size hints and bounds nesting by unioning a leaf arm in at each
+    /// of the `depth` levels (so every draw terminates).
+    fn prop_recursive<F, R>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        R: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            strat = Union::new(vec![leaf.clone(), recurse(strat).boxed()]).boxed();
+        }
+        strat
+    }
 }
 
 /// A [`Strategy::prop_map`] adapter.
