@@ -1,0 +1,160 @@
+//! Decode-worker sweep: binary decode throughput at worker counts
+//! {1, 2, 4, 8} against the serial decoder, on the same ≥1M-event
+//! fixture shape as `trace_codec`. This is the bench behind the
+//! `--decode-workers` knob: it records how the pipelined reader
+//! (reader thread → N decode workers → in-order reassembly) scales,
+//! and whether hand-off overhead ever makes it *slower* than serial —
+//! the regression the PR-3 batch-scoped reader shipped with (0.95x at
+//! 4 workers).
+//!
+//! Alongside the criterion timings, the bench prints a summary and
+//! records the headline numbers into `BENCH_decode_parallel.json` at
+//! the repository root. Set `PPA_DECODE_BENCH_EVENTS` to scale the
+//! fixture (e.g. for CI smoke runs) and `PPA_DECODE_BENCH_WORKERS` to
+//! change the sweep (space-separated counts).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppa::trace::{
+    read_binary, read_binary_parallel, write_binary, Event, EventKind, ProcessorId, StatementId,
+    SyncTag, SyncVarId, Time, Trace, TraceKind,
+};
+use std::time::Instant;
+
+const DEFAULT_EVENTS: usize = 1 << 20;
+
+/// Same fixture shape as `trace_codec`: 8 processors, mostly statement
+/// events with periodic synchronization, irregular monotone timestamps.
+fn fixture() -> Trace {
+    let n: usize = std::env::var("PPA_DECODE_BENCH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_EVENTS);
+    let mut events = Vec::with_capacity(n);
+    let mut time = 0u64;
+    for i in 0..n {
+        let gap = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) + 1;
+        time += gap;
+        let proc = ProcessorId((i % 8) as u16);
+        let kind = match i % 97 {
+            0 => EventKind::Advance {
+                var: SyncVarId(0),
+                tag: SyncTag((i / 97) as i64),
+            },
+            1 => EventKind::AwaitBegin {
+                var: SyncVarId(0),
+                tag: SyncTag((i / 97) as i64 - 1),
+            },
+            2 => EventKind::AwaitEnd {
+                var: SyncVarId(0),
+                tag: SyncTag((i / 97) as i64 - 1),
+            },
+            _ => EventKind::Statement {
+                stmt: StatementId((i % 40) as u32),
+            },
+        };
+        events.push(Event::new(Time::from_nanos(time), proc, i as u64, kind));
+    }
+    Trace::from_events(TraceKind::Measured, events)
+}
+
+/// Best-of-3 wall time of one run, in seconds (plus one warm-up).
+fn best_of_3<R>(mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn sweep_counts() -> Vec<usize> {
+    std::env::var("PPA_DECODE_BENCH_WORKERS")
+        .ok()
+        .map(|v| {
+            v.split_whitespace()
+                .filter_map(|w| w.parse().ok())
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn decode_sweep(c: &mut Criterion) {
+    let trace = fixture();
+    let n = trace.len();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let counts = sweep_counts();
+
+    let mut bin = Vec::new();
+    write_binary(&trace, &mut bin).expect("encode binary");
+
+    let t_serial = best_of_3(|| read_binary(bin.as_slice()).expect("decode binary").len());
+    let eps = |secs: f64| n as f64 / secs;
+
+    println!("\n=== decode worker sweep ({n} events, {cores} cores) ===");
+    println!("serial       : {:>12.0} events/sec", eps(t_serial));
+    let mut rows = Vec::with_capacity(counts.len());
+    for &w in &counts {
+        let t = best_of_3(|| {
+            read_binary_parallel(bin.as_slice(), w)
+                .expect("decode binary parallel")
+                .len()
+        });
+        let speedup = t_serial / t;
+        println!(
+            "{w:>2} worker(s) : {:>12.0} events/sec ({speedup:.2}x serial)",
+            eps(t)
+        );
+        rows.push((w, eps(t), speedup));
+    }
+
+    // Oversubscribed counts (more workers than cores) cannot speed up
+    // and would make the JSON read as a scaling ceiling it is not.
+    let note = if counts.iter().any(|&w| w > cores) {
+        format!("\n  \"note\": \"host has {cores} core(s); counts above that are oversubscribed\",")
+    } else {
+        String::new()
+    };
+    let sweep_json = rows
+        .iter()
+        .map(|(w, e, s)| {
+            format!("    {{ \"workers\": {w}, \"events_per_sec\": {e:.0}, \"speedup_vs_serial\": {s:.2} }}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let report = format!(
+        "{{\n  \"bench\": \"decode_parallel\",\n  \"events\": {n},\n  \"cores\": {cores},{note}\n  \
+         \"serial_events_per_sec\": {:.0},\n  \"sweep\": [\n{sweep_json}\n  ]\n}}\n",
+        eps(t_serial),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_decode_parallel.json"
+    );
+    if let Err(e) = std::fs::write(path, &report) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("recorded {path}");
+    }
+
+    let mut group = c.benchmark_group("decode_sweep");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("serial", |b| {
+        b.iter(|| read_binary(bin.as_slice()).expect("decode binary").len())
+    });
+    for &w in &counts {
+        group.bench_function(format!("workers_{w}"), |b| {
+            b.iter(|| {
+                read_binary_parallel(bin.as_slice(), w)
+                    .expect("decode binary parallel")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decode_sweep);
+criterion_main!(benches);

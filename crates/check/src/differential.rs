@@ -17,7 +17,10 @@ use ppa_core::{event_based, event_based_reference, event_based_sharded, EventBas
 use ppa_program::synth::{synthesize, SynthConfig};
 use ppa_program::InstrumentationPlan;
 use ppa_sim::{run_measured, SchedulePolicy, SimConfig};
-use ppa_trace::{write_trace, ClockRate, Event, OverheadSpec, Trace, TraceFormat, TraceKind};
+use ppa_trace::{
+    read_trace, read_trace_parallel, write_trace, ClockRate, Event, OverheadSpec, Trace,
+    TraceFormat, TraceKind,
+};
 use std::path::{Path, PathBuf};
 
 /// Configuration for one differential-oracle run.
@@ -30,6 +33,9 @@ pub struct DifferentialConfig {
     pub programs: usize,
     /// Worker count handed to the sharded path.
     pub workers: usize,
+    /// Decode worker threads for the binary-codec round-trip leg
+    /// (0 skips the pipelined decode and checks only the serial one).
+    pub decode_workers: usize,
 }
 
 impl Default for DifferentialConfig {
@@ -38,6 +44,7 @@ impl Default for DifferentialConfig {
             seed: 0,
             programs: 50,
             workers: 4,
+            decode_workers: 4,
         }
     }
 }
@@ -148,6 +155,16 @@ pub fn run_differential(
         report.programs += 1;
         report.events += measured.trace.len();
 
+        if let Some(detail) = diff_codec(&measured.trace, cfg.decode_workers) {
+            report.mismatches.push(Mismatch {
+                program: label.clone(),
+                seed,
+                detail,
+                minimal_events: measured.trace.len(),
+                trace_path: None,
+            });
+        }
+
         if let Some(detail) = diff_paths(&measured.trace, &sim.overheads, cfg.workers) {
             let minimal = shrink(measured.trace.events(), &sim.overheads, cfg.workers);
             let trace_path = match out_dir {
@@ -176,6 +193,51 @@ pub fn run_differential(
         }
     }
     Ok(report)
+}
+
+/// Binary-codec round-trip leg: the measured trace must survive a
+/// binary encode and come back event-identical through both the serial
+/// decoder and (when `decode_workers > 0`) the pipelined one. The
+/// analysis oracles only ever see in-memory traces, so without this leg
+/// a decode divergence would escape the differential run entirely.
+fn diff_codec(trace: &Trace, decode_workers: usize) -> Option<String> {
+    let mut bytes = Vec::new();
+    if let Err(e) = write_trace(trace, &mut bytes, TraceFormat::Binary) {
+        return Some(format!("codec round-trip: binary encode failed: {e}"));
+    }
+    let legs: &[(&str, Result<Trace, _>)] = &[
+        ("serial decode", read_trace(bytes.as_slice())),
+        (
+            "pipelined decode",
+            if decode_workers > 0 {
+                read_trace_parallel(bytes.as_slice(), decode_workers)
+            } else {
+                read_trace(bytes.as_slice())
+            },
+        ),
+    ];
+    for (leg, decoded) in legs {
+        let decoded = match decoded {
+            Ok(t) => t,
+            Err(e) => return Some(format!("codec round-trip: {leg} failed: {e}")),
+        };
+        if decoded.len() != trace.len() {
+            return Some(format!(
+                "codec round-trip: {leg} returned {} event(s), encoded {}",
+                decoded.len(),
+                trace.len()
+            ));
+        }
+        if let Some((i, (a, b))) = decoded
+            .iter()
+            .zip(trace.iter())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+        {
+            return Some(format!("codec round-trip: {leg} event[{i}]: {a} vs {b}"));
+        }
+    }
+    None
 }
 
 /// Runs the three paths on one measured trace; `Some(description)` of

@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 pub mod differential;
 mod lint;
 mod metrics;
 mod report;
 
+pub use checkpoint::{is_checkpoint_magic, lint_checkpoint, CheckpointLint};
 pub use differential::{run_differential, DifferentialConfig, DifferentialReport, Mismatch};
 pub use lint::TraceLinter;
 pub use metrics::check_metrics;

@@ -214,14 +214,16 @@ fn real_main() -> Result<(), CliError> {
                 "         [--self-trace spans.{{jsonl|bin|json}}] [--self-trace-format ppa|chrome]"
             );
             println!(
-                "         [--lenient] [--reorder-window N] \
-                 [--checkpoint state.ckpt [--checkpoint-every N]] [--resume state.ckpt]"
+                "         [--lenient] [--reorder-window N] [--decode-workers N] \
+                 [--checkpoint state.ckpt [--checkpoint-every N] \
+                 [--checkpoint-compact-every N]] [--resume state.ckpt]"
             );
             println!(
                 "convert: ppa convert <in> <out> --to <bin|jsonl> [--block-events N] [--force]"
             );
             println!(
-                "check:   ppa check <trace-or-report.{{jsonl|bin}}> [--metrics snap.{{prom|json}}] \
+                "check:   ppa check <trace-report-or-checkpoint.{{jsonl|bin|ckpt}}> \
+                 [--metrics snap.{{prom|json}}] \
                  [--metrics-out snap.prom [--metrics-format prom|json]]"
             );
             println!(
@@ -237,8 +239,9 @@ fn real_main() -> Result<(), CliError> {
                  [--tenant-max-resident-bytes N]"
             );
             println!(
-                "         [--checkpoint-every N] [--idle-timeout-ms N] [--lenient] \
-                 [--reorder-window N] [--overheads spec.json]"
+                "         [--checkpoint-every N] [--checkpoint-compact-every N] \
+                 [--idle-timeout-ms N] [--lenient] [--reorder-window N] \
+                 [--decode-workers N] [--overheads spec.json]"
             );
             println!(
                 "         [--log-format text|json] [--log-level info|debug] \
@@ -627,10 +630,38 @@ fn native() {
 
 const ANALYZE_USAGE: &str = "usage: ppa analyze <measured.{jsonl|bin}> [--stream] \
      [--out approx] [--format bin|jsonl] [--overheads spec.json] \
+     [--decode-workers N] \
      [--metrics-out snap.prom] [--metrics-format prom|json] [--metrics-every SECS] \
      [--progress[=force]] [--self-trace spans.{jsonl|bin|json}] \
      [--self-trace-format ppa|chrome] [--lenient] [--reorder-window N] \
-     [--checkpoint state.ckpt [--checkpoint-every N]] [--resume state.ckpt]";
+     [--checkpoint state.ckpt [--checkpoint-every N] [--checkpoint-compact-every N]] \
+     [--resume state.ckpt]";
+
+/// Upper bound accepted for `--decode-workers`: far above any real
+/// machine, low enough to catch typos (a missing argument swallowing
+/// the next flag, a pasted event count) before spawning threads.
+const MAX_DECODE_WORKERS: usize = 1024;
+
+/// Parses a `--decode-workers` argument: `0` means serial decode, any
+/// other value is a decode-thread count, and absurd values are a usage
+/// error (sysexits 64).
+fn parse_decode_workers(n: &str) -> Result<usize, CliError> {
+    n.parse::<usize>()
+        .ok()
+        .filter(|&w| w <= MAX_DECODE_WORKERS)
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "--decode-workers must be an integer in 0..={MAX_DECODE_WORKERS} \
+                 (0 = serial), got {n:?}"
+            ))
+        })
+}
+
+/// The decode-worker count to use when `--decode-workers` is absent:
+/// one worker per available core.
+fn default_decode_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 #[derive(Clone, Copy, PartialEq)]
 enum MetricsFormat {
@@ -707,6 +738,9 @@ struct FaultOptions {
     checkpoint: Option<String>,
     /// Checkpoint cadence, in events consumed from the input.
     checkpoint_every: u64,
+    /// Full-snapshot compaction cadence of the incremental checkpoint
+    /// chain (0 = write a full snapshot every time, no deltas).
+    checkpoint_compact_every: usize,
     /// Resume from this checkpoint instead of starting fresh.
     resume: Option<String>,
 }
@@ -763,9 +797,12 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
     let mut progress_forced = false;
     let mut faults = FaultOptions {
         checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        checkpoint_compact_every: ppa::analysis::DEFAULT_COMPACT_EVERY,
         ..FaultOptions::default()
     };
     let mut checkpoint_every_set = false;
+    let mut compact_every_set = false;
+    let mut decode_workers: Option<usize> = None;
     let mut it = args.iter();
     let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
     while let Some(a) = it.next() {
@@ -798,8 +835,24 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
                     })?;
                 checkpoint_every_set = true;
             }
+            "--checkpoint-compact-every" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| missing("--checkpoint-compact-every"))?;
+                faults.checkpoint_compact_every = n.parse::<usize>().map_err(|_| {
+                    CliError::Usage(format!(
+                        "--checkpoint-compact-every must be a non-negative integer \
+                         (0 = full snapshots only), got {n:?}"
+                    ))
+                })?;
+                compact_every_set = true;
+            }
             "--resume" => {
                 faults.resume = Some(it.next().ok_or_else(|| missing("--resume"))?.clone());
+            }
+            "--decode-workers" => {
+                let n = it.next().ok_or_else(|| missing("--decode-workers"))?;
+                decode_workers = Some(parse_decode_workers(n)?);
             }
             "--out" => out_path = Some(it.next().ok_or_else(|| missing("--out"))?),
             "--format" => {
@@ -892,9 +945,9 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
             "--lenient, --reorder-window, --checkpoint, and --resume require --stream".into(),
         ));
     }
-    if checkpoint_every_set && faults.checkpoint.is_none() {
+    if (checkpoint_every_set || compact_every_set) && faults.checkpoint.is_none() {
         return Err(CliError::Usage(
-            "--checkpoint-every only applies with --checkpoint".into(),
+            "--checkpoint-every and --checkpoint-compact-every only apply with --checkpoint".into(),
         ));
     }
     if faults.checkpoint.is_some() || faults.resume.is_some() {
@@ -944,9 +997,10 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
             self_trace.map(|p| (p, self_trace_format.unwrap_or(SelfTraceFormat::Ppa))),
             progress,
             &faults,
+            decode_workers,
         )
     } else {
-        batch_analyze(input, out_path, out_format, &overheads)
+        batch_analyze(input, out_path, out_format, &overheads, decode_workers)
     }
 }
 
@@ -985,10 +1039,11 @@ fn stream_analyze(
     self_trace: Option<(&str, SelfTraceFormat)>,
     progress: bool,
     faults: &FaultOptions,
+    decode_workers: Option<usize>,
 ) -> Result<(), CliError> {
     use ppa::analysis::{
-        read_checkpoint, write_checkpoint, AnalyzerProbes, Checkpoint, EventBasedAnalyzer,
-        SinkState,
+        read_checkpoint, AnalyzerProbes, Checkpoint, CheckpointParts, DeltaCheckpointWriter,
+        EventBasedAnalyzer, SinkState,
     };
     use ppa::obs::{
         calibrate_self_overhead, json_text, prometheus_text, span_enter, Registry, SpanRecorder,
@@ -1058,10 +1113,22 @@ fn stream_analyze(
         resumed.as_ref().map_or_else(Vec::new, |cp| cp.gaps.clone());
 
     let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut reader =
+    let workers = decode_workers.unwrap_or_else(default_decode_workers);
+    if want_metrics {
+        registry
+            .gauge(
+                "ppa_decode_workers",
+                "Decode worker threads for binary input (0 = serial decode).",
+            )
+            .set(workers as f64);
+    }
+    let mut reader = if workers == 0 {
+        AnyTraceReader::with_probes(BufReader::new(file), read_probes)
+            .map_err(|e| CliError::from(e).prefixed(input))?
+    } else {
         AnyTraceReader::open_parallel_with_probes(BufReader::new(file), workers, read_probes)
-            .map_err(|e| CliError::from(e).prefixed(input))?;
+            .map_err(|e| CliError::from(e).prefixed(input))?
+    };
     if faults.lenient {
         reader.set_lenient(true);
     }
@@ -1152,6 +1219,13 @@ fn stream_analyze(
     let mut last_export = began;
     let mut pushed: u64 = 0;
     let mut since_checkpoint: u64 = 0;
+    // Incremental checkpoint chain: full snapshots at the compaction
+    // cadence, cheap dirty-state deltas in between. The writer owns the
+    // chain bookkeeping (CRC chain, intern table, gap cursor).
+    let mut ckpt_writer = faults
+        .checkpoint
+        .as_ref()
+        .map(|p| DeltaCheckpointWriter::new(p, faults.checkpoint_compact_every));
 
     // The whole streaming run is one root span; per-event spans would
     // perturb the pipeline they measure (the paper's uncertainty
@@ -1199,20 +1273,22 @@ fn stream_analyze(
         }
         pushed += 1;
         since_checkpoint += 1;
-        if let Some(ck_path) = &faults.checkpoint {
+        if let Some(w) = &mut ckpt_writer {
             if since_checkpoint >= faults.checkpoint_every {
                 since_checkpoint = 0;
                 let out = out_path.expect("--checkpoint requires --out");
-                if let Some(w) = &mut sink.writer {
-                    w.flush().map_err(|e| CliError::Io(format!("{out}: {e}")))?;
+                if let Some(sw) = &mut sink.writer {
+                    sw.flush()
+                        .map_err(|e| CliError::Io(format!("{out}: {e}")))?;
                 }
                 let bytes_flushed = std::fs::metadata(out)
                     .map_err(|e| CliError::Io(format!("{out}: {e}")))?
                     .len();
-                let cp = Checkpoint {
-                    analyzer: analyzer.snapshot(),
+                let gaps: Vec<ppa::trace::TraceGap> =
+                    prior_gaps.iter().chain(reader.gaps()).cloned().collect();
+                let parts = CheckpointParts {
                     positions_seen: base_positions + pushed + reader.events_lost(),
-                    gaps: prior_gaps.iter().chain(reader.gaps()).cloned().collect(),
+                    gaps: &gaps,
                     events_lost: prior_lost + reader.events_lost(),
                     reorder: reorder.as_ref().map(|b| b.snapshot()),
                     sink: SinkState {
@@ -1223,8 +1299,9 @@ fn stream_analyze(
                         last_time: sink.last_time,
                     },
                 };
-                write_checkpoint(Path::new(ck_path), &cp)
-                    .map_err(|e| checkpoint_error(ck_path, e))?;
+                let ck_display = w.path().display().to_string();
+                w.checkpoint(&mut analyzer, parts)
+                    .map_err(|e| checkpoint_error(&ck_display, e))?;
                 checkpoints_written.inc();
             }
         }
@@ -1388,14 +1465,20 @@ fn batch_analyze(
     out_path: Option<&str>,
     out_format: ppa::trace::TraceFormat,
     overheads: &ppa::trace::OverheadSpec,
+    decode_workers: Option<usize>,
 ) -> Result<(), CliError> {
     use ppa::analysis::event_based;
-    use ppa::trace::{read_trace, write_trace};
+    use ppa::trace::{read_trace, read_trace_parallel, write_trace};
     use std::io::{BufReader, BufWriter};
 
     let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
-    let measured =
-        read_trace(BufReader::new(file)).map_err(|e| CliError::from(e).prefixed(input))?;
+    let workers = decode_workers.unwrap_or_else(default_decode_workers);
+    let measured = if workers == 0 {
+        read_trace(BufReader::new(file)).map_err(|e| CliError::from(e).prefixed(input))?
+    } else {
+        read_trace_parallel(BufReader::new(file), workers)
+            .map_err(|e| CliError::from(e).prefixed(input))?
+    };
     let result = event_based(&measured, overheads)?;
     if let Some(p) = out_path {
         let f = File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?;
@@ -1508,9 +1591,10 @@ fn run_convert(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-const CHECK_USAGE: &str = "usage: ppa check <trace-or-report.{jsonl|bin}> \
+const CHECK_USAGE: &str = "usage: ppa check <trace-report-or-checkpoint.{jsonl|bin|ckpt}> \
      [--metrics snap.{prom|json}] [--metrics-out snap.prom [--metrics-format prom|json]]\n\
-       ppa check --differential [--seed N] [--programs N] [--workers N] [--out-dir DIR]";
+       ppa check --differential [--seed N] [--programs N] [--workers N] \
+     [--decode-workers N] [--out-dir DIR]";
 
 /// How many violations `ppa check` prints in full before summarizing.
 const CHECK_PRINT_CAP: usize = 20;
@@ -1521,10 +1605,9 @@ const CHECK_PRINT_CAP: usize = 20;
 /// `ppa_check_violations_total` with `--metrics-out`.
 fn run_check(args: &[String]) -> Result<(), CliError> {
     use ppa::check::{
-        check_metrics, export_violations, run_differential, DifferentialConfig, ReportChecker,
-        TraceLinter,
+        check_metrics, is_checkpoint_magic, lint_checkpoint, run_differential, DifferentialConfig,
+        ReportChecker, TraceLinter,
     };
-    use ppa::obs::{json_text, prometheus_text, Registry};
     use ppa::trace::{AnyTraceReader, TraceKind};
     use std::io::BufReader;
 
@@ -1561,6 +1644,10 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
             "--workers" => {
                 diff_cfg.workers =
                     positive("--workers", it.next().ok_or_else(|| missing("--workers"))?)?;
+            }
+            "--decode-workers" => {
+                let n = it.next().ok_or_else(|| missing("--decode-workers"))?;
+                diff_cfg.decode_workers = parse_decode_workers(n)?;
             }
             "--out-dir" => out_dir = Some(it.next().ok_or_else(|| missing("--out-dir"))?),
             "--metrics" => metrics_in = Some(it.next().ok_or_else(|| missing("--metrics"))?),
@@ -1620,6 +1707,30 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
             ));
         }
         let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
+        // Checkpoint files share the lint entry point: sniff the magic
+        // and route to the chain validator instead of the trace linter.
+        {
+            use std::io::{Read as _, Seek as _};
+            let mut file = &file;
+            let mut magic = [0u8; 8];
+            let n = file.read(&mut magic).unwrap_or(0);
+            file.seek(std::io::SeekFrom::Start(0))
+                .map_err(|e| CliError::Io(format!("{input}: {e}")))?;
+            if is_checkpoint_magic(&magic[..n]) {
+                if metrics_in.is_some() {
+                    return Err(CliError::Usage(
+                        "--metrics does not apply to checkpoint files".into(),
+                    ));
+                }
+                let (lint, found) = lint_checkpoint(Path::new(input)).map_err(CliError::NoInput)?;
+                println!(
+                    "checked {input}: v{} checkpoint, {} delta record(s), \
+                     {} position(s) seen, chain pass",
+                    lint.version, lint.delta_records, lint.positions_seen
+                );
+                return finish_check(found, input.to_string(), metrics_out, metrics_format);
+            }
+        }
         let reader = AnyTraceReader::open(BufReader::new(file))
             .map_err(|e| CliError::from(e).prefixed(input))?;
         let kind = reader.kind();
@@ -1655,6 +1766,20 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
         subject = input.to_string();
     }
 
+    finish_check(violations, subject, metrics_out, metrics_format)
+}
+
+/// Shared tail of every `ppa check` mode: export the per-rule counts,
+/// print the violations (capped), and map "any violation" to exit 65.
+fn finish_check(
+    violations: Vec<ppa::check::Violation>,
+    subject: String,
+    metrics_out: Option<&str>,
+    metrics_format: MetricsFormat,
+) -> Result<(), CliError> {
+    use ppa::check::export_violations;
+    use ppa::obs::{json_text, prometheus_text, Registry};
+
     if let Some(path) = metrics_out {
         let registry = Registry::new();
         export_violations(&registry, &violations);
@@ -1689,7 +1814,9 @@ const SERVE_USAGE: &str = "usage: ppa serve --checkpoint-dir DIR [--listen ADDR]
                            [--unix-socket PATH] [--metrics-listen ADDR] \
                            [--max-sessions N] [--tenant-max-sessions N] [--tenant-max-eps N] \
                            [--tenant-max-resident-bytes N] [--checkpoint-every N] \
+                           [--checkpoint-compact-every N] \
                            [--idle-timeout-ms N] [--lenient] [--reorder-window N] \
+                           [--decode-workers N] \
                            [--overheads spec.json] [--log-format text|json] \
                            [--log-level info|debug] [--self-trace-dir DIR] \
                            [--metrics-every SECS]";
@@ -1767,6 +1894,12 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
                 let n = it.next().ok_or_else(|| missing("--checkpoint-every"))?;
                 config.checkpoint_every = positive("--checkpoint-every", n)?;
             }
+            "--checkpoint-compact-every" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| missing("--checkpoint-compact-every"))?;
+                config.checkpoint_compact_every = nonneg("--checkpoint-compact-every", n)? as usize;
+            }
             "--idle-timeout-ms" => {
                 let n = it.next().ok_or_else(|| missing("--idle-timeout-ms"))?;
                 config.idle_timeout =
@@ -1776,6 +1909,10 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             "--reorder-window" => {
                 let n = it.next().ok_or_else(|| missing("--reorder-window"))?;
                 config.reorder_window = Some(nonneg("--reorder-window", n)?);
+            }
+            "--decode-workers" => {
+                let n = it.next().ok_or_else(|| missing("--decode-workers"))?;
+                config.decode_workers = parse_decode_workers(n)?;
             }
             "--overheads" => {
                 overheads_path = Some(it.next().ok_or_else(|| missing("--overheads"))?);

@@ -78,6 +78,53 @@ fn analyze_reports_usage_errors_with_exit_64() {
 }
 
 #[test]
+fn analyze_decode_workers_accepts_valid_and_rejects_absurd() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir);
+    let bin = dir.join("decode_workers.bin");
+    let out = Command::new(env!("CARGO_BIN_EXE_ppa"))
+        .args([
+            "convert",
+            input.to_str().unwrap(),
+            bin.to_str().unwrap(),
+            "--to",
+            "bin",
+            "--force",
+        ])
+        .output()
+        .expect("run ppa convert");
+    assert!(out.status.success(), "{:?}", out);
+
+    // 0 (serial), 1, and 4 workers must all produce byte-identical
+    // approximated output from the same binary input.
+    let mut outputs = Vec::new();
+    for workers in ["0", "1", "4"] {
+        let path = dir.join(format!("approx_w{workers}.jsonl"));
+        let out = ppa_analyze(&[
+            bin.to_str().unwrap(),
+            "--stream",
+            "--decode-workers",
+            workers,
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "workers {workers}: {:?}", out);
+        outputs.push(fs::read(&path).expect("read approximated output"));
+    }
+    assert!(!outputs[0].is_empty());
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
+
+    // Absurd values are usage errors, not silent clamps.
+    for bad in ["-1", "4096", "lots", ""] {
+        let out = ppa_analyze(&[bin.to_str().unwrap(), "--decode-workers", bad]);
+        assert_eq!(out.status.code(), Some(64), "value {bad:?}: {:?}", out);
+    }
+    let out = ppa_analyze(&[bin.to_str().unwrap(), "--decode-workers"]);
+    assert_eq!(out.status.code(), Some(64), "{:?}", out);
+}
+
+#[test]
 fn analyze_reports_malformed_line_with_exit_65() {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
     let input = measured_jsonl(&dir);

@@ -412,3 +412,62 @@ fn check_missing_input_maps_onto_exit_66() {
     let out = ppa_cmd("check", &[missing.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(66), "{out:?}");
 }
+
+// --- checkpoint files route to the chain lint -----------------------
+
+/// `ppa check` on a checkpoint file must validate the chain the way
+/// `--resume` would read it: a healthy v2 chain passes with its record
+/// count reported, a torn delta tail is flagged (resume tolerates it,
+/// the lint must not), and a corrupted full record is flagged too.
+#[test]
+fn check_lints_checkpoint_chains() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "ckpt_lint_measured.jsonl");
+    let report = dir.join("ckpt_lint_report.jsonl");
+    let ckpt = dir.join("ckpt_lint_state.ckpt");
+    fs::remove_file(&ckpt).ok();
+
+    // Produce a chain with several delta records.
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "32",
+            "--checkpoint-compact-every",
+            "64",
+        ],
+    );
+    assert!(out.status.success(), "{out:?}");
+
+    let out = ppa_cmd("check", &[ckpt.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("v2 checkpoint"), "{stdout}");
+    assert!(stdout.contains("delta record(s)"), "{stdout}");
+    assert!(stdout.contains("OK: no invariant violations"), "{stdout}");
+
+    // Torn tail: drop the last few bytes, as a kill mid-append would.
+    let bytes = fs::read(&ckpt).expect("read chain");
+    let torn = dir.join("ckpt_lint_torn.ckpt");
+    fs::write(&torn, &bytes[..bytes.len() - 5]).expect("write torn chain");
+    assert_flags(&torn, "checkpoint-torn-tail");
+
+    // Corrupt full record: flip a payload byte inside the first record.
+    let mut corrupt = bytes.clone();
+    corrupt[8 + 13 + 8] ^= 0xff;
+    let bad = dir.join("ckpt_lint_corrupt.ckpt");
+    fs::write(&bad, &corrupt).expect("write corrupt chain");
+    assert_flags(&bad, "checkpoint-corrupt");
+
+    // A v1-magic file with a wrecked payload is also a lint failure,
+    // not an I/O error.
+    let v1 = dir.join("ckpt_lint_v1_bad.ckpt");
+    fs::write(&v1, b"PPACKPT1 this is not a checkpoint payload").unwrap();
+    assert_flags(&v1, "checkpoint-corrupt");
+}

@@ -491,6 +491,128 @@ fn kill_and_resume_with_lenient_and_reorder_window_is_byte_identical() {
     );
 }
 
+/// SIGKILL while the incremental checkpoint chain already holds delta
+/// records: resume must reassemble the chain (full snapshot + deltas),
+/// and a torn delta tail — the bytes a kill can leave mid-append — must
+/// fall back to the longest valid prefix, both converging to the
+/// uninterrupted report byte for byte.
+#[test]
+fn kill_mid_delta_chain_and_torn_tail_resume_byte_identical() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "delta_measured.jsonl", 512);
+    let bin = dir.join("delta_measured.bin");
+    to_bin(&input, &bin, "64");
+
+    let reference = dir.join("delta_reference.jsonl");
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            bin.to_str().unwrap(),
+            "--stream",
+            "--out",
+            reference.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    // Tight cadence and a compaction period large enough that the kill
+    // lands while the chain is full-snapshot + deltas, not right after
+    // a compaction.
+    let report = dir.join("delta_report.jsonl");
+    let ckpt = dir.join("delta_state.ckpt");
+    fs::remove_file(&ckpt).ok();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ppa"))
+        .args([
+            "analyze",
+            bin.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "32",
+            "--checkpoint-compact-every",
+            "64",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointed analyze");
+    // Wait until the chain holds at least one delta record (scan
+    // tolerates a concurrent append as a torn tail), then SIGKILL.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        if let Ok(scan) = ppa::analysis::scan_checkpoint(&ckpt) {
+            if scan.delta_records >= 1 {
+                break;
+            }
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            // Finished before we could kill it: the surviving chain must
+            // still hold deltas for the test to mean anything.
+            let scan = ppa::analysis::scan_checkpoint(&ckpt).expect("chain scans");
+            assert!(scan.delta_records >= 1, "no deltas in finished chain");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no delta record within 30s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    child.kill().ok(); // SIGKILL — no flush, no atexit
+    child.wait().expect("reap child");
+
+    // The chain on disk is a v2 file whose valid prefix reassembles.
+    let bytes = fs::read(&ckpt).expect("read chain");
+    assert!(bytes.starts_with(b"PPACKPT2"), "not a v2 chain");
+    ppa::analysis::read_checkpoint(&ckpt).expect("chain reassembles");
+
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            bin.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    assert_eq!(
+        fs::read(&report).unwrap(),
+        fs::read(&reference).unwrap(),
+        "resume from a delta chain differs from the uninterrupted report"
+    );
+
+    // Tear the tail mid-record — the shape a kill leaves when it lands
+    // inside an append — and resume again over the finished report.
+    // The torn suffix must be ignored, the prefix resumed from, and the
+    // report re-converge.
+    if bytes.len() > 8 + 13 {
+        fs::write(&ckpt, &bytes[..bytes.len() - 7]).expect("write torn chain");
+        let out = ppa_cmd(
+            "analyze",
+            &[
+                bin.to_str().unwrap(),
+                "--stream",
+                "--out",
+                report.to_str().unwrap(),
+                "--resume",
+                ckpt.to_str().unwrap(),
+            ],
+        );
+        assert!(out.status.success(), "{:?}", out);
+        assert_eq!(
+            fs::read(&report).unwrap(),
+            fs::read(&reference).unwrap(),
+            "resume from a torn delta tail differs from the uninterrupted report"
+        );
+    }
+}
+
 /// `--progress` must stay silent when stderr is not a terminal — a
 /// piped run's stderr is machine-read (CI logs, scripted captures) and
 /// the ticker would pollute it. `--progress=force` is the escape hatch.

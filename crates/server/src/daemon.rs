@@ -51,6 +51,9 @@ pub struct ServeConfig {
     pub quotas: Quotas,
     /// Events between cadence checkpoints in each session.
     pub checkpoint_every: u64,
+    /// Deltas between full-snapshot compactions in each session's
+    /// incremental checkpoint chain (0 = full snapshots only).
+    pub checkpoint_compact_every: usize,
     /// Idle time after which a session is evicted (checkpointed).
     pub idle_timeout: Duration,
     /// Tolerate decode errors and unresolved dependencies (the server
@@ -58,6 +61,9 @@ pub struct ServeConfig {
     pub lenient: bool,
     /// Reorder-buffer window for out-of-order ingest (None = strict).
     pub reorder_window: Option<u64>,
+    /// Decode worker threads per session for binary ingest (0 = decode
+    /// serially on the session thread).
+    pub decode_workers: usize,
     /// Overhead model applied by every session's analyzer.
     pub overheads: OverheadSpec,
     /// Stderr log record shape (`--log-format`).
@@ -82,9 +88,11 @@ impl Default for ServeConfig {
             checkpoint_dir: PathBuf::from("ppa-serve-state"),
             quotas: Quotas::default(),
             checkpoint_every: 1 << 20,
+            checkpoint_compact_every: ppa_core::DEFAULT_COMPACT_EVERY,
             idle_timeout: Duration::from_secs(30),
             lenient: false,
             reorder_window: None,
+            decode_workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             overheads: OverheadSpec::default(),
             log_format: LogFormat::Text,
             log_level: LogLevel::Info,
@@ -219,6 +227,13 @@ impl Server {
         };
         let table = SessionTable::new(config.quotas.clone());
         let metrics = ServerMetrics::new();
+        metrics
+            .registry()
+            .gauge(
+                "ppa_decode_workers",
+                "Decode worker threads per session for binary ingest (0 = serial).",
+            )
+            .set(config.decode_workers as f64);
         let ctx = Arc::new(ServerCtx {
             config,
             table,

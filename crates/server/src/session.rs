@@ -24,7 +24,8 @@ use crate::protocol::{
     FT_DATA, FT_DONE, FT_ERROR, FT_FIN, FT_HELLO, FT_OK,
 };
 use ppa_core::{
-    read_checkpoint, write_checkpoint, Checkpoint, EventBasedAnalyzer, SinkState, StreamOutput,
+    read_checkpoint, Checkpoint, CheckpointParts, DeltaCheckpointWriter, EventBasedAnalyzer,
+    SinkState, StreamOutput,
 };
 use ppa_trace::{
     AnyTraceReader, AnyTraceWriter, Event, IoError, ReorderBuffer, StreamProbes, Time, TraceFormat,
@@ -457,12 +458,14 @@ impl ReportSink {
 
 /// Everything a checkpoint needs, passed explicitly so the cadence
 /// path, the eviction path, and the shutdown path write identical
-/// snapshots (the property resume correctness rides on).
+/// snapshots (the property resume correctness rides on). The writer
+/// owns the incremental chain (full snapshot vs delta, CRC chain,
+/// intern table); this function only assembles the parts.
 #[allow(clippy::too_many_arguments)]
 fn take_checkpoint(
-    ckpt_path: &Path,
+    ckpt_writer: &mut DeltaCheckpointWriter,
     report_path: &Path,
-    analyzer: &EventBasedAnalyzer,
+    analyzer: &mut EventBasedAnalyzer,
     reorder: &Option<ReorderBuffer>,
     sink: &mut ReportSink,
     reader: &AnyTraceReader<FramePayloadReader<impl SessionStream>>,
@@ -477,10 +480,10 @@ fn take_checkpoint(
     let bytes_flushed = fs::metadata(report_path)
         .map_err(|e| format!("stat report: {e}"))?
         .len();
-    let cp = Checkpoint {
-        analyzer: analyzer.snapshot(),
+    let gaps: Vec<TraceGap> = prior_gaps.iter().chain(reader.gaps()).cloned().collect();
+    let parts = CheckpointParts {
         positions_seen: base_positions + pushed + reader.events_lost(),
-        gaps: prior_gaps.iter().chain(reader.gaps()).cloned().collect(),
+        gaps: &gaps,
         events_lost: prior_lost + reader.events_lost(),
         reorder: reorder.as_ref().map(|b| b.snapshot()),
         sink: SinkState {
@@ -491,7 +494,9 @@ fn take_checkpoint(
             last_time: sink.last_time,
         },
     };
-    write_checkpoint(ckpt_path, &cp).map_err(|e| format!("write checkpoint: {e}"))
+    ckpt_writer
+        .checkpoint(analyzer, parts)
+        .map_err(|e| format!("write checkpoint: {e}"))
 }
 
 /// Runs one connection to completion. Never panics outward on protocol
@@ -666,6 +671,12 @@ fn session_body<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOutcom
     let base_positions = resumed.as_ref().map_or(0, |cp| cp.positions_seen);
     let prior_lost = resumed.as_ref().map_or(0, |cp| cp.events_lost);
     let prior_gaps: Vec<TraceGap> = resumed.as_ref().map_or_else(Vec::new, |cp| cp.gaps.clone());
+    // Fresh chain per session: the first cadence write is a full
+    // snapshot (atomically replacing any prior session's chain), and
+    // later writes within this session append deltas between
+    // compactions.
+    let mut ckpt_writer =
+        DeltaCheckpointWriter::new(&ckpt_path, ctx.config.checkpoint_compact_every);
 
     if write_frame(
         &mut sock,
@@ -699,8 +710,16 @@ fn session_body<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOutcom
         violation: violation.clone(),
     };
     // Blocks until the client's first trace bytes arrive (the format
-    // sniff needs 8 bytes), honoring idle/shutdown via the adapter.
-    let mut reader = match AnyTraceReader::open(adapter) {
+    // sniff needs 8 bytes), honoring idle/shutdown via the adapter. The
+    // protocol streams one way until FIN, so pipelined read-ahead over
+    // the socket cannot deadlock: anything decoded but not yet emitted
+    // at a park is replayed by the client from `positions_seen`.
+    let opened = if ctx.config.decode_workers > 0 {
+        AnyTraceReader::open_parallel(adapter, ctx.config.decode_workers)
+    } else {
+        AnyTraceReader::open(adapter)
+    };
+    let mut reader = match opened {
         Ok(r) => r,
         Err(e) => return fail_out(Fail::from_decode(e, &violation), &mut sock, &tm),
     };
@@ -872,9 +891,9 @@ fn session_body<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOutcom
             if since_checkpoint >= ctx.config.checkpoint_every {
                 since_checkpoint = 0;
                 take_checkpoint(
-                    &ckpt_path,
+                    &mut ckpt_writer,
                     &report_path,
-                    &analyzer,
+                    &mut analyzer,
                     &reorder,
                     &mut sink,
                     &reader,
@@ -910,9 +929,9 @@ fn session_body<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOutcom
             // from (idle eviction, shutdown, vanished client, quota).
             let _span = ppa_obs::span_enter(ppa_obs::Stage::Park);
             let ck = take_checkpoint(
-                &ckpt_path,
+                &mut ckpt_writer,
                 &report_path,
-                &analyzer,
+                &mut analyzer,
                 &reorder,
                 &mut sink,
                 &reader,

@@ -15,15 +15,19 @@
 //! - [`ParallelBinaryReader`] decodes batches of blocks on worker
 //!   threads and stitches the results back in file (seq) order.
 
-use super::block::{decode_block, encode_block, BlockFrame, BlockSummary, FRAME_LEN};
+use super::block::{
+    decode_block, decode_block_into, encode_block, BlockCursor, BlockFrame, BlockSummary, FRAME_LEN,
+};
 use crate::event::Event;
 use crate::gap::{GapCause, TraceGap};
 use crate::io::IoError;
 use crate::stream::{CountingWriter, StreamProbes};
 use crate::time::Time;
 use crate::trace::TraceKind;
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::io::{BufWriter, Read, Write};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 /// Magic bytes opening every `ppa-trace-bin-v1` file.
 pub const BINARY_MAGIC: [u8; 8] = *b"PPATRBIN";
@@ -215,6 +219,21 @@ impl RawBlock {
         decode_block(&self.frame, &self.payload, self.index)
     }
 
+    /// Like [`RawBlock::decode`], appending into a caller-recycled
+    /// buffer instead of allocating a fresh `Vec` per block.
+    pub fn decode_into(&self, out: &mut Vec<Event>) -> Result<(), IoError> {
+        let mut span = ppa_obs::span_enter(ppa_obs::Stage::Decode);
+        span.attr_block(self.index as u64);
+        span.attr_seq(self.frame.summary.first_seq);
+        decode_block_into(&self.frame, &self.payload, self.index, out)
+    }
+
+    /// Consumes the block, returning its payload buffer so the caller
+    /// can hand it back to [`BinaryBlockReader::recycle_payload`].
+    pub fn into_payload(self) -> Vec<u8> {
+        self.payload
+    }
+
     /// Classifies why [`RawBlock::decode`] failed, for gap reporting: a
     /// stored-vs-computed CRC mismatch, or payload bytes that passed the
     /// CRC but did not decode to the events the frame promised.
@@ -282,6 +301,9 @@ pub struct BinaryBlockReader<R: Read> {
     gaps: Vec<TraceGap>,
     /// Events swallowed by the gaps recorded so far.
     lost: u64,
+    /// Returned payload buffers awaiting reuse; bounds allocation churn
+    /// to a steady state of one buffer per in-flight block.
+    spare_payloads: Vec<Vec<u8>>,
     probes: StreamProbes,
 }
 
@@ -332,8 +354,21 @@ impl<R: Read> BinaryBlockReader<R> {
             event_skip: 0,
             gaps: Vec::new(),
             lost: 0,
+            spare_payloads: Vec::new(),
             probes,
         })
+    }
+
+    /// Hands a payload buffer back for reuse by a later
+    /// [`BinaryBlockReader::next_block`]. Dropping the buffer instead is
+    /// always correct — recycling only saves the allocator round trip.
+    pub fn recycle_payload(&mut self, mut buf: Vec<u8>) {
+        // A small cap keeps a burst of recycled buffers (e.g. a parallel
+        // decoder draining) from pinning memory indefinitely.
+        if self.spare_payloads.len() < 64 {
+            buf.clear();
+            self.spare_payloads.push(buf);
+        }
     }
 
     /// The trace kind announced by the header.
@@ -520,7 +555,8 @@ impl<R: Read> BinaryBlockReader<R> {
                 }
             };
             let count = frame.summary.count as usize;
-            let mut payload = vec![0u8; frame.payload_len as usize];
+            let mut payload = self.spare_payloads.pop().unwrap_or_default();
+            payload.resize(frame.payload_len as usize, 0);
             let got = match read_up_to(&mut self.input, &mut payload) {
                 Ok(n) => n,
                 Err(e) => return self.fail(IoError::Io(e)),
@@ -558,6 +594,7 @@ impl<R: Read> BinaryBlockReader<R> {
                 // their frame count, without CRC checks or decoding.
                 if self.skip_events >= count as u64 {
                     self.skip_events -= count as u64;
+                    self.recycle_payload(payload);
                     continue;
                 }
                 self.event_skip = self.skip_events;
@@ -570,6 +607,7 @@ impl<R: Read> BinaryBlockReader<R> {
                     // CRC-checked, so any damage inside it is invisible
                     // and must not be mistaken for a lenient loss.
                     self.skipped_events += count as u64;
+                    self.recycle_payload(payload);
                     continue;
                 }
             }
@@ -596,7 +634,12 @@ impl<R: Read> BinaryBlockReader<R> {
 /// CRC mismatch or malformed payload. After an error the iterator fuses.
 pub struct BinaryTraceReader<R: Read> {
     blocks: BinaryBlockReader<R>,
-    pending: std::vec::IntoIter<Event>,
+    /// The current decoded block, reused across blocks (cleared, never
+    /// freed) so steady-state decoding allocates nothing per block.
+    pending: Vec<Event>,
+    /// Cursor into `pending`; events before it were already yielded (or
+    /// dropped by a resume skip).
+    pos: usize,
     failed: bool,
     probes: StreamProbes,
 }
@@ -613,7 +656,8 @@ impl<R: Read> BinaryTraceReader<R> {
         let blocks = BinaryBlockReader::with_probes(reader, probes.clone())?;
         Ok(BinaryTraceReader {
             blocks,
-            pending: Vec::new().into_iter(),
+            pending: Vec::new(),
+            pos: 0,
             failed: false,
             probes,
         })
@@ -678,31 +722,37 @@ impl<R: Read> Iterator for BinaryTraceReader<R> {
             return None;
         }
         loop {
-            if let Some(e) = self.pending.next() {
+            if let Some(&e) = self.pending.get(self.pos) {
+                self.pos += 1;
                 self.probes.events.inc();
                 return Some(Ok(e));
             }
             match self.blocks.next_block()? {
-                Ok(block) => match block.decode() {
-                    Ok(events) => {
-                        let mut it = events.into_iter();
-                        for _ in 0..self.blocks.take_event_skip() {
-                            it.next();
+                Ok(block) => {
+                    self.pending.clear();
+                    match block.decode_into(&mut self.pending) {
+                        Ok(()) => {
+                            self.pos =
+                                (self.blocks.take_event_skip() as usize).min(self.pending.len());
+                            self.blocks.recycle_payload(block.into_payload());
                         }
-                        self.pending = it;
-                    }
-                    Err(e) => {
-                        if self.blocks.lenient() {
-                            let gap = block.to_gap(block.gap_cause());
+                        Err(e) => {
+                            // A partial decode may have pushed events;
+                            // discard them with the block.
+                            self.pending.clear();
+                            if self.blocks.lenient() {
+                                let gap = block.to_gap(block.gap_cause());
+                                self.probes.parse_errors.inc();
+                                self.blocks.record_gap(gap);
+                                self.blocks.recycle_payload(block.into_payload());
+                                continue;
+                            }
+                            self.failed = true;
                             self.probes.parse_errors.inc();
-                            self.blocks.record_gap(gap);
-                            continue;
+                            return Some(Err(e));
                         }
-                        self.failed = true;
-                        self.probes.parse_errors.inc();
-                        return Some(Err(e));
                     }
-                },
+                }
                 Err(e) => {
                     self.failed = true;
                     return Some(Err(e));
@@ -714,26 +764,116 @@ impl<R: Read> Iterator for BinaryTraceReader<R> {
 
 // --- Parallel reader ----------------------------------------------------
 
-/// Parallel block decoder for the `ppa-trace-bin-v1` format.
+/// One block handed to a decode worker: everything it needs, owned.
+struct DecodeJob {
+    /// Submission order (0-based); emission happens in this order.
+    seq: u64,
+    index: usize,
+    frame: BlockFrame,
+    payload: Vec<u8>,
+    /// A recycled event buffer to decode into.
+    scratch: Vec<Event>,
+}
+
+/// A worker's answer: the decoded events (or the classified failure),
+/// plus both buffers so the consumer can recycle them.
+struct DecodedBlock {
+    seq: u64,
+    index: usize,
+    summary: BlockSummary,
+    result: Result<(), (IoError, GapCause)>,
+    events: Vec<Event>,
+    payload: Vec<u8>,
+}
+
+/// Decode-worker loop: pull jobs off the shared queue until the sender
+/// closes, decode each block, send the result back.
+fn decode_worker(jobs: Arc<Mutex<mpsc::Receiver<DecodeJob>>>, results: mpsc::Sender<DecodedBlock>) {
+    loop {
+        // Hold the lock only for the blocking recv; decoding happens
+        // outside it so workers overlap.
+        let job = {
+            let rx = jobs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return, // reader dropped: no more blocks
+            }
+        };
+        let mut events = job.scratch;
+        events.clear();
+        let result = {
+            let mut span = ppa_obs::span_enter(ppa_obs::Stage::Decode);
+            span.attr_block(job.index as u64);
+            span.attr_seq(job.frame.summary.first_seq);
+            match BlockCursor::new(&job.frame, &job.payload, job.index) {
+                Err(e) => Err((e, GapCause::CrcMismatch)),
+                Ok(mut cursor) => loop {
+                    match cursor.next_event() {
+                        Ok(Some(event)) => events.push(event),
+                        Ok(None) => break Ok(()),
+                        Err(e) => break Err((e, GapCause::MalformedPayload)),
+                    }
+                },
+            }
+        };
+        let decoded = DecodedBlock {
+            seq: job.seq,
+            index: job.index,
+            summary: job.frame.summary,
+            result,
+            events,
+            payload: job.payload,
+        };
+        if results.send(decoded).is_err() {
+            return; // consumer gone; nothing left to report to
+        }
+    }
+}
+
+/// Pipelined parallel block decoder for the `ppa-trace-bin-v1` format.
 ///
-/// Reads framed blocks serially (cheap — the payload stays opaque), then
-/// decodes batches of blocks on `workers` scoped threads and stitches
-/// the decoded events back together in file order, which *is* seq order
-/// for any writer fed a totally ordered trace. Yields exactly the event
-/// sequence of [`BinaryTraceReader`] on the same input, including the
-/// position of the first error, after which the iterator fuses.
+/// A stage pipeline rather than a batch loop: the consuming thread reads
+/// framed blocks (cheap — the payload stays opaque) and feeds them to
+/// `workers` persistent decode threads; decoded blocks stream back and
+/// are stitched into file order, which *is* seq order for any writer fed
+/// a totally ordered trace. Because submission is throttled only by the
+/// in-flight window (not a per-batch barrier), decode overlaps both the
+/// framing reads and whatever analysis the caller runs between `next()`
+/// calls. Yields exactly the event sequence of [`BinaryTraceReader`] on
+/// the same input, including the position of the first error, after
+/// which the iterator fuses.
 ///
-/// Batches hold `4 * workers` blocks, so peak memory is
-/// `O(workers * block_events)` decoded events.
+/// At most `4 * workers` blocks are in flight, so peak memory is
+/// `O(workers * block_events)` decoded events; payload and event buffers
+/// recirculate through pools instead of being reallocated per block.
 pub struct ParallelBinaryReader<R: Read> {
     blocks: BinaryBlockReader<R>,
-    workers: usize,
-    queue: VecDeque<Event>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    /// Closed (dropped) to tell workers to exit.
+    job_tx: Option<mpsc::Sender<DecodeJob>>,
+    result_rx: mpsc::Receiver<DecodedBlock>,
+    /// In-flight window: blocks submitted but not yet accepted.
+    max_in_flight: usize,
+    in_flight: usize,
+    /// Submission counter (the next job's `seq`).
+    submitted: u64,
+    /// The `seq` the stitcher emits next.
+    next_emit: u64,
+    /// Results that arrived ahead of their emission turn.
+    stash: HashMap<u64, DecodedBlock>,
+    /// The block currently being emitted, and the cursor into it.
+    current: Vec<Event>,
+    pos: usize,
+    /// Recycled event buffers for future jobs.
+    spare_events: Vec<Vec<Event>>,
+    reader_done: bool,
     pending_error: Option<IoError>,
     failed: bool,
     /// Residual resume skip to drop from the next decoded block (the
-    /// straddling block is always the first block of the batch in which
-    /// the skip ends).
+    /// straddling block is always the first block submitted after the
+    /// skip is consumed).
     drop_next: usize,
     probes: StreamProbes,
 }
@@ -748,10 +888,34 @@ impl<R: Read> ParallelBinaryReader<R> {
     /// Like [`ParallelBinaryReader::new`], with stream probes.
     pub fn with_probes(reader: R, workers: usize, probes: StreamProbes) -> Result<Self, IoError> {
         let blocks = BinaryBlockReader::with_probes(reader, probes.clone())?;
+        let workers = workers.max(1);
+        let (job_tx, job_rx) = mpsc::channel::<DecodeJob>();
+        let (result_tx, result_rx) = mpsc::channel::<DecodedBlock>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let jobs = Arc::clone(&job_rx);
+                let results = result_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("ppa-decode-{i}"))
+                    .spawn(move || decode_worker(jobs, results))
+                    .expect("spawn decode worker thread")
+            })
+            .collect();
         Ok(ParallelBinaryReader {
             blocks,
-            workers: workers.max(1),
-            queue: VecDeque::new(),
+            worker_handles,
+            job_tx: Some(job_tx),
+            result_rx,
+            max_in_flight: workers * 4,
+            in_flight: 0,
+            submitted: 0,
+            next_emit: 0,
+            stash: HashMap::new(),
+            current: Vec::new(),
+            pos: 0,
+            spare_events: Vec::new(),
+            reader_done: false,
             pending_error: None,
             failed: false,
             drop_next: 0,
@@ -792,61 +956,78 @@ impl<R: Read> ParallelBinaryReader<R> {
         self.blocks.events_lost()
     }
 
-    /// Reads and decodes the next batch of blocks into the queue.
-    fn refill(&mut self) {
-        let mut batch: Vec<RawBlock> = Vec::with_capacity(self.workers * 4);
-        while batch.len() < self.workers * 4 {
+    /// Returns an event buffer to the pool feeding future jobs.
+    fn recycle_events(&mut self, mut buf: Vec<Event>) {
+        if self.spare_events.len() < 64 {
+            buf.clear();
+            self.spare_events.push(buf);
+        }
+    }
+
+    /// Keeps the in-flight window full: reads frames and submits decode
+    /// jobs until the window cap, end of input, or a reader error (which
+    /// is stashed and surfaced only after the in-flight blocks drain —
+    /// they precede it in stream order).
+    fn pump(&mut self) {
+        while !self.reader_done && self.in_flight < self.max_in_flight {
             match self.blocks.next_block() {
-                Some(Ok(b)) => batch.push(b),
+                Some(Ok(block)) => {
+                    // A resume skip that ends mid-block surfaces here,
+                    // attached to the first block returned after the
+                    // skip was consumed.
+                    self.drop_next += self.blocks.take_event_skip() as usize;
+                    let job = DecodeJob {
+                        seq: self.submitted,
+                        index: block.index,
+                        frame: block.frame,
+                        payload: block.payload,
+                        scratch: self.spare_events.pop().unwrap_or_default(),
+                    };
+                    self.submitted += 1;
+                    self.in_flight += 1;
+                    if let Some(tx) = &self.job_tx {
+                        // Send fails only if every worker died; the recv
+                        // in `next()` will surface that as a panic.
+                        let _ = tx.send(job);
+                    }
+                }
                 Some(Err(e)) => {
                     self.pending_error = Some(e);
-                    break;
+                    self.reader_done = true;
                 }
-                None => break,
+                None => self.reader_done = true,
             }
         }
-        // A resume skip that ends mid-block surfaces here, attached to
-        // the first block next_block returned after consuming the skip.
-        self.drop_next += self.blocks.take_event_skip() as usize;
-        if batch.is_empty() {
-            return;
-        }
-        // One chunk of blocks per worker; each block decodes
-        // independently, results return in submission order.
-        let chunk = batch.len().div_ceil(self.workers);
-        let mut results: Vec<Result<Vec<Event>, IoError>> = Vec::with_capacity(batch.len());
-        std::thread::scope(|s| {
-            let handles: Vec<_> = batch
-                .chunks(chunk)
-                .map(|blocks| {
-                    s.spawn(move || blocks.iter().map(RawBlock::decode).collect::<Vec<_>>())
-                })
-                .collect();
-            for h in handles {
-                results.extend(h.join().expect("block decode worker panicked"));
+    }
+
+    /// Accepts the next in-order decoded block: recycles its buffers,
+    /// installs its events as the current emission run (minus any resume
+    /// skip), or — for a failed block — records the lenient gap or
+    /// returns the error to surface at exactly this stream position.
+    fn accept(&mut self, decoded: DecodedBlock) -> Result<(), IoError> {
+        debug_assert_eq!(decoded.seq, self.next_emit);
+        self.next_emit += 1;
+        self.in_flight -= 1;
+        self.blocks.recycle_payload(decoded.payload);
+        match decoded.result {
+            Ok(()) => {
+                let drop = std::mem::take(&mut self.drop_next).min(decoded.events.len());
+                self.probes.events.add((decoded.events.len() - drop) as u64);
+                let old = std::mem::replace(&mut self.current, decoded.events);
+                self.recycle_events(old);
+                self.pos = drop;
+                Ok(())
             }
-        });
-        for (block, r) in batch.iter().zip(results) {
-            match r {
-                Ok(events) => {
-                    let drop = std::mem::take(&mut self.drop_next).min(events.len());
-                    self.probes.events.add((events.len() - drop) as u64);
-                    self.queue.extend(events.into_iter().skip(drop));
-                }
-                Err(e) => {
-                    if self.blocks.lenient() {
-                        // Skip just the damaged block and keep stitching.
-                        let gap = block.to_gap(block.gap_cause());
-                        self.probes.parse_errors.inc();
-                        self.blocks.record_gap(gap);
-                        continue;
-                    }
-                    // A decode failure precedes (in stream order) any
-                    // block-reader error stashed above, and everything
-                    // after the first error is dropped anyway.
-                    self.probes.parse_errors.inc();
-                    self.pending_error = Some(e);
-                    break;
+            Err((e, cause)) => {
+                self.probes.parse_errors.inc();
+                if self.blocks.lenient() {
+                    // Skip just the damaged block and keep stitching.
+                    self.blocks
+                        .record_gap(block_gap(decoded.index, decoded.summary, cause));
+                    self.recycle_events(decoded.events);
+                    Ok(())
+                } else {
+                    Err(e)
                 }
             }
         }
@@ -861,17 +1042,55 @@ impl<R: Read> Iterator for ParallelBinaryReader<R> {
             return None;
         }
         loop {
-            if let Some(e) = self.queue.pop_front() {
+            if let Some(&e) = self.current.get(self.pos) {
+                self.pos += 1;
                 return Some(Ok(e));
             }
-            if let Some(e) = self.pending_error.take() {
-                self.failed = true;
-                return Some(Err(e));
+            self.pump();
+            if self.in_flight == 0 {
+                if let Some(e) = self.pending_error.take() {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                if self.reader_done {
+                    return None;
+                }
+                continue;
             }
-            self.refill();
-            if self.queue.is_empty() && self.pending_error.is_none() {
-                return None;
+            // Fetch the block whose emission turn it is: from the stash
+            // if it already arrived, else by waiting on the workers.
+            let decoded = match self.stash.remove(&self.next_emit) {
+                Some(d) => d,
+                None => {
+                    let _span = ppa_obs::span_enter(ppa_obs::Stage::Reassemble);
+                    loop {
+                        let d = self.result_rx.recv().expect("block decode worker panicked");
+                        if d.seq == self.next_emit {
+                            break d;
+                        }
+                        self.stash.insert(d.seq, d);
+                    }
+                }
+            };
+            match self.accept(decoded) {
+                Ok(()) => continue,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
             }
+        }
+    }
+}
+
+impl<R: Read> Drop for ParallelBinaryReader<R> {
+    fn drop(&mut self) {
+        // Closing the job channel is the shutdown signal; workers finish
+        // whatever is in flight (sends to the unbounded result channel
+        // never block) and exit.
+        self.job_tx.take();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }

@@ -30,7 +30,7 @@ pub use binary::{
     BinaryBlockReader, BinaryTraceReader, BinaryTraceWriter, ParallelBinaryReader, RawBlock,
     BINARY_FORMAT_NAME, BINARY_MAGIC, BINARY_VERSION, DEFAULT_BLOCK_EVENTS,
 };
-pub use block::{crc32, BlockSummary};
+pub use block::{crc32, crc32_chain, BlockSummary};
 
 use crate::event::Event;
 use crate::gap::TraceGap;
@@ -103,7 +103,9 @@ pub enum AnyTraceReader<R: Read> {
     /// A detected `ppa-trace-bin-v1` stream, decoded serially.
     Binary(BinaryTraceReader<Sniffed<R>>),
     /// A detected `ppa-trace-bin-v1` stream, decoded block-parallel.
-    BinaryParallel(ParallelBinaryReader<Sniffed<R>>),
+    /// Boxed: the pipelined reader carries channel endpoints and
+    /// reassembly buffers that dwarf the other variants.
+    BinaryParallel(Box<ParallelBinaryReader<Sniffed<R>>>),
 }
 
 /// Reads up to `BINARY_MAGIC.len()` bytes and rebuilds a full stream
@@ -161,9 +163,9 @@ impl<R: Read> AnyTraceReader<R> {
             TraceFormat::Jsonl => {
                 AnyTraceReader::Jsonl(TraceStreamReader::with_probes(stream, probes)?)
             }
-            TraceFormat::Binary => AnyTraceReader::BinaryParallel(
+            TraceFormat::Binary => AnyTraceReader::BinaryParallel(Box::new(
                 ParallelBinaryReader::with_probes(stream, workers, probes)?,
-            ),
+            )),
         })
     }
 

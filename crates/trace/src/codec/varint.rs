@@ -28,8 +28,15 @@ pub(crate) fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
 /// Reads an unsigned LEB128 varint from `input` starting at `*pos`,
 /// advancing `*pos` past it. Returns `None` on truncated input or on an
 /// encoding that does not fit in a `u64`.
+///
+/// This is the executable specification: a plain one-byte-at-a-time
+/// loop whose every accept/reject decision is easy to audit. The hot
+/// decode path goes through [`read_varint`], which must agree with this
+/// function byte-for-byte on every input (pinned by the differential
+/// tests below).
 #[inline]
-pub(crate) fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+#[cfg_attr(not(test), allow(dead_code))] // the spec is exercised by the differential tests
+pub(crate) fn read_varint_spec(input: &[u8], pos: &mut usize) -> Option<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -45,6 +52,73 @@ pub(crate) fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
         }
         shift += 7;
         if shift > 63 {
+            return None; // 11th continuation byte: not a u64
+        }
+    }
+}
+
+/// Fast-path LEB128 decoder used by the block codec's hot loop.
+///
+/// Block payloads delta-encode timestamps and sequence numbers, so the
+/// overwhelming majority of varints are one or two bytes; those cases
+/// are decoded here with direct indexing and no loop. Longer encodings
+/// go through an unrolled tail. Semantics are identical to
+/// [`read_varint_spec`] on every input, truncated and overlong included.
+#[inline]
+pub(crate) fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let p = *pos;
+    let b0 = *input.get(p)?;
+    if b0 < 0x80 {
+        *pos = p + 1;
+        return Some(u64::from(b0));
+    }
+    match input.get(p + 1) {
+        Some(&b1) if b1 < 0x80 => {
+            *pos = p + 2;
+            Some(u64::from(b0 & 0x7f) | u64::from(b1) << 7)
+        }
+        Some(_) => read_varint_multi(input, pos),
+        None => {
+            // Truncated after one continuation byte; the spec loop
+            // consumes that byte before noticing, and `*pos` must agree
+            // on every path so the two decoders are interchangeable.
+            *pos = p + 1;
+            None
+        }
+    }
+}
+
+/// Cold continuation of [`read_varint`] for encodings of three or more
+/// bytes: an unrolled walk over groups 2..=9 with the same overflow
+/// rules as the spec (only the final, tenth byte may carry the top bit,
+/// and only as the value 1). Matches [`read_varint_spec`] exactly,
+/// including how far `*pos` advances on rejected input.
+#[cold]
+fn read_varint_multi(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let p = *pos;
+    // The first two bytes were already seen by the caller and both had
+    // their continuation bit set.
+    let mut v = u64::from(input[p] & 0x7f) | u64::from(input[p + 1] & 0x7f) << 7;
+    let mut i = p + 2;
+    loop {
+        let Some(&byte) = input.get(i) else {
+            *pos = i;
+            return None; // truncated mid-encoding
+        };
+        let shift = 7 * (i - p) as u32;
+        i += 1;
+        let group = u64::from(byte & 0x7f);
+        if shift == 63 && group > 1 {
+            *pos = i;
+            return None; // would overflow the top bit of a u64
+        }
+        v |= group << shift;
+        if byte & 0x80 == 0 {
+            *pos = i;
+            return Some(v);
+        }
+        if shift == 63 {
+            *pos = i;
             return None; // 11th continuation byte: not a u64
         }
     }
@@ -85,6 +159,9 @@ mod tests {
         let mut pos = 0;
         let back = read_varint(&buf, &mut pos).expect("well-formed varint");
         assert_eq!(pos, buf.len(), "decoder consumed every encoded byte");
+        let mut spec_pos = 0;
+        assert_eq!(read_varint_spec(&buf, &mut spec_pos), Some(back));
+        assert_eq!(spec_pos, pos, "fast and spec decoders consume alike");
         (buf.len(), back)
     }
 
@@ -126,6 +203,88 @@ mod tests {
         let wide = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
         let mut pos = 0;
         assert_eq!(read_varint(&wide, &mut pos), None);
+    }
+
+    /// Exhaustive check that the fast decoder and the executable spec
+    /// agree — value, consumed length, and rejection — on one input.
+    fn assert_decoders_agree(bytes: &[u8]) {
+        for start in 0..=bytes.len() {
+            let mut fast_pos = start;
+            let mut spec_pos = start;
+            let fast = read_varint(bytes, &mut fast_pos);
+            let spec = read_varint_spec(bytes, &mut spec_pos);
+            assert_eq!(fast, spec, "value at start {start} of {bytes:02x?}");
+            assert_eq!(
+                fast_pos, spec_pos,
+                "cursor at start {start} of {bytes:02x?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_decoder_matches_spec_on_crafted_inputs() {
+        // Every encoded length boundary plus the rejection shapes the
+        // spec carves out: truncations, overlong chains, wide final
+        // groups, and redundant zero continuations.
+        let mut crafted: Vec<Vec<u8>> = Vec::new();
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            (1 << 21) - 1,
+            1 << 21,
+            u64::from(u32::MAX),
+            1 << 62,
+            (1 << 63) - 1,
+            1 << 63,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            for cut in 0..=buf.len() {
+                crafted.push(buf[..cut].to_vec());
+            }
+        }
+        crafted.push(vec![0x80; 10]);
+        crafted.push(vec![0x80; 11]);
+        crafted.push(vec![0xff; 9]);
+        crafted.push(vec![
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+        ]);
+        crafted.push(vec![
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+        ]);
+        crafted.push(vec![0x80, 0x80, 0x00]); // overlong zero, still accepted
+        for bytes in &crafted {
+            assert_decoders_agree(bytes);
+        }
+    }
+
+    #[test]
+    fn fast_decoder_matches_spec_on_random_streams() {
+        // Deterministic xorshift fuzz: random byte soup exercises every
+        // continuation-bit pattern, not just well-formed encodings.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2_000 {
+            let len = (next() % 24) as usize;
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Bias toward set continuation bits so long chains occur.
+                let b = (next() & 0xff) as u8;
+                bytes.push(if next() % 4 == 0 { b & 0x7f } else { b | 0x80 });
+            }
+            assert_decoders_agree(&bytes);
+        }
     }
 
     #[test]

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Decode + checkpoint performance sweep: runs the decode-worker sweep
+# bench (workers 1 2 4 8 vs serial) and the checkpoint-overhead bench
+# (full snapshots vs the incremental delta chain), recording
+# BENCH_decode_parallel.json and BENCH_checkpoint_delta.json (plus the
+# pre-existing BENCH_checkpoint.json) at the repository root.
+#
+# Environment knobs (all optional):
+#   PPA_DECODE_BENCH_EVENTS      fixture size for the decode sweep
+#   PPA_DECODE_BENCH_WORKERS     sweep counts (default "1 2 4 8")
+#   PPA_CHECKPOINT_BENCH_ITERS   fixture size for the checkpoint bench
+#   PPA_CHECKPOINT_BENCH_EVERY   checkpoint cadence in events
+#   PPA_BENCH_SMOKE=1            run in --test mode (no criterion
+#                                sampling; fast enough for CI)
+#   PPA_ASSERT_MIN_RATIO=R       after the sweep, fail unless every
+#                                multi-worker count decodes at >= R x
+#                                the serial rate (e.g. 0.95 to catch a
+#                                pipelined-slower-than-serial regression)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=()
+if [ "${PPA_BENCH_SMOKE:-0}" = "1" ]; then
+  mode=(--test)
+fi
+
+cargo bench -p ppa-bench --bench decode_sweep -- "${mode[@]}"
+cargo bench -p ppa-bench --bench checkpoint_overhead -- "${mode[@]}"
+
+if [ -n "${PPA_ASSERT_MIN_RATIO:-}" ]; then
+  python3 - "$PPA_ASSERT_MIN_RATIO" <<'EOF'
+import json, sys
+
+min_ratio = float(sys.argv[1])
+report = json.load(open("BENCH_decode_parallel.json"))
+cores = report["cores"]
+bad = [
+    row for row in report["sweep"]
+    # Oversubscribed counts cannot be expected to keep up.
+    if row["workers"] > 1 and row["workers"] <= cores
+    and row["speedup_vs_serial"] < min_ratio
+]
+for row in bad:
+    print(
+        f"FAIL: {row['workers']} workers decode at "
+        f"{row['speedup_vs_serial']:.2f}x serial (< {min_ratio}x)",
+        file=sys.stderr,
+    )
+if bad:
+    sys.exit(1)
+print(f"decode sweep: all multi-worker counts >= {min_ratio}x serial")
+EOF
+fi
