@@ -13,10 +13,13 @@
 //! trace, which can be written to disk for offline triage.
 
 use crate::Violation;
-use ppa_core::{event_based, event_based_reference, event_based_sharded, EventBasedResult};
+use ppa_core::{
+    event_based, event_based_reference, event_based_sharded, expand_events, EventBasedResult,
+};
 use ppa_program::synth::{synthesize, SynthConfig};
 use ppa_program::InstrumentationPlan;
 use ppa_sim::{run_measured, SchedulePolicy, SimConfig};
+use ppa_slice::{slice_stream, suppress_events, SliceOptions, SliceProbes, SliceSpec};
 use ppa_trace::{
     read_trace, read_trace_parallel, write_trace, ClockRate, Event, OverheadSpec, Trace,
     TraceFormat, TraceKind,
@@ -165,6 +168,26 @@ pub fn run_differential(
             });
         }
 
+        if let Some(detail) = diff_slice(&measured.trace) {
+            report.mismatches.push(Mismatch {
+                program: label.clone(),
+                seed,
+                detail,
+                minimal_events: measured.trace.len(),
+                trace_path: None,
+            });
+        }
+
+        if let Some(detail) = diff_suppression(&measured.trace, &sim.overheads) {
+            report.mismatches.push(Mismatch {
+                program: label.clone(),
+                seed,
+                detail,
+                minimal_events: measured.trace.len(),
+                trace_path: None,
+            });
+        }
+
         if let Some(detail) = diff_paths(&measured.trace, &sim.overheads, cfg.workers) {
             let minimal = shrink(measured.trace.events(), &sim.overheads, cfg.workers);
             let trace_path = match out_dir {
@@ -242,6 +265,110 @@ fn diff_codec(trace: &Trace, decode_workers: usize) -> Option<String> {
 
 /// Runs the three paths on one measured trace; `Some(description)` of
 /// the first difference if they disagree, `None` when they agree.
+/// Slice-vs-full leg: the slice engine (binary container, skip index
+/// engaged) must return exactly the events a full decode followed by a
+/// naive predicate filter returns, with exact accounting. The window
+/// spans the middle half of the trace so the skip index has blocks to
+/// discard on both sides.
+fn diff_slice(trace: &Trace) -> Option<String> {
+    let (first, last) = match (trace.events().first(), trace.events().last()) {
+        (Some(f), Some(l)) => (f.time.as_nanos(), l.time.as_nanos()),
+        _ => return None,
+    };
+    let span = last - first;
+    let (lo, hi) = (first + span / 4, first + span * 3 / 4);
+    if hi <= lo {
+        return None; // degenerate trace, nothing to slice
+    }
+    let spec = match SliceSpec::parse(&format!("window={lo}..{hi} procs=0,2,4,6")) {
+        Ok(s) => s,
+        Err(e) => return Some(format!("slice-vs-full: spec failed to parse: {e}")),
+    };
+
+    let mut bytes = Vec::new();
+    if let Err(e) = write_trace(trace, &mut bytes, TraceFormat::Binary) {
+        return Some(format!("slice-vs-full: binary encode failed: {e}"));
+    }
+    let mut reader = match ppa_trace::codec::AnyTraceReader::open(bytes.as_slice()) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("slice-vs-full: open failed: {e}")),
+    };
+    let options = SliceOptions {
+        spec: spec.clone(),
+        suppress: false,
+        use_skip_index: true,
+    };
+    let mut sliced = Vec::new();
+    let stats = match slice_stream(&mut reader, &options, &SliceProbes::noop(), |e| {
+        sliced.push(*e);
+        Ok(())
+    }) {
+        Ok(stats) => stats,
+        Err(e) => return Some(format!("slice-vs-full: slice failed: {e}")),
+    };
+    if !stats.conservation_holds() {
+        return Some(format!(
+            "slice-vs-full: accounting broken: {} of {} event(s) accounted",
+            stats.accounted(),
+            stats.expected
+        ));
+    }
+
+    let full: Vec<Event> = trace.iter().filter(|e| spec.matches(e)).copied().collect();
+    if sliced.len() != full.len() {
+        return Some(format!(
+            "slice-vs-full: engine returned {} event(s), naive filter {}",
+            sliced.len(),
+            full.len()
+        ));
+    }
+    sliced
+        .iter()
+        .zip(&full)
+        .enumerate()
+        .find(|(_, (a, b))| a != b)
+        .map(|(i, (a, b))| format!("slice-vs-full: event[{i}]: engine {a} vs filter {b}"))
+}
+
+/// Suppression leg: collapsing repeated patterns must be lossless —
+/// expanding the suppressed stream reproduces the measured events
+/// exactly, and analyzing the suppressed trace (the analyzer expands
+/// records itself) yields a report identical to the unsuppressed one.
+fn diff_suppression(trace: &Trace, oh: &OverheadSpec) -> Option<String> {
+    let suppressed = suppress_events(trace.events());
+    match expand_events(&suppressed) {
+        Ok(expanded) => {
+            if expanded != trace.events() {
+                let i = expanded
+                    .iter()
+                    .zip(trace.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(expanded.len().min(trace.len()));
+                return Some(format!(
+                    "suppression round-trip: event[{i}]: expanded {:?} vs measured {:?}",
+                    expanded.get(i),
+                    trace.events().get(i)
+                ));
+            }
+        }
+        Err(e) => return Some(format!("suppression round-trip: expansion failed: {e}")),
+    }
+
+    let suppressed_trace = Trace::from_events(TraceKind::Measured, suppressed);
+    let direct = event_based(trace, oh);
+    let via_suppressed = event_based(&suppressed_trace, oh);
+    match (direct, via_suppressed) {
+        (Ok(a), Ok(b)) => diff_results("direct", &a, "suppressed", &b)
+            .map(|d| format!("suppressed-analysis: {d}")),
+        (Err(_), Err(_)) => None,
+        (a, b) => Some(format!(
+            "suppressed-analysis accept/reject split: direct {}, suppressed {}",
+            verdict(&a),
+            verdict(&b)
+        )),
+    }
+}
+
 fn diff_paths(trace: &Trace, oh: &OverheadSpec, workers: usize) -> Option<String> {
     let streaming = event_based(trace, oh);
     let reference = event_based_reference(trace, oh);

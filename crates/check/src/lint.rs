@@ -37,9 +37,21 @@ struct ProcLint {
 ///
 /// The linter records every violation it sees (no cap); callers
 /// presenting to humans typically print the first few plus a count.
+///
+/// A *slice* of a trace (the output of `ppa slice`, see QUERIES.md) is
+/// a projection: removing events punches holes in the sequence numbers
+/// and cuts await pairs and sync episodes apart, by design. The
+/// [`for_slice`](Self::for_slice) mode therefore keeps only the rules a
+/// projection preserves — `trace-total-order` and `proc-time-monotone`
+/// — and adds `repeat-record`, the structural validity of suppression
+/// records (`len >= 1`, `count >= 1`). Outside slice mode a repeat
+/// record is itself a violation: suppressed traces must be expanded (or
+/// checked as slices) before the full rule set is meaningful.
 #[derive(Debug, Default)]
 pub struct TraceLinter {
     violations: Vec<Violation>,
+    /// Slice mode: lint a projection, not a complete trace.
+    slice: bool,
     last_key: Option<(Time, u64, ppa_trace::ProcessorId)>,
     procs: Vec<ProcLint>,
     seqs: Vec<u64>,
@@ -53,6 +65,16 @@ impl TraceLinter {
     /// Creates an empty linter.
     pub fn new() -> Self {
         TraceLinter::default()
+    }
+
+    /// Creates a linter for sliced (projected, possibly suppressed)
+    /// traces: order rules stay, completeness rules are waived, and
+    /// repeat records are validated instead of rejected.
+    pub fn for_slice() -> Self {
+        TraceLinter {
+            slice: true,
+            ..TraceLinter::default()
+        }
     }
 
     /// Feeds the next event in stream order.
@@ -86,6 +108,30 @@ impl TraceLinter {
             }
         }
         p.last_time = Some(e.time);
+
+        if let EventKind::Repeat { len, count, .. } = e.kind {
+            if !self.slice {
+                self.violations.push(Violation::new(
+                    "repeat-record",
+                    format!(
+                        "event {e} is a suppression record in a trace checked as complete; \
+                         expand it (`ppa slice --expand`) or check with --slice"
+                    ),
+                ));
+            } else if len == 0 || count == 0 {
+                self.violations.push(Violation::new(
+                    "repeat-record",
+                    format!("event {e} has an empty pattern or zero count"),
+                ));
+            }
+            return;
+        }
+        if self.slice {
+            // Projection mode: the order rules above apply as-is; the
+            // await/advance and seq-contiguity bookkeeping below would
+            // misfire on cut episodes, so it is skipped entirely.
+            return;
+        }
 
         match e.kind {
             EventKind::Advance { var, tag } => {
@@ -148,7 +194,11 @@ impl TraceLinter {
         // Contiguity is a multiset property, so it is checked once at the
         // end: sorted, the sequence numbers must form one run without
         // holes or duplicates. (Clarity over cleverness — the sort costs
-        // O(n log n) once, not per event.)
+        // O(n log n) once, not per event.) Slices are projections:
+        // holes are the point, so the rule is waived there.
+        if self.slice {
+            return self.violations;
+        }
         self.seqs.sort_unstable();
         for w in self.seqs.windows(2) {
             if w[1] != w[0] + 1 {

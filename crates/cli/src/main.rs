@@ -194,17 +194,22 @@ fn real_main() -> Result<(), CliError> {
         }
         "analyze" => run_analyze(&args[1..])?,
         "convert" => run_convert(&args[1..])?,
+        "slice" => run_slice(&args[1..])?,
         "check" => run_check(&args[1..])?,
         "serve" => run_serve(&args[1..])?,
         "send" => run_send(&args[1..])?,
         "help" | "--help" | "-h" => {
             println!(
                 "subcommands: all fig1 table1 table2 table3 fig4 fig5 ablation native \
-                 intrusion accuracy analyze convert check serve send"
+                 intrusion accuracy analyze convert slice check serve send"
             );
             println!(
                 "analyze: ppa analyze <measured.{{jsonl|bin}}> [--stream] [--out approx] \
-                 [--format bin|jsonl] [--overheads spec.json]"
+                 [--format bin|jsonl] [--overheads spec.json] [--slice EXPR]"
+            );
+            println!(
+                "         (the input container is auto-sniffed from its magic bytes; \
+                 --format selects the output container only)"
             );
             println!(
                 "         [--metrics-out snap.prom] [--metrics-format prom|json] \
@@ -222,7 +227,17 @@ fn real_main() -> Result<(), CliError> {
                 "convert: ppa convert <in> <out> --to <bin|jsonl> [--block-events N] [--force]"
             );
             println!(
-                "check:   ppa check <trace-report-or-checkpoint.{{jsonl|bin|ckpt}}> \
+                "slice:   ppa slice <in> <out> [--expr EXPR] [--window A..B] [--since T] \
+                 [--until T] [--procs SET] [--kind SET] [--var SET] [--tag SET] \
+                 [--barrier SET]"
+            );
+            println!(
+                "         [--suppress | --expand] [--format bin|jsonl] [--force] [--lenient] \
+                 [--decode-workers N] [--metrics-out snap.prom [--metrics-format prom|json]] \
+                 (see QUERIES.md)"
+            );
+            println!(
+                "check:   ppa check <trace-report-or-checkpoint.{{jsonl|bin|ckpt}}> [--slice] \
                  [--metrics snap.{{prom|json}}] \
                  [--metrics-out snap.prom [--metrics-format prom|json]]"
             );
@@ -630,7 +645,7 @@ fn native() {
 
 const ANALYZE_USAGE: &str = "usage: ppa analyze <measured.{jsonl|bin}> [--stream] \
      [--out approx] [--format bin|jsonl] [--overheads spec.json] \
-     [--decode-workers N] \
+     [--slice EXPR] [--decode-workers N] \
      [--metrics-out snap.prom] [--metrics-format prom|json] [--metrics-every SECS] \
      [--progress[=force]] [--self-trace spans.{jsonl|bin|json}] \
      [--self-trace-format ppa|chrome] [--lenient] [--reorder-window N] \
@@ -745,6 +760,30 @@ struct FaultOptions {
     resume: Option<String>,
 }
 
+/// Feeds one measured event through the repeat-record expander and the
+/// analyzer, draining analyzer output into the sink. Non-suppressed
+/// input passes through the expander untouched (no records means no
+/// cursors), so the same path serves both plain and suppressed traces.
+fn push_expanded<W: std::io::Write>(
+    expander: &mut ppa::analysis::RepeatExpander,
+    scratch: &mut Vec<ppa::trace::Event>,
+    analyzer: &mut ppa::analysis::EventBasedAnalyzer,
+    sink: &mut AnalyzeSink<W>,
+    event: ppa::trace::Event,
+) -> Result<(), CliError> {
+    scratch.clear();
+    expander
+        .push(event, scratch)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    for ev in scratch.drain(..) {
+        analyzer.push(ev)?;
+        while let Some(o) = analyzer.next_output() {
+            sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
 /// Default `--checkpoint-every`: 256 binary blocks at the default block
 /// size, i.e. a snapshot every ~1M events. A checkpoint serializes the
 /// analyzer's full live state, whose size tracks the trace's
@@ -756,7 +795,13 @@ const DEFAULT_CHECKPOINT_EVERY: u64 = 1_048_576;
 /// Output accounting shared by the streaming loop and the tail flush.
 struct AnalyzeSink<W: std::io::Write> {
     writer: Option<ppa::trace::AnyTraceWriter<W>>,
+    /// `--slice` scope on the *report*: the analysis itself always runs
+    /// over the full input (anything less would bias the §4.2.3
+    /// overhead accounting — see EXPERIMENTS.md), and the predicate
+    /// decides which approximated events reach the writer.
+    spec: Option<ppa::slice::SliceSpec>,
     events: usize,
+    filtered: usize,
     awaits: usize,
     barriers: usize,
     last_time: ppa::trace::Time,
@@ -767,8 +812,16 @@ impl<W: std::io::Write> AnalyzeSink<W> {
         use ppa::analysis::StreamOutput;
         match o {
             StreamOutput::Event(e) => {
-                self.events += 1;
+                // The final-time line reports the analysis, not the
+                // slice, so the watermark advances before filtering.
                 self.last_time = self.last_time.max(e.time);
+                if let Some(spec) = &self.spec {
+                    if !spec.matches(&e) {
+                        self.filtered += 1;
+                        return Ok(());
+                    }
+                }
+                self.events += 1;
                 if let Some(w) = &mut self.writer {
                     w.write_event(&e)?;
                 }
@@ -803,6 +856,7 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
     let mut checkpoint_every_set = false;
     let mut compact_every_set = false;
     let mut decode_workers: Option<usize> = None;
+    let mut slice_expr: Option<&str> = None;
     let mut it = args.iter();
     let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
     while let Some(a) = it.next() {
@@ -854,6 +908,7 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
                 let n = it.next().ok_or_else(|| missing("--decode-workers"))?;
                 decode_workers = Some(parse_decode_workers(n)?);
             }
+            "--slice" => slice_expr = Some(it.next().ok_or_else(|| missing("--slice"))?),
             "--out" => out_path = Some(it.next().ok_or_else(|| missing("--out"))?),
             "--format" => {
                 let name = it.next().ok_or_else(|| missing("--format"))?;
@@ -966,6 +1021,28 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
             ));
         }
     }
+    // A `--resume` checkpoint records the durable frontier of an
+    // *unsliced* report (and vice versa); replaying the tail under a
+    // different predicate would splice two incompatible reports.
+    if slice_expr.is_some() && faults.resume.is_some() {
+        return Err(CliError::Usage(
+            "--slice contradicts --resume: the checkpointed report was written \
+             under a different (or no) slice expression"
+                .into(),
+        ));
+    }
+    let slice_spec = match slice_expr {
+        Some(expr) => {
+            let spec =
+                ppa::slice::SliceSpec::parse(expr).map_err(|e| CliError::Usage(e.to_string()))?;
+            if spec.is_empty() {
+                None
+            } else {
+                Some(spec)
+            }
+        }
+        None => None,
+    };
     let overheads: OverheadSpec = match overheads_path {
         Some(p) => {
             let text =
@@ -998,9 +1075,17 @@ fn run_analyze(args: &[String]) -> Result<(), CliError> {
             progress,
             &faults,
             decode_workers,
+            slice_spec,
         )
     } else {
-        batch_analyze(input, out_path, out_format, &overheads, decode_workers)
+        batch_analyze(
+            input,
+            out_path,
+            out_format,
+            &overheads,
+            decode_workers,
+            slice_spec,
+        )
     }
 }
 
@@ -1040,10 +1125,11 @@ fn stream_analyze(
     progress: bool,
     faults: &FaultOptions,
     decode_workers: Option<usize>,
+    slice_spec: Option<ppa::slice::SliceSpec>,
 ) -> Result<(), CliError> {
     use ppa::analysis::{
         read_checkpoint, AnalyzerProbes, Checkpoint, CheckpointParts, DeltaCheckpointWriter,
-        EventBasedAnalyzer, SinkState,
+        EventBasedAnalyzer, RepeatExpander, SinkState,
     };
     use ppa::obs::{
         calibrate_self_overhead, json_text, prometheus_text, span_enter, Registry, SpanRecorder,
@@ -1136,6 +1222,10 @@ fn stream_analyze(
         reader.set_skip_events(base_positions);
     }
     let expected = reader.expected_events();
+    // A sliced report's length is unknown until the run ends; a nonzero
+    // advisory count that overshoots would read back as truncation, so
+    // the header announces 0 (unknown) whenever a slice scope is active.
+    let announced = if slice_spec.is_some() { 0 } else { expected };
 
     let writer = match (out_path, &resumed) {
         (Some(p), Some(cp)) => {
@@ -1176,7 +1266,7 @@ fn stream_analyze(
                     BufWriter::new(f),
                     out_format,
                     TraceKind::Approximated,
-                    expected,
+                    announced,
                     write_probes,
                 )
                 .map_err(|e| CliError::Io(format!("{p}: {e}")))?,
@@ -1202,6 +1292,8 @@ fn stream_analyze(
     };
     let mut sink = AnalyzeSink {
         writer,
+        spec: slice_spec,
+        filtered: 0,
         events: resumed.as_ref().map_or(0, |cp| cp.sink.events as usize),
         awaits: resumed.as_ref().map_or(0, |cp| cp.sink.awaits as usize),
         barriers: resumed.as_ref().map_or(0, |cp| cp.sink.barriers as usize),
@@ -1226,6 +1318,12 @@ fn stream_analyze(
         .checkpoint
         .as_ref()
         .map(|p| DeltaCheckpointWriter::new(p, faults.checkpoint_compact_every));
+
+    // Repeat records (suppressed input, see QUERIES.md) expand back
+    // into their logical events in front of the analyzer; plain traces
+    // flow through the expander unchanged.
+    let mut expander = RepeatExpander::new();
+    let mut expand_buf: Vec<ppa::trace::Event> = Vec::new();
 
     // The whole streaming run is one root span; per-event spans would
     // perturb the pipeline they measure (the paper's uncertainty
@@ -1258,17 +1356,17 @@ fn stream_analyze(
                 // already-released order.
                 buf.push(event);
                 while let Some(e) = buf.pop_ready() {
-                    analyzer.push(e)?;
-                    while let Some(o) = analyzer.next_output() {
-                        sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
-                    }
+                    push_expanded(&mut expander, &mut expand_buf, &mut analyzer, &mut sink, e)?;
                 }
             }
             None => {
-                analyzer.push(event)?;
-                while let Some(o) = analyzer.next_output() {
-                    sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
-                }
+                push_expanded(
+                    &mut expander,
+                    &mut expand_buf,
+                    &mut analyzer,
+                    &mut sink,
+                    event,
+                )?;
             }
         }
         pushed += 1;
@@ -1334,10 +1432,16 @@ fn stream_analyze(
     if let Some(buf) = &mut reorder {
         let _span = span_enter(Stage::Reorder);
         while let Some(e) = buf.pop_flush() {
-            analyzer.push(e)?;
-            while let Some(o) = analyzer.next_output() {
-                sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
-            }
+            push_expanded(&mut expander, &mut expand_buf, &mut analyzer, &mut sink, e)?;
+        }
+    }
+    // Flush expansions still pending behind the last record.
+    expand_buf.clear();
+    expander.finish(&mut expand_buf);
+    for ev in expand_buf.drain(..) {
+        analyzer.push(ev)?;
+        while let Some(o) = analyzer.next_output() {
+            sink.take(o).map_err(|e| CliError::Io(e.to_string()))?;
         }
     }
     let tail = {
@@ -1423,6 +1527,19 @@ fn stream_analyze(
          {} awaits, {} barrier passages",
         expected, sink.events, sink.awaits, sink.barriers
     );
+    if expander.records() > 0 {
+        println!(
+            "expanded {} repeat record(s) into {} suppressed event(s)",
+            expander.records(),
+            expander.expanded()
+        );
+    }
+    if sink.spec.is_some() {
+        println!(
+            "report scoped to slice: {} event(s) emitted, {} filtered out",
+            sink.events, sink.filtered
+        );
+    }
     println!("final approximated time: {}", sink.last_time);
     println!(
         "peak resident state: {} events (parked {}, buffered {})",
@@ -1466,9 +1583,10 @@ fn batch_analyze(
     out_format: ppa::trace::TraceFormat,
     overheads: &ppa::trace::OverheadSpec,
     decode_workers: Option<usize>,
+    slice_spec: Option<ppa::slice::SliceSpec>,
 ) -> Result<(), CliError> {
     use ppa::analysis::event_based;
-    use ppa::trace::{read_trace, read_trace_parallel, write_trace};
+    use ppa::trace::{read_trace, read_trace_parallel, write_trace, Trace};
     use std::io::{BufReader, BufWriter};
 
     let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
@@ -1480,19 +1598,41 @@ fn batch_analyze(
             .map_err(|e| CliError::from(e).prefixed(input))?
     };
     let result = event_based(&measured, overheads)?;
+    // `--slice` scopes the report after the analysis (the full input
+    // keeps the §4.2.3 accounting exact; see EXPERIMENTS.md).
+    let (report, filtered) = match &slice_spec {
+        Some(spec) => {
+            let kept: Vec<_> = result
+                .trace
+                .events()
+                .iter()
+                .filter(|e| spec.matches(e))
+                .copied()
+                .collect();
+            let filtered = result.trace.len() - kept.len();
+            (Trace::from_events(result.trace.kind(), kept), filtered)
+        }
+        None => (result.trace.clone(), 0),
+    };
     if let Some(p) = out_path {
         let f = File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?;
-        write_trace(&result.trace, BufWriter::new(f), out_format)
+        write_trace(&report, BufWriter::new(f), out_format)
             .map_err(|e| CliError::Io(format!("{p}: {e}")))?;
     }
     println!(
         "analyzed {} measured events: {} approximated events, {} awaits, \
          {} barrier passages",
         measured.len(),
-        result.trace.len(),
+        report.len(),
         result.awaits.len(),
         result.barriers.len()
     );
+    if slice_spec.is_some() {
+        println!(
+            "report scoped to slice: {} event(s) emitted, {filtered} filtered out",
+            report.len()
+        );
+    }
     println!("approximated total time: {}", result.trace.total_time());
     Ok(())
 }
@@ -1591,8 +1731,240 @@ fn run_convert(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+// --- slice: predicate slicing + redundancy suppression ------------------
+
+const SLICE_USAGE: &str = "usage: ppa slice <in.{jsonl|bin}> <out> [--expr EXPR] \
+     [--window A..B] [--since T] [--until T] [--procs SET] [--kind SET] [--var SET] \
+     [--tag SET] [--barrier SET] [--suppress | --expand] [--format bin|jsonl] \
+     [--force] [--lenient] [--decode-workers N] \
+     [--metrics-out snap.prom [--metrics-format prom|json]] (see QUERIES.md)";
+
+/// `ppa slice`: copy the events a slice expression selects (QUERIES.md)
+/// into a new trace, optionally collapsing repeated per-processor
+/// patterns into counted repeat records (`--suppress`) or expanding
+/// records back into the events they stand for (`--expand`). A time
+/// window engages the binary block skip index, so non-matching blocks
+/// are discarded without CRC or decode; the final accounting is exact —
+/// every input event is emitted, filtered, skipped undecoded,
+/// suppressed into a record, or lost to a lenient-mode gap.
+fn run_slice(args: &[String]) -> Result<(), CliError> {
+    use ppa::slice::{slice_stream, SliceError, SliceOptions, SliceProbes, SliceSpec, SliceStats};
+    use ppa::trace::{AnyTraceReader, AnyTraceWriter, TraceFormat};
+    use std::io::{BufReader, BufWriter, Write as _};
+
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut clauses: Vec<String> = Vec::new();
+    let mut suppress = false;
+    let mut expand = false;
+    let mut out_format: Option<TraceFormat> = None;
+    let mut force = false;
+    let mut lenient = false;
+    let mut decode_workers: Option<usize> = None;
+    let mut metrics_out: Option<&str> = None;
+    let mut metrics_format = MetricsFormat::Prom;
+    let mut it = args.iter();
+    let missing = |flag: &str| CliError::Usage(format!("{flag} needs an argument"));
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--suppress" => suppress = true,
+            "--expand" => expand = true,
+            "--force" => force = true,
+            "--lenient" => lenient = true,
+            "--expr" => clauses.push(it.next().ok_or_else(|| missing("--expr"))?.clone()),
+            "--window" | "--since" | "--until" | "--procs" | "--kind" | "--var" | "--tag"
+            | "--barrier" => {
+                // Convenience flags desugar into expression clauses, so
+                // `--window 1..2 --expr "window=3..4"` trips the
+                // parser's duplicate-clause rule like any other
+                // conflict.
+                let value = it.next().ok_or_else(|| missing(a))?;
+                clauses.push(format!("{}={value}", &a[2..]));
+            }
+            "--format" => {
+                let name = it.next().ok_or_else(|| missing("--format"))?;
+                out_format = Some(TraceFormat::parse(name).ok_or_else(|| {
+                    CliError::Usage(format!("--format must be `bin` or `jsonl`, got {name:?}"))
+                })?);
+            }
+            "--decode-workers" => {
+                let n = it.next().ok_or_else(|| missing("--decode-workers"))?;
+                decode_workers = Some(parse_decode_workers(n)?);
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or_else(|| missing("--metrics-out"))?);
+            }
+            "--metrics-format" => {
+                metrics_format = match it
+                    .next()
+                    .ok_or_else(|| missing("--metrics-format"))?
+                    .as_str()
+                {
+                    "prom" => MetricsFormat::Prom,
+                    "json" => MetricsFormat::Json,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--metrics-format must be `prom` or `json`, got {other:?}"
+                        )));
+                    }
+                };
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag {flag:?}")));
+            }
+            path if input.is_none() => input = Some(path),
+            path if output.is_none() => output = Some(path),
+            extra => return Err(CliError::Usage(format!("unexpected argument {extra:?}"))),
+        }
+    }
+    let (Some(input), Some(output)) = (input, output) else {
+        return Err(CliError::Usage(SLICE_USAGE.into()));
+    };
+    if suppress && expand {
+        return Err(CliError::Usage(
+            "--suppress and --expand are mutually exclusive".into(),
+        ));
+    }
+    let expr = clauses.join(" ");
+    let spec = SliceSpec::parse(&expr).map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let registry = metrics_out.is_some().then(ppa::obs::Registry::new);
+    let probes = match &registry {
+        Some(r) => SliceProbes::register(r),
+        None => SliceProbes::noop(),
+    };
+
+    let file = File::open(input).map_err(|e| CliError::NoInput(format!("{input}: {e}")))?;
+    let workers = decode_workers.unwrap_or_else(default_decode_workers);
+    let mut reader = if workers == 0 {
+        AnyTraceReader::open(BufReader::new(file)).map_err(|e| CliError::from(e).prefixed(input))?
+    } else {
+        AnyTraceReader::open_parallel(BufReader::new(file), workers)
+            .map_err(|e| CliError::from(e).prefixed(input))?
+    };
+    if lenient {
+        reader.set_lenient(true);
+    }
+    let in_format = reader.format();
+    let kind = reader.kind();
+    let format = out_format.unwrap_or(in_format);
+
+    if !force && Path::new(output).exists() {
+        return Err(CliError::Usage(format!(
+            "{output} already exists; pass --force to overwrite it"
+        )));
+    }
+    let out_file = File::create(output).map_err(|e| CliError::Io(format!("{output}: {e}")))?;
+    let out_err = |e: ppa::trace::IoError| CliError::Io(format!("{output}: {e}"));
+    // The slice's event count is unknown until the run ends, so the
+    // advisory header count stays 0.
+    let mut writer =
+        AnyTraceWriter::new(BufWriter::new(out_file), format, kind, 0).map_err(out_err)?;
+
+    let (stats, expansion) = if expand {
+        // Expansion must see every record — including ones a skipped
+        // block would hide — so it reads everything undiscarded and
+        // filters after expanding. Conservation is over logical events
+        // here: emitted + filtered == physical input + expanded.
+        let mut stats = SliceStats {
+            expected: reader.expected_events() as u64,
+            ..SliceStats::default()
+        };
+        let mut expander = ppa::analysis::RepeatExpander::new();
+        let mut buf: Vec<ppa::trace::Event> = Vec::new();
+        {
+            let mut deliver = |ev: &ppa::trace::Event| -> Result<(), CliError> {
+                if spec.matches(ev) {
+                    writer.write_event(ev).map_err(out_err)?;
+                    stats.emitted += 1;
+                    probes.events_emitted.inc();
+                } else {
+                    stats.filtered += 1;
+                    probes.events_filtered.inc();
+                }
+                Ok(())
+            };
+            for item in reader.by_ref() {
+                let event = item.map_err(|e| CliError::from(e).prefixed(input))?;
+                buf.clear();
+                expander
+                    .push(event, &mut buf)
+                    .map_err(|e| CliError::Data(format!("{input}: {e}")))?;
+                for ev in &buf {
+                    deliver(ev)?;
+                }
+            }
+            buf.clear();
+            expander.finish(&mut buf);
+            for ev in &buf {
+                deliver(ev)?;
+            }
+        }
+        stats.lost = reader.events_lost();
+        (stats, Some((expander.records(), expander.expanded())))
+    } else {
+        let options = SliceOptions {
+            spec,
+            suppress,
+            use_skip_index: true,
+        };
+        let stats = slice_stream(&mut reader, &options, &probes, |e| writer.write_event(e))
+            .map_err(|e| match e {
+                SliceError::Io(err) => CliError::from(err).prefixed(input),
+                e @ SliceError::SuppressedInput { .. } => CliError::Data(format!("{input}: {e}")),
+            })?;
+        (stats, None)
+    };
+    let mut inner = writer.finish().map_err(out_err)?;
+    inner
+        .flush()
+        .map_err(|e| CliError::Io(format!("{output}: {e}")))?;
+
+    println!(
+        "sliced {input} ({in_format}) -> {output} ({format}): {} event(s) emitted, \
+         {} filtered",
+        stats.emitted, stats.filtered
+    );
+    println!(
+        "skip index: {} block(s) skipped undecoded ({} event(s))",
+        stats.skipped_blocks, stats.skipped_events
+    );
+    if suppress {
+        println!(
+            "suppression: {} repeat record(s) standing for {} suppressed event(s)",
+            stats.records, stats.suppressed
+        );
+    }
+    if let Some((records, expanded)) = expansion {
+        println!("expansion: {records} repeat record(s) expanded into {expanded} event(s)");
+    }
+    if stats.lost > 0 {
+        println!("lenient gaps: {} event(s) lost", stats.lost);
+    }
+    if expansion.is_none() && !stats.conservation_holds() {
+        return Err(CliError::Data(format!(
+            "{input}: slice accounting broken: {} of {} input event(s) accounted for",
+            stats.accounted(),
+            stats.expected
+        )));
+    }
+
+    if let Some(path) = metrics_out {
+        let registry = registry.expect("registry exists when --metrics-out is set");
+        let snap = registry.snapshot();
+        let text = match metrics_format {
+            MetricsFormat::Prom => ppa::obs::prometheus_text(&snap),
+            MetricsFormat::Json => ppa::obs::json_text(&snap),
+        };
+        write_atomic(path, &text).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        println!("metrics snapshot written to {path}");
+    }
+    Ok(())
+}
+
 const CHECK_USAGE: &str = "usage: ppa check <trace-report-or-checkpoint.{jsonl|bin|ckpt}> \
-     [--metrics snap.{prom|json}] [--metrics-out snap.prom [--metrics-format prom|json]]\n\
+     [--slice] [--metrics snap.{prom|json}] \
+     [--metrics-out snap.prom [--metrics-format prom|json]]\n\
        ppa check --differential [--seed N] [--programs N] [--workers N] \
      [--decode-workers N] [--out-dir DIR]";
 
@@ -1616,6 +1988,7 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
     let mut metrics_out: Option<&str> = None;
     let mut metrics_format = MetricsFormat::Prom;
     let mut differential = false;
+    let mut slice_mode = false;
     let mut diff_cfg = DifferentialConfig::default();
     let mut out_dir: Option<&str> = None;
     let mut it = args.iter();
@@ -1629,6 +2002,7 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--differential" => differential = true,
+            "--slice" => slice_mode = true,
             "--seed" => {
                 let n = it.next().ok_or_else(|| missing("--seed"))?;
                 diff_cfg.seed = n.parse::<u64>().map_err(|_| {
@@ -1685,6 +2059,11 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
                 "--differential takes no trace argument (it generates its own programs)".into(),
             ));
         }
+        if slice_mode {
+            return Err(CliError::Usage(
+                "--slice only applies when checking a trace file".into(),
+            ));
+        }
         if let Some(dir) = out_dir {
             std::fs::create_dir_all(dir)
                 .map_err(|e| CliError::Io(format!("cannot create {dir}: {e}")))?;
@@ -1737,8 +2116,15 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
         // Measured/actual traces get the structural lint; approximated
         // reports additionally get the §4.2.3 conservation rules (they
         // are still traces, so the structural rules apply to them too).
-        let mut linter = TraceLinter::new();
-        let mut report_pass = (kind == TraceKind::Approximated).then(ReportChecker::new);
+        // `--slice` relaxes both to the projection rules: slices punch
+        // holes in seq numbers and cut episodes by design (QUERIES.md).
+        let mut linter = if slice_mode {
+            TraceLinter::for_slice()
+        } else {
+            TraceLinter::new()
+        };
+        let mut report_pass =
+            (kind == TraceKind::Approximated && !slice_mode).then(ReportChecker::new);
         let mut events = 0usize;
         for item in reader {
             let e = item.map_err(|err| CliError::from(err).prefixed(input))?;
@@ -1757,9 +2143,13 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| CliError::NoInput(format!("{mpath}: {e}")))?;
             found.extend(check_metrics(&text).map_err(CliError::Data)?);
         }
-        let pass = match kind {
-            TraceKind::Approximated => "lint + report invariants",
-            TraceKind::Measured | TraceKind::Actual => "lint",
+        let pass = if slice_mode {
+            "slice lint"
+        } else {
+            match kind {
+                TraceKind::Approximated => "lint + report invariants",
+                TraceKind::Measured | TraceKind::Actual => "lint",
+            }
         };
         println!("checked {input}: {events} event(s), {pass} pass");
         violations = found;

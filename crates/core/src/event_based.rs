@@ -307,6 +307,17 @@ pub fn event_based(
     measured: &Trace,
     overheads: &OverheadSpec,
 ) -> Result<EventBasedResult, AnalysisError> {
+    // A suppressed trace (repeat records from `ppa slice --suppress`)
+    // analyzes via its logical expansion; the result is byte-identical
+    // to analyzing the unsuppressed original because expansion is.
+    if crate::expand::has_repeat_records(measured.events()) {
+        let expanded = crate::expand::expand_trace(measured).map_err(|e| {
+            AnalysisError::UnrecognizedStructure {
+                detail: e.to_string(),
+            }
+        })?;
+        return event_based(&expanded, overheads);
+    }
     let mut analyzer = EventBasedAnalyzer::new(overheads);
     let mut events: Vec<Event> = Vec::with_capacity(measured.len());
     let mut awaits: Vec<(usize, AwaitOutcome)> = Vec::new();

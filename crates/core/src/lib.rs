@@ -29,6 +29,7 @@ mod checkpoint;
 mod error;
 mod estimate;
 mod event_based;
+mod expand;
 mod liberal;
 mod sharded;
 mod streaming;
@@ -46,6 +47,7 @@ pub use event_based::{
     event_based, event_based_reference, event_based_total, AwaitOutcome, BarrierOutcome,
     EventBasedResult,
 };
+pub use expand::{expand_events, expand_trace, has_repeat_records, ExpandError, RepeatExpander};
 pub use liberal::{liberal_reschedule, LiberalResult};
 pub use sharded::{
     event_based_sharded, event_based_sharded_from_reader, event_based_sharded_probed, ShardProbes,

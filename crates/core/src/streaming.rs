@@ -657,6 +657,18 @@ impl EventBasedAnalyzer {
         if let Some(e) = &self.fatal {
             return Err(e.clone().into());
         }
+        if matches!(event.kind, EventKind::Repeat { .. }) {
+            // A repeat record stands for events this analyzer never
+            // sees; silently treating it as a chain event would corrupt
+            // every later approximation. Callers expand first (see
+            // `ppa_core::RepeatExpander`).
+            return Err(AnalysisError::UnrecognizedStructure {
+                detail: format!(
+                    "repeat record at seq {} on {}: expand the trace before analysis",
+                    event.seq, event.proc
+                ),
+            });
+        }
         let idx = self.next_idx;
         self.next_idx += 1;
         self.stats.events += 1;

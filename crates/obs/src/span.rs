@@ -39,7 +39,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Number of [`Stage`] variants (the size of per-stage total arrays).
-pub const STAGE_COUNT: usize = 13;
+pub const STAGE_COUNT: usize = 15;
 
 /// The pipeline stage a span measures. One label per instrumented
 /// region of the real pipeline; `name()` is the value of the `stage`
@@ -75,6 +75,12 @@ pub enum Stage {
     Reassemble,
     /// One incremental (delta) checkpoint record appended.
     DeltaWrite,
+    /// Evaluating a slice predicate over a trace stream (`ppa slice`
+    /// and `analyze --slice`): filtering plus skip-index accounting.
+    Slice,
+    /// Redundancy suppression: detecting repeated per-processor
+    /// patterns and emitting counted repeat records.
+    Suppress,
 }
 
 impl Stage {
@@ -93,6 +99,8 @@ impl Stage {
         Stage::Park,
         Stage::Reassemble,
         Stage::DeltaWrite,
+        Stage::Slice,
+        Stage::Suppress,
     ];
 
     /// Dense index, `0..STAGE_COUNT` (per-stage array slot and the
@@ -112,6 +120,8 @@ impl Stage {
             Stage::Park => 10,
             Stage::Reassemble => 11,
             Stage::DeltaWrite => 12,
+            Stage::Slice => 13,
+            Stage::Suppress => 14,
         }
     }
 
@@ -131,6 +141,8 @@ impl Stage {
             Stage::Park => "park",
             Stage::Reassemble => "reassemble",
             Stage::DeltaWrite => "delta_write",
+            Stage::Slice => "slice",
+            Stage::Suppress => "suppress",
         }
     }
 }

@@ -13,6 +13,7 @@
 //! - [`native`] — real-thread traced execution backend;
 //! - [`lfk`] — the Livermore loops (numeric + statement-graph forms);
 //! - [`analysis`] — time-based and event-based perturbation analysis;
+//! - [`slice`] — trace slicing, query expressions, redundancy suppression;
 //! - [`check`] — trace/report invariant checker and differential oracle;
 //! - [`server`] — multi-tenant streaming ingest daemon (`ppa serve`);
 //! - [`metrics`] — ratios, waiting tables, timelines, parallelism;
@@ -61,6 +62,7 @@ pub use ppa_obs as obs;
 pub use ppa_program as program;
 pub use ppa_server as server;
 pub use ppa_sim as sim;
+pub use ppa_slice as slice;
 pub use ppa_sync as sync;
 pub use ppa_trace as trace;
 

@@ -1,0 +1,39 @@
+//! Trace slicing and redundancy suppression.
+//!
+//! This crate is the query layer behind `ppa slice` and `ppa analyze
+//! --slice`: a small, composable predicate language over trace events
+//! ([`SliceSpec`], documented normatively in QUERIES.md), a streaming
+//! evaluation engine with exact accounting ([`slice_stream`],
+//! [`SliceStats`]), and a run-length redundancy suppressor that
+//! collapses repeated per-processor event patterns into counted
+//! [`ppa_trace::EventKind::Repeat`] records ([`Suppressor`]).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Exact accounting.** Every input event lands in exactly one
+//!    output bucket; `emitted - records + suppressed + filtered +
+//!    skipped + lost == expected` whenever the container announces its
+//!    event count.
+//! 2. **Skip before decode.** Time-window slices push their bounds into
+//!    the binary block skip index so non-matching blocks are discarded
+//!    from their frame summaries alone — no CRC check, no decode.
+//! 3. **Lossless suppression.** A suppressed trace expands (in
+//!    `ppa-core`) back to the byte-identical logical stream; the
+//!    suppressor and expander share [`ppa_trace::Event::repeat_shifted`]
+//!    as their single definition of occurrence arithmetic.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod probes;
+mod spec;
+mod suppress;
+
+/// Compiles and runs QUERIES.md's Rust snippets under `cargo test --doc`.
+#[doc = include_str!("../../../QUERIES.md")]
+mod queries_doctests {}
+
+pub use engine::{slice_stream, SliceError, SliceOptions, SliceStats};
+pub use probes::SliceProbes;
+pub use spec::{IdSet, KindSet, ParseError, SliceSpec, TagSet, CLAUSE_KEYWORDS};
+pub use suppress::{suppress_events, Suppressor, FIFO_BOUND};

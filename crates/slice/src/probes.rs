@@ -1,0 +1,64 @@
+//! Observability probes for the slice engine (`ppa_slice_*` metrics).
+
+use ppa_obs::{Counter, Registry};
+
+/// Counters the slice engine updates as it filters, suppresses, and
+/// skips. The default ([`SliceProbes::noop`]) is fully detached;
+/// attach real metrics with [`SliceProbes::register`].
+#[derive(Clone, Debug, Default)]
+pub struct SliceProbes {
+    /// Physical events written to the slice output, repeat records
+    /// included (`ppa_slice_events_emitted_total`).
+    pub events_emitted: Counter,
+    /// Events read and rejected by the slice predicate
+    /// (`ppa_slice_events_filtered_total`).
+    pub events_filtered: Counter,
+    /// Events skipped *undecoded* via the binary block skip index
+    /// (`ppa_slice_events_skipped_total`).
+    pub events_skipped: Counter,
+    /// Blocks skipped undecoded via the skip index
+    /// (`ppa_slice_blocks_skipped_total`).
+    pub blocks_skipped: Counter,
+    /// Logical events collapsed into repeat records
+    /// (`ppa_slice_suppressed_events_total`).
+    pub suppressed_events: Counter,
+    /// Repeat records emitted (`ppa_slice_records_total`).
+    pub records: Counter,
+}
+
+impl SliceProbes {
+    /// Detached probes: every update is discarded.
+    pub fn noop() -> Self {
+        SliceProbes::default()
+    }
+
+    /// Registers the slice metrics on `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        SliceProbes {
+            events_emitted: registry.counter(
+                "ppa_slice_events_emitted_total",
+                "Physical events written to the slice output (repeat records included).",
+            ),
+            events_filtered: registry.counter(
+                "ppa_slice_events_filtered_total",
+                "Events rejected by the slice predicate.",
+            ),
+            events_skipped: registry.counter(
+                "ppa_slice_events_skipped_total",
+                "Events skipped undecoded via the binary block skip index.",
+            ),
+            blocks_skipped: registry.counter(
+                "ppa_slice_blocks_skipped_total",
+                "Binary blocks skipped undecoded via the skip index.",
+            ),
+            suppressed_events: registry.counter(
+                "ppa_slice_suppressed_events_total",
+                "Logical events collapsed into repeat records.",
+            ),
+            records: registry.counter(
+                "ppa_slice_records_total",
+                "Repeat records emitted by redundancy suppression.",
+            ),
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Suppression round-trip identity: for any totally ordered event
+//! stream, expanding the suppressed stream reproduces the input
+//! exactly. The suppressor lives in this crate; the expander lives in
+//! `ppa-core`; [`ppa_trace::Event::repeat_shifted`] is their shared
+//! definition of occurrence arithmetic, and these tests are the fence
+//! around that contract.
+
+use ppa_core::expand_events;
+use ppa_slice::suppress_events;
+use ppa_trace::{Event, EventKind, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId, Time};
+use proptest::prelude::*;
+
+/// A small closed kind vocabulary: few distinct ids so random streams
+/// contain accidental repetition, which is exactly what stresses run
+/// detection and closure.
+fn kind_strategy() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        Just(EventKind::ProgramBegin),
+        Just(EventKind::ProgramEnd),
+        (0u32..2).prop_map(|s| EventKind::Statement {
+            stmt: StatementId(s)
+        }),
+        (0u32..2, 0u64..3).prop_map(|(l, i)| EventKind::IterationBegin {
+            loop_id: LoopId(l),
+            iter: i
+        }),
+        (0u32..2, -2i64..3).prop_map(|(v, t)| EventKind::Advance {
+            var: SyncVarId(v),
+            tag: SyncTag(t)
+        }),
+        (0u32..2, -2i64..3).prop_map(|(v, t)| EventKind::AwaitBegin {
+            var: SyncVarId(v),
+            tag: SyncTag(t)
+        }),
+    ]
+}
+
+/// Arbitrary totally ordered streams: cumulative times, sequential
+/// seqs, a handful of processors.
+fn stream_strategy() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((0u64..3, 0u16..3, kind_strategy()), 0..400).prop_map(|steps| {
+        let mut t = 0u64;
+        steps
+            .into_iter()
+            .enumerate()
+            .map(|(i, (dt, proc, kind))| {
+                t += dt;
+                Event::new(Time::from_nanos(t), ProcessorId(proc), i as u64, kind)
+            })
+            .collect()
+    })
+}
+
+/// Deliberately repetitive streams: one processor emitting pattern
+/// blocks with uniform strides, the regime suppression targets.
+fn repetitive_strategy() -> impl Strategy<Value = Vec<Event>> {
+    let block = (
+        proptest::collection::vec(kind_strategy(), 1..5), // pattern
+        1usize..40,                                       // occurrences
+        1u64..5,                                          // dt per occurrence step
+    );
+    proptest::collection::vec(block, 1..5).prop_map(|blocks| {
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        let mut seq = 0u64;
+        for (pattern, occurrences, dt) in blocks {
+            for _ in 0..occurrences {
+                for kind in &pattern {
+                    events.push(Event::new(Time::from_nanos(t), ProcessorId(0), seq, *kind));
+                    t += dt;
+                    seq += 1;
+                }
+            }
+        }
+        events
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// expand(suppress(s)) == s for arbitrary streams.
+    #[test]
+    fn random_stream_round_trips(events in stream_strategy()) {
+        let suppressed = suppress_events(&events);
+        let expanded = expand_events(&suppressed).unwrap();
+        prop_assert_eq!(&expanded, &events);
+    }
+
+    /// Same identity on streams built from explicit pattern repetition —
+    /// and there suppression must actually shrink the stream.
+    #[test]
+    fn repetitive_stream_round_trips_and_shrinks(events in repetitive_strategy()) {
+        let suppressed = suppress_events(&events);
+        let expanded = expand_events(&suppressed).unwrap();
+        prop_assert_eq!(&expanded, &events);
+        if events.len() >= 32 {
+            prop_assert!(
+                suppressed.len() < events.len(),
+                "no suppression on {} repetitive events", events.len()
+            );
+        }
+    }
+
+    /// The suppressed stream stays totally ordered (records occupy the
+    /// slot of the first event they suppress).
+    #[test]
+    fn suppressed_stream_is_totally_ordered(events in stream_strategy()) {
+        let suppressed = suppress_events(&events);
+        prop_assert!(suppressed
+            .windows(2)
+            .all(|w| w[0].order_key() <= w[1].order_key()));
+    }
+}

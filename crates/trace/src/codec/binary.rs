@@ -283,6 +283,9 @@ pub struct BinaryBlockReader<R: Read> {
     /// 1-based index of the next block.
     index: usize,
     min_time: Option<Time>,
+    /// Exclusive upper time bound of the skip index; blocks whose
+    /// `first_time` is at or past it are discarded undecoded.
+    max_time: Option<Time>,
     skipped_blocks: usize,
     /// Events inside blocks the skip index discarded. These are in
     /// `seen` (the blocks were fully read) but are neither delivered
@@ -346,6 +349,7 @@ impl<R: Read> BinaryBlockReader<R> {
             seen: 0,
             index: 0,
             min_time: None,
+            max_time: None,
             skipped_blocks: 0,
             skipped_events: 0,
             done: false,
@@ -395,6 +399,20 @@ impl<R: Read> BinaryBlockReader<R> {
     /// (for a stream that is not itself truncated).
     pub fn set_min_time(&mut self, t: Time) {
         self.min_time = Some(t);
+    }
+
+    /// The other half of the skip index: blocks whose `first_time` is at
+    /// or past `t` (exclusive upper bound, matching the half-open
+    /// windows of the slice layer) are discarded without CRC
+    /// verification or decoding. The last surviving block may extend
+    /// past `t`; callers wanting an exact bound filter the trailing
+    /// events themselves. Unlike [`set_min_time`], skipping continues to
+    /// read frames to the end of input, so truncation detection and the
+    /// conservation law documented on [`set_min_time`] are unaffected.
+    ///
+    /// [`set_min_time`]: BinaryBlockReader::set_min_time
+    pub fn set_max_time(&mut self, t: Time) {
+        self.max_time = Some(t);
     }
 
     /// How many blocks the skip index has discarded so far.
@@ -600,16 +618,20 @@ impl<R: Read> BinaryBlockReader<R> {
                 self.event_skip = self.skip_events;
                 self.skip_events = 0;
             }
-            if let Some(min) = self.min_time {
-                if frame.summary.last_time < min {
-                    self.skipped_blocks += 1;
-                    // Counted here, not as a gap: the payload was never
-                    // CRC-checked, so any damage inside it is invisible
-                    // and must not be mistaken for a lenient loss.
-                    self.skipped_events += count as u64;
-                    self.recycle_payload(payload);
-                    continue;
-                }
+            let below = self
+                .min_time
+                .is_some_and(|min| frame.summary.last_time < min);
+            let above = self
+                .max_time
+                .is_some_and(|max| frame.summary.first_time >= max);
+            if below || above {
+                self.skipped_blocks += 1;
+                // Counted here, not as a gap: the payload was never
+                // CRC-checked, so any damage inside it is invisible
+                // and must not be mistaken for a lenient loss.
+                self.skipped_events += count as u64;
+                self.recycle_payload(payload);
+                continue;
             }
             return Some(Ok(RawBlock {
                 index: self.index,
@@ -677,6 +699,12 @@ impl<R: Read> BinaryTraceReader<R> {
     /// [`BinaryBlockReader::set_min_time`].
     pub fn set_min_time(&mut self, t: Time) {
         self.blocks.set_min_time(t);
+    }
+
+    /// Engages the upper bound of the skip index; see
+    /// [`BinaryBlockReader::set_max_time`].
+    pub fn set_max_time(&mut self, t: Time) {
+        self.blocks.set_max_time(t);
     }
 
     /// How many blocks the skip index has discarded so far.
@@ -944,6 +972,31 @@ impl<R: Read> ParallelBinaryReader<R> {
     /// skipped blocks; see [`BinaryBlockReader::set_skip_events`].
     pub fn set_skip_events(&mut self, n: u64) {
         self.blocks.set_skip_events(n);
+    }
+
+    /// Engages the block skip index; see
+    /// [`BinaryBlockReader::set_min_time`]. The inner block reader skips
+    /// before jobs are submitted, so skipped blocks never reach a decode
+    /// worker.
+    pub fn set_min_time(&mut self, t: Time) {
+        self.blocks.set_min_time(t);
+    }
+
+    /// Engages the upper bound of the skip index; see
+    /// [`BinaryBlockReader::set_max_time`].
+    pub fn set_max_time(&mut self, t: Time) {
+        self.blocks.set_max_time(t);
+    }
+
+    /// How many blocks the skip index has discarded so far.
+    pub fn skipped_blocks(&self) -> usize {
+        self.blocks.skipped_blocks()
+    }
+
+    /// How many events were inside the skipped blocks; see
+    /// [`BinaryBlockReader::skipped_events`].
+    pub fn skipped_events(&self) -> u64 {
+        self.blocks.skipped_events()
     }
 
     /// The gaps lenient decoding has recorded so far.

@@ -216,6 +216,7 @@ const TAG_AWAIT_BEGIN: u8 = 8;
 const TAG_AWAIT_END: u8 = 9;
 const TAG_BARRIER_ENTER: u8 = 10;
 const TAG_BARRIER_EXIT: u8 = 11;
+const TAG_REPEAT: u8 = 12;
 
 fn write_kind(buf: &mut Vec<u8>, kind: &EventKind) {
     match kind {
@@ -266,6 +267,20 @@ fn write_kind(buf: &mut Vec<u8>, kind: &EventKind) {
             buf.push(TAG_BARRIER_EXIT);
             write_varint(buf, u64::from(barrier.0));
         }
+        EventKind::Repeat {
+            len,
+            count,
+            dt_ns,
+            dseq,
+            dfield,
+        } => {
+            buf.push(TAG_REPEAT);
+            write_varint(buf, u64::from(*len));
+            write_varint(buf, u64::from(*count));
+            write_varint(buf, *dt_ns);
+            write_varint(buf, *dseq);
+            write_varint_signed(buf, *dfield);
+        }
     }
 }
 
@@ -308,6 +323,13 @@ fn read_kind(tag: u8, input: &[u8], pos: &mut usize) -> Option<EventKind> {
         },
         TAG_BARRIER_EXIT => EventKind::BarrierExit {
             barrier: BarrierId(u32_operand(pos)?),
+        },
+        TAG_REPEAT => EventKind::Repeat {
+            len: u32_operand(pos)?,
+            count: u32_operand(pos)?,
+            dt_ns: read_varint(input, pos)?,
+            dseq: read_varint(input, pos)?,
+            dfield: read_varint_signed(input, pos)?,
         },
         _ => return None,
     })

@@ -224,6 +224,52 @@ impl<R: Read> AnyTraceReader<R> {
         }
     }
 
+    /// Engages the binary block skip index's lower bound: whole blocks
+    /// that end strictly before `t` are discarded without CRC checks or
+    /// decoding (see [`BinaryBlockReader::set_min_time`]). The surviving
+    /// stream may still begin before `t`. JSONL input has no skip index;
+    /// the call is a no-op there and callers filter every event.
+    pub fn set_min_time(&mut self, t: crate::time::Time) {
+        match self {
+            AnyTraceReader::Jsonl(_) => {}
+            AnyTraceReader::Binary(r) => r.set_min_time(t),
+            AnyTraceReader::BinaryParallel(r) => r.set_min_time(t),
+        }
+    }
+
+    /// Engages the binary block skip index's exclusive upper bound:
+    /// whole blocks that begin at or past `t` are discarded undecoded
+    /// (see [`BinaryBlockReader::set_max_time`]). No-op for JSONL input.
+    pub fn set_max_time(&mut self, t: crate::time::Time) {
+        match self {
+            AnyTraceReader::Jsonl(_) => {}
+            AnyTraceReader::Binary(r) => r.set_max_time(t),
+            AnyTraceReader::BinaryParallel(r) => r.set_max_time(t),
+        }
+    }
+
+    /// How many blocks the skip index has discarded so far (always 0 for
+    /// JSONL input).
+    pub fn skipped_blocks(&self) -> usize {
+        match self {
+            AnyTraceReader::Jsonl(_) => 0,
+            AnyTraceReader::Binary(r) => r.skipped_blocks(),
+            AnyTraceReader::BinaryParallel(r) => r.skipped_blocks(),
+        }
+    }
+
+    /// How many events were inside the blocks the skip index discarded
+    /// (always 0 for JSONL input). These events are neither delivered
+    /// nor lost: `delivered + events_lost() + skipped_events() ==
+    /// expected` for a non-truncated stream.
+    pub fn skipped_events(&self) -> u64 {
+        match self {
+            AnyTraceReader::Jsonl(_) => 0,
+            AnyTraceReader::Binary(r) => r.skipped_events(),
+            AnyTraceReader::BinaryParallel(r) => r.skipped_events(),
+        }
+    }
+
     /// The gaps lenient decoding has recorded so far.
     pub fn gaps(&self) -> &[TraceGap] {
         match self {
@@ -833,6 +879,101 @@ mod tests {
             let events: Vec<Event> = r.map(|e| e.unwrap()).collect();
             assert_eq!(events, expected, "jsonl, skip {skip}");
         }
+    }
+
+    #[test]
+    fn skip_index_window_bounds_reads_on_both_sides() {
+        let (t, buf) = blocky(64, 8); // times 0, 10, ..., 5110
+        let since = Time::from_nanos(1500);
+        let until = Time::from_nanos(3500);
+
+        for workers in [0usize, 3] {
+            let mut r = if workers == 0 {
+                AnyTraceReader::open(buf.as_slice()).unwrap()
+            } else {
+                AnyTraceReader::open_parallel(buf.as_slice(), workers).unwrap()
+            };
+            r.set_min_time(since);
+            r.set_max_time(until);
+            let events: Vec<Event> = r.by_ref().map(|e| e.unwrap()).collect();
+            // Blocks wholly outside [since, until) were skipped on both
+            // sides; blocks 1-2 (ends 630/1270) and 6-8 (starts
+            // 3200/3840/4480) — block 6 starts at 3200 < 3500, so 1, 2,
+            // 7, 8 go, at minimum.
+            assert!(r.skipped_blocks() >= 4, "skipped {}", r.skipped_blocks());
+            // Every event inside the window survived.
+            let wanted = t
+                .iter()
+                .filter(|e| e.time >= since && e.time < until)
+                .count();
+            assert_eq!(
+                events
+                    .iter()
+                    .filter(|e| e.time >= since && e.time < until)
+                    .count(),
+                wanted,
+                "workers = {workers}"
+            );
+            // Conservation: delivered + skipped == expected (no damage).
+            assert_eq!(
+                events.len() as u64 + r.skipped_events(),
+                t.len() as u64,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_time_skip_still_detects_truncation() {
+        let (_, buf) = blocky(64, 4);
+        let cut = &buf[..buf.len() - 7];
+        let mut r = BinaryTraceReader::new(cut).unwrap();
+        // Bound below every event: all whole blocks skip, but the
+        // truncated tail must still surface.
+        r.set_max_time(Time::ZERO);
+        let last = r.by_ref().last();
+        assert!(
+            matches!(last, Some(Err(IoError::Truncated { .. }))),
+            "got {last:?}"
+        );
+    }
+
+    #[test]
+    fn repeat_records_round_trip_in_both_formats() {
+        use crate::event::EventKind;
+        use crate::ids::ProcessorId;
+        let events = vec![
+            Event::new(
+                Time::from_nanos(5),
+                ProcessorId(0),
+                0,
+                EventKind::ProgramBegin,
+            ),
+            Event::new(
+                Time::from_nanos(10),
+                ProcessorId(1),
+                1,
+                EventKind::Repeat {
+                    len: 3,
+                    count: 1000,
+                    dt_ns: 40,
+                    dseq: 9,
+                    dfield: -2,
+                },
+            ),
+            Event::new(
+                Time::from_nanos(900),
+                ProcessorId(0),
+                2,
+                EventKind::ProgramEnd,
+            ),
+        ];
+        let t = Trace::from_events(TraceKind::Measured, events);
+        let (mut jl, mut bin) = (Vec::new(), Vec::new());
+        write_jsonl(&t, &mut jl).unwrap();
+        write_binary(&t, &mut bin).unwrap();
+        assert_eq!(read_trace(jl.as_slice()).unwrap(), t);
+        assert_eq!(read_trace(bin.as_slice()).unwrap(), t);
     }
 
     #[test]

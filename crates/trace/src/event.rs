@@ -12,6 +12,12 @@ use crate::time::Time;
 use core::fmt;
 use serde::{Deserialize, Serialize};
 
+/// The longest pattern (in events) a [`EventKind::Repeat`] record may
+/// describe. The suppressor never looks further back than this, so an
+/// expander keeping this many logical events of per-processor history
+/// can always resolve a record's pattern.
+pub const REPEAT_MAX_PATTERN: usize = 16;
+
 /// What an event records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)] // variant fields are named after the id types they hold
@@ -42,6 +48,29 @@ pub enum EventKind {
     BarrierEnter { barrier: BarrierId },
     /// Release from a barrier (all participants arrived).
     BarrierExit { barrier: BarrierId },
+    /// A counted run-length record standing in for `len * count`
+    /// suppressed events on the carrying processor (see QUERIES.md).
+    ///
+    /// The pattern is the `len` logical events that immediately precede
+    /// this record on the same processor; occurrence `r` (1..=count) at
+    /// pattern position `j` reproduces pattern event `j` with `time +=
+    /// r*dt_ns`, `seq += r*dseq`, and its integer field (iteration number
+    /// or sync tag) shifted by `r*dfield`. The record's own `(time, seq)`
+    /// are those of the first suppressed event (pattern position 0 at
+    /// `r = 1`), so the record occupies exactly that event's slot in the
+    /// stream's total order.
+    Repeat {
+        /// Pattern length in events.
+        len: u32,
+        /// Number of suppressed pattern occurrences.
+        count: u32,
+        /// Per-occurrence time stride, nanoseconds.
+        dt_ns: u64,
+        /// Per-occurrence sequence-number stride.
+        dseq: u64,
+        /// Per-occurrence shift of each event's integer field.
+        dfield: i64,
+    },
 }
 
 impl EventKind {
@@ -114,6 +143,7 @@ impl EventKind {
             EventKind::AwaitEnd { .. } => "awaitE",
             EventKind::BarrierEnter { .. } => "barEnter",
             EventKind::BarrierExit { .. } => "barExit",
+            EventKind::Repeat { .. } => "repeat",
         }
     }
 }
@@ -137,6 +167,15 @@ impl fmt::Display for EventKind {
             }
             EventKind::BarrierEnter { barrier } | EventKind::BarrierExit { barrier } => {
                 write!(f, "{}({barrier})", self.mnemonic())
+            }
+            EventKind::Repeat {
+                len,
+                count,
+                dt_ns,
+                dseq,
+                dfield,
+            } => {
+                write!(f, "repeat({len}x{count},dt{dt_ns},ds{dseq},df{dfield})")
             }
         }
     }
@@ -169,6 +208,45 @@ impl Event {
             time,
             proc,
             seq,
+            kind,
+        }
+    }
+
+    /// Reproduces this event shifted by `r` repeat-record strides: time
+    /// advances by `r*dt_ns`, the sequence number by `r*dseq`, and the
+    /// event's integer field (iteration number or synchronization tag),
+    /// when it has one, by `r*dfield`. All arithmetic wraps; the
+    /// suppressor and the expander both use this exact function, which
+    /// is what makes suppress-then-expand an identity.
+    pub fn repeat_shifted(&self, r: u64, dt_ns: u64, dseq: u64, dfield: i64) -> Event {
+        let df = (r as i64).wrapping_mul(dfield);
+        let kind = match self.kind {
+            EventKind::IterationBegin { loop_id, iter } => EventKind::IterationBegin {
+                loop_id,
+                iter: iter.wrapping_add(df as u64),
+            },
+            EventKind::IterationEnd { loop_id, iter } => EventKind::IterationEnd {
+                loop_id,
+                iter: iter.wrapping_add(df as u64),
+            },
+            EventKind::Advance { var, tag } => EventKind::Advance {
+                var,
+                tag: SyncTag(tag.0.wrapping_add(df)),
+            },
+            EventKind::AwaitBegin { var, tag } => EventKind::AwaitBegin {
+                var,
+                tag: SyncTag(tag.0.wrapping_add(df)),
+            },
+            EventKind::AwaitEnd { var, tag } => EventKind::AwaitEnd {
+                var,
+                tag: SyncTag(tag.0.wrapping_add(df)),
+            },
+            other => other,
+        };
+        Event {
+            time: Time::from_nanos(self.time.as_nanos().wrapping_add(r.wrapping_mul(dt_ns))),
+            proc: self.proc,
+            seq: self.seq.wrapping_add(r.wrapping_mul(dseq)),
             kind,
         }
     }

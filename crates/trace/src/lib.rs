@@ -48,7 +48,7 @@ pub use codec::{
     BinaryTraceWriter, BlockSummary, ParallelBinaryReader, TraceFormat, BINARY_FORMAT_NAME,
     BINARY_MAGIC, DEFAULT_BLOCK_EVENTS,
 };
-pub use event::{Event, EventKind};
+pub use event::{Event, EventKind, REPEAT_MAX_PATTERN};
 pub use gap::{GapCause, TraceGap};
 pub use ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
 pub use io::{read_jsonl, write_csv, write_jsonl, IoError};

@@ -120,6 +120,10 @@ impl OverheadSpec {
             EventKind::AwaitBegin { .. } => self.await_begin_instr,
             EventKind::AwaitEnd { .. } => self.await_end_instr,
             EventKind::BarrierEnter { .. } | EventKind::BarrierExit { .. } => self.barrier_instr,
+            // A repeat record is a container artifact, not a recorded
+            // action: it must be expanded before any perturbation model
+            // charges per-event overhead, so its own cost is zero.
+            EventKind::Repeat { .. } => Span::ZERO,
         }
     }
 

@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Lint that PROTOCOL.md mirrors the wire constants in ppa-server.
+"""Lint that the normative docs mirror their source-of-truth constants.
 
-The doc-tested Rust block at the end of PROTOCOL.md already fails the
-build if its assertions disagree with the source; this lint covers the
-other direction — the *prose tables* of the spec. Every frame type and
-error code declared in crates/server/src/protocol.rs must appear in
-PROTOCOL.md with the same literal value and the same name, so the spec
-a client author reads cannot drift from what the daemon speaks.
+Two spec documents are pinned here:
+
+- PROTOCOL.md against crates/server/src/protocol.rs: every frame type
+  and error code must appear in the prose tables with the same literal
+  value and name. (The doc-tested Rust block at the end of PROTOCOL.md
+  already guards the doc -> source direction.)
+- QUERIES.md against crates/slice/src/spec.rs: every clause keyword in
+  CLAUSE_KEYWORDS and every kind mnemonic in KIND_MNEMONICS must appear
+  as a grammar-table row, so the query language a user reads cannot
+  drift from what the parser accepts.
 
 Exit 0 when everything matches; exit 1 with one line per mismatch.
 """
@@ -18,6 +22,8 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "crates" / "server" / "src" / "protocol.rs"
 DOC = ROOT / "PROTOCOL.md"
+SPEC_SRC = ROOT / "crates" / "slice" / "src" / "spec.rs"
+QUERIES_DOC = ROOT / "QUERIES.md"
 
 
 def parse_consts(src: str):
@@ -35,6 +41,97 @@ def parse_consts(src: str):
         else:
             consts[m.group("name")] = int(val, 0)
     return consts
+
+
+def parse_str_array(src: str, name: str):
+    """Return the string literals of `const NAME: &[&str] = &[...]`."""
+    m = re.search(
+        r"pub const %s: &\[&str\] = &\[(?P<body>.*?)\];" % re.escape(name),
+        src,
+        re.DOTALL,
+    )
+    if not m:
+        return None
+    return re.findall(r'"([^"]+)"', m.group("body"))
+
+
+def parse_mnemonics(src: str):
+    """Return the mnemonic names of the KIND_MNEMONICS table."""
+    m = re.search(
+        r"const KIND_MNEMONICS: &\[\(&str, u16\)\] = &\[(?P<body>.*?)\];",
+        src,
+        re.DOTALL,
+    )
+    if not m:
+        return None
+    return re.findall(r'\("([^"]+)",', m.group("body"))
+
+
+def check_queries_doc(require):
+    """Pin QUERIES.md's grammar tables to the parser in spec.rs."""
+    src = SPEC_SRC.read_text()
+    doc = QUERIES_DOC.read_text()
+
+    keywords = parse_str_array(src, "CLAUSE_KEYWORDS")
+    require(
+        keywords is not None and len(keywords) >= 8,
+        f"could not parse CLAUSE_KEYWORDS out of {SPEC_SRC}",
+    )
+    for kw in keywords or []:
+        row = re.compile(r"^\|\s*`%s`\s*\|" % re.escape(kw), re.MULTILINE)
+        require(
+            bool(row.search(doc)),
+            f"QUERIES.md grammar table is missing a | `{kw}` | row "
+            f"(source: CLAUSE_KEYWORDS in {SPEC_SRC.relative_to(ROOT)})",
+        )
+
+    mnemonics = parse_mnemonics(src)
+    require(
+        mnemonics is not None and len(mnemonics) == 12,
+        f"expected 12 KIND_MNEMONICS in {SPEC_SRC}, "
+        f"found {len(mnemonics or [])}",
+    )
+    for m in mnemonics or []:
+        row = re.compile(r"^\|\s*`%s`\s*\|" % re.escape(m), re.MULTILINE)
+        require(
+            bool(row.search(doc)),
+            f"QUERIES.md mnemonic table is missing a | `{m}` | row "
+            f"(source: KIND_MNEMONICS in {SPEC_SRC.relative_to(ROOT)})",
+        )
+
+    # The kind groups the parser special-cases must be documented rows,
+    # and `repeat` must never become a selectable mnemonic silently.
+    for group in ("sync", "barrier", "marker"):
+        require(
+            f'"{group}" =>' in src,
+            f"spec.rs no longer special-cases the `{group}` group",
+        )
+        row = re.compile(r"^\|\s*`%s`\s*\|" % group, re.MULTILINE)
+        require(
+            bool(row.search(doc)),
+            f"QUERIES.md group table is missing a | `{group}` | row",
+        )
+    require(
+        "repeat" not in (mnemonics or []),
+        "`repeat` became a selectable mnemonic; QUERIES.md promises it is not",
+    )
+
+    # Scalar facts the prose states outright.
+    require(
+        "half-open" in doc,
+        "QUERIES.md never states the window is half-open",
+    )
+    require(
+        "(emitted - records) + suppressed + filtered + skipped + lost == expected"
+        in doc,
+        "QUERIES.md no longer states the accounting identity verbatim",
+    )
+    trace_src = (ROOT / "crates" / "trace" / "src" / "event.rs").read_text()
+    m = re.search(r"pub const REPEAT_MAX_PATTERN: usize = (\d+);", trace_src)
+    require(
+        m is not None and f"up to {m.group(1)} events long" in doc,
+        "QUERIES.md's pattern-length bound disagrees with REPEAT_MAX_PATTERN",
+    )
 
 
 def main() -> int:
@@ -109,19 +206,22 @@ def main() -> int:
             f"doc-tested block in PROTOCOL.md never references p::{name}",
         )
 
+    check_queries_doc(require)
+
     if errors:
         for e in errors:
             print(f"check_protocol_doc: {e}", file=sys.stderr)
         print(
-            f"check_protocol_doc: {len(errors)} mismatch(es) between "
-            f"{SRC.relative_to(ROOT)} and {DOC.relative_to(ROOT)}",
+            f"check_protocol_doc: {len(errors)} mismatch(es) between the "
+            f"normative docs and their sources",
             file=sys.stderr,
         )
         return 1
 
     print(
         f"check_protocol_doc: ok — {len(fts)} frame types, {len(ecs)} error "
-        f"codes, and all scalar constants match PROTOCOL.md"
+        f"codes, and all scalar constants match PROTOCOL.md; QUERIES.md "
+        f"grammar tables match crates/slice/src/spec.rs"
     )
     return 0
 
