@@ -125,6 +125,7 @@ fn pipeline(
                         events: events_out,
                         awaits: 0,
                         barriers: 0,
+                        episodes: 0,
                         last_time: Time::ZERO,
                     },
                 };
@@ -183,6 +184,7 @@ fn pipeline_delta(jsonl: &[u8], oh: &OverheadSpec, every: u64, path: &std::path:
                     events: events_out,
                     awaits: 0,
                     barriers: 0,
+                    episodes: 0,
                     last_time: Time::ZERO,
                 },
             };

@@ -60,6 +60,10 @@ pub fn lint_checkpoint(path: &Path) -> Result<(CheckpointLint, Vec<Violation>), 
                 rule: "checkpoint-corrupt",
                 detail: format!("v2 chain does not reassemble: {m}"),
             }),
+            Err(e @ CheckpointError::FutureVersion { .. }) => violations.push(Violation {
+                rule: "checkpoint-future-version",
+                detail: e.to_string(),
+            }),
             Err(CheckpointError::Io(e)) => return Err(format!("{}: {e}", path.display())),
         }
         Ok((lint, violations))
@@ -75,10 +79,14 @@ pub fn lint_checkpoint(path: &Path) -> Result<(CheckpointLint, Vec<Violation>), 
                 },
                 violations,
             )),
-            Err(CheckpointError::Corrupt(m)) => {
+            Err(e @ (CheckpointError::Corrupt(_) | CheckpointError::FutureVersion { .. })) => {
+                let detail = match e {
+                    CheckpointError::Corrupt(m) => format!("snapshot does not validate: {m}"),
+                    other => other.to_string(),
+                };
                 violations.push(Violation {
                     rule: "checkpoint-corrupt",
-                    detail: format!("snapshot does not validate: {m}"),
+                    detail,
                 });
                 Ok((
                     CheckpointLint {

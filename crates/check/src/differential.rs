@@ -12,13 +12,15 @@
 //! deterministic delta-debugging pass to a minimal reproducing measured
 //! trace, which can be written to disk for offline triage.
 
-use crate::Violation;
+use crate::{ReportChecker, Violation};
 use ppa_core::{
     event_based, event_based_reference, event_based_sharded, expand_events, EventBasedResult,
 };
 use ppa_program::synth::{synthesize, SynthConfig};
 use ppa_program::InstrumentationPlan;
-use ppa_sim::{run_measured, SchedulePolicy, SimConfig};
+use ppa_sim::{
+    run_measured, scenario_trace, ScenarioConfig, ScenarioFamily, SchedulePolicy, SimConfig,
+};
 use ppa_slice::{slice_stream, suppress_events, SliceOptions, SliceProbes, SliceSpec};
 use ppa_trace::{
     read_trace, read_trace_parallel, write_trace, ClockRate, Event, OverheadSpec, Trace,
@@ -34,6 +36,9 @@ pub struct DifferentialConfig {
     pub seed: u64,
     /// How many programs to generate and cross-check.
     pub programs: usize,
+    /// How many lock/semaphore/fork-join episode scenarios to generate
+    /// and cross-check (cycled round-robin over the three families).
+    pub scenarios: usize,
     /// Worker count handed to the sharded path.
     pub workers: usize,
     /// Decode worker threads for the binary-codec round-trip leg
@@ -46,6 +51,7 @@ impl Default for DifferentialConfig {
         DifferentialConfig {
             seed: 0,
             programs: 50,
+            scenarios: 50,
             workers: 4,
             decode_workers: 4,
         }
@@ -73,6 +79,8 @@ pub struct Mismatch {
 pub struct DifferentialReport {
     /// Programs generated and cross-checked.
     pub programs: usize,
+    /// Episode scenarios (spinlock, semaphore, fork/join) cross-checked.
+    pub scenarios: usize,
     /// Total measured events analyzed across all programs.
     pub events: usize,
     /// Every disagreement found, shrunk.
@@ -215,7 +223,71 @@ pub fn run_differential(
             });
         }
     }
+
+    // Episode scenarios: seeded spinlock/semaphore/fork-join workloads,
+    // round-robin over the families. On top of the usual legs, every
+    // scenario's approximated report must pass the §4.2.3 conservation
+    // laws (`ReportChecker`) — the episode blocked rule is new enough to
+    // earn its own acceptance check here.
+    let oh = OverheadSpec::alliant_default();
+    for i in 0..cfg.scenarios {
+        let seed = cfg.seed.wrapping_add(i as u64);
+        let family = ScenarioFamily::ALL[i % ScenarioFamily::ALL.len()];
+        let label = format!("{family}-{i}");
+        let trace = scenario_trace(seed, &ScenarioConfig::small(family));
+        report.scenarios += 1;
+        report.events += trace.len();
+
+        let legs = [
+            diff_codec(&trace, cfg.decode_workers),
+            diff_suppression(&trace, &oh),
+            diff_conservation(&trace, &oh),
+        ];
+        for detail in legs.into_iter().flatten() {
+            report.mismatches.push(Mismatch {
+                program: label.clone(),
+                seed,
+                detail,
+                minimal_events: trace.len(),
+                trace_path: None,
+            });
+        }
+
+        if let Some(detail) = diff_paths(&trace, &oh, cfg.workers) {
+            let minimal = shrink(trace.events(), &oh, cfg.workers);
+            report.mismatches.push(Mismatch {
+                program: label,
+                seed,
+                detail,
+                minimal_events: minimal.len(),
+                trace_path: None,
+            });
+        }
+    }
     Ok(report)
+}
+
+/// Conservation leg for episode scenarios: the streaming analysis must
+/// accept the scenario, and its approximated report must satisfy every
+/// [`ReportChecker`] law — in particular `episode-order-preserved`
+/// (no acquire, P, begin, or join-return precedes its enabling event
+/// in approximated time) and `episode-protocol`.
+fn diff_conservation(trace: &Trace, oh: &OverheadSpec) -> Option<String> {
+    let result = match event_based(trace, oh) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("conservation: analysis rejected the scenario: {e}")),
+    };
+    let mut checker = ReportChecker::new();
+    for e in result.trace.iter() {
+        checker.push(e);
+    }
+    let violations = checker.finish();
+    violations.first().map(|v| {
+        format!(
+            "conservation: {} violation(s), first: {v}",
+            violations.len()
+        )
+    })
 }
 
 /// Binary-codec round-trip leg: the measured trace must survive a
@@ -426,16 +498,29 @@ fn diff_results(an: &str, a: &EventBasedResult, bn: &str, b: &EventBasedResult) 
             b.awaits.get(i)
         ));
     }
+    if a.barriers != b.barriers {
+        let i = a
+            .barriers
+            .iter()
+            .zip(&b.barriers)
+            .position(|(x, y)| x != y)
+            .unwrap_or(a.barriers.len().min(b.barriers.len()));
+        return Some(format!(
+            "barriers[{i}]: {an} {:?} vs {bn} {:?}",
+            a.barriers.get(i),
+            b.barriers.get(i)
+        ));
+    }
     let i = a
-        .barriers
+        .episodes
         .iter()
-        .zip(&b.barriers)
+        .zip(&b.episodes)
         .position(|(x, y)| x != y)
-        .unwrap_or(a.barriers.len().min(b.barriers.len()));
+        .unwrap_or(a.episodes.len().min(b.episodes.len()));
     Some(format!(
-        "barriers[{i}]: {an} {:?} vs {bn} {:?}",
-        a.barriers.get(i),
-        b.barriers.get(i)
+        "episodes[{i}]: {an} {:?} vs {bn} {:?}",
+        a.episodes.get(i),
+        b.episodes.get(i)
     ))
 }
 
@@ -480,4 +565,63 @@ fn shrink(events: &[Event], oh: &OverheadSpec, workers: usize) -> Vec<Event> {
         }
     }
     current
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_scenario() -> impl Strategy<Value = ScenarioConfig> {
+        (
+            prop_oneof![
+                Just(ScenarioFamily::Spinlock),
+                Just(ScenarioFamily::Semaphore),
+                Just(ScenarioFamily::ForkJoin),
+            ],
+            2usize..6,
+            1usize..8,
+            1usize..4,
+            0u64..3_000,
+        )
+            .prop_map(|(family, processors, rounds, objects, oh)| ScenarioConfig {
+                family,
+                processors,
+                rounds,
+                objects,
+                overheads: OverheadSpec::uniform(ppa_trace::Span::from_nanos(oh)),
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every generated lock/semaphore/fork-join scenario must (a)
+        /// agree across the streaming, reference, and sharded analyses —
+        /// any split is ddmin-shrunk before failing, so the proptest
+        /// report carries a minimal repro size — and (b) produce a
+        /// report accepted by every conservation law, plus survive the
+        /// codec and suppression round-trip legs.
+        #[test]
+        fn episode_scenarios_agree_and_conserve(
+            seed in proptest::prelude::any::<u64>(),
+            cfg in arb_scenario(),
+            workers in 1usize..5,
+        ) {
+            let trace = scenario_trace(seed, &cfg);
+            let oh = cfg.overheads;
+            if let Some(detail) = diff_paths(&trace, &oh, workers) {
+                let minimal = shrink(trace.events(), &oh, workers);
+                prop_assert!(
+                    false,
+                    "paths disagree: {detail}; ddmin minimal repro: {} of {} event(s)",
+                    minimal.len(),
+                    trace.len()
+                );
+            }
+            prop_assert_eq!(diff_conservation(&trace, &oh), None);
+            prop_assert_eq!(diff_codec(&trace, workers), None);
+            prop_assert_eq!(diff_suppression(&trace, &oh), None);
+        }
+    }
 }

@@ -2,8 +2,8 @@
 //! (measured or actual) must satisfy before analysis is meaningful.
 
 use crate::Violation;
-use ppa_trace::{Event, EventKind, SyncTag, SyncVarId, Time};
-use std::collections::HashSet;
+use ppa_trace::{Event, EventKind, LockId, ProcessorId, SemId, SyncTag, SyncVarId, TaskId, Time};
+use std::collections::{BTreeMap, HashSet};
 
 /// Per-processor lint state.
 #[derive(Debug, Clone, Default)]
@@ -25,6 +25,9 @@ struct ProcLint {
 /// | `seq-contiguity` | sequence numbers form one contiguous run, no holes or duplicates |
 /// | `await-pairing` | every `awaitE` closes a matching open `awaitB` (same var and tag, same processor), and no `awaitB` nests |
 /// | `await-advance-order` | every `awaitE` has a matching `advance` (same var and tag) somewhere in the trace; pre-advanced (negative) tags are exempt |
+/// | `lock-pairing` | `lockA` never acquires a held lock, `lockR` only releases from the holder, and no lock is held at end of trace |
+/// | `sem-nonnegative` | in stream order, `semP` never overdraws the semaphore (every P is preceded by an unconsumed V — the measured ordering convention records V before the waiter resumes) |
+/// | `task-pairing` | each task id runs spawn (`taskF`), begin (`taskF`), end (`taskJ`), join-return (`taskJ`) in order, join-return on the spawning processor and end on the child's, and every spawned task is joined |
 ///
 /// `await-advance-order` deliberately checks *existence*, not stream
 /// position: in a measured trace the `advance` record is stamped after
@@ -59,6 +62,21 @@ pub struct TraceLinter {
     /// Completed awaits whose advance had not appeared yet; re-checked
     /// against the full advance set at [`finish`](Self::finish).
     unmatched_awaits: Vec<(SyncVarId, SyncTag, u64)>,
+    /// Held locks: holder and the acquiring event's seq.
+    locks: BTreeMap<LockId, (ProcessorId, u64)>,
+    /// Unconsumed `semV` tokens per semaphore.
+    sems: BTreeMap<SemId, u64>,
+    /// Open fork/join episodes, keyed by task id.
+    tasks: BTreeMap<TaskId, TaskLint>,
+}
+
+/// The spawn → begin → end → join-return progression of one open task.
+#[derive(Debug, Clone)]
+struct TaskLint {
+    spawn_proc: ProcessorId,
+    spawn_seq: u64,
+    begin_proc: Option<ProcessorId>,
+    end_proc: Option<ProcessorId>,
 }
 
 impl TraceLinter {
@@ -166,6 +184,98 @@ impl TraceLinter {
                     self.unmatched_awaits.push((var, tag, e.seq));
                 }
             }
+            EventKind::LockAcquire { lock } => match self.locks.get(&lock) {
+                Some(&(holder, seq)) => self.violations.push(Violation::new(
+                    "lock-pairing",
+                    format!("event {e} acquires {lock} already held by {holder} (seq {seq})"),
+                )),
+                None => {
+                    self.locks.insert(lock, (e.proc, e.seq));
+                }
+            },
+            EventKind::LockRelease { lock } => match self.locks.get(&lock) {
+                Some(&(holder, _)) if holder == e.proc => {
+                    self.locks.remove(&lock);
+                }
+                Some(&(holder, seq)) => self.violations.push(Violation::new(
+                    "lock-pairing",
+                    format!(
+                        "event {e} releases {lock} held by {holder} (seq {seq}), not {}",
+                        e.proc
+                    ),
+                )),
+                None => self.violations.push(Violation::new(
+                    "lock-pairing",
+                    format!("event {e} releases {lock}, which is not held"),
+                )),
+            },
+            EventKind::SemAcquire { sem } => {
+                let tokens = self.sems.entry(sem).or_insert(0);
+                match tokens.checked_sub(1) {
+                    Some(rest) => *tokens = rest,
+                    None => self.violations.push(Violation::new(
+                        "sem-nonnegative",
+                        format!("event {e} overdraws {sem}: no unconsumed semV precedes it"),
+                    )),
+                }
+            }
+            EventKind::SemRelease { sem } => {
+                *self.sems.entry(sem).or_insert(0) += 1;
+            }
+            EventKind::TaskFork { task } => match self.tasks.get_mut(&task) {
+                None => {
+                    self.tasks.insert(
+                        task,
+                        TaskLint {
+                            spawn_proc: e.proc,
+                            spawn_seq: e.seq,
+                            begin_proc: None,
+                            end_proc: None,
+                        },
+                    );
+                }
+                Some(t) if t.begin_proc.is_none() => t.begin_proc = Some(e.proc),
+                Some(t) => self.violations.push(Violation::new(
+                    "task-pairing",
+                    format!(
+                        "event {e} re-forks {task}, which already began (spawned seq {})",
+                        t.spawn_seq
+                    ),
+                )),
+            },
+            EventKind::TaskJoin { task } => match self.tasks.get_mut(&task) {
+                None => self.violations.push(Violation::new(
+                    "task-pairing",
+                    format!("event {e} joins {task}, which was never forked"),
+                )),
+                Some(t) if t.begin_proc.is_none() => self.violations.push(Violation::new(
+                    "task-pairing",
+                    format!("event {e} joins {task} before the child began"),
+                )),
+                Some(t) if t.end_proc.is_none() => t.end_proc = Some(e.proc),
+                Some(t) => {
+                    if t.spawn_proc != e.proc {
+                        self.violations.push(Violation::new(
+                            "task-pairing",
+                            format!(
+                                "event {e} join-returns {task} on {}, but {} spawned it",
+                                e.proc, t.spawn_proc
+                            ),
+                        ));
+                    }
+                    if t.begin_proc != t.end_proc {
+                        self.violations.push(Violation::new(
+                            "task-pairing",
+                            format!(
+                                "{task} began on {} but ended on {}",
+                                t.begin_proc.expect("begin recorded"),
+                                t.end_proc.expect("end recorded"),
+                            ),
+                        ));
+                    }
+                    self.tasks.remove(&task);
+                }
+            },
             _ => {}
         }
     }
@@ -190,6 +300,21 @@ impl TraceLinter {
                     format!("awaitB({v},{t}) (seq {seq}) on p{pi} never closed"),
                 ));
             }
+        }
+        for (lock, (holder, seq)) in &self.locks {
+            self.violations.push(Violation::new(
+                "lock-pairing",
+                format!("{lock} acquired by {holder} (seq {seq}) is still held at end of trace"),
+            ));
+        }
+        for (task, t) in &self.tasks {
+            self.violations.push(Violation::new(
+                "task-pairing",
+                format!(
+                    "{task} spawned by {} (seq {}) is never joined",
+                    t.spawn_proc, t.spawn_seq
+                ),
+            ));
         }
         // Contiguity is a multiset property, so it is checked once at the
         // end: sorted, the sequence numbers must form one run without

@@ -6,8 +6,8 @@
 //! approximated trace, independently of the analyzer that produced it.
 
 use crate::Violation;
-use ppa_trace::{Event, EventKind, SyncTag, SyncVarId, Time};
-use std::collections::HashMap;
+use ppa_trace::{Event, EventKind, LockId, ProcessorId, SemId, SyncTag, SyncVarId, TaskId, Time};
+use std::collections::{HashMap, VecDeque};
 
 /// Per-processor report state.
 #[derive(Debug, Clone, Default)]
@@ -39,15 +39,39 @@ struct BarrierEpisode {
 /// | `await-order-preserved` | `ta(awaitE) ≥ ta(advance)` for the dependent advance — the measured partial order survives approximation (both Figure 2 branches add a non-negative `s_nowait`/`s_wait`) |
 /// | `barrier-exit-order` | every barrier exit's ta is at least the episode's latest enter ta |
 /// | `barrier-protocol` | enters and exits alternate in whole episodes (no exit without an enter, no enter inside an exit drain) |
+/// | `episode-order-preserved` | a lock acquire, semaphore P, task begin, or join-return never precedes its enabling release, V, spawn, or child end in approximated time — the blocked rule's `s_wait`/chain branches are both non-negative |
+/// | `episode-protocol` | the lock, semaphore, and fork/join state machines stay well-formed in the report, and no lock or task is left open at the end |
 ///
 /// Pre-advanced (negative) tags have no `advance` by construction and
-/// are exempt from `await-order-preserved`.
+/// are exempt from `await-order-preserved`. An *origin* lock acquire
+/// (no prior release of that lock) has no enabling event and is exempt
+/// from `episode-order-preserved`.
 #[derive(Debug, Default)]
 pub struct ReportChecker {
     violations: Vec<Violation>,
     procs: Vec<ProcReport>,
     advances: HashMap<(SyncVarId, SyncTag), Time>,
     barriers: HashMap<ppa_trace::BarrierId, BarrierEpisode>,
+    locks: HashMap<LockId, LockReport>,
+    /// Unconsumed `semV` approximated times, consumed FIFO by `semP`.
+    sems: HashMap<SemId, VecDeque<Time>>,
+    tasks: HashMap<TaskId, TaskReport>,
+}
+
+/// One lock's report-side state.
+#[derive(Debug, Clone, Copy, Default)]
+struct LockReport {
+    holder: Option<ProcessorId>,
+    /// The latest release's ta, pending consumption by the next acquire.
+    release_ta: Option<Time>,
+}
+
+/// One open fork/join episode's report-side state.
+#[derive(Debug, Clone, Copy)]
+struct TaskReport {
+    spawn_ta: Time,
+    began: bool,
+    end_ta: Option<Time>,
 }
 
 impl ReportChecker {
@@ -148,6 +172,100 @@ impl ReportChecker {
                     self.barriers.remove(&barrier);
                 }
             }
+            EventKind::LockAcquire { lock } => {
+                let st = self.locks.entry(lock).or_default();
+                if let Some(holder) = st.holder {
+                    self.violations.push(Violation::new(
+                        "episode-protocol",
+                        format!("event {e} acquires {lock} already held by {holder}"),
+                    ));
+                }
+                st.holder = Some(e.proc);
+                if let Some(rel_ta) = st.release_ta.take() {
+                    if e.time < rel_ta {
+                        self.violations.push(Violation::new(
+                            "episode-order-preserved",
+                            format!(
+                                "event {e} precedes the enabling release of {lock} at {rel_ta}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            EventKind::LockRelease { lock } => {
+                let st = self.locks.entry(lock).or_default();
+                if st.holder != Some(e.proc) {
+                    self.violations.push(Violation::new(
+                        "episode-protocol",
+                        format!("event {e} releases {lock}, which {} does not hold", e.proc),
+                    ));
+                }
+                st.holder = None;
+                st.release_ta = Some(e.time);
+            }
+            EventKind::SemAcquire { sem } => match self.sems.entry(sem).or_default().pop_front() {
+                Some(v_ta) if e.time >= v_ta => {}
+                Some(v_ta) => self.violations.push(Violation::new(
+                    "episode-order-preserved",
+                    format!("event {e} precedes its enabling semV of {sem} at {v_ta}"),
+                )),
+                None => self.violations.push(Violation::new(
+                    "episode-protocol",
+                    format!("event {e} overdraws {sem}: no unconsumed semV earlier in the report"),
+                )),
+            },
+            EventKind::SemRelease { sem } => {
+                self.sems.entry(sem).or_default().push_back(e.time);
+            }
+            EventKind::TaskFork { task } => match self.tasks.get_mut(&task) {
+                None => {
+                    self.tasks.insert(
+                        task,
+                        TaskReport {
+                            spawn_ta: e.time,
+                            began: false,
+                            end_ta: None,
+                        },
+                    );
+                }
+                Some(t) if !t.began => {
+                    t.began = true;
+                    if e.time < t.spawn_ta {
+                        self.violations.push(Violation::new(
+                            "episode-order-preserved",
+                            format!("event {e} begins {task} before its spawn at {}", t.spawn_ta),
+                        ));
+                    }
+                }
+                Some(_) => self.violations.push(Violation::new(
+                    "episode-protocol",
+                    format!("event {e} re-forks {task}, which already began"),
+                )),
+            },
+            EventKind::TaskJoin { task } => match self.tasks.get_mut(&task) {
+                None => self.violations.push(Violation::new(
+                    "episode-protocol",
+                    format!("event {e} joins {task}, which was never forked"),
+                )),
+                Some(t) if !t.began => self.violations.push(Violation::new(
+                    "episode-protocol",
+                    format!("event {e} joins {task} before the child began"),
+                )),
+                Some(t) => match t.end_ta {
+                    None => t.end_ta = Some(e.time),
+                    Some(end_ta) => {
+                        if e.time < end_ta {
+                            self.violations.push(Violation::new(
+                                "episode-order-preserved",
+                                format!(
+                                    "event {e} join-returns before {task}'s child end at {end_ta}"
+                                ),
+                            ));
+                        }
+                        self.tasks.remove(&task);
+                    }
+                },
+            },
             _ => {}
         }
     }
@@ -163,6 +281,26 @@ impl ReportChecker {
                     "{barrier} episode left open at end of report ({} enters, {} exits)",
                     ep.enters, ep.exits
                 ),
+            ));
+        }
+        let mut held: Vec<_> = self
+            .locks
+            .iter()
+            .filter_map(|(l, st)| st.holder.map(|h| (*l, h)))
+            .collect();
+        held.sort_by_key(|(l, _)| *l);
+        for (lock, holder) in held {
+            self.violations.push(Violation::new(
+                "episode-protocol",
+                format!("{lock} is still held by {holder} at end of report"),
+            ));
+        }
+        let mut open_tasks: Vec<_> = self.tasks.keys().copied().collect();
+        open_tasks.sort();
+        for task in open_tasks {
+            self.violations.push(Violation::new(
+                "episode-protocol",
+                format!("{task} episode left open at end of report"),
             ));
         }
         self.violations

@@ -242,8 +242,8 @@ fn real_main() -> Result<(), CliError> {
                  [--metrics-out snap.prom [--metrics-format prom|json]]"
             );
             println!(
-                "         ppa check --differential [--seed N] [--programs N] [--workers N] \
-                 [--out-dir DIR]"
+                "         ppa check --differential [--seed N] [--programs N] [--scenarios N] \
+                 [--workers N] [--out-dir DIR]"
             );
             println!(
                 "serve:   ppa serve --checkpoint-dir DIR [--listen ADDR] [--unix-socket PATH] \
@@ -804,6 +804,7 @@ struct AnalyzeSink<W: std::io::Write> {
     filtered: usize,
     awaits: usize,
     barriers: usize,
+    episodes: usize,
     last_time: ppa::trace::Time,
 }
 
@@ -828,6 +829,7 @@ impl<W: std::io::Write> AnalyzeSink<W> {
             }
             StreamOutput::Await { .. } => self.awaits += 1,
             StreamOutput::Barrier { .. } => self.barriers += 1,
+            StreamOutput::Episode { .. } => self.episodes += 1,
         }
         Ok(())
     }
@@ -1100,6 +1102,7 @@ fn checkpoint_error(path: &str, e: ppa::analysis::CheckpointError) -> CliError {
         }
         CheckpointError::Io(err) => CliError::Io(format!("{path}: {err}")),
         CheckpointError::Corrupt(m) => CliError::Data(format!("{path}: corrupt checkpoint: {m}")),
+        e @ CheckpointError::FutureVersion { .. } => CliError::Data(format!("{path}: {e}")),
     }
 }
 
@@ -1297,6 +1300,7 @@ fn stream_analyze(
         events: resumed.as_ref().map_or(0, |cp| cp.sink.events as usize),
         awaits: resumed.as_ref().map_or(0, |cp| cp.sink.awaits as usize),
         barriers: resumed.as_ref().map_or(0, |cp| cp.sink.barriers as usize),
+        episodes: resumed.as_ref().map_or(0, |cp| cp.sink.episodes as usize),
         last_time: resumed
             .as_ref()
             .map_or(ppa::trace::Time::ZERO, |cp| cp.sink.last_time),
@@ -1394,6 +1398,7 @@ fn stream_analyze(
                         events: sink.events as u64,
                         awaits: sink.awaits as u64,
                         barriers: sink.barriers as u64,
+                        episodes: sink.episodes as u64,
                         last_time: sink.last_time,
                     },
                 };
@@ -1524,8 +1529,8 @@ fn stream_analyze(
 
     println!(
         "analyzed {} measured events (streaming): {} approximated events, \
-         {} awaits, {} barrier passages",
-        expected, sink.events, sink.awaits, sink.barriers
+         {} awaits, {} barrier passages, {} sync episodes",
+        expected, sink.events, sink.awaits, sink.barriers, sink.episodes
     );
     if expander.records() > 0 {
         println!(
@@ -1621,11 +1626,12 @@ fn batch_analyze(
     }
     println!(
         "analyzed {} measured events: {} approximated events, {} awaits, \
-         {} barrier passages",
+         {} barrier passages, {} sync episodes",
         measured.len(),
         report.len(),
         result.awaits.len(),
-        result.barriers.len()
+        result.barriers.len(),
+        result.episodes.len()
     );
     if slice_spec.is_some() {
         println!(
@@ -1965,7 +1971,7 @@ fn run_slice(args: &[String]) -> Result<(), CliError> {
 const CHECK_USAGE: &str = "usage: ppa check <trace-report-or-checkpoint.{jsonl|bin|ckpt}> \
      [--slice] [--metrics snap.{prom|json}] \
      [--metrics-out snap.prom [--metrics-format prom|json]]\n\
-       ppa check --differential [--seed N] [--programs N] [--workers N] \
+       ppa check --differential [--seed N] [--programs N] [--scenarios N] [--workers N] \
      [--decode-workers N] [--out-dir DIR]";
 
 /// How many violations `ppa check` prints in full before summarizing.
@@ -2014,6 +2020,14 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
                     "--programs",
                     it.next().ok_or_else(|| missing("--programs"))?,
                 )?;
+            }
+            "--scenarios" => {
+                let n = it.next().ok_or_else(|| missing("--scenarios"))?;
+                diff_cfg.scenarios = n.parse::<usize>().map_err(|_| {
+                    CliError::Usage(format!(
+                        "--scenarios must be a non-negative integer, got {n:?}"
+                    ))
+                })?;
             }
             "--workers" => {
                 diff_cfg.workers =
@@ -2070,9 +2084,9 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
         }
         let report = run_differential(&diff_cfg, out_dir.map(Path::new)).map_err(CliError::Io)?;
         println!(
-            "differential oracle: {} program(s), {} measured event(s), \
-             streaming vs reference vs sharded",
-            report.programs, report.events
+            "differential oracle: {} program(s), {} episode scenario(s), \
+             {} measured event(s), streaming vs reference vs sharded",
+            report.programs, report.scenarios, report.events
         );
         violations = report.violations();
         subject = format!("differential oracle (seed {})", diff_cfg.seed);

@@ -683,3 +683,192 @@ fn resume_rejects_missing_and_corrupt_checkpoints() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("corrupt checkpoint"), "stderr: {stderr}");
 }
+
+/// A lock-bearing measured trace whose critical-section loop is
+/// perfectly periodic, so redundancy suppression collapses both
+/// processors' patterns into repeat records.
+fn periodic_lock_jsonl(dir: &std::path::Path, name: &str, rounds: u64) -> PathBuf {
+    use ppa::trace::{write_jsonl, LockId, StatementId};
+    let mut events = Vec::new();
+    for r in 0..rounds {
+        let t = 1_000 + r * 400;
+        let ev = |dt: u64, ds: u64, kind: EventKind| {
+            Event::new(
+                Time::from_nanos(t + dt),
+                ProcessorId((ds == 3) as u16),
+                4 * r + ds,
+                kind,
+            )
+        };
+        events.push(ev(0, 0, EventKind::LockAcquire { lock: LockId(7) }));
+        events.push(ev(
+            100,
+            1,
+            EventKind::Statement {
+                stmt: StatementId(5),
+            },
+        ));
+        events.push(ev(200, 2, EventKind::LockRelease { lock: LockId(7) }));
+        events.push(ev(
+            300,
+            3,
+            EventKind::Statement {
+                stmt: StatementId(9),
+            },
+        ));
+    }
+    let trace = Trace::from_events(TraceKind::Measured, events);
+    let path = dir.join(name);
+    let file = fs::File::create(&path).expect("create lock trace");
+    write_jsonl(&trace, file).expect("write lock trace");
+    path
+}
+
+/// Satellite regression: a suppressed *and* shuffled lock-bearing binary
+/// trace analyzed under `--reorder-window` must reproduce the plain
+/// (unsuppressed, sorted) run byte for byte. The reorder buffer restores
+/// total order *before* the expander replays record occurrences, so the
+/// analyzer sees the exact original event sequence.
+#[test]
+fn suppressed_and_shuffled_lock_trace_analyzes_byte_identical_to_plain() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = periodic_lock_jsonl(&dir, "supshuf_plain.jsonl", 48);
+
+    // Normalize the plain fixture through an identity slice: sliced
+    // output carries an advisory header count of 0 (unknown), and the
+    // suppressed leg below inherits the same container property — so
+    // the two reports can be compared byte for byte, header included.
+    let plain = dir.join("supshuf_plain0.jsonl");
+    let out = ppa_cmd(
+        "slice",
+        &[input.to_str().unwrap(), plain.to_str().unwrap(), "--force"],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    // Reference: analyze the plain trace.
+    let reference = dir.join("supshuf_reference.jsonl");
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            plain.to_str().unwrap(),
+            "--stream",
+            "--out",
+            reference.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    // Suppress: the periodic critical-section loop must actually
+    // collapse, or the regression would be vacuous.
+    let suppressed = dir.join("supshuf_suppressed.jsonl");
+    let out = ppa_cmd(
+        "slice",
+        &[
+            input.to_str().unwrap(),
+            suppressed.to_str().unwrap(),
+            "--suppress",
+            "--force",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("suppression: 2 repeat record(s)"),
+        "stdout: {stdout}"
+    );
+
+    // Shuffle the suppressed stream: swap the first two event lines
+    // (line 0 is the header) and the two trailing repeat records.
+    let text = fs::read_to_string(&suppressed).expect("read suppressed");
+    let mut lines: Vec<&str> = text.lines().collect();
+    let last = lines.len() - 1;
+    lines.swap(1, 2);
+    lines.swap(last - 1, last);
+    let shuffled = dir.join("supshuf_shuffled.jsonl");
+    fs::write(&shuffled, lines.join("\n") + "\n").expect("write shuffled");
+    let bin = dir.join("supshuf_shuffled.bin");
+    to_bin(&shuffled, &bin, "64");
+
+    // Without tolerance the broken total order is bad data (exit 65) —
+    // expanded occurrences may not bypass the ordering contract.
+    let out = ppa_cmd("analyze", &[bin.to_str().unwrap(), "--stream"]);
+    assert_eq!(out.status.code(), Some(65), "{:?}", out);
+
+    // With a window: re-sort, then expand, then analyze — byte-identical
+    // to the plain run.
+    let report = dir.join("supshuf_report.jsonl");
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            bin.to_str().unwrap(),
+            "--stream",
+            "--reorder-window",
+            "8",
+            "--out",
+            report.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("re-sorted"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("expanded 2 repeat record(s)"),
+        "stdout: {stdout}"
+    );
+    assert_eq!(
+        fs::read(&report).unwrap(),
+        fs::read(&reference).unwrap(),
+        "suppressed+shuffled run must match the plain run byte for byte"
+    );
+}
+
+/// Satellite regression: a PPACKPT2 checkpoint stamped with a *newer*
+/// snapshot version must refuse to resume with the typed, named error
+/// (bad data, exit 65) instead of attempting a garbage restore.
+#[test]
+fn resume_from_future_snapshot_version_exits_65_with_named_error() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let input = measured_jsonl(&dir, "future_measured.jsonl", 96);
+    let report = dir.join("future_report.jsonl");
+    let ckpt = dir.join("future_state.ckpt");
+    fs::remove_file(&ckpt).ok();
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "100",
+        ],
+    );
+    assert!(out.status.success(), "{:?}", out);
+
+    // Forward-version fixture: bump the snapshot version byte (offset 8,
+    // right after the PPACKPT2 magic) to one this reader does not know.
+    let mut bytes = fs::read(&ckpt).expect("read checkpoint");
+    assert_eq!(bytes[8], 2, "snapshot version byte moved?");
+    bytes[8] = 3;
+    fs::write(&ckpt, &bytes).expect("write future checkpoint");
+
+    let out = ppa_cmd(
+        "analyze",
+        &[
+            input.to_str().unwrap(),
+            "--stream",
+            "--out",
+            report.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(65), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("snapshot version 3 is newer than the supported version 2"),
+        "stderr: {stderr}"
+    );
+}

@@ -415,3 +415,54 @@ fn help_documents_slicing_and_sniffing() {
     assert!(text.contains("auto-sniffed"), "{text}");
     assert!(text.contains("QUERIES.md"), "{text}");
 }
+
+/// Satellite regression: duplicate clauses across the two clause
+/// sources — convenience flags and `--expr` — are a usage error (exit
+/// 64) in *both* directions, exactly like duplicates within one source,
+/// while either source alone still works.
+#[test]
+fn slice_duplicate_clauses_across_sources_exit_64_both_directions() {
+    let dir = tmpdir();
+    let trace = synthetic_trace(256);
+    let input = dir.join("dupsrc_in.jsonl");
+    write_fixture(&input, &trace, TraceFormat::Jsonl);
+    let input = input.to_str().unwrap();
+    let output = dir.join("dupsrc_out.jsonl");
+    let output = output.to_str().unwrap();
+
+    // Flag first, expression second.
+    let out = ppa_cmd(&[
+        "slice",
+        input,
+        output,
+        "--force",
+        "--window",
+        "0ns..1ms",
+        "--expr",
+        "window=0ns..2ms",
+    ]);
+    assert_eq!(out.status.code(), Some(64), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("more than once"), "stderr: {stderr}");
+
+    // Expression first, flag second.
+    let out = ppa_cmd(&[
+        "slice", input, output, "--force", "--expr", "procs=0", "--procs", "1",
+    ]);
+    assert_eq!(out.status.code(), Some(64), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("more than once"), "stderr: {stderr}");
+
+    // Each source alone is accepted.
+    let out = ppa_cmd(&["slice", input, output, "--force", "--window", "0ns..1ms"]);
+    assert!(out.status.success(), "{out:?}");
+    let out = ppa_cmd(&[
+        "slice",
+        input,
+        output,
+        "--force",
+        "--expr",
+        "window=0ns..1ms",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+}

@@ -51,6 +51,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic+version  b"PPACKPT2"
+//! 8       1     snapshot version (see [`SNAPSHOT_VERSION`])
 //! --- then records, back to back ---
 //! +0      1     kind: 0 = full snapshot, 1 = delta
 //! +1      4     CRC-32 chained over (previous record's CRC ‖ payload)
@@ -86,6 +87,18 @@ pub const CHECKPOINT_MAGIC: &[u8; 8] = b"PPACKPT1";
 /// Magic bytes opening a version-2 (incremental) checkpoint file: one
 /// full-snapshot record followed by CRC-chained delta records.
 pub const CHECKPOINT_MAGIC_V2: &[u8; 8] = b"PPACKPT2";
+
+/// The snapshot-format version byte following the `PPACKPT2` magic.
+///
+/// The container layout (record chain, CRCs) is versioned by the magic;
+/// this byte versions the *analyzer state schema* inside the payloads.
+/// Version 2 added lock/semaphore/fork-join episode state. A reader
+/// refuses newer versions with the typed
+/// [`CheckpointError::FutureVersion`] — resuming through a schema it
+/// cannot represent would silently drop analysis state — and refuses
+/// older ones (including pre-versioned chains, whose first byte is the
+/// `0` full-record kind) as stale.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// Default number of delta records appended before
 /// [`DeltaCheckpointWriter`] compacts the file back to one full
@@ -132,6 +145,8 @@ pub struct SinkState {
     pub awaits: u64,
     /// Barrier passages counted so far.
     pub barriers: u64,
+    /// Lock/semaphore/task episode completions counted so far.
+    pub episodes: u64,
     /// Highest approximated event time seen so far.
     pub last_time: Time,
 }
@@ -144,6 +159,15 @@ pub enum CheckpointError {
     /// The file is not a valid checkpoint: wrong magic or version, bad
     /// CRC, truncated payload, or malformed JSON.
     Corrupt(String),
+    /// The checkpoint was written by a newer ppa whose snapshot schema
+    /// this reader does not understand. The file is intact — resuming
+    /// from it needs the release that wrote it, not a restart.
+    FutureVersion {
+        /// The snapshot version byte found in the file.
+        found: u8,
+        /// The newest version this reader supports.
+        supported: u8,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -151,6 +175,11 @@ impl fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CheckpointError::FutureVersion { found, supported } => write!(
+                f,
+                "checkpoint snapshot version {found} is newer than the supported \
+                 version {supported}: resume with the ppa release that wrote it"
+            ),
         }
     }
 }
@@ -205,7 +234,7 @@ pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
     let mut bytes = Vec::new();
     f.read_to_end(&mut bytes)?;
     if bytes.len() >= 8 && &bytes[..8] == CHECKPOINT_MAGIC_V2 {
-        return scan_records(&bytes[8..]).map(|scan| scan.checkpoint);
+        return scan_records(check_snapshot_version(&bytes)?).map(|scan| scan.checkpoint);
     }
     read_checkpoint_v1(&bytes)
 }
@@ -363,8 +392,9 @@ impl DeltaCheckpointWriter {
         let mut intern = value_codec::InternTable::default();
         let payload = value_codec::encode_append(&cp.serialize(), &mut intern);
         let crc = crc32_chain(0, &payload);
-        let mut buf = Vec::with_capacity(8 + REC_HEADER + payload.len());
+        let mut buf = Vec::with_capacity(9 + REC_HEADER + payload.len());
         buf.extend_from_slice(CHECKPOINT_MAGIC_V2);
+        buf.push(SNAPSHOT_VERSION);
         push_record_header(&mut buf, REC_FULL, crc, payload.len());
         buf.extend_from_slice(&payload);
 
@@ -426,6 +456,25 @@ impl DeltaCheckpointWriter {
     }
 }
 
+/// Validates the snapshot version byte of a `PPACKPT2` file (the magic
+/// already matched) and returns the record-chain bytes after it.
+fn check_snapshot_version(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    match bytes.get(8).copied() {
+        None => Err(CheckpointError::Corrupt(
+            "file ends after the magic: no snapshot version byte".into(),
+        )),
+        Some(v) if v > SNAPSHOT_VERSION => Err(CheckpointError::FutureVersion {
+            found: v,
+            supported: SNAPSHOT_VERSION,
+        }),
+        Some(v) if v < SNAPSHOT_VERSION => Err(CheckpointError::Corrupt(format!(
+            "snapshot version {v} predates the episode-aware analyzer state: \
+             restart the stream to write a fresh checkpoint"
+        ))),
+        Some(_) => Ok(&bytes[9..]),
+    }
+}
+
 fn push_record_header(buf: &mut Vec<u8>, kind: u8, crc: u32, len: usize) {
     buf.push(kind);
     buf.extend_from_slice(&crc.to_le_bytes());
@@ -458,7 +507,7 @@ pub fn scan_checkpoint(path: &Path) -> Result<CheckpointScan, CheckpointError> {
             "bad magic (not a version-2 ppa checkpoint)".into(),
         ));
     }
-    scan_records(&bytes[8..])
+    scan_records(check_snapshot_version(&bytes)?)
 }
 
 /// One parsed record: kind, payload, and the CRC that closed it.
@@ -899,6 +948,7 @@ mod tests {
                 events: 5,
                 awaits: 1,
                 barriers: 0,
+                episodes: 2,
                 last_time: Time::from_nanos(99),
             },
         }
@@ -1035,6 +1085,7 @@ mod tests {
                     events: step * 9,
                     awaits: step,
                     barriers: 0,
+                    episodes: step * 2,
                     last_time: Time::from_nanos(step * 7),
                 },
             };
@@ -1123,11 +1174,63 @@ mod tests {
         // Corrupting the full record is fatal — it was written
         // atomically, so this is disk corruption, not a torn append.
         let mut corrupt = bytes;
-        corrupt[REC_HEADER + 8 + 3] ^= 0xff;
+        corrupt[REC_HEADER + 9 + 3] ^= 0xff;
         std::fs::write(&path, &corrupt).unwrap();
         assert!(matches!(
             read_checkpoint(&path),
             Err(CheckpointError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A chain stamped with a future snapshot version must fail with the
+    /// typed error — never a garbage restore or a generic corruption
+    /// verdict — and an unversioned (pre-episode) chain is refused as
+    /// stale.
+    #[test]
+    fn snapshot_version_gate_refuses_future_and_stale_chains() {
+        let dir = std::env::temp_dir().join("ppa-ckpt-version-gate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        let mut analyzer = EventBasedAnalyzer::new(&OverheadSpec::alliant_default());
+        let mut writer = DeltaCheckpointWriter::new(&path, 3);
+        let parts = CheckpointParts {
+            positions_seen: 1,
+            gaps: &[],
+            events_lost: 0,
+            reorder: None,
+            sink: SinkState::default(),
+        };
+        writer.checkpoint(&mut analyzer, parts).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[8], SNAPSHOT_VERSION);
+
+        // Forward fixture: the same chain stamped one version ahead.
+        let mut future = bytes.clone();
+        future[8] = SNAPSHOT_VERSION + 1;
+        std::fs::write(&path, &future).unwrap();
+        for err in [
+            read_checkpoint(&path).unwrap_err(),
+            scan_checkpoint(&path).unwrap_err(),
+        ] {
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::FutureVersion { found, supported }
+                        if found == SNAPSHOT_VERSION + 1 && supported == SNAPSHOT_VERSION
+                ),
+                "{err}"
+            );
+        }
+
+        // A pre-versioned chain starts its first record (kind byte 0)
+        // where the version byte now lives.
+        let mut legacy = Vec::from(&bytes[..8]);
+        legacy.extend_from_slice(&bytes[9..]);
+        std::fs::write(&path, &legacy).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CheckpointError::Corrupt(m)) if m.contains("predates")
         ));
         std::fs::remove_dir_all(&dir).ok();
     }

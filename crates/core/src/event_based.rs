@@ -31,8 +31,8 @@
 use crate::error::AnalysisError;
 use crate::streaming::{EventBasedAnalyzer, StreamOutput};
 use ppa_trace::{
-    pair_sync_events, BarrierId, Event, EventKind, OverheadSpec, ProcessorId, Span, SyncIndex,
-    SyncTag, SyncVarId, Time, Trace, TraceKind,
+    pair_sync_events, BarrierId, EpisodeFamily, Event, EventKind, OverheadSpec, ProcessorId, Span,
+    SyncIndex, SyncTag, SyncVarId, TaskId, Time, Trace, TraceKind,
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -78,6 +78,47 @@ pub struct BarrierOutcome {
     pub wait: Span,
 }
 
+/// One resolved lock/semaphore/fork-join episode, in approximated time.
+///
+/// The blocked-completion event — a lock acquire, a semaphore P, or the
+/// parent's join-return — is approximated by the §4.2.3 await rule with
+/// the enabling event (the previous release, the k-th V, or the child's
+/// end) playing the advance's role:
+///
+/// ```text
+/// ready = ta(basis) + tm − tm(basis) − oh        (the chain rule)
+/// ta    = ready                 if no dependency, or ta(dep) ≤ ready
+///       = ta(dep) + s_wait      otherwise
+/// ```
+///
+/// Unlike an await, the blocked operation records a single event (there
+/// is no `awaitB` analogue), so measured blocking time folds into the
+/// chain delta and cannot be subtracted — the approximation is
+/// conservative for contended episodes (see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpisodeOutcome {
+    /// Synchronization family of the episode.
+    pub family: EpisodeFamily,
+    /// Raw id of the lock/semaphore/task object.
+    pub object: u32,
+    /// Processor that executed the blocked operation.
+    pub proc: ProcessorId,
+    /// Approximated time the operation would have completed had the
+    /// resource been free (the chain-rule value).
+    pub ready: Time,
+    /// Approximated completion time.
+    pub end: Time,
+    /// Approximated blocked span (zero when the resource was free).
+    pub wait: Span,
+}
+
+impl EpisodeOutcome {
+    /// True if the operation blocked in the approximated execution.
+    pub fn waited(&self) -> bool {
+        !self.wait.is_zero()
+    }
+}
+
 /// The product of event-based analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventBasedResult {
@@ -88,6 +129,9 @@ pub struct EventBasedResult {
     pub awaits: Vec<AwaitOutcome>,
     /// Every processor×barrier-episode passage, in approximated time.
     pub barriers: Vec<BarrierOutcome>,
+    /// Every lock/semaphore/task episode, in approximated time (ordered
+    /// by blocked-event position in the measured trace).
+    pub episodes: Vec<EpisodeOutcome>,
 }
 
 impl EventBasedResult {
@@ -111,6 +155,15 @@ impl EventBasedResult {
             .iter()
             .filter(|b| b.proc == proc)
             .map(|b| b.wait)
+            .sum()
+    }
+
+    /// Total approximated lock/semaphore/task blocking on one processor.
+    pub fn episode_wait(&self, proc: ProcessorId) -> Span {
+        self.episodes
+            .iter()
+            .filter(|e| e.proc == proc)
+            .map(|e| e.wait)
             .sum()
     }
 }
@@ -157,34 +210,73 @@ pub(crate) fn discover_structure(events: &[Event]) -> Structure {
     }
     let serial_proc = events[0].proc;
 
+    // Task-graph fork anchors: the child's begin fork (the second fork of
+    // an open task) is causally created by the parent's spawn fork, so it
+    // anchors there rather than to the child processor's stale frontier —
+    // the episode analogue of the loop-begin fork point below. The trace
+    // is validated before structure discovery, so the tracking here can
+    // assume a well-formed fork,fork,join,join protocol per task id.
+    let mut fork_anchor: std::collections::HashMap<usize, usize> = Default::default();
+    {
+        // task → (spawn index, events seen in the open episode).
+        let mut open: std::collections::BTreeMap<TaskId, (usize, u8)> = Default::default();
+        for (i, e) in events.iter().enumerate() {
+            match e.kind {
+                EventKind::TaskFork { task } => match open.entry(task) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert((i, 1));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        fork_anchor.insert(i, o.get().0);
+                        o.get_mut().1 += 1;
+                    }
+                },
+                EventKind::TaskJoin { task } => {
+                    if let Some(st) = open.get_mut(&task) {
+                        st.1 += 1;
+                        if st.1 == 4 {
+                            open.remove(&task);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     // The basis for ordinary events; awaitE and barrier exits get their
     // own rules but still need dependency edges.
     let basis: Vec<Basis> = (0..n)
-        .map(|i| match prev[i] {
-            Some(p) => {
-                // Fork point: a non-serial processor whose previous event
-                // predates the current loop's entry was idle in between
-                // (its last event was a barrier exit — or nothing at all
-                // when barriers are not instrumented); anchor to the loop
-                // entry instead of the stale predecessor, so the serial
-                // thread's inter-loop instrumentation is not charged to
-                // this processor.
-                let fork_point = events[i].proc != serial_proc
-                    && last_loop_begin[i].map(|lb| lb > p).unwrap_or(false);
-                if fork_point {
-                    Basis::Event(last_loop_begin[i].unwrap_or(p))
-                } else {
-                    Basis::Event(p)
-                }
+        .map(|i| {
+            if let Some(&spawn) = fork_anchor.get(&i) {
+                return Basis::Event(spawn);
             }
-            // A thread's first event: anchor to the loop entry when the
-            // trace has loop markers; otherwise treat the thread start as
-            // absolute (`ta = tm − overhead`) — without markers there is
-            // no observable fork event to anchor to.
-            None => match last_loop_begin[i] {
-                Some(lb) if lb != i => Basis::Event(lb),
-                _ => Basis::Origin,
-            },
+            match prev[i] {
+                Some(p) => {
+                    // Fork point: a non-serial processor whose previous
+                    // event predates the current loop's entry was idle in
+                    // between (its last event was a barrier exit — or
+                    // nothing at all when barriers are not instrumented);
+                    // anchor to the loop entry instead of the stale
+                    // predecessor, so the serial thread's inter-loop
+                    // instrumentation is not charged to this processor.
+                    let fork_point = events[i].proc != serial_proc
+                        && last_loop_begin[i].map(|lb| lb > p).unwrap_or(false);
+                    if fork_point {
+                        Basis::Event(last_loop_begin[i].unwrap_or(p))
+                    } else {
+                        Basis::Event(p)
+                    }
+                }
+                // A thread's first event: anchor to the loop entry when
+                // the trace has loop markers; otherwise treat the thread
+                // start as absolute (`ta = tm − overhead`) — without
+                // markers there is no observable fork event to anchor to.
+                None => match last_loop_begin[i] {
+                    Some(lb) if lb != i => Basis::Event(lb),
+                    _ => Basis::Origin,
+                },
+            }
         })
         .collect();
 
@@ -192,10 +284,16 @@ pub(crate) fn discover_structure(events: &[Event]) -> Structure {
 }
 
 /// Builds the [`EventBasedResult`] from fully resolved approximate times.
+///
+/// `basis` is the [`Structure::basis`] of the same event sequence — the
+/// episode outcomes re-derive each blocked event's chain-rule `ready`
+/// time from it.
 pub(crate) fn assemble_result(
     events: &[Event],
     ta: &[Time],
     index: &SyncIndex,
+    basis: &[Basis],
+    overheads: &OverheadSpec,
 ) -> EventBasedResult {
     let approx_events: Vec<Event> = events
         .iter()
@@ -254,10 +352,38 @@ pub(crate) fn assemble_result(
         }
     }
 
+    let episodes = index
+        .episodes
+        .iter()
+        .map(|p| {
+            let e = &events[p.event];
+            let oh = overheads.instr_overhead(&e.kind);
+            let ready = match basis[p.event] {
+                Basis::Origin => e.time.saturating_sub_span(oh),
+                Basis::Event(b) => {
+                    ta[b] + e.time.saturating_since(events[b].time).saturating_sub(oh)
+                }
+            };
+            let wait = match p.dep {
+                Some(d) => ta[d].saturating_since(ready),
+                None => Span::ZERO,
+            };
+            EpisodeOutcome {
+                family: p.family,
+                object: p.object,
+                proc: p.proc,
+                ready,
+                end: ta[p.event],
+                wait,
+            }
+        })
+        .collect();
+
     EventBasedResult {
         trace: Trace::from_events(TraceKind::Approximated, approx_events),
         awaits,
         barriers,
+        episodes,
     }
 }
 
@@ -322,11 +448,13 @@ pub fn event_based(
     let mut events: Vec<Event> = Vec::with_capacity(measured.len());
     let mut awaits: Vec<(usize, AwaitOutcome)> = Vec::new();
     let mut barriers: Vec<(usize, BarrierOutcome)> = Vec::new();
+    let mut episodes: Vec<(usize, EpisodeOutcome)> = Vec::new();
     {
         let mut dispatch = |o: StreamOutput| match o {
             StreamOutput::Event(e) => events.push(e),
             StreamOutput::Await { ordinal, outcome } => awaits.push((ordinal, outcome)),
             StreamOutput::Barrier { ordinal, outcome } => barriers.push((ordinal, outcome)),
+            StreamOutput::Episode { ordinal, outcome } => episodes.push((ordinal, outcome)),
         };
         for e in measured.iter() {
             analyzer.push(*e)?;
@@ -343,10 +471,12 @@ pub fn event_based(
     // reports them in.
     awaits.sort_by_key(|&(i, _)| i);
     barriers.sort_by_key(|&(i, _)| i);
+    episodes.sort_by_key(|&(i, _)| i);
     Ok(EventBasedResult {
         trace: Trace::from_events(TraceKind::Approximated, events),
         awaits: awaits.into_iter().map(|(_, a)| a).collect(),
         barriers: barriers.into_iter().map(|(_, b)| b).collect(),
+        episodes: episodes.into_iter().map(|(_, e)| e).collect(),
     })
 }
 
@@ -370,6 +500,7 @@ pub fn event_based_reference(
             trace: Trace::new(TraceKind::Approximated),
             awaits: Vec::new(),
             barriers: Vec::new(),
+            episodes: Vec::new(),
         });
     }
 
@@ -387,6 +518,11 @@ pub fn event_based_reference(
         for &x in &ep.exits {
             episode_of_exit.insert(x, ep_idx);
         }
+    }
+    // blocked event -> lock/sem/task episode pair lookup.
+    let mut blocked_of_event: std::collections::HashMap<usize, usize> = Default::default();
+    for (p_idx, p) in index.episodes.iter().enumerate() {
+        blocked_of_event.insert(p.event, p_idx);
     }
 
     // --- Dependency edges ----------------------------------------------
@@ -413,6 +549,11 @@ pub fn event_based_reference(
         if let Some(&ep_idx) = episode_of_exit.get(&i) {
             for &enter in &index.barriers[ep_idx].enters {
                 add_edge(enter, i, &mut out_edges, &mut indegree);
+            }
+        }
+        if let Some(&p_idx) = blocked_of_event.get(&i) {
+            if let Some(dep) = index.episodes[p_idx].dep {
+                add_edge(dep, i, &mut out_edges, &mut indegree);
             }
         }
     }
@@ -456,6 +597,29 @@ pub fn event_based_reference(
                 .max()
                 .expect("episodes have enters");
             release + overheads.barrier_release
+        } else if let Some(&p_idx) = blocked_of_event.get(&i) {
+            // Episode blocked rule (the awaitE rule with the enabling
+            // event in the advance's role): the chain value is the ready
+            // time; a later-enabled resource resumes at `dep + s_wait`.
+            let oh = overheads.instr_overhead(&e.kind);
+            let ready = match basis[i] {
+                Basis::Origin => e.time.saturating_sub_span(oh),
+                Basis::Event(b) => {
+                    let tb = ta[b].expect("basis resolved first");
+                    tb + e.time.saturating_since(events[b].time).saturating_sub(oh)
+                }
+            };
+            match index.episodes[p_idx].dep {
+                Some(d) => {
+                    let td = ta[d].expect("enabling event resolved before the blocked one");
+                    if td <= ready {
+                        ready
+                    } else {
+                        td + overheads.s_wait
+                    }
+                }
+                None => ready,
+            }
         } else {
             // Generic rule: ta = ta(basis) + Δtm − overhead.
             let oh = overheads.instr_overhead(&e.kind);
@@ -488,7 +652,7 @@ pub fn event_based_reference(
         .into_iter()
         .map(|t| t.expect("all events resolved"))
         .collect();
-    Ok(assemble_result(events, &ta, &index))
+    Ok(assemble_result(events, &ta, &index, &basis, overheads))
 }
 
 /// Convenience: the approximated total execution time only.
@@ -902,6 +1066,340 @@ mod tests {
             .expect("clamp counter registered");
         assert_eq!(exported, tail.stats.clamped as u64);
         assert!(exported >= 2, "both underflowing statements counted");
+    }
+
+    /// The blocked rule for locks: the acquire's ready time is its chain
+    /// value, and the matching release plays the advance's role.
+    #[test]
+    fn lock_acquire_waits_on_the_release() {
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(100)
+            .lock_acquire(0)
+            .at(150)
+            .lock_release(0)
+            .on(1)
+            .at(50)
+            .stmt(0)
+            .at(100)
+            .stmt(1)
+            .at(160)
+            .lock_acquire(0)
+            .at(170)
+            .lock_release(0)
+            .build();
+        let oh = spec(40, 0, 0, 0, 5, 10);
+        let r = event_based(&t, &oh).unwrap();
+        // P0's acquire is uncontended (no prior release): ready = end =
+        // its origin value 100. P1's statements lose 40 ns of overhead
+        // each, so its acquire is ready at 20 + (160 − 100) = 80 — but
+        // the release only resolves at 150, so the episode waits:
+        // end = 150 + s_wait = 160.
+        assert_eq!(r.episodes.len(), 2);
+        let (a, b) = (&r.episodes[0], &r.episodes[1]);
+        assert_eq!(
+            (a.family, a.object, a.proc),
+            (EpisodeFamily::Lock, 0, ProcessorId(0))
+        );
+        assert!(!a.waited());
+        assert_eq!((a.ready.as_nanos(), a.end.as_nanos()), (100, 100));
+        assert_eq!((b.family, b.proc), (EpisodeFamily::Lock, ProcessorId(1)));
+        assert_eq!((b.ready.as_nanos(), b.end.as_nanos()), (80, 160));
+        assert_eq!(b.wait, Span::from_nanos(70));
+        assert_eq!(r.episode_wait(ProcessorId(1)), Span::from_nanos(70));
+        assert_eq!(r.episode_wait(ProcessorId(0)), Span::ZERO);
+        // P1's release chains from the delayed acquire.
+        let p1_rel = r
+            .trace
+            .iter()
+            .find(|e| e.proc == ProcessorId(1) && matches!(e.kind, EventKind::LockRelease { .. }))
+            .unwrap();
+        assert_eq!(p1_rel.time.as_nanos(), 170);
+    }
+
+    /// The blocked rule for semaphores: each P consumes the earliest
+    /// unconsumed V.
+    #[test]
+    fn sem_acquire_pairs_fifo_with_releases() {
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(100)
+            .sem_release(0)
+            .at(140)
+            .sem_release(0)
+            .on(1)
+            .at(50)
+            .stmt(0)
+            .at(120)
+            .sem_acquire(0)
+            .on(2)
+            .at(150)
+            .sem_acquire(0)
+            .build();
+        let oh = spec(40, 0, 0, 0, 5, 10);
+        let r = event_based(&t, &oh).unwrap();
+        // First P (P1): ready = 10 + (120 − 50) = 80, dep = first V at
+        // 100 > 80 → end 110, wait 20. Second P (P2): origin ready 150,
+        // dep = second V at 140 ≤ 150 → no wait.
+        assert_eq!(r.episodes.len(), 2);
+        let first = &r.episodes[0];
+        assert_eq!(
+            (first.family, first.proc),
+            (EpisodeFamily::Sem, ProcessorId(1))
+        );
+        assert_eq!((first.ready.as_nanos(), first.end.as_nanos()), (80, 110));
+        assert_eq!(first.wait, Span::from_nanos(20));
+        let second = &r.episodes[1];
+        assert_eq!(second.proc, ProcessorId(2));
+        assert!(!second.waited());
+        assert_eq!(second.end.as_nanos(), 150);
+    }
+
+    /// Fork/join: the child's begin chains from the spawn (not the child
+    /// processor's own frontier), and the parent's join-return follows
+    /// the blocked rule with the child's end as the enabling event.
+    #[test]
+    fn fork_join_episode_follows_the_blocked_rule() {
+        let t = TraceBuilder::measured()
+            .on(1)
+            .at(5)
+            .stmt(9) // stale frontier on the child processor
+            .on(0)
+            .at(10)
+            .task_fork(7) // spawn
+            .on(1)
+            .at(20)
+            .task_fork(7) // child begin
+            .at(60)
+            .stmt(0)
+            .at(100)
+            .task_join(7) // child end
+            .on(0)
+            .at(40)
+            .stmt(1)
+            .at(80)
+            .stmt(2)
+            .at(110)
+            .task_join(7) // parent join-return
+            .build();
+        let oh = spec(40, 0, 0, 0, 5, 10);
+        let r = event_based(&t, &oh).unwrap();
+        // Child begin = ta(spawn) + (20 − 10) = 20; a frontier chain from
+        // the stale statement (ta 0) would have given 15 instead.
+        let begin = r
+            .trace
+            .iter()
+            .find(|e| e.proc == ProcessorId(1) && matches!(e.kind, EventKind::TaskFork { .. }))
+            .unwrap();
+        assert_eq!(begin.time.as_nanos(), 20);
+        // Child end: 20 + (60−20) − 40 = 20, + (100−60) = 60. Parent
+        // ready: spawn 10 → stmts at 10, 10 → 10 + (110−80) = 40; the
+        // child's end (60) is later, so the return waits 20 and lands at
+        // 60 + s_wait = 70.
+        assert_eq!(r.episodes.len(), 1);
+        let ep = &r.episodes[0];
+        assert_eq!(
+            (ep.family, ep.object, ep.proc),
+            (EpisodeFamily::Task, 7, ProcessorId(0))
+        );
+        assert_eq!((ep.ready.as_nanos(), ep.end.as_nanos()), (40, 70));
+        assert_eq!(ep.wait, Span::from_nanos(20));
+    }
+
+    /// Streaming, reference, and sharded agree on a trace mixing every
+    /// episode family with awaits and barriers.
+    #[test]
+    fn episode_families_match_reference_and_sharded() {
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(10)
+            .loop_begin(0)
+            .at(20)
+            .task_fork(3)
+            .on(2)
+            .at(30)
+            .task_fork(3)
+            .at(90)
+            .task_join(3)
+            .on(0)
+            .at(50)
+            .lock_acquire(1)
+            .at(100)
+            .lock_release(1)
+            .at(110)
+            .advance(0, 0)
+            .on(1)
+            .at(40)
+            .await_begin(0, 0)
+            .at(115)
+            .await_end(0, 0)
+            .at(120)
+            .lock_acquire(1)
+            .at(130)
+            .lock_release(1)
+            .at(140)
+            .sem_release(2)
+            .on(0)
+            .at(150)
+            .sem_acquire(2)
+            .at(160)
+            .task_join(3)
+            .on(0)
+            .at(200)
+            .barrier_enter(0)
+            .on(1)
+            .at(210)
+            .barrier_enter(0)
+            .on(0)
+            .at(220)
+            .barrier_exit(0)
+            .on(1)
+            .at(230)
+            .barrier_exit(0)
+            .build();
+        let oh = spec(7, 3, 4, 2, 5, 10);
+        let streamed = event_based(&t, &oh).unwrap();
+        let reference = event_based_reference(&t, &oh).unwrap();
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed.episodes.len(), 4, "two locks, one sem, one task");
+        for workers in [1, 2, 4] {
+            let sharded = crate::sharded::event_based_sharded(&t, &oh, workers).unwrap();
+            assert_eq!(sharded, reference, "workers = {workers}");
+        }
+    }
+
+    /// With zero overhead and zero sync cost, episode events are fixed
+    /// points too, and no episode waits.
+    #[test]
+    fn zero_overhead_episodes_are_identity() {
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(10)
+            .lock_acquire(0)
+            .at(20)
+            .lock_release(0)
+            .at(30)
+            .sem_release(0)
+            .at(40)
+            .task_fork(1)
+            .on(1)
+            .at(50)
+            .task_fork(1)
+            .at(60)
+            .sem_acquire(0)
+            .at(70)
+            .lock_acquire(0)
+            .at(80)
+            .lock_release(0)
+            .at(90)
+            .task_join(1)
+            .on(0)
+            .at(100)
+            .task_join(1)
+            .build();
+        let r = event_based(&t, &OverheadSpec::ZERO).unwrap();
+        for (orig, approx) in t.iter().zip(r.trace.iter()) {
+            assert_eq!(orig.time, approx.time, "event {orig} moved");
+        }
+        assert!(r.episodes.iter().all(|e| !e.waited()));
+    }
+
+    /// Episode protocol errors defer to `finish` and match the batch
+    /// validator's choice, including the end-of-trace checks.
+    #[test]
+    fn episode_errors_match_batch_precedence() {
+        let cases: Vec<Trace> = vec![
+            // Acquire while held.
+            TraceBuilder::measured()
+                .on(0)
+                .at(10)
+                .lock_acquire(0)
+                .on(1)
+                .at(20)
+                .lock_acquire(0)
+                .build(),
+            // Release by a non-holder.
+            TraceBuilder::measured()
+                .on(0)
+                .at(10)
+                .lock_release(0)
+                .build(),
+            // Sem P with no matching V.
+            TraceBuilder::measured().on(0).at(10).sem_acquire(0).build(),
+            // Join of an unknown task.
+            TraceBuilder::measured().on(0).at(10).task_join(4).build(),
+            // Lock held at the end.
+            TraceBuilder::measured()
+                .on(0)
+                .at(10)
+                .lock_acquire(0)
+                .build(),
+            // Task never joined.
+            TraceBuilder::measured()
+                .on(0)
+                .at(10)
+                .task_fork(2)
+                .on(1)
+                .at(20)
+                .task_fork(2)
+                .build(),
+        ];
+        for t in cases {
+            let batch = event_based_reference(&t, &OverheadSpec::ZERO).unwrap_err();
+            let mut analyzer = EventBasedAnalyzer::new(&OverheadSpec::ZERO);
+            for e in t.iter() {
+                analyzer.push(*e).unwrap();
+            }
+            let streamed = analyzer.finish().unwrap_err();
+            assert_eq!(format!("{streamed}"), format!("{batch}"));
+        }
+    }
+
+    /// A kill-and-resume across an open lock/sem/task frontier continues
+    /// byte-identically.
+    #[test]
+    fn snapshot_restores_open_episode_state() {
+        let t = TraceBuilder::measured()
+            .on(0)
+            .at(10)
+            .task_fork(1)
+            .at(20)
+            .lock_acquire(0)
+            .at(60)
+            .lock_release(0)
+            .at(70)
+            .sem_release(2)
+            .on(1)
+            .at(80)
+            .task_fork(1)
+            .at(90)
+            .sem_acquire(2)
+            .at(100)
+            .lock_acquire(0)
+            .at(110)
+            .lock_release(0)
+            .at(120)
+            .task_join(1)
+            .on(0)
+            .at(130)
+            .task_join(1)
+            .build();
+        let oh = spec(7, 3, 4, 2, 5, 10);
+        for cut in 1..t.len() {
+            let mut a = EventBasedAnalyzer::new(&oh);
+            for e in t.iter().take(cut) {
+                a.push(*e).unwrap();
+            }
+            let snap = a.snapshot();
+            let mut b = EventBasedAnalyzer::restore(&snap);
+            for e in t.iter().skip(cut) {
+                a.push(*e).unwrap();
+                b.push(*e).unwrap();
+            }
+            let ta = a.finish().unwrap();
+            let tb = b.finish().unwrap();
+            assert_eq!(ta.outputs, tb.outputs, "cut at {cut}");
+        }
     }
 
     #[test]

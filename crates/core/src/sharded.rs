@@ -148,6 +148,7 @@ pub fn event_based_sharded_probed(
             trace: Trace::new(TraceKind::Approximated),
             awaits: Vec::new(),
             barriers: Vec::new(),
+            episodes: Vec::new(),
         });
     }
     let workers = workers.max(1);
@@ -165,14 +166,20 @@ pub fn event_based_sharded_probed(
             episode_of_exit.insert(x, ep_idx);
         }
     }
+    let mut blocked_of_event: HashMap<usize, usize> = HashMap::new();
+    for (p_idx, p) in index.episodes.iter().enumerate() {
+        blocked_of_event.insert(p.event, p_idx);
+    }
 
     // A joint is any event the chain rule does not cover: awaitE, barrier
-    // exit, or an event whose basis is not its same-thread predecessor
-    // (origin and fork anchors).
+    // exit, a lock/sem/task blocked event, or an event whose basis is not
+    // its same-thread predecessor (origin, loop-fork, and task-spawn
+    // anchors).
     let is_joint: Vec<bool> = (0..n)
         .map(|i| {
             await_of_end.contains_key(&i)
                 || episode_of_exit.contains_key(&i)
+                || blocked_of_event.contains_key(&i)
                 || match basis[i] {
                     Basis::Event(b) => Some(b) != prev[i],
                     Basis::Origin => true,
@@ -274,6 +281,11 @@ pub fn event_based_sharded_probed(
                 deps.push(anchor_of(en));
             }
         }
+        if let Some(&p_idx) = blocked_of_event.get(&j) {
+            if let Some(dep) = index.episodes[p_idx].dep {
+                deps.push(anchor_of(dep));
+            }
+        }
         for d in deps {
             out_edges.entry(d).or_default().push(j);
             *indeg.get_mut(&j).expect("joints are registered") += 1;
@@ -318,6 +330,26 @@ pub fn event_based_sharded_probed(
                 .max()
                 .expect("episodes have enters");
             release + overheads.barrier_release
+        } else if let Some(&p_idx) = blocked_of_event.get(&j) {
+            // Episode blocked rule — mirrors the reference formulation.
+            let oh = overheads.instr_overhead(&e.kind);
+            let ready = match basis[j] {
+                Basis::Origin => e.time.saturating_sub_span(oh),
+                Basis::Event(b) => {
+                    val_of(b) + e.time.saturating_since(events[b].time).saturating_sub(oh)
+                }
+            };
+            match index.episodes[p_idx].dep {
+                Some(d) => {
+                    let td = val_of(d);
+                    if td <= ready {
+                        ready
+                    } else {
+                        td + overheads.s_wait
+                    }
+                }
+                None => ready,
+            }
         } else {
             let oh = overheads.instr_overhead(&e.kind);
             match basis[j] {
@@ -403,7 +435,7 @@ pub fn event_based_sharded_probed(
         probes.shard_throughput(w).set(eps);
     }
 
-    Ok(assemble_result(events, &ta, &index))
+    Ok(assemble_result(events, &ta, &index, &basis, overheads))
 }
 
 #[cfg(test)]

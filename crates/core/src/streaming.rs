@@ -47,11 +47,11 @@
 //! retired before the trace ends.
 
 use crate::error::AnalysisError;
-use crate::event_based::{AwaitOutcome, BarrierOutcome};
+use crate::event_based::{AwaitOutcome, BarrierOutcome, EpisodeOutcome};
 use ppa_obs::{Counter, Gauge, Registry};
 use ppa_trace::{
-    BarrierId, Event, EventKind, OverheadSpec, ProcessorId, Span, SyncTag, SyncVarId, Time,
-    TraceError,
+    BarrierId, EpisodeFamily, Event, EventKind, LockId, OverheadSpec, ProcessorId, SemId, Span,
+    SyncTag, SyncVarId, TaskId, Time, TraceError,
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -215,6 +215,16 @@ pub enum StreamOutput {
         /// The passage, in approximated time.
         outcome: BarrierOutcome,
     },
+    /// A completed lock/semaphore/task episode. `ordinal` is the arrival
+    /// index of the blocked event (lock acquire, semaphore P, or the
+    /// parent's join-return); sorting by it reproduces the batch
+    /// `episodes` order.
+    Episode {
+        /// Arrival index of the blocked event.
+        ordinal: usize,
+        /// The episode, in approximated time.
+        outcome: EpisodeOutcome,
+    },
 }
 
 /// Resource counters for one analyzer run.
@@ -263,7 +273,8 @@ enum Slot {
     Basis,
     /// The `awaitB` of an `awaitE`.
     Begin,
-    /// The partner `advance` of an `awaitE`.
+    /// The partner `advance` of an `awaitE`, or the enabling event of a
+    /// blocked lock/sem/task episode completion.
     Advance,
     /// Ordering-only dependency (a barrier exit's own enter): the value
     /// participates in the watermark floor but not in the event's time.
@@ -282,6 +293,15 @@ enum Rule {
     AwaitEnd { begin_ta: Option<Time>, adv: Adv },
     /// A barrier exit: the value arrives whole when the episode resolves.
     Exit { value: Option<Time> },
+    /// A blocked lock/sem/task completion (acquire, P, join-return): the
+    /// awaitE rule with the chain value as the ready time and the enabling
+    /// event in the advance's role. `basis_tm == None` is the origin rule
+    /// for the ready time.
+    Blocked {
+        basis_tm: Option<Time>,
+        basis_ta: Option<Time>,
+        dep: Adv,
+    },
 }
 
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -338,6 +358,53 @@ struct LoopAnchor {
 struct AdvanceRec {
     id: usize,
     ta: Option<Time>,
+}
+
+/// Per-lock scan state (the streaming twin of the batch validator's).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LockSt {
+    holder: Option<ProcessorId>,
+    /// Arrival index of the lock's latest release — the enabling event of
+    /// the next acquire.
+    last_release: Option<usize>,
+}
+
+/// Per-semaphore scan state: V's in arrival order, consumed FIFO.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct SemSt {
+    releases: Vec<usize>,
+    acquired: usize,
+}
+
+impl SemSt {
+    /// The next unconsumed V's arrival index, if the count is positive.
+    fn pop_release(&mut self) -> Option<usize> {
+        let d = self.releases.get(self.acquired).copied();
+        if d.is_some() {
+            self.acquired += 1;
+        }
+        d
+    }
+}
+
+/// Per-task scan state across the four-event fork/join protocol
+/// (spawn, child begin, child end, parent join-return).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TaskSt {
+    spawn_id: usize,
+    spawn_tm: Time,
+    /// Set (and registered as a watermark floor) when the spawn resolves;
+    /// the floor's ownership transfers to the child's begin fork.
+    spawn_ta: Option<Time>,
+    spawn_proc: ProcessorId,
+    /// Set by the child's begin fork.
+    child_proc: Option<ProcessorId>,
+    /// Arrival index of the child's end join, once seen.
+    end_id: Option<usize>,
+    end_proc: Option<ProcessorId>,
+    /// Processor of the latest fork/join touching this task — the batch
+    /// validator's open-task error attribution.
+    last_proc: ProcessorId,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -415,6 +482,7 @@ pub struct AnalyzerSnapshot {
     fatal: Option<TraceError>,
     scan_error: Option<TraceError>,
     barrier_error: Option<TraceError>,
+    episode_error: Option<TraceError>,
     procs: Vec<Option<ProcState>>,
     /// The advance table, packed as flat quads
     /// `[var, zigzag(tag), id, ta_nanos + 1 (0 = unresolved)]`. This is
@@ -430,6 +498,11 @@ pub struct AnalyzerSnapshot {
     next_ep_uid: u64,
     parked: Vec<(usize, Node)>,
     awaiting_advance: Vec<((SyncVarId, SyncTag), Vec<usize>)>,
+    locks: Vec<(LockId, LockSt)>,
+    sems: Vec<(SemId, SemSt)>,
+    tasks: Vec<(TaskId, TaskSt)>,
+    dep_ta: Vec<(usize, Option<Time>)>,
+    spawn_watch: Vec<(usize, TaskId)>,
     anchors: Vec<(Time, u32)>,
     buffer: Vec<EmitEntry>,
     out: Vec<StreamOutput>,
@@ -533,6 +606,7 @@ pub struct EventBasedAnalyzer {
     fatal: Option<TraceError>,
     scan_error: Option<TraceError>,
     barrier_error: Option<TraceError>,
+    episode_error: Option<TraceError>,
 
     // Validation (scan) state.
     procs: Vec<Option<ProcState>>,
@@ -555,6 +629,18 @@ pub struct EventBasedAnalyzer {
     open_by_barrier: BTreeMap<BarrierId, u64>,
     ep_of_enter: FxMap<usize, u64>,
     next_ep_uid: u64,
+
+    // Lock, semaphore, and fork/join episodes.
+    locks: BTreeMap<LockId, LockSt>,
+    sems: BTreeMap<SemId, SemSt>,
+    tasks: BTreeMap<TaskId, TaskSt>,
+    /// Resolved times of live enabling events (releases, V's, child
+    /// ends), removed when the blocked side consumes them.
+    dep_ta: FxMap<usize, Option<Time>>,
+    /// Open spawns (a task's first fork) awaiting the child's begin, by
+    /// arrival index: the spawn's resolved time is held as a watermark
+    /// floor until the child's fork takes ownership of it.
+    spawn_watch: FxMap<usize, TaskId>,
 
     // Dataflow resolution.
     parked: FxMap<usize, Node>,
@@ -598,6 +684,7 @@ impl EventBasedAnalyzer {
             fatal: None,
             scan_error: None,
             barrier_error: None,
+            episode_error: None,
             procs: Vec::new(),
             advances: FxMap::default(),
             dirty_advances: BTreeSet::new(),
@@ -608,6 +695,11 @@ impl EventBasedAnalyzer {
             open_by_barrier: BTreeMap::new(),
             ep_of_enter: FxMap::default(),
             next_ep_uid: 0,
+            locks: BTreeMap::new(),
+            sems: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            dep_ta: FxMap::default(),
+            spawn_watch: FxMap::default(),
             parked: FxMap::default(),
             awaiting_advance: FxMap::default(),
             anchors: BTreeMap::new(),
@@ -698,6 +790,7 @@ impl EventBasedAnalyzer {
         // bulk of any trace.
         if self.scan_error.is_none()
             && self.barrier_error.is_none()
+            && self.episode_error.is_none()
             && !matches!(
                 event.kind,
                 EventKind::Advance { .. }
@@ -706,6 +799,12 @@ impl EventBasedAnalyzer {
                     | EventKind::BarrierEnter { .. }
                     | EventKind::BarrierExit { .. }
                     | EventKind::LoopBegin { .. }
+                    | EventKind::LockAcquire { .. }
+                    | EventKind::LockRelease { .. }
+                    | EventKind::SemAcquire { .. }
+                    | EventKind::SemRelease { .. }
+                    | EventKind::TaskFork { .. }
+                    | EventKind::TaskJoin { .. }
             )
         {
             let latest_lb = self.latest_lb;
@@ -925,9 +1024,155 @@ impl EventBasedAnalyzer {
             }
         }
 
+        // --- Lock/sem/task (episode) step, frozen by its first error. ----
+        // The barrier gate mirrors the batch validator, which collects
+        // barriers before episodes: once a barrier error is pending, no
+        // later episode verdict can matter.
+        //
+        // `blocked`: this event completes an episode under the blocked
+        // rule, with the enabling event's arrival index and resolved time
+        // (if any). `basis_override`: a child's begin fork chains from its
+        // spawn, not from its own processor's frontier.
+        let mut blocked: Option<Option<(usize, Option<Time>)>> = None;
+        let mut basis_override: Option<(usize, Time, Option<Time>)> = None;
+        if self.barrier_error.is_none() && self.episode_error.is_none() {
+            match event.kind {
+                EventKind::LockAcquire { lock } => {
+                    let st = self.locks.entry(lock).or_insert(LockSt {
+                        holder: None,
+                        last_release: None,
+                    });
+                    if st.holder.is_some() {
+                        self.episode_error = Some(TraceError::LockProtocol {
+                            lock,
+                            proc: event.proc,
+                        });
+                    } else {
+                        st.holder = Some(event.proc);
+                        let dep = st.last_release;
+                        blocked = Some(dep.map(|d| (d, self.take_dep(d))));
+                    }
+                }
+                EventKind::LockRelease { lock } => {
+                    let held = self
+                        .locks
+                        .get_mut(&lock)
+                        .filter(|st| st.holder == Some(event.proc));
+                    match held {
+                        Some(st) => {
+                            st.holder = None;
+                            st.last_release = Some(idx);
+                            self.dep_ta.insert(idx, None);
+                        }
+                        None => {
+                            self.episode_error = Some(TraceError::LockProtocol {
+                                lock,
+                                proc: event.proc,
+                            });
+                        }
+                    }
+                }
+                EventKind::SemAcquire { sem } => {
+                    let dep = self.sems.entry(sem).or_default().pop_release();
+                    match dep {
+                        Some(d) => blocked = Some(Some((d, self.take_dep(d)))),
+                        None => {
+                            self.episode_error = Some(TraceError::SemUnderflow {
+                                sem,
+                                proc: event.proc,
+                            });
+                        }
+                    }
+                }
+                EventKind::SemRelease { sem } => {
+                    self.sems.entry(sem).or_default().releases.push(idx);
+                    self.dep_ta.insert(idx, None);
+                }
+                EventKind::TaskFork { task } => match self.tasks.entry(task) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(TaskSt {
+                            spawn_id: idx,
+                            spawn_tm: event.time,
+                            spawn_ta: None,
+                            spawn_proc: event.proc,
+                            child_proc: None,
+                            end_id: None,
+                            end_proc: None,
+                            last_proc: event.proc,
+                        });
+                        self.spawn_watch.insert(idx, task);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        let st = o.get_mut();
+                        st.last_proc = event.proc;
+                        if st.child_proc.is_some() || st.end_id.is_some() {
+                            self.episode_error = Some(TraceError::TaskProtocol {
+                                task,
+                                proc: event.proc,
+                            });
+                        } else {
+                            st.child_proc = Some(event.proc);
+                            basis_override = Some((st.spawn_id, st.spawn_tm, st.spawn_ta));
+                            let spawn_id = st.spawn_id;
+                            self.spawn_watch.remove(&spawn_id);
+                        }
+                    }
+                },
+                EventKind::TaskJoin { task } => {
+                    let mut ret_dep: Option<usize> = None;
+                    match self.tasks.get_mut(&task) {
+                        None => {
+                            self.episode_error = Some(TraceError::TaskProtocol {
+                                task,
+                                proc: event.proc,
+                            });
+                        }
+                        Some(st) => {
+                            st.last_proc = event.proc;
+                            if st.child_proc.is_none() {
+                                // A join before the child ever began.
+                                self.episode_error = Some(TraceError::TaskProtocol {
+                                    task,
+                                    proc: event.proc,
+                                });
+                            } else if st.end_id.is_none() {
+                                // The child's end: an enabling event.
+                                st.end_id = Some(idx);
+                                st.end_proc = Some(event.proc);
+                                self.dep_ta.insert(idx, None);
+                            } else if st.spawn_proc != event.proc || st.child_proc != st.end_proc {
+                                // Parent join-return, crosswise check: the
+                                // spawn/return pair and the begin/end pair
+                                // must each share a processor.
+                                self.episode_error = Some(TraceError::TaskProtocol {
+                                    task,
+                                    proc: event.proc,
+                                });
+                            } else {
+                                ret_dep = st.end_id;
+                            }
+                        }
+                    }
+                    if let Some(d) = ret_dep {
+                        self.tasks.remove(&task);
+                        blocked = Some(Some((d, self.take_dep(d))));
+                    }
+                }
+                _ => {}
+            }
+        }
+
         // --- Resolution step, meaningful only while no error is pending. -
-        if self.barrier_error.is_none() {
-            self.resolve_event(event, idx, await_info, enter_ep, exit_ep);
+        if self.barrier_error.is_none() && self.episode_error.is_none() {
+            self.resolve_event(
+                event,
+                idx,
+                await_info,
+                enter_ep,
+                exit_ep,
+                blocked,
+                basis_override,
+            );
         }
 
         // Stats + emission.
@@ -998,6 +1243,23 @@ impl EventBasedAnalyzer {
                 barrier,
                 enters: ep.enters.len(),
                 exits: ep.exits.len(),
+            }
+            .into());
+        }
+        if let Some(e) = self.episode_error {
+            return Err(e.into());
+        }
+        if let Some((&lock, st)) = self.locks.iter().find(|(_, st)| st.holder.is_some()) {
+            return Err(TraceError::LockHeldAtEnd {
+                lock,
+                proc: st.holder.expect("found by holder"),
+            }
+            .into());
+        }
+        if let Some((&task, st)) = self.tasks.iter().next() {
+            return Err(TraceError::TaskProtocol {
+                task,
+                proc: st.last_proc,
             }
             .into());
         }
@@ -1101,6 +1363,7 @@ impl EventBasedAnalyzer {
             fatal: self.fatal.clone(),
             scan_error: self.scan_error.clone(),
             barrier_error: self.barrier_error.clone(),
+            episode_error: self.episode_error.clone(),
             procs: self.procs.clone(),
             advances,
             missing_adv: self.missing_adv.iter().map(|(k, v)| (*k, *v)).collect(),
@@ -1110,6 +1373,11 @@ impl EventBasedAnalyzer {
             next_ep_uid: self.next_ep_uid,
             parked: sorted(&self.parked),
             awaiting_advance: sorted(&self.awaiting_advance),
+            locks: self.locks.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            sems: self.sems.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            tasks: self.tasks.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            dep_ta: sorted(&self.dep_ta),
+            spawn_watch: sorted(&self.spawn_watch),
             anchors: self.anchors.iter().map(|(k, v)| (*k, *v)).collect(),
             buffer,
             out: self.out.iter().copied().collect(),
@@ -1183,6 +1451,7 @@ impl EventBasedAnalyzer {
         a.fatal = s.fatal;
         a.scan_error = s.scan_error;
         a.barrier_error = s.barrier_error;
+        a.episode_error = s.episode_error;
         a.procs = s.procs;
         a.advances = unpack_advances(&s.advances);
         a.missing_adv = s.missing_adv.into_iter().collect();
@@ -1204,6 +1473,11 @@ impl EventBasedAnalyzer {
         a.next_ep_uid = s.next_ep_uid;
         a.parked = s.parked.into_iter().collect();
         a.awaiting_advance = s.awaiting_advance.into_iter().collect();
+        a.locks = s.locks.into_iter().collect();
+        a.sems = s.sems.into_iter().collect();
+        a.tasks = s.tasks.into_iter().collect();
+        a.dep_ta = s.dep_ta.into_iter().collect();
+        a.spawn_watch = s.spawn_watch.into_iter().collect();
         a.anchors = s.anchors.into_iter().collect();
         a.buffer = s.buffer.into_iter().map(Reverse).collect();
         a.out = s.out.into_iter().collect();
@@ -1216,6 +1490,7 @@ impl EventBasedAnalyzer {
 
     /// Computes this event's dependencies, then either resolves it on the
     /// spot or parks it.
+    #[allow(clippy::too_many_arguments)]
     fn resolve_event(
         &mut self,
         event: Event,
@@ -1223,6 +1498,8 @@ impl EventBasedAnalyzer {
         await_info: Option<PendingAwait>,
         enter_ep: Option<u64>,
         exit_ep: Option<u64>,
+        blocked: Option<Option<(usize, Option<Time>)>>,
+        basis_override: Option<(usize, Time, Option<Time>)>,
     ) {
         let mut queue: VecDeque<usize> = VecDeque::new();
 
@@ -1260,6 +1537,12 @@ impl EventBasedAnalyzer {
                 _ => None,
             },
         };
+        // A child's begin fork chains from its spawn, wherever the child
+        // processor's own frontier stands.
+        let basis = match basis_override {
+            Some(over) => Some(over),
+            None => basis,
+        };
 
         // Advance the frontier before resolving, so the resolution hook
         // sees this event as its processor's latest.
@@ -1287,10 +1570,14 @@ impl EventBasedAnalyzer {
         let mut n_deps = 0usize;
         let mut ready_anchors = [Time::ZERO; 2];
         let mut n_ready = 0usize;
-        // A floor already registered by the awaitB hook whose ownership
-        // transfers to this awaitE (it must persist until resolution, but
-        // is already counted in the multiset).
+        // A floor already registered by the awaitB hook (or, for a child's
+        // begin fork, by the spawn hook) whose ownership transfers to this
+        // event (it must persist until resolution, but is already counted
+        // in the multiset).
         let mut transferred_anchor: Option<Time> = None;
+        if let Some((_, _, Some(v))) = basis_override {
+            transferred_anchor = Some(v);
+        }
 
         let rule = if let Some(info) = await_info {
             if let Some(tb) = info.begin_ta {
@@ -1382,6 +1669,53 @@ impl EventBasedAnalyzer {
                 }
             }
             Rule::Exit { value: None }
+        } else if let Some(dep) = blocked {
+            // A blocked completion (lock acquire, sem P, task join-return):
+            // the chain value is the ready time, and the enabling event
+            // plays the advance's role in the §4.2.3 case split.
+            let adv = match dep {
+                None => Adv::NotNeeded,
+                Some((_, Some(v))) => {
+                    ready_anchors[n_ready] = v;
+                    n_ready += 1;
+                    Adv::Got(v)
+                }
+                Some((d_id, None)) => {
+                    pending += 1;
+                    pending_deps[n_deps] = (d_id, Slot::Advance);
+                    n_deps += 1;
+                    Adv::Pending
+                }
+            };
+            let basis_tm = match basis {
+                Some((b_id, b_tm, b_ta)) => {
+                    match b_ta {
+                        Some(v) => {
+                            ready_anchors[n_ready] = v;
+                            n_ready += 1;
+                        }
+                        None => {
+                            pending += 1;
+                            pending_deps[n_deps] = (b_id, Slot::Basis);
+                            n_deps += 1;
+                        }
+                    }
+                    Some(b_tm)
+                }
+                None => {
+                    // Origin ready rule: floor the watermark at the
+                    // event's own measured time less its overhead.
+                    let oh = self.oh.instr_overhead(&event.kind);
+                    ready_anchors[n_ready] = event.time.saturating_sub_span(oh);
+                    n_ready += 1;
+                    None
+                }
+            };
+            Rule::Blocked {
+                basis_tm,
+                basis_ta: basis.and_then(|(_, _, ta)| ta),
+                dep: adv,
+            }
         } else {
             match basis {
                 None => {
@@ -1485,13 +1819,21 @@ impl EventBasedAnalyzer {
         self.run_queue(&mut queue);
     }
 
+    /// Consumes a live enabling event's resolved time — the blocked side
+    /// claims it exactly once.
+    fn take_dep(&mut self, dep: usize) -> Option<Time> {
+        self.dep_ta.remove(&dep).expect("enabling event is live")
+    }
+
     /// Delivers a resolved dependency value into a parked event's slot.
     fn deliver(&mut self, id: usize, slot: Slot, value: Time, queue: &mut VecDeque<usize>) {
         let node = self.parked.get_mut(&id).expect("waiter is parked");
         match (slot, &mut node.rule) {
             (Slot::Basis, Rule::Chain { basis_ta, .. }) => *basis_ta = Some(value),
+            (Slot::Basis, Rule::Blocked { basis_ta, .. }) => *basis_ta = Some(value),
             (Slot::Begin, Rule::AwaitEnd { begin_ta, .. }) => *begin_ta = Some(value),
             (Slot::Advance, Rule::AwaitEnd { adv, .. }) => *adv = Adv::Got(value),
+            (Slot::Advance, Rule::Blocked { dep, .. }) => *dep = Adv::Got(value),
             (Slot::Order, _) => {}
             (slot, rule) => unreachable!("slot {slot:?} does not fit rule {rule:?}"),
         }
@@ -1550,6 +1892,43 @@ impl EventBasedAnalyzer {
                 }
             }
             Rule::Exit { value } => value.expect("episode resolved before exit"),
+            Rule::Blocked {
+                basis_tm,
+                basis_ta,
+                dep,
+            } => {
+                let oh = self.oh.instr_overhead(&event.kind);
+                let ready = match basis_tm {
+                    Some(b_tm) => {
+                        let tb = basis_ta.expect("basis resolved first");
+                        debug_assert!(event.time >= *b_tm, "basis precedes the event");
+                        let delta = event.time.saturating_since(*b_tm);
+                        if oh > delta {
+                            self.note_clamp();
+                        }
+                        tb + delta.saturating_sub(oh)
+                    }
+                    None => {
+                        if event.time.checked_sub_span(oh).is_none() {
+                            self.note_clamp();
+                        }
+                        event.time.saturating_sub_span(oh)
+                    }
+                };
+                match dep {
+                    Adv::NotNeeded => ready,
+                    Adv::Got(td) => {
+                        if *td <= ready {
+                            ready
+                        } else {
+                            *td + self.oh.s_wait
+                        }
+                    }
+                    Adv::Pending => {
+                        unreachable!("enabling event resolved before the blocked one")
+                    }
+                }
+            }
         }
     }
 
@@ -1572,6 +1951,43 @@ impl EventBasedAnalyzer {
                     var,
                     tag,
                     begin,
+                    end,
+                    wait,
+                },
+            });
+        } else if let Rule::Blocked {
+            basis_tm,
+            basis_ta,
+            dep,
+        } = rule
+        {
+            let (family, object) = match event.kind {
+                EventKind::LockAcquire { lock } => (EpisodeFamily::Lock, lock.0),
+                EventKind::SemAcquire { sem } => (EpisodeFamily::Sem, sem.0),
+                EventKind::TaskJoin { task } => (EpisodeFamily::Task, task.0),
+                _ => unreachable!("Blocked rule implies a blocked completion"),
+            };
+            // The ready time, recomputed without clamp counting —
+            // `compute_value` already metered this event's clamp.
+            let oh = self.oh.instr_overhead(&event.kind);
+            let ready = match basis_tm {
+                Some(b_tm) => {
+                    let tb = basis_ta.expect("basis resolved first");
+                    tb + event.time.saturating_since(*b_tm).saturating_sub(oh)
+                }
+                None => event.time.saturating_sub_span(oh),
+            };
+            let wait = match dep {
+                Adv::Got(td) => td.saturating_since(ready),
+                _ => Span::ZERO,
+            };
+            self.out.push_back(StreamOutput::Episode {
+                ordinal: idx,
+                outcome: EpisodeOutcome {
+                    family,
+                    object,
+                    proc: event.proc,
+                    ready,
                     end,
                     wait,
                 },
@@ -1634,6 +2050,28 @@ impl EventBasedAnalyzer {
                 if let Some(l) = self.latest_lb.as_mut() {
                     if l.id == idx {
                         l.ta = Some(value);
+                    }
+                }
+            }
+            EventKind::LockRelease { .. }
+            | EventKind::SemRelease { .. }
+            | EventKind::TaskJoin { .. } => {
+                // An enabling event (a join-return's own slot was already
+                // consumed, so `get_mut` misses for it).
+                if let Some(slot) = self.dep_ta.get_mut(&idx) {
+                    *slot = Some(value);
+                }
+            }
+            EventKind::TaskFork { .. } => {
+                // A spawn still awaiting its child's begin: hold the
+                // resolved time as a watermark floor until the begin fork
+                // takes ownership of it.
+                if let Some(&task) = self.spawn_watch.get(&idx) {
+                    if let Some(st) = self.tasks.get_mut(&task) {
+                        if st.spawn_id == idx {
+                            st.spawn_ta = Some(value);
+                            self.anchor_add(value);
+                        }
                     }
                 }
             }

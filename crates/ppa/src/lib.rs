@@ -13,7 +13,7 @@
 //! - [`native`] — real-thread traced execution backend;
 //! - [`lfk`] — the Livermore loops (numeric + statement-graph forms);
 //! - [`analysis`] — time-based and event-based perturbation analysis;
-//! - [`slice`] — trace slicing, query expressions, redundancy suppression;
+//! - [`mod@slice`] — trace slicing, query expressions, redundancy suppression;
 //! - [`check`] — trace/report invariant checker and differential oracle;
 //! - [`server`] — multi-tenant streaming ingest daemon (`ppa serve`);
 //! - [`metrics`] — ratios, waiting tables, timelines, parallelism;

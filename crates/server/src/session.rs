@@ -436,6 +436,7 @@ struct ReportSink {
     events: u64,
     awaits: u64,
     barriers: u64,
+    episodes: u64,
     last_time: Time,
 }
 
@@ -451,6 +452,7 @@ impl ReportSink {
             }
             StreamOutput::Await { .. } => self.awaits += 1,
             StreamOutput::Barrier { .. } => self.barriers += 1,
+            StreamOutput::Episode { .. } => self.episodes += 1,
         }
         Ok(())
     }
@@ -491,6 +493,7 @@ fn take_checkpoint(
             events: sink.events,
             awaits: sink.awaits,
             barriers: sink.barriers,
+            episodes: sink.episodes,
             last_time: sink.last_time,
         },
     };
@@ -817,6 +820,7 @@ fn session_body<S: SessionStream>(sock: S, ctx: Arc<ServerCtx>) -> SessionOutcom
         events: resumed.as_ref().map_or(0, |cp| cp.sink.events),
         awaits: resumed.as_ref().map_or(0, |cp| cp.sink.awaits),
         barriers: resumed.as_ref().map_or(0, |cp| cp.sink.barriers),
+        episodes: resumed.as_ref().map_or(0, |cp| cp.sink.episodes),
         last_time: resumed.as_ref().map_or(Time::ZERO, |cp| cp.sink.last_time),
     };
     drop(resumed);

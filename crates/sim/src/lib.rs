@@ -25,6 +25,7 @@ mod config;
 mod engine;
 pub mod eventq;
 mod jitter;
+mod scenario;
 mod stats;
 
 pub use config::{JitterConfig, SchedulePolicy, SimConfig};
@@ -36,6 +37,7 @@ pub use eventq::{
     run_actual_eventq, run_actual_eventq_probed, run_measured_eventq, run_measured_eventq_probed,
 };
 pub use jitter::jittered_cost;
+pub use scenario::{scenario_trace, ScenarioConfig, ScenarioFamily};
 pub use stats::{LoopStats, ProcStats, SimStats};
 
 #[cfg(test)]

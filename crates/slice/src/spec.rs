@@ -98,10 +98,11 @@ fn parse_ranges<T: Copy + PartialOrd>(
     Ok(ranges)
 }
 
-/// The twelve event-kind mnemonics selectable by a `kind=` clause, each
-/// paired with its bit in [`KindSet`]. `repeat` records are container
-/// artifacts, not selectable kinds — the engine refuses to filter them.
-const KIND_MNEMONICS: &[(&str, u16)] = &[
+/// The eighteen event-kind mnemonics selectable by a `kind=` clause,
+/// each paired with its bit in [`KindSet`]. `repeat` records are
+/// container artifacts, not selectable kinds — the engine refuses to
+/// filter them.
+const KIND_MNEMONICS: &[(&str, u32)] = &[
     ("progB", 1 << 0),
     ("progE", 1 << 1),
     ("loopB", 1 << 2),
@@ -114,18 +115,27 @@ const KIND_MNEMONICS: &[(&str, u16)] = &[
     ("awaitE", 1 << 9),
     ("barEnter", 1 << 10),
     ("barExit", 1 << 11),
+    ("lockA", 1 << 12),
+    ("lockR", 1 << 13),
+    ("semP", 1 << 14),
+    ("semV", 1 << 15),
+    ("taskF", 1 << 16),
+    ("taskJ", 1 << 17),
 ];
 
-const GROUP_SYNC: u16 = (1 << 7) | (1 << 8) | (1 << 9);
-const GROUP_BARRIER: u16 = (1 << 10) | (1 << 11);
-const GROUP_MARKER: u16 = (1 << 6) - 1; // progB..iterE
+const GROUP_SYNC: u32 = (1 << 7) | (1 << 8) | (1 << 9);
+const GROUP_BARRIER: u32 = (1 << 10) | (1 << 11);
+const GROUP_MARKER: u32 = (1 << 6) - 1; // progB..iterE
+const GROUP_LOCK: u32 = (1 << 12) | (1 << 13);
+const GROUP_SEM: u32 = (1 << 14) | (1 << 15);
+const GROUP_TASK: u32 = (1 << 16) | (1 << 17);
 
 /// A set of event kinds, parsed from comma-separated mnemonics
 /// (`kind=stmt,advance`) or the group names `sync`, `barrier`,
-/// `marker`.
+/// `marker`, `lock`, `sem`, `task`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KindSet {
-    bits: u16,
+    bits: u32,
 }
 
 impl KindSet {
@@ -146,6 +156,12 @@ impl KindSet {
             EventKind::AwaitEnd { .. } => 1 << 9,
             EventKind::BarrierEnter { .. } => 1 << 10,
             EventKind::BarrierExit { .. } => 1 << 11,
+            EventKind::LockAcquire { .. } => 1 << 12,
+            EventKind::LockRelease { .. } => 1 << 13,
+            EventKind::SemAcquire { .. } => 1 << 14,
+            EventKind::SemRelease { .. } => 1 << 15,
+            EventKind::TaskFork { .. } => 1 << 16,
+            EventKind::TaskJoin { .. } => 1 << 17,
             EventKind::Repeat { .. } => 0,
         };
         self.bits & bit != 0
@@ -155,12 +171,15 @@ impl KindSet {
         if value.is_empty() {
             return Err(bad_value("kind", value, "empty set"));
         }
-        let mut bits = 0u16;
+        let mut bits = 0u32;
         for name in value.split(',') {
             bits |= match name {
                 "sync" => GROUP_SYNC,
                 "barrier" => GROUP_BARRIER,
                 "marker" => GROUP_MARKER,
+                "lock" => GROUP_LOCK,
+                "sem" => GROUP_SEM,
+                "task" => GROUP_TASK,
                 _ => match KIND_MNEMONICS.iter().find(|(m, _)| *m == name) {
                     Some(&(_, bit)) => bit,
                     None => {
@@ -479,6 +498,39 @@ mod tests {
         let marker = SliceSpec::parse("kind=marker").unwrap();
         assert!(marker.matches(&ev(0, 0, EventKind::ProgramBegin)));
         assert!(!marker.matches(&stmt(0, 0)));
+    }
+
+    #[test]
+    fn episode_groups_select_their_pairs() {
+        use ppa_trace::{LockId, SemId, TaskId};
+        let acquire = ev(0, 0, EventKind::LockAcquire { lock: LockId(1) });
+        let release = ev(0, 0, EventKind::LockRelease { lock: LockId(1) });
+        let sem_p = ev(0, 0, EventKind::SemAcquire { sem: SemId(2) });
+        let sem_v = ev(0, 0, EventKind::SemRelease { sem: SemId(2) });
+        let fork = ev(0, 0, EventKind::TaskFork { task: TaskId(3) });
+        let join = ev(0, 0, EventKind::TaskJoin { task: TaskId(3) });
+
+        let lock = SliceSpec::parse("kind=lock").unwrap();
+        assert!(lock.matches(&acquire) && lock.matches(&release));
+        assert!(!lock.matches(&sem_p) && !lock.matches(&fork));
+
+        let sem = SliceSpec::parse("kind=sem").unwrap();
+        assert!(sem.matches(&sem_p) && sem.matches(&sem_v));
+        assert!(!sem.matches(&release));
+
+        let task = SliceSpec::parse("kind=task").unwrap();
+        assert!(task.matches(&fork) && task.matches(&join));
+        assert!(!task.matches(&sem_v) && !task.matches(&stmt(0, 0)));
+
+        // Individual mnemonics pick one side of a pair, and the
+        // `sync` group stays advance/await-only.
+        let one = SliceSpec::parse("kind=lockA,semV,taskJ").unwrap();
+        assert!(one.matches(&acquire) && one.matches(&sem_v) && one.matches(&join));
+        assert!(!one.matches(&release) && !one.matches(&sem_p) && !one.matches(&fork));
+        let sync = SliceSpec::parse("kind=sync").unwrap();
+        for e in [&acquire, &release, &sem_p, &sem_v, &fork, &join] {
+            assert!(!sync.matches(e));
+        }
     }
 
     #[test]

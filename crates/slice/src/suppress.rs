@@ -161,6 +161,28 @@ fn stride_between(a: &Event, b: &Event) -> Option<(u64, u64, Option<i64>)> {
         {
             None
         }
+        // Episode ids are identities (repeat shifting leaves them
+        // alone), so episode events only repeat on the *same* object:
+        // a critical-section loop on one lock compresses, a fork/join
+        // wave over fresh task ids does not.
+        (K::LockAcquire { lock: l1 }, K::LockAcquire { lock: l2 })
+        | (K::LockRelease { lock: l1 }, K::LockRelease { lock: l2 })
+            if l1 == l2 =>
+        {
+            None
+        }
+        (K::SemAcquire { sem: s1 }, K::SemAcquire { sem: s2 })
+        | (K::SemRelease { sem: s1 }, K::SemRelease { sem: s2 })
+            if s1 == s2 =>
+        {
+            None
+        }
+        (K::TaskFork { task: t1 }, K::TaskFork { task: t2 })
+        | (K::TaskJoin { task: t1 }, K::TaskJoin { task: t2 })
+            if t1 == t2 =>
+        {
+            None
+        }
         _ => return None,
     };
     Some((dt, dseq, dfield))
@@ -612,6 +634,59 @@ mod tests {
         );
         assert_eq!(out[2].time, events[2].time);
         assert_eq!(out[2].seq, events[2].seq);
+    }
+
+    #[test]
+    fn critical_section_loop_collapses_and_task_waves_do_not() {
+        use ppa_trace::{LockId, TaskId};
+        let lock = |t: u64, seq: u64, acquire: bool| {
+            Event::new(
+                Time::from_nanos(t),
+                ProcessorId(0),
+                seq,
+                if acquire {
+                    EventKind::LockAcquire { lock: LockId(3) }
+                } else {
+                    EventKind::LockRelease { lock: LockId(3) }
+                },
+            )
+        };
+        // [lockA(K3), stmt, lockR(K3)] with uniform stride, 40 rounds.
+        let mut events = Vec::new();
+        for r in 0..40u64 {
+            events.push(lock(r * 100, 3 * r, true));
+            events.push(stmt(r * 100 + 30, 0, 3 * r + 1, 9));
+            events.push(lock(r * 100 + 60, 3 * r + 2, false));
+        }
+        let out = suppress_events(&events);
+        assert_eq!(out.len(), 4, "pattern + record expected, got {out:?}");
+        assert_eq!(&out[..3], &events[..3]);
+        assert_eq!(
+            out[3].kind,
+            EventKind::Repeat {
+                len: 3,
+                count: 39,
+                dt_ns: 100,
+                dseq: 3,
+                dfield: 0,
+            }
+        );
+
+        // Fork/join waves use a fresh task id per round; episode ids
+        // are identities, so nothing may collapse.
+        let forks: Vec<Event> = (0..40u64)
+            .map(|r| {
+                Event::new(
+                    Time::from_nanos(r * 100),
+                    ProcessorId(0),
+                    r,
+                    EventKind::TaskFork {
+                        task: TaskId(r as u32),
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(suppress_events(&forks), forks);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! assigns a global emission sequence number.
 
 use crate::event::{Event, EventKind};
-use crate::ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
+use crate::ids::{
+    BarrierId, LockId, LoopId, ProcessorId, SemId, StatementId, SyncTag, SyncVarId, TaskId,
+};
 use crate::time::{Span, Time};
 use crate::trace::{Trace, TraceKind};
 use std::collections::BTreeMap;
@@ -109,6 +111,42 @@ impl TraceBuilder {
         self.emit(EventKind::BarrierExit {
             barrier: BarrierId(id),
         });
+        self
+    }
+
+    /// Records a lock-acquire event.
+    pub fn lock_acquire(mut self, lock: u32) -> Self {
+        self.emit(EventKind::LockAcquire { lock: LockId(lock) });
+        self
+    }
+
+    /// Records a lock-release event.
+    pub fn lock_release(mut self, lock: u32) -> Self {
+        self.emit(EventKind::LockRelease { lock: LockId(lock) });
+        self
+    }
+
+    /// Records a semaphore-P (acquire) event.
+    pub fn sem_acquire(mut self, sem: u32) -> Self {
+        self.emit(EventKind::SemAcquire { sem: SemId(sem) });
+        self
+    }
+
+    /// Records a semaphore-V (release) event.
+    pub fn sem_release(mut self, sem: u32) -> Self {
+        self.emit(EventKind::SemRelease { sem: SemId(sem) });
+        self
+    }
+
+    /// Records a task-fork event.
+    pub fn task_fork(mut self, task: u32) -> Self {
+        self.emit(EventKind::TaskFork { task: TaskId(task) });
+        self
+    }
+
+    /// Records a task-join event.
+    pub fn task_join(mut self, task: u32) -> Self {
+        self.emit(EventKind::TaskJoin { task: TaskId(task) });
         self
     }
 

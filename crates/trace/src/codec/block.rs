@@ -31,7 +31,9 @@
 
 use super::varint::{read_varint, read_varint_signed, write_varint, write_varint_signed};
 use crate::event::{Event, EventKind};
-use crate::ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
+use crate::ids::{
+    BarrierId, LockId, LoopId, ProcessorId, SemId, StatementId, SyncTag, SyncVarId, TaskId,
+};
 use crate::io::IoError;
 use crate::time::Time;
 
@@ -217,6 +219,12 @@ const TAG_AWAIT_END: u8 = 9;
 const TAG_BARRIER_ENTER: u8 = 10;
 const TAG_BARRIER_EXIT: u8 = 11;
 const TAG_REPEAT: u8 = 12;
+const TAG_LOCK_ACQUIRE: u8 = 13;
+const TAG_LOCK_RELEASE: u8 = 14;
+const TAG_SEM_ACQUIRE: u8 = 15;
+const TAG_SEM_RELEASE: u8 = 16;
+const TAG_TASK_FORK: u8 = 17;
+const TAG_TASK_JOIN: u8 = 18;
 
 fn write_kind(buf: &mut Vec<u8>, kind: &EventKind) {
     match kind {
@@ -281,6 +289,30 @@ fn write_kind(buf: &mut Vec<u8>, kind: &EventKind) {
             write_varint(buf, *dseq);
             write_varint_signed(buf, *dfield);
         }
+        EventKind::LockAcquire { lock } => {
+            buf.push(TAG_LOCK_ACQUIRE);
+            write_varint(buf, u64::from(lock.0));
+        }
+        EventKind::LockRelease { lock } => {
+            buf.push(TAG_LOCK_RELEASE);
+            write_varint(buf, u64::from(lock.0));
+        }
+        EventKind::SemAcquire { sem } => {
+            buf.push(TAG_SEM_ACQUIRE);
+            write_varint(buf, u64::from(sem.0));
+        }
+        EventKind::SemRelease { sem } => {
+            buf.push(TAG_SEM_RELEASE);
+            write_varint(buf, u64::from(sem.0));
+        }
+        EventKind::TaskFork { task } => {
+            buf.push(TAG_TASK_FORK);
+            write_varint(buf, u64::from(task.0));
+        }
+        EventKind::TaskJoin { task } => {
+            buf.push(TAG_TASK_JOIN);
+            write_varint(buf, u64::from(task.0));
+        }
     }
 }
 
@@ -330,6 +362,24 @@ fn read_kind(tag: u8, input: &[u8], pos: &mut usize) -> Option<EventKind> {
             dt_ns: read_varint(input, pos)?,
             dseq: read_varint(input, pos)?,
             dfield: read_varint_signed(input, pos)?,
+        },
+        TAG_LOCK_ACQUIRE => EventKind::LockAcquire {
+            lock: LockId(u32_operand(pos)?),
+        },
+        TAG_LOCK_RELEASE => EventKind::LockRelease {
+            lock: LockId(u32_operand(pos)?),
+        },
+        TAG_SEM_ACQUIRE => EventKind::SemAcquire {
+            sem: SemId(u32_operand(pos)?),
+        },
+        TAG_SEM_RELEASE => EventKind::SemRelease {
+            sem: SemId(u32_operand(pos)?),
+        },
+        TAG_TASK_FORK => EventKind::TaskFork {
+            task: TaskId(u32_operand(pos)?),
+        },
+        TAG_TASK_JOIN => EventKind::TaskJoin {
+            task: TaskId(u32_operand(pos)?),
         },
         _ => return None,
     })
@@ -587,6 +637,34 @@ mod tests {
         assert_eq!(frame.summary.last_seq, 4);
         let back = decode_block(&frame, &payload, 1).unwrap();
         assert_eq!(back, events);
+    }
+
+    #[test]
+    fn episode_kinds_round_trip() {
+        let kinds = [
+            EventKind::LockAcquire { lock: LockId(9) },
+            EventKind::LockRelease { lock: LockId(9) },
+            EventKind::SemAcquire { sem: SemId(0) },
+            EventKind::SemRelease {
+                sem: SemId(u32::MAX),
+            },
+            EventKind::TaskFork { task: TaskId(300) },
+            EventKind::TaskJoin { task: TaskId(300) },
+        ];
+        let events: Vec<Event> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                Event::new(
+                    Time::from_nanos(10 * i as u64),
+                    ProcessorId((i % 3) as u16),
+                    i as u64,
+                    kind,
+                )
+            })
+            .collect();
+        let (frame, payload) = encode_block(&events);
+        assert_eq!(decode_block(&frame, &payload, 1).unwrap(), events);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! an `await` produces **two** events, `awaitB` at entry and `awaitE` after
 //! the awaited advance has occurred.
 
-use crate::ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
+use crate::ids::{
+    BarrierId, LockId, LoopId, ProcessorId, SemId, StatementId, SyncTag, SyncVarId, TaskId,
+};
 use crate::time::Time;
 use core::fmt;
 use serde::{Deserialize, Serialize};
@@ -48,6 +50,30 @@ pub enum EventKind {
     BarrierEnter { barrier: BarrierId },
     /// Release from a barrier (all participants arrived).
     BarrierExit { barrier: BarrierId },
+    /// Lock acquisition completed: the emitting processor holds `lock`.
+    /// The k-th acquire of a lock (trace order) is enabled by its
+    /// (k-1)-th release, so a blocked acquire is approximated like an
+    /// await whose matching release plays the advance's role.
+    LockAcquire { lock: LockId },
+    /// Lock release completed. Releases are recorded *before* the lock is
+    /// actually surrendered, so an acquire's enabling release always
+    /// precedes it in the measured total order.
+    LockRelease { lock: LockId },
+    /// Semaphore P (decrement) completed on `sem`. The k-th P (0-indexed,
+    /// arrival order) is enabled by the k-th V; a semaphore's initial
+    /// permits are traced as leading V events.
+    SemAcquire { sem: SemId },
+    /// Semaphore V (increment) completed on `sem`, recorded before the
+    /// permit becomes visible to waiters.
+    SemRelease { sem: SemId },
+    /// Task-episode fork marker. Each episode carries two forks: the
+    /// first (arrival order) is the parent's spawn, the second is the
+    /// child's begin, causally anchored to the spawn.
+    TaskFork { task: TaskId },
+    /// Task-episode join marker. The first join (arrival order) is the
+    /// child's end, the second is the parent's join-return, which blocks
+    /// on the child's end like an await on an advance.
+    TaskJoin { task: TaskId },
     /// A counted run-length record standing in for `len * count`
     /// suppressed events on the carrying processor (see QUERIES.md).
     ///
@@ -90,6 +116,67 @@ impl EventKind {
             self,
             EventKind::BarrierEnter { .. } | EventKind::BarrierExit { .. }
         )
+    }
+
+    /// True for lock acquire/release kinds.
+    #[inline]
+    pub fn is_lock(&self) -> bool {
+        matches!(
+            self,
+            EventKind::LockAcquire { .. } | EventKind::LockRelease { .. }
+        )
+    }
+
+    /// True for semaphore P/V kinds.
+    #[inline]
+    pub fn is_sem(&self) -> bool {
+        matches!(
+            self,
+            EventKind::SemAcquire { .. } | EventKind::SemRelease { .. }
+        )
+    }
+
+    /// True for fork/join task-episode kinds.
+    #[inline]
+    pub fn is_task(&self) -> bool {
+        matches!(
+            self,
+            EventKind::TaskFork { .. } | EventKind::TaskJoin { .. }
+        )
+    }
+
+    /// True for every lock/semaphore/task episode kind — the sync-episode
+    /// families added on top of the paper's advance/await vocabulary.
+    #[inline]
+    pub fn is_episode(&self) -> bool {
+        self.is_lock() || self.is_sem() || self.is_task()
+    }
+
+    /// The lock this event touches, if any.
+    #[inline]
+    pub fn lock_id(&self) -> Option<LockId> {
+        match self {
+            EventKind::LockAcquire { lock } | EventKind::LockRelease { lock } => Some(*lock),
+            _ => None,
+        }
+    }
+
+    /// The semaphore this event touches, if any.
+    #[inline]
+    pub fn sem_id(&self) -> Option<SemId> {
+        match self {
+            EventKind::SemAcquire { sem } | EventKind::SemRelease { sem } => Some(*sem),
+            _ => None,
+        }
+    }
+
+    /// The task episode this event belongs to, if any.
+    #[inline]
+    pub fn task_id(&self) -> Option<TaskId> {
+        match self {
+            EventKind::TaskFork { task } | EventKind::TaskJoin { task } => Some(*task),
+            _ => None,
+        }
     }
 
     /// True for structural markers (program/loop/iteration boundaries).
@@ -143,6 +230,12 @@ impl EventKind {
             EventKind::AwaitEnd { .. } => "awaitE",
             EventKind::BarrierEnter { .. } => "barEnter",
             EventKind::BarrierExit { .. } => "barExit",
+            EventKind::LockAcquire { .. } => "lockA",
+            EventKind::LockRelease { .. } => "lockR",
+            EventKind::SemAcquire { .. } => "semP",
+            EventKind::SemRelease { .. } => "semV",
+            EventKind::TaskFork { .. } => "taskF",
+            EventKind::TaskJoin { .. } => "taskJ",
             EventKind::Repeat { .. } => "repeat",
         }
     }
@@ -167,6 +260,15 @@ impl fmt::Display for EventKind {
             }
             EventKind::BarrierEnter { barrier } | EventKind::BarrierExit { barrier } => {
                 write!(f, "{}({barrier})", self.mnemonic())
+            }
+            EventKind::LockAcquire { lock } | EventKind::LockRelease { lock } => {
+                write!(f, "{}({lock})", self.mnemonic())
+            }
+            EventKind::SemAcquire { sem } | EventKind::SemRelease { sem } => {
+                write!(f, "{}({sem})", self.mnemonic())
+            }
+            EventKind::TaskFork { task } | EventKind::TaskJoin { task } => {
+                write!(f, "{}({task})", self.mnemonic())
             }
             EventKind::Repeat {
                 len,
@@ -215,7 +317,9 @@ impl Event {
     /// Reproduces this event shifted by `r` repeat-record strides: time
     /// advances by `r*dt_ns`, the sequence number by `r*dseq`, and the
     /// event's integer field (iteration number or synchronization tag),
-    /// when it has one, by `r*dfield`. All arithmetic wraps; the
+    /// when it has one, by `r*dfield`. Lock/semaphore/task object ids are
+    /// identities, not progressing counters, and never shift — a repeated
+    /// lock pattern re-touches the same lock. All arithmetic wraps; the
     /// suppressor and the expander both use this exact function, which
     /// is what makes suppress-then-expand an identity.
     pub fn repeat_shifted(&self, r: u64, dt_ns: u64, dseq: u64, dfield: i64) -> Event {
@@ -304,6 +408,42 @@ mod tests {
         }
         .is_marker());
         assert!(!stmt.is_marker());
+    }
+
+    #[test]
+    fn episode_predicates_and_accessors() {
+        let acq = EventKind::LockAcquire { lock: LockId(2) };
+        let rel = EventKind::LockRelease { lock: LockId(2) };
+        let p = EventKind::SemAcquire { sem: SemId(1) };
+        let v = EventKind::SemRelease { sem: SemId(1) };
+        let fork = EventKind::TaskFork { task: TaskId(0) };
+        let join = EventKind::TaskJoin { task: TaskId(0) };
+
+        assert!(acq.is_lock() && rel.is_lock());
+        assert!(p.is_sem() && v.is_sem());
+        assert!(fork.is_task() && join.is_task());
+        for k in [acq, rel, p, v, fork, join] {
+            assert!(k.is_episode());
+            assert!(!k.is_sync() && !k.is_barrier() && !k.is_marker());
+        }
+        assert!(!EventKind::ProgramBegin.is_episode());
+
+        assert_eq!(acq.lock_id(), Some(LockId(2)));
+        assert_eq!(p.sem_id(), Some(SemId(1)));
+        assert_eq!(join.task_id(), Some(TaskId(0)));
+        assert_eq!(acq.sem_id(), None);
+        assert_eq!(acq.sync_var(), None);
+
+        assert_eq!(acq.to_string(), "lockA(K2)");
+        assert_eq!(v.to_string(), "semV(M1)");
+        assert_eq!(fork.to_string(), "taskF(T0)");
+
+        // Episode ids are identities: repeat shifting leaves them alone.
+        let e = Event::new(Time::from_nanos(10), ProcessorId(0), 1, acq);
+        let shifted = e.repeat_shifted(3, 100, 2, 5);
+        assert_eq!(shifted.kind, acq);
+        assert_eq!(shifted.time, Time::from_nanos(310));
+        assert_eq!(shifted.seq, 7);
     }
 
     #[test]

@@ -75,6 +75,27 @@ id_newtype!(
     "B"
 );
 
+id_newtype!(
+    /// A mutual-exclusion lock (e.g. the `ppa-sync` TTAS spinlock). Lock
+    /// episodes pair the k-th acquire with the (k-1)-th release.
+    LockId(u32),
+    "K"
+);
+
+id_newtype!(
+    /// A counting semaphore (the `ppa-sync` semaphore). P/V episodes pair
+    /// the k-th P with the k-th V in arrival order.
+    SemId(u32),
+    "M"
+);
+
+id_newtype!(
+    /// A fork/join task episode: parent fork, child begin, child end,
+    /// parent join-return share one task id.
+    TaskId(u32),
+    "T"
+);
+
 /// The unique value identifying one advance/await pair (the paper's `i`).
 ///
 /// For constant-distance DOACROSS dependencies the tag is the loop
@@ -121,6 +142,9 @@ mod tests {
         assert_eq!(LoopId(4).to_string(), "L4");
         assert_eq!(SyncVarId(0).to_string(), "A0");
         assert_eq!(BarrierId(1).to_string(), "B1");
+        assert_eq!(LockId(2).to_string(), "K2");
+        assert_eq!(SemId(3).to_string(), "M3");
+        assert_eq!(TaskId(4).to_string(), "T4");
         assert_eq!(SyncTag(-2).to_string(), "#-2");
     }
 

@@ -50,7 +50,9 @@ pub use codec::{
 };
 pub use event::{Event, EventKind, REPEAT_MAX_PATTERN};
 pub use gap::{GapCause, TraceGap};
-pub use ids::{BarrierId, LoopId, ProcessorId, StatementId, SyncTag, SyncVarId};
+pub use ids::{
+    BarrierId, LockId, LoopId, ProcessorId, SemId, StatementId, SyncTag, SyncVarId, TaskId,
+};
 pub use io::{read_jsonl, write_csv, write_jsonl, IoError};
 pub use overhead::OverheadSpec;
 pub use reorder::{ReorderBuffer, ReorderSnapshot};
@@ -63,7 +65,8 @@ pub use stream::{
 pub use time::{ClockRate, Span, Time};
 pub use trace::{merge_streams, Trace, TraceKind};
 pub use validate::{
-    pair_sync_events, pair_sync_events_strict, AwaitPair, BarrierEpisode, SyncIndex, TraceError,
+    pair_sync_events, pair_sync_events_strict, AwaitPair, BarrierEpisode, EpisodeFamily,
+    EpisodePair, SyncIndex, TraceError,
 };
 
 #[cfg(test)]

@@ -120,6 +120,15 @@ impl OverheadSpec {
             EventKind::AwaitBegin { .. } => self.await_begin_instr,
             EventKind::AwaitEnd { .. } => self.await_end_instr,
             EventKind::BarrierEnter { .. } | EventKind::BarrierExit { .. } => self.barrier_instr,
+            // Episode kinds reuse the advance/await cost structure: a
+            // release/V/fork is an advance-like enabling record (α-class),
+            // a blocked completion (acquire/P/join) is awaitE-like.
+            EventKind::LockRelease { .. }
+            | EventKind::SemRelease { .. }
+            | EventKind::TaskFork { .. } => self.advance_instr,
+            EventKind::LockAcquire { .. }
+            | EventKind::SemAcquire { .. }
+            | EventKind::TaskJoin { .. } => self.await_end_instr,
             // A repeat record is a container artifact, not a recorded
             // action: it must be expanded before any perturbation model
             // charges per-event overhead, so its own cost is zero.

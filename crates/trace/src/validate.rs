@@ -8,7 +8,7 @@
 //! barrier episodes, or a broken total order.
 
 use crate::event::{Event, EventKind};
-use crate::ids::{BarrierId, ProcessorId, SyncTag, SyncVarId};
+use crate::ids::{BarrierId, LockId, ProcessorId, SemId, SyncTag, SyncVarId, TaskId};
 use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -64,6 +64,20 @@ pub enum TraceError {
         barrier: BarrierId,
         proc: ProcessorId,
     },
+    /// A lock acquire completed while another processor still held the
+    /// lock, a release came from a non-holder, or a release hit a free
+    /// lock — a mutual-exclusion protocol violation.
+    LockProtocol { lock: LockId, proc: ProcessorId },
+    /// A lock was still held when the trace ended.
+    LockHeldAtEnd { lock: LockId, proc: ProcessorId },
+    /// A semaphore P completed with no enabling V recorded before it.
+    /// V events are recorded before the permit becomes visible, so the
+    /// k-th P (arrival order) requires at least k+1 preceding V's.
+    SemUnderflow { sem: SemId, proc: ProcessorId },
+    /// A task episode broke the fork,fork,join,join shape: a join with
+    /// no open forks, a third fork, a join-return on a processor other
+    /// than the spawning one, or an episode left open at trace end.
+    TaskProtocol { task: TaskId, proc: ProcessorId },
 }
 
 impl fmt::Display for TraceError {
@@ -118,6 +132,18 @@ impl fmt::Display for TraceError {
             TraceError::BarrierProtocol { barrier, proc } => {
                 write!(f, "{barrier}: {proc} violated the enter/exit protocol")
             }
+            TraceError::LockProtocol { lock, proc } => {
+                write!(f, "{lock}: {proc} violated the acquire/release protocol")
+            }
+            TraceError::LockHeldAtEnd { lock, proc } => {
+                write!(f, "{lock}: still held by {proc} at trace end")
+            }
+            TraceError::SemUnderflow { sem, proc } => {
+                write!(f, "{sem}: P on {proc} with no enabling V recorded")
+            }
+            TraceError::TaskProtocol { task, proc } => {
+                write!(f, "{task}: {proc} violated the fork/join protocol")
+            }
         }
     }
 }
@@ -153,6 +179,48 @@ pub struct BarrierEpisode {
     pub exits: Vec<usize>,
 }
 
+/// The synchronization-episode family a blocked event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EpisodeFamily {
+    /// Mutual-exclusion lock: acquire blocked on the previous release.
+    Lock,
+    /// Counting semaphore: the k-th P blocked on the k-th V.
+    Sem,
+    /// Fork/join task: the parent's join-return blocked on the child end.
+    Task,
+}
+
+impl fmt::Display for EpisodeFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EpisodeFamily::Lock => "lock",
+            EpisodeFamily::Sem => "sem",
+            EpisodeFamily::Task => "task",
+        })
+    }
+}
+
+/// One resolved lock/semaphore/task episode: the blocked-completion event
+/// (lock acquire, semaphore P, or the parent's join-return) and the event
+/// that enabled it, when one exists. This is the episode analogue of
+/// [`AwaitPair`]: the dependency plays the advance's role in the §4.2.3
+/// approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpisodePair {
+    /// Which episode family the pair belongs to.
+    pub family: EpisodeFamily,
+    /// Raw id of the lock/semaphore/task object.
+    pub object: u32,
+    /// Processor that executed the blocked event.
+    pub proc: ProcessorId,
+    /// Index of the blocked-completion event in the trace.
+    pub event: usize,
+    /// Index of the enabling event (the previous release, the k-th V, or
+    /// the child-end join), if the blocked event had to synchronize. The
+    /// first acquire of a free lock has no dependency.
+    pub dep: Option<usize>,
+}
+
 /// The synchronization structure of a validated trace.
 #[derive(Debug, Clone, Default)]
 pub struct SyncIndex {
@@ -162,12 +230,25 @@ pub struct SyncIndex {
     pub awaits: Vec<AwaitPair>,
     /// All barrier episodes, ordered by first enter.
     pub barriers: Vec<BarrierEpisode>,
+    /// All lock/semaphore/task episode pairs, ordered by blocked event.
+    pub episodes: Vec<EpisodePair>,
+    /// Task child-begin anchoring: `(child_begin_fork, parent_spawn_fork)`
+    /// index pairs, one per task episode. The child's first event is
+    /// causally anchored to the parent's spawn, not to the child
+    /// processor's previous event.
+    pub task_spawns: Vec<(usize, usize)>,
 }
 
 impl SyncIndex {
     /// Looks up the await pair whose `awaitE` is at trace index `end`.
     pub fn await_by_end(&self, end: usize) -> Option<&AwaitPair> {
         self.awaits.iter().find(|p| p.end == end)
+    }
+
+    /// Looks up the episode pair whose blocked event is at trace index
+    /// `event`.
+    pub fn episode_by_event(&self, event: usize) -> Option<&EpisodePair> {
+        self.episodes.iter().find(|p| p.event == event)
     }
 }
 
@@ -274,7 +355,158 @@ fn pair_sync_events_impl(trace: &Trace, strict: bool) -> Result<SyncIndex, Trace
     }
 
     index.barriers = collect_barriers(events)?;
+    (index.episodes, index.task_spawns) = collect_episodes(events)?;
     Ok(index)
+}
+
+/// Scans the (totally ordered) events once, validating the lock, semaphore
+/// and fork/join protocols and pairing every blocked event with the event
+/// that enabled it.
+///
+/// The instrumentation convention that makes strict, single-pass pairing
+/// sound: releases, V's and forks are recorded *before* the resource is
+/// surrendered (mirroring §4.2.2, where the advance event is recorded as
+/// part of the advance operation), so an enabling event always precedes
+/// the event it unblocks in the measured total order.
+/// Paired episodes plus `(fork, join)` task-spawn index pairs.
+type EpisodeScan = (Vec<EpisodePair>, Vec<(usize, usize)>);
+
+fn collect_episodes(events: &[Event]) -> Result<EpisodeScan, TraceError> {
+    // Lock: holder + index of the last release (the next acquire's dep).
+    struct LockState {
+        holder: Option<ProcessorId>,
+        last_release: Option<usize>,
+    }
+    // Semaphore: V event indices in arrival order, and P's consumed.
+    #[derive(Default)]
+    struct SemState {
+        releases: Vec<usize>,
+        acquired: usize,
+    }
+    // Task: arrival-order fork/join event indices of the open episode.
+    #[derive(Default)]
+    struct TaskState {
+        forks: Vec<usize>,
+        joins: Vec<usize>,
+    }
+    let mut locks: BTreeMap<LockId, LockState> = BTreeMap::new();
+    let mut sems: BTreeMap<SemId, SemState> = BTreeMap::new();
+    let mut tasks: BTreeMap<TaskId, TaskState> = BTreeMap::new();
+    let mut episodes = Vec::new();
+    let mut spawns = Vec::new();
+
+    for (i, e) in events.iter().enumerate() {
+        match e.kind {
+            EventKind::LockAcquire { lock } => {
+                let st = locks.entry(lock).or_insert(LockState {
+                    holder: None,
+                    last_release: None,
+                });
+                if st.holder.is_some() {
+                    // A completed acquire while another holder exists
+                    // breaks mutual exclusion.
+                    return Err(TraceError::LockProtocol { lock, proc: e.proc });
+                }
+                st.holder = Some(e.proc);
+                episodes.push(EpisodePair {
+                    family: EpisodeFamily::Lock,
+                    object: lock.0,
+                    proc: e.proc,
+                    event: i,
+                    dep: st.last_release,
+                });
+            }
+            EventKind::LockRelease { lock } => {
+                let st = locks
+                    .get_mut(&lock)
+                    .ok_or(TraceError::LockProtocol { lock, proc: e.proc })?;
+                if st.holder != Some(e.proc) {
+                    return Err(TraceError::LockProtocol { lock, proc: e.proc });
+                }
+                st.holder = None;
+                st.last_release = Some(i);
+            }
+            EventKind::SemAcquire { sem } => {
+                let st = sems.entry(sem).or_default();
+                // The k-th P (0-indexed) is enabled by the k-th V, which
+                // must already be on record.
+                let Some(&dep) = st.releases.get(st.acquired) else {
+                    return Err(TraceError::SemUnderflow { sem, proc: e.proc });
+                };
+                st.acquired += 1;
+                episodes.push(EpisodePair {
+                    family: EpisodeFamily::Sem,
+                    object: sem.0,
+                    proc: e.proc,
+                    event: i,
+                    dep: Some(dep),
+                });
+            }
+            EventKind::SemRelease { sem } => {
+                sems.entry(sem).or_default().releases.push(i);
+            }
+            EventKind::TaskFork { task } => {
+                let st = tasks.entry(task).or_default();
+                if st.forks.len() == 2 || !st.joins.is_empty() {
+                    return Err(TraceError::TaskProtocol { task, proc: e.proc });
+                }
+                st.forks.push(i);
+            }
+            EventKind::TaskJoin { task } => {
+                let st = tasks
+                    .get_mut(&task)
+                    .ok_or(TraceError::TaskProtocol { task, proc: e.proc })?;
+                if st.forks.len() != 2 {
+                    return Err(TraceError::TaskProtocol { task, proc: e.proc });
+                }
+                st.joins.push(i);
+                if st.joins.len() == 2 {
+                    let (spawn, begin) = (st.forks[0], st.forks[1]);
+                    let (end, ret) = (st.joins[0], st.joins[1]);
+                    // The child runs begin..end; the parent spawns and
+                    // joins. Roles are by arrival order, so the processors
+                    // must pair crosswise.
+                    if events[spawn].proc != events[ret].proc
+                        || events[begin].proc != events[end].proc
+                    {
+                        return Err(TraceError::TaskProtocol { task, proc: e.proc });
+                    }
+                    spawns.push((begin, spawn));
+                    episodes.push(EpisodePair {
+                        family: EpisodeFamily::Task,
+                        object: task.0,
+                        proc: events[ret].proc,
+                        event: ret,
+                        dep: Some(end),
+                    });
+                    // The id is reusable by a later episode.
+                    tasks.remove(&task);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if let Some((&lock, st)) = locks.iter().find(|(_, st)| st.holder.is_some()) {
+        return Err(TraceError::LockHeldAtEnd {
+            lock,
+            proc: st.holder.expect("holder checked"),
+        });
+    }
+    if let Some((&task, st)) = tasks.iter().next() {
+        let at = *st
+            .joins
+            .last()
+            .or(st.forks.last())
+            .expect("open episode has events");
+        return Err(TraceError::TaskProtocol {
+            task,
+            proc: events[at].proc,
+        });
+    }
+
+    episodes.sort_by_key(|p| p.event);
+    Ok((episodes, spawns))
 }
 
 fn first_order_violation(events: &[Event]) -> Option<usize> {
@@ -652,5 +884,207 @@ mod tests {
         assert!(idx.awaits.is_empty());
         assert!(idx.advances.is_empty());
         assert!(idx.barriers.is_empty());
+        assert!(idx.episodes.is_empty());
+        assert!(idx.task_spawns.is_empty());
+    }
+
+    fn acq(lock: u32) -> EventKind {
+        EventKind::LockAcquire { lock: LockId(lock) }
+    }
+    fn rel(lock: u32) -> EventKind {
+        EventKind::LockRelease { lock: LockId(lock) }
+    }
+    fn sem_p(sem: u32) -> EventKind {
+        EventKind::SemAcquire { sem: SemId(sem) }
+    }
+    fn sem_v(sem: u32) -> EventKind {
+        EventKind::SemRelease { sem: SemId(sem) }
+    }
+    fn fork(task: u32) -> EventKind {
+        EventKind::TaskFork { task: TaskId(task) }
+    }
+    fn join(task: u32) -> EventKind {
+        EventKind::TaskJoin { task: TaskId(task) }
+    }
+
+    #[test]
+    fn lock_episodes_pair_acquire_with_previous_release() {
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(10, 0, 0, acq(0)),
+                e(20, 0, 1, rel(0)),
+                e(30, 1, 2, acq(0)),
+                e(40, 1, 3, rel(0)),
+            ],
+        );
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.episodes.len(), 2);
+        assert_eq!(idx.episodes[0].family, EpisodeFamily::Lock);
+        assert_eq!(idx.episodes[0].dep, None);
+        assert_eq!(idx.episodes[1].dep, Some(1));
+        assert_eq!(idx.episodes[1].proc, ProcessorId(1));
+        assert_eq!(idx.episode_by_event(2), Some(&idx.episodes[1]));
+    }
+
+    #[test]
+    fn lock_protocol_violations_rejected() {
+        // Acquire while held by another processor.
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![e(1, 0, 0, acq(0)), e(2, 1, 1, acq(0))],
+        );
+        assert_eq!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::LockProtocol {
+                lock: LockId(0),
+                proc: ProcessorId(1)
+            }
+        );
+        // Release by a non-holder.
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![e(1, 0, 0, acq(0)), e(2, 1, 1, rel(0))],
+        );
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::LockProtocol { .. }
+        ));
+        // Release of a free lock.
+        let t = Trace::from_events(TraceKind::Measured, vec![e(1, 0, 0, rel(0))]);
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::LockProtocol { .. }
+        ));
+        // Held at trace end.
+        let t = Trace::from_events(TraceKind::Measured, vec![e(1, 0, 0, acq(0))]);
+        assert_eq!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::LockHeldAtEnd {
+                lock: LockId(0),
+                proc: ProcessorId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn sem_episodes_pair_kth_p_with_kth_v() {
+        // Two leading V's (initial permits), then three P/V rounds.
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(1, 0, 0, sem_v(0)),
+                e(2, 0, 1, sem_v(0)),
+                e(3, 1, 2, sem_p(0)),
+                e(4, 2, 3, sem_p(0)),
+                e(5, 1, 4, sem_v(0)),
+                e(6, 2, 5, sem_p(0)),
+            ],
+        );
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.episodes.len(), 3);
+        assert_eq!(idx.episodes[0].dep, Some(0));
+        assert_eq!(idx.episodes[1].dep, Some(1));
+        assert_eq!(idx.episodes[2].dep, Some(4));
+        assert!(idx.episodes.iter().all(|p| p.family == EpisodeFamily::Sem));
+    }
+
+    #[test]
+    fn sem_underflow_rejected() {
+        let t = Trace::from_events(TraceKind::Measured, vec![e(1, 0, 0, sem_p(3))]);
+        assert_eq!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::SemUnderflow {
+                sem: SemId(3),
+                proc: ProcessorId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn task_episode_pairs_join_return_with_child_end() {
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(10, 0, 0, fork(5)), // parent spawn
+                e(15, 1, 1, fork(5)), // child begin
+                e(40, 1, 2, join(5)), // child end
+                e(45, 0, 3, join(5)), // parent join-return
+            ],
+        );
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.episodes.len(), 1);
+        let p = idx.episodes[0];
+        assert_eq!(p.family, EpisodeFamily::Task);
+        assert_eq!(p.event, 3);
+        assert_eq!(p.dep, Some(2));
+        assert_eq!(p.proc, ProcessorId(0));
+        assert_eq!(idx.task_spawns, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn task_id_reusable_after_episode_closes() {
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(10, 0, 0, fork(0)),
+                e(15, 1, 1, fork(0)),
+                e(20, 1, 2, join(0)),
+                e(25, 0, 3, join(0)),
+                e(30, 0, 4, fork(0)),
+                e(35, 2, 5, fork(0)),
+                e(40, 2, 6, join(0)),
+                e(45, 0, 7, join(0)),
+            ],
+        );
+        let idx = pair_sync_events(&t).unwrap();
+        assert_eq!(idx.episodes.len(), 2);
+        assert_eq!(idx.task_spawns, vec![(1, 0), (5, 4)]);
+    }
+
+    #[test]
+    fn task_protocol_violations_rejected() {
+        // Join with no open episode.
+        let t = Trace::from_events(TraceKind::Measured, vec![e(1, 0, 0, join(0))]);
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::TaskProtocol { .. }
+        ));
+        // Third fork on an open episode.
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(1, 0, 0, fork(0)),
+                e(2, 1, 1, fork(0)),
+                e(3, 2, 2, fork(0)),
+            ],
+        );
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::TaskProtocol { .. }
+        ));
+        // Join-return on a processor other than the spawner.
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![
+                e(1, 0, 0, fork(0)),
+                e(2, 1, 1, fork(0)),
+                e(3, 1, 2, join(0)),
+                e(4, 2, 3, join(0)),
+            ],
+        );
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::TaskProtocol { .. }
+        ));
+        // Episode left open at trace end.
+        let t = Trace::from_events(
+            TraceKind::Measured,
+            vec![e(1, 0, 0, fork(0)), e(2, 1, 1, fork(0))],
+        );
+        assert!(matches!(
+            pair_sync_events(&t).unwrap_err(),
+            TraceError::TaskProtocol { .. }
+        ));
     }
 }

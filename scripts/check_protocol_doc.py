@@ -58,7 +58,7 @@ def parse_str_array(src: str, name: str):
 def parse_mnemonics(src: str):
     """Return the mnemonic names of the KIND_MNEMONICS table."""
     m = re.search(
-        r"const KIND_MNEMONICS: &\[\(&str, u16\)\] = &\[(?P<body>.*?)\];",
+        r"const KIND_MNEMONICS: &\[\(&str, u32\)\] = &\[(?P<body>.*?)\];",
         src,
         re.DOTALL,
     )
@@ -87,8 +87,8 @@ def check_queries_doc(require):
 
     mnemonics = parse_mnemonics(src)
     require(
-        mnemonics is not None and len(mnemonics) == 12,
-        f"expected 12 KIND_MNEMONICS in {SPEC_SRC}, "
+        mnemonics is not None and len(mnemonics) == 18,
+        f"expected 18 KIND_MNEMONICS in {SPEC_SRC}, "
         f"found {len(mnemonics or [])}",
     )
     for m in mnemonics or []:
@@ -101,7 +101,7 @@ def check_queries_doc(require):
 
     # The kind groups the parser special-cases must be documented rows,
     # and `repeat` must never become a selectable mnemonic silently.
-    for group in ("sync", "barrier", "marker"):
+    for group in ("sync", "barrier", "marker", "lock", "sem", "task"):
         require(
             f'"{group}" =>' in src,
             f"spec.rs no longer special-cases the `{group}` group",
